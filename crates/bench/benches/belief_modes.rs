@@ -1,0 +1,87 @@
+//! The parametric belief function β (Definition 3.1, Figures 6–8) at
+//! scale: sweep relation size, lattice depth, and polyinstantiation rate
+//! for each of the three modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use multilog_bench::workload::{synthetic_relation, RelationSpec};
+use multilog_mlsrel::belief::{believe, BeliefMode};
+
+fn bench_by_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("belief/by_size");
+    g.sample_size(15);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for entities in [100usize, 1_000, 10_000] {
+        let spec = RelationSpec {
+            entities,
+            poly_rate: 0.2,
+            ..RelationSpec::default()
+        };
+        let (lat, rel) = synthetic_relation(&spec);
+        let top = lat.label("l3").expect("depth 4 has l3");
+        for mode in BeliefMode::all() {
+            g.bench_with_input(
+                BenchmarkId::new(mode.short_name(), entities),
+                &entities,
+                |b, _| {
+                    b.iter(|| black_box(believe(&rel, top, mode).unwrap()));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_by_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("belief/by_lattice_depth");
+    g.sample_size(15);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for depth in [2usize, 4, 8, 16] {
+        let spec = RelationSpec {
+            entities: 2_000,
+            depth,
+            poly_rate: 0.3,
+            ..RelationSpec::default()
+        };
+        let (lat, rel) = synthetic_relation(&spec);
+        let top = lat.label(&format!("l{}", depth - 1)).expect("top exists");
+        for mode in [BeliefMode::Optimistic, BeliefMode::Cautious] {
+            g.bench_with_input(
+                BenchmarkId::new(mode.short_name(), depth),
+                &depth,
+                |b, _| {
+                    b.iter(|| black_box(believe(&rel, top, mode).unwrap()));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_by_poly_rate(c: &mut Criterion) {
+    // Cautious belief does per-key maximality work; polyinstantiation
+    // rate controls how much.
+    let mut g = c.benchmark_group("belief/cau_by_poly_rate");
+    g.sample_size(15);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for tenths in [0usize, 1, 5, 10] {
+        let spec = RelationSpec {
+            entities: 2_000,
+            poly_rate: tenths as f64 / 10.0,
+            ..RelationSpec::default()
+        };
+        let (lat, rel) = synthetic_relation(&spec);
+        let top = lat.label("l3").expect("depth 4 has l3");
+        g.bench_with_input(BenchmarkId::from_parameter(tenths), &tenths, |b, _| {
+            b.iter(|| black_box(believe(&rel, top, BeliefMode::Cautious).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_by_size, bench_by_depth, bench_by_poly_rate);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Figure 13 ablation: query evaluation with the σ FILTER rules off
+//! (MultiLog default) vs on. The filter widens every m-atom match with
+//! downward-inheritance candidates, so its cost scales with the number of
+//! higher facts whose columns are visible below.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use multilog_core::{parse_database, EngineOptions, MultiLogDb, MultiLogEngine};
+
+/// Facts at the top of a 3-chain whose key columns are classified at the
+/// bottom — the shape that makes FILTER do work.
+fn filterable_db(entities: usize) -> MultiLogDb {
+    let mut src = String::from("level(l0). level(l1). level(l2).\norder(l0, l1). order(l1, l2).\n");
+    for e in 0..entities {
+        src.push_str(&format!(
+            "l2[asset(k{e} : name -l0-> n{e})].\n\
+             l2[asset(k{e} : secret -l2-> s{e})].\n"
+        ));
+    }
+    parse_database(&src).expect("filterable db parses")
+}
+
+fn engine(db: &MultiLogDb, filter: bool) -> MultiLogEngine {
+    MultiLogEngine::with_options(
+        db,
+        "l2",
+        EngineOptions {
+            enable_filter: filter,
+            enable_filter_null: filter,
+            fact_limit: 0,
+        },
+    )
+    .expect("evaluates")
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("filter/evaluation");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for entities in [100usize, 400, 1600] {
+        let db = filterable_db(entities);
+        g.bench_with_input(BenchmarkId::new("off", entities), &entities, |b, _| {
+            b.iter(|| black_box(engine(&db, false)));
+        });
+        g.bench_with_input(BenchmarkId::new("on", entities), &entities, |b, _| {
+            b.iter(|| black_box(engine(&db, true)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut g = c.benchmark_group("filter/query");
+    g.sample_size(15);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let db = filterable_db(500);
+    let off = engine(&db, false);
+    let on = engine(&db, true);
+    // The downward query only answers when the filter is on.
+    let goal = "l0[asset(K : name -l0-> V)]";
+    g.bench_function("off", |b| {
+        b.iter(|| black_box(off.solve_text(goal).unwrap()));
+    });
+    g.bench_function("on", |b| {
+        b.iter(|| black_box(on.solve_text(goal).unwrap()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_eval, bench_query);
+criterion_main!(benches);

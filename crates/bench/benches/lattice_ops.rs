@@ -1,0 +1,125 @@
+//! Ablation: memoised transitive-closure dominance vs lattice size and
+//! shape (chains, fans, and Bell–LaPadula product lattices).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use multilog_lattice::{standard, AccessClass, LatticeBuilder};
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lattice/build");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for depth in [4usize, 16, 64, 256] {
+        g.bench_with_input(BenchmarkId::new("chain", depth), &depth, |b, &d| {
+            b.iter(|| black_box(standard::chain(d)));
+        });
+    }
+    for width in [4usize, 16, 64, 256] {
+        g.bench_with_input(BenchmarkId::new("fan", width), &width, |b, &w| {
+            b.iter(|| black_box(standard::fan(w)));
+        });
+    }
+    for cats in [2usize, 4, 6, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("product_4_levels", 4 << cats),
+            &cats,
+            |b, &n| {
+                let names: Vec<String> = (0..n).map(|i| format!("c{i}")).collect();
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                b.iter(|| {
+                    black_box(AccessClass::enumerate_lattice(&["u", "c", "s", "t"], &refs).unwrap())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_dominates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lattice/dominates");
+    g.sample_size(30);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for depth in [4usize, 64, 1024] {
+        let lat = standard::chain(depth);
+        let labels: Vec<_> = lat.labels().collect();
+        g.bench_with_input(
+            BenchmarkId::new("chain_all_pairs", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    let mut count = 0usize;
+                    for &a in &labels {
+                        for &b2 in &labels {
+                            if lat.dominates(a, b2) {
+                                count += 1;
+                            }
+                        }
+                    }
+                    black_box(count)
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lattice/lub");
+    g.sample_size(30);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for width in [4usize, 16, 64] {
+        let lat = standard::fan(width);
+        let labels: Vec<_> = lat.labels().collect();
+        g.bench_with_input(BenchmarkId::new("fan_all_pairs", width), &width, |b, _| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for &a in &labels {
+                    for &b2 in &labels {
+                        if lat.lub(a, b2).is_some() {
+                            found += 1;
+                        }
+                    }
+                }
+                black_box(found)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    // Rebuild-from-scratch cost when levels are added one at a time —
+    // the `level/order` declaration pattern of MultiLog Λ components.
+    let mut g = c.benchmark_group("lattice/incremental_decls");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [8usize, 32, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut builder = LatticeBuilder::new();
+                for i in 0..n {
+                    builder.add_level(format!("l{i}"));
+                }
+                for i in 1..n {
+                    builder.add_order(format!("l{}", i - 1), format!("l{i}"));
+                }
+                black_box(builder.build().unwrap())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_build,
+    bench_dominates,
+    bench_bounds,
+    bench_incremental
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! The paper's central implementation question (§6): evaluating MultiLog
+//! with the goal-directed operational engine vs reducing to Datalog
+//! (τ(Δ) ∪ A) and running the CORAL-style bottom-up engine.
+//!
+//! Both pipelines include database evaluation and one query, matching how
+//! the front-end architecture of §6 would serve an ad hoc query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use multilog_bench::workload::{synthetic_multilog, MultiLogSpec};
+use multilog_core::reduce::ReducedEngine;
+use multilog_core::{parse_database, MultiLogDb, MultiLogEngine};
+
+fn db(facts: usize, use_cau: bool) -> MultiLogDb {
+    let spec = MultiLogSpec {
+        depth: 3,
+        facts,
+        rules: facts / 20 + 1,
+        use_cau,
+        seed: 17,
+    };
+    parse_database(&synthetic_multilog(&spec)).expect("synthetic db parses")
+}
+
+const QUERY: &str = "L[data(K : a -C-> V)] << cau";
+
+fn bench_monotone(c: &mut Criterion) {
+    let mut g = c.benchmark_group("semantics/opt_rules");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for facts in [50usize, 200, 800] {
+        let database = db(facts, false);
+        g.bench_with_input(BenchmarkId::new("operational", facts), &facts, |b, _| {
+            b.iter(|| {
+                let e = MultiLogEngine::new(&database, "l2").unwrap();
+                black_box(e.solve_text(QUERY).unwrap())
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("reduced", facts), &facts, |b, _| {
+            b.iter(|| {
+                let e = ReducedEngine::new(&database, "l2").unwrap();
+                black_box(e.solve_text(QUERY).unwrap())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_cautious(c: &mut Criterion) {
+    let mut g = c.benchmark_group("semantics/cau_rules");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for facts in [50usize, 200, 800] {
+        let database = db(facts, true);
+        g.bench_with_input(BenchmarkId::new("operational", facts), &facts, |b, _| {
+            b.iter(|| {
+                let e = MultiLogEngine::new(&database, "l2").unwrap();
+                black_box(e.solve_text(QUERY).unwrap())
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("reduced", facts), &facts, |b, _| {
+            b.iter(|| {
+                let e = ReducedEngine::new(&database, "l2").unwrap();
+                black_box(e.solve_text(QUERY).unwrap())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_query_only(c: &mut Criterion) {
+    // Amortized regime: database evaluated once, many ad hoc queries.
+    let mut g = c.benchmark_group("semantics/query_only");
+    g.sample_size(20);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let database = db(400, false);
+    let op = MultiLogEngine::new(&database, "l2").unwrap();
+    let red = ReducedEngine::new(&database, "l2").unwrap();
+    for goal in [
+        "L[data(K : a -C-> V)] << fir",
+        "L[data(K : a -C-> V)] << opt",
+        "L[data(K : a -C-> V)] << cau",
+    ] {
+        let mode = goal.rsplit(' ').next().expect("mode suffix");
+        g.bench_with_input(BenchmarkId::new("operational", mode), &goal, |b, q| {
+            b.iter(|| black_box(op.solve_text(q).unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("reduced", mode), &goal, |b, q| {
+            b.iter(|| black_box(red.solve_text(q).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_monotone, bench_cautious, bench_query_only);
+criterion_main!(benches);

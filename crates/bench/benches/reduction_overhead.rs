@@ -1,0 +1,91 @@
+//! Cost decomposition of the §6 front-end: τ translation + axiom
+//! generation, Datalog parsing, and fixpoint evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use multilog_bench::workload::{synthetic_multilog, MultiLogSpec};
+use multilog_core::reduce::ReducedEngine;
+use multilog_core::{parse_database, MultiLogDb};
+
+fn db(facts: usize) -> MultiLogDb {
+    let spec = MultiLogSpec {
+        depth: 3,
+        facts,
+        rules: facts / 20 + 1,
+        use_cau: true,
+        seed: 23,
+    };
+    parse_database(&synthetic_multilog(&spec)).expect("synthetic db parses")
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reduction/end_to_end");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for facts in [100usize, 400, 1600] {
+        let database = db(facts);
+        g.bench_with_input(BenchmarkId::from_parameter(facts), &facts, |b, _| {
+            b.iter(|| black_box(ReducedEngine::new(&database, "l2").unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_source_parse(c: &mut Criterion) {
+    // MultiLog-side parsing cost for the same workloads.
+    let mut g = c.benchmark_group("reduction/multilog_parse");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for facts in [100usize, 400, 1600] {
+        let spec = MultiLogSpec {
+            depth: 3,
+            facts,
+            rules: facts / 20 + 1,
+            use_cau: true,
+            seed: 23,
+        };
+        let src = synthetic_multilog(&spec);
+        g.bench_with_input(BenchmarkId::from_parameter(facts), &facts, |b, _| {
+            b.iter(|| black_box(parse_database(&src).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_generated_program_size(c: &mut Criterion) {
+    // Not a timing bench per se: measures translation text generation,
+    // whose output size grows with the lattice (per-level specialization).
+    let mut g = c.benchmark_group("reduction/translate_by_depth");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for depth in [2usize, 4, 8] {
+        let spec = MultiLogSpec {
+            depth,
+            facts: 200,
+            rules: 10,
+            use_cau: true,
+            seed: 29,
+        };
+        let database = parse_database(&synthetic_multilog(&spec)).unwrap();
+        let top = format!("l{}", depth - 1);
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                let e = ReducedEngine::new(&database, &top).unwrap();
+                black_box(e.program_text().len())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_end_to_end,
+    bench_source_parse,
+    bench_generated_program_size
+);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Ablation for the Datalog substrate (the CORAL substitute): semi-naive
+//! vs naive bottom-up evaluation on recursive workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use multilog_datalog::{parse_program, Engine, Program, Strategy};
+
+fn chain_program(n: usize) -> Program {
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!("edge(n{}, n{}).\n", i, i + 1));
+    }
+    src.push_str("path(X, Y) :- edge(X, Y).\npath(X, Y) :- edge(X, Z), path(Z, Y).\n");
+    parse_program(&src).expect("chain program parses")
+}
+
+fn grid_program(n: usize) -> Program {
+    // n×n grid: right and down edges; transitive closure is dense.
+    let mut src = String::new();
+    for r in 0..n {
+        for col in 0..n {
+            if col + 1 < n {
+                src.push_str(&format!("edge(g{r}_{col}, g{r}_{c2}).\n", c2 = col + 1));
+            }
+            if r + 1 < n {
+                src.push_str(&format!("edge(g{r}_{col}, g{r2}_{col}).\n", r2 = r + 1));
+            }
+        }
+    }
+    src.push_str("path(X, Y) :- edge(X, Y).\npath(X, Y) :- edge(X, Z), path(Z, Y).\n");
+    parse_program(&src).expect("grid program parses")
+}
+
+fn bench_closure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datalog/chain_closure");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [32usize, 64, 128] {
+        let p = chain_program(n);
+        g.bench_with_input(BenchmarkId::new("seminaive", n), &n, |b, _| {
+            b.iter(|| black_box(Engine::new(&p).unwrap().run().unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    Engine::new(&p)
+                        .unwrap()
+                        .with_strategy(Strategy::Naive)
+                        .run()
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datalog/grid_closure");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [4usize, 6, 8] {
+        let p = grid_program(n);
+        g.bench_with_input(BenchmarkId::new("seminaive", n * n), &n, |b, _| {
+            b.iter(|| black_box(Engine::new(&p).unwrap().run().unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("naive", n * n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    Engine::new(&p)
+                        .unwrap()
+                        .with_strategy(Strategy::Naive)
+                        .run()
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_stratified_negation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datalog/stratified_negation");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [50usize, 200] {
+        let mut src = String::new();
+        for i in 0..n {
+            src.push_str(&format!("node(n{i}).\n"));
+            if i + 1 < n && i % 3 != 0 {
+                src.push_str(&format!("edge(n{}, n{}).\n", i, i + 1));
+            }
+        }
+        src.push_str(
+            "reach(X) :- edge(n0, X).\nreach(Y) :- reach(X), edge(X, Y).\n\
+             unreach(X) :- node(X), not reach(X).\n",
+        );
+        let p = parse_program(&src).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(Engine::new(&p).unwrap().run().unwrap()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_closure,
+    bench_grid,
+    bench_stratified_negation
+);
+criterion_main!(benches);

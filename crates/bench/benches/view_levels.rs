@@ -1,0 +1,88 @@
+//! Figures 2–3 at scale: Jajodia–Sandhu view computation (σ +
+//! subsumption elimination) vs relation size and polyinstantiation rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use multilog_bench::workload::{synthetic_relation, RelationSpec};
+use multilog_mlsrel::view::{view_at, view_at_with, ViewOptions};
+
+fn bench_view_by_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("view/by_size");
+    g.sample_size(15);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for entities in [100usize, 1_000, 10_000] {
+        let spec = RelationSpec {
+            entities,
+            poly_rate: 0.2,
+            ..RelationSpec::default()
+        };
+        let (lat, rel) = synthetic_relation(&spec);
+        let mid = lat.label("l2").expect("depth 4 has l2");
+        g.bench_with_input(BenchmarkId::from_parameter(entities), &entities, |b, _| {
+            b.iter(|| black_box(view_at(&rel, mid)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_view_by_poly_rate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("view/by_poly_rate");
+    g.sample_size(15);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for tenths in [0usize, 2, 5, 9] {
+        let spec = RelationSpec {
+            entities: 2_000,
+            poly_rate: tenths as f64 / 10.0,
+            ..RelationSpec::default()
+        };
+        let (lat, rel) = synthetic_relation(&spec);
+        let mid = lat.label("l2").expect("depth 4 has l2");
+        g.bench_with_input(BenchmarkId::from_parameter(tenths), &tenths, |b, _| {
+            b.iter(|| black_box(view_at(&rel, mid)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_subsumption_ablation(c: &mut Criterion) {
+    // The subsumption-elimination pass is quadratic per view; measure its
+    // marginal cost.
+    let mut g = c.benchmark_group("view/subsumption_ablation");
+    g.sample_size(15);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    let spec = RelationSpec {
+        entities: 2_000,
+        poly_rate: 0.5,
+        ..RelationSpec::default()
+    };
+    let (lat, rel) = synthetic_relation(&spec);
+    let top = lat.label("l3").expect("depth 4 has l3");
+    g.bench_function("with_subsumption", |b| {
+        b.iter(|| black_box(view_at(&rel, top)));
+    });
+    g.bench_function("without_subsumption", |b| {
+        b.iter(|| {
+            black_box(view_at_with(
+                &rel,
+                top,
+                ViewOptions {
+                    filter_sigma: true,
+                    eliminate_subsumed: false,
+                },
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_view_by_size,
+    bench_view_by_poly_rate,
+    bench_subsumption_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! One-shot wall-clock comparison of the two MultiLog pipelines on the
+//! standard synthetic workload (a quick sanity check; `cargo bench` has
+//! the statistically sound version).
+//!
+//! ```text
+//! cargo run --release -p multilog-bench --example timing
+//! ```
+
+use std::time::Instant;
+
+fn main() {
+    let spec = multilog_bench::workload::MultiLogSpec {
+        depth: 3,
+        facts: 800,
+        rules: 41,
+        use_cau: true,
+        seed: 17,
+    };
+    let src = multilog_bench::workload::synthetic_multilog(&spec);
+    let db = multilog_core::parse_database(&src).unwrap();
+
+    let t = Instant::now();
+    let e = multilog_core::MultiLogEngine::new(&db, "l2").unwrap();
+    let ans = e.solve_text("L[data(K : a -C-> V)] << cau").unwrap();
+    println!("operational: {:?} ({} answers)", t.elapsed(), ans.len());
+
+    let t = Instant::now();
+    let r = multilog_core::reduce::ReducedEngine::new(&db, "l2").unwrap();
+    let ans2 = r.solve_text("L[data(K : a -C-> V)] << cau").unwrap();
+    println!("reduced:     {:?} ({} answers)", t.elapsed(), ans2.len());
+
+    assert_eq!(ans, ans2, "Theorem 6.1 must hold");
+}

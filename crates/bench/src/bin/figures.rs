@@ -1,0 +1,39 @@
+//! Print every reproduced table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p multilog-bench --bin figures            # everything
+//! cargo run -p multilog-bench --bin figures -- fig3    # one figure
+//! ```
+
+use multilog_bench::figures;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print!("{}", figures::all());
+        return;
+    }
+    for arg in &args {
+        let out = match arg.as_str() {
+            "fig1" => figures::fig1(),
+            "fig2" => figures::fig2(),
+            "fig3" => figures::fig3(),
+            "fig4" => figures::fig4(),
+            "fig5" => figures::fig5(),
+            "fig6" => figures::fig6(),
+            "fig7" => figures::fig7(),
+            "fig8" => figures::fig8(),
+            "fig9" => figures::fig9(),
+            "fig10" => figures::fig10(),
+            "fig11" => figures::fig11(),
+            "fig12" => figures::fig12(),
+            "fig13" => figures::fig13(),
+            "query" | "sec3.2" => figures::section_3_2_query(),
+            other => {
+                eprintln!("unknown figure `{other}`; use fig1..fig13 or query");
+                std::process::exit(2);
+            }
+        };
+        print!("{out}");
+    }
+}

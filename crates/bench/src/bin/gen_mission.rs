@@ -1,0 +1,7 @@
+//! Emit the MultiLog encoding of the Figure 1 `Mission` relation
+//! (`examples/data/mission.mlog` is generated with this tool).
+
+fn main() {
+    let (_, rel) = multilog_mlsrel::mission::mission_relation();
+    print!("{}", multilog_core::examples::encode_relation(&rel));
+}

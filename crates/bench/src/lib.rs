@@ -1,0 +1,17 @@
+//! Benchmark harness and figure regeneration for the MultiLog
+//! reproduction.
+//!
+//! * [`figures`] regenerates every table and figure of the paper
+//!   (Figures 1–13) as printable text — used by the `figures` binary,
+//!   the workspace integration tests, and EXPERIMENTS.md.
+//! * [`workload`] generates synthetic MLS relations and MultiLog
+//!   databases with parameterised size, lattice shape, and
+//!   polyinstantiation rate — the paper ships no performance evaluation,
+//!   so the Criterion benches sweep these workloads instead to quantify
+//!   the design trade-offs the paper discusses qualitatively (§6–7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod workload;

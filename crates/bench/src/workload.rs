@@ -1,0 +1,213 @@
+//! Synthetic workload generators for the benchmark suite.
+//!
+//! The paper evaluates MultiLog only on worked examples, so the benches
+//! need parameterised workloads: MLS relations with controllable size,
+//! lattice shape and polyinstantiation rate, and MultiLog databases with
+//! controllable fact counts and rule depth.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+use multilog_lattice::{standard, SecurityLattice};
+use multilog_mlsrel::{MlsRelation, MlsScheme, MlsTuple, Value};
+
+/// Parameters for a synthetic MLS relation.
+#[derive(Clone, Debug)]
+pub struct RelationSpec {
+    /// Number of distinct entities (apparent keys).
+    pub entities: usize,
+    /// Number of non-key data attributes.
+    pub attrs: usize,
+    /// Lattice depth (total order `l0 < l1 < …`).
+    pub depth: usize,
+    /// Probability that an entity is polyinstantiated at a higher level.
+    pub poly_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RelationSpec {
+    fn default() -> Self {
+        RelationSpec {
+            entities: 1000,
+            attrs: 3,
+            depth: 4,
+            poly_rate: 0.2,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate a synthetic multilevel relation.
+///
+/// Every entity gets a base tuple at a random level, uniformly classified;
+/// with probability `poly_rate` it additionally gets a polyinstantiated
+/// variant at a strictly higher level (when one exists) whose non-key
+/// attributes are reclassified at that level — the cover-story pattern of
+/// the `Mission` example.
+pub fn synthetic_relation(spec: &RelationSpec) -> (Arc<SecurityLattice>, MlsRelation) {
+    let lat = Arc::new(standard::chain(spec.depth));
+    let attr_names: Vec<String> = (0..=spec.attrs).map(|i| format!("a{i}")).collect();
+    let attr_refs: Vec<&str> = attr_names.iter().map(String::as_str).collect();
+    let scheme = MlsScheme::unconstrained("synthetic", lat.clone(), &attr_refs);
+    let mut rel = MlsRelation::new(scheme);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let labels: Vec<_> = lat.labels().collect();
+
+    for e in 0..spec.entities {
+        let base_idx = rng.random_range(0..labels.len());
+        let base = labels[base_idx];
+        let mut values = vec![Value::str(format!("k{e}"))];
+        for a in 0..spec.attrs {
+            values.push(Value::str(format!("v{e}_{a}")));
+        }
+        let tuple = MlsTuple::new(values.clone(), vec![base; spec.attrs + 1], base);
+        rel.insert(tuple)
+            .expect("synthetic tuples satisfy integrity");
+
+        if base_idx + 1 < labels.len() && rng.random_bool(spec.poly_rate) {
+            let hi_idx = rng.random_range(base_idx + 1..labels.len());
+            let hi = labels[hi_idx];
+            let mut hi_values = vec![Value::str(format!("k{e}"))];
+            for a in 0..spec.attrs {
+                hi_values.push(Value::str(format!("w{e}_{a}")));
+            }
+            let mut classes = vec![base]; // key class kept low (cover story)
+            classes.extend(std::iter::repeat_n(hi, spec.attrs));
+            rel.insert(MlsTuple::new(hi_values, classes, hi))
+                .expect("polyinstantiated variant satisfies integrity");
+        }
+    }
+    (lat, rel)
+}
+
+/// Parameters for a synthetic MultiLog database.
+#[derive(Clone, Debug)]
+pub struct MultiLogSpec {
+    /// Lattice depth (total order).
+    pub depth: usize,
+    /// Number of base m-facts.
+    pub facts: usize,
+    /// Number of derived-fact rules consuming `<< opt` beliefs.
+    pub rules: usize,
+    /// Whether rules consult `<< cau` (forces the level-split reduction).
+    pub use_cau: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MultiLogSpec {
+    fn default() -> Self {
+        MultiLogSpec {
+            depth: 3,
+            facts: 200,
+            rules: 10,
+            use_cau: false,
+            seed: 7,
+        }
+    }
+}
+
+/// Generate MultiLog source text: `depth` chained levels, `facts` base
+/// m-facts spread over keys and the lower levels, and `rules` clauses at
+/// the top level deriving new facts from beliefs about lower data.
+pub fn synthetic_multilog(spec: &MultiLogSpec) -> String {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut out = String::new();
+    for i in 0..spec.depth {
+        out.push_str(&format!("level(l{i}).\n"));
+    }
+    for i in 1..spec.depth {
+        out.push_str(&format!("order(l{}, l{i}).\n", i - 1));
+    }
+    let top = spec.depth - 1;
+    for f in 0..spec.facts {
+        // Base facts live strictly below the top so the top-level rules
+        // can consult cautious beliefs about them.
+        let level = rng.random_range(0..top.max(1));
+        let key = f % (spec.facts / 4 + 1);
+        out.push_str(&format!("l{level}[data(k{key} : a -l{level}-> v{f})].\n"));
+    }
+    let mode = if spec.use_cau { "cau" } else { "opt" };
+    let below_top = top.saturating_sub(1);
+    for r in 0..spec.rules {
+        let key = r % (spec.facts / 4 + 1);
+        out.push_str(&format!(
+            "l{top}[derived(k{key} : b -l{top}-> d{r})] <- \
+             l{below_top}[data(k{key} : a -C-> V)] << {mode}.\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multilog_core::{parse_database, MultiLogEngine};
+
+    #[test]
+    fn synthetic_relation_respects_spec() {
+        let spec = RelationSpec {
+            entities: 50,
+            attrs: 2,
+            depth: 3,
+            poly_rate: 1.0,
+            seed: 1,
+        };
+        let (lat, rel) = synthetic_relation(&spec);
+        assert_eq!(lat.len(), 3);
+        assert!(rel.len() >= 50);
+        rel.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn synthetic_relation_deterministic() {
+        let spec = RelationSpec::default();
+        let (_, a) = synthetic_relation(&spec);
+        let (_, b) = synthetic_relation(&spec);
+        assert!(a.same_tuples(&b));
+    }
+
+    #[test]
+    fn zero_poly_rate_yields_one_tuple_per_entity() {
+        let spec = RelationSpec {
+            entities: 30,
+            poly_rate: 0.0,
+            ..RelationSpec::default()
+        };
+        let (_, rel) = synthetic_relation(&spec);
+        assert_eq!(rel.len(), 30);
+    }
+
+    #[test]
+    fn synthetic_multilog_parses_and_runs() {
+        let spec = MultiLogSpec {
+            facts: 40,
+            rules: 4,
+            ..MultiLogSpec::default()
+        };
+        let src = synthetic_multilog(&spec);
+        let db = parse_database(&src).unwrap();
+        let top = format!("l{}", spec.depth - 1);
+        let e = MultiLogEngine::new(&db, &top).unwrap();
+        assert!(e.mfacts().len() >= 40);
+    }
+
+    #[test]
+    fn synthetic_multilog_with_cau_is_stratified() {
+        let spec = MultiLogSpec {
+            facts: 30,
+            rules: 3,
+            use_cau: true,
+            ..MultiLogSpec::default()
+        };
+        let src = synthetic_multilog(&spec);
+        let db = parse_database(&src).unwrap();
+        let e = MultiLogEngine::new(&db, "l2").unwrap();
+        assert!(!e.mfacts().is_empty());
+        // And it reduces.
+        let red = multilog_core::reduce::ReducedEngine::new(&db, "l2").unwrap();
+        assert!(red.database().relation("rel").is_some());
+    }
+}

@@ -1,0 +1,397 @@
+//! Command implementations for the `multilog` CLI — the front-end
+//! architecture of §6 made concrete: load a MultiLog database, pick a
+//! clearance, and run queries through either the operational engine or
+//! the Datalog reduction.
+//!
+//! Every command is a pure function from parsed arguments to a printable
+//! `String`, so the behaviour is unit-testable without process spawning;
+//! `main.rs` only parses `argv` and prints.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use multilog_core::consistency::check_consistency;
+use multilog_core::proof::prove_text;
+use multilog_core::reduce::ReducedEngine;
+use multilog_core::{parse_database, EngineOptions, MultiLogDb, MultiLogEngine};
+
+/// Which evaluation pipeline to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// The operational (proof-system) engine.
+    #[default]
+    Operational,
+    /// The τ-reduction executed on the Datalog back-end.
+    Reduced,
+}
+
+/// Parsed command-line options shared by the commands.
+#[derive(Clone, Debug, Default)]
+pub struct Options {
+    /// The clearance level to evaluate at.
+    pub user: String,
+    /// Engine selection.
+    pub engine: EngineKind,
+    /// Enable the Figure 13 σ filter (operational engine only).
+    pub filter: bool,
+}
+
+/// Errors surfaced to the CLI user.
+pub type CliResult = Result<String, String>;
+
+fn load(source: &str) -> Result<MultiLogDb, String> {
+    parse_database(source).map_err(|e| format!("cannot parse database: {e}"))
+}
+
+fn operational(db: &MultiLogDb, opts: &Options) -> Result<MultiLogEngine, String> {
+    MultiLogEngine::with_options(
+        db,
+        &opts.user,
+        EngineOptions {
+            enable_filter: opts.filter,
+            enable_filter_null: opts.filter,
+            fact_limit: 0,
+        },
+    )
+    .map_err(|e| format!("evaluation failed: {e}"))
+}
+
+/// `multilog run <file>`: evaluate the database and answer every query in
+/// its `Q` component.
+pub fn run(source: &str, opts: &Options) -> CliResult {
+    let db = load(source)?;
+    let mut out = String::new();
+    let queries = db.queries().to_vec();
+    if queries.is_empty() {
+        let _ = writeln!(
+            out,
+            "(database has no queries; use `query` for ad hoc goals)"
+        );
+    }
+    match opts.engine {
+        EngineKind::Operational => {
+            let e = operational(&db, opts)?;
+            let _ = writeln!(
+                out,
+                "evaluated at {}: {} m-facts, {} p-facts",
+                opts.user,
+                e.mfacts().len(),
+                e.pfacts().len()
+            );
+            for (i, q) in queries.iter().enumerate() {
+                let answers = e.solve(q).map_err(|e| e.to_string())?;
+                let _ = writeln!(out, "?- query {}: {}", i + 1, render_goal(q));
+                let _ = write!(out, "{}", render_answers(&answers));
+            }
+        }
+        EngineKind::Reduced => {
+            let e = ReducedEngine::new(&db, &opts.user).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "reduced and evaluated at {}", opts.user);
+            for (i, q) in queries.iter().enumerate() {
+                let answers = e.solve(q).map_err(|e| e.to_string())?;
+                let _ = writeln!(out, "?- query {}: {}", i + 1, render_goal(q));
+                let _ = write!(out, "{}", render_answers(&answers));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `multilog query <file> <goal>`: answer one ad hoc goal.
+pub fn query(source: &str, goal: &str, opts: &Options) -> CliResult {
+    let db = load(source)?;
+    let answers = match opts.engine {
+        EngineKind::Operational => operational(&db, opts)?
+            .solve_text(goal)
+            .map_err(|e| format!("query failed: {e}"))?,
+        EngineKind::Reduced => ReducedEngine::new(&db, &opts.user)
+            .map_err(|e| e.to_string())?
+            .solve_text(goal)
+            .map_err(|e| format!("query failed: {e}"))?,
+    };
+    Ok(render_answers(&answers))
+}
+
+/// `multilog prove <file> <goal>`: print a Figure 9 proof tree for the
+/// first answer of the goal.
+pub fn prove(source: &str, goal: &str, opts: &Options) -> CliResult {
+    let db = load(source)?;
+    let e = operational(&db, opts)?;
+    match prove_text(&e, goal).map_err(|e| e.to_string())? {
+        Some(tree) => Ok(format!(
+            "{}(height {}, size {})\n",
+            tree.render(),
+            tree.height(),
+            tree.size()
+        )),
+        None => Ok("no proof: the goal is not provable at this clearance\n".to_owned()),
+    }
+}
+
+/// `multilog reduce <file>`: print the generated Datalog program
+/// `τ(Δ) ∪ A`.
+pub fn reduce(source: &str, opts: &Options) -> CliResult {
+    let db = load(source)?;
+    let e = ReducedEngine::new(&db, &opts.user).map_err(|e| e.to_string())?;
+    Ok(e.program_text().to_owned())
+}
+
+/// `multilog check <file>`: admissibility (Def 5.3) and consistency
+/// (Def 5.4) diagnostics.
+pub fn check(source: &str, opts: &Options) -> CliResult {
+    let db = load(source)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "parsed: Λ={} Σ={} Π={} Q={}",
+        db.lambda().len(),
+        db.sigma().len(),
+        db.pi().len(),
+        db.queries().len()
+    );
+    match db.lattice() {
+        Ok(lat) => {
+            let names: Vec<&str> = lat.names().collect();
+            let _ = writeln!(out, "admissible: lattice over {{{}}}", names.join(", "));
+        }
+        Err(e) => {
+            let _ = writeln!(out, "NOT admissible: {e}");
+            return Ok(out);
+        }
+    }
+    let e = operational(&db, opts)?;
+    match check_consistency(&e) {
+        Ok(()) => {
+            let _ = writeln!(
+                out,
+                "consistent at {}: {} m-facts satisfy Def 5.4",
+                opts.user,
+                e.mfacts().len()
+            );
+        }
+        Err(err) => {
+            let _ = writeln!(out, "NOT consistent: {err}");
+        }
+    }
+    Ok(out)
+}
+
+/// One REPL step: evaluate a goal line against a prepared engine.
+pub fn repl_step(engine: &MultiLogEngine, line: &str) -> String {
+    let line = line.trim();
+    if line.is_empty() {
+        return String::new();
+    }
+    if let Some(goal) = line.strip_prefix(":prove ") {
+        return match prove_text(engine, goal) {
+            Ok(Some(tree)) => tree.render(),
+            Ok(None) => "no proof\n".to_owned(),
+            Err(e) => format!("error: {e}\n"),
+        };
+    }
+    match engine.solve_text(line) {
+        Ok(answers) => render_answers(&answers),
+        Err(e) => format!("error: {e}\n"),
+    }
+}
+
+/// Render answers as a table (or `yes`/`no` for ground goals).
+pub fn render_answers(answers: &[multilog_core::Answer]) -> String {
+    if answers.is_empty() {
+        return "no\n".to_owned();
+    }
+    if answers.len() == 1 && answers[0].is_empty() {
+        return "yes\n".to_owned();
+    }
+    let mut out = String::new();
+    for a in answers {
+        let row: Vec<String> = a.iter().map(|(k, v)| format!("{k} = {v}")).collect();
+        let _ = writeln!(out, "  {}", row.join(", "));
+    }
+    let _ = writeln!(out, "({} answers)", answers.len());
+    out
+}
+
+fn render_goal(goal: &[multilog_core::ast::Atom]) -> String {
+    goal.iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+multilog — belief reasoning in MLS deductive databases (Jamil, SIGMOD 1999)
+
+USAGE:
+  multilog run    <file.mlog> --user <level> [--engine op|red] [--filter]
+  multilog query  <file.mlog> --user <level> '<goal>' [--engine op|red] [--filter]
+  multilog prove  <file.mlog> --user <level> '<goal>' [--filter]
+  multilog reduce <file.mlog> --user <level>
+  multilog check  <file.mlog> --user <level>
+  multilog repl   <file.mlog> --user <level> [--filter]
+
+GOALS:
+  m-atom     s[p(k : a -c-> v)]
+  b-atom     s[p(k : a -c-> v)] << fir|opt|cau|<user mode>
+  molecule   s[p(k : a1 -c1-> v1; a2 -c2-> v2)]
+  p-atom     q(x, Y)        dominance   u leq s
+  (uppercase identifiers are variables; `_` is a don't-care)
+
+In the repl, prefix a goal with `:prove ` to print its proof tree.
+";
+
+/// Parse `argv`-style arguments into `(command, file, goal, Options)`.
+pub fn parse_args(args: &[String]) -> Result<(String, String, Option<String>, Options), String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or(USAGE)?.clone();
+    let mut file = None;
+    let mut goal = None;
+    let mut opts = Options::default();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--user" => {
+                opts.user = it.next().ok_or("--user needs a level name")?.clone();
+            }
+            "--engine" => match it.next().map(String::as_str) {
+                Some("op" | "operational") => opts.engine = EngineKind::Operational,
+                Some("red" | "reduced") => opts.engine = EngineKind::Reduced,
+                other => return Err(format!("unknown engine {other:?}")),
+            },
+            "--filter" => opts.filter = true,
+            other if file.is_none() => file = Some(other.to_owned()),
+            other if goal.is_none() => goal = Some(other.to_owned()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let file = file.ok_or("missing database file")?;
+    if opts.user.is_empty() {
+        return Err("missing --user <level>".to_owned());
+    }
+    Ok((cmd, file, goal, opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DB: &str = r#"
+        level(u). level(c). level(s).
+        order(u, c). order(c, s).
+        u[p(k : a -u-> v)].
+        c[p(k : a -c-> t)] <- q(j).
+        s[p(k : a -u-> v)] <- c[p(k : a -c-> t)] << cau.
+        q(j).
+        <- c[p(k : a -u-> v)] << opt.
+    "#;
+
+    fn opts(user: &str) -> Options {
+        Options {
+            user: user.to_owned(),
+            ..Options::default()
+        }
+    }
+
+    #[test]
+    fn run_answers_stored_queries() {
+        let out = run(DB, &opts("c")).unwrap();
+        assert!(out.contains("query 1"));
+        assert!(out.contains("yes"), "{out}");
+        let out = run(DB, &opts("u")).unwrap();
+        assert!(out.contains("no"), "{out}");
+    }
+
+    #[test]
+    fn run_reduced_matches() {
+        let mut o = opts("c");
+        o.engine = EngineKind::Reduced;
+        let out = run(DB, &o).unwrap();
+        assert!(out.contains("yes"), "{out}");
+    }
+
+    #[test]
+    fn query_with_variables() {
+        let out = query(DB, "L[p(k : a -C-> V)] << opt", &opts("s")).unwrap();
+        assert!(out.contains("answers"), "{out}");
+        assert!(out.contains("V = v"), "{out}");
+    }
+
+    #[test]
+    fn prove_prints_tree_or_no_proof() {
+        let out = prove(DB, "c[p(k : a -u-> v)] << opt", &opts("c")).unwrap();
+        assert!(out.contains("DESCEND-O"), "{out}");
+        assert!(out.contains("height"), "{out}");
+        let out = prove(DB, "s[p(k : a -u-> v)]", &opts("u")).unwrap();
+        assert!(out.contains("no proof"));
+    }
+
+    #[test]
+    fn reduce_prints_program() {
+        let out = reduce(DB, &opts("s")).unwrap();
+        assert!(out.contains("dominate(X, Y) :- order(X, Y)."));
+        assert!(out.contains("bel_cau_c"));
+    }
+
+    #[test]
+    fn check_reports_shape_and_consistency() {
+        let out = check(DB, &opts("s")).unwrap();
+        assert!(out.contains("Λ=5 Σ=3 Π=1 Q=1"), "{out}");
+        assert!(out.contains("admissible"), "{out}");
+        assert!(out.contains("consistent"), "{out}");
+    }
+
+    #[test]
+    fn check_flags_inadmissible() {
+        let out = check("level(u). u[p(k : a -s-> v)].", &opts("u")).unwrap();
+        assert!(out.contains("NOT admissible"), "{out}");
+    }
+
+    #[test]
+    fn repl_step_solves_and_proves() {
+        let db = parse_database(DB).unwrap();
+        let e = MultiLogEngine::new(&db, "s").unwrap();
+        assert!(repl_step(&e, "q(j)").contains("yes"));
+        assert!(repl_step(&e, ":prove q(j)").contains("DEDUCTION-G"));
+        assert!(repl_step(&e, "nonsense [").contains("error"));
+        assert_eq!(repl_step(&e, "   "), "");
+    }
+
+    #[test]
+    fn parse_args_roundtrip() {
+        let args: Vec<String> = ["query", "db.mlog", "--user", "s", "goal", "--engine", "red"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let (cmd, file, goal, o) = parse_args(&args).unwrap();
+        assert_eq!(cmd, "query");
+        assert_eq!(file, "db.mlog");
+        assert_eq!(goal.as_deref(), Some("goal"));
+        assert_eq!(o.engine, EngineKind::Reduced);
+        assert_eq!(o.user, "s");
+    }
+
+    #[test]
+    fn parse_args_errors() {
+        let to = |v: &[&str]| v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        assert!(parse_args(&to(&["run"])).is_err());
+        assert!(parse_args(&to(&["run", "f.mlog"])).is_err()); // no user
+        assert!(parse_args(&to(&["run", "f.mlog", "--user"])).is_err());
+        assert!(parse_args(&to(&["run", "f.mlog", "--user", "s", "--engine", "zzz"])).is_err());
+    }
+
+    #[test]
+    fn filter_option_changes_answers() {
+        let src = r#"
+            level(u). level(s). order(u, s).
+            s[m(k : ship -u-> phantom)].
+        "#;
+        let plain = query(src, "u[m(k : ship -u-> phantom)]", &opts("s")).unwrap();
+        assert!(plain.contains("no"));
+        let mut o = opts("s");
+        o.filter = true;
+        let filtered = query(src, "u[m(k : ship -u-> phantom)]", &o).unwrap();
+        assert!(filtered.contains("yes"), "{filtered}");
+    }
+}

@@ -1,0 +1,85 @@
+//! The `multilog` command-line front-end (see `lib.rs` for the command
+//! implementations).
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+use multilog_cli::{check, parse_args, prove, query, reduce, repl_step, run, Options, USAGE};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" || args[0] == "help" {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match dispatch(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<String, String> {
+    let (cmd, file, goal, opts) = parse_args(args)?;
+    let source =
+        std::fs::read_to_string(&file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+    match cmd.as_str() {
+        "run" => run(&source, &opts),
+        "query" => {
+            let goal = goal.ok_or("query needs a goal argument")?;
+            query(&source, &goal, &opts)
+        }
+        "prove" => {
+            let goal = goal.ok_or("prove needs a goal argument")?;
+            prove(&source, &goal, &opts)
+        }
+        "reduce" => reduce(&source, &opts),
+        "check" => check(&source, &opts),
+        "repl" => repl(&source, &opts),
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn repl(source: &str, opts: &Options) -> Result<String, String> {
+    let db = multilog_core::parse_database(source).map_err(|e| e.to_string())?;
+    let engine = multilog_core::MultiLogEngine::with_options(
+        &db,
+        &opts.user,
+        multilog_core::EngineOptions {
+            enable_filter: opts.filter,
+            enable_filter_null: opts.filter,
+            fact_limit: 0,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "multilog repl at level {} — {} m-facts, {} p-facts; `:prove <goal>` for trees; ^D to exit",
+        opts.user,
+        engine.mfacts().len(),
+        engine.pfacts().len()
+    );
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    loop {
+        eprint!("{}> ", opts.user);
+        let mut line = String::new();
+        if stdin
+            .lock()
+            .read_line(&mut line)
+            .map_err(|e| e.to_string())?
+            == 0
+        {
+            break;
+        }
+        let out = repl_step(&engine, &line);
+        stdout
+            .write_all(out.as_bytes())
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(String::new())
+}

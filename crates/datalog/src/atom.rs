@@ -1,0 +1,352 @@
+//! Atoms, literals, and comparison built-ins.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::term::{Const, Term};
+use crate::{DatalogError, Result};
+
+/// A predicate atom `p(t1, …, tn)`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// The predicate symbol.
+    pub predicate: Arc<str>,
+    /// The argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Construct an atom.
+    pub fn new(predicate: impl AsRef<str>, terms: Vec<Term>) -> Self {
+        Atom {
+            predicate: Arc::from(predicate.as_ref()),
+            terms,
+        }
+    }
+
+    /// The arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether every argument is a constant.
+    pub fn is_ground(&self) -> bool {
+        self.terms.iter().all(|t| !t.is_var())
+    }
+
+    /// Iterate over the variable names occurring in the atom.
+    pub fn variables(&self) -> impl Iterator<Item = &str> {
+        self.terms.iter().filter_map(Term::as_var)
+    }
+
+    /// The tuple of constants, if ground.
+    pub fn as_fact(&self) -> Option<Vec<Const>> {
+        self.terms
+            .iter()
+            .map(|t| t.as_const().cloned())
+            .collect::<Option<Vec<_>>>()
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.predicate)?;
+        if !self.terms.is_empty() {
+            write!(f, "(")?;
+            for (i, t) in self.terms.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Comparison operators available as built-in body literals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=` — term equality (after substitution).
+    Eq,
+    /// `!=` — term disequality.
+    Ne,
+    /// `<` — strict order within a constant kind.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate the operator on two ground constants.
+    ///
+    /// `=`/`!=` compare any constants; the order operators require both
+    /// operands to be of the same kind (two symbols or two integers) and
+    /// return [`DatalogError::IncomparableTerms`] otherwise.
+    pub fn eval(self, left: &Const, right: &Const) -> Result<bool> {
+        match self {
+            CmpOp::Eq => Ok(left == right),
+            CmpOp::Ne => Ok(left != right),
+            _ => {
+                let ord = left
+                    .try_cmp(right)
+                    .ok_or_else(|| DatalogError::IncomparableTerms {
+                        left: left.to_string(),
+                        right: right.to_string(),
+                    })?;
+                Ok(match self {
+                    CmpOp::Lt => ord == Ordering::Less,
+                    CmpOp::Le => ord != Ordering::Greater,
+                    CmpOp::Gt => ord == Ordering::Greater,
+                    CmpOp::Ge => ord != Ordering::Less,
+                    CmpOp::Eq | CmpOp::Ne => unreachable!("handled above"),
+                })
+            }
+        }
+    }
+
+    /// The textual spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Arithmetic operators for `T = X op Y` built-ins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Integer division.
+    Div,
+    /// Remainder.
+    Rem,
+}
+
+impl ArithOp {
+    /// Apply the operator to two integers, checking overflow and
+    /// division by zero.
+    pub fn eval(self, lhs: i64, rhs: i64) -> Result<i64> {
+        let out = match self {
+            ArithOp::Add => lhs.checked_add(rhs),
+            ArithOp::Sub => lhs.checked_sub(rhs),
+            ArithOp::Mul => lhs.checked_mul(rhs),
+            ArithOp::Div => lhs.checked_div(rhs),
+            ArithOp::Rem => lhs.checked_rem(rhs),
+        };
+        out.ok_or(DatalogError::ArithmeticFailure {
+            op: self.symbol(),
+            lhs,
+            rhs,
+        })
+    }
+
+    /// The textual spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+            ArithOp::Rem => "mod",
+        }
+    }
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A body literal: a positive atom, a negated atom, or a comparison.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Literal {
+    /// A positive relational literal.
+    Pos(Atom),
+    /// A negated relational literal (`not p(…)`). Under stratified
+    /// negation with free variables, the reading is
+    /// `¬∃(free vars) p(…)` at the point all other variables are bound.
+    Neg(Atom),
+    /// A comparison built-in `lhs op rhs`.
+    Cmp {
+        /// The operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Term,
+        /// Right operand.
+        rhs: Term,
+    },
+    /// An arithmetic built-in `target = lhs op rhs` over integers; binds
+    /// `target` if it is an unbound variable.
+    Arith {
+        /// The result term (bound → checked; free variable → bound).
+        target: Term,
+        /// Left operand (must be bound at evaluation time).
+        lhs: Term,
+        /// The operator.
+        op: ArithOp,
+        /// Right operand (must be bound at evaluation time).
+        rhs: Term,
+    },
+}
+
+impl Literal {
+    /// The relational atom, if this is a `Pos` or `Neg` literal.
+    pub fn atom(&self) -> Option<&Atom> {
+        match self {
+            Literal::Pos(a) | Literal::Neg(a) => Some(a),
+            Literal::Cmp { .. } | Literal::Arith { .. } => None,
+        }
+    }
+
+    /// Whether this literal is a positive relational literal.
+    pub fn is_positive(&self) -> bool {
+        matches!(self, Literal::Pos(_))
+    }
+
+    /// Iterate over variable names occurring in the literal.
+    pub fn variables(&self) -> Vec<&str> {
+        match self {
+            Literal::Pos(a) | Literal::Neg(a) => a.variables().collect(),
+            Literal::Cmp { lhs, rhs, .. } => lhs.as_var().into_iter().chain(rhs.as_var()).collect(),
+            Literal::Arith {
+                target, lhs, rhs, ..
+            } => target
+                .as_var()
+                .into_iter()
+                .chain(lhs.as_var())
+                .chain(rhs.as_var())
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Pos(a) => write!(f, "{a}"),
+            Literal::Neg(a) => write!(f, "not {a}"),
+            Literal::Cmp { op, lhs, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            Literal::Arith {
+                target,
+                lhs,
+                op,
+                rhs,
+            } => {
+                write!(f, "{target} = {lhs} {op} {rhs}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn atom(pred: &str, terms: Vec<Term>) -> Atom {
+    Atom::new(pred, terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_display() {
+        let a = atom("p", vec![Term::var("X"), Term::sym("mars"), Term::int(3)]);
+        assert_eq!(a.to_string(), "p(X, mars, 3)");
+        assert_eq!(atom("halt", vec![]).to_string(), "halt");
+    }
+
+    #[test]
+    fn atom_groundness_and_fact() {
+        let g = atom("p", vec![Term::sym("a"), Term::int(1)]);
+        assert!(g.is_ground());
+        assert_eq!(g.as_fact().unwrap(), vec![Const::sym("a"), Const::int(1)]);
+        let ng = atom("p", vec![Term::var("X")]);
+        assert!(!ng.is_ground());
+        assert!(ng.as_fact().is_none());
+    }
+
+    #[test]
+    fn cmp_eval_orders() {
+        use CmpOp::*;
+        let (a, b) = (Const::int(1), Const::int(2));
+        assert!(Lt.eval(&a, &b).unwrap());
+        assert!(Le.eval(&a, &a).unwrap());
+        assert!(Gt.eval(&b, &a).unwrap());
+        assert!(Ge.eval(&b, &b).unwrap());
+        assert!(Eq.eval(&a, &a).unwrap());
+        assert!(Ne.eval(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn cmp_eq_ne_cross_kind_ok() {
+        let (a, b) = (Const::int(1), Const::sym("one"));
+        assert!(!CmpOp::Eq.eval(&a, &b).unwrap());
+        assert!(CmpOp::Ne.eval(&a, &b).unwrap());
+    }
+
+    #[test]
+    fn cmp_order_cross_kind_errors() {
+        let (a, b) = (Const::int(1), Const::sym("one"));
+        assert!(CmpOp::Lt.eval(&a, &b).is_err());
+    }
+
+    #[test]
+    fn literal_variables() {
+        let l = Literal::Cmp {
+            op: CmpOp::Ne,
+            lhs: Term::var("X"),
+            rhs: Term::sym("c"),
+        };
+        assert_eq!(l.variables(), vec!["X"]);
+        let l = Literal::Neg(atom("p", vec![Term::var("A"), Term::var("B")]));
+        assert_eq!(l.variables(), vec!["A", "B"]);
+        assert!(!l.is_positive());
+    }
+
+    #[test]
+    fn literal_display() {
+        let l = Literal::Neg(atom("p", vec![Term::var("X")]));
+        assert_eq!(l.to_string(), "not p(X)");
+        let c = Literal::Cmp {
+            op: CmpOp::Le,
+            lhs: Term::int(1),
+            rhs: Term::var("Y"),
+        };
+        assert_eq!(c.to_string(), "1 <= Y");
+    }
+}

@@ -1,0 +1,239 @@
+//! Clauses (rules and facts) with range-restriction checking.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::atom::{Atom, Literal};
+use crate::{DatalogError, Result};
+
+/// A definite clause `head :- body` (a fact when the body is empty).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Clause {
+    /// The head atom.
+    pub head: Atom,
+    /// The body literals, evaluated left to right.
+    pub body: Vec<Literal>,
+}
+
+impl Clause {
+    /// Construct a clause.
+    pub fn new(head: Atom, body: Vec<Literal>) -> Self {
+        Clause { head, body }
+    }
+
+    /// Construct a fact (empty body).
+    pub fn fact(head: Atom) -> Self {
+        Clause {
+            head,
+            body: Vec::new(),
+        }
+    }
+
+    /// Whether the clause is a fact.
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// All variables that occur in some positive body literal.
+    pub fn positive_variables(&self) -> HashSet<&str> {
+        self.body
+            .iter()
+            .filter_map(|l| match l {
+                Literal::Pos(a) => Some(a),
+                _ => None,
+            })
+            .flat_map(Atom::variables)
+            .collect()
+    }
+
+    /// Check range restriction (safety):
+    ///
+    /// 1. every head variable occurs in a positive body literal;
+    /// 2. every variable of a comparison occurs in a positive body literal;
+    /// 3. variables occurring **only** in a negated literal are allowed —
+    ///    they are read as existentially quantified inside the negation
+    ///    (`¬∃X p(…, X, …)`), which is the reading the MultiLog reduction
+    ///    axioms require — but the negated literal must share at least the
+    ///    property that its *bound* variables come from positive literals,
+    ///    which is implied by (1)–(2) plus grounding order.
+    ///
+    /// Facts must be ground.
+    ///
+    /// Arithmetic built-ins `T = X op Y` additionally *bind* their target
+    /// variable, so a target may appear in the head or in later
+    /// comparisons; their operands must be bound by a positive literal or
+    /// an earlier arithmetic target (checked left to right).
+    pub fn check_safety(&self) -> Result<()> {
+        let positive = self.positive_variables();
+        let offending = |v: &str| -> DatalogError {
+            DatalogError::UnsafeVariable {
+                variable: v.to_owned(),
+                clause: self.to_string(),
+            }
+        };
+        // Bound set after the full body: positive vars + arith targets.
+        let mut bound: HashSet<&str> = positive.clone();
+        // Ordered scan for comparison/arith operand safety.
+        let mut so_far: HashSet<&str> = positive.clone();
+        for l in &self.body {
+            match l {
+                Literal::Cmp { lhs, rhs, .. } => {
+                    for v in lhs.as_var().into_iter().chain(rhs.as_var()) {
+                        if !so_far.contains(v) {
+                            return Err(offending(v));
+                        }
+                    }
+                }
+                Literal::Arith {
+                    target, lhs, rhs, ..
+                } => {
+                    for v in lhs.as_var().into_iter().chain(rhs.as_var()) {
+                        if !so_far.contains(v) {
+                            return Err(offending(v));
+                        }
+                    }
+                    if let Some(t) = target.as_var() {
+                        so_far.insert(t);
+                        bound.insert(t);
+                    }
+                }
+                Literal::Pos(_) | Literal::Neg(_) => {}
+            }
+        }
+        for v in self.head.variables() {
+            if !bound.contains(v) {
+                return Err(offending(v));
+            }
+        }
+        Ok(())
+    }
+
+    /// Variables occurring anywhere in the clause, in first-occurrence order.
+    pub fn all_variables(&self) -> Vec<&str> {
+        let mut seen = HashSet::new();
+        let mut names: Vec<&str> = Vec::new();
+        for v in self.head.variables() {
+            if seen.insert(v) {
+                names.push(v);
+            }
+        }
+        for l in &self.body {
+            for v in l.variables() {
+                if seen.insert(v) {
+                    names.push(v);
+                }
+            }
+        }
+        names
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, l) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{l}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+impl fmt::Debug for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+    use crate::CmpOp;
+
+    fn a(p: &str, ts: Vec<Term>) -> Atom {
+        Atom::new(p, ts)
+    }
+
+    #[test]
+    fn fact_roundtrip() {
+        let c = Clause::fact(a("edge", vec![Term::sym("x"), Term::sym("y")]));
+        assert!(c.is_fact());
+        assert_eq!(c.to_string(), "edge(x, y).");
+        c.check_safety().unwrap();
+    }
+
+    #[test]
+    fn rule_display() {
+        let c = Clause::new(
+            a("p", vec![Term::var("X")]),
+            vec![
+                Literal::Pos(a("q", vec![Term::var("X")])),
+                Literal::Neg(a("r", vec![Term::var("X")])),
+            ],
+        );
+        assert_eq!(c.to_string(), "p(X) :- q(X), not r(X).");
+        c.check_safety().unwrap();
+    }
+
+    #[test]
+    fn unsafe_head_variable() {
+        let c = Clause::new(
+            a("p", vec![Term::var("Y")]),
+            vec![Literal::Pos(a("q", vec![Term::var("X")]))],
+        );
+        assert!(matches!(
+            c.check_safety().unwrap_err(),
+            DatalogError::UnsafeVariable { variable, .. } if variable == "Y"
+        ));
+    }
+
+    #[test]
+    fn unsafe_fact_with_variable() {
+        let c = Clause::fact(a("p", vec![Term::var("X")]));
+        assert!(c.check_safety().is_err());
+    }
+
+    #[test]
+    fn unsafe_comparison_variable() {
+        let c = Clause::new(
+            a("p", vec![Term::var("X")]),
+            vec![
+                Literal::Pos(a("q", vec![Term::var("X")])),
+                Literal::Cmp {
+                    op: CmpOp::Lt,
+                    lhs: Term::var("Z"),
+                    rhs: Term::int(3),
+                },
+            ],
+        );
+        assert!(c.check_safety().is_err());
+    }
+
+    #[test]
+    fn negation_only_variable_is_allowed() {
+        // not q(X, Y) with Y free: read as ¬∃Y q(X, Y).
+        let c = Clause::new(
+            a("p", vec![Term::var("X")]),
+            vec![
+                Literal::Pos(a("r", vec![Term::var("X")])),
+                Literal::Neg(a("q", vec![Term::var("X"), Term::var("Y")])),
+            ],
+        );
+        c.check_safety().unwrap();
+    }
+
+    #[test]
+    fn all_variables_order() {
+        let c = Clause::new(
+            a("p", vec![Term::var("X"), Term::var("Y")]),
+            vec![Literal::Pos(a("q", vec![Term::var("Y"), Term::var("Z")]))],
+        );
+        assert_eq!(c.all_variables(), vec!["X", "Y", "Z"]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Error type for the Datalog engine.
+
+use std::fmt;
+
+/// Errors raised while parsing, validating, or evaluating Datalog programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatalogError {
+    /// Syntax error with position information.
+    Parse {
+        /// 1-based line of the offending token.
+        line: usize,
+        /// 1-based column of the offending token.
+        column: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A clause is not range-restricted (safe): the named variable in the
+    /// head, a negated literal, or a comparison never occurs in a positive
+    /// body literal.
+    UnsafeVariable {
+        /// The offending variable name.
+        variable: String,
+        /// Rendering of the clause for diagnostics.
+        clause: String,
+    },
+    /// A predicate is used with two different arities.
+    ArityMismatch {
+        /// Predicate name.
+        predicate: String,
+        /// Arity seen first.
+        expected: usize,
+        /// Conflicting arity.
+        found: usize,
+    },
+    /// The program cannot be stratified: a predicate depends negatively on
+    /// itself through recursion.
+    NotStratifiable {
+        /// A predicate inside the offending recursive component.
+        predicate: String,
+    },
+    /// A comparison built-in was applied to incomparable constants
+    /// (e.g. `3 < foo`).
+    IncomparableTerms {
+        /// Rendering of the left operand.
+        left: String,
+        /// Rendering of the right operand.
+        right: String,
+    },
+    /// Evaluation exceeded the configured fact limit (guard against
+    /// accidental fact explosions in generated programs).
+    FactLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// A query referenced a predicate that neither appears in the program
+    /// nor was derived.
+    UnknownPredicate(String),
+    /// An arithmetic built-in overflowed, divided by zero, or was applied
+    /// to non-integer operands.
+    ArithmeticFailure {
+        /// The operator symbol.
+        op: &'static str,
+        /// Left operand.
+        lhs: i64,
+        /// Right operand.
+        rhs: i64,
+    },
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::Parse {
+                line,
+                column,
+                message,
+            } => write!(f, "parse error at {line}:{column}: {message}"),
+            DatalogError::UnsafeVariable { variable, clause } => write!(
+                f,
+                "unsafe variable `{variable}` in clause `{clause}`: every head, negated, \
+                 and comparison variable must occur in a positive body literal"
+            ),
+            DatalogError::ArityMismatch {
+                predicate,
+                expected,
+                found,
+            } => write!(
+                f,
+                "predicate `{predicate}` used with arity {found}, expected {expected}"
+            ),
+            DatalogError::NotStratifiable { predicate } => write!(
+                f,
+                "program is not stratifiable: `{predicate}` depends negatively on itself"
+            ),
+            DatalogError::IncomparableTerms { left, right } => {
+                write!(
+                    f,
+                    "cannot order incomparable constants `{left}` and `{right}`"
+                )
+            }
+            DatalogError::FactLimitExceeded { limit } => {
+                write!(f, "evaluation exceeded the fact limit of {limit}")
+            }
+            DatalogError::UnknownPredicate(p) => write!(f, "unknown predicate `{p}`"),
+            DatalogError::ArithmeticFailure { op, lhs, rhs } => {
+                write!(f, "arithmetic failure: {lhs} {op} {rhs}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<DatalogError> = vec![
+            DatalogError::Parse {
+                line: 1,
+                column: 2,
+                message: "bad".into(),
+            },
+            DatalogError::UnsafeVariable {
+                variable: "X".into(),
+                clause: "p(X).".into(),
+            },
+            DatalogError::ArityMismatch {
+                predicate: "p".into(),
+                expected: 2,
+                found: 3,
+            },
+            DatalogError::NotStratifiable {
+                predicate: "win".into(),
+            },
+            DatalogError::IncomparableTerms {
+                left: "3".into(),
+                right: "foo".into(),
+            },
+            DatalogError::FactLimitExceeded { limit: 10 },
+            DatalogError::UnknownPredicate("q".into()),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,648 @@
+//! Bottom-up evaluation: naive and semi-naive, stratum by stratum.
+//!
+//! Both strategies share a single rule-body matcher — a backtracking
+//! nested-loop join driven by the per-column hash indexes of
+//! [`crate::Relation`]. The semi-naive strategy additionally maintains
+//! delta relations per recursive predicate and instantiates, for each rule
+//! and each body occurrence of a same-stratum predicate, a variant where
+//! that occurrence draws from the delta of the previous iteration.
+//!
+//! Negated literals may contain variables that occur nowhere else in the
+//! body; these are read as existentially quantified *inside* the negation
+//! (`¬∃Y p(X, Y)`), which is the convention the MultiLog reduction axioms
+//! (Figure 12 of the paper) rely on. Stratification guarantees the negated
+//! relation is fully computed before it is consulted.
+
+use std::collections::HashMap;
+
+use crate::atom::{Atom, Literal};
+use crate::clause::Clause;
+use crate::program::Program;
+use crate::storage::{Database, Fact, Relation};
+use crate::term::{Const, Term};
+use crate::{DatalogError, Result};
+
+/// Evaluation strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Re-derive everything each iteration; kept for validation/ablation.
+    Naive,
+    /// Delta-driven evaluation; the default.
+    #[default]
+    SemiNaive,
+}
+
+/// Counters describing an evaluation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Fixpoint iterations summed over all strata.
+    pub iterations: usize,
+    /// Number of rule-variant applications attempted.
+    pub rule_applications: usize,
+    /// Facts produced (including duplicates that were discarded).
+    pub facts_considered: usize,
+    /// Facts actually added to the database.
+    pub facts_added: usize,
+}
+
+/// A bottom-up evaluator for one program.
+pub struct Engine<'p> {
+    program: &'p Program,
+    strategy: Strategy,
+    fact_limit: usize,
+    strata: Vec<Vec<String>>,
+}
+
+impl<'p> Engine<'p> {
+    /// Create an engine, stratifying the program.
+    ///
+    /// # Errors
+    ///
+    /// [`DatalogError::NotStratifiable`] if negation occurs through
+    /// recursion.
+    pub fn new(program: &'p Program) -> Result<Self> {
+        let strat = program.stratify()?;
+        Ok(Engine {
+            program,
+            strategy: Strategy::SemiNaive,
+            fact_limit: 10_000_000,
+            strata: strat.iter().map(<[String]>::to_vec).collect(),
+        })
+    }
+
+    /// Select the evaluation strategy (default: semi-naive).
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Set the guard limit on the number of derived facts.
+    pub fn with_fact_limit(mut self, limit: usize) -> Self {
+        self.fact_limit = limit;
+        self
+    }
+
+    /// Evaluate to fixpoint and return the full database.
+    pub fn run(&self) -> Result<Database> {
+        Ok(self.run_with_stats()?.0)
+    }
+
+    /// Evaluate only the predicates the given query predicates depend on
+    /// — the practical counterpart of magic sets for ad hoc queries: the
+    /// answers over the restricted database coincide with those over the
+    /// full one, but unrelated relations are never materialized.
+    pub fn run_for_query<'a>(
+        &self,
+        query_preds: impl IntoIterator<Item = &'a str>,
+    ) -> Result<Database> {
+        let needed = self.program.dependencies_of(query_preds);
+        Ok(self.run_inner(Some(&needed))?.0)
+    }
+
+    /// Evaluate to fixpoint, also returning counters.
+    pub fn run_with_stats(&self) -> Result<(Database, EvalStats)> {
+        self.run_inner(None)
+    }
+
+    fn run_inner(
+        &self,
+        restrict: Option<&std::collections::HashSet<String>>,
+    ) -> Result<(Database, EvalStats)> {
+        let mut db = Database::new();
+        let mut stats = EvalStats::default();
+
+        // Ensure every predicate has a (possibly empty) relation so that
+        // negation over never-derived predicates works uniformly.
+        for pred in self.program.predicates() {
+            db.relation_mut(pred);
+        }
+
+        for stratum in &self.strata {
+            let in_stratum: HashMap<&str, ()> = stratum.iter().map(|s| (s.as_str(), ())).collect();
+            // Rules whose head is in this stratum (and, when restricted,
+            // in the query's dependency cone).
+            let rules: Vec<&Clause> = self
+                .program
+                .clauses()
+                .iter()
+                .filter(|c| in_stratum.contains_key(c.head.predicate.as_ref()))
+                .filter(|c| restrict.is_none_or(|n| n.contains(c.head.predicate.as_ref())))
+                .collect();
+            match self.strategy {
+                Strategy::Naive => {
+                    self.run_stratum_naive(&rules, &mut db, &mut stats)?;
+                }
+                Strategy::SemiNaive => {
+                    self.run_stratum_seminaive(&rules, &in_stratum, &mut db, &mut stats)?;
+                }
+            }
+        }
+        Ok((db, stats))
+    }
+
+    fn run_stratum_naive(
+        &self,
+        rules: &[&Clause],
+        db: &mut Database,
+        stats: &mut EvalStats,
+    ) -> Result<()> {
+        loop {
+            stats.iterations += 1;
+            let mut new_facts: Vec<(String, Fact)> = Vec::new();
+            for rule in rules {
+                stats.rule_applications += 1;
+                let derived = eval_rule(rule, db, None)?;
+                stats.facts_considered += derived.len();
+                for f in derived {
+                    new_facts.push((rule.head.predicate.to_string(), f));
+                }
+            }
+            let mut changed = false;
+            for (pred, fact) in new_facts {
+                if db.insert(&pred, fact) {
+                    stats.facts_added += 1;
+                    changed = true;
+                }
+            }
+            if db.fact_count() > self.fact_limit {
+                return Err(DatalogError::FactLimitExceeded {
+                    limit: self.fact_limit,
+                });
+            }
+            if !changed {
+                return Ok(());
+            }
+        }
+    }
+
+    fn run_stratum_seminaive(
+        &self,
+        rules: &[&Clause],
+        in_stratum: &HashMap<&str, ()>,
+        db: &mut Database,
+        stats: &mut EvalStats,
+    ) -> Result<()> {
+        // Iteration 0: apply every rule once against the current database
+        // (covers facts and rules whose bodies only use lower strata).
+        let mut delta: HashMap<String, Relation> = HashMap::new();
+        stats.iterations += 1;
+        for rule in rules {
+            stats.rule_applications += 1;
+            let derived = eval_rule(rule, db, None)?;
+            stats.facts_considered += derived.len();
+            for f in derived {
+                if db.insert(&rule.head.predicate, f.clone()) {
+                    stats.facts_added += 1;
+                    delta
+                        .entry(rule.head.predicate.to_string())
+                        .or_default()
+                        .insert(f);
+                }
+            }
+        }
+
+        while !delta.is_empty() {
+            stats.iterations += 1;
+            if db.fact_count() > self.fact_limit {
+                return Err(DatalogError::FactLimitExceeded {
+                    limit: self.fact_limit,
+                });
+            }
+            let mut next_delta: HashMap<String, Relation> = HashMap::new();
+            for rule in rules {
+                // One variant per body occurrence of a same-stratum
+                // predicate whose delta is non-empty.
+                for (pos, lit) in rule.body.iter().enumerate() {
+                    let Literal::Pos(atom) = lit else { continue };
+                    if !in_stratum.contains_key(atom.predicate.as_ref()) {
+                        continue;
+                    }
+                    let Some(d) = delta.get(atom.predicate.as_ref()) else {
+                        continue;
+                    };
+                    if d.is_empty() {
+                        continue;
+                    }
+                    stats.rule_applications += 1;
+                    let derived = eval_rule(rule, db, Some((pos, d)))?;
+                    stats.facts_considered += derived.len();
+                    for f in derived {
+                        if db.insert(&rule.head.predicate, f.clone()) {
+                            stats.facts_added += 1;
+                            next_delta
+                                .entry(rule.head.predicate.to_string())
+                                .or_default()
+                                .insert(f);
+                        }
+                    }
+                }
+            }
+            delta = next_delta;
+        }
+        Ok(())
+    }
+}
+
+/// Evaluate one rule against the database, optionally forcing body
+/// position `delta.0` to draw facts from `delta.1` instead of the full
+/// relation. Returns the head instantiations (possibly with duplicates).
+pub(crate) fn eval_rule(
+    rule: &Clause,
+    db: &Database,
+    delta: Option<(usize, &Relation)>,
+) -> Result<Vec<Fact>> {
+    let mut results = Vec::new();
+    let mut bindings: HashMap<&str, Const> = HashMap::new();
+    match_body(rule, 0, db, delta, &mut bindings, &mut results)?;
+    Ok(results)
+}
+
+fn match_body<'r>(
+    rule: &'r Clause,
+    pos: usize,
+    db: &Database,
+    delta: Option<(usize, &Relation)>,
+    bindings: &mut HashMap<&'r str, Const>,
+    results: &mut Vec<Fact>,
+) -> Result<()> {
+    if pos == rule.body.len() {
+        let fact: Fact = rule
+            .head
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => c.clone(),
+                Term::Var(v) => bindings
+                    .get(v.as_ref())
+                    .expect("safety check guarantees head vars are bound")
+                    .clone(),
+            })
+            .collect();
+        results.push(fact);
+        return Ok(());
+    }
+    match &rule.body[pos] {
+        Literal::Pos(atom) => {
+            let empty = Relation::new();
+            let rel: &Relation = match delta {
+                Some((dpos, d)) if dpos == pos => d,
+                _ => db.relation(&atom.predicate).unwrap_or(&empty),
+            };
+            let pattern = probe_pattern(atom, bindings);
+            // Collect matches eagerly: the borrow of `rel` must end before
+            // we mutate `bindings` if rel came from db; facts are cheap to
+            // clone (Arc-backed constants).
+            let matches: Vec<Fact> = rel.matching(&pattern).cloned().collect();
+            for fact in matches {
+                let mut bound_here: Vec<&str> = Vec::new();
+                let mut ok = true;
+                for (term, value) in atom.terms.iter().zip(&fact) {
+                    match term {
+                        Term::Const(c) => {
+                            if c != value {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        Term::Var(v) => match bindings.get(v.as_ref()) {
+                            Some(existing) => {
+                                if existing != value {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            None => {
+                                bindings.insert(v.as_ref(), value.clone());
+                                bound_here.push(v.as_ref());
+                            }
+                        },
+                    }
+                }
+                if ok {
+                    match_body(rule, pos + 1, db, delta, bindings, results)?;
+                }
+                for v in bound_here {
+                    bindings.remove(v);
+                }
+            }
+            Ok(())
+        }
+        Literal::Neg(atom) => {
+            let empty = Relation::new();
+            let rel = db.relation(&atom.predicate).unwrap_or(&empty);
+            let pattern = probe_pattern(atom, bindings);
+            // ¬∃(free vars): any matching fact that is consistent with the
+            // repeated-variable constraints refutes the literal.
+            let exists = rel
+                .matching(&pattern)
+                .any(|fact| consistent_with_repeats(atom, fact, bindings));
+            if exists {
+                Ok(())
+            } else {
+                match_body(rule, pos + 1, db, delta, bindings, results)
+            }
+        }
+        Literal::Cmp { op, lhs, rhs } => {
+            let l = resolve(lhs, bindings);
+            let r = resolve(rhs, bindings);
+            let (l, r) = (
+                l.expect("safety check guarantees cmp vars are bound"),
+                r.expect("safety check guarantees cmp vars are bound"),
+            );
+            if op.eval(&l, &r)? {
+                match_body(rule, pos + 1, db, delta, bindings, results)
+            } else {
+                Ok(())
+            }
+        }
+        Literal::Arith {
+            target,
+            lhs,
+            op,
+            rhs,
+        } => {
+            let as_int = |t: &Term| -> Result<i64> {
+                match resolve(t, bindings)
+                    .expect("safety check guarantees arith operands are bound")
+                {
+                    Const::Int(i) => Ok(i),
+                    other => Err(DatalogError::IncomparableTerms {
+                        left: other.to_string(),
+                        right: "integer".to_owned(),
+                    }),
+                }
+            };
+            let value = Const::Int(op.eval(as_int(lhs)?, as_int(rhs)?)?);
+            match target {
+                Term::Const(c) => {
+                    if *c == value {
+                        match_body(rule, pos + 1, db, delta, bindings, results)
+                    } else {
+                        Ok(())
+                    }
+                }
+                Term::Var(v) => match bindings.get(v.as_ref()) {
+                    Some(existing) => {
+                        if *existing == value {
+                            match_body(rule, pos + 1, db, delta, bindings, results)
+                        } else {
+                            Ok(())
+                        }
+                    }
+                    None => {
+                        bindings.insert(v.as_ref(), value);
+                        let r = match_body(rule, pos + 1, db, delta, bindings, results);
+                        bindings.remove(v.as_ref());
+                        r
+                    }
+                },
+            }
+        }
+    }
+}
+
+/// Build the index probe pattern for an atom under current bindings.
+fn probe_pattern(atom: &Atom, bindings: &HashMap<&str, Const>) -> Vec<Option<Const>> {
+    atom.terms
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => Some(c.clone()),
+            Term::Var(v) => bindings.get(v.as_ref()).cloned(),
+        })
+        .collect()
+}
+
+/// For a negated atom with repeated free variables (`not p(Y, Y)`), check
+/// that a candidate fact actually unifies with the atom.
+fn consistent_with_repeats(atom: &Atom, fact: &[Const], bindings: &HashMap<&str, Const>) -> bool {
+    let mut local: HashMap<&str, &Const> = HashMap::new();
+    for (term, value) in atom.terms.iter().zip(fact) {
+        match term {
+            Term::Const(c) => {
+                if c != value {
+                    return false;
+                }
+            }
+            Term::Var(v) => {
+                if let Some(b) = bindings.get(v.as_ref()) {
+                    if b != value {
+                        return false;
+                    }
+                } else if let Some(prev) = local.insert(v.as_ref(), value) {
+                    if prev != value {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+fn resolve(term: &Term, bindings: &HashMap<&str, Const>) -> Option<Const> {
+    match term {
+        Term::Const(c) => Some(c.clone()),
+        Term::Var(v) => bindings.get(v.as_ref()).cloned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn run(src: &str) -> Database {
+        let p = parse_program(src).unwrap();
+        Engine::new(&p).unwrap().run().unwrap()
+    }
+
+    fn run_naive(src: &str) -> Database {
+        let p = parse_program(src).unwrap();
+        Engine::new(&p)
+            .unwrap()
+            .with_strategy(Strategy::Naive)
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn transitive_closure() {
+        let db = run("edge(a, b). edge(b, c). edge(c, d).\
+             path(X, Y) :- edge(X, Y).\
+             path(X, Y) :- edge(X, Z), path(Z, Y).");
+        assert_eq!(db.relation("path").unwrap().len(), 6);
+        assert!(db.contains("path", &[Const::sym("a"), Const::sym("d")]));
+    }
+
+    #[test]
+    fn naive_equals_seminaive_on_closure() {
+        let src = "edge(a, b). edge(b, c). edge(c, a).\
+             path(X, Y) :- edge(X, Y).\
+             path(X, Y) :- path(X, Z), path(Z, Y).";
+        let a = run(src);
+        let b = run_naive(src);
+        assert_eq!(
+            a.relation("path").unwrap().sorted(),
+            b.relation("path").unwrap().sorted()
+        );
+        assert_eq!(a.relation("path").unwrap().len(), 9); // complete digraph on 3
+    }
+
+    #[test]
+    fn stratified_negation_complement() {
+        let db = run("node(a). node(b). node(c). edge(a, b).\
+             reached(b).\
+             unreachable(X) :- node(X), not reached(X).");
+        let u = db.relation("unreachable").unwrap();
+        assert_eq!(u.len(), 2);
+        assert!(u.contains(&[Const::sym("a")]));
+        assert!(u.contains(&[Const::sym("c")]));
+    }
+
+    #[test]
+    fn negation_with_free_variable_is_not_exists() {
+        // q(X) :- p(X), not r(X, Y): succeed iff no Y at all.
+        let db = run("p(a). p(b). r(a, z).\
+             q(X) :- p(X), not r(X, Y).");
+        let q = db.relation("q").unwrap();
+        assert_eq!(q.len(), 1);
+        assert!(q.contains(&[Const::sym("b")]));
+    }
+
+    #[test]
+    fn negation_with_repeated_free_variables() {
+        // not r(Y, Y): refuted only by a diagonal fact.
+        let db = run("p(a). r(x, y).\
+             q(X) :- p(X), not r(Y, Y).");
+        assert_eq!(db.relation("q").unwrap().len(), 1);
+        let db = run("p(a). r(x, x).\
+             q(X) :- p(X), not r(Y, Y).");
+        assert_eq!(db.relation("q").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn comparisons_filter() {
+        let db = run("n(1). n(2). n(3).\
+             big(X) :- n(X), X >= 2.\
+             pair(X, Y) :- n(X), n(Y), X < Y.");
+        assert_eq!(db.relation("big").unwrap().len(), 2);
+        assert_eq!(db.relation("pair").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn repeated_variable_in_positive_atom() {
+        let db = run("e(a, a). e(a, b).\
+             loop(X) :- e(X, X).");
+        let l = db.relation("loop").unwrap();
+        assert_eq!(l.len(), 1);
+        assert!(l.contains(&[Const::sym("a")]));
+    }
+
+    #[test]
+    fn zero_arity_predicates() {
+        let db = run("go. done :- go.");
+        assert!(db.contains("done", &[]));
+    }
+
+    #[test]
+    fn same_generation() {
+        let db = run("person(a). person(b). person(c). person(d). person(e).\
+             par(a, c). par(b, c). par(c, e). par(d, e).\
+             sg(X, X) :- person(X).\
+             sg(X, Y) :- par(X, Z), par(Y, W), sg(Z, W).");
+        let sg = db.relation("sg").unwrap();
+        assert!(sg.contains(&[Const::sym("a"), Const::sym("b")]));
+        assert!(sg.contains(&[Const::sym("c"), Const::sym("d")]));
+        assert!(!sg.contains(&[Const::sym("a"), Const::sym("d")]));
+    }
+
+    #[test]
+    fn multi_stratum_pipeline() {
+        let db = run("e(a, b). e(b, c).\
+             t(X, Y) :- e(X, Y).\
+             t(X, Y) :- e(X, Z), t(Z, Y).\
+             nt(X, Y) :- t(X, X1), t(Y1, Y), not t(X, Y).\
+             ok(X) :- t(X, Y), not nt(X, Y).");
+        // nt pairs: (b,b)? t = {ab,bc,ac}. Endpoints X in {a,b}, Y in {b,c}.
+        // not t(X,Y): (b,b) only. So nt = {(b,b)}.
+        assert_eq!(db.relation("nt").unwrap().len(), 1);
+        assert!(db.contains("nt", &[Const::sym("b"), Const::sym("b")]));
+    }
+
+    #[test]
+    fn fact_limit_guard() {
+        let p = parse_program(
+            "n(1). n(2). n(3). n(4). n(5).\
+             p(A, B, C, D) :- n(A), n(B), n(C), n(D).",
+        )
+        .unwrap();
+        let err = Engine::new(&p)
+            .unwrap()
+            .with_fact_limit(100)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, DatalogError::FactLimitExceeded { .. }));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let p = parse_program(
+            "edge(a, b). edge(b, c).\
+             path(X, Y) :- edge(X, Y).\
+             path(X, Y) :- edge(X, Z), path(Z, Y).",
+        )
+        .unwrap();
+        let (_, stats) = Engine::new(&p).unwrap().run_with_stats().unwrap();
+        assert!(stats.iterations >= 2);
+        assert!(stats.facts_added >= 5);
+        assert!(stats.rule_applications > 0);
+    }
+
+    #[test]
+    fn seminaive_does_less_work_than_naive() {
+        // Long chain: naive re-derives everything every iteration.
+        let mut src = String::new();
+        for i in 0..30 {
+            src.push_str(&format!("edge(n{}, n{}).\n", i, i + 1));
+        }
+        src.push_str("path(X, Y) :- edge(X, Y). path(X, Y) :- edge(X, Z), path(Z, Y).");
+        let p = parse_program(&src).unwrap();
+        let (db_s, s) = Engine::new(&p).unwrap().run_with_stats().unwrap();
+        let (db_n, n) = Engine::new(&p)
+            .unwrap()
+            .with_strategy(Strategy::Naive)
+            .run_with_stats()
+            .unwrap();
+        assert_eq!(
+            db_s.relation("path").unwrap().sorted(),
+            db_n.relation("path").unwrap().sorted()
+        );
+        assert!(
+            s.facts_considered < n.facts_considered,
+            "semi-naive {} vs naive {}",
+            s.facts_considered,
+            n.facts_considered
+        );
+    }
+
+    #[test]
+    fn empty_program_runs() {
+        let db = run("");
+        assert_eq!(db.fact_count(), 0);
+    }
+
+    #[test]
+    fn rule_over_missing_relation_is_empty() {
+        let db = run("p(X) :- q(X). q(X) :- r(X, X).");
+        assert_eq!(db.relation("p").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn constants_in_rule_heads_and_bodies() {
+        let db = run("color(car, red). color(bus, blue).\
+             is_red(X) :- color(X, red).\
+             flag(found) :- color(car, red).");
+        assert!(db.contains("is_red", &[Const::sym("car")]));
+        assert!(db.contains("flag", &[Const::sym("found")]));
+    }
+}

@@ -1,0 +1,84 @@
+//! A from-scratch Datalog engine with stratified negation and semi-naive
+//! bottom-up evaluation.
+//!
+//! This crate is the substitute for the CORAL deductive database that the
+//! paper *"Belief Reasoning in MLS Deductive Databases"* (Jamil, SIGMOD
+//! 1999) uses as the back-end of its reduction semantics (§6). The
+//! MultiLog-to-Datalog translation τ together with the fixed axiom set
+//! **A** of Figure 12 only requires the Horn fragment with stratified
+//! negation and built-in comparisons — exactly what this engine provides:
+//!
+//! * Terms: cheaply clonable symbolic constants, 64-bit integers, and
+//!   variables.
+//! * Clauses with positive literals, *negated* literals, and comparison
+//!   built-ins (`=`, `!=`, `<`, `<=`, `>`, `>=`).
+//! * Range-restriction (safety) checking.
+//! * Predicate dependency analysis and stratification (negation must not
+//!   occur inside a recursive component).
+//! * Both **naive** and **semi-naive** bottom-up evaluation — the naive
+//!   evaluator exists so the semi-naive one can be validated against it
+//!   and ablated in the benchmark suite.
+//! * A recursive-descent parser for a conventional textual syntax.
+//!
+//! # Example
+//!
+//! ```
+//! use multilog_datalog::{parse_program, Engine};
+//!
+//! let program = parse_program(
+//!     r#"
+//!     edge(a, b). edge(b, c). edge(c, d).
+//!     path(X, Y) :- edge(X, Y).
+//!     path(X, Y) :- edge(X, Z), path(Z, Y).
+//!     "#,
+//! )
+//! .unwrap();
+//! let db = Engine::new(&program).unwrap().run().unwrap();
+//! assert_eq!(db.relation("path").unwrap().len(), 6);
+//! ```
+//!
+//! Arithmetic built-ins and query-restricted evaluation:
+//!
+//! ```
+//! use multilog_datalog::{parse_program, Const, Engine};
+//!
+//! let program = parse_program(
+//!     r#"
+//!     fib(0, 0). fib(1, 1).
+//!     fib(N, F) :- fib(N1, F1), fib(N2, F2), N2 = N1 + 1, N2 < 12,
+//!                  N = N2 + 1, F = F1 + F2.
+//!     unrelated(X, Y) :- fib(X, _1), fib(Y, _2).
+//!     "#,
+//! )
+//! .unwrap();
+//! // Only `fib`'s dependency cone is materialized.
+//! let db = Engine::new(&program).unwrap().run_for_query(["fib"]).unwrap();
+//! assert!(db.contains("fib", &[Const::int(12), Const::int(144)]));
+//! assert_eq!(db.relation("unrelated").unwrap().len(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod atom;
+mod clause;
+mod error;
+mod eval;
+mod parser;
+mod program;
+mod query;
+mod storage;
+mod term;
+
+pub use atom::{ArithOp, Atom, CmpOp, Literal};
+pub use clause::Clause;
+pub use error::DatalogError;
+pub use eval::{Engine, EvalStats, Strategy};
+pub use parser::{parse_atom, parse_clause, parse_program, parse_query};
+pub use program::{Program, Stratification};
+pub use query::{run_query, Bindings, QueryAnswer};
+pub use storage::{Database, Relation};
+pub use term::{Const, Term};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DatalogError>;

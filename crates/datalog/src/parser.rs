@@ -1,0 +1,656 @@
+//! Recursive-descent parser for the textual Datalog syntax.
+//!
+//! Grammar (conventional):
+//!
+//! ```text
+//! program  := clause*
+//! clause   := atom ( ":-" body )? "."
+//! query    := "?-" body "."
+//! body     := literal ("," literal)*
+//! literal  := "not" atom | atom | term cmp term
+//!           | term "=" term ("+" | "-" | "*" | "/" | "%") term
+//! atom     := IDENT ( "(" term ("," term)* ")" )?
+//! term     := VARIABLE | IDENT | INTEGER | STRING
+//! cmp      := "=" | "!=" | "<" | "<=" | ">" | ">="
+//! ```
+//!
+//! Identifiers starting with a lowercase letter are symbols; identifiers
+//! starting with an uppercase letter or `_` are variables; `%` starts a
+//! line comment. Quoted strings are symbols that need not lex as bare
+//! identifiers.
+
+use crate::atom::{ArithOp, Atom, CmpOp, Literal};
+use crate::clause::Clause;
+use crate::program::Program;
+use crate::term::Term;
+use crate::{DatalogError, Result};
+
+/// Parse a full program.
+pub fn parse_program(src: &str) -> Result<Program> {
+    let tokens = lex(src)?;
+    let mut p = Parser::new(tokens);
+    let mut clauses = Vec::new();
+    while !p.at_end() {
+        clauses.push(p.clause()?);
+    }
+    Program::from_clauses(clauses)
+}
+
+/// Parse a single clause (must consume all input).
+pub fn parse_clause(src: &str) -> Result<Clause> {
+    let tokens = lex(src)?;
+    let mut p = Parser::new(tokens);
+    let c = p.clause()?;
+    p.expect_end()?;
+    Ok(c)
+}
+
+/// Parse a single atom, e.g. for queries: `path(X, b)`.
+pub fn parse_atom(src: &str) -> Result<Atom> {
+    let tokens = lex(src)?;
+    let mut p = Parser::new(tokens);
+    let a = p.atom()?;
+    p.expect_end()?;
+    Ok(a)
+}
+
+/// Parse a query body: `?- p(X), not q(X).` (the `?-` and `.` optional).
+pub fn parse_query(src: &str) -> Result<Vec<Literal>> {
+    let tokens = lex(src)?;
+    let mut p = Parser::new(tokens);
+    if p.peek_is(&TokenKind::QueryArrow) {
+        p.advance();
+    }
+    let body = p.body()?;
+    if p.peek_is(&TokenKind::Dot) {
+        p.advance();
+    }
+    p.expect_end()?;
+    Ok(body)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum TokenKind {
+    Ident(String),    // lowercase-leading
+    Variable(String), // uppercase/underscore-leading
+    Integer(i64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Rule,       // :-
+    QueryArrow, // ?-
+    Cmp(CmpOp),
+    Arith(ArithOp),
+    Not,
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    kind: TokenKind,
+    line: usize,
+    column: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut chars = src.char_indices().peekable();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let err = |line: usize, column: usize, message: String| DatalogError::Parse {
+        line,
+        column,
+        message,
+    };
+
+    while let Some(&(_, ch)) = chars.peek() {
+        let (tl, tc) = (line, col);
+        let bump = |c: char, line: &mut usize, col: &mut usize| {
+            if c == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+        };
+        match ch {
+            c if c.is_whitespace() => {
+                chars.next();
+                bump(c, &mut line, &mut col);
+            }
+            '%' => {
+                // Line comment.
+                for (_, c) in chars.by_ref() {
+                    bump(c, &mut line, &mut col);
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            '(' | ')' | ',' | '.' => {
+                chars.next();
+                bump(ch, &mut line, &mut col);
+                let kind = match ch {
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    ',' => TokenKind::Comma,
+                    _ => TokenKind::Dot,
+                };
+                tokens.push(Token {
+                    kind,
+                    line: tl,
+                    column: tc,
+                });
+            }
+            ':' => {
+                chars.next();
+                bump(':', &mut line, &mut col);
+                match chars.peek() {
+                    Some(&(_, '-')) => {
+                        chars.next();
+                        bump('-', &mut line, &mut col);
+                        tokens.push(Token {
+                            kind: TokenKind::Rule,
+                            line: tl,
+                            column: tc,
+                        });
+                    }
+                    _ => return Err(err(tl, tc, "expected `:-`".into())),
+                }
+            }
+            '?' => {
+                chars.next();
+                bump('?', &mut line, &mut col);
+                match chars.peek() {
+                    Some(&(_, '-')) => {
+                        chars.next();
+                        bump('-', &mut line, &mut col);
+                        tokens.push(Token {
+                            kind: TokenKind::QueryArrow,
+                            line: tl,
+                            column: tc,
+                        });
+                    }
+                    _ => return Err(err(tl, tc, "expected `?-`".into())),
+                }
+            }
+            '=' => {
+                chars.next();
+                bump('=', &mut line, &mut col);
+                tokens.push(Token {
+                    kind: TokenKind::Cmp(CmpOp::Eq),
+                    line: tl,
+                    column: tc,
+                });
+            }
+            '!' => {
+                chars.next();
+                bump('!', &mut line, &mut col);
+                match chars.peek() {
+                    Some(&(_, '=')) => {
+                        chars.next();
+                        bump('=', &mut line, &mut col);
+                        tokens.push(Token {
+                            kind: TokenKind::Cmp(CmpOp::Ne),
+                            line: tl,
+                            column: tc,
+                        });
+                    }
+                    _ => return Err(err(tl, tc, "expected `!=`".into())),
+                }
+            }
+            '<' | '>' => {
+                chars.next();
+                bump(ch, &mut line, &mut col);
+                let eq = matches!(chars.peek(), Some(&(_, '=')));
+                if eq {
+                    chars.next();
+                    bump('=', &mut line, &mut col);
+                }
+                let op = match (ch, eq) {
+                    ('<', false) => CmpOp::Lt,
+                    ('<', true) => CmpOp::Le,
+                    ('>', false) => CmpOp::Gt,
+                    ('>', true) => CmpOp::Ge,
+                    _ => unreachable!(),
+                };
+                tokens.push(Token {
+                    kind: TokenKind::Cmp(op),
+                    line: tl,
+                    column: tc,
+                });
+            }
+            '"' => {
+                chars.next();
+                bump('"', &mut line, &mut col);
+                let mut s = String::new();
+                let mut closed = false;
+                while let Some(&(_, c)) = chars.peek() {
+                    chars.next();
+                    bump(c, &mut line, &mut col);
+                    match c {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => {
+                            let esc = chars
+                                .peek()
+                                .map(|&(_, e)| e)
+                                .ok_or_else(|| err(line, col, "unterminated escape".into()))?;
+                            chars.next();
+                            bump(esc, &mut line, &mut col);
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                other => other,
+                            });
+                        }
+                        other => s.push(other),
+                    }
+                }
+                if !closed {
+                    return Err(err(tl, tc, "unterminated string literal".into()));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line: tl,
+                    column: tc,
+                });
+            }
+            '+' | '*' | '/' => {
+                chars.next();
+                bump(ch, &mut line, &mut col);
+                let op = match ch {
+                    '+' => ArithOp::Add,
+                    '*' => ArithOp::Mul,
+                    _ => ArithOp::Div,
+                };
+                tokens.push(Token {
+                    kind: TokenKind::Arith(op),
+                    line: tl,
+                    column: tc,
+                });
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                chars.next();
+                bump(c, &mut line, &mut col);
+                // A `-` directly after a value-like token is subtraction;
+                // otherwise it introduces a negative integer literal.
+                if c == '-' {
+                    let after_value = matches!(
+                        tokens.last().map(|t| &t.kind),
+                        Some(
+                            TokenKind::Integer(_)
+                                | TokenKind::Ident(_)
+                                | TokenKind::Variable(_)
+                                | TokenKind::RParen
+                        )
+                    );
+                    if after_value || !chars.peek().is_some_and(|&(_, d)| d.is_ascii_digit()) {
+                        tokens.push(Token {
+                            kind: TokenKind::Arith(ArithOp::Sub),
+                            line: tl,
+                            column: tc,
+                        });
+                        continue;
+                    }
+                }
+                let mut text = String::new();
+                text.push(c);
+                while let Some(&(_, d)) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        text.push(d);
+                        chars.next();
+                        bump(d, &mut line, &mut col);
+                    } else {
+                        break;
+                    }
+                }
+                if text == "-" {
+                    return Err(err(tl, tc, "`-` is not a token; expected integer".into()));
+                }
+                let i: i64 = text
+                    .parse()
+                    .map_err(|_| err(tl, tc, format!("integer out of range: {text}")))?;
+                tokens.push(Token {
+                    kind: TokenKind::Integer(i),
+                    line: tl,
+                    column: tc,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while let Some(&(_, d)) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        text.push(d);
+                        chars.next();
+                        bump(d, &mut line, &mut col);
+                    } else {
+                        break;
+                    }
+                }
+                let kind = if text == "not" {
+                    TokenKind::Not
+                } else if text == "mod" {
+                    // `mod` is reserved as the remainder operator (`%`
+                    // already starts comments in this syntax).
+                    TokenKind::Arith(ArithOp::Rem)
+                } else if text.starts_with(|c: char| c.is_uppercase() || c == '_') {
+                    TokenKind::Variable(text)
+                } else {
+                    TokenKind::Ident(text)
+                };
+                tokens.push(Token {
+                    kind,
+                    line: tl,
+                    column: tc,
+                });
+            }
+            other => {
+                return Err(err(tl, tc, format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_is(&self, kind: &TokenKind) -> bool {
+        self.peek().is_some_and(|t| &t.kind == kind)
+    }
+
+    fn advance(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error_here(&self, message: impl Into<String>) -> DatalogError {
+        let (line, column) = self
+            .peek()
+            .or_else(|| self.tokens.last())
+            .map_or((1, 1), |t| (t.line, t.column));
+        DatalogError::Parse {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<()> {
+        if self.peek_is(&kind) {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected {what}")))
+        }
+    }
+
+    fn expect_end(&self) -> Result<()> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            Err(self.error_here("expected end of input"))
+        }
+    }
+
+    fn clause(&mut self) -> Result<Clause> {
+        let head = self.atom()?;
+        let body = if self.peek_is(&TokenKind::Rule) {
+            self.advance();
+            self.body()?
+        } else {
+            Vec::new()
+        };
+        self.expect(TokenKind::Dot, "`.` at end of clause")?;
+        Ok(Clause::new(head, body))
+    }
+
+    fn body(&mut self) -> Result<Vec<Literal>> {
+        let mut out = vec![self.literal()?];
+        while self.peek_is(&TokenKind::Comma) {
+            self.advance();
+            out.push(self.literal()?);
+        }
+        Ok(out)
+    }
+
+    fn literal(&mut self) -> Result<Literal> {
+        if self.peek_is(&TokenKind::Not) {
+            self.advance();
+            return Ok(Literal::Neg(self.atom()?));
+        }
+        // Could be an atom or a comparison; a comparison starts with a term
+        // followed by an operator. An atom starts with an identifier; if the
+        // identifier is followed by a comparison operator, it was a term.
+        let start = self.pos;
+        if let Ok(term) = self.term() {
+            if let Some(Token {
+                kind: TokenKind::Cmp(op),
+                ..
+            }) = self.peek()
+            {
+                let op = *op;
+                self.advance();
+                let rhs = self.term()?;
+                // `T = X op Y` is an arithmetic built-in.
+                if op == CmpOp::Eq {
+                    if let Some(Token {
+                        kind: TokenKind::Arith(aop),
+                        ..
+                    }) = self.peek()
+                    {
+                        let aop = *aop;
+                        self.advance();
+                        let rhs2 = self.term()?;
+                        return Ok(Literal::Arith {
+                            target: term,
+                            lhs: rhs,
+                            op: aop,
+                            rhs: rhs2,
+                        });
+                    }
+                }
+                return Ok(Literal::Cmp { op, lhs: term, rhs });
+            }
+        }
+        self.pos = start;
+        Ok(Literal::Pos(self.atom()?))
+    }
+
+    fn atom(&mut self) -> Result<Atom> {
+        let name = match self.advance() {
+            Some(Token {
+                kind: TokenKind::Ident(name),
+                ..
+            }) => name.clone(),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.error_here("expected predicate name"));
+            }
+        };
+        let mut terms = Vec::new();
+        if self.peek_is(&TokenKind::LParen) {
+            self.advance();
+            terms.push(self.term()?);
+            while self.peek_is(&TokenKind::Comma) {
+                self.advance();
+                terms.push(self.term()?);
+            }
+            self.expect(TokenKind::RParen, "`)`")?;
+        }
+        Ok(Atom::new(name, terms))
+    }
+
+    fn term(&mut self) -> Result<Term> {
+        match self.peek().cloned() {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                ..
+            }) => {
+                self.advance();
+                // An identifier followed by `(` is an atom, not a term.
+                if self.peek_is(&TokenKind::LParen) {
+                    self.pos -= 1;
+                    return Err(self.error_here("expected term, found atom"));
+                }
+                Ok(Term::sym(s))
+            }
+            Some(Token {
+                kind: TokenKind::Variable(v),
+                ..
+            }) => {
+                self.advance();
+                Ok(Term::var(v))
+            }
+            Some(Token {
+                kind: TokenKind::Integer(i),
+                ..
+            }) => {
+                self.advance();
+                Ok(Term::int(i))
+            }
+            Some(Token {
+                kind: TokenKind::Str(s),
+                ..
+            }) => {
+                self.advance();
+                Ok(Term::sym(s))
+            }
+            _ => Err(self.error_here("expected term")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_facts_and_rules() {
+        let p = parse_program(
+            r#"
+            % the classic
+            edge(a, b). edge(b, c).
+            path(X, Y) :- edge(X, Y).
+            path(X, Y) :- edge(X, Z), path(Z, Y).
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.arity("path"), Some(2));
+    }
+
+    #[test]
+    fn parses_negation_and_comparisons() {
+        let c = parse_clause("p(X) :- q(X, Y), not r(Y), X != Y, Y >= 3.").unwrap();
+        assert_eq!(c.body.len(), 4);
+        assert_eq!(c.to_string(), "p(X) :- q(X, Y), not r(Y), X != Y, Y >= 3.");
+    }
+
+    #[test]
+    fn parses_zero_arity() {
+        let c = parse_clause("halt :- done.").unwrap();
+        assert_eq!(c.head.arity(), 0);
+    }
+
+    #[test]
+    fn parses_strings_and_negatives() {
+        let c = parse_clause(r#"p("Outer Space", -42)."#).unwrap();
+        assert_eq!(c.head.terms[0], Term::sym("Outer Space"));
+        assert_eq!(c.head.terms[1], Term::int(-42));
+    }
+
+    #[test]
+    fn parses_query() {
+        let q = parse_query("?- path(X, c), not edge(X, c).").unwrap();
+        assert_eq!(q.len(), 2);
+        let q = parse_query("path(X, c)").unwrap();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn parse_atom_standalone() {
+        let a = parse_atom("bel(P, K, A, V, C, H, cau)").unwrap();
+        assert_eq!(a.arity(), 7);
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse_program("p(a)\nq(b).").unwrap_err();
+        match err {
+            DatalogError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(parse_program(r#"p("oops)."#).is_err());
+    }
+
+    #[test]
+    fn rejects_lone_colon() {
+        assert!(parse_program("p(a) : q(b).").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_char() {
+        assert!(parse_program("p(a) & q(b).").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_dot() {
+        assert!(parse_clause("p(a)").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_tokens_in_clause() {
+        assert!(parse_clause("p(a). q(b).").is_err());
+    }
+
+    #[test]
+    fn escapes_in_strings() {
+        let c = parse_clause(r#"p("a\"b\nc")."#).unwrap();
+        assert_eq!(c.head.terms[0], Term::sym("a\"b\nc"));
+    }
+
+    #[test]
+    fn variable_and_underscore() {
+        let c = parse_clause("p(X) :- q(X, _Ignored).").unwrap();
+        assert_eq!(c.body[0].variables(), vec!["X", "_Ignored"]);
+    }
+
+    #[test]
+    fn comment_at_eof() {
+        let p = parse_program("p(a). % trailing comment").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn comparison_between_constants() {
+        let c = parse_clause("p(X) :- q(X), 1 < 2.").unwrap();
+        assert!(matches!(c.body[1], Literal::Cmp { op: CmpOp::Lt, .. }));
+    }
+}

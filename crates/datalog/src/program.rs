@@ -1,0 +1,324 @@
+//! Programs: clause collections with arity checking, dependency analysis,
+//! and stratification.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::atom::Literal;
+use crate::clause::Clause;
+use crate::{DatalogError, Result};
+
+/// A validated Datalog program.
+#[derive(Clone, Default)]
+pub struct Program {
+    clauses: Vec<Clause>,
+    /// Predicate name → arity.
+    arities: HashMap<Arc<str>, usize>,
+}
+
+impl Program {
+    /// Create an empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Build a program from clauses, checking safety and arity consistency.
+    pub fn from_clauses(clauses: Vec<Clause>) -> Result<Self> {
+        let mut p = Program::new();
+        for c in clauses {
+            p.push(c)?;
+        }
+        Ok(p)
+    }
+
+    /// Add one clause, validating it.
+    pub fn push(&mut self, clause: Clause) -> Result<()> {
+        clause.check_safety()?;
+        self.check_arity(&clause)?;
+        self.clauses.push(clause);
+        Ok(())
+    }
+
+    /// Append all clauses of another program.
+    pub fn extend(&mut self, other: &Program) -> Result<()> {
+        for c in &other.clauses {
+            self.push(c.clone())?;
+        }
+        Ok(())
+    }
+
+    fn check_arity(&mut self, clause: &Clause) -> Result<()> {
+        let mut check = |pred: &Arc<str>, arity: usize| -> Result<()> {
+            match self.arities.get(pred) {
+                Some(&a) if a != arity => Err(DatalogError::ArityMismatch {
+                    predicate: pred.to_string(),
+                    expected: a,
+                    found: arity,
+                }),
+                Some(_) => Ok(()),
+                None => {
+                    self.arities.insert(pred.clone(), arity);
+                    Ok(())
+                }
+            }
+        };
+        check(&clause.head.predicate, clause.head.arity())?;
+        for l in &clause.body {
+            if let Some(a) = l.atom() {
+                check(&a.predicate, a.arity())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The clauses in insertion order.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// The declared arity of a predicate, if seen.
+    pub fn arity(&self, predicate: &str) -> Option<usize> {
+        self.arities.get(predicate).copied()
+    }
+
+    /// All predicate names, sorted.
+    pub fn predicates(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.arities.keys().map(|k| k.as_ref()).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether the program has no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// The set of predicates the given seed predicates depend on
+    /// (transitively, through positive and negative body literals),
+    /// including the seeds themselves. Used for query-restricted
+    /// evaluation: predicates outside this set cannot influence the
+    /// query's answers.
+    pub fn dependencies_of<'a>(
+        &self,
+        seeds: impl IntoIterator<Item = &'a str>,
+    ) -> std::collections::HashSet<String> {
+        let mut needed: std::collections::HashSet<String> =
+            seeds.into_iter().map(str::to_owned).collect();
+        loop {
+            let mut changed = false;
+            for c in &self.clauses {
+                if !needed.contains(c.head.predicate.as_ref()) {
+                    continue;
+                }
+                for l in &c.body {
+                    if let Some(a) = l.atom() {
+                        if needed.insert(a.predicate.to_string()) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return needed;
+            }
+        }
+    }
+
+    /// Compute a stratification of the program.
+    ///
+    /// Predicates are assigned to strata such that positive dependencies
+    /// stay within or below a stratum and negative dependencies point
+    /// strictly below. Errors with [`DatalogError::NotStratifiable`] when a
+    /// predicate depends negatively on itself through recursion.
+    pub fn stratify(&self) -> Result<Stratification> {
+        // Collect predicate ids.
+        let preds: Vec<&str> = self.predicates();
+        let id: HashMap<&str, usize> = preds.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let n = preds.len();
+
+        // stratum[p] via the standard iterative algorithm:
+        //   pos edge q -> head: stratum(head) >= stratum(q)
+        //   neg edge q -> head: stratum(head) >= stratum(q) + 1
+        // Iterate to fixpoint; if any stratum exceeds n, there is a negative
+        // cycle.
+        let mut stratum = vec![0usize; n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for c in &self.clauses {
+                let h = id[c.head.predicate.as_ref()];
+                for l in &c.body {
+                    let (q, delta) = match l {
+                        Literal::Pos(a) => (id[a.predicate.as_ref()], 0),
+                        Literal::Neg(a) => (id[a.predicate.as_ref()], 1),
+                        Literal::Cmp { .. } | Literal::Arith { .. } => continue,
+                    };
+                    let need = stratum[q] + delta;
+                    if stratum[h] < need {
+                        if need > n {
+                            return Err(DatalogError::NotStratifiable {
+                                predicate: c.head.predicate.to_string(),
+                            });
+                        }
+                        stratum[h] = need;
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        let max = stratum.iter().copied().max().unwrap_or(0);
+        let mut strata: Vec<Vec<String>> = vec![Vec::new(); max + 1];
+        for (i, &s) in stratum.iter().enumerate() {
+            strata[s].push(preds[i].to_owned());
+        }
+        let by_pred = preds
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p.to_owned(), stratum[i]))
+            .collect();
+        Ok(Stratification { strata, by_pred })
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.clauses {
+            writeln!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Program({} clauses)", self.clauses.len())
+    }
+}
+
+/// A stratification: predicates grouped into evaluation layers.
+#[derive(Clone, Debug)]
+pub struct Stratification {
+    strata: Vec<Vec<String>>,
+    by_pred: HashMap<String, usize>,
+}
+
+impl Stratification {
+    /// The number of strata.
+    pub fn len(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// Whether there are no strata (empty program).
+    pub fn is_empty(&self) -> bool {
+        self.strata.is_empty()
+    }
+
+    /// The predicates of stratum `i` (sorted).
+    pub fn stratum(&self, i: usize) -> &[String] {
+        &self.strata[i]
+    }
+
+    /// The stratum index of a predicate.
+    pub fn stratum_of(&self, predicate: &str) -> Option<usize> {
+        self.by_pred.get(predicate).copied()
+    }
+
+    /// Iterate over strata, lowest first.
+    pub fn iter(&self) -> impl Iterator<Item = &[String]> {
+        self.strata.iter().map(Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let err = parse_program("p(a). p(a, b).").unwrap_err();
+        assert!(matches!(err, DatalogError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn arity_mismatch_in_body() {
+        let err = parse_program("p(a). q(X) :- p(X, X).").unwrap_err();
+        assert!(matches!(err, DatalogError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn positive_recursion_single_stratum() {
+        let p = parse_program(
+            "edge(a, b). path(X, Y) :- edge(X, Y). path(X, Y) :- edge(X, Z), path(Z, Y).",
+        )
+        .unwrap();
+        let s = p.stratify().unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.stratum_of("path"), Some(0));
+    }
+
+    #[test]
+    fn negation_pushes_to_higher_stratum() {
+        let p = parse_program(
+            "node(a). node(b). edge(a, b).\
+             unreachable(X) :- node(X), not reached(X).\
+             reached(X) :- edge(a, X).",
+        )
+        .unwrap();
+        let s = p.stratify().unwrap();
+        let r = s.stratum_of("reached").unwrap();
+        let u = s.stratum_of("unreachable").unwrap();
+        assert!(u > r);
+    }
+
+    #[test]
+    fn negative_recursion_rejected() {
+        let err = parse_program("win(X) :- move(X, Y), not win(Y). move(a, b).")
+            .unwrap()
+            .stratify()
+            .unwrap_err();
+        assert!(matches!(err, DatalogError::NotStratifiable { .. }));
+    }
+
+    #[test]
+    fn mutual_negative_recursion_rejected() {
+        let err = parse_program("p(X) :- base(X), not q(X). q(X) :- base(X), not p(X). base(a).")
+            .unwrap()
+            .stratify()
+            .unwrap_err();
+        assert!(matches!(err, DatalogError::NotStratifiable { .. }));
+    }
+
+    #[test]
+    fn empty_program_stratifies() {
+        let p = Program::new();
+        let s = p.stratify().unwrap();
+        assert_eq!(s.len(), 1); // one empty stratum
+        assert!(s.stratum(0).is_empty());
+    }
+
+    #[test]
+    fn predicates_sorted() {
+        let p = parse_program("b(x). a(y). c(Z) :- a(Z).").unwrap();
+        assert_eq!(p.predicates(), vec!["a", "b", "c"]);
+        assert_eq!(p.arity("a"), Some(1));
+        assert_eq!(p.arity("zz"), None);
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let src = "p(X) :- q(X), not r(X), X != a.\nq(a).\nq(b).\nr(b).\n";
+        let p = parse_program(src).unwrap();
+        let printed = p.to_string();
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p.len(), p2.len());
+        assert_eq!(printed, p2.to_string());
+    }
+}

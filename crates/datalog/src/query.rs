@@ -1,0 +1,193 @@
+//! Query answering against an evaluated database.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::atom::Literal;
+use crate::clause::Clause;
+use crate::eval::eval_rule;
+use crate::storage::Database;
+use crate::term::{Const, Term};
+use crate::{Atom, Result};
+
+/// One answer to a query: variable name → constant, sorted by name.
+pub type Bindings = BTreeMap<String, Const>;
+
+/// The full answer set of a query, deduplicated and deterministic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryAnswer {
+    /// The variables projected (query variables in first-occurrence order).
+    pub variables: Vec<String>,
+    /// The distinct answers, sorted.
+    pub answers: Vec<Bindings>,
+}
+
+impl QueryAnswer {
+    /// Whether the query succeeded at least once.
+    pub fn is_success(&self) -> bool {
+        !self.answers.is_empty()
+    }
+
+    /// Number of distinct answers.
+    pub fn len(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// Whether there are no answers.
+    pub fn is_empty(&self) -> bool {
+        self.answers.is_empty()
+    }
+
+    /// Project a single variable's values across all answers, sorted.
+    pub fn column(&self, variable: &str) -> Vec<Const> {
+        let mut out: Vec<Const> = self
+            .answers
+            .iter()
+            .filter_map(|b| b.get(variable).cloned())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+impl fmt::Display for QueryAnswer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.variables.is_empty() {
+            return write!(f, "{}", if self.is_success() { "yes" } else { "no" });
+        }
+        writeln!(f, "{}", self.variables.join("\t"))?;
+        for a in &self.answers {
+            let row: Vec<String> = self
+                .variables
+                .iter()
+                .map(|v| a.get(v).map_or("_".to_owned(), |c| c.to_string()))
+                .collect();
+            writeln!(f, "{}", row.join("\t"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Evaluate a conjunctive query (with negation and comparisons) against a
+/// database that has already been computed to fixpoint.
+///
+/// The body is treated as the body of an anonymous rule whose head
+/// collects every variable occurring in a positive literal; answers are
+/// the distinct head instantiations restricted to the query's variables.
+pub fn run_query(db: &Database, body: &[Literal]) -> Result<QueryAnswer> {
+    // Query variables: first-occurrence order across all literals.
+    let mut variables: Vec<String> = Vec::new();
+    for l in body {
+        for v in l.variables() {
+            if !variables.iter().any(|x| x == v) {
+                variables.push(v.to_owned());
+            }
+        }
+    }
+    // Head carries only the *positively bound* variables; variables that
+    // appear only under negation are existential and not projected.
+    let positive: Vec<String> = {
+        let mut out = Vec::new();
+        for l in body {
+            if let Literal::Pos(a) = l {
+                for v in a.variables() {
+                    if !out.iter().any(|x: &String| x == v) {
+                        out.push(v.to_owned());
+                    }
+                }
+            }
+        }
+        out
+    };
+    let head = Atom::new(
+        "__query__",
+        positive.iter().map(|v| Term::var(v.clone())).collect(),
+    );
+    let rule = Clause::new(head, body.to_vec());
+    rule.check_safety()?;
+    let facts = eval_rule(&rule, db, None)?;
+    let mut answers: Vec<Bindings> = facts
+        .into_iter()
+        .map(|f| positive.iter().cloned().zip(f).collect::<Bindings>())
+        .collect();
+    answers.sort();
+    answers.dedup();
+    Ok(QueryAnswer {
+        variables: positive,
+        answers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_program, parse_query};
+    use crate::Engine;
+
+    fn db(src: &str) -> Database {
+        let p = parse_program(src).unwrap();
+        Engine::new(&p).unwrap().run().unwrap()
+    }
+
+    #[test]
+    fn ground_query_yes_no() {
+        let d = db("p(a).");
+        let yes = run_query(&d, &parse_query("p(a)").unwrap()).unwrap();
+        assert!(yes.is_success());
+        assert_eq!(yes.to_string(), "yes");
+        let no = run_query(&d, &parse_query("p(b)").unwrap()).unwrap();
+        assert!(!no.is_success());
+        assert_eq!(no.to_string(), "no");
+    }
+
+    #[test]
+    fn variable_query_collects_answers() {
+        let d = db("edge(a, b). edge(a, c). edge(b, c).");
+        let ans = run_query(&d, &parse_query("edge(a, X)").unwrap()).unwrap();
+        assert_eq!(ans.len(), 2);
+        assert_eq!(ans.column("X"), vec![Const::sym("b"), Const::sym("c")]);
+    }
+
+    #[test]
+    fn conjunctive_query_with_negation() {
+        let d = db("p(a). p(b). q(a).");
+        let ans = run_query(&d, &parse_query("p(X), not q(X)").unwrap()).unwrap();
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans.answers[0]["X"], Const::sym("b"));
+    }
+
+    #[test]
+    fn negation_only_variables_are_existential() {
+        let d = db("p(a). p(b). r(a, k).");
+        let ans = run_query(&d, &parse_query("p(X), not r(X, Y)").unwrap()).unwrap();
+        assert_eq!(ans.variables, vec!["X"]);
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans.answers[0]["X"], Const::sym("b"));
+    }
+
+    #[test]
+    fn answers_deduplicated_and_sorted() {
+        let d = db("e(a, b). e(a, c). f(b). f(c).");
+        let ans = run_query(&d, &parse_query("e(a, Y), f(Y)").unwrap()).unwrap();
+        assert_eq!(ans.len(), 2);
+        assert!(ans.answers[0]["Y"] < ans.answers[1]["Y"]);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let d = db("p(a, 1).");
+        let ans = run_query(&d, &parse_query("p(X, N)").unwrap()).unwrap();
+        let shown = ans.to_string();
+        assert!(shown.contains("X\tN"));
+        assert!(shown.contains("a\t1"));
+    }
+
+    #[test]
+    fn unsafe_query_rejected() {
+        let d = db("p(a).");
+        // Comparison over an unbound variable.
+        let err = run_query(&d, &parse_query("p(X), Y != a").unwrap());
+        assert!(err.is_err());
+    }
+}

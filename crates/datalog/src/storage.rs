@@ -1,0 +1,286 @@
+//! Fact storage: relations with hash indexes, and the database of all
+//! relations.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+use crate::term::Const;
+
+/// A stored fact: one tuple of constants.
+pub type Fact = Vec<Const>;
+
+/// A set of facts of a single predicate, with lazily built per-column
+/// hash indexes to accelerate joins.
+///
+/// Bottom-up rule evaluation probes relations with a *binding pattern*
+/// (some columns bound to constants). `Relation::matching` serves such
+/// probes from the index of the first bound column and post-filters the
+/// rest, which makes the common join shapes (key-bound probes produced by
+/// the MultiLog reduction axioms) sub-linear.
+#[derive(Clone, Default)]
+pub struct Relation {
+    arity: Option<usize>,
+    facts: Vec<Fact>,
+    /// Set view of `facts` for O(1) duplicate checks; stores indices.
+    dedup: HashSet<Fact>,
+    /// `indexes[col][constant]` = row ids having `constant` at `col`.
+    indexes: Vec<HashMap<Const, Vec<usize>>>,
+}
+
+impl Relation {
+    /// Create an empty relation.
+    pub fn new() -> Self {
+        Relation::default()
+    }
+
+    /// The arity, once at least one fact has been inserted.
+    pub fn arity(&self) -> Option<usize> {
+        self.arity
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether the relation holds no facts.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Insert a fact; returns `true` if it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fact's arity differs from previously inserted facts —
+    /// arity consistency is validated upstream by [`crate::Program`].
+    pub fn insert(&mut self, fact: Fact) -> bool {
+        match self.arity {
+            None => {
+                self.arity = Some(fact.len());
+                self.indexes = (0..fact.len()).map(|_| HashMap::new()).collect();
+            }
+            Some(a) => assert_eq!(a, fact.len(), "arity mismatch on insert"),
+        }
+        if !self.dedup.insert(fact.clone()) {
+            return false;
+        }
+        let row = self.facts.len();
+        for (col, c) in fact.iter().enumerate() {
+            self.indexes[col].entry(c.clone()).or_default().push(row);
+        }
+        self.facts.push(fact);
+        true
+    }
+
+    /// Whether the relation contains exactly this fact.
+    pub fn contains(&self, fact: &[Const]) -> bool {
+        self.dedup.contains(fact)
+    }
+
+    /// Iterate over all facts.
+    pub fn iter(&self) -> impl Iterator<Item = &Fact> {
+        self.facts.iter()
+    }
+
+    /// Facts matching a binding pattern: `pattern[i] = Some(c)` requires
+    /// column `i` to equal `c`. Rows are yielded in insertion order.
+    pub fn matching<'a>(
+        &'a self,
+        pattern: &'a [Option<Const>],
+    ) -> Box<dyn Iterator<Item = &'a Fact> + 'a> {
+        // Pick the most selective bound column to drive the scan.
+        let best = pattern
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|c| (i, c)))
+            .filter_map(|(i, c)| {
+                self.indexes
+                    .get(i)
+                    .map(|idx| (i, c, idx.get(c).map_or(0, Vec::len)))
+            })
+            .min_by_key(|&(_, _, n)| n);
+        match best {
+            Some((col, c, _)) => {
+                let rows = self.indexes[col].get(c).map(Vec::as_slice).unwrap_or(&[]);
+                Box::new(
+                    rows.iter()
+                        .map(move |&r| &self.facts[r])
+                        .filter(move |f| Self::fact_matches(f, pattern)),
+                )
+            }
+            None => Box::new(
+                self.facts
+                    .iter()
+                    .filter(move |f| Self::fact_matches(f, pattern)),
+            ),
+        }
+    }
+
+    fn fact_matches(fact: &[Const], pattern: &[Option<Const>]) -> bool {
+        fact.len() == pattern.len()
+            && fact
+                .iter()
+                .zip(pattern)
+                .all(|(c, p)| p.as_ref().is_none_or(|pc| pc == c))
+    }
+
+    /// Facts sorted lexicographically — deterministic output order for
+    /// printing and testing.
+    pub fn sorted(&self) -> Vec<Fact> {
+        let mut out = self.facts.clone();
+        out.sort();
+        out
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation({} facts)", self.facts.len())
+    }
+}
+
+/// A database: all relations, keyed by predicate name.
+#[derive(Clone, Default)]
+pub struct Database {
+    relations: BTreeMap<Arc<str>, Relation>,
+    fact_count: usize,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// The relation for `predicate`, if any fact or declaration exists.
+    pub fn relation(&self, predicate: &str) -> Option<&Relation> {
+        self.relations.get(predicate)
+    }
+
+    /// The relation for `predicate`, creating it if missing.
+    pub fn relation_mut(&mut self, predicate: &str) -> &mut Relation {
+        if !self.relations.contains_key(predicate) {
+            self.relations.insert(Arc::from(predicate), Relation::new());
+        }
+        self.relations.get_mut(predicate).expect("just inserted")
+    }
+
+    /// Insert a fact; returns `true` if new.
+    pub fn insert(&mut self, predicate: &str, fact: Fact) -> bool {
+        let new = self.relation_mut(predicate).insert(fact);
+        if new {
+            self.fact_count += 1;
+        }
+        new
+    }
+
+    /// Whether the database contains this ground fact.
+    pub fn contains(&self, predicate: &str, fact: &[Const]) -> bool {
+        self.relations
+            .get(predicate)
+            .is_some_and(|r| r.contains(fact))
+    }
+
+    /// Total number of facts across relations.
+    pub fn fact_count(&self) -> usize {
+        self.fact_count
+    }
+
+    /// Iterate over `(predicate, relation)` pairs in name order.
+    pub fn relations(&self) -> impl Iterator<Item = (&str, &Relation)> {
+        self.relations.iter().map(|(k, v)| (k.as_ref(), v))
+    }
+
+    /// Names of all predicates with at least one stored relation entry.
+    pub fn predicates(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(|k| k.as_ref())
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Database ({} facts):", self.fact_count)?;
+        for (p, r) in self.relations() {
+            writeln!(f, "  {p}/{:?}: {} facts", r.arity(), r.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Const {
+        Const::sym(s)
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut r = Relation::new();
+        assert!(r.insert(vec![c("a"), c("b")]));
+        assert!(!r.insert(vec![c("a"), c("b")]));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&[c("a"), c("b")]));
+        assert!(!r.contains(&[c("b"), c("a")]));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::new();
+        r.insert(vec![c("a")]);
+        r.insert(vec![c("a"), c("b")]);
+    }
+
+    #[test]
+    fn matching_uses_pattern() {
+        let mut r = Relation::new();
+        for (x, y) in [("a", "b"), ("a", "c"), ("b", "c")] {
+            r.insert(vec![c(x), c(y)]);
+        }
+        let pat = vec![Some(c("a")), None];
+        let hits: Vec<_> = r.matching(&pat).collect();
+        assert_eq!(hits.len(), 2);
+        let pat = vec![Some(c("a")), Some(c("c"))];
+        assert_eq!(r.matching(&pat).count(), 1);
+        let pat = vec![None, None];
+        assert_eq!(r.matching(&pat).count(), 3);
+        let pat = vec![Some(c("zzz")), None];
+        assert_eq!(r.matching(&pat).count(), 0);
+    }
+
+    #[test]
+    fn matching_picks_selective_column() {
+        let mut r = Relation::new();
+        for i in 0..100 {
+            r.insert(vec![c("hot"), Const::int(i)]);
+        }
+        r.insert(vec![c("cold"), Const::int(0)]);
+        // Column 1 (selectivity 2) should drive; result must still be right.
+        let pat = vec![Some(c("hot")), Some(Const::int(0))];
+        assert_eq!(r.matching(&pat).count(), 1);
+    }
+
+    #[test]
+    fn sorted_is_deterministic() {
+        let mut r = Relation::new();
+        r.insert(vec![c("b")]);
+        r.insert(vec![c("a")]);
+        assert_eq!(r.sorted(), vec![vec![c("a")], vec![c("b")]]);
+    }
+
+    #[test]
+    fn database_counts() {
+        let mut db = Database::new();
+        assert!(db.insert("p", vec![c("a")]));
+        assert!(!db.insert("p", vec![c("a")]));
+        assert!(db.insert("q", vec![c("a")]));
+        assert_eq!(db.fact_count(), 2);
+        assert!(db.contains("p", &[c("a")]));
+        assert!(!db.contains("r", &[c("a")]));
+        assert_eq!(db.predicates().collect::<Vec<_>>(), vec!["p", "q"]);
+    }
+}

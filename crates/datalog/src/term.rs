@@ -1,0 +1,222 @@
+//! Terms: constants and variables.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A ground constant: an interned symbol or a 64-bit integer.
+///
+/// Symbols are stored as `Arc<str>` so that facts — which are produced in
+/// bulk during bottom-up evaluation — clone in O(1) without a string copy.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Const {
+    /// A symbolic constant, e.g. `mars` or `"Outer Space"`.
+    Sym(Arc<str>),
+    /// An integer constant.
+    Int(i64),
+}
+
+impl Const {
+    /// Construct a symbolic constant.
+    pub fn sym(s: impl AsRef<str>) -> Self {
+        Const::Sym(Arc::from(s.as_ref()))
+    }
+
+    /// Construct an integer constant.
+    pub fn int(i: i64) -> Self {
+        Const::Int(i)
+    }
+
+    /// The symbol text, if this is a symbol.
+    pub fn as_sym(&self) -> Option<&str> {
+        match self {
+            Const::Sym(s) => Some(s),
+            Const::Int(_) => None,
+        }
+    }
+
+    /// The integer value, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Const::Sym(_) => None,
+            Const::Int(i) => Some(*i),
+        }
+    }
+
+    /// Total comparison *within* a kind; `None` across kinds.
+    ///
+    /// Comparison built-ins other than `=`/`!=` refuse to order a symbol
+    /// against an integer rather than inventing an arbitrary order.
+    pub fn try_cmp(&self, other: &Const) -> Option<Ordering> {
+        match (self, other) {
+            (Const::Sym(a), Const::Sym(b)) => Some(a.cmp(b)),
+            (Const::Int(a), Const::Int(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Sym(s) => {
+                // Quote when the symbol does not lex as a bare identifier.
+                let bare = !s.is_empty()
+                    && s.chars().next().is_some_and(|c| c.is_ascii_lowercase())
+                    && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+                if bare {
+                    f.write_str(s)
+                } else {
+                    write!(f, "{s:?}")
+                }
+            }
+            Const::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl fmt::Debug for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<i64> for Const {
+    fn from(i: i64) -> Self {
+        Const::Int(i)
+    }
+}
+
+impl From<&str> for Const {
+    fn from(s: &str) -> Self {
+        Const::sym(s)
+    }
+}
+
+impl From<String> for Const {
+    fn from(s: String) -> Self {
+        Const::Sym(Arc::from(s.as_str()))
+    }
+}
+
+/// A term: either a variable or a constant.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A logic variable, e.g. `X`. By convention variables start with an
+    /// uppercase letter or `_` in the textual syntax.
+    Var(Arc<str>),
+    /// A ground constant.
+    Const(Const),
+}
+
+impl Term {
+    /// Construct a variable term.
+    pub fn var(name: impl AsRef<str>) -> Self {
+        Term::Var(Arc::from(name.as_ref()))
+    }
+
+    /// Construct a symbolic-constant term.
+    pub fn sym(s: impl AsRef<str>) -> Self {
+        Term::Const(Const::sym(s))
+    }
+
+    /// Construct an integer-constant term.
+    pub fn int(i: i64) -> Self {
+        Term::Const(Const::Int(i))
+    }
+
+    /// Whether this term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant, if ground.
+    pub fn as_const(&self) -> Option<&Const> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(c),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => f.write_str(v),
+            Term::Const(c) => fmt::Display::fmt(c, f),
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<Const> for Term {
+    fn from(c: Const) -> Self {
+        Term::Const(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_accessors() {
+        assert_eq!(Const::sym("mars").as_sym(), Some("mars"));
+        assert_eq!(Const::int(42).as_int(), Some(42));
+        assert_eq!(Const::sym("mars").as_int(), None);
+        assert_eq!(Const::int(42).as_sym(), None);
+    }
+
+    #[test]
+    fn try_cmp_within_kinds_only() {
+        assert_eq!(Const::int(1).try_cmp(&Const::int(2)), Some(Ordering::Less));
+        assert_eq!(
+            Const::sym("a").try_cmp(&Const::sym("b")),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Const::int(1).try_cmp(&Const::sym("a")), None);
+    }
+
+    #[test]
+    fn display_quotes_non_identifiers() {
+        assert_eq!(Const::sym("mars").to_string(), "mars");
+        assert_eq!(Const::sym("Outer Space").to_string(), "\"Outer Space\"");
+        assert_eq!(Const::sym("").to_string(), "\"\"");
+        assert_eq!(Const::sym("X").to_string(), "\"X\"");
+        assert_eq!(Const::int(-3).to_string(), "-3");
+    }
+
+    #[test]
+    fn term_accessors() {
+        let v = Term::var("X");
+        assert!(v.is_var());
+        assert_eq!(v.as_var(), Some("X"));
+        assert_eq!(v.as_const(), None);
+        let c = Term::sym("a");
+        assert!(!c.is_var());
+        assert_eq!(c.as_const(), Some(&Const::sym("a")));
+    }
+
+    #[test]
+    fn cheap_clone_shares_storage() {
+        let a = Const::sym("shared");
+        let b = a.clone();
+        match (&a, &b) {
+            (Const::Sym(x), Const::Sym(y)) => assert!(Arc::ptr_eq(x, y)),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Tests for the arithmetic built-ins (`T = X op Y`), which CORAL offers
+//! and our substitute therefore provides.
+
+use multilog_datalog::{parse_clause, parse_program, Const, DatalogError, Engine};
+
+fn run(src: &str) -> multilog_datalog::Database {
+    let p = parse_program(src).unwrap();
+    Engine::new(&p).unwrap().run().unwrap()
+}
+
+#[test]
+fn addition_binds_target() {
+    let db = run("n(1). n(2). n(3).\
+         succ(X, Y) :- n(X), Y = X + 1.");
+    let succ = db.relation("succ").unwrap();
+    assert_eq!(succ.len(), 3);
+    assert!(succ.contains(&[Const::int(3), Const::int(4)]));
+}
+
+#[test]
+fn all_operators() {
+    let db = run("n(7).\
+         ops(A, S, M, D, R) :- n(X), A = X + 3, S = X - 3, M = X * 3, D = X / 3, R = X mod 3.");
+    let r = db.relation("ops").unwrap();
+    assert!(r.contains(&[
+        Const::int(10),
+        Const::int(4),
+        Const::int(21),
+        Const::int(2),
+        Const::int(1)
+    ]));
+}
+
+#[test]
+fn bound_target_acts_as_filter() {
+    let db = run("n(2). n(3). n(4).\
+         pair(X, Y) :- n(X), n(Y), Y = X + 1.");
+    assert_eq!(db.relation("pair").unwrap().len(), 2);
+}
+
+#[test]
+fn constant_target() {
+    let db = run("n(2). n(5).\
+         seven(X, Y) :- n(X), n(Y), 7 = X + Y.");
+    let r = db.relation("seven").unwrap();
+    assert_eq!(r.len(), 2); // (2,5) and (5,2)
+}
+
+#[test]
+fn recursion_with_arithmetic_counts() {
+    // count down from 5 to 0.
+    let db = run("count(5).\
+         count(Y) :- count(X), X > 0, Y = X - 1.");
+    assert_eq!(db.relation("count").unwrap().len(), 6);
+    assert!(db.contains("count", &[Const::int(0)]));
+}
+
+#[test]
+fn division_by_zero_errors() {
+    let p = parse_program(
+        "n(4). n(0).\
+         d(Z) :- n(X), n(Y), Z = X / Y.",
+    )
+    .unwrap();
+    let err = Engine::new(&p).unwrap().run().unwrap_err();
+    assert!(matches!(err, DatalogError::ArithmeticFailure { .. }));
+}
+
+#[test]
+fn overflow_errors() {
+    let p = parse_program(&format!("n({}). big(Z) :- n(X), Z = X * 2.", i64::MAX)).unwrap();
+    let err = Engine::new(&p).unwrap().run().unwrap_err();
+    assert!(matches!(err, DatalogError::ArithmeticFailure { .. }));
+}
+
+#[test]
+fn symbol_operand_errors() {
+    let p = parse_program("n(foo). d(Z) :- n(X), Z = X + 1.").unwrap();
+    let err = Engine::new(&p).unwrap().run().unwrap_err();
+    assert!(matches!(err, DatalogError::IncomparableTerms { .. }));
+}
+
+#[test]
+fn unbound_operand_rejected_statically() {
+    let err = parse_program("p(X) :- q(X), Y = Z + 1. q(1).").unwrap_err();
+    assert!(matches!(err, DatalogError::UnsafeVariable { .. }));
+}
+
+#[test]
+fn target_binds_head_variable() {
+    // The target is a legitimate binder for head safety.
+    let c = parse_clause("p(Y) :- q(X), Y = X + 1.").unwrap();
+    c.check_safety().unwrap();
+}
+
+#[test]
+fn chained_arithmetic_binds_left_to_right() {
+    let db = run("n(2).\
+         chain(A, B) :- n(X), A = X * 10, B = A + 1.");
+    assert!(db.contains("chain", &[Const::int(20), Const::int(21)]));
+}
+
+#[test]
+fn later_cmp_can_use_target() {
+    let db = run("n(1). n(5).\
+         big(X) :- n(X), Y = X * 2, Y > 5.");
+    let r = db.relation("big").unwrap();
+    assert_eq!(r.len(), 1);
+    assert!(r.contains(&[Const::int(5)]));
+}
+
+#[test]
+fn display_roundtrips() {
+    let c = parse_clause("p(Y) :- q(X), Y = X - 1.").unwrap();
+    assert_eq!(c.to_string(), "p(Y) :- q(X), Y = X - 1.");
+    let c2 = parse_clause(&c.to_string()).unwrap();
+    assert_eq!(c, c2);
+    let c = parse_clause("p(Y) :- q(X), Y = X mod 2.").unwrap();
+    assert_eq!(parse_clause(&c.to_string()).unwrap(), c);
+}
+
+#[test]
+fn negative_literals_still_lex() {
+    let db = run("n(-5). pos(Y) :- n(X), Y = 0 - X.");
+    assert!(db.contains("pos", &[Const::int(5)]));
+}
+
+#[test]
+fn subtraction_vs_negative_literal_disambiguation() {
+    // `X - 3` is subtraction; `p(-3)` is a negative literal.
+    let db = run("n(10). m(-3).\
+         d(Y) :- n(X), Y = X - 3.\
+         keep(X) :- m(X).");
+    assert!(db.contains("d", &[Const::int(7)]));
+    assert!(db.contains("keep", &[Const::int(-3)]));
+}

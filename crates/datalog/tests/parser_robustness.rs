@@ -1,0 +1,46 @@
+//! Datalog parser robustness: arbitrary input never panics, and
+//! arithmetic/negation programs survive print-reparse.
+
+use proptest::prelude::*;
+
+use multilog_datalog::{parse_clause, parse_program, parse_query};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_input_never_panics(src in "\\PC*") {
+        let _ = parse_program(&src);
+        let _ = parse_query(&src);
+        let _ = parse_clause(&src);
+    }
+
+    #[test]
+    fn token_soup_never_panics(tokens in proptest::collection::vec(
+        prop_oneof![
+            Just("p"), Just("q"), Just("not"), Just("mod"), Just("X"),
+            Just("Y"), Just("_"), Just("("), Just(")"), Just(","),
+            Just("."), Just(":-"), Just("?-"), Just("="), Just("!="),
+            Just("<"), Just("<="), Just(">"), Just(">="), Just("+"),
+            Just("-"), Just("*"), Just("/"), Just("7"), Just("-3"),
+            Just("\"str\""),
+        ],
+        0..40,
+    )) {
+        let src = tokens.join(" ");
+        let _ = parse_program(&src);
+        let _ = parse_query(&src);
+    }
+
+    #[test]
+    fn print_reparse_fixpoint(
+        a in "[a-e]", b in "[a-e]", n in -20i64..20,
+    ) {
+        let src = format!(
+            "p(X, Z) :- q(X, {a}), not r(X, {b}), Z = X + {n}, Z >= {n}."
+        );
+        let parsed = parse_clause(&src).unwrap();
+        let reparsed = parse_clause(&parsed.to_string()).unwrap();
+        prop_assert_eq!(parsed, reparsed);
+    }
+}

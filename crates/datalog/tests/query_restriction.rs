@@ -1,0 +1,70 @@
+//! Query-restricted evaluation: only the dependency cone of the query's
+//! predicates is materialized, with identical answers.
+
+use multilog_datalog::{parse_program, parse_query, run_query, Const, Engine};
+
+const SRC: &str = "
+    edge(a, b). edge(b, c).
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+    % An unrelated, expensive relation.
+    n(1). n(2). n(3). n(4). n(5). n(6). n(7). n(8).
+    big(A, B, C) :- n(A), n(B), n(C).
+    % A relation depending on `path` through negation.
+    node(a). node(b). node(c).
+    unreach(X, Y) :- node(X), node(Y), not path(X, Y).
+";
+
+#[test]
+fn restricted_run_skips_unrelated_relations() {
+    let p = parse_program(SRC).unwrap();
+    let db = Engine::new(&p).unwrap().run_for_query(["path"]).unwrap();
+    assert_eq!(db.relation("path").unwrap().len(), 3);
+    // The 512-fact cross-product was never materialized.
+    assert_eq!(db.relation("big").unwrap().len(), 0);
+    assert_eq!(db.relation("unreach").unwrap().len(), 0);
+}
+
+#[test]
+fn restricted_answers_match_full_answers() {
+    let p = parse_program(SRC).unwrap();
+    let full = Engine::new(&p).unwrap().run().unwrap();
+    let restricted = Engine::new(&p).unwrap().run_for_query(["path"]).unwrap();
+    let q = parse_query("path(X, Y)").unwrap();
+    assert_eq!(
+        run_query(&full, &q).unwrap(),
+        run_query(&restricted, &q).unwrap()
+    );
+}
+
+#[test]
+fn restriction_follows_negative_dependencies() {
+    // `unreach` needs `path` (negatively) and `node`; both must be
+    // materialized even though only `unreach` was requested.
+    let p = parse_program(SRC).unwrap();
+    let db = Engine::new(&p).unwrap().run_for_query(["unreach"]).unwrap();
+    assert!(!db.relation("path").unwrap().is_empty());
+    assert!(db.contains("unreach", &[Const::sym("b"), Const::sym("a")]));
+    assert_eq!(db.relation("big").unwrap().len(), 0);
+}
+
+#[test]
+fn dependencies_of_computes_the_cone() {
+    let p = parse_program(SRC).unwrap();
+    let deps = p.dependencies_of(["unreach"]);
+    for needed in ["unreach", "node", "path", "edge"] {
+        assert!(deps.contains(needed), "missing {needed}");
+    }
+    assert!(!deps.contains("big"));
+    assert!(!deps.contains("n"));
+}
+
+#[test]
+fn unknown_seed_is_harmless() {
+    let p = parse_program(SRC).unwrap();
+    let db = Engine::new(&p)
+        .unwrap()
+        .run_for_query(["nonexistent"])
+        .unwrap();
+    assert_eq!(db.fact_count(), 0);
+}

@@ -1,0 +1,216 @@
+//! Bell–LaPadula access classes: (hierarchy level, category set) pairs.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::{LatticeBuilder, Result, SecurityLattice};
+
+/// An unordered set of compartment categories (e.g. `{NATO, Army}`).
+///
+/// Stored as a `BTreeSet` so that equal sets render identically and the
+/// derived ordering is deterministic.
+pub type CategorySet = BTreeSet<String>;
+
+/// A full Bell–LaPadula access class: a hierarchy level drawn from a total
+/// order plus a set of categories.
+///
+/// `c1` dominates `c2` iff `c1.rank >= c2.rank` **and**
+/// `c1.categories ⊇ c2.categories` — the product order of §2 of the paper.
+/// The paper drops categories "without the loss of any generality"; this
+/// type keeps them so the generality claim is actually exercised (see
+/// [`AccessClass::enumerate_lattice`], which expands a level chain × a
+/// category universe into a [`SecurityLattice`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AccessClass {
+    /// Position of the hierarchy level in its total order (0 = lowest).
+    pub rank: usize,
+    /// Human-readable name of the hierarchy level (e.g. `"S"`).
+    pub level_name: String,
+    /// Compartment categories.
+    pub categories: CategorySet,
+}
+
+impl AccessClass {
+    /// Construct an access class.
+    pub fn new(
+        rank: usize,
+        level_name: impl Into<String>,
+        categories: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        AccessClass {
+            rank,
+            level_name: level_name.into(),
+            categories: categories.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// `true` iff `self` dominates `other` in the product order.
+    pub fn dominates(&self, other: &AccessClass) -> bool {
+        self.rank >= other.rank && self.categories.is_superset(&other.categories)
+    }
+
+    /// Whether the two classes are comparable.
+    pub fn comparable(&self, other: &AccessClass) -> bool {
+        self.dominates(other) || other.dominates(self)
+    }
+
+    /// Least upper bound: max of ranks, union of categories.
+    ///
+    /// `level_names` maps rank → name for the resulting class.
+    pub fn lub(&self, other: &AccessClass, level_names: &[&str]) -> AccessClass {
+        let rank = self.rank.max(other.rank);
+        AccessClass {
+            rank,
+            level_name: level_names[rank].to_owned(),
+            categories: self.categories.union(&other.categories).cloned().collect(),
+        }
+    }
+
+    /// Greatest lower bound: min of ranks, intersection of categories.
+    pub fn glb(&self, other: &AccessClass, level_names: &[&str]) -> AccessClass {
+        let rank = self.rank.min(other.rank);
+        AccessClass {
+            rank,
+            level_name: level_names[rank].to_owned(),
+            categories: self
+                .categories
+                .intersection(&other.categories)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Canonical label name, e.g. `S{Army,NATO}` or plain `S` when the
+    /// category set is empty.
+    pub fn label_name(&self) -> String {
+        if self.categories.is_empty() {
+            self.level_name.clone()
+        } else {
+            let cats: Vec<&str> = self.categories.iter().map(String::as_str).collect();
+            format!("{}{{{}}}", self.level_name, cats.join(","))
+        }
+    }
+
+    /// Enumerate the full product lattice `levels × 2^categories` into a
+    /// [`SecurityLattice`], with cover edges of the Hasse diagram.
+    ///
+    /// The result has `levels.len() * 2.pow(categories.len())` labels, so
+    /// keep the category universe small (≤ ~10).
+    pub fn enumerate_lattice(levels: &[&str], categories: &[&str]) -> Result<SecurityLattice> {
+        let ncat = categories.len();
+        assert!(ncat <= 16, "category universe too large to enumerate");
+        let class_name = |rank: usize, mask: usize| -> String {
+            let cats: CategorySet = categories
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| mask >> i & 1 == 1)
+                .map(|(_, c)| (*c).to_owned())
+                .collect();
+            AccessClass {
+                rank,
+                level_name: levels[rank].to_owned(),
+                categories: cats,
+            }
+            .label_name()
+        };
+        let mut b = LatticeBuilder::new();
+        for rank in 0..levels.len() {
+            for mask in 0..(1usize << ncat) {
+                b.add_level(class_name(rank, mask));
+            }
+        }
+        // Cover edges: raise the rank by one with equal categories, or add
+        // exactly one category at equal rank.
+        for rank in 0..levels.len() {
+            for mask in 0..(1usize << ncat) {
+                let lo = class_name(rank, mask);
+                if rank + 1 < levels.len() {
+                    b.add_order(lo.clone(), class_name(rank + 1, mask));
+                }
+                for bit in 0..ncat {
+                    if mask >> bit & 1 == 0 {
+                        b.add_order(lo.clone(), class_name(rank, mask | (1 << bit)));
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+impl fmt::Display for AccessClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LEVELS: [&str; 4] = ["U", "C", "S", "T"];
+
+    #[test]
+    fn dominance_requires_both_components() {
+        let s_nato = AccessClass::new(2, "S", ["NATO"]);
+        let c_nato = AccessClass::new(1, "C", ["NATO"]);
+        let s_army = AccessClass::new(2, "S", ["Army"]);
+        assert!(s_nato.dominates(&c_nato));
+        assert!(!c_nato.dominates(&s_nato));
+        assert!(!s_nato.dominates(&s_army)); // categories incomparable
+        assert!(!s_nato.comparable(&s_army));
+    }
+
+    #[test]
+    fn dominance_is_reflexive() {
+        let c = AccessClass::new(1, "C", ["NATO", "Army"]);
+        assert!(c.dominates(&c));
+    }
+
+    #[test]
+    fn lub_glb_product() {
+        let a = AccessClass::new(2, "S", ["NATO"]);
+        let b = AccessClass::new(1, "C", ["Army"]);
+        let names: Vec<&str> = LEVELS.to_vec();
+        let lub = a.lub(&b, &names);
+        assert_eq!(lub.rank, 2);
+        assert_eq!(lub.categories.len(), 2);
+        assert!(lub.dominates(&a) && lub.dominates(&b));
+        let glb = a.glb(&b, &names);
+        assert_eq!(glb.rank, 1);
+        assert!(glb.categories.is_empty());
+        assert!(a.dominates(&glb) && b.dominates(&glb));
+    }
+
+    #[test]
+    fn label_name_formats() {
+        assert_eq!(
+            AccessClass::new(0, "U", Vec::<String>::new()).label_name(),
+            "U"
+        );
+        assert_eq!(
+            AccessClass::new(2, "S", ["NATO", "Army"]).label_name(),
+            "S{Army,NATO}"
+        );
+    }
+
+    #[test]
+    fn enumerated_product_lattice_is_a_lattice() {
+        let lat = AccessClass::enumerate_lattice(&["U", "S"], &["a", "b"]).unwrap();
+        assert_eq!(lat.len(), 2 * 4);
+        lat.is_lattice().unwrap();
+        // S{a,b} dominates U (empty categories).
+        assert!(lat.dominates_by_name("S{a,b}", "U").unwrap());
+        // U{a} and U{b} are incomparable; their lub is U{a,b}.
+        let ua = lat.label("U{a}").unwrap();
+        let ub = lat.label("U{b}").unwrap();
+        assert_eq!(lat.lub(ua, ub), lat.label("U{a,b}"));
+    }
+
+    #[test]
+    fn enumerated_lattice_no_categories_is_chain() {
+        let lat = AccessClass::enumerate_lattice(&LEVELS, &[]).unwrap();
+        assert_eq!(lat.len(), 4);
+        assert!(lat.is_total_order());
+    }
+}

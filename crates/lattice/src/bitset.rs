@@ -1,0 +1,114 @@
+//! A minimal fixed-width bitset used for dominance matrices.
+//!
+//! Each row of the transitive-closure dominance matrix is a `BitRow`. For
+//! the label counts realistic in MLS deployments (tens to a few thousand
+//! labels) a dense `Vec<u64>` row is both the simplest and the fastest
+//! representation: dominance is a single word load + mask, and closure
+//! propagation is word-parallel `|=`.
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct BitRow {
+    words: Vec<u64>,
+}
+
+impl BitRow {
+    pub(crate) fn new(bits: usize) -> Self {
+        BitRow {
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> bool {
+        match self.words.get(i / 64) {
+            Some(w) => (w >> (i % 64)) & 1 == 1,
+            None => false,
+        }
+    }
+
+    /// `self |= other`; returns `true` if any bit changed.
+    pub(crate) fn union_in_place(&mut self, other: &BitRow) -> bool {
+        let mut changed = false;
+        for (dst, src) in self.words.iter_mut().zip(&other.words) {
+            let next = *dst | *src;
+            if next != *dst {
+                *dst = next;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Iterator over the indices of set bits, ascending.
+    pub(crate) fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+
+    pub(crate) fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut r = BitRow::new(130);
+        for i in [0, 1, 63, 64, 65, 127, 128, 129] {
+            assert!(!r.get(i));
+            r.set(i);
+            assert!(r.get(i));
+        }
+        assert_eq!(r.count_ones(), 8);
+    }
+
+    #[test]
+    fn get_out_of_range_is_false() {
+        let r = BitRow::new(10);
+        assert!(!r.get(1000));
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut a = BitRow::new(70);
+        let mut b = BitRow::new(70);
+        b.set(69);
+        assert!(a.union_in_place(&b));
+        assert!(!a.union_in_place(&b));
+        assert!(a.get(69));
+    }
+
+    #[test]
+    fn iter_ones_ascending() {
+        let mut r = BitRow::new(200);
+        for i in [3, 64, 140, 199] {
+            r.set(i);
+        }
+        assert_eq!(r.iter_ones().collect::<Vec<_>>(), vec![3, 64, 140, 199]);
+    }
+
+    #[test]
+    fn empty_bitrow() {
+        let r = BitRow::new(0);
+        assert_eq!(r.count_ones(), 0);
+        assert_eq!(r.iter_ones().count(), 0);
+    }
+}

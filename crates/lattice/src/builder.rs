@@ -1,0 +1,172 @@
+//! Incremental construction of [`SecurityLattice`]s.
+
+use std::collections::HashMap;
+
+use crate::lattice::SecurityLattice;
+use crate::{Label, LatticeError, Result};
+
+/// Builder that accumulates `level` declarations and `order` (Hasse) edges
+/// and validates them into a [`SecurityLattice`].
+///
+/// Mirrors the `Λ` component of a MultiLog database: `level(l)` facts
+/// declare labels, `order(l, h)` facts declare that `l` is *immediately*
+/// below `h` (a cover edge). The transitive-reflexive closure of the edges
+/// is the dominance relation `⪯`.
+///
+/// # Example
+///
+/// ```
+/// use multilog_lattice::LatticeBuilder;
+///
+/// let lat = LatticeBuilder::new()
+///     .level("U")
+///     .level("C")
+///     .level("S")
+///     .order("U", "C")
+///     .order("C", "S")
+///     .build()
+///     .unwrap();
+/// assert!(lat.dominates_by_name("S", "U").unwrap());
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct LatticeBuilder {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+    edges: Vec<(String, String)>,
+    duplicate: Option<String>,
+}
+
+impl LatticeBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a security label (a `level(name)` fact).
+    pub fn level(mut self, name: impl Into<String>) -> Self {
+        self.add_level(name);
+        self
+    }
+
+    /// Declare a security label, by mutable reference.
+    pub fn add_level(&mut self, name: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        if self.index.contains_key(&name) {
+            self.duplicate.get_or_insert(name);
+        } else {
+            self.index.insert(name.clone(), self.names.len() as u32);
+            self.names.push(name);
+        }
+        self
+    }
+
+    /// Declare that `lo` is immediately below `hi` (an `order(lo, hi)` fact).
+    pub fn order(mut self, lo: impl Into<String>, hi: impl Into<String>) -> Self {
+        self.add_order(lo, hi);
+        self
+    }
+
+    /// Declare an order edge, by mutable reference.
+    pub fn add_order(&mut self, lo: impl Into<String>, hi: impl Into<String>) -> &mut Self {
+        self.edges.push((lo.into(), hi.into()));
+        self
+    }
+
+    /// Whether a label of this name has been declared.
+    pub fn has_level(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// Validate and build the lattice.
+    ///
+    /// # Errors
+    ///
+    /// * [`LatticeError::Empty`] if no labels were declared.
+    /// * [`LatticeError::DuplicateLabel`] if a label was declared twice.
+    /// * [`LatticeError::UnknownLabel`] if an edge references an undeclared
+    ///   label.
+    /// * [`LatticeError::SelfEdge`] for `order(l, l)`.
+    /// * [`LatticeError::CycleDetected`] if the edges are cyclic.
+    pub fn build(self) -> Result<SecurityLattice> {
+        if let Some(dup) = self.duplicate {
+            return Err(LatticeError::DuplicateLabel(dup));
+        }
+        if self.names.is_empty() {
+            return Err(LatticeError::Empty);
+        }
+        let mut edges = Vec::with_capacity(self.edges.len());
+        for (lo, hi) in &self.edges {
+            if lo == hi {
+                return Err(LatticeError::SelfEdge(lo.clone()));
+            }
+            let lo = *self
+                .index
+                .get(lo)
+                .ok_or_else(|| LatticeError::UnknownLabel(lo.clone()))?;
+            let hi = *self
+                .index
+                .get(hi)
+                .ok_or_else(|| LatticeError::UnknownLabel(hi.clone()))?;
+            edges.push((Label(lo), Label(hi)));
+        }
+        SecurityLattice::from_parts(self.names, self.index, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let err = LatticeBuilder::new().level("U").level("U").build();
+        assert_eq!(err.unwrap_err(), LatticeError::DuplicateLabel("U".into()));
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let err = LatticeBuilder::new().level("U").order("U", "S").build();
+        assert_eq!(err.unwrap_err(), LatticeError::UnknownLabel("S".into()));
+    }
+
+    #[test]
+    fn self_edge_rejected() {
+        let err = LatticeBuilder::new().level("U").order("U", "U").build();
+        assert_eq!(err.unwrap_err(), LatticeError::SelfEdge("U".into()));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(
+            LatticeBuilder::new().build().unwrap_err(),
+            LatticeError::Empty
+        );
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let err = LatticeBuilder::new()
+            .level("A")
+            .level("B")
+            .order("A", "B")
+            .order("B", "A")
+            .build();
+        assert!(matches!(err.unwrap_err(), LatticeError::CycleDetected(_)));
+    }
+
+    #[test]
+    fn single_label_builds() {
+        let lat = LatticeBuilder::new().level("only").build().unwrap();
+        assert_eq!(lat.len(), 1);
+        let l = lat.label("only").unwrap();
+        assert!(lat.dominates(l, l));
+    }
+
+    #[test]
+    fn has_level_tracks_declarations() {
+        let mut b = LatticeBuilder::new();
+        assert!(!b.has_level("U"));
+        b.add_level("U");
+        assert!(b.has_level("U"));
+    }
+}

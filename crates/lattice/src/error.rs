@@ -1,0 +1,70 @@
+//! Error type for lattice construction and queries.
+
+use std::fmt;
+
+/// Errors raised while building or querying a security lattice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LatticeError {
+    /// The same label name was declared twice.
+    DuplicateLabel(String),
+    /// An `order` edge referenced a label that was never declared.
+    UnknownLabel(String),
+    /// The declared order edges form a cycle, so the relation is not a
+    /// partial order (antisymmetry fails).
+    CycleDetected(String),
+    /// A reflexive or otherwise degenerate edge (`order(l, l)`).
+    SelfEdge(String),
+    /// The poset is not a lattice: the given pair has no unique least upper
+    /// bound or greatest lower bound.
+    NotALattice {
+        /// First label of the offending pair.
+        left: String,
+        /// Second label of the offending pair.
+        right: String,
+    },
+    /// The lattice has no labels at all.
+    Empty,
+}
+
+impl fmt::Display for LatticeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatticeError::DuplicateLabel(name) => {
+                write!(f, "security label `{name}` declared more than once")
+            }
+            LatticeError::UnknownLabel(name) => {
+                write!(f, "security label `{name}` used before declaration")
+            }
+            LatticeError::CycleDetected(name) => write!(
+                f,
+                "order edges form a cycle through `{name}`; not a partial order"
+            ),
+            LatticeError::SelfEdge(name) => {
+                write!(f, "self-loop `order({name}, {name})` is not allowed")
+            }
+            LatticeError::NotALattice { left, right } => write!(
+                f,
+                "poset is not a lattice: `{left}` and `{right}` lack a unique bound"
+            ),
+            LatticeError::Empty => write!(f, "lattice must contain at least one label"),
+        }
+    }
+}
+
+impl std::error::Error for LatticeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LatticeError::CycleDetected("S".into());
+        assert!(e.to_string().contains("cycle"));
+        let e = LatticeError::NotALattice {
+            left: "A".into(),
+            right: "B".into(),
+        };
+        assert!(e.to_string().contains("lattice"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Interned security-label handles.
+
+use std::fmt;
+
+/// A handle to a security label interned in a [`crate::SecurityLattice`].
+///
+/// Labels are cheap to copy and compare; the human-readable name lives in
+/// the lattice that created the label. A `Label` is only meaningful with
+/// respect to the lattice it was interned in — mixing labels from two
+/// different lattices is a logic error that dominance queries detect by
+/// bounds-checking the index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(pub(crate) u32);
+
+impl Label {
+    /// The dense index of this label inside its lattice.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct a label from a raw index.
+    ///
+    /// Intended for deserialisation and test helpers; prefer
+    /// [`crate::SecurityLattice::label`].
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        Label(u32::try_from(index).expect("label index exceeds u32"))
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Label({})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let l = Label::from_index(7);
+        assert_eq!(l.index(), 7);
+        assert_eq!(format!("{l:?}"), "Label(7)");
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(Label::from_index(1) < Label::from_index(2));
+    }
+}

@@ -1,0 +1,476 @@
+//! The core finite-poset / lattice representation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::bitset::BitRow;
+use crate::{Label, LatticeError, Result};
+
+/// A finite partially ordered set of named security labels, with memoised
+/// transitive-closure dominance and bound queries.
+///
+/// Despite the name, a `SecurityLattice` is allowed to be a mere poset —
+/// MultiLog (Def 3.1) only assumes a partial order on labels, and §3.1 of
+/// the paper explicitly discusses the multiple-model consequences of
+/// incomparable labels. Use [`SecurityLattice::is_lattice`] to check that
+/// every pair has unique `lub`/`glb` when the stronger structure matters
+/// (e.g. for tuple-class computation in the MLS relational model).
+#[derive(Clone)]
+pub struct SecurityLattice {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+    /// Hasse cover edges `(lo, hi)`, deduplicated.
+    covers: Vec<(Label, Label)>,
+    /// `dominated_by[i]` holds bit `j` iff `j ⪯ i` (i dominates j).
+    dominated_by: Vec<BitRow>,
+    /// `dominates_of[i]` holds bit `j` iff `i ⪯ j` (j dominates i).
+    dominators: Vec<BitRow>,
+}
+
+impl SecurityLattice {
+    pub(crate) fn from_parts(
+        names: Vec<String>,
+        index: HashMap<String, u32>,
+        mut covers: Vec<(Label, Label)>,
+    ) -> Result<Self> {
+        covers.sort_unstable();
+        covers.dedup();
+        let n = names.len();
+
+        // Kahn's algorithm over the cover edges: detects cycles and yields a
+        // topological order for closure propagation.
+        let mut indegree = vec![0usize; n];
+        let mut up_adj: Vec<Vec<usize>> = vec![Vec::new(); n]; // lo -> his
+        for &(lo, hi) in &covers {
+            up_adj[lo.index()].push(hi.index());
+            indegree[hi.index()] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(i) = queue.pop() {
+            topo.push(i);
+            for &j in &up_adj[i] {
+                indegree[j] -= 1;
+                if indegree[j] == 0 {
+                    queue.push(j);
+                }
+            }
+        }
+        if topo.len() != n {
+            let culprit = (0..n)
+                .find(|&i| indegree[i] > 0)
+                .expect("cycle implies positive indegree");
+            return Err(LatticeError::CycleDetected(names[culprit].clone()));
+        }
+
+        // dominated_by: propagate upward in topological order.
+        let mut dominated_by: Vec<BitRow> = (0..n)
+            .map(|i| {
+                let mut row = BitRow::new(n);
+                row.set(i); // reflexive
+                row
+            })
+            .collect();
+        for &i in &topo {
+            let row = dominated_by[i].clone();
+            for &j in &up_adj[i] {
+                dominated_by[j].union_in_place(&row);
+            }
+        }
+
+        // dominators: transpose.
+        let mut dominators: Vec<BitRow> = (0..n).map(|_| BitRow::new(n)).collect();
+        for (i, row) in dominated_by.iter().enumerate() {
+            for j in row.iter_ones() {
+                dominators[j].set(i);
+            }
+        }
+
+        Ok(SecurityLattice {
+            names,
+            index,
+            covers,
+            dominated_by,
+            dominators,
+        })
+    }
+
+    /// Number of labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the lattice has no labels (never true for a built lattice).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Look up a label handle by name.
+    pub fn label(&self, name: &str) -> Option<Label> {
+        self.index.get(name).map(|&i| Label(i))
+    }
+
+    /// Look up a label handle by name, erroring with context on failure.
+    pub fn require(&self, name: &str) -> Result<Label> {
+        self.label(name)
+            .ok_or_else(|| LatticeError::UnknownLabel(name.to_owned()))
+    }
+
+    /// The name of a label.
+    pub fn name(&self, label: Label) -> &str {
+        &self.names[label.index()]
+    }
+
+    /// Iterate over all labels in declaration order.
+    pub fn labels(&self) -> impl Iterator<Item = Label> + '_ {
+        (0..self.names.len()).map(Label::from_index)
+    }
+
+    /// Iterate over all label names in declaration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+
+    /// The Hasse cover edges `(lo, hi)` this lattice was built from.
+    pub fn covers(&self) -> &[(Label, Label)] {
+        &self.covers
+    }
+
+    /// `true` iff `hi` dominates `lo`, i.e. `lo ⪯ hi`.
+    ///
+    /// Dominance is reflexive: every label dominates itself.
+    #[inline]
+    pub fn dominates(&self, hi: Label, lo: Label) -> bool {
+        self.dominated_by
+            .get(hi.index())
+            .is_some_and(|row| row.get(lo.index()))
+    }
+
+    /// `true` iff `lo ⪯ hi` (alias of [`Self::dominates`] with swapped
+    /// argument order, matching the paper's `⪯` reading).
+    #[inline]
+    pub fn leq(&self, lo: Label, hi: Label) -> bool {
+        self.dominates(hi, lo)
+    }
+
+    /// Strict dominance: `lo ≺ hi`.
+    #[inline]
+    pub fn lt(&self, lo: Label, hi: Label) -> bool {
+        lo != hi && self.leq(lo, hi)
+    }
+
+    /// Whether two labels are comparable at all.
+    pub fn comparable(&self, a: Label, b: Label) -> bool {
+        self.leq(a, b) || self.leq(b, a)
+    }
+
+    /// Name-based dominance query; errors if either name is unknown.
+    pub fn dominates_by_name(&self, hi: &str, lo: &str) -> Result<bool> {
+        Ok(self.dominates(self.require(hi)?, self.require(lo)?))
+    }
+
+    /// All labels `l` with `l ⪯ hi`, ascending by index (includes `hi`).
+    pub fn down_set(&self, hi: Label) -> Vec<Label> {
+        self.dominated_by[hi.index()]
+            .iter_ones()
+            .map(Label::from_index)
+            .collect()
+    }
+
+    /// All labels `h` with `lo ⪯ h`, ascending by index (includes `lo`).
+    pub fn up_set(&self, lo: Label) -> Vec<Label> {
+        self.dominators[lo.index()]
+            .iter_ones()
+            .map(Label::from_index)
+            .collect()
+    }
+
+    /// Minimal elements of the poset (labels dominating nothing else).
+    pub fn minimal(&self) -> Vec<Label> {
+        self.labels()
+            .filter(|&l| self.dominated_by[l.index()].count_ones() == 1)
+            .collect()
+    }
+
+    /// Maximal elements of the poset (labels dominated by nothing else).
+    pub fn maximal(&self) -> Vec<Label> {
+        self.labels()
+            .filter(|&l| self.dominators[l.index()].count_ones() == 1)
+            .collect()
+    }
+
+    /// The set of *minimal upper bounds* of `a` and `b`.
+    ///
+    /// For a true lattice this is a singleton (the `lub`); in a general
+    /// poset it may be empty or contain several incomparable bounds — the
+    /// "multiple models and associated unpredictability" of §3.1.
+    pub fn minimal_upper_bounds(&self, a: Label, b: Label) -> Vec<Label> {
+        let candidates: Vec<Label> = self.dominators[a.index()]
+            .iter_ones()
+            .filter(|&i| self.dominators[b.index()].get(i))
+            .map(Label::from_index)
+            .collect();
+        candidates
+            .iter()
+            .copied()
+            .filter(|&c| {
+                !candidates
+                    .iter()
+                    .any(|&other| other != c && self.leq(other, c))
+            })
+            .collect()
+    }
+
+    /// The set of *maximal lower bounds* of `a` and `b`.
+    pub fn maximal_lower_bounds(&self, a: Label, b: Label) -> Vec<Label> {
+        let candidates: Vec<Label> = self.dominated_by[a.index()]
+            .iter_ones()
+            .filter(|&i| self.dominated_by[b.index()].get(i))
+            .map(Label::from_index)
+            .collect();
+        candidates
+            .iter()
+            .copied()
+            .filter(|&c| {
+                !candidates
+                    .iter()
+                    .any(|&other| other != c && self.leq(c, other))
+            })
+            .collect()
+    }
+
+    /// Least upper bound, if unique.
+    pub fn lub(&self, a: Label, b: Label) -> Option<Label> {
+        match self.minimal_upper_bounds(a, b).as_slice() {
+            [only] => Some(*only),
+            _ => None,
+        }
+    }
+
+    /// Greatest lower bound, if unique.
+    pub fn glb(&self, a: Label, b: Label) -> Option<Label> {
+        match self.maximal_lower_bounds(a, b).as_slice() {
+            [only] => Some(*only),
+            _ => None,
+        }
+    }
+
+    /// Least upper bound of a non-empty iterator of labels, if it exists.
+    pub fn lub_all(&self, labels: impl IntoIterator<Item = Label>) -> Option<Label> {
+        let mut it = labels.into_iter();
+        let first = it.next()?;
+        it.try_fold(first, |acc, l| self.lub(acc, l))
+    }
+
+    /// Check the lattice property: every pair has a unique lub **and** glb.
+    ///
+    /// Returns the first offending pair on failure.
+    pub fn is_lattice(&self) -> Result<()> {
+        for a in self.labels() {
+            for b in self.labels() {
+                if a < b && (self.lub(a, b).is_none() || self.glb(a, b).is_none()) {
+                    return Err(LatticeError::NotALattice {
+                        left: self.name(a).to_owned(),
+                        right: self.name(b).to_owned(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the order is total (every pair comparable).
+    pub fn is_total_order(&self) -> bool {
+        self.labels()
+            .all(|a| self.labels().all(|b| self.comparable(a, b)))
+    }
+
+    /// The strict-dominance pairs `(lo, hi)` with `lo ≺ hi`, i.e. the
+    /// transitive closure of the cover edges. Useful for exporting the
+    /// order into a Datalog program.
+    pub fn strict_pairs(&self) -> Vec<(Label, Label)> {
+        let mut out = Vec::new();
+        for hi in self.labels() {
+            for lo in self.down_set(hi) {
+                if lo != hi {
+                    out.push((lo, hi));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for SecurityLattice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SecurityLattice {{ labels: [")?;
+        for (i, name) in self.names.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}")?;
+        }
+        write!(f, "], covers: [")?;
+        for (i, &(lo, hi)) in self.covers.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} < {}", self.name(lo), self.name(hi))?;
+        }
+        write!(f, "] }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LatticeBuilder, LatticeError};
+
+    fn chain() -> crate::SecurityLattice {
+        LatticeBuilder::new()
+            .level("U")
+            .level("C")
+            .level("S")
+            .level("T")
+            .order("U", "C")
+            .order("C", "S")
+            .order("S", "T")
+            .build()
+            .unwrap()
+    }
+
+    /// The classic "diamond": U < {L, R} < T with L, R incomparable.
+    fn diamond() -> crate::SecurityLattice {
+        LatticeBuilder::new()
+            .level("U")
+            .level("L")
+            .level("R")
+            .level("T")
+            .order("U", "L")
+            .order("U", "R")
+            .order("L", "T")
+            .order("R", "T")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn chain_dominance_is_transitive() {
+        let lat = chain();
+        let (u, t) = (lat.label("U").unwrap(), lat.label("T").unwrap());
+        assert!(lat.dominates(t, u));
+        assert!(lat.leq(u, t));
+        assert!(lat.lt(u, t));
+        assert!(!lat.lt(u, u));
+        assert!(lat.is_total_order());
+    }
+
+    #[test]
+    fn chain_is_lattice() {
+        chain().is_lattice().unwrap();
+    }
+
+    #[test]
+    fn diamond_incomparable_middle() {
+        let lat = diamond();
+        let (l, r) = (lat.label("L").unwrap(), lat.label("R").unwrap());
+        assert!(!lat.comparable(l, r));
+        assert!(!lat.is_total_order());
+        assert_eq!(lat.lub(l, r), lat.label("T"));
+        assert_eq!(lat.glb(l, r), lat.label("U"));
+        lat.is_lattice().unwrap();
+    }
+
+    #[test]
+    fn poset_without_top_is_not_lattice() {
+        let lat = LatticeBuilder::new()
+            .level("U")
+            .level("L")
+            .level("R")
+            .order("U", "L")
+            .order("U", "R")
+            .build()
+            .unwrap();
+        let err = lat.is_lattice().unwrap_err();
+        assert!(matches!(err, LatticeError::NotALattice { .. }));
+        let (l, r) = (lat.label("L").unwrap(), lat.label("R").unwrap());
+        assert!(lat.minimal_upper_bounds(l, r).is_empty());
+    }
+
+    #[test]
+    fn down_and_up_sets() {
+        let lat = diamond();
+        let names = |ls: Vec<crate::Label>| {
+            ls.into_iter()
+                .map(|l| lat.name(l).to_owned())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            names(lat.down_set(lat.label("T").unwrap())),
+            ["U", "L", "R", "T"]
+        );
+        assert_eq!(
+            names(lat.up_set(lat.label("U").unwrap())),
+            ["U", "L", "R", "T"]
+        );
+        assert_eq!(names(lat.down_set(lat.label("L").unwrap())), ["U", "L"]);
+    }
+
+    #[test]
+    fn minimal_and_maximal() {
+        let lat = diamond();
+        assert_eq!(lat.minimal(), vec![lat.label("U").unwrap()]);
+        assert_eq!(lat.maximal(), vec![lat.label("T").unwrap()]);
+    }
+
+    #[test]
+    fn lub_all_chain() {
+        let lat = chain();
+        let all: Vec<_> = lat.labels().collect();
+        assert_eq!(lat.lub_all(all), lat.label("T"));
+        assert_eq!(lat.lub_all([]), None);
+        let u = lat.label("U").unwrap();
+        assert_eq!(lat.lub_all([u]), Some(u));
+    }
+
+    #[test]
+    fn strict_pairs_count() {
+        // Chain of 4: 3 + 2 + 1 = 6 strict pairs.
+        assert_eq!(chain().strict_pairs().len(), 6);
+        // Diamond: U<L, U<R, U<T, L<T, R<T = 5.
+        assert_eq!(diamond().strict_pairs().len(), 5);
+    }
+
+    #[test]
+    fn parallel_cover_edges_deduplicated() {
+        let lat = LatticeBuilder::new()
+            .level("A")
+            .level("B")
+            .order("A", "B")
+            .order("A", "B")
+            .build()
+            .unwrap();
+        assert_eq!(lat.covers().len(), 1);
+    }
+
+    #[test]
+    fn redundant_transitive_edge_is_harmless() {
+        // order(U,S) in addition to U<C<S must not change dominance.
+        let lat = LatticeBuilder::new()
+            .level("U")
+            .level("C")
+            .level("S")
+            .order("U", "C")
+            .order("C", "S")
+            .order("U", "S")
+            .build()
+            .unwrap();
+        assert!(lat.dominates_by_name("S", "U").unwrap());
+        assert!(lat.is_total_order());
+    }
+
+    #[test]
+    fn debug_render() {
+        let s = format!("{:?}", chain());
+        assert!(s.contains("U < C"));
+    }
+}

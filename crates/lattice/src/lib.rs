@@ -1,0 +1,54 @@
+//! Security-label lattices for multilevel-secure (MLS) databases.
+//!
+//! The Bell–LaPadula model assigns every *object* a security classification
+//! and every *subject* a clearance; both are drawn from a partially ordered
+//! set of *access classes*. An access class has two components: a totally
+//! ordered hierarchy level (e.g. `U < C < S < T`) and an unordered set of
+//! categories (e.g. `{NATO, Army}`). Access classes form a lattice under
+//! the product order: `c1 >= c2` iff `c1`'s level is at least `c2`'s and
+//! `c1`'s categories are a superset of `c2`'s.
+//!
+//! MultiLog (Jamil, SIGMOD 1999) only requires a finite partial order of
+//! security labels, declared by `level/1` and `order/2` facts. This crate
+//! provides both views:
+//!
+//! * [`SecurityLattice`] — an arbitrary finite poset of named labels built
+//!   from Hasse-diagram edges, with memoised transitive-closure dominance,
+//!   least-upper-bound / greatest-lower-bound queries, and lattice-property
+//!   checks. This is the substrate the MultiLog engine evaluates `⪯` over.
+//! * [`AccessClass`] — the classic (hierarchy level, category set) pair with
+//!   the Bell–LaPadula product order, convertible into a [`SecurityLattice`]
+//!   by enumeration.
+//!
+//! # Example
+//!
+//! ```
+//! use multilog_lattice::standard;
+//!
+//! let lat = standard::military(); // U < C < S < T
+//! let u = lat.label("U").unwrap();
+//! let s = lat.label("S").unwrap();
+//! assert!(lat.dominates(s, u));
+//! assert!(!lat.dominates(u, s));
+//! assert_eq!(lat.lub(u, s), Some(s));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access_class;
+mod bitset;
+mod builder;
+mod error;
+mod label;
+mod lattice;
+pub mod standard;
+
+pub use access_class::{AccessClass, CategorySet};
+pub use builder::LatticeBuilder;
+pub use error::LatticeError;
+pub use label::Label;
+pub use lattice::SecurityLattice;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LatticeError>;

@@ -1,0 +1,135 @@
+//! Ready-made lattices used throughout the paper and the test-suite.
+
+use crate::{LatticeBuilder, SecurityLattice};
+
+/// The four-level military hierarchy `U < C < S < T` (Unclassified,
+/// Classified, Secret, Top Secret) used in every example of the paper.
+pub fn military() -> SecurityLattice {
+    total_order(&["U", "C", "S", "T"])
+}
+
+/// The three-level fragment `U < C < S` — the levels actually present in
+/// the `Mission` relation of Figure 1.
+pub fn mission_levels() -> SecurityLattice {
+    total_order(&["U", "C", "S"])
+}
+
+/// A total order over the given names, lowest first.
+///
+/// # Panics
+///
+/// Panics if `names` is empty or contains duplicates; a chain over
+/// distinct names is always a valid lattice.
+pub fn total_order(names: &[&str]) -> SecurityLattice {
+    let mut b = LatticeBuilder::new();
+    for name in names {
+        b.add_level(*name);
+    }
+    for w in names.windows(2) {
+        b.add_order(w[0], w[1]);
+    }
+    b.build()
+        .expect("chain over distinct names is a valid lattice")
+}
+
+/// The diamond `bottom < {left, right} < top` with incomparable middle
+/// labels — the smallest lattice exhibiting the multiple-incomparable-
+/// sources situation of §3.1.
+pub fn diamond(bottom: &str, left: &str, right: &str, top: &str) -> SecurityLattice {
+    LatticeBuilder::new()
+        .level(bottom)
+        .level(left)
+        .level(right)
+        .level(top)
+        .order(bottom, left)
+        .order(bottom, right)
+        .order(left, top)
+        .order(right, top)
+        .build()
+        .expect("diamond is a valid lattice")
+}
+
+/// A "wide" poset: one bottom, `width` incomparable middles, one top.
+/// Useful for stressing the cautious-mode conflict handling.
+pub fn fan(width: usize) -> SecurityLattice {
+    let mut b = LatticeBuilder::new();
+    b.add_level("bot");
+    for i in 0..width {
+        b.add_level(format!("m{i}"));
+    }
+    b.add_level("top");
+    for i in 0..width {
+        b.add_order("bot", format!("m{i}"));
+        b.add_order(format!("m{i}"), "top");
+    }
+    b.build().expect("fan is a valid lattice")
+}
+
+/// A chain of `depth` labels `l0 < l1 < … < l{depth-1}` for scaling
+/// benchmarks over lattice height.
+pub fn chain(depth: usize) -> SecurityLattice {
+    assert!(depth > 0, "chain needs at least one label");
+    let mut b = LatticeBuilder::new();
+    for i in 0..depth {
+        b.add_level(format!("l{i}"));
+    }
+    for i in 1..depth {
+        b.add_order(format!("l{}", i - 1), format!("l{i}"));
+    }
+    b.build().expect("chain is a valid lattice")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn military_is_the_paper_chain() {
+        let lat = military();
+        assert_eq!(lat.len(), 4);
+        assert!(lat.dominates_by_name("T", "U").unwrap());
+        assert!(lat.dominates_by_name("S", "C").unwrap());
+        assert!(!lat.dominates_by_name("C", "S").unwrap());
+        assert!(lat.is_total_order());
+        lat.is_lattice().unwrap();
+    }
+
+    #[test]
+    fn mission_levels_subset() {
+        let lat = mission_levels();
+        assert_eq!(lat.len(), 3);
+        assert!(lat.label("T").is_none());
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let lat = diamond("U", "Army", "Navy", "Joint");
+        assert!(!lat.comparable(lat.label("Army").unwrap(), lat.label("Navy").unwrap()));
+        lat.is_lattice().unwrap();
+    }
+
+    #[test]
+    fn fan_width() {
+        let lat = fan(5);
+        assert_eq!(lat.len(), 7);
+        lat.is_lattice().unwrap();
+        let m0 = lat.label("m0").unwrap();
+        let m4 = lat.label("m4").unwrap();
+        assert_eq!(lat.lub(m0, m4), lat.label("top"));
+        assert_eq!(lat.glb(m0, m4), lat.label("bot"));
+    }
+
+    #[test]
+    fn chain_depth() {
+        let lat = chain(16);
+        assert_eq!(lat.len(), 16);
+        assert!(lat.is_total_order());
+        assert!(lat.dominates_by_name("l15", "l0").unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one label")]
+    fn chain_zero_panics() {
+        chain(0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for Bell–LaPadula access classes and their enumeration
+//! into explicit lattices.
+
+use proptest::prelude::*;
+
+use multilog_lattice::AccessClass;
+
+const LEVELS: [&str; 4] = ["U", "C", "S", "T"];
+const CATS: [&str; 4] = ["a", "b", "c", "d"];
+
+fn arb_class() -> impl Strategy<Value = AccessClass> {
+    (0usize..4, proptest::collection::btree_set(0usize..4, 0..=4)).prop_map(|(rank, cats)| {
+        AccessClass::new(
+            rank,
+            LEVELS[rank],
+            cats.into_iter().map(|i| CATS[i].to_owned()),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn dominance_is_a_partial_order(a in arb_class(), b in arb_class(), c in arb_class()) {
+        // Reflexivity.
+        prop_assert!(a.dominates(&a));
+        // Antisymmetry.
+        if a.dominates(&b) && b.dominates(&a) {
+            prop_assert_eq!(&a.rank, &b.rank);
+            prop_assert_eq!(&a.categories, &b.categories);
+        }
+        // Transitivity.
+        if a.dominates(&b) && b.dominates(&c) {
+            prop_assert!(a.dominates(&c));
+        }
+    }
+
+    #[test]
+    fn lub_is_least_upper_bound(a in arb_class(), b in arb_class()) {
+        let names: Vec<&str> = LEVELS.to_vec();
+        let lub = a.lub(&b, &names);
+        prop_assert!(lub.dominates(&a));
+        prop_assert!(lub.dominates(&b));
+        // Least: any other upper bound dominates the lub.
+        let top = AccessClass::new(3, "T", CATS.iter().copied());
+        prop_assert!(top.dominates(&lub));
+        // lub is idempotent and commutative.
+        prop_assert_eq!(a.lub(&b, &names).label_name(), b.lub(&a, &names).label_name());
+        prop_assert_eq!(a.lub(&a, &names).label_name(), a.label_name());
+    }
+
+    #[test]
+    fn glb_is_greatest_lower_bound(a in arb_class(), b in arb_class()) {
+        let names: Vec<&str> = LEVELS.to_vec();
+        let glb = a.glb(&b, &names);
+        prop_assert!(a.dominates(&glb));
+        prop_assert!(b.dominates(&glb));
+        let bottom = AccessClass::new(0, "U", Vec::<String>::new());
+        prop_assert!(glb.dominates(&bottom));
+    }
+
+    #[test]
+    fn lub_glb_absorption(a in arb_class(), b in arb_class()) {
+        // a ∧ (a ∨ b) = a and a ∨ (a ∧ b) = a.
+        let names: Vec<&str> = LEVELS.to_vec();
+        let lub = a.lub(&b, &names);
+        let absorbed = a.glb(&lub, &names);
+        prop_assert_eq!(absorbed.label_name(), a.label_name());
+        let glb = a.glb(&b, &names);
+        let absorbed = a.lub(&glb, &names);
+        prop_assert_eq!(absorbed.label_name(), a.label_name());
+    }
+
+    #[test]
+    fn enumerated_lattice_agrees_with_direct_dominance(
+        a in arb_class(),
+        b in arb_class(),
+    ) {
+        // Dominance computed on AccessClass values must equal dominance in
+        // the enumerated SecurityLattice.
+        let lat = AccessClass::enumerate_lattice(&LEVELS[..2], &CATS[..2]).unwrap();
+        // Project the random classes into the 2-level, 2-category space.
+        let project = |x: &AccessClass| {
+            AccessClass::new(
+                x.rank.min(1),
+                LEVELS[x.rank.min(1)],
+                x.categories
+                    .iter()
+                    .filter(|c| ["a", "b"].contains(&c.as_str()))
+                    .cloned(),
+            )
+        };
+        let (pa, pb) = (project(&a), project(&b));
+        let la = lat.label(&pa.label_name()).expect("projected class exists");
+        let lb = lat.label(&pb.label_name()).expect("projected class exists");
+        prop_assert_eq!(pa.dominates(&pb), lat.dominates(la, lb));
+    }
+}

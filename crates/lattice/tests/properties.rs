@@ -1,0 +1,167 @@
+//! Property-based tests for the lattice substrate.
+//!
+//! Strategy: generate random DAGs as "layered" posets (edges only go from a
+//! lower layer to a higher one, which guarantees acyclicity), then check
+//! the order axioms and the consistency of the derived query surfaces.
+
+use proptest::prelude::*;
+
+use multilog_lattice::{Label, LatticeBuilder, SecurityLattice};
+
+/// A random layered poset: `layers` layers of up to `width` labels each,
+/// with random upward edges.
+fn arb_poset() -> impl Strategy<Value = SecurityLattice> {
+    (2usize..5, 1usize..4, any::<u64>()).prop_map(|(layers, width, seed)| {
+        let mut b = LatticeBuilder::new();
+        let mut names: Vec<Vec<String>> = Vec::new();
+        for layer in 0..layers {
+            let mut row = Vec::new();
+            for w in 0..width {
+                let name = format!("n{layer}_{w}");
+                b.add_level(name.clone());
+                row.push(name);
+            }
+            names.push(row);
+        }
+        // Deterministic pseudo-random edges from the seed.
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for layer in 1..layers {
+            for hi in &names[layer] {
+                for lo in &names[layer - 1] {
+                    if next() % 3 != 0 {
+                        b.add_order(lo.clone(), hi.clone());
+                    }
+                }
+            }
+        }
+        b.build().expect("layered construction is acyclic")
+    })
+}
+
+proptest! {
+    #[test]
+    fn dominance_is_reflexive(lat in arb_poset()) {
+        for l in lat.labels() {
+            prop_assert!(lat.dominates(l, l));
+        }
+    }
+
+    #[test]
+    fn dominance_is_antisymmetric(lat in arb_poset()) {
+        for a in lat.labels() {
+            for b in lat.labels() {
+                if a != b {
+                    prop_assert!(!(lat.leq(a, b) && lat.leq(b, a)),
+                        "both {} <= {} and converse", lat.name(a), lat.name(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_is_transitive(lat in arb_poset()) {
+        let labels: Vec<Label> = lat.labels().collect();
+        for &a in &labels {
+            for &b in &labels {
+                if !lat.leq(a, b) { continue; }
+                for &c in &labels {
+                    if lat.leq(b, c) {
+                        prop_assert!(lat.leq(a, c));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn down_set_matches_dominates(lat in arb_poset()) {
+        for hi in lat.labels() {
+            let down = lat.down_set(hi);
+            for lo in lat.labels() {
+                prop_assert_eq!(down.contains(&lo), lat.dominates(hi, lo));
+            }
+        }
+    }
+
+    #[test]
+    fn up_set_is_transpose_of_down_set(lat in arb_poset()) {
+        for a in lat.labels() {
+            for b in lat.labels() {
+                prop_assert_eq!(
+                    lat.up_set(a).contains(&b),
+                    lat.down_set(b).contains(&a)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_upper_bounds_are_bounds_and_minimal(lat in arb_poset()) {
+        let labels: Vec<Label> = lat.labels().collect();
+        for &a in &labels {
+            for &b in &labels {
+                let mubs = lat.minimal_upper_bounds(a, b);
+                for &m in &mubs {
+                    prop_assert!(lat.leq(a, m) && lat.leq(b, m));
+                }
+                // Pairwise incomparable.
+                for &m in &mubs {
+                    for &n in &mubs {
+                        if m != n {
+                            prop_assert!(!lat.leq(m, n));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lub_is_unique_minimal_upper_bound(lat in arb_poset()) {
+        for a in lat.labels() {
+            for b in lat.labels() {
+                let mubs = lat.minimal_upper_bounds(a, b);
+                match lat.lub(a, b) {
+                    Some(l) => prop_assert_eq!(mubs, vec![l]),
+                    None => prop_assert_ne!(mubs.len(), 1),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strict_pairs_are_strict_and_complete(lat in arb_poset()) {
+        let pairs = lat.strict_pairs();
+        for &(lo, hi) in &pairs {
+            prop_assert!(lat.lt(lo, hi));
+        }
+        let count = lat
+            .labels()
+            .flat_map(|a| lat.labels().map(move |b| (a, b)))
+            .filter(|&(a, b)| lat.lt(a, b))
+            .count();
+        prop_assert_eq!(pairs.len(), count);
+    }
+
+    #[test]
+    fn comparable_is_symmetric(lat in arb_poset()) {
+        for a in lat.labels() {
+            for b in lat.labels() {
+                prop_assert_eq!(lat.comparable(a, b), lat.comparable(b, a));
+            }
+        }
+    }
+}
+
+#[test]
+fn dominance_by_name_unknown_label_errors() {
+    let lat = multilog_lattice::standard::military();
+    assert!(lat.dominates_by_name("T", "nope").is_err());
+    assert!(lat.require("nope").is_err());
+}

@@ -1,0 +1,339 @@
+//! The parametric belief function β of Definition 3.1.
+//!
+//! `β : R × S × μ → R` computes, from a stored multilevel relation, the
+//! relation a rational agent at level `s` *believes* under a mode `m`:
+//!
+//! * **firm** — believe only tuples asserted at exactly the agent's level
+//!   (`t[TC] = s`). Figure 6.
+//! * **optimistic** — believe everything visible (`t[TC] ⪯ s`), re-tagged
+//!   to the agent's level. Figure 7.
+//! * **cautious** — inheritance with overriding: per apparent key, each
+//!   attribute takes the visible value whose column classification is not
+//!   strictly dominated by any other visible value's classification for
+//!   that attribute. Figure 8. On a partial order several incomparable
+//!   maxima may survive, yielding multiple believed tuples (the multiple-
+//!   models phenomenon of §3.1).
+//!
+//! β deliberately does **not** apply the filter function σ, so the
+//! σ-generated surprise stories (t4/t5 with `⊥`s) never enter any believed
+//! relation — the paper's point at the end of §3.2.
+
+use multilog_lattice::Label;
+
+use crate::relation::MlsRelation;
+use crate::tuple::MlsTuple;
+use crate::value::Value;
+use crate::Result;
+
+/// The belief modes μ of Definition 3.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BeliefMode {
+    /// Strict belief: own-level data only.
+    Firm,
+    /// Greedy belief: accumulate everything visible.
+    Optimistic,
+    /// Conservative belief: highest column classification wins.
+    Cautious,
+}
+
+impl BeliefMode {
+    /// The paper's shorthand (`fir`, `opt`, `cau`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            BeliefMode::Firm => "fir",
+            BeliefMode::Optimistic => "opt",
+            BeliefMode::Cautious => "cau",
+        }
+    }
+
+    /// Parse either the long or the short mode name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "fir" | "firm" | "firmly" => Some(BeliefMode::Firm),
+            "opt" | "optimistic" | "optimistically" => Some(BeliefMode::Optimistic),
+            "cau" | "cautious" | "cautiously" => Some(BeliefMode::Cautious),
+            _ => None,
+        }
+    }
+
+    /// All three modes.
+    pub fn all() -> [BeliefMode; 3] {
+        [
+            BeliefMode::Firm,
+            BeliefMode::Optimistic,
+            BeliefMode::Cautious,
+        ]
+    }
+}
+
+impl std::fmt::Display for BeliefMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Compute `β(rel, s, mode)`.
+pub fn believe(rel: &MlsRelation, s: Label, mode: BeliefMode) -> Result<MlsRelation> {
+    match mode {
+        BeliefMode::Firm => Ok(firm(rel, s)),
+        BeliefMode::Optimistic => Ok(optimistic(rel, s)),
+        BeliefMode::Cautious => Ok(cautious(rel, s)),
+    }
+}
+
+fn firm(rel: &MlsRelation, s: Label) -> MlsRelation {
+    let mut out = MlsRelation::new(rel.scheme().clone());
+    for t in rel.tuples() {
+        if t.tc == s {
+            out.insert_unchecked(t.clone());
+        }
+    }
+    out
+}
+
+fn optimistic(rel: &MlsRelation, s: Label) -> MlsRelation {
+    let lat = rel.lattice().clone();
+    let mut out = MlsRelation::new(rel.scheme().clone());
+    for t in rel.tuples() {
+        if lat.leq(t.tc, s) {
+            let mut believed = t.clone();
+            believed.tc = s;
+            out.insert_unchecked(believed);
+        }
+    }
+    out
+}
+
+fn cautious(rel: &MlsRelation, s: Label) -> MlsRelation {
+    let lat = rel.lattice().clone();
+    let mut out = MlsRelation::new(rel.scheme().clone());
+    let visible: Vec<&MlsTuple> = rel.visible_at(s).collect();
+    let kw = rel.scheme().key_width();
+
+    // One candidate group per distinct (key values, key class) among the
+    // visible tuples (Def 3.1: ∃u visible with t[AK, C_AK] = u[AK, C_AK]).
+    let mut seen_keys: Vec<(Vec<Value>, Label)> = Vec::new();
+    for u in &visible {
+        let key = (u.key_slice(kw).to_vec(), u.key_class());
+        if seen_keys.contains(&key) {
+            continue;
+        }
+        seen_keys.push(key);
+    }
+
+    for (key_values, key_class) in seen_keys {
+        // Per attribute: the set of (value, class) pairs from visible
+        // tuples with this key value whose class is maximal (no visible w
+        // with v[C_i] ≺ w[C_i]).
+        let same_key: Vec<&&MlsTuple> = visible
+            .iter()
+            .filter(|t| t.key_slice(kw) == key_values.as_slice())
+            .collect();
+        let arity = rel.scheme().arity();
+        let mut choices: Vec<Vec<(Value, Label)>> = Vec::with_capacity(arity);
+        // Key attributes: fixed by the group, uniformly classified.
+        for kv in &key_values {
+            choices.push(vec![(kv.clone(), key_class)]);
+        }
+        for i in kw..arity {
+            let mut maxima: Vec<(Value, Label)> = Vec::new();
+            for v in &same_key {
+                let beaten = same_key.iter().any(|w| lat.lt(v.classes[i], w.classes[i]));
+                if beaten {
+                    continue;
+                }
+                let pair = (v.values[i].clone(), v.classes[i]);
+                if !maxima.contains(&pair) {
+                    maxima.push(pair);
+                }
+            }
+            choices.push(maxima);
+        }
+        // Cartesian product of the per-attribute maxima (usually singletons;
+        // several only under incomparable classifications).
+        let mut rows: Vec<(Vec<Value>, Vec<Label>)> = vec![(Vec::new(), Vec::new())];
+        for attr_choices in &choices {
+            let mut next = Vec::new();
+            for (values, classes) in &rows {
+                for (v, c) in attr_choices {
+                    let mut values = values.clone();
+                    let mut classes = classes.clone();
+                    values.push(v.clone());
+                    classes.push(*c);
+                    next.push((values, classes));
+                }
+            }
+            rows = next;
+        }
+        for (values, classes) in rows {
+            out.insert_unchecked(MlsTuple::new(values, classes, s));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mission;
+    use crate::scheme::MlsScheme;
+    use multilog_lattice::standard;
+    use std::sync::Arc;
+
+    fn rows(rel: &MlsRelation) -> Vec<String> {
+        let lat = rel.lattice();
+        rel.tuples().iter().map(|t| t.render(lat)).collect()
+    }
+
+    #[test]
+    fn figure6_firm_view_at_c() {
+        let (lat, rel) = mission::mission_relation();
+        let c = lat.label("C").unwrap();
+        let v = believe(&rel, c, BeliefMode::Firm).unwrap();
+        assert_eq!(
+            rows(&v),
+            vec!["Atlantis U | Diplomacy U | Vulcan U | C"],
+            "Figure 6: only t6"
+        );
+    }
+
+    #[test]
+    fn figure7_optimistic_view_at_c() {
+        let (lat, rel) = mission::mission_relation();
+        let c = lat.label("C").unwrap();
+        let v = believe(&rel, c, BeliefMode::Optimistic).unwrap();
+        // Figure 7 minus the σ-generated t4/t5 (the paper: "β will produce
+        // the views in figure 6 through 8 except the tuples t4 and t5 in
+        // figure 7"). t6/t7 merge once re-tagged to C.
+        let expected = vec![
+            "Atlantis U | Diplomacy U | Vulcan U | C",
+            "Voyager U | Training U | Mars U | C",
+            "Falcon U | Piracy U | Venus U | C",
+            "Eagle U | Patrolling U | Degoba U | C",
+        ];
+        assert_eq!(rows(&v), expected);
+    }
+
+    #[test]
+    fn figure8_cautious_view_at_c() {
+        let (lat, rel) = mission::mission_relation();
+        let c = lat.label("C").unwrap();
+        let v = believe(&rel, c, BeliefMode::Cautious).unwrap();
+        // Figure 8 minus the σ-generated t5.
+        let expected = vec![
+            "Atlantis U | Diplomacy U | Vulcan U | C",
+            "Voyager U | Training U | Mars U | C",
+            "Falcon U | Piracy U | Venus U | C",
+            "Eagle U | Patrolling U | Degoba U | C",
+        ];
+        assert_eq!(rows(&v), expected);
+    }
+
+    #[test]
+    fn cautious_overrides_at_s() {
+        let (lat, rel) = mission::mission_relation();
+        let s = lat.label("S").unwrap();
+        let v = believe(&rel, s, BeliefMode::Cautious).unwrap();
+        // Voyager: objective Spying (class S) overrides Training (class U).
+        let voyager: Vec<_> = v.by_key(&Value::str("Voyager")).collect();
+        assert_eq!(voyager.len(), 1);
+        assert_eq!(voyager[0].values[1], Value::str("Spying"));
+        assert_eq!(voyager[0].values[2], Value::str("Mars"));
+        // Phantom: two key classes (U and C), and two S-classified
+        // objective values (Spying from t4, Supply from t5) that tie at the
+        // maximal classification — Def 3.1 believes every non-dominated
+        // choice, so 2 key classes × 2 objectives = 4 tuples.
+        let phantom: Vec<_> = v.by_key(&Value::str("Phantom")).collect();
+        assert_eq!(phantom.len(), 4);
+        for p in &phantom {
+            assert_eq!(p.values[2], Value::str("Venus"), "S-classified dest wins");
+            assert!(p.values[1] == Value::str("Spying") || p.values[1] == Value::str("Supply"));
+        }
+    }
+
+    #[test]
+    fn firm_at_u_is_u_tuples() {
+        let (lat, rel) = mission::mission_relation();
+        let u = lat.label("U").unwrap();
+        let v = believe(&rel, u, BeliefMode::Firm).unwrap();
+        assert_eq!(v.len(), 4); // t7, t8, t9, t10
+        assert!(v.tuples().iter().all(|t| t.tc == u));
+    }
+
+    #[test]
+    fn optimistic_at_u_equals_firm_at_u() {
+        // At the bottom level nothing flows up, so opt == fir.
+        let (lat, rel) = mission::mission_relation();
+        let u = lat.label("U").unwrap();
+        let f = believe(&rel, u, BeliefMode::Firm).unwrap();
+        let o = believe(&rel, u, BeliefMode::Optimistic).unwrap();
+        assert!(f.same_tuples(&o));
+    }
+
+    #[test]
+    fn optimistic_at_s_retags_everything() {
+        let (lat, rel) = mission::mission_relation();
+        let s = lat.label("S").unwrap();
+        let v = believe(&rel, s, BeliefMode::Optimistic).unwrap();
+        assert!(v.tuples().iter().all(|t| t.tc == s));
+        // t2 (already S) merges with t6/t7 re-tagged: 10 - 2 = 8 tuples.
+        assert_eq!(v.len(), 8);
+    }
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(BeliefMode::parse("cau"), Some(BeliefMode::Cautious));
+        assert_eq!(
+            BeliefMode::parse("optimistically"),
+            Some(BeliefMode::Optimistic)
+        );
+        assert_eq!(BeliefMode::parse("firm"), Some(BeliefMode::Firm));
+        assert_eq!(BeliefMode::parse("wild"), None);
+        assert_eq!(BeliefMode::Cautious.to_string(), "cau");
+    }
+
+    #[test]
+    fn cautious_incomparable_classes_yield_multiple_models() {
+        // Diamond lattice: two incomparable middle levels each assert a
+        // different objective for the same key; at the top both maxima
+        // survive (§3.1's "multiple models and associated unpredictability").
+        let lat = Arc::new(standard::diamond("bot", "left", "right", "top"));
+        let scheme = MlsScheme::unconstrained("r", lat.clone(), &["k", "a"]);
+        let mut rel = MlsRelation::new(scheme);
+        let (bot, left, right, top) = (
+            lat.label("bot").unwrap(),
+            lat.label("left").unwrap(),
+            lat.label("right").unwrap(),
+            lat.label("top").unwrap(),
+        );
+        rel.insert(MlsTuple::new(
+            vec![Value::str("k1"), Value::str("from_left")],
+            vec![bot, left],
+            left,
+        ))
+        .unwrap();
+        rel.insert(MlsTuple::new(
+            vec![Value::str("k1"), Value::str("from_right")],
+            vec![bot, right],
+            right,
+        ))
+        .unwrap();
+        let v = believe(&rel, top, BeliefMode::Cautious).unwrap();
+        assert_eq!(
+            v.len(),
+            2,
+            "both incomparable maxima believed:\n{}",
+            v.render()
+        );
+    }
+
+    #[test]
+    fn empty_relation_all_modes_empty() {
+        let (lat, scheme) = mission::mission_scheme();
+        let rel = MlsRelation::new(scheme);
+        for mode in BeliefMode::all() {
+            let v = believe(&rel, lat.label("S").unwrap(), mode).unwrap();
+            assert!(v.is_empty());
+        }
+    }
+}

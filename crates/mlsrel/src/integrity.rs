@@ -1,0 +1,241 @@
+//! The core integrity properties of Definition 5.4 (carried over from
+//! Jajodia–Sandhu):
+//!
+//! * **Entity integrity** — the apparent key is non-null, uniformly
+//!   classified, and every non-key classification dominates the key
+//!   classification.
+//! * **Null integrity** — nulls are classified at the key class, and no
+//!   two distinct tuples subsume one another.
+//! * **Polyinstantiation integrity** — the functional dependency
+//!   `AK, C_AK, C_i → A_i` holds for every data attribute.
+
+use crate::relation::MlsRelation;
+use crate::scheme::MlsScheme;
+use crate::tuple::MlsTuple;
+use crate::{MlsError, Result};
+
+/// Per-tuple checks (entity integrity and the null-classification half of
+/// null integrity). Called on every insert into a base relation.
+pub fn check_tuple(scheme: &MlsScheme, t: &MlsTuple) -> Result<()> {
+    let lat = scheme.lattice();
+    let key_class = t.key_class();
+    // Entity integrity: every key attribute non-null and uniformly
+    // classified (Def 5.4: "AK is uniformly classified").
+    for i in scheme.key_indices() {
+        if t.values[i].is_null() {
+            return Err(MlsError::EntityIntegrity {
+                detail: format!("apparent key of {scheme:?} is ⊥"),
+            });
+        }
+        if t.classes[i] != key_class {
+            return Err(MlsError::EntityIntegrity {
+                detail: format!(
+                    "key attribute {} classified {} but the key class is {}",
+                    scheme.attrs()[i].name,
+                    lat.name(t.classes[i]),
+                    lat.name(key_class)
+                ),
+            });
+        }
+    }
+    // Entity integrity: c_i ⪰ c_AK for non-key attributes.
+    for (i, (&c, v)) in t
+        .classes
+        .iter()
+        .zip(&t.values)
+        .enumerate()
+        .skip(scheme.key_width())
+    {
+        if !lat.leq(key_class, c) {
+            return Err(MlsError::EntityIntegrity {
+                detail: format!(
+                    "class of attribute {} ({}) does not dominate key class {}",
+                    scheme.attrs()[i].name,
+                    lat.name(c),
+                    lat.name(key_class)
+                ),
+            });
+        }
+        // Null integrity: nulls classified at the key class.
+        if v.is_null() && c != key_class {
+            return Err(MlsError::NullIntegrity {
+                detail: format!(
+                    "⊥ in attribute {} classified {} instead of key class {}",
+                    scheme.attrs()[i].name,
+                    lat.name(c),
+                    lat.name(key_class)
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Instance-level checks: subsumption-freedom and polyinstantiation
+/// integrity.
+pub fn check_relation(rel: &MlsRelation) -> Result<()> {
+    for t in rel.tuples() {
+        check_tuple(rel.scheme(), t)?;
+    }
+    check_subsumption_free(rel)?;
+    check_polyinstantiation(rel)
+}
+
+/// Null integrity, second half: no tuple strictly subsumes another.
+///
+/// Tuples with identical data but different `TC` (the same information
+/// asserted at several levels, like Figure 1's t2/t6/t7) mutually subsume
+/// but belong to different level instances, so only *strict* subsumption
+/// is a violation of the stored relation.
+pub fn check_subsumption_free(rel: &MlsRelation) -> Result<()> {
+    let ts = rel.tuples();
+    for (i, a) in ts.iter().enumerate() {
+        for b in &ts[i + 1..] {
+            if a.strictly_subsumes(b) || b.strictly_subsumes(a) {
+                return Err(MlsError::NullIntegrity {
+                    detail: format!("tuples {:?} and {:?} subsume one another", a, b),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Polyinstantiation integrity: `AK, C_AK, C_i → A_i`.
+pub fn check_polyinstantiation(rel: &MlsRelation) -> Result<()> {
+    let ts = rel.tuples();
+    for (i, a) in ts.iter().enumerate() {
+        for b in &ts[i + 1..] {
+            if a.key() != b.key() || a.key_class() != b.key_class() {
+                continue;
+            }
+            for (idx, ((va, ca), (vb, cb))) in a
+                .values
+                .iter()
+                .zip(&a.classes)
+                .zip(b.values.iter().zip(&b.classes))
+                .enumerate()
+            {
+                if ca == cb && va != vb {
+                    return Err(MlsError::PolyinstantiationIntegrity {
+                        detail: format!(
+                            "key {} at class {} has two values for attribute {} at class {}: {} vs {}",
+                            a.key(),
+                            rel.lattice().name(a.key_class()),
+                            rel.scheme().attrs()[idx].name,
+                            rel.lattice().name(*ca),
+                            va,
+                            vb
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use multilog_lattice::standard;
+    use std::sync::Arc;
+
+    fn rel() -> MlsRelation {
+        let lat = Arc::new(standard::mission_levels());
+        MlsRelation::new(MlsScheme::unconstrained("r", lat, &["k", "a", "b"]))
+    }
+
+    fn tup(r: &MlsRelation, vals: [&str; 3], cls: [&str; 3], tc: &str) -> MlsTuple {
+        let lat = r.lattice();
+        MlsTuple::new(
+            vals.iter()
+                .map(|v| {
+                    if *v == "_" {
+                        Value::Null
+                    } else {
+                        Value::str(*v)
+                    }
+                })
+                .collect(),
+            cls.iter().map(|c| lat.label(c).unwrap()).collect(),
+            lat.label(tc).unwrap(),
+        )
+    }
+
+    #[test]
+    fn null_key_rejected() {
+        let mut r = rel();
+        let t = tup(&r, ["_", "x", "y"], ["U", "U", "U"], "U");
+        assert!(matches!(r.insert(t), Err(MlsError::EntityIntegrity { .. })));
+    }
+
+    #[test]
+    fn attr_class_below_key_class_rejected() {
+        let mut r = rel();
+        let t = tup(&r, ["k1", "x", "y"], ["S", "U", "S"], "S");
+        assert!(matches!(r.insert(t), Err(MlsError::EntityIntegrity { .. })));
+    }
+
+    #[test]
+    fn null_misclassified_rejected() {
+        let mut r = rel();
+        let t = tup(&r, ["k1", "_", "y"], ["U", "S", "U"], "S");
+        assert!(matches!(r.insert(t), Err(MlsError::NullIntegrity { .. })));
+    }
+
+    #[test]
+    fn null_at_key_class_accepted() {
+        let mut r = rel();
+        let t = tup(&r, ["k1", "_", "y"], ["U", "U", "U"], "U");
+        r.insert(t).unwrap();
+        r.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn subsumed_pair_rejected() {
+        let mut r = rel();
+        r.insert(tup(&r.clone(), ["k1", "x", "y"], ["U", "U", "U"], "U"))
+            .unwrap();
+        r.insert(tup(&r.clone(), ["k1", "_", "y"], ["U", "U", "U"], "S"))
+            .unwrap();
+        assert!(matches!(
+            r.check_integrity(),
+            Err(MlsError::NullIntegrity { .. })
+        ));
+    }
+
+    #[test]
+    fn polyinstantiation_integrity_violation() {
+        let mut r = rel();
+        // Same key, same key class, same attr class, different values.
+        r.insert(tup(&r.clone(), ["k1", "x", "y"], ["U", "C", "U"], "C"))
+            .unwrap();
+        r.insert(tup(&r.clone(), ["k1", "z", "y2"], ["U", "C", "C"], "C"))
+            .unwrap();
+        assert!(matches!(
+            r.check_integrity(),
+            Err(MlsError::PolyinstantiationIntegrity { .. })
+        ));
+    }
+
+    #[test]
+    fn polyinstantiated_at_different_classes_ok() {
+        let mut r = rel();
+        // Same key & key class, attribute differs at *different* classes:
+        // legal polyinstantiation (a cover story).
+        r.insert(tup(&r.clone(), ["k1", "x", "y"], ["U", "U", "U"], "U"))
+            .unwrap();
+        r.insert(tup(&r.clone(), ["k1", "z", "y"], ["U", "S", "U"], "S"))
+            .unwrap();
+        r.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn mission_relation_is_consistent() {
+        // The paper asserts Figure 1 satisfies polyinstantiation integrity.
+        let (_, m) = crate::mission::mission_relation();
+        m.check_integrity().unwrap();
+    }
+}

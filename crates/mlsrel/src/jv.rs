@@ -1,0 +1,507 @@
+//! The Jukic–Vrbsky belief-label model of §3 (Figures 4 and 5).
+//!
+//! Jukic and Vrbsky \[16\] replace the stored-state view of a multilevel
+//! relation with *belief labels*: every value records which levels assert
+//! it, and every tuple variant receives a fixed interpretation at each
+//! level — one of `true`, `invisible`, `irrelevant`, `cover story`, or
+//! `mirage`.
+//!
+//! The stored relation of Figure 1 cannot reconstruct those labels (the
+//! deletions of the Phantom rows already destroyed the history), so this
+//! module computes the J-V representation from the *operation history*
+//! ([`crate::ops::Op`]) instead:
+//!
+//! * `Insert`/`Assert` create or endorse a variant — the asserting level
+//!   *believes* it;
+//! * `Update` creates a replacing variant, turning the replaced one into a
+//!   deliberate *cover story* for every level that can see the
+//!   replacement;
+//! * `AssertFalse` brands a variant a *mirage* at the asserting level;
+//! * `Delete` is ignored — J-V labels record beliefs, which deletion of
+//!   the stored row does not retract.
+//!
+//! Label rendering (Figure 4) is reconstructed as: for each row and
+//! attribute, the concatenated (lattice-ordered) levels that believe that
+//! `(key, attribute, value, class)` combination across variants, followed
+//! by `-X` for each level `X` at which the row is known false (cover
+//! story or mirage) and the attribute value is not independently believed.
+
+use std::fmt;
+
+use multilog_lattice::{Label, SecurityLattice};
+
+use crate::ops::Op;
+use crate::scheme::MlsScheme;
+use crate::value::Value;
+use crate::{MlsError, Result};
+
+/// The five Jukic–Vrbsky interpretations of Figure 5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Interpretation {
+    /// The level believes the tuple.
+    True,
+    /// The level cannot see the tuple.
+    Invisible,
+    /// Visible lower-level data with no bearing on the level's beliefs.
+    Irrelevant,
+    /// The level knows the tuple is a deliberately planted lie.
+    CoverStory,
+    /// The level knows the tuple is false, with no replacement planted.
+    Mirage,
+}
+
+impl fmt::Display for Interpretation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Interpretation::True => "true",
+            Interpretation::Invisible => "invisible",
+            Interpretation::Irrelevant => "irrelevant",
+            Interpretation::CoverStory => "cover story",
+            Interpretation::Mirage => "mirage",
+        })
+    }
+}
+
+/// One tuple variant in the J-V representation: a full row of values with
+/// their classifications, the levels asserting it, and provenance links.
+#[derive(Clone, Debug)]
+pub struct Variant {
+    /// The data values, key first.
+    pub values: Vec<Value>,
+    /// Per-attribute classifications.
+    pub classes: Vec<Label>,
+    /// The level that created the variant.
+    pub creator: Label,
+    /// Every level that asserted (believes) the variant, creator included.
+    pub believers: Vec<Label>,
+    /// Levels that asserted the variant false without replacement.
+    pub asserted_false: Vec<Label>,
+    /// Index of the variant this one replaced via an update, if any.
+    pub replaces: Option<usize>,
+}
+
+impl Variant {
+    /// The apparent-key value.
+    pub fn key(&self) -> &Value {
+        &self.values[0]
+    }
+
+    /// The apparent-key classification.
+    pub fn key_class(&self) -> Label {
+        self.classes[0]
+    }
+}
+
+/// The Jukic–Vrbsky view of a relation history.
+#[derive(Clone, Debug)]
+pub struct JvRelation {
+    scheme: MlsScheme,
+    variants: Vec<Variant>,
+}
+
+impl JvRelation {
+    /// Build the J-V representation from an operation history.
+    pub fn from_history(scheme: MlsScheme, ops: &[Op]) -> Result<Self> {
+        let lat = scheme.lattice().clone();
+        let mut jv = JvRelation {
+            scheme,
+            variants: Vec::new(),
+        };
+        for op in ops {
+            jv.apply(&lat, op)?;
+        }
+        Ok(jv)
+    }
+
+    fn apply(&mut self, lat: &SecurityLattice, op: &Op) -> Result<()> {
+        match op {
+            Op::Insert { level, values } => {
+                let l = lat.require(level)?;
+                self.variants.push(Variant {
+                    values: values.clone(),
+                    classes: vec![l; values.len()],
+                    creator: l,
+                    believers: vec![l],
+                    asserted_false: Vec::new(),
+                    replaces: None,
+                });
+                Ok(())
+            }
+            Op::Assert {
+                level,
+                values,
+                key_class,
+            } => {
+                let l = lat.require(level)?;
+                let kc = lat.require(key_class)?;
+                let v = self
+                    .variants
+                    .iter_mut()
+                    .find(|v| v.key_class() == kc && &v.values == values)
+                    .ok_or_else(|| MlsError::NotVisible {
+                        key: values[0].to_string(),
+                        level: level.clone(),
+                    })?;
+                if !v.believers.contains(&l) {
+                    v.believers.push(l);
+                }
+                Ok(())
+            }
+            Op::Update {
+                level,
+                key,
+                key_class,
+                assignments,
+            } => {
+                let l = lat.require(level)?;
+                let kc = lat.require(key_class)?;
+                // The replaced variant: the latest visible one for the key.
+                let target_idx = self
+                    .variants
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| v.key() == key && v.key_class() == kc && lat.leq(v.creator, l))
+                    .map(|(i, _)| i)
+                    .next_back()
+                    .ok_or_else(|| MlsError::NotVisible {
+                        key: key.to_string(),
+                        level: level.clone(),
+                    })?;
+                let mut updated = self.variants[target_idx].clone();
+                for (attr, value, class) in assignments {
+                    let i = self.scheme.attr_index(attr)?;
+                    if let Some(v) = value {
+                        updated.values[i] = v.clone();
+                    }
+                    updated.classes[i] = lat.require(class)?;
+                }
+                updated.creator = l;
+                updated.believers = vec![l];
+                updated.asserted_false = Vec::new();
+                updated.replaces = Some(target_idx);
+                self.variants.push(updated);
+                Ok(())
+            }
+            Op::Delete { level, .. } => {
+                // Deletion of the stored row does not retract beliefs.
+                lat.require(level)?;
+                Ok(())
+            }
+            Op::AssertFalse {
+                level,
+                key,
+                key_class,
+            } => {
+                let l = lat.require(level)?;
+                let kc = lat.require(key_class)?;
+                let v = self
+                    .variants
+                    .iter_mut()
+                    .find(|v| v.key() == key && v.key_class() == kc)
+                    .ok_or_else(|| MlsError::NotVisible {
+                        key: key.to_string(),
+                        level: level.clone(),
+                    })?;
+                if !v.asserted_false.contains(&l) {
+                    v.asserted_false.push(l);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The variants, in creation order.
+    pub fn variants(&self) -> &[Variant] {
+        &self.variants
+    }
+
+    /// The scheme.
+    pub fn scheme(&self) -> &MlsScheme {
+        &self.scheme
+    }
+
+    /// Figure 5: the interpretation of variant `idx` at `level`.
+    pub fn interpret(&self, idx: usize, level: Label) -> Interpretation {
+        let lat = self.scheme.lattice();
+        let v = &self.variants[idx];
+        if !lat.leq(v.creator, level) {
+            return Interpretation::Invisible;
+        }
+        if v.believers.contains(&level) {
+            return Interpretation::True;
+        }
+        if v.asserted_false.contains(&level) {
+            return Interpretation::Mirage;
+        }
+        // Cover story: some visible variant replaces this one (directly or
+        // transitively).
+        let replaced_by_visible = self
+            .variants
+            .iter()
+            .any(|w| lat.leq(w.creator, level) && self.replaces_transitively(w, idx));
+        if replaced_by_visible {
+            Interpretation::CoverStory
+        } else {
+            Interpretation::Irrelevant
+        }
+    }
+
+    fn replaces_transitively(&self, w: &Variant, idx: usize) -> bool {
+        let mut cur = w.replaces;
+        while let Some(i) = cur {
+            if i == idx {
+                return true;
+            }
+            cur = self.variants[i].replaces;
+        }
+        false
+    }
+
+    /// The levels believing the `(key, attribute, value, class)` of variant
+    /// `idx` at attribute `attr`, merged across variants, lattice-ordered
+    /// bottom-up.
+    pub fn value_believers(&self, idx: usize, attr: usize) -> Vec<Label> {
+        let lat = self.scheme.lattice();
+        let v = &self.variants[idx];
+        let mut out: Vec<Label> = Vec::new();
+        for w in &self.variants {
+            if w.key() == v.key()
+                && w.values[attr] == v.values[attr]
+                && w.classes[attr] == v.classes[attr]
+            {
+                for &b in &w.believers {
+                    if !out.contains(&b) {
+                        out.push(b);
+                    }
+                }
+            }
+        }
+        // Order bottom-up: count of dominated labels is a cheap rank.
+        out.sort_by_key(|&l| (lat.down_set(l).len(), l.index()));
+        out
+    }
+
+    /// Figure 4: render the label of variant `idx` at attribute `attr`
+    /// (e.g. `US`, `U-S`, `UCS`, `C-S`).
+    pub fn attr_label(&self, idx: usize, attr: usize) -> String {
+        let lat = self.scheme.lattice();
+        let believers = self.value_believers(idx, attr);
+        let mut label: String = believers.iter().map(|&l| lat.name(l)).collect();
+        for level in lat.labels() {
+            let interp = self.interpret(idx, level);
+            let known_false =
+                interp == Interpretation::CoverStory || interp == Interpretation::Mirage;
+            if known_false && !believers.contains(&level) {
+                label.push('-');
+                label.push_str(lat.name(level));
+            }
+        }
+        label
+    }
+
+    /// Figure 4: the row-level (TC) label of variant `idx`.
+    pub fn row_label(&self, idx: usize) -> String {
+        let lat = self.scheme.lattice();
+        let v = &self.variants[idx];
+        let mut believers = v.believers.clone();
+        believers.sort_by_key(|&l| (lat.down_set(l).len(), l.index()));
+        let mut label: String = believers.iter().map(|&l| lat.name(l)).collect();
+        for level in lat.labels() {
+            let interp = self.interpret(idx, level);
+            if (interp == Interpretation::CoverStory || interp == Interpretation::Mirage)
+                && !believers.contains(&level)
+            {
+                label.push('-');
+                label.push_str(lat.name(level));
+            }
+        }
+        label
+    }
+
+    /// Render the full Figure 4 table: one line per variant,
+    /// `value label | … | row-label`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, v) in self.variants.iter().enumerate() {
+            let mut parts: Vec<String> = (0..v.values.len())
+                .map(|a| format!("{} {}", v.values[a], self.attr_label(i, a)))
+                .collect();
+            parts.push(self.row_label(i));
+            out.push_str(&parts.join(" | "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render the full Figure 5 table: interpretations per level for each
+    /// variant, for the given level names.
+    pub fn render_interpretations(&self, levels: &[&str]) -> String {
+        let lat = self.scheme.lattice().clone();
+        let mut out = String::new();
+        for (i, v) in self.variants.iter().enumerate() {
+            let cells: Vec<String> = levels
+                .iter()
+                .map(|name| {
+                    let l = lat.label(name).expect("level exists");
+                    self.interpret(i, l).to_string()
+                })
+                .collect();
+            out.push_str(&format!("{}: {}\n", v.key(), cells.join(" | ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mission;
+
+    fn jv() -> JvRelation {
+        let (_, scheme) = mission::mission_scheme();
+        JvRelation::from_history(scheme, &mission::mission_history()).unwrap()
+    }
+
+    fn find(jv: &JvRelation, key: &str, creator: &str) -> usize {
+        let lat = jv.scheme().lattice().clone();
+        let c = lat.label(creator).unwrap();
+        jv.variants()
+            .iter()
+            .position(|v| v.key() == &Value::str(key) && v.creator == c)
+            .unwrap()
+    }
+
+    #[test]
+    fn figure5_interpretations_reproduced() {
+        let jv = jv();
+        let lat = jv.scheme().lattice().clone();
+        let (u, c, s) = (
+            lat.label("U").unwrap(),
+            lat.label("C").unwrap(),
+            lat.label("S").unwrap(),
+        );
+        use Interpretation::*;
+        // (key, creator level) → expected (U, C, S) interpretations.
+        let expectations = [
+            ("Avenger", "S", [Invisible, Invisible, True]),   // t1
+            ("Atlantis", "U", [True, True, True]),            // t2 (merged)
+            ("Voyager", "S", [Invisible, Invisible, True]),   // t3
+            ("Phantom", "U", [True, Irrelevant, CoverStory]), // t4
+            ("Eagle", "U", [True, Irrelevant, Irrelevant]),   // t10
+            ("Falcon", "U", [True, Irrelevant, Mirage]),      // t9
+            ("Voyager", "U", [True, Irrelevant, CoverStory]), // t8
+            ("Phantom", "C", [Invisible, True, CoverStory]),  // t5'
+        ];
+        for (key, creator, [eu, ec, es]) in expectations {
+            let i = find(&jv, key, creator);
+            assert_eq!(jv.interpret(i, u), eu, "{key}@{creator} at U");
+            assert_eq!(jv.interpret(i, c), ec, "{key}@{creator} at C");
+            assert_eq!(jv.interpret(i, s), es, "{key}@{creator} at S");
+        }
+        // The two S-created Phantom variants (t4' replacing the U row, t5
+        // replacing the C row) are both true at S, invisible below.
+        let s_phantoms: Vec<usize> = jv
+            .variants()
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.key() == &Value::str("Phantom") && v.creator == s)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(s_phantoms.len(), 2);
+        for i in s_phantoms {
+            assert_eq!(jv.interpret(i, u), Invisible);
+            assert_eq!(jv.interpret(i, c), Invisible);
+            assert_eq!(jv.interpret(i, s), True);
+        }
+    }
+
+    #[test]
+    fn figure4_labels_reproduced() {
+        let jv = jv();
+        // t2 (merged Atlantis): believed at U, C and S → UCS everywhere.
+        let t2 = find(&jv, "Atlantis", "U");
+        for a in 0..3 {
+            assert_eq!(jv.attr_label(t2, a), "UCS");
+        }
+        assert_eq!(jv.row_label(t2), "UCS");
+
+        // t4 (U's Phantom): Starship shared with t4' → US; Objective
+        // believed only at U and branded a cover story at S → U-S.
+        let t4 = find(&jv, "Phantom", "U");
+        assert_eq!(jv.attr_label(t4, 0), "US");
+        assert_eq!(jv.attr_label(t4, 1), "U-S");
+        assert_eq!(jv.attr_label(t4, 2), "US");
+        assert_eq!(jv.row_label(t4), "U-S");
+
+        // t8: Voyager shared with t3 → US; Training is U's story, known
+        // false at S → U-S.
+        let t8 = find(&jv, "Voyager", "U");
+        assert_eq!(jv.attr_label(t8, 0), "US");
+        assert_eq!(jv.attr_label(t8, 1), "U-S");
+        assert_eq!(jv.attr_label(t8, 2), "US");
+        assert_eq!(jv.row_label(t8), "U-S");
+
+        // t9 (mirage at S): U-S on every attribute.
+        let t9 = find(&jv, "Falcon", "U");
+        for a in 0..3 {
+            assert_eq!(jv.attr_label(t9, a), "U-S");
+        }
+
+        // t10: plain U.
+        let t10 = find(&jv, "Eagle", "U");
+        for a in 0..3 {
+            assert_eq!(jv.attr_label(t10, a), "U");
+        }
+
+        // t5' (C's Phantom): Starship survives into t5 → CS; the hidden
+        // attributes are C's story, cover story at S → C-S.
+        let t5p = find(&jv, "Phantom", "C");
+        assert_eq!(jv.attr_label(t5p, 0), "CS");
+        assert_eq!(jv.attr_label(t5p, 1), "C-S");
+        assert_eq!(jv.attr_label(t5p, 2), "C-S");
+        assert_eq!(jv.row_label(t5p), "C-S");
+
+        // t3: Voyager US | Spying S | Mars US | S.
+        let t3 = find(&jv, "Voyager", "S");
+        assert_eq!(jv.attr_label(t3, 0), "US");
+        assert_eq!(jv.attr_label(t3, 1), "S");
+        assert_eq!(jv.attr_label(t3, 2), "US");
+        assert_eq!(jv.row_label(t3), "S");
+
+        // t1: S everywhere.
+        let t1 = find(&jv, "Avenger", "S");
+        for a in 0..3 {
+            assert_eq!(jv.attr_label(t1, a), "S");
+        }
+    }
+
+    #[test]
+    fn figure4_has_ten_variants() {
+        // t1, t2(merged), t3, t4, t4', t5, t5', t8, t9, t10.
+        assert_eq!(jv().variants().len(), 10);
+    }
+
+    #[test]
+    fn render_produces_tables() {
+        let jv = jv();
+        let fig4 = jv.render();
+        assert!(fig4.contains("Atlantis UCS | Diplomacy UCS | Vulcan UCS | UCS"));
+        let fig5 = jv.render_interpretations(&["U", "C", "S"]);
+        assert!(fig5.contains("Falcon: true | irrelevant | mirage"));
+    }
+
+    #[test]
+    fn update_of_unknown_variant_errors() {
+        let (_, scheme) = mission::mission_scheme();
+        let err = JvRelation::from_history(
+            scheme,
+            &[Op::Update {
+                level: "S".into(),
+                key: Value::str("Ghost"),
+                key_class: "U".into(),
+                assignments: vec![],
+            }],
+        );
+        assert!(matches!(err, Err(MlsError::NotVisible { .. })));
+    }
+}

@@ -1,0 +1,62 @@
+//! The multilevel-secure (MLS) relational model: schemes, instances,
+//! views, polyinstantiation, and belief modes.
+//!
+//! This crate implements the relational substrate of *"Belief Reasoning in
+//! MLS Deductive Databases"* (Jamil, SIGMOD 1999):
+//!
+//! * the Jajodia–Sandhu multilevel relational model of §2 — schemes with
+//!   per-attribute classification, tuple class `TC`, apparent keys, the
+//!   view at an access class `c` including the filter function σ and
+//!   subsumption elimination ([`view`]);
+//! * the core integrity properties (entity, null, subsumption-freedom,
+//!   polyinstantiation integrity) of Definition 5.4 ([`integrity`]);
+//! * update operations with *required polyinstantiation* so that the
+//!   paper's `Mission` scenario — including the *surprise stories* t4/t5 —
+//!   can be replayed from first principles ([`ops`]);
+//! * the parametric belief function β of Definition 3.1 with the `firm`,
+//!   `optimistic` and `cautious` modes ([`belief`]);
+//! * the Jukic–Vrbsky belief-label model of §3 (Figures 4 and 5),
+//!   reconstructed from assertion histories ([`jv`]);
+//! * Cuppens' additive / suspicious / trusted views, which the paper
+//!   claims are subsumed by the three MultiLog modes ([`cuppens`]);
+//! * a small query layer with `believed <mode>` predicates implementing
+//!   the §3.2 extended-SQL example ([`query`]);
+//! * the `Mission` relation of Figure 1 and its update history
+//!   ([`mission`]).
+//!
+//! # Example
+//!
+//! ```
+//! use multilog_mlsrel::{mission, belief::{believe, BeliefMode}};
+//!
+//! let (lattice, rel) = mission::mission_relation();
+//! let c = lattice.label("C").unwrap();
+//! let firm = believe(&rel, c, BeliefMode::Firm).unwrap();
+//! assert_eq!(firm.len(), 1); // Figure 6: only the Atlantis tuple
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod belief;
+pub mod cuppens;
+mod error;
+pub mod integrity;
+pub mod jv;
+pub mod mission;
+pub mod ops;
+pub mod query;
+mod relation;
+mod scheme;
+mod tuple;
+mod value;
+pub mod view;
+
+pub use error::MlsError;
+pub use relation::MlsRelation;
+pub use scheme::MlsScheme;
+pub use tuple::MlsTuple;
+pub use value::Value;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MlsError>;

@@ -1,0 +1,220 @@
+//! The `Mission` relation of Figure 1 and the update history that
+//! produces it.
+//!
+//! Figure 1 is the *stored state* of the relation after a sequence of
+//! inserts, updates (with required polyinstantiation), and deletes by
+//! subjects at U, C, and S. The deletes are what make tuples t4 and t5
+//! *surprise stories*: their lower-classified keys outlive the lower-level
+//! data they once anchored. [`mission_history`] reconstructs that sequence
+//! (§3 of the paper describes it informally); a test in [`crate::ops`]
+//! replays it and checks the result is exactly Figure 1.
+
+use std::sync::Arc;
+
+use multilog_lattice::{standard, SecurityLattice};
+
+use crate::ops::Op;
+use crate::relation::MlsRelation;
+use crate::scheme::MlsScheme;
+use crate::tuple::MlsTuple;
+use crate::value::Value;
+
+/// Attribute names of the Mission scheme.
+pub const ATTRS: [&str; 3] = ["Starship", "Objective", "Destination"];
+
+/// Tuple ids of Figure 1, in order, for labelling output.
+pub const TIDS: [&str; 10] = ["t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10"];
+
+/// Build the Mission scheme over the `U < C < S` lattice.
+pub fn mission_scheme() -> (Arc<SecurityLattice>, MlsScheme) {
+    let lat = Arc::new(standard::mission_levels());
+    let scheme = MlsScheme::unconstrained("Mission", lat.clone(), &ATTRS);
+    (lat, scheme)
+}
+
+/// The `Mission` relation exactly as printed in Figure 1 (10 tuples).
+pub fn mission_relation() -> (Arc<SecurityLattice>, MlsRelation) {
+    let (lat, scheme) = mission_scheme();
+    let mut rel = MlsRelation::new(scheme);
+    let rows: [(&str, &str, &str, [&str; 3], &str); 10] = [
+        ("Avenger", "Shipping", "Pluto", ["S", "S", "S"], "S"), // t1
+        ("Atlantis", "Diplomacy", "Vulcan", ["U", "U", "U"], "S"), // t2
+        ("Voyager", "Spying", "Mars", ["U", "S", "U"], "S"),    // t3
+        ("Phantom", "Spying", "Omega", ["U", "S", "U"], "S"),   // t4
+        ("Phantom", "Supply", "Venus", ["C", "S", "S"], "S"),   // t5
+        ("Atlantis", "Diplomacy", "Vulcan", ["U", "U", "U"], "C"), // t6
+        ("Atlantis", "Diplomacy", "Vulcan", ["U", "U", "U"], "U"), // t7
+        ("Voyager", "Training", "Mars", ["U", "U", "U"], "U"),  // t8
+        ("Falcon", "Piracy", "Venus", ["U", "U", "U"], "U"),    // t9
+        ("Eagle", "Patrolling", "Degoba", ["U", "U", "U"], "U"), // t10
+    ];
+    for (ship, obj, dest, classes, tc) in rows {
+        let t = MlsTuple::new(
+            vec![Value::str(ship), Value::str(obj), Value::str(dest)],
+            classes
+                .iter()
+                .map(|c| lat.label(c).expect("mission labels exist"))
+                .collect(),
+            lat.label(tc).expect("mission labels exist"),
+        );
+        rel.insert(t)
+            .expect("Figure 1 satisfies per-tuple integrity");
+    }
+    (lat, rel)
+}
+
+/// The update history that yields Figure 1 under the Jajodia–Sandhu update
+/// semantics with required polyinstantiation (see [`crate::ops`]).
+///
+/// Reconstruction, per the paper's narrative in §3:
+///
+/// 1. U inserts the five unclassified missions (t7–t10 plus the original
+///    Phantom row).
+/// 2. C re-asserts the Atlantis mission (t6) and creates its own Phantom
+///    entity instance (key class C) on a supply run to Venus.
+/// 3. S re-asserts Atlantis (t2), inserts Avenger (t1), updates Voyager's
+///    objective to `Spying` classified S (t3; t8 becomes a cover story),
+///    reclassifies the U-level Phantom's objective to S (t4), and hides
+///    the C-level Phantom's objective/destination at S (t5).
+/// 4. U deletes its Phantom row and C deletes its Phantom row — leaving
+///    the S-level polyinstantiated rows t4 and t5 whose lower-classified
+///    keys now dangle: the *surprise stories*.
+pub fn mission_history() -> Vec<Op> {
+    use Op::*;
+    fn row(ship: &str, obj: &str, dest: &str) -> Vec<Value> {
+        vec![Value::str(ship), Value::str(obj), Value::str(dest)]
+    }
+    vec![
+        // Step 1: U-level inserts.
+        Insert {
+            level: "U".into(),
+            values: row("Atlantis", "Diplomacy", "Vulcan"),
+        },
+        Insert {
+            level: "U".into(),
+            values: row("Voyager", "Training", "Mars"),
+        },
+        Insert {
+            level: "U".into(),
+            values: row("Falcon", "Piracy", "Venus"),
+        },
+        Insert {
+            level: "U".into(),
+            values: row("Eagle", "Patrolling", "Degoba"),
+        },
+        Insert {
+            level: "U".into(),
+            values: row("Phantom", "Spying", "Omega"),
+        },
+        // Step 2: C-level activity.
+        Assert {
+            level: "C".into(),
+            values: row("Atlantis", "Diplomacy", "Vulcan"),
+            key_class: "U".into(),
+        },
+        Insert {
+            level: "C".into(),
+            values: row("Phantom", "Supply", "Venus"),
+        },
+        // Step 3: S-level activity.
+        Assert {
+            level: "S".into(),
+            values: row("Atlantis", "Diplomacy", "Vulcan"),
+            key_class: "U".into(),
+        },
+        Insert {
+            level: "S".into(),
+            values: row("Avenger", "Shipping", "Pluto"),
+        },
+        Update {
+            level: "S".into(),
+            key: Value::str("Voyager"),
+            key_class: "U".into(),
+            assignments: vec![("Objective".into(), Some(Value::str("Spying")), "S".into())],
+        },
+        Update {
+            level: "S".into(),
+            key: Value::str("Phantom"),
+            key_class: "U".into(),
+            assignments: vec![("Objective".into(), None, "S".into())],
+        },
+        Update {
+            level: "S".into(),
+            key: Value::str("Phantom"),
+            key_class: "C".into(),
+            assignments: vec![
+                ("Objective".into(), None, "S".into()),
+                ("Destination".into(), None, "S".into()),
+            ],
+        },
+        // S verified that Falcon is not actually pirating, without planting
+        // a replacement: Figure 5 renders this as a *mirage* at S. The
+        // stored relation is unaffected.
+        AssertFalse {
+            level: "S".into(),
+            key: Value::str("Falcon"),
+            key_class: "U".into(),
+        },
+        // Step 4: the deletions that create the surprise stories.
+        Delete {
+            level: "U".into(),
+            key: Value::str("Phantom"),
+            key_class: "U".into(),
+        },
+        Delete {
+            level: "C".into(),
+            key: Value::str("Phantom"),
+            key_class: "C".into(),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_has_ten_tuples() {
+        let (_, rel) = mission_relation();
+        assert_eq!(rel.len(), 10);
+    }
+
+    #[test]
+    fn figure1_tuple_classes_spot_checks() {
+        let (lat, rel) = mission_relation();
+        let s = lat.label("S").unwrap();
+        let u = lat.label("U").unwrap();
+        let c = lat.label("C").unwrap();
+        let t4 = &rel.tuples()[3];
+        assert_eq!(t4.key(), &Value::str("Phantom"));
+        assert_eq!(t4.key_class(), u);
+        assert_eq!(t4.classes[1], s);
+        assert_eq!(t4.tc, s);
+        let t5 = &rel.tuples()[4];
+        assert_eq!(t5.key_class(), c);
+        assert_eq!(t5.tc, s);
+    }
+
+    #[test]
+    fn figure1_passes_integrity() {
+        let (_, rel) = mission_relation();
+        rel.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn history_has_all_phases() {
+        let h = mission_history();
+        assert_eq!(h.len(), 15);
+        assert!(matches!(h[0], Op::Insert { .. }));
+        assert!(matches!(h[14], Op::Delete { .. }));
+    }
+
+    #[test]
+    fn render_matches_figure1_layout() {
+        let (_, rel) = mission_relation();
+        let shown = rel.render();
+        assert!(shown.contains("Avenger S | Shipping S | Pluto S | S"));
+        assert!(shown.contains("Phantom C | Supply S | Venus S | S"));
+        assert!(shown.contains("Eagle U | Patrolling U | Degoba U | U"));
+    }
+}

@@ -1,0 +1,518 @@
+//! Update operations under the Jajodia–Sandhu semantics with *required
+//! polyinstantiation*.
+//!
+//! Subjects operate at their clearance level. Bell–LaPadula restricts
+//! writes: a subject can never modify an object below its level, so an
+//! update addressed at lower-classified data spawns a *polyinstantiated*
+//! tuple at the subject's level while the lower original survives as a
+//! cover story. Deleting the lower original afterwards leaves the higher
+//! tuple's lower-classified key dangling — the paper's *surprise stories*
+//! (tuples t4/t5 of Figure 1).
+
+use crate::relation::MlsRelation;
+use crate::scheme::MlsScheme;
+use crate::tuple::MlsTuple;
+use crate::value::Value;
+use crate::{MlsError, Result};
+
+/// One operation by a subject at a clearance level.
+///
+/// Levels and classes are carried as label *names* so operation scripts
+/// are self-describing and serializable; they are resolved against the
+/// scheme's lattice at replay time.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// Insert a fresh tuple: every classification and `TC` become the
+    /// subject's level.
+    Insert {
+        /// Subject level name.
+        level: String,
+        /// Data values, key first.
+        values: Vec<Value>,
+    },
+    /// Re-assert data visible from below at the subject's own level: a
+    /// copy with unchanged classifications but `TC` = the subject level
+    /// (how Figure 1's t2/t6 arise from t7).
+    Assert {
+        /// Subject level name.
+        level: String,
+        /// The exact data values being re-asserted.
+        values: Vec<Value>,
+        /// Key class of the variant being asserted.
+        key_class: String,
+    },
+    /// Update attributes of the tuple identified by `(key, key_class)`.
+    /// If the best visible version lives below the subject's level, the
+    /// write polyinstantiates (required polyinstantiation).
+    Update {
+        /// Subject level name.
+        level: String,
+        /// Apparent-key value of the target.
+        key: Value,
+        /// Key class of the target.
+        key_class: String,
+        /// `(attribute, new value (None = keep), new class)` assignments.
+        assignments: Vec<(String, Option<Value>, String)>,
+    },
+    /// Delete tuples with the given key and key class that are visible at
+    /// the subject's level. Higher (invisible) polyinstantiated tuples
+    /// survive — the mechanism behind surprise stories.
+    Delete {
+        /// Subject level name.
+        level: String,
+        /// Apparent-key value of the target.
+        key: Value,
+        /// Key class of the target.
+        key_class: String,
+    },
+    /// Assert that visible data is *false* without replacing it. A no-op
+    /// for the stored relation (Jajodia–Sandhu has no such operation); the
+    /// Jukic–Vrbsky belief model (Figure 5) renders it as a *mirage*.
+    AssertFalse {
+        /// Subject level name.
+        level: String,
+        /// Apparent-key value of the target.
+        key: Value,
+        /// Key class of the target.
+        key_class: String,
+    },
+}
+
+impl Op {
+    /// The subject level name of the operation.
+    pub fn level(&self) -> &str {
+        match self {
+            Op::Insert { level, .. }
+            | Op::Assert { level, .. }
+            | Op::Update { level, .. }
+            | Op::Delete { level, .. }
+            | Op::AssertFalse { level, .. } => level,
+        }
+    }
+}
+
+/// Replay a history of operations into a relation instance.
+pub fn replay(scheme: MlsScheme, ops: &[Op]) -> Result<MlsRelation> {
+    let mut rel = MlsRelation::new(scheme);
+    for op in ops {
+        apply(&mut rel, op)?;
+    }
+    Ok(rel)
+}
+
+/// Apply one operation.
+pub fn apply(rel: &mut MlsRelation, op: &Op) -> Result<()> {
+    let lat = rel.lattice().clone();
+    match op {
+        Op::Insert { level, values } => {
+            let l = lat.require(level)?;
+            if values.len() != rel.scheme().arity() {
+                return Err(MlsError::ArityMismatch {
+                    relation: rel.scheme().name().to_owned(),
+                    expected: rel.scheme().arity(),
+                    found: values.len(),
+                });
+            }
+            // Reject a second tuple for the same (key, key class = level)
+            // visible at the subject's level: that would violate
+            // polyinstantiation integrity (same classes, different values).
+            let clash = rel
+                .tuples()
+                .iter()
+                .any(|t| t.key() == &values[0] && t.key_class() == l && t.tc == l);
+            if clash {
+                return Err(MlsError::DuplicateKey {
+                    key: values[0].to_string(),
+                    class: level.clone(),
+                });
+            }
+            let t = MlsTuple::new(values.clone(), vec![l; values.len()], l);
+            rel.insert(t)?;
+            Ok(())
+        }
+        Op::Assert {
+            level,
+            values,
+            key_class,
+        } => {
+            let l = lat.require(level)?;
+            let kc = lat.require(key_class)?;
+            // Find a visible tuple carrying exactly these values.
+            let source = rel
+                .tuples()
+                .iter()
+                .find(|t| t.key_class() == kc && &t.values == values && lat.leq(t.tc, l))
+                .cloned()
+                .ok_or_else(|| MlsError::NotVisible {
+                    key: values[0].to_string(),
+                    level: level.clone(),
+                })?;
+            let t = MlsTuple::new(source.values, source.classes, l);
+            rel.insert(t)?;
+            Ok(())
+        }
+        Op::Update {
+            level,
+            key,
+            key_class,
+            assignments,
+        } => {
+            let l = lat.require(level)?;
+            let kc = lat.require(key_class)?;
+            // Best visible version: maximal TC ⪯ level among tuples with
+            // this key and key class.
+            let target = rel
+                .tuples()
+                .iter()
+                .filter(|t| t.key() == key && t.key_class() == kc && lat.leq(t.tc, l))
+                .max_by(|a, b| {
+                    // TCs of visible same-key-class tuples are comparable
+                    // on a chain; on a poset, prefer any maximal one.
+                    if lat.leq(a.tc, b.tc) {
+                        std::cmp::Ordering::Less
+                    } else {
+                        std::cmp::Ordering::Greater
+                    }
+                })
+                .cloned()
+                .ok_or_else(|| MlsError::NotVisible {
+                    key: key.to_string(),
+                    level: level.clone(),
+                })?;
+            let mut updated = target.clone();
+            for (attr, value, class) in assignments {
+                let i = rel.scheme().attr_index(attr)?;
+                if i == rel.scheme().key_index() {
+                    return Err(MlsError::EntityIntegrity {
+                        detail: "the apparent key cannot be updated in place".into(),
+                    });
+                }
+                if let Some(v) = value {
+                    updated.values[i] = v.clone();
+                }
+                updated.classes[i] = lat.require(class)?;
+            }
+            updated.tc = l;
+            if target.tc == l {
+                // In-place update of the subject's own tuple.
+                rel.retain(|t| t != &target);
+            }
+            // Otherwise: required polyinstantiation — the lower original
+            // stays as a cover story.
+            rel.insert(updated)?;
+            Ok(())
+        }
+        Op::Delete {
+            level,
+            key,
+            key_class,
+        } => {
+            let l = lat.require(level)?;
+            let kc = lat.require(key_class)?;
+            let removed =
+                rel.retain(|t| !(t.key() == key && t.key_class() == kc && lat.leq(t.tc, l)));
+            if removed == 0 {
+                return Err(MlsError::NotVisible {
+                    key: key.to_string(),
+                    level: level.clone(),
+                });
+            }
+            Ok(())
+        }
+        Op::AssertFalse { level, .. } => {
+            // Belief-only operation: validate the level name, change nothing.
+            lat.require(level)?;
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mission;
+
+    #[test]
+    fn replaying_history_reproduces_figure1() {
+        let (_, scheme) = mission::mission_scheme();
+        let replayed = replay(scheme, &mission::mission_history()).unwrap();
+        let (_, fig1) = mission::mission_relation();
+        assert!(
+            replayed.same_tuples(&fig1),
+            "replayed:\n{}\nexpected:\n{}",
+            replayed.render(),
+            fig1.render()
+        );
+    }
+
+    #[test]
+    fn insert_duplicate_key_at_same_level_rejected() {
+        let (_, scheme) = mission::mission_scheme();
+        let mut rel = MlsRelation::new(scheme);
+        let values = vec![
+            Value::str("Falcon"),
+            Value::str("Piracy"),
+            Value::str("Venus"),
+        ];
+        apply(
+            &mut rel,
+            &Op::Insert {
+                level: "U".into(),
+                values: values.clone(),
+            },
+        )
+        .unwrap();
+        let err = apply(
+            &mut rel,
+            &Op::Insert {
+                level: "U".into(),
+                values,
+            },
+        );
+        assert!(matches!(err, Err(MlsError::DuplicateKey { .. })));
+    }
+
+    #[test]
+    fn polyinstantiating_insert_at_other_level_allowed() {
+        let (_, scheme) = mission::mission_scheme();
+        let mut rel = MlsRelation::new(scheme);
+        let v1 = vec![
+            Value::str("Phantom"),
+            Value::str("Spying"),
+            Value::str("Omega"),
+        ];
+        let v2 = vec![
+            Value::str("Phantom"),
+            Value::str("Supply"),
+            Value::str("Venus"),
+        ];
+        apply(
+            &mut rel,
+            &Op::Insert {
+                level: "U".into(),
+                values: v1,
+            },
+        )
+        .unwrap();
+        apply(
+            &mut rel,
+            &Op::Insert {
+                level: "C".into(),
+                values: v2,
+            },
+        )
+        .unwrap();
+        assert_eq!(rel.len(), 2);
+        rel.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn update_of_lower_tuple_polyinstantiates() {
+        let (lat, scheme) = mission::mission_scheme();
+        let mut rel = MlsRelation::new(scheme);
+        let v = vec![
+            Value::str("Voyager"),
+            Value::str("Training"),
+            Value::str("Mars"),
+        ];
+        apply(
+            &mut rel,
+            &Op::Insert {
+                level: "U".into(),
+                values: v,
+            },
+        )
+        .unwrap();
+        apply(
+            &mut rel,
+            &Op::Update {
+                level: "S".into(),
+                key: Value::str("Voyager"),
+                key_class: "U".into(),
+                assignments: vec![("Objective".into(), Some(Value::str("Spying")), "S".into())],
+            },
+        )
+        .unwrap();
+        assert_eq!(rel.len(), 2, "original must survive as a cover story");
+        let s = lat.label("S").unwrap();
+        let high = rel.tuples().iter().find(|t| t.tc == s).unwrap();
+        assert_eq!(high.values[1], Value::str("Spying"));
+        assert_eq!(high.values[2], Value::str("Mars"), "untouched attr kept");
+    }
+
+    #[test]
+    fn update_own_tuple_is_in_place() {
+        let (_, scheme) = mission::mission_scheme();
+        let mut rel = MlsRelation::new(scheme);
+        let v = vec![
+            Value::str("Eagle"),
+            Value::str("Patrolling"),
+            Value::str("Degoba"),
+        ];
+        apply(
+            &mut rel,
+            &Op::Insert {
+                level: "U".into(),
+                values: v,
+            },
+        )
+        .unwrap();
+        apply(
+            &mut rel,
+            &Op::Update {
+                level: "U".into(),
+                key: Value::str("Eagle"),
+                key_class: "U".into(),
+                assignments: vec![("Destination".into(), Some(Value::str("Hoth")), "U".into())],
+            },
+        )
+        .unwrap();
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.tuples()[0].values[2], Value::str("Hoth"));
+    }
+
+    #[test]
+    fn update_invisible_tuple_fails() {
+        let (_, scheme) = mission::mission_scheme();
+        let mut rel = MlsRelation::new(scheme);
+        let v = vec![
+            Value::str("Avenger"),
+            Value::str("Shipping"),
+            Value::str("Pluto"),
+        ];
+        apply(
+            &mut rel,
+            &Op::Insert {
+                level: "S".into(),
+                values: v,
+            },
+        )
+        .unwrap();
+        let err = apply(
+            &mut rel,
+            &Op::Update {
+                level: "U".into(),
+                key: Value::str("Avenger"),
+                key_class: "S".into(),
+                assignments: vec![("Destination".into(), Some(Value::str("Mars")), "U".into())],
+            },
+        );
+        assert!(matches!(err, Err(MlsError::NotVisible { .. })));
+    }
+
+    #[test]
+    fn delete_leaves_higher_polyinstantiated_tuple() {
+        let (lat, scheme) = mission::mission_scheme();
+        let mut rel = MlsRelation::new(scheme);
+        let v = vec![
+            Value::str("Phantom"),
+            Value::str("Spying"),
+            Value::str("Omega"),
+        ];
+        apply(
+            &mut rel,
+            &Op::Insert {
+                level: "U".into(),
+                values: v,
+            },
+        )
+        .unwrap();
+        apply(
+            &mut rel,
+            &Op::Update {
+                level: "S".into(),
+                key: Value::str("Phantom"),
+                key_class: "U".into(),
+                assignments: vec![("Objective".into(), None, "S".into())],
+            },
+        )
+        .unwrap();
+        apply(
+            &mut rel,
+            &Op::Delete {
+                level: "U".into(),
+                key: Value::str("Phantom"),
+                key_class: "U".into(),
+            },
+        )
+        .unwrap();
+        // The surprise story: the S tuple with a U key class survives.
+        assert_eq!(rel.len(), 1);
+        let t = &rel.tuples()[0];
+        assert_eq!(t.tc, lat.label("S").unwrap());
+        assert_eq!(t.key_class(), lat.label("U").unwrap());
+    }
+
+    #[test]
+    fn delete_of_nothing_visible_fails() {
+        let (_, scheme) = mission::mission_scheme();
+        let mut rel = MlsRelation::new(scheme);
+        let err = apply(
+            &mut rel,
+            &Op::Delete {
+                level: "U".into(),
+                key: Value::str("Ghost"),
+                key_class: "U".into(),
+            },
+        );
+        assert!(matches!(err, Err(MlsError::NotVisible { .. })));
+    }
+
+    #[test]
+    fn assert_false_changes_nothing() {
+        let (_, scheme) = mission::mission_scheme();
+        let mut rel = MlsRelation::new(scheme);
+        let v = vec![
+            Value::str("Falcon"),
+            Value::str("Piracy"),
+            Value::str("Venus"),
+        ];
+        apply(
+            &mut rel,
+            &Op::Insert {
+                level: "U".into(),
+                values: v,
+            },
+        )
+        .unwrap();
+        apply(
+            &mut rel,
+            &Op::AssertFalse {
+                level: "S".into(),
+                key: Value::str("Falcon"),
+                key_class: "U".into(),
+            },
+        )
+        .unwrap();
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn key_update_rejected() {
+        let (_, scheme) = mission::mission_scheme();
+        let mut rel = MlsRelation::new(scheme);
+        let v = vec![
+            Value::str("Eagle"),
+            Value::str("Patrolling"),
+            Value::str("Degoba"),
+        ];
+        apply(
+            &mut rel,
+            &Op::Insert {
+                level: "U".into(),
+                values: v,
+            },
+        )
+        .unwrap();
+        let err = apply(
+            &mut rel,
+            &Op::Update {
+                level: "U".into(),
+                key: Value::str("Eagle"),
+                key_class: "U".into(),
+                assignments: vec![("Starship".into(), Some(Value::str("Hawk")), "U".into())],
+            },
+        );
+        assert!(matches!(err, Err(MlsError::EntityIntegrity { .. })));
+    }
+}

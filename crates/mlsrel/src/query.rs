@@ -1,0 +1,224 @@
+//! A small relational query layer with `believed <mode>` predicates —
+//! the extended-SQL surface sketched in §3.2 of the paper.
+//!
+//! The §3.2 query
+//!
+//! ```sql
+//! user context u
+//! select starship from mission m where m.starship in
+//!   (select starship from mission
+//!    where destination = mars and objective = spying believed cautiously)
+//!   intersect (… believed firmly)
+//!   intersect (… believed optimistically)
+//! ```
+//!
+//! is expressed as a [`Select`] per mode plus [`intersect_columns`], or in
+//! one call with [`believed_in_all_modes`].
+
+use multilog_lattice::Label;
+
+use crate::belief::{believe, BeliefMode};
+use crate::relation::MlsRelation;
+use crate::value::Value;
+use crate::Result;
+
+/// A simple select over one relation: equality conditions, a projection,
+/// and an optional belief mode. Without a mode the query runs against the
+/// Jajodia–Sandhu view at the user's level (visibility only).
+#[derive(Clone, Debug)]
+pub struct Select {
+    /// Attribute names to project, in order.
+    pub projection: Vec<String>,
+    /// `attr = value` conjunctive conditions.
+    pub conditions: Vec<(String, Value)>,
+    /// Belief mode; `None` = raw view semantics.
+    pub mode: Option<BeliefMode>,
+}
+
+impl Select {
+    /// A projection-only query.
+    pub fn all(projection: &[&str]) -> Self {
+        Select {
+            projection: projection.iter().map(|s| (*s).to_owned()).collect(),
+            conditions: Vec::new(),
+            mode: None,
+        }
+    }
+
+    /// Add an equality condition.
+    pub fn filter(mut self, attr: &str, value: impl Into<Value>) -> Self {
+        self.conditions.push((attr.to_owned(), value.into()));
+        self
+    }
+
+    /// Set the belief mode (`believed <mode>`).
+    pub fn believed(mut self, mode: BeliefMode) -> Self {
+        self.mode = Some(mode);
+        self
+    }
+}
+
+/// Run a select at the given user level. Rows are deduplicated and sorted
+/// for deterministic output.
+pub fn select(rel: &MlsRelation, level: Label, q: &Select) -> Result<Vec<Vec<Value>>> {
+    let base = match q.mode {
+        Some(mode) => believe(rel, level, mode)?,
+        None => crate::view::view_at(rel, level),
+    };
+    let scheme = base.scheme();
+    let proj: Vec<usize> = q
+        .projection
+        .iter()
+        .map(|a| scheme.attr_index(a))
+        .collect::<Result<_>>()?;
+    let conds: Vec<(usize, &Value)> = q
+        .conditions
+        .iter()
+        .map(|(a, v)| Ok((scheme.attr_index(a)?, v)))
+        .collect::<Result<_>>()?;
+    let mut rows: Vec<Vec<Value>> = base
+        .tuples()
+        .iter()
+        .filter(|t| conds.iter().all(|&(i, v)| &t.values[i] == v))
+        .map(|t| proj.iter().map(|&i| t.values[i].clone()).collect())
+        .collect();
+    rows.sort();
+    rows.dedup();
+    Ok(rows)
+}
+
+/// Intersect single-column result sets (the SQL `intersect`).
+pub fn intersect_columns(sets: &[Vec<Vec<Value>>]) -> Vec<Vec<Value>> {
+    let Some((first, rest)) = sets.split_first() else {
+        return Vec::new();
+    };
+    first
+        .iter()
+        .filter(|row| rest.iter().all(|s| s.contains(row)))
+        .cloned()
+        .collect()
+}
+
+/// The §3.2 pattern in one call: project `projection` from the tuples
+/// matching `conditions` that are believed at `level` in **every** belief
+/// mode ("without any doubt").
+pub fn believed_in_all_modes(
+    rel: &MlsRelation,
+    level: Label,
+    projection: &[&str],
+    conditions: &[(&str, Value)],
+) -> Result<Vec<Vec<Value>>> {
+    let mut per_mode = Vec::with_capacity(3);
+    for mode in BeliefMode::all() {
+        let mut q = Select::all(projection).believed(mode);
+        for (a, v) in conditions {
+            q = q.filter(a, v.clone());
+        }
+        per_mode.push(select(rel, level, &q)?);
+    }
+    Ok(intersect_columns(&per_mode))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mission;
+
+    #[test]
+    fn spying_on_mars_without_any_doubt() {
+        // The §3.2 example at user context S: only Voyager is believed to
+        // be spying on Mars in all three modes.
+        let (lat, rel) = mission::mission_relation();
+        let s = lat.label("S").unwrap();
+        let result = believed_in_all_modes(
+            &rel,
+            s,
+            &["Starship"],
+            &[
+                ("Destination", Value::str("Mars")),
+                ("Objective", Value::str("Spying")),
+            ],
+        )
+        .unwrap();
+        assert_eq!(result, vec![vec![Value::str("Voyager")]]);
+    }
+
+    #[test]
+    fn spying_on_mars_at_u_is_empty() {
+        // A U user cannot see the spying objective at all.
+        let (lat, rel) = mission::mission_relation();
+        let u = lat.label("U").unwrap();
+        let result = believed_in_all_modes(
+            &rel,
+            u,
+            &["Starship"],
+            &[
+                ("Destination", Value::str("Mars")),
+                ("Objective", Value::str("Spying")),
+            ],
+        )
+        .unwrap();
+        assert!(result.is_empty());
+    }
+
+    #[test]
+    fn per_mode_disagreement() {
+        // "Training on Mars": firmly believed at U, but at S the cautious
+        // mode overrides Training with Spying, so the intersection is
+        // empty at S while the optimistic mode alone still returns it.
+        let (lat, rel) = mission::mission_relation();
+        let s = lat.label("S").unwrap();
+        let opt = select(
+            &rel,
+            s,
+            &Select::all(&["Starship"])
+                .filter("Objective", Value::str("Training"))
+                .believed(BeliefMode::Optimistic),
+        )
+        .unwrap();
+        assert_eq!(opt, vec![vec![Value::str("Voyager")]]);
+        let all = believed_in_all_modes(
+            &rel,
+            s,
+            &["Starship"],
+            &[("Objective", Value::str("Training"))],
+        )
+        .unwrap();
+        assert!(all.is_empty());
+    }
+
+    #[test]
+    fn view_semantics_without_mode() {
+        let (lat, rel) = mission::mission_relation();
+        let u = lat.label("U").unwrap();
+        let q = Select::all(&["Starship"]);
+        let rows = select(&rel, u, &q).unwrap();
+        // Figure 2: Phantom, Atlantis, Voyager, Falcon, Eagle (sorted).
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn projection_of_multiple_columns() {
+        let (lat, rel) = mission::mission_relation();
+        let c = lat.label("C").unwrap();
+        let q = Select::all(&["Starship", "Destination"]).believed(BeliefMode::Firm);
+        let rows = select(&rel, c, &q).unwrap();
+        assert_eq!(
+            rows,
+            vec![vec![Value::str("Atlantis"), Value::str("Vulcan")]]
+        );
+    }
+
+    #[test]
+    fn unknown_attribute_errors() {
+        let (lat, rel) = mission::mission_relation();
+        let u = lat.label("U").unwrap();
+        let q = Select::all(&["Captain"]);
+        assert!(select(&rel, u, &q).is_err());
+    }
+
+    #[test]
+    fn intersect_empty_input() {
+        assert!(intersect_columns(&[]).is_empty());
+    }
+}

@@ -1,0 +1,220 @@
+//! Multilevel relation instances.
+
+use std::fmt;
+use std::sync::Arc;
+
+use multilog_lattice::{Label, SecurityLattice};
+
+use crate::integrity;
+use crate::scheme::MlsScheme;
+use crate::tuple::MlsTuple;
+use crate::value::Value;
+use crate::{MlsError, Result};
+
+/// A multilevel relation instance: a scheme plus a set of tuples.
+///
+/// Tuples are kept in insertion order (the paper's figures are ordered by
+/// tuple id); equality of instances is set-based via [`MlsRelation::same_tuples`].
+#[derive(Clone)]
+pub struct MlsRelation {
+    scheme: MlsScheme,
+    tuples: Vec<MlsTuple>,
+}
+
+impl MlsRelation {
+    /// Create an empty instance over a scheme.
+    pub fn new(scheme: MlsScheme) -> Self {
+        MlsRelation {
+            scheme,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// The scheme.
+    pub fn scheme(&self) -> &MlsScheme {
+        &self.scheme
+    }
+
+    /// The security lattice.
+    pub fn lattice(&self) -> &Arc<SecurityLattice> {
+        self.scheme.lattice()
+    }
+
+    /// The tuples, in insertion order.
+    pub fn tuples(&self) -> &[MlsTuple] {
+        &self.tuples
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the instance is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Add a tuple after validating arity and the per-tuple entity/null
+    /// integrity conditions. Duplicates are ignored (set semantics).
+    pub fn insert(&mut self, tuple: MlsTuple) -> Result<bool> {
+        if tuple.arity() != self.scheme.arity() {
+            return Err(MlsError::ArityMismatch {
+                relation: self.scheme.name().to_owned(),
+                expected: self.scheme.arity(),
+                found: tuple.arity(),
+            });
+        }
+        integrity::check_tuple(&self.scheme, &tuple)?;
+        if self.tuples.contains(&tuple) {
+            return Ok(false);
+        }
+        self.tuples.push(tuple);
+        Ok(true)
+    }
+
+    /// Add a tuple without integrity validation. Used by view/belief
+    /// computations whose outputs deliberately contain σ-nulls that violate
+    /// base-relation integrity (e.g. Figure 3's surprise stories).
+    pub fn insert_unchecked(&mut self, tuple: MlsTuple) -> bool {
+        if self.tuples.contains(&tuple) {
+            return false;
+        }
+        self.tuples.push(tuple);
+        true
+    }
+
+    /// Remove tuples matching a predicate; returns how many were removed.
+    pub fn retain(&mut self, keep: impl Fn(&MlsTuple) -> bool) -> usize {
+        let before = self.tuples.len();
+        self.tuples.retain(|t| keep(t));
+        before - self.tuples.len()
+    }
+
+    /// Tuples whose apparent key equals `key`.
+    pub fn by_key(&self, key: &Value) -> impl Iterator<Item = &MlsTuple> + '_ {
+        let key = key.clone();
+        self.tuples.iter().filter(move |t| t.key() == &key)
+    }
+
+    /// Tuples visible at level `s` (those with `TC ⪯ s`).
+    pub fn visible_at(&self, s: Label) -> impl Iterator<Item = &MlsTuple> {
+        let lat = self.lattice().clone();
+        self.tuples.iter().filter(move |t| lat.leq(t.tc, s))
+    }
+
+    /// Set equality of tuples, ignoring order.
+    pub fn same_tuples(&self, other: &MlsRelation) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        self.tuples.iter().all(|t| other.tuples.contains(t))
+    }
+
+    /// Run the full instance-level integrity suite of Definition 5.4.
+    pub fn check_integrity(&self) -> Result<()> {
+        integrity::check_relation(self)
+    }
+
+    /// Render the instance as a text table in the layout of the paper's
+    /// figures: one line per tuple, `value class | … | TC`.
+    pub fn render(&self) -> String {
+        let lat = self.lattice();
+        let mut header: Vec<String> = self.scheme.attr_names().map(|a| format!("{a} C")).collect();
+        header.push("TC".to_owned());
+        let mut out = header.join(" | ");
+        out.push('\n');
+        for t in &self.tuples {
+            out.push_str(&t.render(lat));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Debug for MlsRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{} tuples]", self.scheme.name(), self.tuples.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multilog_lattice::standard;
+
+    fn scheme() -> MlsScheme {
+        let lat = Arc::new(standard::mission_levels());
+        MlsScheme::unconstrained("r", lat, &["k", "a"])
+    }
+
+    fn t(rel: &MlsRelation, k: &str, a: &str, kc: &str, ac: &str, tc: &str) -> MlsTuple {
+        let lat = rel.lattice();
+        MlsTuple::new(
+            vec![Value::str(k), Value::str(a)],
+            vec![lat.label(kc).unwrap(), lat.label(ac).unwrap()],
+            lat.label(tc).unwrap(),
+        )
+    }
+
+    #[test]
+    fn insert_validates_arity() {
+        let mut r = MlsRelation::new(scheme());
+        let lat = r.lattice().clone();
+        let u = lat.label("U").unwrap();
+        let bad = MlsTuple::new(vec![Value::str("x")], vec![u], u);
+        assert!(matches!(r.insert(bad), Err(MlsError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut r = MlsRelation::new(scheme());
+        let tu = t(&r, "x", "y", "U", "U", "U");
+        assert!(r.insert(tu.clone()).unwrap());
+        assert!(!r.insert(tu).unwrap());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn visible_at_filters_by_tc() {
+        let mut r = MlsRelation::new(scheme());
+        r.insert(t(&r.clone(), "x", "y", "U", "U", "U")).unwrap();
+        r.insert(t(&r.clone(), "z", "w", "U", "S", "S")).unwrap();
+        let lat = r.lattice();
+        let u = lat.label("U").unwrap();
+        let s = lat.label("S").unwrap();
+        assert_eq!(r.visible_at(u).count(), 1);
+        assert_eq!(r.visible_at(s).count(), 2);
+    }
+
+    #[test]
+    fn by_key_filters() {
+        let mut r = MlsRelation::new(scheme());
+        r.insert(t(&r.clone(), "x", "y", "U", "U", "U")).unwrap();
+        r.insert(t(&r.clone(), "x", "q", "U", "S", "S")).unwrap();
+        r.insert(t(&r.clone(), "z", "w", "U", "U", "U")).unwrap();
+        assert_eq!(r.by_key(&Value::str("x")).count(), 2);
+    }
+
+    #[test]
+    fn same_tuples_ignores_order() {
+        let mut a = MlsRelation::new(scheme());
+        let mut b = MlsRelation::new(scheme());
+        let t1 = t(&a, "x", "y", "U", "U", "U");
+        let t2 = t(&a, "z", "w", "U", "U", "U");
+        a.insert(t1.clone()).unwrap();
+        a.insert(t2.clone()).unwrap();
+        b.insert(t2).unwrap();
+        b.insert(t1).unwrap();
+        assert!(a.same_tuples(&b));
+    }
+
+    #[test]
+    fn render_includes_header_and_rows() {
+        let mut r = MlsRelation::new(scheme());
+        r.insert(t(&r.clone(), "x", "y", "U", "U", "U")).unwrap();
+        let s = r.render();
+        assert!(s.contains("k C | a C | TC"));
+        assert!(s.contains("x U | y U | U"));
+    }
+}

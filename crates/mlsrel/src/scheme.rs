@@ -1,0 +1,222 @@
+//! Multilevel relation schemes (Definition 2.1).
+
+use std::fmt;
+use std::sync::Arc;
+
+use multilog_lattice::{Label, SecurityLattice};
+
+use crate::{MlsError, Result};
+
+/// A multilevel relation scheme `R(A1, C1, …, An, Cn, TC)`.
+///
+/// Attribute 0 is the apparent key `AK` (the paper assumes single-attribute
+/// keys; §7 notes multi-attribute keys are an orthogonal extension). Each
+/// attribute carries a classification range `[L_i, H_i]` restricting the
+/// classes its values may take.
+#[derive(Clone)]
+pub struct MlsScheme {
+    name: String,
+    attrs: Vec<AttrDef>,
+    lattice: Arc<SecurityLattice>,
+    key_width: usize,
+}
+
+/// One data attribute with its classification range.
+#[derive(Clone, Debug)]
+pub struct AttrDef {
+    /// The attribute name.
+    pub name: String,
+    /// Lowest admissible classification `L_i`.
+    pub low: Label,
+    /// Highest admissible classification `H_i`.
+    pub high: Label,
+}
+
+impl MlsScheme {
+    /// Construct a scheme. `attrs` lists `(name, low, high)` classification
+    /// ranges; the first attribute is the apparent key.
+    pub fn new(
+        name: impl Into<String>,
+        lattice: Arc<SecurityLattice>,
+        attrs: Vec<(String, Label, Label)>,
+    ) -> Result<Self> {
+        assert!(!attrs.is_empty(), "scheme needs at least the key attribute");
+        for (n, low, high) in &attrs {
+            if !lattice.leq(*low, *high) {
+                return Err(MlsError::EntityIntegrity {
+                    detail: format!(
+                        "attribute `{n}` has range [{}, {}] with low ⋠ high",
+                        lattice.name(*low),
+                        lattice.name(*high)
+                    ),
+                });
+            }
+        }
+        Ok(MlsScheme {
+            name: name.into(),
+            attrs: attrs
+                .into_iter()
+                .map(|(name, low, high)| AttrDef { name, low, high })
+                .collect(),
+            lattice,
+            key_width: 1,
+        })
+    }
+
+    /// Construct a scheme where every attribute admits the full lattice
+    /// range (from every minimal to every maximal label it is simply
+    /// unconstrained — the common case in the paper's examples).
+    pub fn unconstrained(
+        name: impl Into<String>,
+        lattice: Arc<SecurityLattice>,
+        attr_names: &[&str],
+    ) -> Self {
+        assert!(
+            !attr_names.is_empty(),
+            "scheme needs at least the key attribute"
+        );
+        // Unconstrained = accept any label; model as per-attribute range
+        // over the whole poset by storing (min, max) hints but skipping the
+        // range check at validation time (low == high == the attribute's
+        // own class is always within range when unconstrained).
+        let attrs = attr_names
+            .iter()
+            .map(|&n| AttrDef {
+                name: n.to_owned(),
+                low: Label::from_index(0),
+                high: Label::from_index(lattice.len() - 1),
+            })
+            .collect();
+        MlsScheme {
+            name: name.into(),
+            attrs,
+            lattice,
+            key_width: 1,
+        }
+    }
+
+    /// Widen the apparent key to the first `width` attributes (§7 of the
+    /// paper relaxes the single-attribute-key assumption). Definition 5.4
+    /// then requires the key attributes to be *uniformly classified*,
+    /// which [`crate::integrity`] enforces.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= width <= arity`.
+    pub fn with_key_width(mut self, width: usize) -> Self {
+        assert!(
+            width >= 1 && width <= self.attrs.len(),
+            "key width must be within 1..=arity"
+        );
+        self.key_width = width;
+        self
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of data attributes (excluding `TC`).
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The attribute definitions.
+    pub fn attrs(&self) -> &[AttrDef] {
+        &self.attrs
+    }
+
+    /// The attribute names.
+    pub fn attr_names(&self) -> impl Iterator<Item = &str> {
+        self.attrs.iter().map(|a| a.name.as_str())
+    }
+
+    /// Index of the first apparent-key attribute (always 0).
+    pub fn key_index(&self) -> usize {
+        0
+    }
+
+    /// Number of attributes forming the apparent key (1 unless widened
+    /// via [`MlsScheme::with_key_width`]).
+    pub fn key_width(&self) -> usize {
+        self.key_width
+    }
+
+    /// The indices of the apparent-key attributes.
+    pub fn key_indices(&self) -> std::ops::Range<usize> {
+        0..self.key_width
+    }
+
+    /// The apparent key's name.
+    pub fn key_name(&self) -> &str {
+        &self.attrs[0].name
+    }
+
+    /// Resolve an attribute name to its index.
+    pub fn attr_index(&self, name: &str) -> Result<usize> {
+        self.attrs
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| MlsError::UnknownAttribute(name.to_owned()))
+    }
+
+    /// The security lattice this scheme classifies over.
+    pub fn lattice(&self) -> &Arc<SecurityLattice> {
+        &self.lattice
+    }
+}
+
+impl fmt::Debug for MlsScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}, C{}", a.name, i + 1)?;
+        }
+        write!(f, ", TC)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multilog_lattice::standard;
+
+    fn lat() -> Arc<SecurityLattice> {
+        Arc::new(standard::military())
+    }
+
+    #[test]
+    fn scheme_accessors() {
+        let l = lat();
+        let s = MlsScheme::unconstrained("mission", l, &["starship", "objective", "destination"]);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.key_name(), "starship");
+        assert_eq!(s.attr_index("objective").unwrap(), 1);
+        assert!(s.attr_index("missing").is_err());
+        assert_eq!(
+            format!("{s:?}"),
+            "mission(starship, C1, objective, C2, destination, C3, TC)"
+        );
+    }
+
+    #[test]
+    fn explicit_ranges_validated() {
+        let l = lat();
+        let u = l.label("U").unwrap();
+        let s = l.label("S").unwrap();
+        let ok = MlsScheme::new("r", l.clone(), vec![("k".into(), u, s), ("a".into(), u, u)]);
+        assert!(ok.is_ok());
+        let bad = MlsScheme::new("r", l, vec![("k".into(), s, u)]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the key attribute")]
+    fn empty_scheme_panics() {
+        let _ = MlsScheme::unconstrained("r", lat(), &[]);
+    }
+}

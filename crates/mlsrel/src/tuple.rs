@@ -1,0 +1,198 @@
+//! Multilevel tuples (Definition 2.2) and subsumption (Definition 5.4).
+
+use std::fmt;
+
+use multilog_lattice::{Label, SecurityLattice};
+
+use crate::value::Value;
+
+/// A multilevel tuple `(a1, c1, …, an, cn, tc)`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct MlsTuple {
+    /// The data values `a_i`.
+    pub values: Vec<Value>,
+    /// The per-attribute classifications `c_i`.
+    pub classes: Vec<Label>,
+    /// The tuple class `TC` — the access class where the tuple was
+    /// inserted/updated.
+    pub tc: Label,
+}
+
+impl MlsTuple {
+    /// Construct a tuple.
+    pub fn new(values: Vec<Value>, classes: Vec<Label>, tc: Label) -> Self {
+        assert_eq!(values.len(), classes.len(), "values and classes must align");
+        MlsTuple {
+            values,
+            classes,
+            tc,
+        }
+    }
+
+    /// The apparent-key value (attribute 0).
+    pub fn key(&self) -> &Value {
+        &self.values[0]
+    }
+
+    /// The apparent-key classification `C_AK`.
+    ///
+    /// For multi-attribute keys the key is uniformly classified (entity
+    /// integrity), so the first key attribute's class stands for all.
+    pub fn key_class(&self) -> Label {
+        self.classes[0]
+    }
+
+    /// The composite apparent-key values (the first `width` attributes).
+    pub fn key_slice(&self, width: usize) -> &[Value] {
+        &self.values[..width]
+    }
+
+    /// Number of data attributes.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether any data value is `⊥`.
+    pub fn has_null(&self) -> bool {
+        self.values.iter().any(Value::is_null)
+    }
+
+    /// Definition 5.4 subsumption: `self` subsumes `other` iff for every
+    /// attribute either the `(value, class)` pairs are equal, or `self`
+    /// has a non-null value where `other` has `⊥`.
+    ///
+    /// `TC` does not participate in subsumption.
+    pub fn subsumes(&self, other: &MlsTuple) -> bool {
+        if self.arity() != other.arity() {
+            return false;
+        }
+        self.values
+            .iter()
+            .zip(&self.classes)
+            .zip(other.values.iter().zip(&other.classes))
+            .all(|((v, c), (v2, c2))| (v == v2 && c == c2) || (!v.is_null() && v2.is_null()))
+    }
+
+    /// Strict subsumption: subsumes but is not mutually subsumed.
+    pub fn strictly_subsumes(&self, other: &MlsTuple) -> bool {
+        self.subsumes(other) && !other.subsumes(self)
+    }
+
+    /// Render the tuple against a lattice, matching the paper's tables:
+    /// `value class | … | TC`.
+    pub fn render(&self, lattice: &SecurityLattice) -> String {
+        let mut parts: Vec<String> = self
+            .values
+            .iter()
+            .zip(&self.classes)
+            .map(|(v, c)| format!("{v} {}", lattice.name(*c)))
+            .collect();
+        parts.push(lattice.name(self.tc).to_owned());
+        parts.join(" | ")
+    }
+}
+
+impl fmt::Debug for MlsTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, (v, c)) in self.values.iter().zip(&self.classes).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}:{}", c.index())?;
+        }
+        write!(f, " @{})", self.tc.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multilog_lattice::standard;
+
+    fn labels() -> (SecurityLattice, Label, Label, Label) {
+        let lat = standard::mission_levels();
+        let u = lat.label("U").unwrap();
+        let c = lat.label("C").unwrap();
+        let s = lat.label("S").unwrap();
+        (lat, u, c, s)
+    }
+
+    #[test]
+    fn key_accessors() {
+        let (_, u, c, s) = labels();
+        let t = MlsTuple::new(vec![Value::str("Phantom"), Value::Null], vec![c, u], s);
+        assert_eq!(t.key(), &Value::str("Phantom"));
+        assert_eq!(t.key_class(), c);
+        assert!(t.has_null());
+        assert_eq!(t.arity(), 2);
+    }
+
+    #[test]
+    fn subsumption_fills_nulls() {
+        let (_, u, _, s) = labels();
+        let full = MlsTuple::new(
+            vec![Value::str("Voyager"), Value::str("Training")],
+            vec![u, u],
+            u,
+        );
+        let nulled = MlsTuple::new(vec![Value::str("Voyager"), Value::Null], vec![u, u], s);
+        assert!(full.subsumes(&nulled));
+        assert!(!nulled.subsumes(&full));
+        assert!(full.strictly_subsumes(&nulled));
+    }
+
+    #[test]
+    fn subsumption_requires_equal_classes_on_values() {
+        let (_, u, c, s) = labels();
+        // Same values, different class on attribute 0: no subsumption.
+        let a = MlsTuple::new(vec![Value::str("Phantom"), Value::Null], vec![u, u], s);
+        let b = MlsTuple::new(vec![Value::str("Phantom"), Value::Null], vec![c, c], s);
+        assert!(!a.subsumes(&b));
+        assert!(!b.subsumes(&a));
+    }
+
+    #[test]
+    fn identical_tuples_mutually_subsume() {
+        let (_, u, _, _) = labels();
+        let a = MlsTuple::new(vec![Value::str("x")], vec![u], u);
+        assert!(a.subsumes(&a));
+        assert!(!a.strictly_subsumes(&a));
+    }
+
+    #[test]
+    fn paper_t4_t5_do_not_subsume() {
+        // §3: "tuples t4 and t5 do not subsume each other".
+        let (_, u, c, _) = labels();
+        let t4 = MlsTuple::new(
+            vec![Value::str("Phantom"), Value::Null, Value::str("Omega")],
+            vec![u, u, u],
+            c,
+        );
+        let t5 = MlsTuple::new(
+            vec![Value::str("Phantom"), Value::Null, Value::Null],
+            vec![c, c, c],
+            c,
+        );
+        assert!(!t4.subsumes(&t5));
+        assert!(!t5.subsumes(&t4));
+    }
+
+    #[test]
+    fn render_matches_paper_layout() {
+        let (lat, u, _, s) = labels();
+        let t = MlsTuple::new(
+            vec![Value::str("Voyager"), Value::str("Spying")],
+            vec![u, s],
+            s,
+        );
+        assert_eq!(t.render(&lat), "Voyager U | Spying S | S");
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn misaligned_tuple_panics() {
+        let (_, u, _, _) = labels();
+        let _ = MlsTuple::new(vec![Value::str("x")], vec![u, u], u);
+    }
+}

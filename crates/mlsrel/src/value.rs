@@ -1,0 +1,99 @@
+//! Attribute values, including the distinguished null `⊥`.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A data-attribute value in a multilevel relation.
+///
+/// `Null` is the distinguished `⊥` of the model: it appears when the
+/// filter function σ hides a higher-classified value from a lower view,
+/// or when polyinstantiation leaves a higher tuple whose lower-classified
+/// key outlives its data (the paper's *surprise stories*).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// The null value `⊥`.
+    Null,
+    /// A symbolic value, e.g. `Voyager`.
+    Str(Arc<str>),
+    /// An integer value.
+    Int(i64),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Construct an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Whether this is `⊥`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The string content, if a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("⊥"),
+            Value::Str(s) => f.write_str(s),
+            Value::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "⊥");
+        assert_eq!(Value::str("Voyager").to_string(), "Voyager");
+        assert_eq!(Value::int(7).to_string(), "7");
+    }
+
+    #[test]
+    fn null_detection() {
+        assert!(Value::Null.is_null());
+        assert!(!Value::str("x").is_null());
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::Null.as_str(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from("a"), Value::str("a"));
+        assert_eq!(Value::from(3), Value::int(3));
+    }
+}

@@ -1,0 +1,252 @@
+//! The Jajodia–Sandhu view at an access class `c` (Definition 2.3 plus
+//! the filter function σ and subsumption elimination).
+//!
+//! A tuple belongs to the view at `c` iff its apparent-key classification
+//! is dominated by `c`. Attribute values whose classification exceeds `c`
+//! are replaced by `⊥` *classified at the key class* — this is the σ of
+//! \[12\] and the mechanism that surfaces the paper's surprise stories
+//! (Figure 3's t4/t5). The displayed tuple class is the stored `TC`
+//! clipped to the view level. Finally, tuples strictly subsumed by another
+//! view tuple are dropped, and data-identical tuples keep only the copy
+//! with the highest (clipped) tuple class.
+
+use multilog_lattice::Label;
+
+use crate::relation::MlsRelation;
+use crate::tuple::MlsTuple;
+use crate::value::Value;
+
+/// Options controlling view computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ViewOptions {
+    /// Apply the filter function σ (null out invisible attributes). When
+    /// `false`, tuples with any invisible attribute are dropped entirely —
+    /// the behaviour MultiLog adopts by *not* implementing σ (§7).
+    pub filter_sigma: bool,
+    /// Apply subsumption elimination.
+    pub eliminate_subsumed: bool,
+}
+
+impl Default for ViewOptions {
+    fn default() -> Self {
+        ViewOptions {
+            filter_sigma: true,
+            eliminate_subsumed: true,
+        }
+    }
+}
+
+/// Compute the view of `rel` at access class `c` with default options
+/// (σ + subsumption) — the Jajodia–Sandhu semantics of Figures 2 and 3.
+pub fn view_at(rel: &MlsRelation, c: Label) -> MlsRelation {
+    view_at_with(rel, c, ViewOptions::default())
+}
+
+/// Compute the view of `rel` at access class `c` with explicit options.
+pub fn view_at_with(rel: &MlsRelation, c: Label, opts: ViewOptions) -> MlsRelation {
+    let lat = rel.lattice().clone();
+    let mut out = MlsRelation::new(rel.scheme().clone());
+    // (projected tuple, was the TC clipped?) in stored order.
+    let mut candidates: Vec<(MlsTuple, bool)> = Vec::new();
+
+    for t in rel.tuples() {
+        // Key visibility gates the whole tuple.
+        if !lat.leq(t.key_class(), c) {
+            continue;
+        }
+        let mut values = Vec::with_capacity(t.arity());
+        let mut classes = Vec::with_capacity(t.arity());
+        let mut hidden = false;
+        for (v, &cl) in t.values.iter().zip(&t.classes) {
+            if lat.leq(cl, c) {
+                values.push(v.clone());
+                classes.push(cl);
+            } else {
+                hidden = true;
+                // σ: null classified at the key class.
+                values.push(Value::Null);
+                classes.push(t.key_class());
+            }
+        }
+        if hidden && !opts.filter_sigma {
+            continue;
+        }
+        // Displayed TC: the stored class when visible, otherwise clipped
+        // to the view level.
+        let clipped = !lat.leq(t.tc, c);
+        let tc = if clipped { c } else { t.tc };
+        candidates.push((MlsTuple::new(values, classes, tc), clipped));
+    }
+
+    if opts.eliminate_subsumed {
+        candidates = eliminate_subsumed(&lat, candidates);
+    }
+    for (t, _) in candidates {
+        out.insert_unchecked(t);
+    }
+    out
+}
+
+/// Subsumption elimination within a view:
+///
+/// * drop tuples strictly subsumed by another candidate;
+/// * among data-identical tuples (mutual subsumption — same values and
+///   classes, possibly different `TC`) keep the copy whose displayed `TC`
+///   is maximal, preferring a copy whose `TC` was not clipped (the copy
+///   the paper labels as the surviving tuple id); incomparable `TC`s keep
+///   all copies.
+fn eliminate_subsumed(
+    lat: &multilog_lattice::SecurityLattice,
+    candidates: Vec<(MlsTuple, bool)>,
+) -> Vec<(MlsTuple, bool)> {
+    let mut keep: Vec<bool> = vec![true; candidates.len()];
+    for (i, (a, a_clipped)) in candidates.iter().enumerate() {
+        for (j, (b, b_clipped)) in candidates.iter().enumerate() {
+            if i == j || !keep[i] {
+                continue;
+            }
+            if b.strictly_subsumes(a) {
+                keep[i] = false;
+                continue;
+            }
+            if !(a.subsumes(b) && b.subsumes(a)) {
+                continue;
+            }
+            // Data-identical copies: drop `a` when `b` is strictly
+            // better (higher TC, or unclipped at equal TC), or when it is
+            // a later pure duplicate.
+            let b_better = lat.lt(a.tc, b.tc) || (a.tc == b.tc && *a_clipped && !b_clipped);
+            let later_duplicate = a.tc == b.tc && *a_clipped == *b_clipped && i > j;
+            if b_better || later_duplicate {
+                keep[i] = false;
+            }
+        }
+    }
+    candidates
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(t, k)| k.then_some(t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mission;
+
+    /// Render a view for compact assertions: rows of `render()` output.
+    fn rows(rel: &MlsRelation) -> Vec<String> {
+        let lat = rel.lattice();
+        rel.tuples().iter().map(|t| t.render(lat)).collect()
+    }
+
+    #[test]
+    fn figure2_u_level_view() {
+        let (lat, rel) = mission::mission_relation();
+        let u = lat.label("U").unwrap();
+        let v = view_at(&rel, u);
+        let got = rows(&v);
+        let expected = vec![
+            "Phantom U | ⊥ U | Omega U | U",           // t4 (surprise story)
+            "Atlantis U | Diplomacy U | Vulcan U | U", // t7 (subsumes t2, t6)
+            "Voyager U | Training U | Mars U | U",     // t8 (subsumes t3)
+            "Falcon U | Piracy U | Venus U | U",       // t9
+            "Eagle U | Patrolling U | Degoba U | U",   // t10
+        ];
+        assert_eq!(got, expected, "view:\n{}", v.render());
+    }
+
+    #[test]
+    fn figure3_c_level_view() {
+        let (lat, rel) = mission::mission_relation();
+        let c = lat.label("C").unwrap();
+        let v = view_at(&rel, c);
+        let got = rows(&v);
+        let expected = vec![
+            "Phantom U | ⊥ U | Omega U | C",           // t4
+            "Phantom C | ⊥ C | ⊥ C | C",               // t5
+            "Atlantis U | Diplomacy U | Vulcan U | C", // t6 (highest TC copy)
+            "Voyager U | Training U | Mars U | U",     // t8 (subsumes t3's projection)
+            "Falcon U | Piracy U | Venus U | U",       // t9
+            "Eagle U | Patrolling U | Degoba U | U",   // t10
+        ];
+        assert_eq!(got, expected, "view:\n{}", v.render());
+    }
+
+    #[test]
+    fn s_level_view_is_whole_relation() {
+        // §3: "the following query … would produce the entire Mission
+        // relation when submitted by an user with a S level clearance".
+        // With subsumption elimination disabled the S view is exactly
+        // Figure 1; the default view additionally collapses the three
+        // data-identical Atlantis assertions (t2/t6/t7) onto the highest.
+        let (lat, rel) = mission::mission_relation();
+        let s = lat.label("S").unwrap();
+        let raw = view_at_with(
+            &rel,
+            s,
+            ViewOptions {
+                filter_sigma: true,
+                eliminate_subsumed: false,
+            },
+        );
+        assert_eq!(raw.len(), rel.len());
+        assert!(raw.same_tuples(&rel));
+        let v = view_at(&rel, s);
+        assert_eq!(v.len(), 8);
+        assert_eq!(v.by_key(&crate::Value::str("Atlantis")).count(), 1);
+    }
+
+    #[test]
+    fn without_sigma_surprise_stories_vanish() {
+        let (lat, rel) = mission::mission_relation();
+        let c = lat.label("C").unwrap();
+        let v = view_at_with(
+            &rel,
+            c,
+            ViewOptions {
+                filter_sigma: false,
+                eliminate_subsumed: true,
+            },
+        );
+        // t4 and t5 (which would need σ-nulls) are gone; no nulls anywhere.
+        assert!(v.tuples().iter().all(|t| !t.has_null()));
+        assert_eq!(v.len(), 4); // Atlantis, Voyager(t8), Falcon, Eagle
+    }
+
+    #[test]
+    fn without_subsumption_all_copies_visible() {
+        let (lat, rel) = mission::mission_relation();
+        let u = lat.label("U").unwrap();
+        let v = view_at_with(
+            &rel,
+            u,
+            ViewOptions {
+                filter_sigma: true,
+                eliminate_subsumed: false,
+            },
+        );
+        // t2/t6/t7 clip to the same U tuple (deduplicated by set
+        // semantics); t3's projection additionally survives.
+        assert_eq!(v.len(), 6);
+    }
+
+    #[test]
+    fn view_tuples_tc_never_exceeds_level() {
+        let (lat, rel) = mission::mission_relation();
+        for level in ["U", "C", "S"] {
+            let l = lat.label(level).unwrap();
+            for t in view_at(&rel, l).tuples() {
+                assert!(lat.leq(t.tc, l));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_relation_empty_view() {
+        let (lat, scheme) = mission::mission_scheme();
+        let rel = MlsRelation::new(scheme);
+        let u = lat.label("U").unwrap();
+        assert!(view_at(&rel, u).is_empty());
+    }
+}

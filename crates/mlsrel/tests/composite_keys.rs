@@ -1,0 +1,146 @@
+//! Multi-attribute apparent keys — the §7 extension: schemes may widen
+//! the key to the first `n` attributes; entity integrity then requires
+//! the key to be uniformly classified, and belief/view computations group
+//! entities by the composite key.
+
+use std::sync::Arc;
+
+use multilog_lattice::standard;
+use multilog_mlsrel::belief::{believe, BeliefMode};
+use multilog_mlsrel::cuppens;
+use multilog_mlsrel::view::view_at;
+use multilog_mlsrel::{MlsError, MlsRelation, MlsScheme, MlsTuple, Value};
+
+/// Flight legs keyed by (airline, flight number): two airlines may share
+/// a flight number, so a single-attribute key would conflate them.
+fn flights() -> (Arc<multilog_lattice::SecurityLattice>, MlsRelation) {
+    let lat = Arc::new(standard::mission_levels());
+    let scheme =
+        MlsScheme::unconstrained("flight", lat.clone(), &["airline", "number", "destination"])
+            .with_key_width(2);
+    let mut rel = MlsRelation::new(scheme);
+    let (u, c, s) = (
+        lat.label("U").unwrap(),
+        lat.label("C").unwrap(),
+        lat.label("S").unwrap(),
+    );
+    let t = |vals: [&str; 3], cls: [multilog_lattice::Label; 3], tc| {
+        MlsTuple::new(
+            vals.iter().map(|v| Value::str(*v)).collect(),
+            cls.to_vec(),
+            tc,
+        )
+    };
+    rel.insert(t(["acme", "ml100", "geneva"], [u, u, u], u))
+        .unwrap();
+    // Same number, different airline: a distinct entity.
+    rel.insert(t(["globex", "ml100", "lagos"], [u, u, u], u))
+        .unwrap();
+    // A classified override of acme/ml100's destination.
+    rel.insert(t(["acme", "ml100", "baghdad"], [u, u, s], s))
+        .unwrap();
+    let _ = c;
+    (lat, rel)
+}
+
+#[test]
+fn composite_entities_stay_distinct_in_cautious_views() {
+    let (lat, rel) = flights();
+    let s = lat.label("S").unwrap();
+    let cau = believe(&rel, s, BeliefMode::Cautious).unwrap();
+    // Two entities → two believed tuples; acme/ml100 takes the S
+    // destination, globex/ml100 keeps its own.
+    assert_eq!(cau.len(), 2, "{}", cau.render());
+    let acme = cau
+        .tuples()
+        .iter()
+        .find(|t| t.values[0] == Value::str("acme"))
+        .expect("acme entity believed");
+    assert_eq!(acme.values[2], Value::str("baghdad"));
+    let globex = cau
+        .tuples()
+        .iter()
+        .find(|t| t.values[0] == Value::str("globex"))
+        .expect("globex entity believed");
+    assert_eq!(globex.values[2], Value::str("lagos"));
+}
+
+#[test]
+fn composite_entities_in_trusted_view() {
+    let (lat, rel) = flights();
+    let s = lat.label("S").unwrap();
+    let t = cuppens::trusted(&rel, s);
+    // acme/ml100: the S assertion wins; globex/ml100 survives unchanged.
+    assert_eq!(t.len(), 2, "{}", t.render());
+}
+
+#[test]
+fn views_respect_composite_visibility() {
+    let (lat, rel) = flights();
+    let u = lat.label("U").unwrap();
+    let v = view_at(&rel, u);
+    // The S tuple's destination hides, the key stays visible: a σ row for
+    // acme/ml100 appears with ⊥ but is subsumed by the U original.
+    assert_eq!(v.len(), 2, "{}", v.render());
+    assert!(v.tuples().iter().all(|t| !t.has_null()));
+}
+
+#[test]
+fn nonuniform_key_classification_rejected() {
+    let lat = Arc::new(standard::mission_levels());
+    let scheme = MlsScheme::unconstrained("flight", lat.clone(), &["airline", "number", "dest"])
+        .with_key_width(2);
+    let mut rel = MlsRelation::new(scheme);
+    let (u, s) = (lat.label("U").unwrap(), lat.label("S").unwrap());
+    let bad = MlsTuple::new(
+        vec![Value::str("acme"), Value::str("ml100"), Value::str("x")],
+        vec![u, s, s],
+        s,
+    );
+    assert!(matches!(
+        rel.insert(bad),
+        Err(MlsError::EntityIntegrity { .. })
+    ));
+}
+
+#[test]
+fn null_in_any_key_attribute_rejected() {
+    let lat = Arc::new(standard::mission_levels());
+    let scheme = MlsScheme::unconstrained("flight", lat.clone(), &["airline", "number", "dest"])
+        .with_key_width(2);
+    let mut rel = MlsRelation::new(scheme);
+    let u = lat.label("U").unwrap();
+    let bad = MlsTuple::new(
+        vec![Value::str("acme"), Value::Null, Value::str("x")],
+        vec![u, u, u],
+        u,
+    );
+    assert!(matches!(
+        rel.insert(bad),
+        Err(MlsError::EntityIntegrity { .. })
+    ));
+}
+
+#[test]
+fn key_width_accessors() {
+    let lat = Arc::new(standard::mission_levels());
+    let scheme = MlsScheme::unconstrained("r", lat, &["a", "b", "c"]).with_key_width(2);
+    assert_eq!(scheme.key_width(), 2);
+    assert_eq!(scheme.key_indices(), 0..2);
+}
+
+#[test]
+#[should_panic(expected = "key width")]
+fn oversized_key_width_panics() {
+    let lat = Arc::new(standard::mission_levels());
+    let _ = MlsScheme::unconstrained("r", lat, &["a", "b"]).with_key_width(3);
+}
+
+#[test]
+fn single_attribute_keys_unchanged() {
+    // Default width is 1; the Mission figures still hold (smoke check).
+    let (lat, rel) = multilog_mlsrel::mission::mission_relation();
+    assert_eq!(rel.scheme().key_width(), 1);
+    let c = lat.label("C").unwrap();
+    assert_eq!(believe(&rel, c, BeliefMode::Firm).unwrap().len(), 1);
+}

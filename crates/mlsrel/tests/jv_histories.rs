@@ -1,0 +1,168 @@
+//! Jukic–Vrbsky interpretations on histories beyond the paper's Mission
+//! example: each test builds a small update history and checks the
+//! five-way interpretation grid.
+
+use std::sync::Arc;
+
+use multilog_lattice::standard;
+use multilog_mlsrel::jv::{Interpretation, JvRelation};
+use multilog_mlsrel::ops::Op;
+use multilog_mlsrel::{MlsScheme, Value};
+
+fn scheme() -> MlsScheme {
+    let lat = Arc::new(standard::mission_levels());
+    MlsScheme::unconstrained("r", lat, &["k", "a"])
+}
+
+fn insert(level: &str, key: &str, val: &str) -> Op {
+    Op::Insert {
+        level: level.into(),
+        values: vec![Value::str(key), Value::str(val)],
+    }
+}
+
+fn update(level: &str, key: &str, kc: &str, val: &str) -> Op {
+    Op::Update {
+        level: level.into(),
+        key: Value::str(key),
+        key_class: kc.into(),
+        assignments: vec![("a".into(), Some(Value::str(val)), level.into())],
+    }
+}
+
+fn interp(jv: &JvRelation, idx: usize, level: &str) -> Interpretation {
+    let l = jv.scheme().lattice().label(level).unwrap();
+    jv.interpret(idx, l)
+}
+
+#[test]
+fn plain_insert_is_true_at_creator_irrelevant_above() {
+    let jv = JvRelation::from_history(scheme(), &[insert("U", "k1", "x")]).unwrap();
+    assert_eq!(jv.variants().len(), 1);
+    assert_eq!(interp(&jv, 0, "U"), Interpretation::True);
+    assert_eq!(interp(&jv, 0, "C"), Interpretation::Irrelevant);
+    assert_eq!(interp(&jv, 0, "S"), Interpretation::Irrelevant);
+}
+
+#[test]
+fn update_creates_cover_story_at_and_above_the_updater() {
+    let jv = JvRelation::from_history(
+        scheme(),
+        &[insert("U", "k1", "x"), update("C", "k1", "U", "y")],
+    )
+    .unwrap();
+    assert_eq!(jv.variants().len(), 2);
+    // The original: true at U; known cover story at C and S (the
+    // replacement is visible from C up).
+    assert_eq!(interp(&jv, 0, "U"), Interpretation::True);
+    assert_eq!(interp(&jv, 0, "C"), Interpretation::CoverStory);
+    assert_eq!(interp(&jv, 0, "S"), Interpretation::CoverStory);
+    // The replacement: invisible below C, true at C, irrelevant at S
+    // (S has not asserted it).
+    assert_eq!(interp(&jv, 1, "U"), Interpretation::Invisible);
+    assert_eq!(interp(&jv, 1, "C"), Interpretation::True);
+    assert_eq!(interp(&jv, 1, "S"), Interpretation::Irrelevant);
+}
+
+#[test]
+fn chained_updates_mark_all_ancestors() {
+    let jv = JvRelation::from_history(
+        scheme(),
+        &[
+            insert("U", "k1", "x"),
+            update("C", "k1", "U", "y"),
+            update("S", "k1", "U", "z"),
+        ],
+    )
+    .unwrap();
+    assert_eq!(jv.variants().len(), 3);
+    // Transitive replacement: both earlier variants are cover stories at S.
+    assert_eq!(interp(&jv, 0, "S"), Interpretation::CoverStory);
+    assert_eq!(interp(&jv, 1, "S"), Interpretation::CoverStory);
+    assert_eq!(interp(&jv, 2, "S"), Interpretation::True);
+}
+
+#[test]
+fn reassertion_merges_believers() {
+    let jv = JvRelation::from_history(
+        scheme(),
+        &[
+            insert("U", "k1", "x"),
+            Op::Assert {
+                level: "S".into(),
+                values: vec![Value::str("k1"), Value::str("x")],
+                key_class: "U".into(),
+            },
+        ],
+    )
+    .unwrap();
+    assert_eq!(
+        jv.variants().len(),
+        1,
+        "re-assertion merges, not duplicates"
+    );
+    assert_eq!(interp(&jv, 0, "U"), Interpretation::True);
+    assert_eq!(interp(&jv, 0, "C"), Interpretation::Irrelevant);
+    assert_eq!(interp(&jv, 0, "S"), Interpretation::True);
+    assert_eq!(jv.row_label(0), "US");
+}
+
+#[test]
+fn assert_false_is_a_mirage_only_at_the_asserter() {
+    let jv = JvRelation::from_history(
+        scheme(),
+        &[
+            insert("U", "k1", "x"),
+            Op::AssertFalse {
+                level: "S".into(),
+                key: Value::str("k1"),
+                key_class: "U".into(),
+            },
+        ],
+    )
+    .unwrap();
+    assert_eq!(interp(&jv, 0, "U"), Interpretation::True);
+    assert_eq!(interp(&jv, 0, "C"), Interpretation::Irrelevant);
+    assert_eq!(interp(&jv, 0, "S"), Interpretation::Mirage);
+    assert_eq!(jv.attr_label(0, 1), "U-S");
+}
+
+#[test]
+fn delete_does_not_retract_beliefs() {
+    let jv = JvRelation::from_history(
+        scheme(),
+        &[
+            insert("U", "k1", "x"),
+            Op::Delete {
+                level: "U".into(),
+                key: Value::str("k1"),
+                key_class: "U".into(),
+            },
+        ],
+    )
+    .unwrap();
+    assert_eq!(jv.variants().len(), 1);
+    assert_eq!(interp(&jv, 0, "U"), Interpretation::True);
+}
+
+#[test]
+fn labels_order_levels_bottom_up() {
+    let jv = JvRelation::from_history(
+        scheme(),
+        &[
+            insert("U", "k1", "x"),
+            Op::Assert {
+                level: "C".into(),
+                values: vec![Value::str("k1"), Value::str("x")],
+                key_class: "U".into(),
+            },
+            Op::Assert {
+                level: "S".into(),
+                values: vec![Value::str("k1"), Value::str("x")],
+                key_class: "U".into(),
+            },
+        ],
+    )
+    .unwrap();
+    assert_eq!(jv.row_label(0), "UCS");
+}

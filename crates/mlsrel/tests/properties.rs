@@ -1,0 +1,235 @@
+//! Property-based tests for the MLS relational model: security
+//! (no-leak) invariants, β mode relationships, and view laws over
+//! randomly generated multilevel relations.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use multilog_lattice::{standard, Label, SecurityLattice};
+use multilog_mlsrel::belief::{believe, BeliefMode};
+use multilog_mlsrel::view::{view_at, view_at_with, ViewOptions};
+use multilog_mlsrel::{MlsRelation, MlsScheme, MlsTuple, Value};
+
+/// A random multilevel relation over a chain lattice of the given depth:
+/// entities get a base tuple plus optional polyinstantiated variants, all
+/// satisfying per-tuple entity/null integrity by construction.
+fn arb_relation() -> impl Strategy<Value = (Arc<SecurityLattice>, MlsRelation)> {
+    let depth = 2usize..5;
+    let rows = proptest::collection::vec(
+        // (entity, key-class rank, per-attr class bumps, tc bump, use_null)
+        (
+            0usize..6,
+            0usize..4,
+            [0usize..3, 0usize..3],
+            0usize..3,
+            any::<bool>(),
+        ),
+        1..24,
+    );
+    (depth, rows).prop_map(|(depth, rows)| {
+        let lat = Arc::new(standard::chain(depth));
+        let labels: Vec<Label> = lat.labels().collect();
+        let clamp = |i: usize| labels[i.min(depth - 1)];
+        let scheme = MlsScheme::unconstrained("r", lat.clone(), &["k", "a", "b"]);
+        let mut rel = MlsRelation::new(scheme);
+        for (ent, kc, [ca, cb], tcb, use_null) in rows {
+            let key_class = clamp(kc);
+            let a_class = clamp(kc + ca);
+            let b_class = clamp(kc + cb);
+            let tc = clamp(kc + ca.max(cb) + tcb);
+            // Null integrity: ⊥ must sit at the key class.
+            let a_val = if use_null && a_class == key_class {
+                Value::Null
+            } else {
+                Value::str(format!("a{ent}_{ca}"))
+            };
+            let t = MlsTuple::new(
+                vec![
+                    Value::str(format!("k{ent}")),
+                    a_val,
+                    Value::str(format!("b{ent}_{cb}")),
+                ],
+                vec![key_class, a_class, b_class],
+                tc,
+            );
+            // Insert may be a duplicate; per-tuple integrity holds by
+            // construction.
+            rel.insert(t).expect("constructed tuples satisfy integrity");
+        }
+        (lat, rel)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Simple security: a view at `c` never exposes a value classified
+    /// above `c`, and never includes a tuple whose key class exceeds `c`.
+    #[test]
+    fn views_never_leak((lat, rel) in arb_relation()) {
+        for c in lat.labels() {
+            let v = view_at(&rel, c);
+            for t in v.tuples() {
+                prop_assert!(lat.leq(t.key_class(), c));
+                prop_assert!(lat.leq(t.tc, c));
+                for (val, &cl) in t.values.iter().zip(&t.classes) {
+                    if !val.is_null() {
+                        prop_assert!(lat.leq(cl, c), "leaked class above {:?}", c);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Monotonicity of visibility: a higher clearance sees at least as
+    /// many entities as a lower one.
+    #[test]
+    fn views_grow_with_clearance((lat, rel) in arb_relation()) {
+        let labels: Vec<Label> = lat.labels().collect();
+        for w in labels.windows(2) {
+            let lo = view_at(&rel, w[0]);
+            let hi = view_at(&rel, w[1]);
+            let keys = |r: &MlsRelation| {
+                let mut ks: Vec<Value> = r.tuples().iter().map(|t| t.key().clone()).collect();
+                ks.sort();
+                ks.dedup();
+                ks
+            };
+            for k in keys(&lo) {
+                prop_assert!(keys(&hi).contains(&k), "entity lost at higher level");
+            }
+        }
+    }
+
+    /// β never exposes values classified above the believer.
+    #[test]
+    fn beliefs_never_leak((lat, rel) in arb_relation()) {
+        for s in lat.labels() {
+            for mode in BeliefMode::all() {
+                let b = believe(&rel, s, mode).unwrap();
+                for t in b.tuples() {
+                    for &cl in &t.classes {
+                        prop_assert!(
+                            lat.leq(cl, s),
+                            "mode {:?} leaked class at {:?}",
+                            mode,
+                            s
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Firm ⊆ optimistic (after TC retagging).
+    #[test]
+    fn firm_subset_of_optimistic((lat, rel) in arb_relation()) {
+        for s in lat.labels() {
+            let firm = believe(&rel, s, BeliefMode::Firm).unwrap();
+            let opt = believe(&rel, s, BeliefMode::Optimistic).unwrap();
+            for t in firm.tuples() {
+                let mut retagged = t.clone();
+                retagged.tc = s;
+                prop_assert!(opt.tuples().contains(&retagged));
+            }
+        }
+    }
+
+    /// Every cautiously believed (key, attr, value, class) comes from a
+    /// visible stored tuple, and its class is maximal among visible
+    /// same-key same-attr values.
+    #[test]
+    fn cautious_values_are_visible_maxima((lat, rel) in arb_relation()) {
+        for s in lat.labels() {
+            let cau = believe(&rel, s, BeliefMode::Cautious).unwrap();
+            let visible: Vec<&MlsTuple> = rel.visible_at(s).collect();
+            for t in cau.tuples() {
+                for i in 0..t.arity() {
+                    // Source exists.
+                    prop_assert!(
+                        visible.iter().any(|v| v.key() == t.key()
+                            && v.values[i] == t.values[i]
+                            && v.classes[i] == t.classes[i]),
+                        "cautious value without a visible source"
+                    );
+                    // Maximality — for non-key attributes only: Def 3.1
+                    // quantifies over A_i ∉ AK, so polyinstantiated keys
+                    // legitimately appear once per visible key class.
+                    if i != 0 {
+                        prop_assert!(
+                            !visible.iter().any(|w| w.key() == t.key()
+                                && lat.lt(t.classes[i], w.classes[i])),
+                            "cautious value beaten by a higher classification"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The believed relations are deterministic.
+    #[test]
+    fn belief_is_deterministic((lat, rel) in arb_relation()) {
+        for s in lat.labels() {
+            for mode in BeliefMode::all() {
+                let a = believe(&rel, s, mode).unwrap();
+                let b = believe(&rel, s, mode).unwrap();
+                prop_assert!(a.same_tuples(&b));
+            }
+        }
+    }
+
+    /// σ-free views never contain ⊥ introduced by filtering (only
+    /// stored nulls), and never contain a tuple with a hidden column.
+    #[test]
+    fn sigma_free_views_have_no_surprise_stories((lat, rel) in arb_relation()) {
+        for c in lat.labels() {
+            let v = view_at_with(
+                &rel,
+                c,
+                ViewOptions { filter_sigma: false, eliminate_subsumed: true },
+            );
+            for t in v.tuples() {
+                for &cl in &t.classes {
+                    prop_assert!(lat.leq(cl, c));
+                }
+            }
+        }
+    }
+
+    /// Subsumption elimination only removes tuples; every surviving tuple
+    /// was a candidate of the unfiltered view.
+    #[test]
+    fn subsumption_only_filters((lat, rel) in arb_relation()) {
+        for c in lat.labels() {
+            let full = view_at_with(
+                &rel,
+                c,
+                ViewOptions { filter_sigma: true, eliminate_subsumed: false },
+            );
+            let pruned = view_at(&rel, c);
+            prop_assert!(pruned.len() <= full.len());
+            for t in pruned.tuples() {
+                prop_assert!(full.tuples().contains(t), "subsumption invented a tuple");
+            }
+        }
+    }
+
+    /// At the bottom of the lattice, firm, optimistic and cautious all
+    /// coincide (nothing can flow up from below the bottom).
+    #[test]
+    fn modes_coincide_at_bottom((lat, rel) in arb_relation()) {
+        let bottom = lat.minimal()[0];
+        let fir = believe(&rel, bottom, BeliefMode::Firm).unwrap();
+        let opt = believe(&rel, bottom, BeliefMode::Optimistic).unwrap();
+        let mut fir_retagged = Vec::new();
+        for t in fir.tuples() {
+            let mut t = t.clone();
+            t.tc = bottom;
+            fir_retagged.push(t);
+        }
+        for t in opt.tuples() {
+            prop_assert!(fir_retagged.contains(t));
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! Consistency checking (Definition 5.4) over the meaning of the Σ
+//! component — entity integrity, null integrity (with subsumption-
+//! freedom), and polyinstantiation integrity, applied to the m-facts
+//! derived by an evaluated engine.
+//!
+//! The apparent key of a predicate is detected structurally: an attribute
+//! is the key attribute `AK` iff its value equals the molecule key in
+//! every fact of the predicate that carries it (Def 5.2's requirement:
+//! for every m-atom `s[p(k : b -d-> v)]` there is also `s[p(k : a -c-> k)]`).
+//! Toy databases like D₁ omit the key atom; for those predicates the
+//! AK-dependent checks are skipped and polyinstantiation integrity falls
+//! back to the FD `(pred, key, level, attr, class) → value`.
+//!
+//! Two deliberate deviations from a literal reading of Def 5.4, both
+//! forced by the paper's own examples:
+//!
+//! * **Subsumption-freedom** — read literally, Def 5.4 outlaws Figure 1's
+//!   own encoding (t2/t6/t7 are distinct molecules with identical data
+//!   that mutually subsume). We flag only *strict* subsumption.
+//! * **Molecule reconstruction** — desugaring molecules to atoms loses
+//!   which non-key atom belongs to which key-class instance. When one
+//!   `(pred, key, level)` group contains key atoms at *several* classes
+//!   (Figure 1's t4/t5, both at S with key classes U and C), the
+//!   association is ambiguous and the FD/entity checks are skipped for
+//!   that group rather than reporting a spurious violation. This is a
+//!   genuine expressiveness gap of atom-granularity MultiLog that the
+//!   paper does not discuss; see DESIGN.md.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use multilog_lattice::Label;
+
+use crate::ast::Term;
+use crate::engine::MultiLogEngine;
+use crate::{MultiLogError, Result};
+
+/// A fact group: all m-facts of one `(pred, key, level)`.
+#[derive(Debug, Clone)]
+struct Group<'a> {
+    pred: &'a str,
+    key: &'a Term,
+    level: Label,
+    /// `(attr, value, class)` triples, possibly several per attr.
+    fields: Vec<(&'a str, &'a Term, Label)>,
+}
+
+impl Group<'_> {
+    fn key_classes(&self, ak: Option<&str>) -> Vec<Label> {
+        let Some(ak) = ak else { return Vec::new() };
+        let mut out: Vec<Label> = self
+            .fields
+            .iter()
+            .filter(|(a, _, _)| *a == ak)
+            .map(|&(_, _, c)| c)
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// Run the Definition 5.4 suite against an evaluated engine's m-facts.
+pub fn check_consistency(engine: &MultiLogEngine) -> Result<()> {
+    let lat = engine.lattice();
+    let facts = engine.mfacts();
+
+    // --- Group facts by (pred, key, level). ---
+    let mut groups: Vec<Group<'_>> = Vec::new();
+    for f in facts {
+        let idx = groups
+            .iter()
+            .position(|g| g.pred == f.pred.as_ref() && g.key == &f.key && g.level == f.level);
+        let g = match idx {
+            Some(i) => &mut groups[i],
+            None => {
+                groups.push(Group {
+                    pred: &f.pred,
+                    key: &f.key,
+                    level: f.level,
+                    fields: Vec::new(),
+                });
+                groups.last_mut().expect("just pushed")
+            }
+        };
+        g.fields.push((&f.attr, &f.value, f.class));
+    }
+
+    // --- Detect the apparent key attribute per predicate. ---
+    let mut preds: Vec<&str> = groups.iter().map(|g| g.pred).collect();
+    preds.sort_unstable();
+    preds.dedup();
+    let mut key_attr: BTreeMap<&str, Option<&str>> = BTreeMap::new();
+    for &pred in &preds {
+        let mut attrs: Vec<&str> = groups
+            .iter()
+            .filter(|g| g.pred == pred)
+            .flat_map(|g| g.fields.iter().map(|&(a, _, _)| a))
+            .collect();
+        attrs.sort_unstable();
+        attrs.dedup();
+        let found = attrs.iter().copied().find(|&a| {
+            let mut seen = false;
+            let ok = groups.iter().filter(|g| g.pred == pred).all(|g| {
+                g.fields
+                    .iter()
+                    .filter(|&&(attr, _, _)| attr == a)
+                    .all(|&(_, v, _)| {
+                        seen = true;
+                        v == g.key
+                    })
+            });
+            ok && seen
+        });
+        key_attr.insert(pred, found);
+    }
+
+    for g in &groups {
+        // Entity integrity: non-null key, always checkable.
+        if matches!(g.key, Term::Null) {
+            return Err(MultiLogError::Inconsistent {
+                detail: format!("entity integrity: null key in predicate `{}`", g.pred),
+            });
+        }
+        let ak = key_attr.get(g.pred).copied().flatten();
+        let key_classes = g.key_classes(ak);
+        match key_classes.as_slice() {
+            [c_ak] => {
+                // Unambiguous molecule: full entity + null integrity.
+                let ak = ak.expect("key class implies key attr");
+                for &(attr, v, c) in &g.fields {
+                    if attr == ak {
+                        continue;
+                    }
+                    if !lat.leq(*c_ak, c) {
+                        return Err(MultiLogError::Inconsistent {
+                            detail: format!(
+                                "entity integrity: class {} of `{}` in {}[{}({})] does \
+                                 not dominate the key class {}",
+                                lat.name(c),
+                                attr,
+                                lat.name(g.level),
+                                g.pred,
+                                g.key,
+                                lat.name(*c_ak)
+                            ),
+                        });
+                    }
+                    if matches!(v, Term::Null) && c != *c_ak {
+                        return Err(MultiLogError::Inconsistent {
+                            detail: format!(
+                                "null integrity: ⊥ in `{attr}` of {}[{}({})] classified \
+                                 {} instead of the key class {}",
+                                lat.name(g.level),
+                                g.pred,
+                                g.key,
+                                lat.name(c),
+                                lat.name(*c_ak)
+                            ),
+                        });
+                    }
+                }
+            }
+            [] | [_, _, ..] => {
+                // No key atom, or several key classes (ambiguous molecule
+                // reconstruction): AK-dependent checks skipped.
+            }
+        }
+
+        // Within-group FD (pred, key, level, attr, class) → value, only
+        // for unambiguous groups.
+        if key_classes.len() <= 1 {
+            for (i, &(a1, v1, c1)) in g.fields.iter().enumerate() {
+                for &(a2, v2, c2) in &g.fields[i + 1..] {
+                    if a1 == a2 && c1 == c2 && v1 != v2 {
+                        return Err(MultiLogError::Inconsistent {
+                            detail: format!(
+                                "polyinstantiation integrity: {}[{}({})] has two values \
+                                 for attribute {} at class {}",
+                                lat.name(g.level),
+                                g.pred,
+                                g.key,
+                                a1,
+                                lat.name(c1)
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Cross-group checks, for unambiguous same-entity pairs. ---
+    for (i, a) in groups.iter().enumerate() {
+        for b in &groups[i + 1..] {
+            if a.pred != b.pred || a.key != b.key {
+                continue;
+            }
+            let ak = key_attr.get(a.pred).copied().flatten();
+            let (ka, kb) = (a.key_classes(ak), b.key_classes(ak));
+            if ka.len() > 1 || kb.len() > 1 {
+                continue; // ambiguous molecules
+            }
+            // Subsumption-freedom (strict only) — checked before the FD,
+            // as a ⊥-bearing molecule covered by a fuller one is a
+            // subsumption problem, not a value conflict.
+            if strictly_subsumes(a, b) || strictly_subsumes(b, a) {
+                return Err(MultiLogError::Inconsistent {
+                    detail: format!(
+                        "null integrity: molecules for {}({}) at {} and {} subsume one \
+                         another",
+                        a.pred,
+                        a.key,
+                        lat.name(a.level),
+                        lat.name(b.level)
+                    ),
+                });
+            }
+            // Polyinstantiation integrity requires equal key classes
+            // (different C_AK = different entity instances). ⊥ denotes
+            // absence, not a conflicting value.
+            if ka == kb {
+                for &(a1, v1, c1) in &a.fields {
+                    for &(a2, v2, c2) in &b.fields {
+                        if a1 == a2
+                            && c1 == c2
+                            && v1 != v2
+                            && !matches!(v1, Term::Null)
+                            && !matches!(v2, Term::Null)
+                        {
+                            return Err(MultiLogError::Inconsistent {
+                                detail: format!(
+                                    "polyinstantiation integrity: {}({}) attribute {} \
+                                     has values `{v1}` and `{v2}` at the same class {}",
+                                    a.pred,
+                                    a.key,
+                                    a1,
+                                    lat.name(c1)
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Group-level strict subsumption: `a` covers every field of `b` (equal
+/// value+class, or a non-null value where `b` has ⊥ at the same attr)
+/// with at least one strictly-more-informative field.
+fn strictly_subsumes(a: &Group<'_>, b: &Group<'_>) -> bool {
+    let mut strict = false;
+    for &(attr, vb, cb) in &b.fields {
+        let covered = a.fields.iter().any(|&(aa, va, ca)| {
+            aa == attr
+                && ((va == vb && ca == cb)
+                    || (!matches!(va, Term::Null) && matches!(vb, Term::Null)))
+        });
+        if !covered {
+            return false;
+        }
+        let exact = a
+            .fields
+            .iter()
+            .any(|&(aa, va, ca)| aa == attr && va == vb && ca == cb);
+        if !exact {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// Convenience: evaluate a database at a level and run the suite.
+pub fn check_database(db: &crate::db::MultiLogDb, user: &str) -> Result<Arc<MultiLogEngine>> {
+    let engine = MultiLogEngine::new(db, user)?;
+    check_consistency(&engine)?;
+    Ok(Arc::new(engine))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_database;
+
+    fn engine(src: &str, user: &str) -> MultiLogEngine {
+        MultiLogEngine::new(&parse_database(src).unwrap(), user).unwrap()
+    }
+
+    #[test]
+    fn mission_encoding_is_consistent() {
+        // Includes the ambiguous t4/t5 pair (both Phantom at S, key
+        // classes U and C) — must not be a spurious violation.
+        let db = crate::examples::mission_db().unwrap();
+        let e = MultiLogEngine::new(&db, "s").unwrap();
+        check_consistency(&e).unwrap();
+    }
+
+    #[test]
+    fn d1_is_consistent_without_key_atoms() {
+        let db = crate::examples::d1();
+        let e = MultiLogEngine::new(&db, "s").unwrap();
+        check_consistency(&e).unwrap();
+    }
+
+    #[test]
+    fn entity_integrity_violation_detected() {
+        // Key classified s but attribute classified u: c_i ⋡ c_AK.
+        let e = engine(
+            r#"
+            level(u). level(s). order(u, s).
+            s[p(k1 : name -s-> k1; size -u-> big)].
+            "#,
+            "s",
+        );
+        let err = check_consistency(&e).unwrap_err();
+        assert!(matches!(err, MultiLogError::Inconsistent { .. }));
+        assert!(err.to_string().contains("entity integrity"));
+    }
+
+    #[test]
+    fn null_integrity_violation_detected() {
+        let e = engine(
+            r#"
+            level(u). level(c). level(s). order(u, c). order(c, s).
+            s[p(k1 : name -u-> k1; size -s-> null)].
+            "#,
+            "s",
+        );
+        let err = check_consistency(&e).unwrap_err();
+        assert!(err.to_string().contains("null integrity"));
+    }
+
+    #[test]
+    fn null_at_key_class_is_fine() {
+        let e = engine(
+            r#"
+            level(u). level(s). order(u, s).
+            s[p(k1 : name -u-> k1; size -u-> null)].
+            "#,
+            "s",
+        );
+        check_consistency(&e).unwrap();
+    }
+
+    #[test]
+    fn polyinstantiation_integrity_violation_detected() {
+        // Same key, same key class, same attr class, different values.
+        let e = engine(
+            r#"
+            level(u). level(s). order(u, s).
+            u[p(k1 : name -u-> k1; size -u-> small)].
+            s[p(k1 : name -u-> k1; size -u-> large)].
+            "#,
+            "s",
+        );
+        let err = check_consistency(&e).unwrap_err();
+        assert!(err.to_string().contains("polyinstantiation"));
+    }
+
+    #[test]
+    fn within_level_fd_violation_detected() {
+        let e = engine(
+            r#"
+            level(u).
+            u[p(k1 : name -u-> k1; size -u-> small)].
+            u[p(k1 : size -u-> large)].
+            "#,
+            "u",
+        );
+        let err = check_consistency(&e).unwrap_err();
+        assert!(err.to_string().contains("polyinstantiation"));
+    }
+
+    #[test]
+    fn legal_polyinstantiation_accepted() {
+        // Different classes for the differing value: a cover story.
+        let e = engine(
+            r#"
+            level(u). level(s). order(u, s).
+            u[p(k1 : name -u-> k1; size -u-> small)].
+            s[p(k1 : name -u-> k1; size -s-> large)].
+            "#,
+            "s",
+        );
+        check_consistency(&e).unwrap();
+    }
+
+    #[test]
+    fn different_key_classes_are_different_entities() {
+        // Same value-level conflict but distinct key classes: legal.
+        let e = engine(
+            r#"
+            level(u). level(c). level(s). order(u, c). order(c, s).
+            u[p(k1 : name -u-> k1; size -u-> small)].
+            c[p(k1 : name -c-> k1; size -c-> large)].
+            "#,
+            "s",
+        );
+        check_consistency(&e).unwrap();
+    }
+
+    #[test]
+    fn strict_subsumption_detected() {
+        let e = engine(
+            r#"
+            level(u). level(s). order(u, s).
+            u[p(k1 : name -u-> k1; size -u-> small)].
+            s[p(k1 : name -u-> k1; size -u-> null)].
+            "#,
+            "s",
+        );
+        let err = check_consistency(&e).unwrap_err();
+        assert!(err.to_string().contains("subsume"));
+    }
+
+    #[test]
+    fn reasserted_identical_molecules_are_legal() {
+        // The t2/t6/t7 pattern: identical data at several levels.
+        let e = engine(
+            r#"
+            level(u). level(c). level(s). order(u, c). order(c, s).
+            u[p(k1 : name -u-> k1; size -u-> small)].
+            c[p(k1 : name -u-> k1; size -u-> small)].
+            s[p(k1 : name -u-> k1; size -u-> small)].
+            "#,
+            "s",
+        );
+        check_consistency(&e).unwrap();
+    }
+
+    #[test]
+    fn null_key_detected() {
+        let e = engine(
+            r#"
+            level(u).
+            u[p(k1 : name -u-> k1)].
+            u[q(null : a -u-> x)].
+            "#,
+            "u",
+        );
+        let err = check_consistency(&e).unwrap_err();
+        assert!(err.to_string().contains("null key"));
+    }
+
+    #[test]
+    fn check_database_convenience() {
+        let db = crate::examples::mission_db().unwrap();
+        let e = check_database(&db, "s").unwrap();
+        assert_eq!(e.mfacts().len(), 30);
+    }
+}

@@ -1,0 +1,410 @@
+//! MultiLog databases `Δ = ⟨Λ, Σ, Π, Q⟩` (Definition 5.1), admissibility
+//! (Definition 5.3), and consistency (Definition 5.4).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use multilog_lattice::{LatticeBuilder, SecurityLattice};
+
+use crate::ast::{Atom, Clause, Goal, Head, Term};
+use crate::{MultiLogError, Result};
+
+/// A validated MultiLog database: the clauses partitioned into the
+/// lattice component Λ (l- and h-clauses), the secured data component Σ
+/// (m-clauses), the plain component Π (p-clauses), and the queries Q.
+#[derive(Clone, Debug)]
+pub struct MultiLogDb {
+    lambda: Vec<Clause>,
+    sigma: Vec<Clause>,
+    pi: Vec<Clause>,
+    queries: Vec<Goal>,
+}
+
+impl MultiLogDb {
+    /// Partition clauses by head kind and run the syntactic checks
+    /// (range restriction; Λ purity per Def 5.3 condition 1).
+    pub fn new(clauses: Vec<Clause>, queries: Vec<Goal>) -> Result<Self> {
+        let mut db = MultiLogDb {
+            lambda: Vec::new(),
+            sigma: Vec::new(),
+            pi: Vec::new(),
+            queries,
+        };
+        for c in clauses {
+            check_range_restricted(&c)?;
+            match &c.head {
+                Head::L(_) | Head::H(_, _) => {
+                    // Def 5.3(1): the dependency graph of a Λ clause may
+                    // contain only l- and h-atoms.
+                    for a in &c.body {
+                        if !matches!(a, Atom::L(_) | Atom::H(_, _) | Atom::Leq(_, _)) {
+                            return Err(MultiLogError::NotAdmissible {
+                                detail: format!(
+                                    "Λ clause `{c}` depends on a non-lattice atom `{a}`"
+                                ),
+                            });
+                        }
+                    }
+                    db.lambda.push(c);
+                }
+                Head::M(_) => db.sigma.push(c),
+                Head::P(_) => db.pi.push(c),
+            }
+        }
+        Ok(db)
+    }
+
+    /// The Λ component.
+    pub fn lambda(&self) -> &[Clause] {
+        &self.lambda
+    }
+
+    /// The Σ component.
+    pub fn sigma(&self) -> &[Clause] {
+        &self.sigma
+    }
+
+    /// The Π component.
+    pub fn pi(&self) -> &[Clause] {
+        &self.pi
+    }
+
+    /// The queries Q.
+    pub fn queries(&self) -> &[Goal] {
+        &self.queries
+    }
+
+    /// All clauses (Λ ∪ Σ ∪ Π), Λ first.
+    pub fn clauses(&self) -> impl Iterator<Item = &Clause> {
+        self.lambda.iter().chain(&self.sigma).chain(&self.pi)
+    }
+
+    /// Evaluate `[[Λ]]` and build the security lattice, enforcing the
+    /// remaining admissibility conditions of Definition 5.3:
+    ///
+    /// 2. every ground security label used in Σ is asserted by `[[Λ]]`;
+    /// 3. `[[Λ]]` induces a partial order (no cycles).
+    pub fn lattice(&self) -> Result<Arc<SecurityLattice>> {
+        // [[Λ]]: evaluate the l-/h-clauses to fixpoint. Λ may contain
+        // rules, but only over level/order atoms; a simple naive fixpoint
+        // suffices at lattice scale.
+        let mut levels: HashSet<String> = HashSet::new();
+        let mut orders: HashSet<(String, String)> = HashSet::new();
+        // Seed with facts, then iterate rules.
+        loop {
+            let mut changed = false;
+            for c in &self.lambda {
+                for (lv, od) in derive_lambda(c, &levels, &orders) {
+                    match (lv, od) {
+                        (Some(l), None) => changed |= levels.insert(l),
+                        (None, Some(o)) => changed |= orders.insert(o),
+                        _ => {}
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut b = LatticeBuilder::new();
+        let mut sorted: Vec<&String> = levels.iter().collect();
+        sorted.sort();
+        for l in sorted {
+            b.add_level(l.clone());
+        }
+        let mut sorted_orders: Vec<&(String, String)> = orders.iter().collect();
+        sorted_orders.sort();
+        for (lo, hi) in sorted_orders {
+            if !levels.contains(lo) || !levels.contains(hi) {
+                return Err(MultiLogError::NotAdmissible {
+                    detail: format!("order({lo}, {hi}) uses an undeclared level"),
+                });
+            }
+            b.add_order(lo.clone(), hi.clone());
+        }
+        let lattice = b.build().map_err(|e| match e {
+            multilog_lattice::LatticeError::CycleDetected(l) => MultiLogError::NotAdmissible {
+                detail: format!("[[Λ]] is not a partial order: cycle through `{l}`"),
+            },
+            other => MultiLogError::Lattice(other),
+        })?;
+
+        // Def 5.3(2): labels used in Σ must be asserted by [[Λ]].
+        for c in &self.sigma {
+            for label in clause_labels(c) {
+                if lattice.label(&label).is_none() {
+                    return Err(MultiLogError::NotAdmissible {
+                        detail: format!("security label `{label}` in `{c}` is not asserted by Λ"),
+                    });
+                }
+            }
+        }
+        Ok(Arc::new(lattice))
+    }
+}
+
+/// A derivable Λ fact: `(Some(level), None)` or `(None, Some(order pair))`.
+type LambdaFact = (Option<String>, Option<(String, String)>);
+
+/// One naive-fixpoint step for a Λ clause: returns newly derivable
+/// level/order facts.
+fn derive_lambda(
+    c: &Clause,
+    levels: &HashSet<String>,
+    orders: &HashSet<(String, String)>,
+) -> Vec<LambdaFact> {
+    use std::collections::HashMap;
+    // Enumerate substitutions satisfying the body over current facts.
+    let mut subs: Vec<HashMap<&str, String>> = vec![HashMap::new()];
+    for atom in &c.body {
+        let mut next = Vec::new();
+        for sub in &subs {
+            match atom {
+                Atom::L(t) => {
+                    for l in levels {
+                        if let Some(s) = extend(sub, &[(t, l)]) {
+                            next.push(s);
+                        }
+                    }
+                }
+                Atom::H(lo, hi) => {
+                    for (a, b) in orders {
+                        if let Some(s) = extend(sub, &[(lo, a), (hi, b)]) {
+                            next.push(s);
+                        }
+                    }
+                }
+                Atom::Leq(lo, hi) => {
+                    // ⪯ over the *current* order edges: reflexive-transitive
+                    // closure computed on the fly.
+                    for a in levels {
+                        for b in levels {
+                            if leq_in(orders, a, b) {
+                                if let Some(s) = extend(sub, &[(lo, a), (hi, b)]) {
+                                    next.push(s);
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => unreachable!("Λ purity checked at construction"),
+            }
+        }
+        subs = next;
+    }
+    let resolve = |t: &Term, sub: &HashMap<&str, String>| -> Option<String> {
+        match t {
+            Term::Sym(s) => Some(s.to_string()),
+            Term::Var(v) => sub.get(v.as_ref()).cloned(),
+            _ => None,
+        }
+    };
+    let mut out = Vec::new();
+    for sub in &subs {
+        match &c.head {
+            Head::L(t) => {
+                if let Some(l) = resolve(t, sub) {
+                    out.push((Some(l), None));
+                }
+            }
+            Head::H(lo, hi) => {
+                if let (Some(a), Some(b)) = (resolve(lo, sub), resolve(hi, sub)) {
+                    out.push((None, Some((a, b))));
+                }
+            }
+            _ => unreachable!("Λ heads are l- or h-atoms"),
+        }
+    }
+    out
+}
+
+fn extend<'a>(
+    sub: &std::collections::HashMap<&'a str, String>,
+    pairs: &[(&'a Term, &str)],
+) -> Option<std::collections::HashMap<&'a str, String>> {
+    let mut out = sub.clone();
+    for (t, val) in pairs {
+        match t {
+            Term::Sym(s) => {
+                if s.as_ref() != *val {
+                    return None;
+                }
+            }
+            Term::Var(v) => match out.get(v.as_ref()) {
+                Some(existing) if existing != val => return None,
+                Some(_) => {}
+                None => {
+                    out.insert(v.as_ref(), (*val).to_string());
+                }
+            },
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn leq_in(orders: &HashSet<(String, String)>, a: &str, b: &str) -> bool {
+    if a == b {
+        return true;
+    }
+    // BFS over order edges.
+    let mut stack = vec![a.to_owned()];
+    let mut seen = HashSet::new();
+    while let Some(cur) = stack.pop() {
+        for (lo, hi) in orders {
+            if lo == &cur && seen.insert(hi.clone()) {
+                if hi == b {
+                    return true;
+                }
+                stack.push(hi.clone());
+            }
+        }
+    }
+    false
+}
+
+/// Ground security labels mentioned by an m-clause (head and body levels
+/// and classes).
+fn clause_labels(c: &Clause) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut push = |t: &Term| {
+        if let Term::Sym(s) = t {
+            out.push(s.to_string());
+        }
+    };
+    if let Head::M(m) = &c.head {
+        push(&m.level);
+        push(&m.class);
+    }
+    for a in &c.body {
+        match a {
+            Atom::M(m) | Atom::B(m, _) => {
+                push(&m.level);
+                push(&m.class);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Range restriction: every head variable must occur in the body (facts
+/// must be ground). All MultiLog body atoms are positive and enumerable,
+/// so occurrence anywhere in the body grounds a variable.
+fn check_range_restricted(c: &Clause) -> Result<()> {
+    let body_vars: HashSet<&str> = c.body.iter().flat_map(Atom::variables).collect();
+    for v in c.head.variables() {
+        if !body_vars.contains(v) {
+            return Err(MultiLogError::UnsafeVariable {
+                variable: v.to_owned(),
+                clause: c.to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_database;
+
+    #[test]
+    fn partitions_by_head_kind() {
+        let db = parse_database(
+            "level(u). level(s). order(u, s).\
+             u[p(k : a -u-> v)].\
+             q(a). r(X) <- q(X).",
+        )
+        .unwrap();
+        assert_eq!(db.lambda().len(), 3);
+        assert_eq!(db.sigma().len(), 1);
+        assert_eq!(db.pi().len(), 2);
+    }
+
+    #[test]
+    fn lattice_from_facts() {
+        let db = parse_database("level(u). level(c). level(s). order(u, c). order(c, s).").unwrap();
+        let lat = db.lattice().unwrap();
+        assert_eq!(lat.len(), 3);
+        assert!(lat.dominates_by_name("s", "u").unwrap());
+    }
+
+    #[test]
+    fn lattice_from_rules() {
+        // Λ may contain rules over l-/h-atoms.
+        let db = parse_database(
+            "level(u). level(c). level(s).\
+             order(u, c).\
+             order(c, s) <- level(c), level(s).",
+        )
+        .unwrap();
+        let lat = db.lattice().unwrap();
+        assert!(lat.dominates_by_name("s", "u").unwrap());
+    }
+
+    #[test]
+    fn lambda_purity_enforced() {
+        let err = parse_database("level(u) <- q(a). q(a).");
+        assert!(matches!(err, Err(MultiLogError::NotAdmissible { .. })));
+    }
+
+    #[test]
+    fn undeclared_label_in_sigma_rejected() {
+        let db = parse_database("level(u). u[p(k : a -s-> v)].").unwrap();
+        assert!(matches!(
+            db.lattice(),
+            Err(MultiLogError::NotAdmissible { .. })
+        ));
+    }
+
+    #[test]
+    fn cyclic_order_rejected() {
+        let db =
+            parse_database("level(u). level(c). order(u, c). order(c, u). u[p(k : a -u-> v)].")
+                .unwrap();
+        assert!(matches!(
+            db.lattice(),
+            Err(MultiLogError::NotAdmissible { .. })
+        ));
+    }
+
+    #[test]
+    fn order_over_undeclared_level_rejected() {
+        let db = parse_database("level(u). order(u, s).").unwrap();
+        assert!(matches!(
+            db.lattice(),
+            Err(MultiLogError::NotAdmissible { .. })
+        ));
+    }
+
+    #[test]
+    fn unsafe_head_variable_rejected() {
+        let err = parse_database("q(X).");
+        assert!(matches!(err, Err(MultiLogError::UnsafeVariable { .. })));
+    }
+
+    #[test]
+    fn variable_level_head_allowed_when_bound() {
+        let db = parse_database(
+            "level(u). level(s). order(u, s).\
+             L[p(k : a -L-> v)] <- level(L).",
+        )
+        .unwrap();
+        assert_eq!(db.sigma().len(), 1);
+        db.lattice().unwrap();
+    }
+
+    #[test]
+    fn datalog_degeneration_partition() {
+        // Prop 6.1: with Λ and Σ empty, Δ is a Datalog program.
+        let db = parse_database("q(a). p(X) <- q(X). <- p(X).").unwrap();
+        assert!(db.lambda().is_empty());
+        assert!(db.sigma().is_empty());
+        assert_eq!(db.pi().len(), 2);
+        assert_eq!(db.queries().len(), 1);
+        // Empty Λ yields an empty label set; lattice construction reports
+        // the empty lattice.
+        assert!(db.lattice().is_err());
+    }
+}

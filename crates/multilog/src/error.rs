@@ -1,0 +1,135 @@
+//! Error type for the MultiLog core.
+
+use std::fmt;
+
+use multilog_datalog::DatalogError;
+use multilog_lattice::LatticeError;
+
+/// Errors raised while parsing, validating, or evaluating MultiLog
+/// databases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiLogError {
+    /// Syntax error with position information.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        column: usize,
+        /// Description.
+        message: String,
+    },
+    /// Admissibility violation (Definition 5.3).
+    NotAdmissible {
+        /// Description of the violated condition.
+        detail: String,
+    },
+    /// Consistency violation (Definition 5.4) detected on the meaning of
+    /// the Σ component.
+    Inconsistent {
+        /// Description of the violated integrity property.
+        detail: String,
+    },
+    /// A clause is not range-restricted.
+    UnsafeVariable {
+        /// The offending variable.
+        variable: String,
+        /// The clause, rendered.
+        clause: String,
+    },
+    /// The program uses a cautious b-atom in a position the level
+    /// stratification cannot order (our resolution of the paper's
+    /// underspecified cautious recursion; see DESIGN.md).
+    NotBeliefStratified {
+        /// Description of the offending clause.
+        detail: String,
+    },
+    /// A referenced belief mode is neither built-in nor user-defined.
+    UnknownMode(String),
+    /// Underlying lattice error.
+    Lattice(LatticeError),
+    /// Error from the Datalog back-end during reduction.
+    Datalog(DatalogError),
+    /// Evaluation exceeded the fact limit.
+    FactLimitExceeded {
+        /// The limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for MultiLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MultiLogError::Parse {
+                line,
+                column,
+                message,
+            } => write!(f, "parse error at {line}:{column}: {message}"),
+            MultiLogError::NotAdmissible { detail } => {
+                write!(f, "database is not admissible (Def 5.3): {detail}")
+            }
+            MultiLogError::Inconsistent { detail } => {
+                write!(f, "database is not consistent (Def 5.4): {detail}")
+            }
+            MultiLogError::UnsafeVariable { variable, clause } => {
+                write!(f, "unsafe variable `{variable}` in `{clause}`")
+            }
+            MultiLogError::NotBeliefStratified { detail } => {
+                write!(f, "cautious belief is not level-stratified: {detail}")
+            }
+            MultiLogError::UnknownMode(m) => write!(f, "unknown belief mode `{m}`"),
+            MultiLogError::Lattice(e) => write!(f, "lattice error: {e}"),
+            MultiLogError::Datalog(e) => write!(f, "datalog back-end error: {e}"),
+            MultiLogError::FactLimitExceeded { limit } => {
+                write!(f, "evaluation exceeded the fact limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MultiLogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MultiLogError::Lattice(e) => Some(e),
+            MultiLogError::Datalog(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LatticeError> for MultiLogError {
+    fn from(e: LatticeError) -> Self {
+        MultiLogError::Lattice(e)
+    }
+}
+
+impl From<DatalogError> for MultiLogError {
+    fn from(e: DatalogError) -> Self {
+        MultiLogError::Datalog(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let cases = [
+            MultiLogError::NotAdmissible { detail: "x".into() },
+            MultiLogError::Inconsistent { detail: "x".into() },
+            MultiLogError::UnknownMode("zeal".into()),
+            MultiLogError::FactLimitExceeded { limit: 1 },
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        let e: MultiLogError = LatticeError::Empty.into();
+        assert!(matches!(e, MultiLogError::Lattice(_)));
+        let e: MultiLogError = DatalogError::UnknownPredicate("p".into()).into();
+        assert!(matches!(e, MultiLogError::Datalog(_)));
+    }
+}

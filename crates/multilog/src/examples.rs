@@ -1,0 +1,186 @@
+//! The paper's worked examples: database D₁ (Figure 10), the MultiLog
+//! encoding of the `Mission` relation (Example 5.1), and a generic
+//! converter from MLS relational instances to MultiLog databases.
+
+use std::fmt::Write as _;
+
+use multilog_mlsrel::{MlsRelation, Value};
+
+use crate::db::MultiLogDb;
+use crate::parser::parse_database;
+use crate::Result;
+
+/// The source text of database D₁ (Figure 10), rules r₁–r₉, plus the
+/// Figure 11 query r₁₀ in `Q`.
+pub const D1_SOURCE: &str = r#"
+% Database D1 (Figure 10).
+level(u).                                            % r1
+level(c).                                            % r2
+level(s).                                            % r3
+order(u, c).                                         % r4
+order(c, s).                                         % r5
+u[p(k : a -u-> v)].                                  % r6
+c[p(k : a -c-> t)] <- q(j).                          % r7
+s[p(k : a -u-> v)] <- c[p(k : a -c-> t)] << cau.     % r8
+q(j).                                                % r9
+<- c[p(k : a -u-> v)] << opt.                        % r10 (Figure 11 query)
+"#;
+
+/// Parse database D₁.
+pub fn d1() -> MultiLogDb {
+    parse_database(D1_SOURCE).expect("D1 is well-formed")
+}
+
+/// Convert an MLS relational instance into MultiLog source text: one
+/// molecule per tuple (Example 5.1's encoding), with `level`/`order`
+/// facts for the relation's lattice.
+///
+/// Symbols are lowercased to fit the MultiLog lexical convention; `⊥`
+/// becomes `null`.
+pub fn encode_relation(rel: &MlsRelation) -> String {
+    let lat = rel.lattice();
+    let mut out = String::new();
+    for name in lat.names() {
+        let _ = writeln!(out, "level({}).", sym(name));
+    }
+    for &(lo, hi) in lat.covers() {
+        let _ = writeln!(out, "order({}, {}).", sym(lat.name(lo)), sym(lat.name(hi)));
+    }
+    let pred = sym(rel.scheme().name());
+    let attrs: Vec<String> = rel.scheme().attr_names().map(sym).collect();
+    for t in rel.tuples() {
+        let key = value_sym(t.key());
+        let fields: Vec<String> = attrs
+            .iter()
+            .zip(t.values.iter().zip(&t.classes))
+            .map(|(attr, (v, &c))| format!("{attr} -{}-> {}", sym(lat.name(c)), value_sym(v)))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{}[{pred}({key} : {})].",
+            sym(lat.name(t.tc)),
+            fields.join("; ")
+        );
+    }
+    out
+}
+
+/// The MultiLog encoding of the Figure 1 `Mission` relation as a parsed
+/// database (Example 5.1 applied to all ten tuples).
+pub fn mission_db() -> Result<MultiLogDb> {
+    let (_, rel) = multilog_mlsrel::mission::mission_relation();
+    parse_database(&encode_relation(&rel))
+}
+
+fn sym(s: &str) -> String {
+    let lowered: String = s.to_lowercase();
+    // Ensure the result lexes as a bare identifier.
+    if lowered
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_lowercase())
+        && lowered
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+    {
+        lowered
+    } else {
+        format!(
+            "x_{}",
+            lowered.replace(|c: char| !c.is_ascii_alphanumeric(), "_")
+        )
+    }
+}
+
+fn value_sym(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_owned(),
+        Value::Str(s) => sym(s),
+        Value::Int(i) => i.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_goal, MultiLogEngine};
+
+    #[test]
+    fn d1_matches_figure10_shape() {
+        let db = d1();
+        assert_eq!(db.lambda().len(), 5); // r1–r5
+        assert_eq!(db.sigma().len(), 3); // r6–r8
+        assert_eq!(db.pi().len(), 1); // r9
+        assert_eq!(db.queries().len(), 1); // r10
+    }
+
+    #[test]
+    fn d1_figure11_query_succeeds_at_c() {
+        let db = d1();
+        let e = MultiLogEngine::new(&db, "c").unwrap();
+        let q = db.queries()[0].clone();
+        let ans = e.solve(&q).unwrap();
+        assert_eq!(ans.len(), 1, "the r10 query has exactly one proof");
+    }
+
+    #[test]
+    fn mission_encoding_roundtrips() {
+        let db = mission_db().unwrap();
+        // 10 tuples × 3 attributes = 30 m-clauses; 3 levels; 2 orders.
+        assert_eq!(db.sigma().len(), 30);
+        assert_eq!(db.lambda().len(), 5);
+        let e = MultiLogEngine::new(&db, "s").unwrap();
+        assert_eq!(e.mfacts().len(), 30);
+    }
+
+    #[test]
+    fn mission_spying_on_mars_query() {
+        // The §3.2 query in MultiLog form: starships believed to be
+        // spying on Mars in every mode at level s.
+        let db = mission_db().unwrap();
+        let e = MultiLogEngine::new(&db, "s").unwrap();
+        for mode in ["fir", "opt", "cau"] {
+            let goal = parse_goal(&format!(
+                "s[mission(K : objective -C1-> spying)] << {mode}, \
+                 s[mission(K : destination -C2-> mars)] << {mode}"
+            ))
+            .unwrap();
+            let ans = e.solve(&goal).unwrap();
+            let ships: Vec<_> = ans.iter().map(|a| a["K"].clone()).collect();
+            assert!(
+                ships.contains(&crate::ast::Term::sym("voyager")),
+                "mode {mode}: {ships:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mission_u_level_sees_no_spying() {
+        let db = mission_db().unwrap();
+        let e = MultiLogEngine::new(&db, "u").unwrap();
+        let ans = e
+            .solve_text("L[mission(K : objective -C-> spying)]")
+            .unwrap();
+        assert!(ans.is_empty());
+    }
+
+    #[test]
+    fn encode_handles_nulls_and_odd_names() {
+        use multilog_mlsrel::{MlsRelation, MlsScheme, MlsTuple};
+        use std::sync::Arc;
+        let lat = Arc::new(multilog_lattice::standard::total_order(&["low", "high"]));
+        let scheme = MlsScheme::unconstrained("R 2", lat.clone(), &["K", "A"]);
+        let mut rel = MlsRelation::new(scheme);
+        let low = lat.label("low").unwrap();
+        rel.insert(MlsTuple::new(
+            vec![Value::str("Key-1"), Value::Null],
+            vec![low, low],
+            low,
+        ))
+        .unwrap();
+        let src = encode_relation(&rel);
+        assert!(src.contains("null"), "{src}");
+        let db = parse_database(&src).unwrap();
+        assert_eq!(db.sigma().len(), 2);
+    }
+}

@@ -1,0 +1,145 @@
+//! The FILTER / FILTER-NULL extension of Figure 13: downward inheritance
+//! of higher-level tuple parts (the Jajodia–Sandhu filter function σ).
+//!
+//! MultiLog deliberately omits σ (§7): it is the mechanism that creates
+//! *surprise stories*. Figure 13 shows how to add it back as two extra
+//! proof rules:
+//!
+//! * **FILTER** — a lower level `l` inherits the columns of a higher
+//!   tuple whose classification is dominated by `l`;
+//! * **FILTER-NULL** — the remaining columns surface as `⊥` classified at
+//!   `l`.
+//!
+//! The rules are implemented inside the engine's m-atom matcher and
+//! switched on via [`crate::engine::EngineOptions`]; this module hosts the
+//! documentation, convenience constructors, and the tests that
+//! demonstrate the paper's argument — with the filter on, the failing
+//! queries of §7 start succeeding, and the surprise stories reappear.
+
+use crate::db::MultiLogDb;
+use crate::engine::{EngineOptions, MultiLogEngine};
+use crate::Result;
+
+/// Build an engine with FILTER enabled (but not FILTER-NULL).
+pub fn engine_with_filter(db: &MultiLogDb, user: &str) -> Result<MultiLogEngine> {
+    MultiLogEngine::with_options(
+        db,
+        user,
+        EngineOptions {
+            enable_filter: true,
+            enable_filter_null: false,
+            fact_limit: 0,
+        },
+    )
+}
+
+/// Build an engine with both FILTER and FILTER-NULL enabled — the full σ
+/// semantics, surprise stories included.
+pub fn engine_with_sigma(db: &MultiLogDb, user: &str) -> Result<MultiLogEngine> {
+    MultiLogEngine::with_options(
+        db,
+        user,
+        EngineOptions {
+            enable_filter: true,
+            enable_filter_null: true,
+            fact_limit: 0,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_database;
+    use crate::MultiLogEngine;
+
+    /// The Phantom situation of §7: the S tuple carries a U-classified
+    /// key while objective/destination are S-classified.
+    const PHANTOM: &str = r#"
+        level(u). level(c). level(s).
+        order(u, c). order(c, s).
+        s[mission(phantom : starship -u-> phantom)].
+        s[mission(phantom : objective -s-> spying)].
+        s[mission(phantom : destination -u-> omega)].
+    "#;
+
+    #[test]
+    fn section7_queries_fail_without_filter() {
+        // "All these queries fail as the atomic conjunctions fail due to
+        // non-availability of objective and/or destination information."
+        let db = parse_database(PHANTOM).unwrap();
+        let e = MultiLogEngine::new(&db, "c").unwrap();
+        let q = "c[mission(phantom : starship -C1-> phantom; objective -C2-> X; \
+                 destination -C3-> Y)]";
+        assert!(e.solve_text(q).unwrap().is_empty());
+        let q_cau = format!("{q} << cau");
+        assert!(e.solve_text(&q_cau).unwrap().is_empty());
+    }
+
+    #[test]
+    fn filter_inherits_visible_columns() {
+        let db = parse_database(PHANTOM).unwrap();
+        let e = engine_with_filter(&db, "c").unwrap();
+        // The U-classified columns flow down to c (and u).
+        assert_eq!(
+            e.solve_text("c[mission(phantom : starship -u-> phantom)]")
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            e.solve_text("u[mission(phantom : destination -u-> omega)]")
+                .unwrap()
+                .len(),
+            1
+        );
+        // The S-classified objective still does not flow.
+        assert!(e
+            .solve_text("c[mission(phantom : objective -s-> spying)]")
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn filter_null_surfaces_surprise_story() {
+        let db = parse_database(PHANTOM).unwrap();
+        let e = engine_with_sigma(&db, "c").unwrap();
+        // The §7 molecular query now succeeds, with ⊥ for the objective —
+        // the surprise story made explicit.
+        let ans = e
+            .solve_text(
+                "c[mission(phantom : starship -u-> phantom; objective -c-> null; \
+                 destination -u-> omega)]",
+            )
+            .unwrap();
+        assert_eq!(ans.len(), 1);
+    }
+
+    #[test]
+    fn filter_respects_user_clearance() {
+        let db = parse_database(PHANTOM).unwrap();
+        let e = engine_with_sigma(&db, "u").unwrap();
+        // Even with σ on, a u user cannot pose goals above u.
+        assert!(e
+            .solve_text("c[mission(phantom : starship -u-> phantom)]")
+            .unwrap()
+            .is_empty());
+        // But sees the down-filtered u columns.
+        assert_eq!(
+            e.solve_text("u[mission(phantom : starship -u-> phantom)]")
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn filter_off_is_the_default() {
+        let db = parse_database(PHANTOM).unwrap();
+        let e = MultiLogEngine::new(&db, "s").unwrap();
+        assert!(e
+            .solve_text("u[mission(phantom : starship -u-> phantom)]")
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! User-defined belief modes (§7, rule USER-BELIEF of Figure 13).
+//!
+//! A user tailors belief by defining rules for the distinguished
+//! predicate `bel/7` with the argument convention
+//! `bel(Pred, Key, Attr, Value, Class, Level, mode)`. A b-atom
+//! `l[p(k : a -c-> v)] << mode` in a user mode is then proved by copying a
+//! `bel` derivation — exactly the USER-BELIEF proof rule. The paper notes
+//! this is *robust*: provability of m-atoms is untouched, so user modes
+//! cannot breach the Bell–LaPadula protocol.
+//!
+//! This module provides helpers for building such rules and documents the
+//! convention; the engine itself recognises `bel/7` heads automatically
+//! (see [`crate::MultiLogEngine`]).
+
+use std::sync::Arc;
+
+use crate::ast::{Atom, Clause, Head, PAtom, Term};
+
+/// The distinguished predicate name.
+pub const BEL: &str = "bel";
+
+/// Build a `bel/7` head for a user-defined mode rule.
+///
+/// `bel(pred, Key, attr, Value, Class, Level, mode)` — pass variables for
+/// the positions the rule body constrains.
+pub fn bel_head(
+    pred: &str,
+    key: Term,
+    attr: &str,
+    value: Term,
+    class: Term,
+    level: Term,
+    mode: &str,
+) -> Head {
+    Head::P(PAtom {
+        pred: Arc::from(BEL),
+        args: vec![
+            Term::sym(pred),
+            key,
+            Term::sym(attr),
+            value,
+            class,
+            level,
+            Term::sym(mode),
+        ],
+    })
+}
+
+/// A ready-made user mode: *paranoid* — believe only values classified at
+/// exactly the believer's level **and** asserted at that level. (Stricter
+/// than `fir`, which accepts any visible classification.)
+///
+/// Generates one rule:
+/// `bel(p, K, a, V, L, L, paranoid) <- L[p(K : a -L-> V)].`
+pub fn paranoid_mode(pred: &str, attr: &str) -> Clause {
+    let body_atom = crate::ast::MAtom {
+        level: Term::var("L"),
+        pred: Arc::from(pred),
+        key: Term::var("K"),
+        attr: Arc::from(attr),
+        class: Term::var("L"),
+        value: Term::var("V"),
+    };
+    Clause {
+        head: bel_head(
+            pred,
+            Term::var("K"),
+            attr,
+            Term::var("V"),
+            Term::var("L"),
+            Term::var("L"),
+            "paranoid",
+        ),
+        body: vec![Atom::M(body_atom)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_database;
+    use crate::MultiLogEngine;
+
+    #[test]
+    fn bel_head_shape() {
+        let h = bel_head(
+            "mission",
+            Term::var("K"),
+            "objective",
+            Term::var("V"),
+            Term::var("C"),
+            Term::var("L"),
+            "myway",
+        );
+        match h {
+            Head::P(p) => {
+                assert_eq!(p.pred.as_ref(), BEL);
+                assert_eq!(p.args.len(), 7);
+                assert_eq!(p.args[6], Term::sym("myway"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paranoid_mode_end_to_end() {
+        // Inject the paranoid rule programmatically.
+        let rule = paranoid_mode("p", "a");
+        let rendered = rule.to_string();
+        let db = parse_database(&format!(
+            r#"
+            level(u). level(s). order(u, s).
+            u[p(k : a -u-> v)].
+            s[p(k : a -u-> w)].
+            {rendered}
+            "#
+        ))
+        .unwrap();
+        let e = MultiLogEngine::new(&db, "s").unwrap();
+        // paranoid at u: the u fact (classified u, asserted at u).
+        assert_eq!(
+            e.solve_text("u[p(k : a -u-> V)] << paranoid")
+                .unwrap()
+                .len(),
+            1
+        );
+        // paranoid at s: the s fact is classified u ≠ s → not believed.
+        assert!(e
+            .solve_text("s[p(k : a -C-> V)] << paranoid")
+            .unwrap()
+            .is_empty());
+        // fir at s would believe it (any visible classification).
+        assert_eq!(e.solve_text("s[p(k : a -C-> V)] << fir").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn user_mode_cannot_leak_invisible_data() {
+        // §7: user modes are robust — m-atom provability is unchanged, so
+        // even a `bel` rule claiming belief in a high fact cannot make the
+        // fact itself visible below.
+        let db = parse_database(
+            r#"
+            level(u). level(s). order(u, s).
+            s[p(k : a -s-> secret)].
+            bel(p, k, a, secret, s, u, leaky) <- level(u).
+            "#,
+        )
+        .unwrap();
+        let e = MultiLogEngine::new(&db, "u").unwrap();
+        // The b-atom "succeeds" as a belief assertion only if its guard
+        // c ⪯ u holds; here the class is s, so nothing is provable at u.
+        assert!(e.solve_text("u[p(k : a -s-> secret)]").unwrap().is_empty());
+        assert!(e
+            .solve_text("u[p(k : a -s-> secret)] << leaky")
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,552 @@
+//! The reduction semantics of §6: the translation τ from MultiLog to
+//! Datalog plus the inference-engine axiom set **A** of Figure 12,
+//! executed on the `multilog-datalog` engine (our CORAL substitute).
+//!
+//! ## Encoding (§6.1)
+//!
+//! * `τ(l[p(k : a -c-> v)]) = rel(p, k, a, v, c, l)`
+//! * `τ(l[p(k : a -c-> v)] << m) = bel(p, k, a, v, c, l, m)`
+//! * p-, l-, h-atoms translate to themselves; `⪯` becomes `dominate/2`.
+//! * `τ(λ(B, u))` guards every body/query m- and b-atom with
+//!   `dominate(l, u)` and `dominate(c, u)` — the Bell–LaPadula *no read
+//!   up* conditions, baked in at compile time because the reduced program
+//!   cannot enforce per-user views (§6.2).
+//!
+//! ## Making Figure 12 executable
+//!
+//! The paper prints the axioms a₁–a₉ ([`paper_axioms`]) and asserts they
+//! are stratified. As written they are not: `rel` depends on `bel`
+//! whenever a rule body consults a belief, and the cautious axioms make
+//! `bel` depend *negatively* on `rel` — a negative cycle for any
+//! syntactic stratifier (and a₆/a₉ additionally use unsafe negation).
+//! We therefore emit a semantically equivalent *specialized* axiom set:
+//!
+//! * `bel` is split per mode (`bel_fir`, `bel_opt`, `bel_cau`), so rules
+//!   consuming only monotone modes never touch the negation;
+//! * when a rule body does consult `<< cau`, `rel` is additionally split
+//!   per level (`rel_u`, `rel_c`, …) and the cautious predicates are
+//!   generated per level against the *statically known* dominance
+//!   relation — the level stratification of the operational engine,
+//!   reflected syntactically. This requires ground levels on body m-atoms
+//!   (checked; the operational engine has the same restriction for
+//!   cautious programs);
+//! * the unsafe negations of a₆–a₉ become safe auxiliary predicates
+//!   (`visible`, `beaten`): a value is cautiously believed iff it is
+//!   visible and no visible value for the same column strictly dominates
+//!   its classification — exactly β (Definition 3.1).
+//!
+//! Theorem 6.1 (equivalence with the operational semantics) is exercised
+//! by `tests/equivalence.rs` at the workspace root.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use multilog_datalog as dl;
+use multilog_lattice::SecurityLattice;
+
+use crate::ast::{Atom, Clause, Goal, Head, MAtom, Term};
+use crate::belief::Mode;
+use crate::db::MultiLogDb;
+use crate::engine::Answer;
+use crate::{MultiLogError, Result};
+
+/// The verbatim inference engine of Figure 12 (axioms a₁–a₉), as printed
+/// in the paper. This is the *reproduced artifact*; [`ReducedEngine`]
+/// executes the safe specialization described in the module docs.
+pub fn paper_axioms() -> &'static str {
+    "\
+a1: dominate(X, Y) <- order(X, Y).
+a2: dominate(X, X) <- level(X).
+a3: dominate(X, Y) <- order(X, Z), dominate(Z, Y).
+a4: bel(P, K, A, V, C, H, fir) <- rel(P, K, A, V, C, H).
+a5: bel(P, K, A, V, C, H, opt) <- rel(P, K, A, V, C, L), dominate(L, H).
+a6: bel(P, K, A, V, C, H, cau) <- rel(P, K, A, V, C, H), ~order(L, H).
+a7: bel(P, K, A, V, C, H, cau) <- order(L, H), ~rel(P, K, A, V', C', H), bel(P, K, A, V, C, L, cau).
+a8: bel(P, K, A, V, C, H, cau) <- rel(P, K, A, V', C', H), rel(P, K, A, V, C, L), dominate(L, H), dominate(C', C).
+a9: bel(P, K, A, V, C, H, cau) <- rel(P, K, A, V, C, H), ~rel(P, K, A, V', C', L), dominate(L, H), dominate(C, C')."
+}
+
+/// A MultiLog database reduced to Datalog and evaluated to fixpoint.
+pub struct ReducedEngine {
+    lattice: Arc<SecurityLattice>,
+    user: String,
+    database: dl::Database,
+    /// Whether `rel` was split per level (cautious bodies present).
+    level_split: bool,
+    program_text: String,
+}
+
+impl ReducedEngine {
+    /// Translate and evaluate `db` at the clearance level named `user`.
+    pub fn new(db: &MultiLogDb, user: &str) -> Result<Self> {
+        // Match the operational engine's Prop 6.1 fallback.
+        let lattice = if db.lambda().is_empty() && db.sigma().is_empty() {
+            Arc::new(
+                multilog_lattice::LatticeBuilder::new()
+                    .level(user)
+                    .build()
+                    .map_err(MultiLogError::Lattice)?,
+            )
+        } else {
+            db.lattice()?
+        };
+        if lattice.label(user).is_none() {
+            return Err(MultiLogError::NotAdmissible {
+                detail: format!("user level `{user}` is not a declared level"),
+            });
+        }
+        let level_split = db
+            .sigma()
+            .iter()
+            .chain(db.pi())
+            .flat_map(|c| &c.body)
+            .any(|a| matches!(a, Atom::B(_, m) if m.as_ref() == "cau"));
+        let program_text = translate(db, user, &lattice, level_split)?;
+        let program = dl::parse_program(&program_text).map_err(MultiLogError::Datalog)?;
+        let database = dl::Engine::new(&program)
+            .map_err(MultiLogError::Datalog)?
+            .run()
+            .map_err(MultiLogError::Datalog)?;
+        Ok(ReducedEngine {
+            lattice,
+            user: user.to_owned(),
+            database,
+            level_split,
+            program_text,
+        })
+    }
+
+    /// The generated Datalog program (for inspection and the figures
+    /// binary).
+    pub fn program_text(&self) -> &str {
+        &self.program_text
+    }
+
+    /// The evaluated Datalog database.
+    pub fn database(&self) -> &dl::Database {
+        &self.database
+    }
+
+    /// Solve a MultiLog goal against the reduced database; answers are in
+    /// MultiLog terms, sorted, and directly comparable with
+    /// [`crate::MultiLogEngine::solve`].
+    pub fn solve(&self, goal: &Goal) -> Result<Vec<Answer>> {
+        let mut body: Vec<dl::Literal> = Vec::new();
+        for atom in goal {
+            translate_atom(atom, &self.user, self.level_split, true, &mut body)?;
+        }
+        let answers = dl::run_query(&self.database, &body).map_err(MultiLogError::Datalog)?;
+        let mut out: Vec<Answer> = Vec::new();
+        // Project onto the goal's own variables (the translation may add
+        // guard-only variables).
+        let goal_vars: Vec<&str> = {
+            let mut vs = Vec::new();
+            for a in goal {
+                for v in a.variables() {
+                    if !vs.contains(&v) {
+                        vs.push(v);
+                    }
+                }
+            }
+            vs
+        };
+        for b in &answers.answers {
+            let mut a: Answer = BTreeMap::new();
+            for v in &goal_vars {
+                if let Some(c) = b.get(*v) {
+                    a.insert((*v).to_owned(), const_to_term(c));
+                }
+            }
+            out.push(a);
+        }
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Parse and solve a textual MultiLog goal.
+    pub fn solve_text(&self, goal: &str) -> Result<Vec<Answer>> {
+        self.solve(&crate::parser::parse_goal(goal)?)
+    }
+
+    /// The lattice used by the reduction.
+    pub fn lattice(&self) -> &Arc<SecurityLattice> {
+        &self.lattice
+    }
+}
+
+/// Translate the full database to a Datalog program text: `τ(Δ) ∪ A`.
+fn translate(
+    db: &MultiLogDb,
+    user: &str,
+    lattice: &SecurityLattice,
+    level_split: bool,
+) -> Result<String> {
+    let mut out = String::new();
+    // --- τ(Λ): the lattice component translates one-to-one. ---
+    for c in db.lambda() {
+        out.push_str(&translate_clause(c, user, level_split)?);
+        out.push('\n');
+    }
+    // --- τ(Σ) and τ(Π). ---
+    for c in db.sigma().iter().chain(db.pi()) {
+        out.push_str(&translate_clause(c, user, level_split)?);
+        out.push('\n');
+    }
+    // --- The axiom set A. ---
+    out.push_str("% axiom set A (Figure 12, safe specialization)\n");
+    out.push_str("dominate(X, Y) :- order(X, Y).\n");
+    out.push_str("dominate(X, X) :- level(X).\n");
+    out.push_str("dominate(X, Y) :- order(X, Z), dominate(Z, Y).\n");
+    if level_split {
+        // Union view of the split relation, for queries.
+        for l in lattice.labels() {
+            let name = lattice.name(l);
+            out.push_str(&format!(
+                "rel(P, K, A, V, C, {name}) :- rel_{name}(P, K, A, V, C).\n"
+            ));
+        }
+        // Per-level cautious machinery over the statically known order.
+        for h in lattice.labels() {
+            let hn = lattice.name(h);
+            for l in lattice.down_set(h) {
+                let ln = lattice.name(l);
+                out.push_str(&format!(
+                    "visible_{hn}(P, K, A, V, C) :- rel_{ln}(P, K, A, V, C).\n"
+                ));
+            }
+            out.push_str(&format!(
+                "beaten_{hn}(P, K, A, C) :- visible_{hn}(P, K, A, V, C), \
+                 visible_{hn}(P, K, A, V2, C2), dominate(C, C2), C != C2.\n"
+            ));
+            out.push_str(&format!(
+                "bel_cau_{hn}(P, K, A, V, C) :- visible_{hn}(P, K, A, V, C), \
+                 not beaten_{hn}(P, K, A, C).\n"
+            ));
+            out.push_str(&format!(
+                "bel(P, K, A, V, C, {hn}, cau) :- bel_cau_{hn}(P, K, A, V, C).\n"
+            ));
+        }
+    } else {
+        // Generic cautious machinery (negation confined to query strata).
+        out.push_str("visible(P, K, A, V, C, H) :- rel(P, K, A, V, C, L), dominate(L, H).\n");
+        out.push_str(
+            "beaten(P, K, A, C, H) :- visible(P, K, A, V, C, H), \
+             visible(P, K, A, V2, C2, H), dominate(C, C2), C != C2.\n",
+        );
+        out.push_str(
+            "bel(P, K, A, V, C, H, cau) :- visible(P, K, A, V, C, H), \
+             not beaten(P, K, A, C, H).\n",
+        );
+    }
+    // Monotone modes, split so rule bodies avoid the negation stratum.
+    out.push_str("bel_fir(P, K, A, V, C, H) :- rel(P, K, A, V, C, H).\n");
+    out.push_str("bel_opt(P, K, A, V, C, H) :- rel(P, K, A, V, C, L), dominate(L, H).\n");
+    out.push_str("bel(P, K, A, V, C, H, fir) :- bel_fir(P, K, A, V, C, H).\n");
+    out.push_str("bel(P, K, A, V, C, H, opt) :- bel_opt(P, K, A, V, C, H).\n");
+    Ok(out)
+}
+
+fn translate_clause(c: &Clause, user: &str, level_split: bool) -> Result<String> {
+    let head = match &c.head {
+        Head::M(m) => {
+            if level_split {
+                let Term::Sym(level) = &m.level else {
+                    return Err(MultiLogError::NotBeliefStratified {
+                        detail: format!(
+                            "reduction of `{c}` requires a ground head level when the \
+                             program consults `<< cau`"
+                        ),
+                    });
+                };
+                format!(
+                    "rel_{level}({}, {}, {}, {}, {})",
+                    m.pred,
+                    term_text(&m.key),
+                    m.attr,
+                    term_text(&m.value),
+                    term_text(&m.class),
+                )
+            } else {
+                matom_text(m)
+            }
+        }
+        Head::P(p) => patom_text(p),
+        Head::L(t) => format!("level({})", term_text(t)),
+        Head::H(l, h) => format!("order({}, {})", term_text(l), term_text(h)),
+    };
+    if c.body.is_empty() {
+        return Ok(format!("{head}."));
+    }
+    let mut lits: Vec<dl::Literal> = Vec::new();
+    for a in &c.body {
+        translate_atom(a, user, level_split, false, &mut lits)?;
+    }
+    let body: Vec<String> = lits.iter().map(ToString::to_string).collect();
+    Ok(format!("{head} :- {}.", body.join(", ")))
+}
+
+/// τ(λ(B, u)): translate one atom, adding the no-read-up guards for m-
+/// and b-atoms. `in_query` distinguishes query-side translation (always
+/// the generic predicates) from rule bodies (level/mode specialized).
+fn translate_atom(
+    atom: &Atom,
+    user: &str,
+    level_split: bool,
+    in_query: bool,
+    out: &mut Vec<dl::Literal>,
+) -> Result<()> {
+    let lit = |s: &str| -> Result<dl::Literal> {
+        let atoms = dl::parse_query(s).map_err(MultiLogError::Datalog)?;
+        Ok(atoms.into_iter().next().expect("one literal"))
+    };
+    match atom {
+        Atom::M(m) => {
+            if level_split && !in_query {
+                let Term::Sym(level) = &m.level else {
+                    return Err(MultiLogError::NotBeliefStratified {
+                        detail: format!(
+                            "reduction requires ground body m-atom levels when the \
+                             program consults `<< cau` (offending atom: `{m}`)"
+                        ),
+                    });
+                };
+                out.push(lit(&format!(
+                    "rel_{level}({}, {}, {}, {}, {})",
+                    m.pred,
+                    term_text(&m.key),
+                    m.attr,
+                    term_text(&m.value),
+                    term_text(&m.class),
+                ))?);
+            } else {
+                out.push(lit(&matom_text(m))?);
+            }
+            out.push(lit(&format!("dominate({}, {user})", term_text(&m.level)))?);
+            out.push(lit(&format!("dominate({}, {user})", term_text(&m.class)))?);
+            Ok(())
+        }
+        Atom::B(m, mode) => {
+            let base = format!(
+                "{}, {}, {}, {}, {}",
+                m.pred,
+                term_text(&m.key),
+                m.attr,
+                term_text(&m.value),
+                term_text(&m.class),
+            );
+            let translated = match (Mode::parse(mode), in_query) {
+                // Rule bodies use the specialized monotone predicates.
+                (Some(Mode::Fir), false) => {
+                    format!("bel_fir({base}, {})", term_text(&m.level))
+                }
+                (Some(Mode::Opt), false) => {
+                    format!("bel_opt({base}, {})", term_text(&m.level))
+                }
+                (Some(Mode::Cau), false) => {
+                    if level_split {
+                        let Term::Sym(level) = &m.level else {
+                            return Err(MultiLogError::NotBeliefStratified {
+                                detail: format!("`{m} << cau` needs a ground level for reduction"),
+                            });
+                        };
+                        format!("bel_cau_{level}({base})")
+                    } else {
+                        format!("bel({base}, {}, cau)", term_text(&m.level))
+                    }
+                }
+                // Queries and user modes go through the generic bel/7.
+                _ => format!("bel({base}, {}, {mode})", term_text(&m.level)),
+            };
+            out.push(lit(&translated)?);
+            out.push(lit(&format!("dominate({}, {user})", term_text(&m.level)))?);
+            out.push(lit(&format!("dominate({}, {user})", term_text(&m.class)))?);
+            Ok(())
+        }
+        Atom::P(p) => {
+            out.push(lit(&patom_text(p))?);
+            Ok(())
+        }
+        Atom::L(t) => {
+            out.push(lit(&format!("level({})", term_text(t)))?);
+            Ok(())
+        }
+        Atom::H(l, h) => {
+            out.push(lit(&format!("order({}, {})", term_text(l), term_text(h)))?);
+            Ok(())
+        }
+        Atom::Leq(l, h) => {
+            out.push(lit(&format!(
+                "dominate({}, {})",
+                term_text(l),
+                term_text(h)
+            ))?);
+            Ok(())
+        }
+    }
+}
+
+fn matom_text(m: &MAtom) -> String {
+    format!(
+        "rel({}, {}, {}, {}, {}, {})",
+        m.pred,
+        term_text(&m.key),
+        m.attr,
+        term_text(&m.value),
+        term_text(&m.class),
+        term_text(&m.level),
+    )
+}
+
+fn patom_text(p: &crate::ast::PAtom) -> String {
+    if p.args.is_empty() {
+        p.pred.to_string()
+    } else {
+        let args: Vec<String> = p.args.iter().map(term_text).collect();
+        format!("{}({})", p.pred, args.join(", "))
+    }
+}
+
+fn term_text(t: &Term) -> String {
+    match t {
+        Term::Var(v) => v.to_string(),
+        Term::Sym(s) => s.to_string(),
+        Term::Int(i) => i.to_string(),
+        Term::Null => "null".to_owned(),
+    }
+}
+
+fn const_to_term(c: &dl::Const) -> Term {
+    match c {
+        dl::Const::Sym(s) if s.as_ref() == "null" => Term::Null,
+        dl::Const::Sym(s) => Term::sym(s.as_ref()),
+        dl::Const::Int(i) => Term::Int(*i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_database;
+    use crate::MultiLogEngine;
+
+    const D1: &str = r#"
+        level(u). level(c). level(s).
+        order(u, c). order(c, s).
+        u[p(k : a -u-> v)].
+        c[p(k : a -c-> t)] <- q(j).
+        s[p(k : a -u-> v)] <- c[p(k : a -c-> t)] << cau.
+        q(j).
+    "#;
+
+    #[test]
+    fn d1_reduces_and_evaluates() {
+        let db = parse_database(D1).unwrap();
+        let red = ReducedEngine::new(&db, "s").unwrap();
+        // The three rel facts (split per level, unioned into rel/6).
+        assert_eq!(red.database().relation("rel").unwrap().len(), 3);
+        assert!(red.program_text().contains("rel_u(p, k, a, v, u)."));
+        assert!(red.program_text().contains("bel_cau_c"));
+    }
+
+    #[test]
+    fn figure11_query_through_reduction() {
+        let db = parse_database(D1).unwrap();
+        let red = ReducedEngine::new(&db, "c").unwrap();
+        let ans = red.solve_text("c[p(k : a -u-> v)] << opt").unwrap();
+        assert_eq!(ans.len(), 1);
+    }
+
+    #[test]
+    fn reduction_agrees_with_operational_on_d1() {
+        let db = parse_database(D1).unwrap();
+        for user in ["u", "c", "s"] {
+            let op = MultiLogEngine::new(&db, user).unwrap();
+            let red = ReducedEngine::new(&db, user).unwrap();
+            for goal in [
+                "L[p(k : a -C-> V)]",
+                "L[p(k : a -C-> V)] << fir",
+                "L[p(k : a -C-> V)] << opt",
+                "L[p(k : a -C-> V)] << cau",
+                "q(X)",
+                "u leq L",
+            ] {
+                let a = op.solve_text(goal).unwrap();
+                let b = red.solve_text(goal).unwrap();
+                assert_eq!(a, b, "goal `{goal}` at user {user}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_axioms_listing_is_complete() {
+        let text = paper_axioms();
+        for a in [
+            "a1:",
+            "a5:",
+            "a9:",
+            "dominate",
+            "bel(P, K, A, V, C, H, cau)",
+        ] {
+            assert!(text.contains(a));
+        }
+    }
+
+    #[test]
+    fn guards_enforce_no_read_up() {
+        let db = parse_database(D1).unwrap();
+        let red = ReducedEngine::new(&db, "u").unwrap();
+        assert!(red.solve_text("c[p(k : a -c-> t)]").unwrap().is_empty());
+        assert_eq!(red.solve_text("u[p(k : a -u-> v)]").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn datalog_degeneration_prop61() {
+        // Prop 6.1: a pure Datalog database reduces to itself (modulo the
+        // inert axiom set) and yields classical answers.
+        let db = parse_database("q(a). q(b). r(X) <- q(X). p(X, Y) <- q(X), q(Y).").unwrap();
+        let red = ReducedEngine::new(&db, "system").unwrap();
+        assert_eq!(red.solve_text("r(X)").unwrap().len(), 2);
+        assert_eq!(red.solve_text("p(X, Y)").unwrap().len(), 4);
+        let op = MultiLogEngine::new(&db, "system").unwrap();
+        assert_eq!(
+            op.solve_text("p(X, Y)").unwrap(),
+            red.solve_text("p(X, Y)").unwrap()
+        );
+    }
+
+    #[test]
+    fn monotone_program_uses_generic_axioms() {
+        let src = r#"
+            level(u). level(s). order(u, s).
+            u[p(k : a -u-> v)].
+            s[q(k : b -s-> w)] <- u[p(k : a -u-> v)] << opt.
+        "#;
+        let db = parse_database(src).unwrap();
+        let red = ReducedEngine::new(&db, "s").unwrap();
+        assert!(
+            !red.program_text().contains("rel_u"),
+            "no level split needed"
+        );
+        assert_eq!(red.solve_text("s[q(k : b -s-> w)]").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unknown_user_level_rejected() {
+        let db = parse_database("level(u). u[p(k : a -u-> v)].").unwrap();
+        assert!(ReducedEngine::new(&db, "zz").is_err());
+    }
+
+    #[test]
+    fn null_roundtrips() {
+        let src = r#"
+            level(u).
+            u[p(k : a -u-> null)].
+        "#;
+        let db = parse_database(src).unwrap();
+        let red = ReducedEngine::new(&db, "u").unwrap();
+        let ans = red.solve_text("u[p(k : a -u-> V)]").unwrap();
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans[0]["V"], Term::Null);
+    }
+}

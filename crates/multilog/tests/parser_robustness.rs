@@ -1,0 +1,67 @@
+//! Parser robustness: arbitrary input never panics — it either parses or
+//! returns a positioned error — and valid programs survive a
+//! print-reparse round trip.
+
+use proptest::prelude::*;
+
+use multilog_core::{parse_clause, parse_database, parse_goal};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes: the parser must return, never panic.
+    #[test]
+    fn arbitrary_input_never_panics(src in "\\PC*") {
+        let _ = parse_database(&src);
+        let _ = parse_goal(&src);
+        let _ = parse_clause(&src);
+    }
+
+    /// Arbitrary streams of plausible MultiLog tokens: same guarantee,
+    /// but with far deeper reach into the grammar.
+    #[test]
+    fn token_soup_never_panics(tokens in proptest::collection::vec(
+        prop_oneof![
+            Just("level"), Just("order"), Just("leq"), Just("null"),
+            Just("p"), Just("q"), Just("k"), Just("a"), Just("v"),
+            Just("u"), Just("s"), Just("X"), Just("V"), Just("_"),
+            Just("("), Just(")"), Just("["), Just("]"), Just(":"),
+            Just(";"), Just(","), Just("."), Just("<-"), Just("<<"),
+            Just("-"), Just("->"), Just("%"), Just("42"), Just("-7"),
+        ],
+        0..40,
+    )) {
+        let src = tokens.join(" ");
+        let _ = parse_database(&src);
+        let _ = parse_goal(&src);
+    }
+
+    /// Any parsed clause prints to text that re-parses to the same AST.
+    #[test]
+    fn print_reparse_fixpoint(
+        level in "[a-d]",
+        key in "[k-m][0-9]?",
+        attr in "[a-c]",
+        class in "[a-d]",
+        value in "[v-z][0-9]?",
+        mode in prop_oneof![Just("fir"), Just("opt"), Just("cau")],
+    ) {
+        let src = format!(
+            "{level}[p({key} : {attr} -{class}-> {value})] <- \
+             {class}[q({key} : {attr} -{class}-> V)] << {mode}, r({key})."
+        );
+        let parsed = parse_clause(&src).unwrap();
+        let printed = parsed[0].to_string();
+        let reparsed = parse_clause(&printed).unwrap();
+        prop_assert_eq!(parsed, reparsed);
+    }
+}
+
+#[test]
+fn error_positions_are_plausible() {
+    let err = parse_database("level(u).\nlevel(").unwrap_err();
+    match err {
+        multilog_core::MultiLogError::Parse { line, .. } => assert_eq!(line, 2),
+        other => panic!("unexpected: {other}"),
+    }
+}

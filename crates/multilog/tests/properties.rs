@@ -1,0 +1,183 @@
+//! Property-based tests for the MultiLog core: Bell–LaPadula invariants,
+//! proof-tree soundness, parser round-trips, and mode relationships over
+//! randomly generated databases.
+
+use proptest::prelude::*;
+
+use multilog_core::proof::{prove, RuleName};
+use multilog_core::{parse_database, parse_goal, MultiLogDb, MultiLogEngine};
+
+/// A random admissible MultiLog database over a chain lattice.
+fn arb_db() -> impl Strategy<Value = (String, usize)> {
+    let fact = (0usize..3, 0usize..5, 0usize..3, 0usize..5);
+    let rule = (0usize..5, any::<bool>());
+    (
+        2usize..4,
+        proptest::collection::vec(fact, 1..20),
+        proptest::collection::vec(rule, 0..5),
+    )
+        .prop_map(|(depth, facts, rules)| {
+            let mut src = String::new();
+            for i in 0..depth {
+                src.push_str(&format!("level(l{i}).\n"));
+            }
+            for i in 1..depth {
+                src.push_str(&format!("order(l{}, l{i}).\n", i - 1));
+            }
+            for (lvl, key, cls, val) in facts {
+                let lvl = lvl.min(depth - 1);
+                let cls = cls.min(lvl);
+                src.push_str(&format!("l{lvl}[data(k{key} : a -l{cls}-> v{val})].\n"));
+            }
+            let top = depth - 1;
+            for (key, cau) in rules {
+                let mode = if cau { "cau" } else { "opt" };
+                src.push_str(&format!(
+                    "l{top}[derived(k{key} : b -l{top}-> out{key})] <- \
+                     l{}[data(k{key} : a -C-> V)] << {mode}.\n",
+                    top - 1
+                ));
+            }
+            (src, depth)
+        })
+}
+
+fn engine(src: &str, user: &str) -> MultiLogEngine {
+    let db: MultiLogDb = parse_database(src).expect("generated db parses");
+    MultiLogEngine::new(&db, user).expect("generated db evaluates")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No read up: every m-fact answer has level and class dominated by
+    /// the querying user, in every mode.
+    #[test]
+    fn answers_respect_bell_lapadula((src, depth) in arb_db()) {
+        for lvl in 0..depth {
+            let user = format!("l{lvl}");
+            let e = engine(&src, &user);
+            let lat = e.lattice().clone();
+            for goal in [
+                "L[data(K : a -C-> V)]",
+                "L[data(K : a -C-> V)] << fir",
+                "L[data(K : a -C-> V)] << opt",
+                "L[data(K : a -C-> V)] << cau",
+            ] {
+                for ans in e.solve_text(goal).expect("solve") {
+                    prop_assert!(lat
+                        .dominates_by_name(&user, &ans["L"].to_string())
+                        .unwrap());
+                    prop_assert!(lat
+                        .dominates_by_name(&user, &ans["C"].to_string())
+                        .unwrap());
+                }
+            }
+        }
+    }
+
+    /// Every answer has a proof tree, every proof tree ends in EMPTY
+    /// leaves, and the root sequent mentions the user level.
+    #[test]
+    fn every_answer_has_a_proof((src, depth) in arb_db()) {
+        let user = format!("l{}", depth - 1);
+        let e = engine(&src, &user);
+        for goal_text in [
+            "L[data(K : a -C-> V)] << opt",
+            "L[derived(K : b -C-> V)]",
+        ] {
+            let goal = parse_goal(goal_text).unwrap();
+            let answers = e.solve(&goal).expect("solve");
+            if answers.is_empty() {
+                prop_assert!(prove(&e, &goal).expect("prove").is_none());
+            } else {
+                let tree = prove(&e, &goal).expect("prove").expect("tree for answer");
+                // Leaves are EMPTY.
+                fn leaves_ok(n: &multilog_core::proof::ProofNode) -> bool {
+                    if n.children.is_empty() {
+                        n.rule == RuleName::Empty
+                    } else {
+                        n.children.iter().all(leaves_ok)
+                    }
+                }
+                prop_assert!(leaves_ok(&tree), "non-EMPTY leaf in:\n{}", tree.render());
+                prop_assert!(tree.sequent.contains(&user));
+                prop_assert!(tree.height() >= 1 && tree.size() >= tree.height());
+            }
+        }
+    }
+
+    /// Firm answers ⊆ optimistic answers ⊆ plain visibility; cautious ⊆
+    /// optimistic.
+    #[test]
+    fn mode_inclusions((src, depth) in arb_db()) {
+        for lvl in 0..depth {
+            let user = format!("l{lvl}");
+            let e = engine(&src, &user);
+            // Fix the belief level to the user's own level so the answer
+            // sets are directly comparable.
+            let fir = e.solve_text(&format!("{user}[data(K : a -C-> V)] << fir")).unwrap();
+            let opt = e.solve_text(&format!("{user}[data(K : a -C-> V)] << opt")).unwrap();
+            let cau = e.solve_text(&format!("{user}[data(K : a -C-> V)] << cau")).unwrap();
+            for a in &fir {
+                prop_assert!(opt.contains(a), "fir ⊄ opt");
+            }
+            for a in &cau {
+                prop_assert!(opt.contains(a), "cau ⊄ opt");
+            }
+        }
+    }
+
+    /// Solving is deterministic and answers are sorted + deduplicated.
+    #[test]
+    fn solving_is_deterministic((src, depth) in arb_db()) {
+        let user = format!("l{}", depth - 1);
+        let e = engine(&src, &user);
+        let a = e.solve_text("L[data(K : a -C-> V)] << opt").unwrap();
+        let b = e.solve_text("L[data(K : a -C-> V)] << opt").unwrap();
+        prop_assert_eq!(&a, &b);
+        let mut sorted = a.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(a, sorted);
+    }
+
+    /// Printing every clause and re-parsing yields a database with the
+    /// same evaluation.
+    #[test]
+    fn print_parse_roundtrip((src, depth) in arb_db()) {
+        let db = parse_database(&src).unwrap();
+        let mut printed = String::new();
+        for c in db.clauses() {
+            printed.push_str(&c.to_string());
+            printed.push('\n');
+        }
+        let db2 = parse_database(&printed).unwrap();
+        let user = format!("l{}", depth - 1);
+        let e1 = MultiLogEngine::new(&db, &user).unwrap();
+        let e2 = MultiLogEngine::new(&db2, &user).unwrap();
+        prop_assert_eq!(
+            e1.solve_text("L[data(K : a -C-> V)]").unwrap(),
+            e2.solve_text("L[data(K : a -C-> V)]").unwrap()
+        );
+        prop_assert_eq!(e1.mfacts().len(), e2.mfacts().len());
+    }
+
+    /// Raising the user level never removes answers for a fixed goal
+    /// (visibility is monotone in clearance).
+    #[test]
+    fn clearance_monotonicity((src, depth) in arb_db()) {
+        let mut prev: Option<Vec<multilog_core::Answer>> = None;
+        for lvl in 0..depth {
+            let user = format!("l{lvl}");
+            let e = engine(&src, &user);
+            let ans = e.solve_text("L[data(K : a -C-> V)]").unwrap();
+            if let Some(prev) = &prev {
+                for a in prev {
+                    prop_assert!(ans.contains(a), "answer lost when clearance raised");
+                }
+            }
+            prev = Some(ans);
+        }
+    }
+}

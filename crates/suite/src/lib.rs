@@ -1,0 +1,10 @@
+//! `multilog-suite` — the integration shell of the MultiLog workspace.
+//!
+//! This crate has no library code of its own: it exists to host the
+//! repo-root `tests/` (cross-crate integration tests, including the
+//! Theorem 6.1 equivalence suite and the figure verifications) and
+//! `examples/` (the runnable demo binaries) as Cargo targets with
+//! explicit paths, so `cargo test --workspace` and
+//! `cargo run --example …` work from a virtual workspace root.
+
+#![forbid(unsafe_code)]

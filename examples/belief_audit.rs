@@ -1,0 +1,90 @@
+//! Belief auditing: use proof trees to explain *why* a belief holds,
+//! cross-check the operational and reduction semantics (Theorem 6.1), and
+//! show what re-enabling the σ filter (Figure 13) changes.
+//!
+//! ```text
+//! cargo run -p multilog-suite --example belief_audit
+//! ```
+
+use multilog_core::examples::{mission_db, D1_SOURCE};
+use multilog_core::proof::prove_text;
+use multilog_core::reduce::ReducedEngine;
+use multilog_core::{parse_database, MultiLogEngine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. Audit a cautious belief on the Mission database. ---
+    let db = mission_db()?;
+    let engine = MultiLogEngine::new(&db, "s")?;
+
+    println!("== why does S cautiously believe Voyager is spying? ==");
+    let goal = "s[mission(voyager : objective -s-> spying)] << cau";
+    let tree = prove_text(&engine, goal)?.expect("the belief holds");
+    print!("{}", tree.render());
+    println!("(proof height {}, size {})", tree.height(), tree.size());
+
+    println!("\n== …and why it does NOT believe the Training cover story ==");
+    let cover = "s[mission(voyager : objective -u-> training)] << cau";
+    assert!(prove_text(&engine, cover)?.is_none());
+    println!("  no proof: the S-classified `spying` overrides the U column.");
+    // But optimistically, the cover story is still *visible*:
+    assert!(prove_text(
+        &engine,
+        "s[mission(voyager : objective -u-> training)] << opt"
+    )?
+    .is_some());
+    println!("  (optimistically it is still believed — mode choice matters.)");
+
+    // --- 2. Theorem 6.1 live: operational vs reduction answers. ---
+    println!("\n== Theorem 6.1 spot check: operational vs CORAL-style reduction ==");
+    let reduced = ReducedEngine::new(&db, "s")?;
+    for goal in [
+        "s[mission(K : objective -C-> V)] << cau",
+        "s[mission(K : destination -C-> V)] << fir",
+        "L[mission(avenger : objective -C-> V)]",
+    ] {
+        let a = engine.solve_text(goal)?;
+        let b = reduced.solve_text(goal)?;
+        assert_eq!(a, b);
+        println!("  `{goal}` → {} answers (both engines)", a.len());
+    }
+
+    // --- 3. The D1 query of Figure 11 through both pipelines. ---
+    println!("\n== Figure 11's query on D1, at every clearance ==");
+    let d1 = parse_database(D1_SOURCE)?;
+    for user in ["u", "c", "s"] {
+        let op = MultiLogEngine::new(&d1, user)?;
+        let red = ReducedEngine::new(&d1, user)?;
+        let goal = "c[p(k : a -u-> v)] << opt";
+        let (a, b) = (op.solve_text(goal)?, red.solve_text(goal)?);
+        assert_eq!(a, b);
+        println!(
+            "  at {user}: {}",
+            if a.is_empty() {
+                "fails (no read up)"
+            } else {
+                "succeeds"
+            }
+        );
+    }
+
+    // --- 4. The σ filter ablation (Figure 13). ---
+    println!("\n== Figure 13: resurrecting the surprise story with σ ==");
+    let phantom = parse_database(
+        r#"
+        level(u). level(c). level(s).
+        order(u, c). order(c, s).
+        s[mission(phantom : starship -u-> phantom)].
+        s[mission(phantom : objective -s-> spying)].
+        "#,
+    )?;
+    let plain = MultiLogEngine::new(&phantom, "c")?;
+    let sigma = multilog_core::filter::engine_with_sigma(&phantom, "c")?;
+    let probe = "c[mission(phantom : starship -u-> phantom)]";
+    println!(
+        "  `{probe}`\n    MultiLog default: {} answers (no surprise stories)\n    with σ (FILTER): {} answers",
+        plain.solve_text(probe)?.len(),
+        sigma.solve_text(probe)?.len(),
+    );
+
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! A corporate scenario on a *partial* order: `public` below the two
+//! incomparable departments `finance` and `engineering`, both below
+//! `executive`. Demonstrates the multiple-model behaviour of cautious
+//! belief under incomparable sources (§3.1) and a user-defined belief
+//! mode (§7).
+//!
+//! ```text
+//! cargo run -p multilog-suite --example corporate_access
+//! ```
+
+use multilog_core::{parse_database, MultiLogEngine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = parse_database(
+        r#"
+        % Λ — a diamond: public < {finance, engineering} < executive.
+        level(public). level(finance). level(engineering). level(executive).
+        order(public, finance).
+        order(public, engineering).
+        order(finance, executive).
+        order(engineering, executive).
+
+        % Σ — the forecast for project atlas, by department.
+        public[project(atlas : budget -public-> unknown)].
+        finance[project(atlas : budget -finance-> overrun)].
+        engineering[project(atlas : budget -engineering-> on_track)].
+        executive[project(atlas : owner -public-> board)].
+
+        % Π — a user-defined mode: `secondhand` believes a value at H if
+        % some strictly dominated level asserted it at its own level.
+        bel(project, K, budget, V, C, H, secondhand) <-
+            L[project(K : budget -C-> V)], L leq H, order(L2, H), level(L2).
+        "#,
+    )?;
+
+    let exec = MultiLogEngine::new(&db, "executive")?;
+
+    println!("== the executive's optimistic view of atlas' budget ==");
+    for a in exec.solve_text("executive[project(atlas : budget -C-> V)] << opt")? {
+        println!("  {} (classified {})", a["V"], a["C"]);
+    }
+
+    println!("\n== the executive's cautious view ==");
+    let cautious = exec.solve_text("executive[project(atlas : budget -C-> V)] << cau")?;
+    for a in &cautious {
+        println!("  {} (classified {})", a["V"], a["C"]);
+    }
+    // `finance` and `engineering` are incomparable: neither's
+    // classification dominates, so *both* maximal reports survive — the
+    // paper's "multiple models and associated unpredictability" — while
+    // the public `unknown` is overridden by both.
+    assert_eq!(cautious.len(), 2);
+    assert!(cautious.iter().all(|a| a["V"].to_string() != "unknown"));
+
+    println!("\n== what finance believes, cautiously ==");
+    let fin = MultiLogEngine::new(&db, "finance")?;
+    for a in fin.solve_text("finance[project(atlas : budget -C-> V)] << cau")? {
+        println!("  {} (classified {})", a["V"], a["C"]);
+    }
+
+    println!("\n== the user-defined `secondhand` mode at executive ==");
+    for a in exec.solve_text("executive[project(atlas : budget -C-> V)] << secondhand")? {
+        println!("  {} (classified {})", a["V"], a["C"]);
+    }
+
+    // Bell–LaPadula sanity: engineering cannot read finance's report.
+    let eng = MultiLogEngine::new(&db, "engineering")?;
+    let overrun = eng.solve_text("L[project(atlas : budget -C-> overrun)]")?;
+    assert!(overrun.is_empty(), "no read across incomparable levels");
+    println!("\nengineering cannot see finance's `overrun` report — incomparable levels.");
+
+    Ok(())
+}

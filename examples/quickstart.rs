@@ -1,0 +1,63 @@
+//! Quickstart: declare a security lattice, assert labelled facts, and ask
+//! belief queries in the three modes.
+//!
+//! ```text
+//! cargo run -p multilog-suite --example quickstart
+//! ```
+
+use multilog_core::proof::prove_text;
+use multilog_core::{parse_database, MultiLogEngine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A MultiLog database: Λ declares the lattice `low < high`, Σ holds
+    // the labelled data, Π ordinary Datalog.
+    let db = parse_database(
+        r#"
+        % Λ — the security lattice.
+        level(low). level(high).
+        order(low, high).
+
+        % Σ — labelled facts: the low level believes the server is up;
+        % the high level knows it is actually down for maintenance.
+        low[status(web1 : state -low-> up)].
+        high[status(web1 : state -high-> maintenance)].
+
+        % Π — plain Datalog.
+        oncall(alice).
+        "#,
+    )?;
+
+    // Evaluate at the `high` clearance.
+    let engine = MultiLogEngine::new(&db, "high")?;
+
+    println!("== beliefs about web1's state at level high ==");
+    for mode in ["fir", "opt", "cau"] {
+        let answers = engine.solve_text(&format!("high[status(web1 : state -C-> V)] << {mode}"))?;
+        let rendered: Vec<String> = answers
+            .iter()
+            .map(|a| format!("{} (classified {})", a["V"], a["C"]))
+            .collect();
+        println!("  {mode:>3}: {}", rendered.join(", "));
+    }
+    // fir: only `maintenance` (asserted at high).
+    // opt: both `up` and `maintenance` (everything visible).
+    // cau: only `maintenance` (the high classification overrides).
+
+    println!("\n== the low-level user's view ==");
+    let low_engine = MultiLogEngine::new(&db, "low")?;
+    let answers = low_engine.solve_text("low[status(web1 : state -C-> V)] << opt")?;
+    for a in &answers {
+        println!("  believes: {}", a["V"]);
+    }
+    assert_eq!(answers.len(), 1, "the maintenance secret must not leak");
+
+    println!("\n== why does high cautiously believe `maintenance`? ==");
+    let tree = prove_text(
+        &engine,
+        "high[status(web1 : state -high-> maintenance)] << cau",
+    )?
+    .expect("provable");
+    print!("{}", tree.render());
+
+    Ok(())
+}

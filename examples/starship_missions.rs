@@ -1,0 +1,66 @@
+//! The paper's running example, end to end: replay the update history
+//! that produces Figure 1's `Mission` relation, inspect the views at each
+//! clearance, compute the three belief-mode views, answer the §3.2 query,
+//! and print the Jukic–Vrbsky interpretation table.
+//!
+//! ```text
+//! cargo run -p multilog-suite --example starship_missions
+//! ```
+
+use multilog_mlsrel::belief::{believe, BeliefMode};
+use multilog_mlsrel::jv::JvRelation;
+use multilog_mlsrel::ops::replay;
+use multilog_mlsrel::query::believed_in_all_modes;
+use multilog_mlsrel::{mission, view, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Replay the reconstructed update history (inserts at U, the
+    //    C-level supply mission, the S-level reclassifications, and the
+    //    deletions that create the surprise stories).
+    let (lat, scheme) = mission::mission_scheme();
+    let rel = replay(scheme, &mission::mission_history())?;
+    println!("== stored Mission relation (Figure 1), from history replay ==");
+    print!("{}", rel.render());
+    rel.check_integrity()?;
+
+    // 2. What each clearance sees (Jajodia–Sandhu views, Figures 2–3).
+    for level in ["U", "C", "S"] {
+        let l = lat.require(level)?;
+        println!("\n== view at {level} (σ + subsumption) ==");
+        print!("{}", view::view_at(&rel, l).render());
+    }
+
+    // 3. The three belief modes at C (Figures 6–8).
+    let c = lat.require("C")?;
+    for mode in BeliefMode::all() {
+        println!("\n== β(Mission, C, {mode}) ==");
+        print!("{}", believe(&rel, c, mode)?.render());
+    }
+
+    // 4. The §3.2 query: "starships spying on Mars without any doubt".
+    let s = lat.require("S")?;
+    let certain = believed_in_all_modes(
+        &rel,
+        s,
+        &["Starship"],
+        &[
+            ("Destination", Value::str("Mars")),
+            ("Objective", Value::str("Spying")),
+        ],
+    )?;
+    println!("\n== starships spying on Mars, believed in every mode at S ==");
+    for row in &certain {
+        println!("  {}", row[0]);
+    }
+    assert_eq!(certain, vec![vec![Value::str("Voyager")]]);
+
+    // 5. The Jukic–Vrbsky reading of the same history (Figures 4–5).
+    let (_, scheme) = mission::mission_scheme();
+    let jv = JvRelation::from_history(scheme, &mission::mission_history())?;
+    println!("\n== Jukic–Vrbsky belief labels (Figure 4) ==");
+    print!("{}", jv.render());
+    println!("\n== interpretations at U | C | S (Figure 5) ==");
+    print!("{}", jv.render_interpretations(&["U", "C", "S"]));
+
+    Ok(())
+}

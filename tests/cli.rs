@@ -1,0 +1,84 @@
+//! Integration tests for the `multilog` CLI against the shipped example
+//! databases (`examples/data/*.mlog`).
+
+use multilog_cli::{check, prove, query, reduce, run, EngineKind, Options};
+
+fn mission_source() -> String {
+    std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/data/mission.mlog"
+    ))
+    .expect("mission.mlog exists")
+}
+
+fn d1_source() -> String {
+    std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/data/d1.mlog"
+    ))
+    .expect("d1.mlog exists")
+}
+
+fn opts(user: &str) -> Options {
+    Options {
+        user: user.to_owned(),
+        ..Options::default()
+    }
+}
+
+#[test]
+fn d1_file_runs_its_query_at_each_level() {
+    let src = d1_source();
+    let at_c = run(&src, &opts("c")).unwrap();
+    assert!(at_c.contains("yes"), "{at_c}");
+    let at_u = run(&src, &opts("u")).unwrap();
+    assert!(at_u.contains("no"), "{at_u}");
+}
+
+#[test]
+fn mission_file_checks_clean() {
+    let out = check(&mission_source(), &opts("s")).unwrap();
+    assert!(out.contains("admissible"), "{out}");
+    assert!(out.contains("consistent"), "{out}");
+    assert!(out.contains("Σ=30"), "{out}");
+}
+
+#[test]
+fn mission_spying_query_both_engines() {
+    let src = mission_source();
+    let goal = "s[mission(K : objective -C-> spying)] << cau";
+    let op = query(&src, goal, &opts("s")).unwrap();
+    let mut red_opts = opts("s");
+    red_opts.engine = EngineKind::Reduced;
+    let red = query(&src, goal, &red_opts).unwrap();
+    assert_eq!(op, red, "Theorem 6.1 through the CLI");
+    assert!(op.contains("voyager"), "{op}");
+    assert!(op.contains("phantom"), "{op}");
+}
+
+#[test]
+fn mission_u_level_sees_nothing_secret() {
+    let src = mission_source();
+    let out = query(&src, "L[mission(K : objective -C-> spying)]", &opts("u")).unwrap();
+    assert_eq!(out, "no\n");
+}
+
+#[test]
+fn prove_on_mission_file() {
+    let src = mission_source();
+    let out = prove(
+        &src,
+        "c[mission(atlantis : starship -u-> atlantis)] << opt",
+        &opts("c"),
+    )
+    .unwrap();
+    assert!(out.contains("[BELIEF]"), "{out}");
+    assert!(out.contains("DESCEND-O"), "{out}");
+}
+
+#[test]
+fn reduce_on_mission_file() {
+    let out = reduce(&mission_source(), &opts("s")).unwrap();
+    assert!(out.contains("rel(mission, avenger, starship, avenger, s, s)."));
+    assert!(out.contains("bel(P, K, A, V, C, H, opt)"));
+}

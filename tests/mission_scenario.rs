@@ -1,0 +1,185 @@
+//! The full Mission scenario across all layers: update history → stored
+//! relation → views → beliefs → MultiLog encoding → queries.
+
+use multilog_core::examples::{encode_relation, mission_db};
+use multilog_core::MultiLogEngine;
+use multilog_mlsrel::belief::{believe, BeliefMode};
+use multilog_mlsrel::jv::{Interpretation, JvRelation};
+use multilog_mlsrel::ops::replay;
+use multilog_mlsrel::query::believed_in_all_modes;
+use multilog_mlsrel::{mission, view, Value};
+
+#[test]
+fn history_replay_produces_figure1() {
+    let (_, scheme) = mission::mission_scheme();
+    let replayed = replay(scheme, &mission::mission_history()).unwrap();
+    let (_, fig1) = mission::mission_relation();
+    assert!(replayed.same_tuples(&fig1));
+    replayed.check_integrity().unwrap();
+}
+
+#[test]
+fn surprise_stories_exist_only_under_sigma() {
+    let (lat, rel) = mission::mission_relation();
+    let c = lat.label("C").unwrap();
+    // With σ: nulls appear (Figure 3's t4/t5).
+    let with_sigma = view::view_at(&rel, c);
+    assert!(with_sigma.tuples().iter().any(|t| t.has_null()));
+    // β in any mode: never.
+    for mode in BeliefMode::all() {
+        let b = believe(&rel, c, mode).unwrap();
+        assert!(
+            b.tuples().iter().all(|t| !t.has_null()),
+            "σ-free belief must not contain ⊥ ({mode:?})"
+        );
+    }
+}
+
+#[test]
+fn beliefs_are_monotone_across_modes() {
+    // firm ⊆ optimistic at every level (after TC retagging firm tuples).
+    let (lat, rel) = mission::mission_relation();
+    for level in ["U", "C", "S"] {
+        let l = lat.label(level).unwrap();
+        let firm = believe(&rel, l, BeliefMode::Firm).unwrap();
+        let opt = believe(&rel, l, BeliefMode::Optimistic).unwrap();
+        for t in firm.tuples() {
+            let mut retagged = t.clone();
+            retagged.tc = l;
+            assert!(
+                opt.tuples().contains(&retagged),
+                "firm tuple missing from optimistic at {level}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cautious_is_subset_of_optimistic_values() {
+    let (lat, rel) = mission::mission_relation();
+    for level in ["U", "C", "S"] {
+        let l = lat.label(level).unwrap();
+        let cau = believe(&rel, l, BeliefMode::Cautious).unwrap();
+        let opt = believe(&rel, l, BeliefMode::Optimistic).unwrap();
+        // Every cautiously believed (key, attr, value) is optimistically
+        // believed too (cautious only filters).
+        for t in cau.tuples() {
+            for (i, v) in t.values.iter().enumerate() {
+                assert!(
+                    opt.tuples()
+                        .iter()
+                        .any(|o| o.key() == t.key() && &o.values[i] == v),
+                    "cautious value {v} not optimistically believed at {level}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn jv_interpretations_from_history() {
+    let (_, scheme) = mission::mission_scheme();
+    let jv = JvRelation::from_history(scheme, &mission::mission_history()).unwrap();
+    let lat = jv.scheme().lattice().clone();
+    let s = lat.label("S").unwrap();
+    // At S: exactly one mirage (Falcon) and three cover stories
+    // (t4, t5', t8).
+    let mut mirages = 0;
+    let mut covers = 0;
+    for i in 0..jv.variants().len() {
+        match jv.interpret(i, s) {
+            Interpretation::Mirage => mirages += 1,
+            Interpretation::CoverStory => covers += 1,
+            _ => {}
+        }
+    }
+    assert_eq!(mirages, 1);
+    assert_eq!(covers, 3);
+}
+
+#[test]
+fn relational_and_multilog_answers_agree_on_spying() {
+    // The §3.2 query answered in the relational layer…
+    let (lat, rel) = mission::mission_relation();
+    let s = lat.label("S").unwrap();
+    let relational = believed_in_all_modes(
+        &rel,
+        s,
+        &["Starship"],
+        &[
+            ("Destination", Value::str("Mars")),
+            ("Objective", Value::str("Spying")),
+        ],
+    )
+    .unwrap();
+    assert_eq!(relational, vec![vec![Value::str("Voyager")]]);
+
+    // …and in MultiLog on the encoded database.
+    let db = mission_db().unwrap();
+    let e = MultiLogEngine::new(&db, "s").unwrap();
+    let mut ships: Option<Vec<String>> = None;
+    for mode in ["fir", "opt", "cau"] {
+        let ans = e
+            .solve_text(&format!(
+                "s[mission(K : objective -C1-> spying)] << {mode}, \
+                 s[mission(K : destination -C2-> mars)] << {mode}"
+            ))
+            .unwrap();
+        let mut these: Vec<String> = ans.iter().map(|a| a["K"].to_string()).collect();
+        these.sort();
+        these.dedup();
+        ships = Some(match ships {
+            None => these,
+            Some(prev) => prev.into_iter().filter(|s| these.contains(s)).collect(),
+        });
+    }
+    assert_eq!(ships.unwrap(), vec!["voyager"]);
+}
+
+#[test]
+fn encoding_preserves_tuple_count() {
+    let (_, rel) = mission::mission_relation();
+    let src = encode_relation(&rel);
+    // One molecule per tuple; three fields each.
+    assert_eq!(src.matches("mission(").count(), 10);
+    assert_eq!(
+        src.matches("-s->").count() + src.matches("-c->").count() + src.matches("-u->").count(),
+        30
+    );
+}
+
+#[test]
+fn firm_view_matches_multilog_fir_beliefs() {
+    // Figure 6 through the relational β and through MultiLog `<< fir`
+    // must name the same tuples.
+    let (lat, rel) = mission::mission_relation();
+    let c = lat.label("C").unwrap();
+    let fig6 = believe(&rel, c, BeliefMode::Firm).unwrap();
+    assert_eq!(fig6.len(), 1);
+
+    let db = mission_db().unwrap();
+    let e = MultiLogEngine::new(&db, "c").unwrap();
+    let ans = e
+        .solve_text("c[mission(K : starship -C-> V)] << fir")
+        .unwrap();
+    assert_eq!(ans.len(), 1);
+    assert_eq!(ans[0]["K"].to_string(), "atlantis");
+}
+
+#[test]
+fn every_level_view_is_integrity_clean_without_sigma() {
+    let (lat, rel) = mission::mission_relation();
+    for level in ["U", "C", "S"] {
+        let l = lat.label(level).unwrap();
+        let v = view::view_at_with(
+            &rel,
+            l,
+            view::ViewOptions {
+                filter_sigma: false,
+                eliminate_subsumed: true,
+            },
+        );
+        v.check_integrity()
+            .unwrap_or_else(|e| panic!("σ-free view at {level} violates integrity: {e}"));
+    }
+}
