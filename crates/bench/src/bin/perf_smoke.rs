@@ -1,0 +1,195 @@
+//! Fixed-workload performance smoke benchmark.
+//!
+//! Runs three deterministic workloads and writes a small JSON report:
+//!
+//! * `tc_chain` — transitive closure over a 256-edge chain (quadratic
+//!   number of derived paths, deep fixpoint).
+//! * `tc_grid` — transitive closure over a 16x16 grid (fan-out joins).
+//! * `reduction` — the Figure-12 reduction of a synthetic MultiLog
+//!   database (depth 4, 1500 m-facts, cautious-belief rules), i.e. the
+//!   end-to-end path through `ReducedEngine::new`.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_smoke [--out FILE] [--baseline FILE] [--repeat N]
+//! ```
+//!
+//! With `--baseline`, per-workload `baseline_facts_per_sec` and
+//! `speedup` fields are merged in from a previous report, so one binary
+//! produces a self-contained before/after comparison.
+
+use std::time::Instant;
+
+use multilog_bench::workload::{synthetic_multilog, MultiLogSpec};
+use multilog_core::{parse_database, reduce::ReducedEngine};
+use multilog_datalog::{parse_program, Engine};
+
+struct WorkloadResult {
+    name: &'static str,
+    facts: usize,
+    iterations: usize,
+    wall_ms: f64,
+    facts_per_sec: f64,
+}
+
+fn tc_chain_src(n: usize) -> String {
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!("edge(n{i}, n{}).\n", i + 1));
+    }
+    src.push_str("path(X, Y) :- edge(X, Y).\n");
+    src.push_str("path(X, Z) :- path(X, Y), edge(Y, Z).\n");
+    src
+}
+
+fn tc_grid_src(g: usize) -> String {
+    let mut src = String::new();
+    for r in 0..g {
+        for c in 0..g {
+            if c + 1 < g {
+                src.push_str(&format!("edge(n{r}_{c}, n{r}_{}).\n", c + 1));
+            }
+            if r + 1 < g {
+                src.push_str(&format!("edge(n{r}_{c}, n{}_{c}).\n", r + 1));
+            }
+        }
+    }
+    src.push_str("path(X, Y) :- edge(X, Y).\n");
+    src.push_str("path(X, Z) :- path(X, Y), edge(Y, Z).\n");
+    src
+}
+
+/// Run a plain Datalog workload `repeat` times, reporting the best run.
+fn run_datalog(name: &'static str, src: &str, repeat: usize) -> WorkloadResult {
+    let program = parse_program(src).expect("workload parses");
+    let mut best: Option<WorkloadResult> = None;
+    for _ in 0..repeat {
+        let engine = Engine::new(&program).expect("workload stratifies");
+        let start = Instant::now();
+        let (db, stats) = engine.run_with_stats().expect("workload evaluates");
+        let wall = start.elapsed();
+        let facts = db.fact_count();
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        let result = WorkloadResult {
+            name,
+            facts,
+            iterations: stats.iterations,
+            wall_ms,
+            facts_per_sec: facts as f64 / wall.as_secs_f64(),
+        };
+        if best.as_ref().is_none_or(|b| result.wall_ms < b.wall_ms) {
+            best = Some(result);
+        }
+    }
+    best.expect("repeat >= 1")
+}
+
+/// Run the Figure-12 reduction workload `repeat` times (best run).
+fn run_reduction(repeat: usize) -> WorkloadResult {
+    let spec = MultiLogSpec {
+        depth: 4,
+        facts: 1500,
+        rules: 12,
+        use_cau: true,
+        seed: 7,
+    };
+    let src = synthetic_multilog(&spec);
+    let db = parse_database(&src).expect("synthetic multilog parses");
+    let top = format!("l{}", spec.depth - 1);
+    let mut best: Option<WorkloadResult> = None;
+    for _ in 0..repeat {
+        let start = Instant::now();
+        let red = ReducedEngine::new(&db, &top).expect("reduction succeeds");
+        let wall = start.elapsed();
+        let facts = red.database().fact_count();
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        let result = WorkloadResult {
+            name: "reduction",
+            facts,
+            iterations: 0,
+            wall_ms,
+            facts_per_sec: facts as f64 / wall.as_secs_f64(),
+        };
+        if best.as_ref().is_none_or(|b| result.wall_ms < b.wall_ms) {
+            best = Some(result);
+        }
+    }
+    best.expect("repeat >= 1")
+}
+
+/// Extract `"field": <number>` for the workload named `name` from a
+/// previously written report (this binary's own output format).
+fn baseline_field(baseline: &str, name: &str, field: &str) -> Option<f64> {
+    let obj = baseline.split("{").find(|chunk| {
+        chunk.split_once("\"name\"").is_some_and(|(_, rest)| {
+            rest.trim_start()
+                .trim_start_matches(':')
+                .trim_start()
+                .starts_with(&format!("\"{name}\""))
+        })
+    })?;
+    let (_, rest) = obj.split_once(&format!("\"{field}\""))?;
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_pr1.json");
+    let mut baseline_path: Option<String> = None;
+    let mut repeat = 3usize;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--out" => out_path = argv.next().expect("--out needs a path"),
+            "--baseline" => baseline_path = Some(argv.next().expect("--baseline needs a path")),
+            "--repeat" => {
+                repeat = argv
+                    .next()
+                    .expect("--repeat needs a count")
+                    .parse()
+                    .expect("--repeat takes an integer")
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let baseline = baseline_path.map(|p| {
+        std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"))
+    });
+
+    let results = [
+        run_datalog("tc_chain", &tc_chain_src(256), repeat),
+        run_datalog("tc_grid", &tc_grid_src(16), repeat),
+        run_reduction(repeat),
+    ];
+
+    let mut json = String::from("{\n  \"benchmark\": \"perf_smoke\",\n  \"workloads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str("    {\n");
+        json.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+        json.push_str(&format!("      \"facts\": {},\n", r.facts));
+        json.push_str(&format!("      \"iterations\": {},\n", r.iterations));
+        json.push_str(&format!("      \"wall_ms\": {:.3},\n", r.wall_ms));
+        json.push_str(&format!("      \"facts_per_sec\": {:.1}", r.facts_per_sec));
+        if let Some(base) = baseline.as_deref() {
+            if let Some(b) = baseline_field(base, r.name, "facts_per_sec") {
+                json.push_str(&format!(",\n      \"baseline_facts_per_sec\": {b:.1}"));
+                json.push_str(&format!(",\n      \"speedup\": {:.2}", r.facts_per_sec / b));
+            }
+        }
+        json.push_str("\n    }");
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write report");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

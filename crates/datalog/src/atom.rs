@@ -2,16 +2,15 @@
 
 use std::cmp::Ordering;
 use std::fmt;
-use std::sync::Arc;
 
-use crate::term::{Const, Term};
+use crate::term::{Const, SymId, Term};
 use crate::{DatalogError, Result};
 
 /// A predicate atom `p(t1, …, tn)`.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Atom {
-    /// The predicate symbol.
-    pub predicate: Arc<str>,
+    /// The interned predicate symbol.
+    pub predicate: SymId,
     /// The argument terms.
     pub terms: Vec<Term>,
 }
@@ -20,7 +19,7 @@ impl Atom {
     /// Construct an atom.
     pub fn new(predicate: impl AsRef<str>, terms: Vec<Term>) -> Self {
         Atom {
-            predicate: Arc::from(predicate.as_ref()),
+            predicate: SymId::intern(predicate.as_ref()),
             terms,
         }
     }

@@ -1,25 +1,38 @@
 //! Bottom-up evaluation: naive and semi-naive, stratum by stratum.
 //!
-//! Both strategies share a single rule-body matcher — a backtracking
-//! nested-loop join driven by the per-column hash indexes of
-//! [`crate::Relation`]. The semi-naive strategy additionally maintains
-//! delta relations per recursive predicate and instantiates, for each rule
-//! and each body occurrence of a same-stratum predicate, a variant where
-//! that occurrence draws from the delta of the previous iteration.
+//! Rule bodies are compiled once per stratum into slot-allocated join
+//! plans ([`crate::plan`]) whose literal order is chosen greedily. The
+//! semi-naive strategy additionally compiles, for each rule and each body
+//! occurrence of a same-stratum predicate, a variant where that
+//! occurrence draws from the delta of the previous iteration.
 //!
-//! Negated literals may contain variables that occur nowhere else in the
-//! body; these are read as existentially quantified *inside* the negation
-//! (`¬∃Y p(X, Y)`), which is the convention the MultiLog reduction axioms
-//! (Figure 12 of the paper) rely on. Stratification guarantees the negated
-//! relation is fully computed before it is consulted.
+//! Negated literals may contain variables that occur in no positive
+//! literal textually before them; these are read as existentially
+//! quantified *inside* the negation (`¬∃Y p(X, Y)`), which is the
+//! convention the MultiLog reduction axioms (Figure 12 of the paper) rely
+//! on. Stratification guarantees the negated relation is fully computed
+//! before it is consulted.
+//!
+//! # Parallelism
+//!
+//! With [`Engine::with_threads`] above 1, each semi-naive iteration
+//! partitions its rule variants across scoped worker threads evaluating
+//! against an immutable snapshot of the database; the main thread merges
+//! the derived facts in variant order. The merge order — and therefore
+//! the final database — is deterministic: the sorted contents are
+//! identical for every thread count. With 1 thread the engine evaluates
+//! variants strictly sequentially, in which case facts derived early in
+//! an iteration are already visible to later variants of the same
+//! iteration (the historical behaviour).
 
-use std::collections::HashMap;
+use std::collections::HashSet;
 
-use crate::atom::{Atom, Literal};
 use crate::clause::Clause;
+use crate::fx::FxHashMap;
+use crate::plan::{delta_positions, RulePlan, Scratch};
 use crate::program::Program;
-use crate::storage::{Database, Fact, Relation};
-use crate::term::{Const, Term};
+use crate::storage::{Database, Fact};
+use crate::term::SymId;
 use crate::{DatalogError, Result};
 
 /// Evaluation strategy.
@@ -33,7 +46,7 @@ pub enum Strategy {
 }
 
 /// Counters describing an evaluation run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EvalStats {
     /// Fixpoint iterations summed over all strata.
     pub iterations: usize,
@@ -43,6 +56,9 @@ pub struct EvalStats {
     pub facts_considered: usize,
     /// Facts actually added to the database.
     pub facts_added: usize,
+    /// The join order chosen for every compiled rule variant, as
+    /// `head [(Δ@pos)] :- [textual body indices in execution order]`.
+    pub join_orders: Vec<String>,
 }
 
 /// A bottom-up evaluator for one program.
@@ -50,6 +66,8 @@ pub struct Engine<'p> {
     program: &'p Program,
     strategy: Strategy,
     fact_limit: usize,
+    threads: usize,
+    parallel_threshold: usize,
     strata: Vec<Vec<String>>,
 }
 
@@ -66,6 +84,8 @@ impl<'p> Engine<'p> {
             program,
             strategy: Strategy::SemiNaive,
             fact_limit: 10_000_000,
+            threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+            parallel_threshold: 512,
             strata: strat.iter().map(<[String]>::to_vec).collect(),
         })
     }
@@ -79,6 +99,23 @@ impl<'p> Engine<'p> {
     /// Set the guard limit on the number of derived facts.
     pub fn with_fact_limit(mut self, limit: usize) -> Self {
         self.fact_limit = limit;
+        self
+    }
+
+    /// Set the number of worker threads (default: the machine's available
+    /// parallelism). `1` evaluates strictly sequentially, preserving the
+    /// historical execution order exactly.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Set the minimum number of input facts an iteration must consume
+    /// before it is parallelised (default: 512). Iterations below the
+    /// threshold run sequentially — thread spawn overhead dominates on
+    /// tiny deltas. Tests force the parallel path with `0`.
+    pub fn with_parallel_threshold(mut self, threshold: usize) -> Self {
+        self.parallel_threshold = threshold;
         self
     }
 
@@ -104,10 +141,7 @@ impl<'p> Engine<'p> {
         self.run_inner(None)
     }
 
-    fn run_inner(
-        &self,
-        restrict: Option<&std::collections::HashSet<String>>,
-    ) -> Result<(Database, EvalStats)> {
+    fn run_inner(&self, restrict: Option<&HashSet<String>>) -> Result<(Database, EvalStats)> {
         let mut db = Database::new();
         let mut stats = EvalStats::default();
 
@@ -118,15 +152,15 @@ impl<'p> Engine<'p> {
         }
 
         for stratum in &self.strata {
-            let in_stratum: HashMap<&str, ()> = stratum.iter().map(|s| (s.as_str(), ())).collect();
+            let in_stratum: HashSet<SymId> = stratum.iter().map(|s| SymId::intern(s)).collect();
             // Rules whose head is in this stratum (and, when restricted,
             // in the query's dependency cone).
             let rules: Vec<&Clause> = self
                 .program
                 .clauses()
                 .iter()
-                .filter(|c| in_stratum.contains_key(c.head.predicate.as_ref()))
-                .filter(|c| restrict.is_none_or(|n| n.contains(c.head.predicate.as_ref())))
+                .filter(|c| in_stratum.contains(&c.head.predicate))
+                .filter(|c| restrict.is_none_or(|n| n.contains(c.head.predicate.as_str())))
                 .collect();
             match self.strategy {
                 Strategy::Naive => {
@@ -146,20 +180,30 @@ impl<'p> Engine<'p> {
         db: &mut Database,
         stats: &mut EvalStats,
     ) -> Result<()> {
+        let plans = rules
+            .iter()
+            .map(|r| RulePlan::compile(r, None, db))
+            .collect::<Result<Vec<_>>>()?;
+        stats
+            .join_orders
+            .extend(plans.iter().map(|p| p.order_desc.clone()));
+        let mut scratches: Vec<Scratch> = plans.iter().map(RulePlan::new_scratch).collect();
+        let mut derived: Vec<Fact> = Vec::new();
         loop {
             stats.iterations += 1;
-            let mut new_facts: Vec<(String, Fact)> = Vec::new();
-            for rule in rules {
+            let mut new_facts: Vec<(SymId, Fact)> = Vec::new();
+            for (plan, scratch) in plans.iter().zip(&mut scratches) {
                 stats.rule_applications += 1;
-                let derived = eval_rule(rule, db, None)?;
+                derived.clear();
+                plan.eval(db, None, scratch, &mut derived)?;
                 stats.facts_considered += derived.len();
-                for f in derived {
-                    new_facts.push((rule.head.predicate.to_string(), f));
+                for f in derived.drain(..) {
+                    new_facts.push((plan.head_pred, f));
                 }
             }
             let mut changed = false;
             for (pred, fact) in new_facts {
-                if db.insert(&pred, fact) {
+                if db.insert_id(pred, fact) {
                     stats.facts_added += 1;
                     changed = true;
                 }
@@ -178,28 +222,45 @@ impl<'p> Engine<'p> {
     fn run_stratum_seminaive(
         &self,
         rules: &[&Clause],
-        in_stratum: &HashMap<&str, ()>,
+        in_stratum: &HashSet<SymId>,
         db: &mut Database,
         stats: &mut EvalStats,
     ) -> Result<()> {
+        // Compile the base plans and, for each body occurrence of a
+        // same-stratum predicate, a delta variant. Cardinality estimates
+        // come from the database at stratum entry.
+        let base = rules
+            .iter()
+            .map(|r| RulePlan::compile(r, None, db))
+            .collect::<Result<Vec<_>>>()?;
+        let variants = rules
+            .iter()
+            .flat_map(|r| {
+                delta_positions(r, in_stratum)
+                    .into_iter()
+                    .map(|p| RulePlan::compile(r, Some(p), db))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        stats
+            .join_orders
+            .extend(base.iter().chain(&variants).map(|p| p.order_desc.clone()));
+        let mut base_scratches: Vec<Scratch> = base.iter().map(RulePlan::new_scratch).collect();
+        let mut variant_scratches: Vec<Scratch> =
+            variants.iter().map(RulePlan::new_scratch).collect();
+
         // Iteration 0: apply every rule once against the current database
         // (covers facts and rules whose bodies only use lower strata).
-        let mut delta: HashMap<String, Relation> = HashMap::new();
         stats.iterations += 1;
-        for rule in rules {
-            stats.rule_applications += 1;
-            let derived = eval_rule(rule, db, None)?;
-            stats.facts_considered += derived.len();
-            for f in derived {
-                if db.insert(&rule.head.predicate, f.clone()) {
-                    stats.facts_added += 1;
-                    delta
-                        .entry(rule.head.predicate.to_string())
-                        .or_default()
-                        .insert(f);
-                }
-            }
-        }
+        let round: Vec<(usize, Option<SymId>)> = (0..base.len()).map(|i| (i, None)).collect();
+        let mut delta = self.apply_round(
+            &base,
+            &mut base_scratches,
+            &round,
+            &FxHashMap::default(),
+            db.fact_count(),
+            db,
+            stats,
+        )?;
 
         while !delta.is_empty() {
             stats.iterations += 1;
@@ -208,241 +269,126 @@ impl<'p> Engine<'p> {
                     limit: self.fact_limit,
                 });
             }
-            let mut next_delta: HashMap<String, Relation> = HashMap::new();
-            for rule in rules {
-                // One variant per body occurrence of a same-stratum
-                // predicate whose delta is non-empty.
-                for (pos, lit) in rule.body.iter().enumerate() {
-                    let Literal::Pos(atom) = lit else { continue };
-                    if !in_stratum.contains_key(atom.predicate.as_ref()) {
-                        continue;
-                    }
-                    let Some(d) = delta.get(atom.predicate.as_ref()) else {
-                        continue;
-                    };
-                    if d.is_empty() {
-                        continue;
-                    }
-                    stats.rule_applications += 1;
-                    let derived = eval_rule(rule, db, Some((pos, d)))?;
-                    stats.facts_considered += derived.len();
-                    for f in derived {
-                        if db.insert(&rule.head.predicate, f.clone()) {
-                            stats.facts_added += 1;
-                            next_delta
-                                .entry(rule.head.predicate.to_string())
-                                .or_default()
-                                .insert(f);
-                        }
-                    }
-                }
-            }
-            delta = next_delta;
+            // Variants whose delta relation is non-empty this iteration.
+            let round: Vec<(usize, Option<SymId>)> = variants
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| {
+                    let d = p.delta_pred.expect("variant has a delta predicate");
+                    delta.get(&d).is_some_and(|r| !r.is_empty())
+                })
+                .map(|(i, p)| (i, p.delta_pred))
+                .collect();
+            let input: usize = delta.values().map(Vec::len).sum();
+            let next = self.apply_round(
+                &variants,
+                &mut variant_scratches,
+                &round,
+                &delta,
+                input,
+                db,
+                stats,
+            )?;
+            delta = next;
         }
         Ok(())
     }
-}
 
-/// Evaluate one rule against the database, optionally forcing body
-/// position `delta.0` to draw facts from `delta.1` instead of the full
-/// relation. Returns the head instantiations (possibly with duplicates).
-pub(crate) fn eval_rule(
-    rule: &Clause,
-    db: &Database,
-    delta: Option<(usize, &Relation)>,
-) -> Result<Vec<Fact>> {
-    let mut results = Vec::new();
-    let mut bindings: HashMap<&str, Const> = HashMap::new();
-    match_body(rule, 0, db, delta, &mut bindings, &mut results)?;
-    Ok(results)
-}
-
-fn match_body<'r>(
-    rule: &'r Clause,
-    pos: usize,
-    db: &Database,
-    delta: Option<(usize, &Relation)>,
-    bindings: &mut HashMap<&'r str, Const>,
-    results: &mut Vec<Fact>,
-) -> Result<()> {
-    if pos == rule.body.len() {
-        let fact: Fact = rule
-            .head
-            .terms
-            .iter()
-            .map(|t| match t {
-                Term::Const(c) => c.clone(),
-                Term::Var(v) => bindings
-                    .get(v.as_ref())
-                    .expect("safety check guarantees head vars are bound")
-                    .clone(),
-            })
-            .collect();
-        results.push(fact);
-        return Ok(());
+    /// Run one iteration's worth of rule variants (`round` indexes into
+    /// `plans`), inserting derived facts into `db` and returning the next
+    /// delta. Parallelises across worker threads when the configuration
+    /// and the input size (`input_facts`) warrant it; the merge order is
+    /// the variant order either way, so the resulting database contents
+    /// do not depend on the thread count.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_round(
+        &self,
+        plans: &[RulePlan],
+        scratches: &mut [Scratch],
+        round: &[(usize, Option<SymId>)],
+        delta: &FxHashMap<SymId, Vec<Fact>>,
+        input_facts: usize,
+        db: &mut Database,
+        stats: &mut EvalStats,
+    ) -> Result<FxHashMap<SymId, Vec<Fact>>> {
+        let mut next_delta: FxHashMap<SymId, Vec<Fact>> = FxHashMap::default();
+        let parallel =
+            self.threads > 1 && round.len() >= 2 && input_facts >= self.parallel_threshold;
+        if parallel {
+            // Workers evaluate against an immutable snapshot; the main
+            // thread merges in variant order.
+            let snapshot: &Database = db;
+            let workers = self.threads.min(round.len());
+            let mut results: Vec<(usize, Result<Vec<Fact>>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let mine: Vec<(usize, Option<SymId>)> =
+                            round.iter().skip(w).step_by(workers).copied().collect();
+                        scope.spawn(move || {
+                            mine.into_iter()
+                                .map(|(idx, dpred)| {
+                                    let plan = &plans[idx];
+                                    let drel = dpred.map(|d| delta[&d].as_slice());
+                                    let mut scratch = plan.new_scratch();
+                                    let mut out = Vec::new();
+                                    let res = plan
+                                        .eval(snapshot, drel, &mut scratch, &mut out)
+                                        .map(|()| out);
+                                    (idx, res)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("evaluation worker panicked"))
+                    .collect()
+            });
+            results.sort_by_key(|&(idx, _)| idx);
+            for (idx, res) in results {
+                stats.rule_applications += 1;
+                let derived = res?;
+                stats.facts_considered += derived.len();
+                let head = plans[idx].head_pred;
+                for f in derived {
+                    self.insert_derived(head, f, db, stats, &mut next_delta);
+                }
+            }
+        } else {
+            let mut derived: Vec<Fact> = Vec::new();
+            for &(idx, dpred) in round {
+                stats.rule_applications += 1;
+                let drel = dpred.map(|d| delta[&d].as_slice());
+                derived.clear();
+                plans[idx].eval(db, drel, &mut scratches[idx], &mut derived)?;
+                stats.facts_considered += derived.len();
+                let head = plans[idx].head_pred;
+                for f in derived.drain(..) {
+                    self.insert_derived(head, f, db, stats, &mut next_delta);
+                }
+            }
+        }
+        Ok(next_delta)
     }
-    match &rule.body[pos] {
-        Literal::Pos(atom) => {
-            let empty = Relation::new();
-            let rel: &Relation = match delta {
-                Some((dpos, d)) if dpos == pos => d,
-                _ => db.relation(&atom.predicate).unwrap_or(&empty),
-            };
-            let pattern = probe_pattern(atom, bindings);
-            // Collect matches eagerly: the borrow of `rel` must end before
-            // we mutate `bindings` if rel came from db; facts are cheap to
-            // clone (Arc-backed constants).
-            let matches: Vec<Fact> = rel.matching(&pattern).cloned().collect();
-            for fact in matches {
-                let mut bound_here: Vec<&str> = Vec::new();
-                let mut ok = true;
-                for (term, value) in atom.terms.iter().zip(&fact) {
-                    match term {
-                        Term::Const(c) => {
-                            if c != value {
-                                ok = false;
-                                break;
-                            }
-                        }
-                        Term::Var(v) => match bindings.get(v.as_ref()) {
-                            Some(existing) => {
-                                if existing != value {
-                                    ok = false;
-                                    break;
-                                }
-                            }
-                            None => {
-                                bindings.insert(v.as_ref(), value.clone());
-                                bound_here.push(v.as_ref());
-                            }
-                        },
-                    }
-                }
-                if ok {
-                    match_body(rule, pos + 1, db, delta, bindings, results)?;
-                }
-                for v in bound_here {
-                    bindings.remove(v);
-                }
-            }
-            Ok(())
-        }
-        Literal::Neg(atom) => {
-            let empty = Relation::new();
-            let rel = db.relation(&atom.predicate).unwrap_or(&empty);
-            let pattern = probe_pattern(atom, bindings);
-            // ¬∃(free vars): any matching fact that is consistent with the
-            // repeated-variable constraints refutes the literal.
-            let exists = rel
-                .matching(&pattern)
-                .any(|fact| consistent_with_repeats(atom, fact, bindings));
-            if exists {
-                Ok(())
-            } else {
-                match_body(rule, pos + 1, db, delta, bindings, results)
-            }
-        }
-        Literal::Cmp { op, lhs, rhs } => {
-            let l = resolve(lhs, bindings);
-            let r = resolve(rhs, bindings);
-            let (l, r) = (
-                l.expect("safety check guarantees cmp vars are bound"),
-                r.expect("safety check guarantees cmp vars are bound"),
-            );
-            if op.eval(&l, &r)? {
-                match_body(rule, pos + 1, db, delta, bindings, results)
-            } else {
-                Ok(())
-            }
-        }
-        Literal::Arith {
-            target,
-            lhs,
-            op,
-            rhs,
-        } => {
-            let as_int = |t: &Term| -> Result<i64> {
-                match resolve(t, bindings)
-                    .expect("safety check guarantees arith operands are bound")
-                {
-                    Const::Int(i) => Ok(i),
-                    other => Err(DatalogError::IncomparableTerms {
-                        left: other.to_string(),
-                        right: "integer".to_owned(),
-                    }),
-                }
-            };
-            let value = Const::Int(op.eval(as_int(lhs)?, as_int(rhs)?)?);
-            match target {
-                Term::Const(c) => {
-                    if *c == value {
-                        match_body(rule, pos + 1, db, delta, bindings, results)
-                    } else {
-                        Ok(())
-                    }
-                }
-                Term::Var(v) => match bindings.get(v.as_ref()) {
-                    Some(existing) => {
-                        if *existing == value {
-                            match_body(rule, pos + 1, db, delta, bindings, results)
-                        } else {
-                            Ok(())
-                        }
-                    }
-                    None => {
-                        bindings.insert(v.as_ref(), value);
-                        let r = match_body(rule, pos + 1, db, delta, bindings, results);
-                        bindings.remove(v.as_ref());
-                        r
-                    }
-                },
-            }
-        }
-    }
-}
 
-/// Build the index probe pattern for an atom under current bindings.
-fn probe_pattern(atom: &Atom, bindings: &HashMap<&str, Const>) -> Vec<Option<Const>> {
-    atom.terms
-        .iter()
-        .map(|t| match t {
-            Term::Const(c) => Some(c.clone()),
-            Term::Var(v) => bindings.get(v.as_ref()).cloned(),
-        })
-        .collect()
-}
-
-/// For a negated atom with repeated free variables (`not p(Y, Y)`), check
-/// that a candidate fact actually unifies with the atom.
-fn consistent_with_repeats(atom: &Atom, fact: &[Const], bindings: &HashMap<&str, Const>) -> bool {
-    let mut local: HashMap<&str, &Const> = HashMap::new();
-    for (term, value) in atom.terms.iter().zip(fact) {
-        match term {
-            Term::Const(c) => {
-                if c != value {
-                    return false;
-                }
-            }
-            Term::Var(v) => {
-                if let Some(b) = bindings.get(v.as_ref()) {
-                    if b != value {
-                        return false;
-                    }
-                } else if let Some(prev) = local.insert(v.as_ref(), value) {
-                    if prev != value {
-                        return false;
-                    }
-                }
-            }
+    fn insert_derived(
+        &self,
+        head: SymId,
+        fact: Fact,
+        db: &mut Database,
+        stats: &mut EvalStats,
+        next_delta: &mut FxHashMap<SymId, Vec<Fact>>,
+    ) {
+        // `insert_if_new_id` copies the fact only when it is genuinely
+        // new; duplicates (the common case near fixpoint) allocate
+        // nothing, and the owned fact moves into the delta for free.
+        // A fact can be new at most once per iteration, so the delta
+        // list needs no dedup of its own.
+        if db.insert_if_new_id(head, &fact) {
+            stats.facts_added += 1;
+            next_delta.entry(head).or_default().push(fact);
         }
-    }
-    true
-}
-
-fn resolve(term: &Term, bindings: &HashMap<&str, Const>) -> Option<Const> {
-    match term {
-        Term::Const(c) => Some(c.clone()),
-        Term::Var(v) => bindings.get(v.as_ref()).cloned(),
     }
 }
 
@@ -450,6 +396,7 @@ fn resolve(term: &Term, bindings: &HashMap<&str, Const>) -> Option<Const> {
 mod tests {
     use super::*;
     use crate::parser::parse_program;
+    use crate::term::Const;
 
     fn run(src: &str) -> Database {
         let p = parse_program(src).unwrap();
@@ -596,6 +543,7 @@ mod tests {
         assert!(stats.iterations >= 2);
         assert!(stats.facts_added >= 5);
         assert!(stats.rule_applications > 0);
+        assert!(!stats.join_orders.is_empty());
     }
 
     #[test]
@@ -644,5 +592,53 @@ mod tests {
              flag(found) :- color(car, red).");
         assert!(db.contains("is_red", &[Const::sym("car")]));
         assert!(db.contains("flag", &[Const::sym("found")]));
+    }
+
+    #[test]
+    fn join_orders_mention_delta_variants() {
+        let p = parse_program(
+            "edge(a, b). edge(b, c).\
+             path(X, Y) :- edge(X, Y).\
+             path(X, Y) :- edge(X, Z), path(Z, Y).",
+        )
+        .unwrap();
+        let (_, stats) = Engine::new(&p).unwrap().run_with_stats().unwrap();
+        assert!(
+            stats.join_orders.iter().any(|o| o.contains("Δ")),
+            "orders: {:?}",
+            stats.join_orders
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential_output() {
+        let mut src = String::new();
+        for i in 0..40 {
+            src.push_str(&format!("edge(n{}, n{}).\n", i, i + 1));
+        }
+        src.push_str("edge(n40, n0).\n"); // cycle
+        src.push_str(
+            "path(X, Y) :- edge(X, Y). path(X, Y) :- edge(X, Z), path(Z, Y).\
+             looped(X) :- path(X, X).\
+             unlooped(X) :- path(X, Y), not looped(X).",
+        );
+        let p = parse_program(&src).unwrap();
+        let seq = Engine::new(&p).unwrap().with_threads(1).run().unwrap();
+        for threads in [2, 4] {
+            let par = Engine::new(&p)
+                .unwrap()
+                .with_threads(threads)
+                .with_parallel_threshold(0)
+                .run()
+                .unwrap();
+            assert_eq!(seq.fact_count(), par.fact_count(), "threads={threads}");
+            for (pred, rel) in seq.relations() {
+                assert_eq!(
+                    rel.sorted(),
+                    par.relation(pred).unwrap().sorted(),
+                    "relation {pred} differs with threads={threads}"
+                );
+            }
+        }
     }
 }

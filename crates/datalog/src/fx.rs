@@ -1,0 +1,111 @@
+//! A fast, non-cryptographic hasher for the engine's in-memory indexes.
+//!
+//! The standard library's default hasher (SipHash-1-3) is keyed and
+//! HashDoS-resistant, which matters for maps keyed by untrusted input but
+//! costs several times more per lookup than necessary for the engine's
+//! internal maps (column indexes, dedup tables, delta maps). Those maps
+//! are keyed by small `Copy` values (`Const`, `SymId`) or by tuple hashes
+//! the engine computes itself, so we use a multiply-rotate hash in the
+//! style of FxHash instead. Determinism of results never depends on map
+//! iteration order — every externally visible ordering is sorted.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// Multiply-rotate hasher; not DoS-resistant, engine-internal use only.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf) ^ rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v.into());
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v.into());
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&(1u64, 2u64)), hash_of(&(1u64, 2u64)));
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+    }
+
+    #[test]
+    fn distinct_values_usually_differ() {
+        let hashes: std::collections::HashSet<u64> = (0..1000u64).map(|i| hash_of(&i)).collect();
+        assert_eq!(hashes.len(), 1000);
+    }
+
+    #[test]
+    fn str_prefixes_differ() {
+        // The tail-padding mix must distinguish strings that share a
+        // prefix and differ only in length.
+        assert_ne!(hash_of(&"abc"), hash_of(&"abc\0"));
+    }
+
+    #[test]
+    fn works_as_map_hasher() {
+        let mut m: FxHashMap<&str, i32> = FxHashMap::default();
+        m.insert("a", 1);
+        m.insert("b", 2);
+        assert_eq!(m.get("a"), Some(&1));
+        assert_eq!(m.len(), 2);
+    }
+}

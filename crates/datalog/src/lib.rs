@@ -64,7 +64,9 @@ mod atom;
 mod clause;
 mod error;
 mod eval;
+mod fx;
 mod parser;
+mod plan;
 mod program;
 mod query;
 mod storage;
@@ -78,7 +80,7 @@ pub use parser::{parse_atom, parse_clause, parse_program, parse_query};
 pub use program::{Program, Stratification};
 pub use query::{run_query, Bindings, QueryAnswer};
 pub use storage::{Database, Relation};
-pub use term::{Const, Term};
+pub use term::{Const, SymId, Term};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, DatalogError>;

@@ -1,0 +1,746 @@
+//! Rule compilation: slot-allocated join plans with greedy literal
+//! ordering.
+//!
+//! Each rule (and each semi-naive delta variant of it) is compiled once
+//! per stratum into a [`RulePlan`]: variables become dense *slots* into a
+//! reusable bindings buffer, and body literals become a sequence of
+//! [`Step`]s in an execution order chosen greedily — positive literals
+//! ranked by bound-argument count then estimated relation cardinality,
+//! negated and built-in literals scheduled as soon as their variables are
+//! bound. This replaces the previous fixed left-to-right interpretation
+//! of the body.
+//!
+//! # Negation under reordering
+//!
+//! A negated literal may contain variables that occur in no positive
+//! literal *textually before* it; these are existentially quantified
+//! inside the negation (`¬∃Y r(X, Y)`). That existential set is fixed
+//! **statically from the textual order** before any reordering, so a
+//! variable stays existential even when the chosen execution order has
+//! already bound it — reordering never changes which facts a rule
+//! derives.
+
+use std::collections::{HashMap, HashSet};
+use std::mem;
+
+use crate::atom::{ArithOp, CmpOp, Literal};
+use crate::clause::Clause;
+use crate::storage::{Database, Fact, Relation};
+use crate::term::{Const, SymId, Term};
+use crate::{DatalogError, Result};
+
+/// One column of a positive scan.
+#[derive(Clone, Copy, Debug)]
+enum ScanCol {
+    /// Must equal this constant (part of the index probe).
+    Const(Const),
+    /// Must equal the slot value bound by an earlier step (probe).
+    Bound(u32),
+    /// First occurrence of an unbound variable: binds the slot.
+    Bind(u32),
+    /// Repeated occurrence within this atom: must equal the slot value
+    /// bound earlier in the same row.
+    Check(u32),
+}
+
+/// One column of a negated-literal probe.
+#[derive(Clone, Copy, Debug)]
+enum NegCol {
+    /// Must equal this constant.
+    Const(Const),
+    /// Must equal the slot value (non-existential variable).
+    Bound(u32),
+    /// Existential variable, first occurrence: captures into a local.
+    Local(u32),
+    /// Existential variable, repeated: must equal the captured local.
+    LocalCheck(u32),
+}
+
+/// A value source for comparisons, arithmetic, and head projection.
+#[derive(Clone, Copy, Debug)]
+enum ValSrc {
+    Const(Const),
+    Slot(u32),
+}
+
+/// What an arithmetic built-in does with its result.
+#[derive(Clone, Copy, Debug)]
+enum ArithTarget {
+    /// Bind the result into an unbound slot.
+    Bind(u32),
+    /// The target slot is already bound: check equality.
+    CheckSlot(u32),
+    /// The target is a constant: check equality.
+    CheckConst(Const),
+}
+
+/// One scheduled operation of a compiled rule body.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Join against a relation (or the delta relation for the variant's
+    /// distinguished body position).
+    Scan {
+        pred: SymId,
+        from_delta: bool,
+        cols: Vec<ScanCol>,
+    },
+    /// Prune unless `¬∃(locals) pred(cols)` holds.
+    Neg {
+        pred: SymId,
+        cols: Vec<NegCol>,
+        n_locals: usize,
+    },
+    /// Prune unless the comparison holds.
+    Cmp { op: CmpOp, lhs: ValSrc, rhs: ValSrc },
+    /// Evaluate `lhs op rhs` and bind or check the target.
+    Arith {
+        op: ArithOp,
+        lhs: ValSrc,
+        rhs: ValSrc,
+        target: ArithTarget,
+    },
+}
+
+/// Reusable per-plan evaluation buffers: the slot bindings plus one
+/// pattern/local buffer per step, taken out and restored around the
+/// recursive join so no per-row allocation happens.
+pub(crate) struct Scratch {
+    bindings: Vec<Const>,
+    patterns: Vec<Vec<Option<Const>>>,
+    locals: Vec<Vec<Const>>,
+}
+
+/// A compiled rule variant: slots, ordered steps, head projection.
+#[derive(Debug)]
+pub(crate) struct RulePlan {
+    /// The head predicate (interned).
+    pub head_pred: SymId,
+    head: Vec<ValSrc>,
+    steps: Vec<Step>,
+    n_slots: usize,
+    /// The textual body position reading from the delta relation, if this
+    /// is a semi-naive variant.
+    pub delta_pred: Option<SymId>,
+    /// Human-readable description of the chosen join order.
+    pub order_desc: String,
+}
+
+impl RulePlan {
+    /// Compile `rule` into a plan. `delta_pos` selects the body position
+    /// that reads from a delta relation (semi-naive variant); `db`
+    /// supplies relation cardinality estimates for the greedy ordering.
+    pub fn compile(rule: &Clause, delta_pos: Option<usize>, db: &Database) -> Result<Self> {
+        let unsafe_var = |v: &str| DatalogError::UnsafeVariable {
+            variable: v.to_owned(),
+            clause: rule.to_string(),
+        };
+
+        // Slot allocation: every variable bound by a positive literal or
+        // an arithmetic target gets a dense slot.
+        let mut slots: HashMap<&str, u32> = HashMap::new();
+        fn slot_of<'a>(v: &'a str, slots: &mut HashMap<&'a str, u32>) -> u32 {
+            let next = u32::try_from(slots.len()).expect("slot overflow");
+            *slots.entry(v).or_insert(next)
+        }
+        for lit in &rule.body {
+            match lit {
+                Literal::Pos(a) => {
+                    for v in a.variables() {
+                        slot_of(v, &mut slots);
+                    }
+                }
+                Literal::Arith { target, .. } => {
+                    if let Some(v) = target.as_var() {
+                        slot_of(v, &mut slots);
+                    }
+                }
+                Literal::Neg(_) | Literal::Cmp { .. } => {}
+            }
+        }
+
+        // Existential sets of negated literals, fixed by TEXTUAL order:
+        // vars not bound by any earlier positive literal or arithmetic
+        // target are quantified inside the negation.
+        let mut textually_bound: HashSet<&str> = HashSet::new();
+        let mut existential: Vec<Option<HashSet<&str>>> = Vec::with_capacity(rule.body.len());
+        for lit in &rule.body {
+            match lit {
+                Literal::Neg(a) => {
+                    let e: HashSet<&str> = a
+                        .variables()
+                        .filter(|v| !textually_bound.contains(v))
+                        .collect();
+                    existential.push(Some(e));
+                }
+                Literal::Pos(a) => {
+                    textually_bound.extend(a.variables());
+                    existential.push(None);
+                }
+                Literal::Arith { target, .. } => {
+                    textually_bound.extend(target.as_var());
+                    existential.push(None);
+                }
+                Literal::Cmp { .. } => existential.push(None),
+            }
+        }
+
+        // Greedy scheduling.
+        let mut bound: HashSet<u32> = HashSet::new();
+        let mut scheduled = vec![false; rule.body.len()];
+        let mut steps: Vec<Step> = Vec::with_capacity(rule.body.len());
+        let mut order: Vec<usize> = Vec::with_capacity(rule.body.len());
+
+        let val_src = |t: &Term, slots: &HashMap<&str, u32>| -> Result<ValSrc> {
+            match t {
+                Term::Const(c) => Ok(ValSrc::Const(*c)),
+                Term::Var(v) => slots
+                    .get(v.as_ref())
+                    .map(|&s| ValSrc::Slot(s))
+                    .ok_or_else(|| unsafe_var(v)),
+            }
+        };
+
+        while scheduled.iter().any(|&s| !s) {
+            // Flush every ready non-positive literal, in textual order.
+            let mut progressed = true;
+            while progressed {
+                progressed = false;
+                for i in 0..rule.body.len() {
+                    if scheduled[i] {
+                        continue;
+                    }
+                    match &rule.body[i] {
+                        Literal::Neg(a) => {
+                            let e = existential[i].as_ref().expect("neg has existential set");
+                            let ready = a.variables().all(|v| {
+                                e.contains(v) || slots.get(v).is_some_and(|s| bound.contains(s))
+                            });
+                            if !ready {
+                                continue;
+                            }
+                            let mut local_of: HashMap<&str, u32> = HashMap::new();
+                            let mut cols = Vec::with_capacity(a.terms.len());
+                            for t in &a.terms {
+                                cols.push(match t {
+                                    Term::Const(c) => NegCol::Const(*c),
+                                    Term::Var(v) if e.contains(v.as_ref()) => {
+                                        let next =
+                                            u32::try_from(local_of.len()).expect("local overflow");
+                                        match local_of.entry(v.as_ref()) {
+                                            std::collections::hash_map::Entry::Occupied(o) => {
+                                                NegCol::LocalCheck(*o.get())
+                                            }
+                                            std::collections::hash_map::Entry::Vacant(va) => {
+                                                va.insert(next);
+                                                NegCol::Local(next)
+                                            }
+                                        }
+                                    }
+                                    Term::Var(v) => NegCol::Bound(slots[v.as_ref()]),
+                                });
+                            }
+                            steps.push(Step::Neg {
+                                pred: a.predicate,
+                                cols,
+                                n_locals: local_of.len(),
+                            });
+                            scheduled[i] = true;
+                            order.push(i);
+                            progressed = true;
+                        }
+                        Literal::Cmp { op, lhs, rhs } => {
+                            let ready = [lhs, rhs].into_iter().all(|t| {
+                                t.as_var()
+                                    .is_none_or(|v| slots.get(v).is_some_and(|s| bound.contains(s)))
+                            });
+                            if !ready {
+                                continue;
+                            }
+                            steps.push(Step::Cmp {
+                                op: *op,
+                                lhs: val_src(lhs, &slots)?,
+                                rhs: val_src(rhs, &slots)?,
+                            });
+                            scheduled[i] = true;
+                            order.push(i);
+                            progressed = true;
+                        }
+                        Literal::Arith {
+                            target,
+                            lhs,
+                            op,
+                            rhs,
+                        } => {
+                            let ready = [lhs, rhs].into_iter().all(|t| {
+                                t.as_var()
+                                    .is_none_or(|v| slots.get(v).is_some_and(|s| bound.contains(s)))
+                            });
+                            if !ready {
+                                continue;
+                            }
+                            let tgt = match target {
+                                Term::Const(c) => ArithTarget::CheckConst(*c),
+                                Term::Var(v) => {
+                                    let s = slots[v.as_ref()];
+                                    if bound.contains(&s) {
+                                        ArithTarget::CheckSlot(s)
+                                    } else {
+                                        bound.insert(s);
+                                        ArithTarget::Bind(s)
+                                    }
+                                }
+                            };
+                            steps.push(Step::Arith {
+                                op: *op,
+                                lhs: val_src(lhs, &slots)?,
+                                rhs: val_src(rhs, &slots)?,
+                                target: tgt,
+                            });
+                            scheduled[i] = true;
+                            order.push(i);
+                            progressed = true;
+                        }
+                        Literal::Pos(_) => {}
+                    }
+                }
+            }
+
+            // Pick the best remaining positive literal: most bound
+            // argument positions, then smallest estimated cardinality,
+            // then textual position (for determinism).
+            let best = (0..rule.body.len())
+                .filter(|&i| !scheduled[i])
+                .filter_map(|i| match &rule.body[i] {
+                    Literal::Pos(a) => Some((i, a)),
+                    _ => None,
+                })
+                .min_by_key(|&(i, a)| {
+                    let bound_args = a
+                        .terms
+                        .iter()
+                        .filter(|t| match t {
+                            Term::Const(_) => true,
+                            Term::Var(v) => {
+                                slots.get(v.as_ref()).is_some_and(|s| bound.contains(s))
+                            }
+                        })
+                        .count();
+                    let est = if delta_pos == Some(i) {
+                        // Deltas are typically tiny: rank them below every
+                        // full relation so they are scheduled early.
+                        0
+                    } else {
+                        db.relation_id(a.predicate).map_or(0, Relation::len) + 1
+                    };
+                    (usize::MAX - bound_args, est, i)
+                });
+            let Some((i, a)) = best else { break };
+            let mut bound_here: HashSet<u32> = HashSet::new();
+            let mut cols = Vec::with_capacity(a.terms.len());
+            for t in &a.terms {
+                cols.push(match t {
+                    Term::Const(c) => ScanCol::Const(*c),
+                    Term::Var(v) => {
+                        let s = slots[v.as_ref()];
+                        if bound.contains(&s) {
+                            ScanCol::Bound(s)
+                        } else if bound_here.contains(&s) {
+                            ScanCol::Check(s)
+                        } else {
+                            bound_here.insert(s);
+                            ScanCol::Bind(s)
+                        }
+                    }
+                });
+            }
+            bound.extend(bound_here);
+            steps.push(Step::Scan {
+                pred: a.predicate,
+                from_delta: delta_pos == Some(i),
+                cols,
+            });
+            scheduled[i] = true;
+            order.push(i);
+        }
+
+        // Anything left never became ready: a built-in over variables no
+        // positive literal binds. (The textual evaluator paniced here.)
+        if let Some(i) = scheduled.iter().position(|&s| !s) {
+            let v = rule.body[i]
+                .variables()
+                .into_iter()
+                .find(|v| slots.get(v).is_none_or(|s| !bound.contains(s)))
+                .unwrap_or("_");
+            return Err(unsafe_var(v));
+        }
+
+        // Head projection (safety guarantees every head var is bound).
+        let head = rule
+            .head
+            .terms
+            .iter()
+            .map(|t| val_src(t, &slots))
+            .collect::<Result<Vec<_>>>()?;
+
+        let order_desc = format!(
+            "{}{} :- [{}]",
+            rule.head.predicate,
+            match delta_pos {
+                Some(p) => format!(" (Δ@{p})"),
+                None => String::new(),
+            },
+            order
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+
+        Ok(RulePlan {
+            head_pred: rule.head.predicate,
+            head,
+            steps,
+            n_slots: slots.len(),
+            delta_pred: delta_pos.map(|p| {
+                rule.body[p]
+                    .atom()
+                    .expect("delta position is a positive literal")
+                    .predicate
+            }),
+            order_desc,
+        })
+    }
+
+    /// Allocate evaluation buffers sized for this plan.
+    pub fn new_scratch(&self) -> Scratch {
+        Scratch {
+            bindings: vec![Const::Int(0); self.n_slots],
+            patterns: self
+                .steps
+                .iter()
+                .map(|s| match s {
+                    Step::Scan { cols, .. } => Vec::with_capacity(cols.len()),
+                    Step::Neg { cols, .. } => Vec::with_capacity(cols.len()),
+                    _ => Vec::new(),
+                })
+                .collect(),
+            locals: self
+                .steps
+                .iter()
+                .map(|s| match s {
+                    Step::Neg { n_locals, .. } => vec![Const::Int(0); *n_locals],
+                    _ => Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Evaluate the plan, appending every head instantiation (possibly
+    /// with duplicates) to `out`. `delta` supplies the delta facts when
+    /// this is a semi-naive variant; deltas are plain fact lists (no
+    /// indexes) because the planner schedules the delta scan first, where
+    /// it is enumerated rather than probed.
+    pub fn eval(
+        &self,
+        db: &Database,
+        delta: Option<&[Fact]>,
+        scratch: &mut Scratch,
+        out: &mut Vec<Fact>,
+    ) -> Result<()> {
+        debug_assert_eq!(scratch.bindings.len(), self.n_slots);
+        self.exec(0, db, delta, scratch, out)
+    }
+
+    fn exec(
+        &self,
+        step: usize,
+        db: &Database,
+        delta: Option<&[Fact]>,
+        scratch: &mut Scratch,
+        out: &mut Vec<Fact>,
+    ) -> Result<()> {
+        let Some(s) = self.steps.get(step) else {
+            out.push(
+                self.head
+                    .iter()
+                    .map(|h| match h {
+                        ValSrc::Const(c) => *c,
+                        ValSrc::Slot(s) => scratch.bindings[*s as usize],
+                    })
+                    .collect(),
+            );
+            return Ok(());
+        };
+        match s {
+            Step::Scan {
+                pred,
+                from_delta,
+                cols,
+            } => {
+                if *from_delta {
+                    // Delta facts are filtered inline — no pattern probe,
+                    // no index: the whole delta is consumed anyway.
+                    let facts = delta.expect("delta variant evaluated without a delta");
+                    let mut result = Ok(());
+                    'facts: for fact in facts {
+                        for (i, col) in cols.iter().enumerate() {
+                            match col {
+                                ScanCol::Const(c) => {
+                                    if *c != fact[i] {
+                                        continue 'facts;
+                                    }
+                                }
+                                ScanCol::Bound(s) | ScanCol::Check(s) => {
+                                    if scratch.bindings[*s as usize] != fact[i] {
+                                        continue 'facts;
+                                    }
+                                }
+                                ScanCol::Bind(s) => scratch.bindings[*s as usize] = fact[i],
+                            }
+                        }
+                        result = self.exec(step + 1, db, delta, scratch, out);
+                        if result.is_err() {
+                            break;
+                        }
+                    }
+                    return result;
+                }
+                let rel = match db.relation_id(*pred) {
+                    Some(r) => r,
+                    None => return Ok(()), // empty relation: no matches
+                };
+                let mut pattern = mem::take(&mut scratch.patterns[step]);
+                pattern.clear();
+                for col in cols {
+                    pattern.push(match col {
+                        ScanCol::Const(c) => Some(*c),
+                        ScanCol::Bound(s) => Some(scratch.bindings[*s as usize]),
+                        ScanCol::Bind(_) | ScanCol::Check(_) => None,
+                    });
+                }
+                let mut result = Ok(());
+                for fact in rel.matching(&pattern) {
+                    let mut ok = true;
+                    for (i, col) in cols.iter().enumerate() {
+                        match col {
+                            ScanCol::Bind(s) => scratch.bindings[*s as usize] = fact[i],
+                            ScanCol::Check(s) => {
+                                if scratch.bindings[*s as usize] != fact[i] {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            ScanCol::Const(_) | ScanCol::Bound(_) => {}
+                        }
+                    }
+                    if ok {
+                        result = self.exec(step + 1, db, delta, scratch, out);
+                        if result.is_err() {
+                            break;
+                        }
+                    }
+                }
+                scratch.patterns[step] = pattern;
+                result
+            }
+            Step::Neg {
+                pred,
+                cols,
+                n_locals,
+            } => {
+                if let Some(rel) = db.relation_id(*pred) {
+                    let mut pattern = mem::take(&mut scratch.patterns[step]);
+                    pattern.clear();
+                    for col in cols {
+                        pattern.push(match col {
+                            NegCol::Const(c) => Some(*c),
+                            NegCol::Bound(s) => Some(scratch.bindings[*s as usize]),
+                            NegCol::Local(_) | NegCol::LocalCheck(_) => None,
+                        });
+                    }
+                    let mut locals = mem::take(&mut scratch.locals[step]);
+                    locals.clear();
+                    locals.resize(*n_locals, Const::Int(0));
+                    let exists = rel.matching(&pattern).any(|fact| {
+                        for (i, col) in cols.iter().enumerate() {
+                            match col {
+                                NegCol::Local(l) => locals[*l as usize] = fact[i],
+                                NegCol::LocalCheck(l) => {
+                                    if locals[*l as usize] != fact[i] {
+                                        return false;
+                                    }
+                                }
+                                NegCol::Const(_) | NegCol::Bound(_) => {}
+                            }
+                        }
+                        true
+                    });
+                    scratch.patterns[step] = pattern;
+                    scratch.locals[step] = locals;
+                    if exists {
+                        return Ok(());
+                    }
+                }
+                self.exec(step + 1, db, delta, scratch, out)
+            }
+            Step::Cmp { op, lhs, rhs } => {
+                let l = self.resolve(*lhs, scratch);
+                let r = self.resolve(*rhs, scratch);
+                if op.eval(&l, &r)? {
+                    self.exec(step + 1, db, delta, scratch, out)
+                } else {
+                    Ok(())
+                }
+            }
+            Step::Arith {
+                op,
+                lhs,
+                rhs,
+                target,
+            } => {
+                let as_int = |v: Const| -> Result<i64> {
+                    match v {
+                        Const::Int(i) => Ok(i),
+                        other => Err(DatalogError::IncomparableTerms {
+                            left: other.to_string(),
+                            right: "integer".to_owned(),
+                        }),
+                    }
+                };
+                let l = as_int(self.resolve(*lhs, scratch))?;
+                let r = as_int(self.resolve(*rhs, scratch))?;
+                let value = Const::Int(op.eval(l, r)?);
+                match target {
+                    ArithTarget::CheckConst(c) => {
+                        if *c != value {
+                            return Ok(());
+                        }
+                    }
+                    ArithTarget::CheckSlot(s) => {
+                        if scratch.bindings[*s as usize] != value {
+                            return Ok(());
+                        }
+                    }
+                    ArithTarget::Bind(s) => scratch.bindings[*s as usize] = value,
+                }
+                self.exec(step + 1, db, delta, scratch, out)
+            }
+        }
+    }
+
+    fn resolve(&self, v: ValSrc, scratch: &Scratch) -> Const {
+        match v {
+            ValSrc::Const(c) => c,
+            ValSrc::Slot(s) => scratch.bindings[s as usize],
+        }
+    }
+}
+
+/// Delta-variant positions of a rule within `stratum_preds`: each body
+/// position holding a positive literal over a same-stratum predicate.
+pub(crate) fn delta_positions(rule: &Clause, stratum_preds: &HashSet<SymId>) -> Vec<usize> {
+    rule.body
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| match l {
+            Literal::Pos(a) if stratum_preds.contains(&a.predicate) => Some(i),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Compile-and-run convenience used by ad hoc queries: evaluates `rule`
+/// against `db` with a freshly compiled plan.
+pub(crate) fn eval_rule_once(rule: &Clause, db: &Database) -> Result<Vec<Fact>> {
+    let plan = RulePlan::compile(rule, None, db)?;
+    let mut scratch = plan.new_scratch();
+    let mut out = Vec::new();
+    plan.eval(db, None, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn plan_for(src: &str, head: &str, delta_pos: Option<usize>) -> RulePlan {
+        let p = parse_program(src).unwrap();
+        let db = Database::new();
+        let rule = p
+            .clauses()
+            .iter()
+            .rfind(|c| !c.is_fact() && c.head.predicate.as_str() == head)
+            .expect("rule present");
+        RulePlan::compile(rule, delta_pos, &db).unwrap()
+    }
+
+    #[test]
+    fn delta_literal_is_scheduled_first() {
+        let src = "edge(a, b). path(X, Y) :- edge(X, Y).\
+                   path(X, Z) :- edge(X, Y), path(Y, Z).";
+        // Delta on body position 1 (path): it should be first in the order.
+        let plan = plan_for(src, "path", Some(1));
+        assert!(
+            plan.order_desc.contains(":- [1,0]"),
+            "delta first: {}",
+            plan.order_desc
+        );
+        assert_eq!(plan.delta_pred.unwrap().as_str(), "path");
+    }
+
+    #[test]
+    fn builtins_schedule_when_bound() {
+        // The comparison references Y, bound only by the second literal:
+        // the planner must order it after s(Y) instead of failing.
+        let src = "q(a). s(1). p(X) :- q(X), Y < 2, s(Y).";
+        let plan = plan_for(src, "p", None);
+        let order: &str = plan
+            .order_desc
+            .split('[')
+            .nth(1)
+            .unwrap()
+            .trim_end_matches(']');
+        let pos_of = |i: char| order.chars().position(|c| c == i).unwrap();
+        assert!(pos_of('2') < pos_of('1'), "cmp after s(Y): {order}");
+    }
+
+    #[test]
+    fn existential_set_fixed_by_textual_order() {
+        // Y is existential in `not r(X, Y)` (no earlier positive binds
+        // it), even though p(X, Y) would bind Y if scheduled first.
+        let src = "s(a). p(a, b). r(a, c). q(X) :- s(X), not r(X, Y), p(X, Y).";
+        let p = parse_program(src).unwrap();
+        let rule = p.clauses().iter().find(|c| !c.is_fact()).unwrap();
+        let mut db = Database::new();
+        db.insert("s", vec![Const::sym("a")]);
+        db.insert("p", vec![Const::sym("a"), Const::sym("b")]);
+        db.insert("r", vec![Const::sym("a"), Const::sym("c")]);
+        let derived = eval_rule_once(rule, &db).unwrap();
+        // ∃Y r(a, Y) holds, so the negation fails and nothing is derived —
+        // even though the (a, b) binding from p would not match r.
+        assert!(derived.is_empty(), "derived: {derived:?}");
+    }
+
+    #[test]
+    fn unready_builtin_reports_unsafe_variable() {
+        use crate::clause::Clause;
+        use crate::{Atom, CmpOp};
+        // Hand-built rule (the parser/safety layer would reject it):
+        // p(X) :- q(X), Z != a — Z is never bound.
+        let rule = Clause::new(
+            Atom::new("p", vec![Term::var("X")]),
+            vec![
+                Literal::Pos(Atom::new("q", vec![Term::var("X")])),
+                Literal::Cmp {
+                    op: CmpOp::Ne,
+                    lhs: Term::var("Z"),
+                    rhs: Term::sym("a"),
+                },
+            ],
+        );
+        let db = Database::new();
+        let err = RulePlan::compile(&rule, None, &db).unwrap_err();
+        assert!(matches!(err, DatalogError::UnsafeVariable { variable, .. } if variable == "Z"));
+    }
+}

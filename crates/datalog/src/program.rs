@@ -3,18 +3,18 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
 
 use crate::atom::Literal;
 use crate::clause::Clause;
+use crate::term::SymId;
 use crate::{DatalogError, Result};
 
 /// A validated Datalog program.
 #[derive(Clone, Default)]
 pub struct Program {
     clauses: Vec<Clause>,
-    /// Predicate name → arity.
-    arities: HashMap<Arc<str>, usize>,
+    /// Interned predicate → arity.
+    arities: HashMap<SymId, usize>,
 }
 
 impl Program {
@@ -49,8 +49,8 @@ impl Program {
     }
 
     fn check_arity(&mut self, clause: &Clause) -> Result<()> {
-        let mut check = |pred: &Arc<str>, arity: usize| -> Result<()> {
-            match self.arities.get(pred) {
+        let mut check = |pred: SymId, arity: usize| -> Result<()> {
+            match self.arities.get(&pred) {
                 Some(&a) if a != arity => Err(DatalogError::ArityMismatch {
                     predicate: pred.to_string(),
                     expected: a,
@@ -58,15 +58,15 @@ impl Program {
                 }),
                 Some(_) => Ok(()),
                 None => {
-                    self.arities.insert(pred.clone(), arity);
+                    self.arities.insert(pred, arity);
                     Ok(())
                 }
             }
         };
-        check(&clause.head.predicate, clause.head.arity())?;
+        check(clause.head.predicate, clause.head.arity())?;
         for l in &clause.body {
             if let Some(a) = l.atom() {
-                check(&a.predicate, a.arity())?;
+                check(a.predicate, a.arity())?;
             }
         }
         Ok(())
@@ -79,12 +79,12 @@ impl Program {
 
     /// The declared arity of a predicate, if seen.
     pub fn arity(&self, predicate: &str) -> Option<usize> {
-        self.arities.get(predicate).copied()
+        self.arities.get(&SymId::intern(predicate)).copied()
     }
 
     /// All predicate names, sorted.
     pub fn predicates(&self) -> Vec<&str> {
-        let mut out: Vec<&str> = self.arities.keys().map(|k| k.as_ref()).collect();
+        let mut out: Vec<&str> = self.arities.keys().map(|k| k.as_str()).collect();
         out.sort_unstable();
         out
     }

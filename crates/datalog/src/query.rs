@@ -5,7 +5,7 @@ use std::fmt;
 
 use crate::atom::Literal;
 use crate::clause::Clause;
-use crate::eval::eval_rule;
+use crate::plan::eval_rule_once;
 use crate::storage::Database;
 use crate::term::{Const, Term};
 use crate::{Atom, Result};
@@ -106,7 +106,7 @@ pub fn run_query(db: &Database, body: &[Literal]) -> Result<QueryAnswer> {
     );
     let rule = Clause::new(head, body.to_vec());
     rule.check_safety()?;
-    let facts = eval_rule(&rule, db, None)?;
+    let facts = eval_rule_once(&rule, db)?;
     let mut answers: Vec<Bindings> = facts
         .into_iter()
         .map(|f| positive.iter().cloned().zip(f).collect::<Bindings>())

@@ -1,31 +1,54 @@
 //! Fact storage: relations with hash indexes, and the database of all
 //! relations.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
 
-use crate::term::Const;
+use crate::fx::{FxHashMap, FxHasher};
+use crate::term::{Const, SymId};
 
 /// A stored fact: one tuple of constants.
-pub type Fact = Vec<Const>;
+///
+/// Facts are boxed slices of `Copy` constants: a single allocation per
+/// fact, no capacity slack, and equality/hash by value.
+pub type Fact = Box<[Const]>;
+
+fn fact_hash(fact: &[Const]) -> u64 {
+    let mut h = FxHasher::default();
+    fact.hash(&mut h);
+    h.finish()
+}
+
+/// Whether `fact` satisfies a binding pattern (`Some(c)` = column must
+/// equal `c`).
+pub(crate) fn fact_matches(fact: &[Const], pattern: &[Option<Const>]) -> bool {
+    fact.len() == pattern.len()
+        && fact
+            .iter()
+            .zip(pattern)
+            .all(|(c, p)| p.as_ref().is_none_or(|pc| pc == c))
+}
 
 /// A set of facts of a single predicate, with lazily built per-column
 /// hash indexes to accelerate joins.
 ///
 /// Bottom-up rule evaluation probes relations with a *binding pattern*
-/// (some columns bound to constants). `Relation::matching` serves such
+/// (some columns bound to constants). [`Relation::matching`] serves such
 /// probes from the index of the first bound column and post-filters the
 /// rest, which makes the common join shapes (key-bound probes produced by
 /// the MultiLog reduction axioms) sub-linear.
+///
+/// Duplicate detection stores row ids keyed by tuple hash rather than a
+/// second copy of every tuple, so each fact is stored exactly once.
 #[derive(Clone, Default)]
 pub struct Relation {
     arity: Option<usize>,
     facts: Vec<Fact>,
-    /// Set view of `facts` for O(1) duplicate checks; stores indices.
-    dedup: HashSet<Fact>,
+    /// `dedup[hash]` = ids of rows whose tuple hashes to `hash`; membership
+    /// is confirmed against `facts`, so tuples are not stored twice.
+    dedup: FxHashMap<u64, Vec<u32>>,
     /// `indexes[col][constant]` = row ids having `constant` at `col`.
-    indexes: Vec<HashMap<Const, Vec<usize>>>,
+    indexes: Vec<FxHashMap<Const, Vec<u32>>>,
 }
 
 impl Relation {
@@ -55,28 +78,66 @@ impl Relation {
     ///
     /// Panics if the fact's arity differs from previously inserted facts —
     /// arity consistency is validated upstream by [`crate::Program`].
-    pub fn insert(&mut self, fact: Fact) -> bool {
-        match self.arity {
-            None => {
-                self.arity = Some(fact.len());
-                self.indexes = (0..fact.len()).map(|_| HashMap::new()).collect();
-            }
-            Some(a) => assert_eq!(a, fact.len(), "arity mismatch on insert"),
-        }
-        if !self.dedup.insert(fact.clone()) {
+    pub fn insert(&mut self, fact: impl Into<Fact>) -> bool {
+        let fact = fact.into();
+        self.prepare(fact.len());
+        let hash = fact_hash(&fact);
+        let bucket = self.dedup.entry(hash).or_default();
+        if bucket.iter().any(|&r| *self.facts[r as usize] == *fact) {
             return false;
         }
-        let row = self.facts.len();
-        for (col, c) in fact.iter().enumerate() {
-            self.indexes[col].entry(c.clone()).or_default().push(row);
-        }
-        self.facts.push(fact);
+        Self::store(&mut self.facts, &mut self.indexes, bucket, fact);
         true
+    }
+
+    /// Insert a fact given by reference, copying it only when it is new;
+    /// returns `true` if it was new. On the derivation merge path
+    /// duplicates are the common case near the fixpoint, and they cost no
+    /// allocation here.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch, as [`Relation::insert`] does.
+    pub fn insert_if_new(&mut self, fact: &[Const]) -> bool {
+        self.prepare(fact.len());
+        let hash = fact_hash(fact);
+        let bucket = self.dedup.entry(hash).or_default();
+        if bucket.iter().any(|&r| *self.facts[r as usize] == *fact) {
+            return false;
+        }
+        Self::store(&mut self.facts, &mut self.indexes, bucket, Fact::from(fact));
+        true
+    }
+
+    fn prepare(&mut self, arity: usize) {
+        match self.arity {
+            None => {
+                self.arity = Some(arity);
+                self.indexes = (0..arity).map(|_| FxHashMap::default()).collect();
+            }
+            Some(a) => assert_eq!(a, arity, "arity mismatch on insert"),
+        }
+    }
+
+    fn store(
+        facts: &mut Vec<Fact>,
+        indexes: &mut [FxHashMap<Const, Vec<u32>>],
+        bucket: &mut Vec<u32>,
+        fact: Fact,
+    ) {
+        let row = u32::try_from(facts.len()).expect("relation row overflow");
+        bucket.push(row);
+        for (col, c) in fact.iter().enumerate() {
+            indexes[col].entry(*c).or_default().push(row);
+        }
+        facts.push(fact);
     }
 
     /// Whether the relation contains exactly this fact.
     pub fn contains(&self, fact: &[Const]) -> bool {
-        self.dedup.contains(fact)
+        self.dedup
+            .get(&fact_hash(fact))
+            .is_some_and(|rows| rows.iter().any(|&r| *self.facts[r as usize] == *fact))
     }
 
     /// Iterate over all facts.
@@ -106,24 +167,12 @@ impl Relation {
                 let rows = self.indexes[col].get(c).map(Vec::as_slice).unwrap_or(&[]);
                 Box::new(
                     rows.iter()
-                        .map(move |&r| &self.facts[r])
-                        .filter(move |f| Self::fact_matches(f, pattern)),
+                        .map(move |&r| &self.facts[r as usize])
+                        .filter(move |f| fact_matches(f, pattern)),
                 )
             }
-            None => Box::new(
-                self.facts
-                    .iter()
-                    .filter(move |f| Self::fact_matches(f, pattern)),
-            ),
+            None => Box::new(self.facts.iter().filter(move |f| fact_matches(f, pattern))),
         }
-    }
-
-    fn fact_matches(fact: &[Const], pattern: &[Option<Const>]) -> bool {
-        fact.len() == pattern.len()
-            && fact
-                .iter()
-                .zip(pattern)
-                .all(|(c, p)| p.as_ref().is_none_or(|pc| pc == c))
     }
 
     /// Facts sorted lexicographically — deterministic output order for
@@ -141,10 +190,16 @@ impl fmt::Debug for Relation {
     }
 }
 
-/// A database: all relations, keyed by predicate name.
+/// A database: all relations, keyed by interned predicate id.
+///
+/// Lookups by `&str` intern the name once; hot paths inside the engine
+/// use the `*_id` variants to skip the symbol-table round trip entirely.
+/// Iteration (`relations`, `predicates`) stays in name order so printed
+/// output is deterministic and identical to the previous
+/// `BTreeMap<Arc<str>, _>` representation.
 #[derive(Clone, Default)]
 pub struct Database {
-    relations: BTreeMap<Arc<str>, Relation>,
+    relations: FxHashMap<SymId, Relation>,
     fact_count: usize,
 }
 
@@ -156,20 +211,42 @@ impl Database {
 
     /// The relation for `predicate`, if any fact or declaration exists.
     pub fn relation(&self, predicate: &str) -> Option<&Relation> {
-        self.relations.get(predicate)
+        self.relations.get(&SymId::intern(predicate))
+    }
+
+    /// The relation for an interned predicate id, if present.
+    pub fn relation_id(&self, predicate: SymId) -> Option<&Relation> {
+        self.relations.get(&predicate)
     }
 
     /// The relation for `predicate`, creating it if missing.
     pub fn relation_mut(&mut self, predicate: &str) -> &mut Relation {
-        if !self.relations.contains_key(predicate) {
-            self.relations.insert(Arc::from(predicate), Relation::new());
-        }
-        self.relations.get_mut(predicate).expect("just inserted")
+        self.relation_mut_id(SymId::intern(predicate))
+    }
+
+    /// The relation for an interned predicate id, creating it if missing.
+    pub fn relation_mut_id(&mut self, predicate: SymId) -> &mut Relation {
+        self.relations.entry(predicate).or_default()
     }
 
     /// Insert a fact; returns `true` if new.
-    pub fn insert(&mut self, predicate: &str, fact: Fact) -> bool {
-        let new = self.relation_mut(predicate).insert(fact);
+    pub fn insert(&mut self, predicate: &str, fact: impl Into<Fact>) -> bool {
+        self.insert_id(SymId::intern(predicate), fact)
+    }
+
+    /// Insert a fact under an interned predicate id; returns `true` if new.
+    pub fn insert_id(&mut self, predicate: SymId, fact: impl Into<Fact>) -> bool {
+        let new = self.relation_mut_id(predicate).insert(fact);
+        if new {
+            self.fact_count += 1;
+        }
+        new
+    }
+
+    /// Insert a fact by reference under an interned predicate id, copying
+    /// it only when new; returns `true` if new.
+    pub fn insert_if_new_id(&mut self, predicate: SymId, fact: &[Const]) -> bool {
+        let new = self.relation_mut_id(predicate).insert_if_new(fact);
         if new {
             self.fact_count += 1;
         }
@@ -178,8 +255,13 @@ impl Database {
 
     /// Whether the database contains this ground fact.
     pub fn contains(&self, predicate: &str, fact: &[Const]) -> bool {
+        self.contains_id(SymId::intern(predicate), fact)
+    }
+
+    /// Whether the database contains this ground fact (by predicate id).
+    pub fn contains_id(&self, predicate: SymId, fact: &[Const]) -> bool {
         self.relations
-            .get(predicate)
+            .get(&predicate)
             .is_some_and(|r| r.contains(fact))
     }
 
@@ -190,12 +272,15 @@ impl Database {
 
     /// Iterate over `(predicate, relation)` pairs in name order.
     pub fn relations(&self) -> impl Iterator<Item = (&str, &Relation)> {
-        self.relations.iter().map(|(k, v)| (k.as_ref(), v))
+        let mut entries: Vec<(SymId, &Relation)> =
+            self.relations.iter().map(|(&k, v)| (k, v)).collect();
+        entries.sort_by_key(|&(k, _)| k);
+        entries.into_iter().map(|(k, v)| (k.as_str(), v))
     }
 
     /// Names of all predicates with at least one stored relation entry.
     pub fn predicates(&self) -> impl Iterator<Item = &str> {
-        self.relations.keys().map(|k| k.as_ref())
+        self.relations().map(|(p, _)| p)
     }
 }
 
@@ -269,7 +354,10 @@ mod tests {
         let mut r = Relation::new();
         r.insert(vec![c("b")]);
         r.insert(vec![c("a")]);
-        assert_eq!(r.sorted(), vec![vec![c("a")], vec![c("b")]]);
+        let sorted = r.sorted();
+        assert_eq!(sorted.len(), 2);
+        assert_eq!(*sorted[0], [c("a")]);
+        assert_eq!(*sorted[1], [c("b")]);
     }
 
     #[test]
@@ -282,5 +370,19 @@ mod tests {
         assert!(db.contains("p", &[c("a")]));
         assert!(!db.contains("r", &[c("a")]));
         assert_eq!(db.predicates().collect::<Vec<_>>(), vec!["p", "q"]);
+    }
+
+    #[test]
+    fn id_paths_agree_with_str_paths() {
+        let mut db = Database::new();
+        let p = SymId::intern("p");
+        assert!(db.insert_id(p, vec![c("a")]));
+        assert!(db.contains("p", &[c("a")]));
+        assert!(db.contains_id(p, &[c("a")]));
+        assert_eq!(db.relation_id(p).unwrap().len(), 1);
+        assert!(std::ptr::eq(
+            db.relation("p").unwrap(),
+            db.relation_id(p).unwrap()
+        ));
     }
 }

@@ -1,17 +1,130 @@
-//! Terms: constants and variables.
+//! Terms: constants and variables, backed by a global symbol table.
 
 use std::cmp::Ordering;
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// The process-wide symbol interner.
+///
+/// Symbol text is leaked into `'static` storage on first interning, so a
+/// [`SymId`] can hand out `&'static str` without holding any lock beyond
+/// the lookup. The table only ever grows; symbols are never freed. For a
+/// Datalog engine this is the right trade: the set of distinct symbols is
+/// bounded by the input program and EDB, while facts — produced in bulk
+/// during bottom-up evaluation — copy a `u32` instead of bumping an
+/// `Arc` refcount.
+struct SymbolTable {
+    by_text: HashMap<&'static str, u32>,
+    text: Vec<&'static str>,
+}
+
+fn table() -> &'static RwLock<SymbolTable> {
+    static TABLE: OnceLock<RwLock<SymbolTable>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        RwLock::new(SymbolTable {
+            by_text: HashMap::new(),
+            text: Vec::new(),
+        })
+    })
+}
+
+/// An interned symbol: a `u32` handle into the global [`SymbolTable`].
+///
+/// Equality and hashing are O(1) on the id (interning guarantees
+/// text-equality iff id-equality); ordering resolves to the symbol text
+/// so sorted output is identical to ordering by the strings themselves.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SymId(u32);
+
+impl SymId {
+    /// Intern `text`, returning its id (allocating on first sight).
+    pub fn intern(text: &str) -> SymId {
+        {
+            let t = table().read().expect("symbol table poisoned");
+            if let Some(&id) = t.by_text.get(text) {
+                return SymId(id);
+            }
+        }
+        let mut t = table().write().expect("symbol table poisoned");
+        if let Some(&id) = t.by_text.get(text) {
+            return SymId(id);
+        }
+        let id = u32::try_from(t.text.len()).expect("symbol table overflow");
+        let leaked: &'static str = Box::leak(text.to_owned().into_boxed_str());
+        t.text.push(leaked);
+        t.by_text.insert(leaked, id);
+        SymId(id)
+    }
+
+    /// The symbol text.
+    pub fn as_str(self) -> &'static str {
+        let t = table().read().expect("symbol table poisoned");
+        t.text[self.0 as usize]
+    }
+
+    /// The raw table index (dense, starting at 0).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl AsRef<str> for SymId {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl std::ops::Deref for SymId {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialOrd for SymId {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SymId {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.0 == other.0 {
+            Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl fmt::Display for SymId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for SymId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for SymId {
+    fn from(s: &str) -> Self {
+        SymId::intern(s)
+    }
+}
 
 /// A ground constant: an interned symbol or a 64-bit integer.
 ///
-/// Symbols are stored as `Arc<str>` so that facts — which are produced in
-/// bulk during bottom-up evaluation — clone in O(1) without a string copy.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// `Const` is a small `Copy` value (12 bytes), so facts — which are
+/// produced in bulk during bottom-up evaluation — copy without touching
+/// any refcount or heap allocation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Const {
     /// A symbolic constant, e.g. `mars` or `"Outer Space"`.
-    Sym(Arc<str>),
+    Sym(SymId),
     /// An integer constant.
     Int(i64),
 }
@@ -19,7 +132,7 @@ pub enum Const {
 impl Const {
     /// Construct a symbolic constant.
     pub fn sym(s: impl AsRef<str>) -> Self {
-        Const::Sym(Arc::from(s.as_ref()))
+        Const::Sym(SymId::intern(s.as_ref()))
     }
 
     /// Construct an integer constant.
@@ -30,7 +143,7 @@ impl Const {
     /// The symbol text, if this is a symbol.
     pub fn as_sym(&self) -> Option<&str> {
         match self {
-            Const::Sym(s) => Some(s),
+            Const::Sym(s) => Some(s.as_str()),
             Const::Int(_) => None,
         }
     }
@@ -56,10 +169,31 @@ impl Const {
     }
 }
 
+// Manual ordering to preserve the original derived order (`Sym` sorts
+// before `Int`, symbols by text, integers numerically) now that symbol
+// ids are not the text itself.
+impl PartialOrd for Const {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Const {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Const::Sym(a), Const::Sym(b)) => a.cmp(b),
+            (Const::Int(a), Const::Int(b)) => a.cmp(b),
+            (Const::Sym(_), Const::Int(_)) => Ordering::Less,
+            (Const::Int(_), Const::Sym(_)) => Ordering::Greater,
+        }
+    }
+}
+
 impl fmt::Display for Const {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Const::Sym(s) => {
+            Const::Sym(id) => {
+                let s = id.as_str();
                 // Quote when the symbol does not lex as a bare identifier.
                 let bare = !s.is_empty()
                     && s.chars().next().is_some_and(|c| c.is_ascii_lowercase())
@@ -95,7 +229,7 @@ impl From<&str> for Const {
 
 impl From<String> for Const {
     fn from(s: String) -> Self {
-        Const::Sym(Arc::from(s.as_str()))
+        Const::sym(s)
     }
 }
 
@@ -211,12 +345,25 @@ mod tests {
     }
 
     #[test]
-    fn cheap_clone_shares_storage() {
-        let a = Const::sym("shared");
-        let b = a.clone();
-        match (&a, &b) {
-            (Const::Sym(x), Const::Sym(y)) => assert!(Arc::ptr_eq(x, y)),
-            _ => unreachable!(),
-        }
+    fn interning_dedups_and_orders_by_text() {
+        let a1 = SymId::intern("alpha");
+        let a2 = SymId::intern("alpha");
+        assert_eq!(a1, a2);
+        assert_eq!(a1.index(), a2.index());
+        // Intern out of lexical order: ordering still follows the text.
+        let z = SymId::intern("zzz_order_test");
+        let m = SymId::intern("mmm_order_test");
+        assert!(m < z);
+        assert!(SymId::intern("mmm_order_test") < SymId::intern("zzz_order_test"));
+    }
+
+    #[test]
+    fn const_is_small_and_copy() {
+        // The whole point of interning: facts copy in O(1) with no heap
+        // or refcount traffic.
+        assert!(std::mem::size_of::<Const>() <= 16);
+        let a = Const::sym("copied");
+        let b = a; // Copy, not move
+        assert_eq!(a, b);
     }
 }

@@ -27,7 +27,48 @@ fn arb_closure_program() -> impl Strategy<Value = Program> {
     })
 }
 
-fn all_facts(db: &Database) -> Vec<(String, Vec<Const>)> {
+/// Random stratified programs: random base facts plus a random subset of
+/// rule templates spanning three strata (positive recursion, negation
+/// over it, negation over the negation). Every subset is stratified and
+/// safe by construction, so the generator exercises multi-stratum
+/// pipelines without ever tripping the validation layer.
+fn arb_stratified_program() -> impl Strategy<Value = Program> {
+    let a_fact = (0usize..5, 0usize..5);
+    let b_fact = 0usize..5;
+    (
+        proptest::collection::vec(a_fact, 0..15),
+        proptest::collection::vec(b_fact, 0..6),
+        0u32..256,
+    )
+        .prop_map(|(a, b, mask)| {
+            let mut src = String::new();
+            for (x, y) in a {
+                src.push_str(&format!("a(c{x}, c{y}).\n"));
+            }
+            for x in b {
+                src.push_str(&format!("b(c{x}).\n"));
+            }
+            let templates = [
+                "t(X, Y) :- a(X, Y).",
+                "t(X, Z) :- a(X, Y), t(Y, Z).",
+                "s(X) :- b(X).",
+                "s(X) :- t(X, Y), b(Y).",
+                "u(X) :- b(X), not s(X).",
+                "u(X) :- s(X), X != c0.",
+                "v(X, Y) :- t(X, Y), not u(X).",
+                "w(X) :- u(X), not t(X, X).",
+            ];
+            for (i, rule) in templates.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    src.push_str(rule);
+                    src.push('\n');
+                }
+            }
+            parse_program(&src).expect("generated program is valid")
+        })
+}
+
+fn all_facts(db: &Database) -> Vec<(String, Box<[Const]>)> {
     let mut out = Vec::new();
     for (pred, rel) in db.relations() {
         for f in rel.sorted() {
@@ -60,6 +101,46 @@ proptest! {
     }
 
     #[test]
+    fn parallel_equals_sequential_on_closure(p in arb_closure_program()) {
+        // threshold 0 forces the parallel path even on tiny deltas.
+        let seq = Engine::new(&p).unwrap().with_threads(1).run().unwrap();
+        for threads in [2usize, 4] {
+            let par = Engine::new(&p)
+                .unwrap()
+                .with_threads(threads)
+                .with_parallel_threshold(0)
+                .run()
+                .unwrap();
+            prop_assert_eq!(all_facts(&seq), all_facts(&par));
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_stratified(p in arb_stratified_program()) {
+        let seq = Engine::new(&p).unwrap().with_threads(1).run().unwrap();
+        for threads in [2usize, 3, 8] {
+            let par = Engine::new(&p)
+                .unwrap()
+                .with_threads(threads)
+                .with_parallel_threshold(0)
+                .run()
+                .unwrap();
+            prop_assert_eq!(all_facts(&seq), all_facts(&par));
+        }
+    }
+
+    #[test]
+    fn strategies_agree_on_stratified(p in arb_stratified_program()) {
+        let semi = Engine::new(&p).unwrap().run().unwrap();
+        let naive = Engine::new(&p)
+            .unwrap()
+            .with_strategy(EvalStrategy::Naive)
+            .run()
+            .unwrap();
+        prop_assert_eq!(all_facts(&semi), all_facts(&naive));
+    }
+
+    #[test]
     fn model_is_closed_under_rules(p in arb_closure_program()) {
         // Applying every rule to the fixpoint database adds nothing new:
         // re-running the engine seeded with its own output is idempotent.
@@ -75,7 +156,7 @@ proptest! {
         for e in edges.iter() {
             for q in paths.iter() {
                 if e[1] == q[0] {
-                    let composed = vec![e[0].clone(), q[1].clone()];
+                    let composed = vec![e[0], q[1]];
                     prop_assert!(paths.contains(&composed));
                 }
             }
@@ -92,7 +173,7 @@ proptest! {
         let unreach = db.relation("unreach").unwrap_or(&empty);
         for x in nodes.iter() {
             for y in nodes.iter() {
-                let pair = vec![x[0].clone(), y[0].clone()];
+                let pair = vec![x[0], y[0]];
                 let has_path = paths.contains(&pair);
                 let has_unreach = unreach.contains(&pair);
                 prop_assert_eq!(has_path, !has_unreach);

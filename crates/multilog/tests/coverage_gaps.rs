@@ -57,8 +57,10 @@ fn variable_level_heads_without_cau() {
     // And the reduction agrees.
     let red = ReducedEngine::new(&db, "s").unwrap();
     assert_eq!(
-        op.solve_text("L[bulletin(all : note -C-> posted)]").unwrap(),
-        red.solve_text("L[bulletin(all : note -C-> posted)]").unwrap()
+        op.solve_text("L[bulletin(all : note -C-> posted)]")
+            .unwrap(),
+        red.solve_text("L[bulletin(all : note -C-> posted)]")
+            .unwrap()
     );
 }
 
@@ -136,9 +138,7 @@ fn reduction_program_roundtrips_through_datalog_parser() {
     // Datalog crate's parser — for every example we ship.
     for src in [
         multilog_core::examples::D1_SOURCE.to_owned(),
-        multilog_core::examples::encode_relation(
-            &multilog_mlsrel::mission::mission_relation().1,
-        ),
+        multilog_core::examples::encode_relation(&multilog_mlsrel::mission::mission_relation().1),
     ] {
         let db = parse_database(&src).unwrap();
         let red = ReducedEngine::new(&db, "s").unwrap();

@@ -1,0 +1,400 @@
+//! Value-generation strategies: the core trait and the built-in
+//! implementations (integer ranges, tuples, arrays, `Just`, unions,
+//! simple regex-like string patterns).
+
+use std::ops::{Range, RangeInclusive};
+
+/// The generator driving a test run (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, n)`; `n > 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+}
+
+/// A generator of random values of one type.
+///
+/// Object-safe core (`generate`); the combinators require `Sized`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies (see `prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Build a union; panics on an empty arm list.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let r = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + r) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let r = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + r) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple!(A: 0);
+impl_tuple!(A: 0, B: 1);
+impl_tuple!(A: 0, B: 1, C: 2);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|i| self[i].generate(rng))
+    }
+}
+
+/// Size specification for collection strategies.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl SizeRange {
+    pub(crate) fn sample(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+/// `any::<T>()`: the full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary {
+    /// The strategy type returned by [`Arbitrary::arbitrary`].
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-range strategy for primitive types (see [`Arbitrary`]).
+pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(std::marker::PhantomData)
+    }
+}
+
+/// String strategies from `&'static str` regex-like patterns.
+///
+/// Supported syntax (the subset this workspace's tests use):
+/// `[a-z]` character classes (single range), `\PC` (any printable
+/// character), and the postfix quantifiers `?` (0 or 1) and `*`
+/// (0 to 39). Any other character generates itself literally.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let elements = parse_pattern(self);
+        let mut out = String::new();
+        for (elem, quant) in elements {
+            let reps = match quant {
+                Quant::One => 1,
+                Quant::Opt => rng.below(2) as usize,
+                Quant::Star => rng.below(40) as usize,
+            };
+            for _ in 0..reps {
+                out.push(elem.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+#[derive(Clone)]
+enum Elem {
+    Class(char, char),
+    AnyPrintable,
+    Literal(char),
+}
+
+#[derive(Clone, Copy)]
+enum Quant {
+    One,
+    Opt,
+    Star,
+}
+
+impl Elem {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            Elem::Class(lo, hi) => {
+                let span = (*hi as u32 - *lo as u32) + 1;
+                char::from_u32(*lo as u32 + rng.below(u64::from(span)) as u32).unwrap_or(*lo)
+            }
+            Elem::AnyPrintable => {
+                // A spread of ASCII, punctuation that matters to the
+                // parsers, and a few multibyte characters.
+                const POOL: &[char] = &[
+                    'a', 'z', 'A', 'Z', '0', '9', '_', ' ', '\t', '(', ')', ',', '.', ':', '-',
+                    '?', '!', '=', '<', '>', '+', '*', '/', '%', '"', '\\', '\'', '[', ']', '~',
+                    'é', 'λ', '中', '∀',
+                ];
+                POOL[rng.below(POOL.len() as u64) as usize]
+            }
+            Elem::Literal(c) => *c,
+        }
+    }
+}
+
+fn parse_pattern(pat: &str) -> Vec<(Elem, Quant)> {
+    let mut out: Vec<(Elem, Quant)> = Vec::new();
+    let mut chars = pat.chars().peekable();
+    while let Some(c) = chars.next() {
+        let elem = match c {
+            '[' => {
+                let lo = chars.next().unwrap_or('a');
+                let elem = if chars.peek() == Some(&'-') {
+                    chars.next();
+                    let hi = chars.next().unwrap_or(lo);
+                    Elem::Class(lo, hi)
+                } else {
+                    Elem::Literal(lo)
+                };
+                while let Some(&c) = chars.peek() {
+                    chars.next();
+                    if c == ']' {
+                        break;
+                    }
+                }
+                elem
+            }
+            '\\' => match chars.next() {
+                Some('P') => {
+                    // `\PC`: any printable character.
+                    if chars.peek() == Some(&'C') {
+                        chars.next();
+                    }
+                    Elem::AnyPrintable
+                }
+                Some(other) => Elem::Literal(other),
+                None => Elem::Literal('\\'),
+            },
+            other => Elem::Literal(other),
+        };
+        let quant = match chars.peek() {
+            Some('?') => {
+                chars.next();
+                Quant::Opt
+            }
+            Some('*') => {
+                chars.next();
+                Quant::Star
+            }
+            _ => Quant::One,
+        };
+        out.push((elem, quant));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let v = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let v = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&v));
+            let v = (0usize..=4).generate(&mut rng);
+            assert!(v <= 4);
+        }
+    }
+
+    #[test]
+    fn pattern_strategies() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..100 {
+            let s = "[a-e]".generate(&mut rng);
+            assert_eq!(s.len(), 1);
+            assert!(('a'..='e').contains(&s.chars().next().unwrap()));
+            let s = "[k-m][0-9]?".generate(&mut rng);
+            assert!(!s.is_empty() && s.chars().count() <= 2);
+            let _ = "\\PC*".generate(&mut rng);
+        }
+    }
+
+    #[test]
+    fn union_and_map() {
+        let mut rng = TestRng::new(3);
+        let s = crate::prop_oneof![Just("x"), Just("y")];
+        for _ in 0..20 {
+            let v = s.generate(&mut rng);
+            assert!(v == "x" || v == "y");
+        }
+        let m = (0usize..3).prop_map(|v| v * 10);
+        for _ in 0..20 {
+            assert!(m.generate(&mut rng) % 10 == 0);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the tiny subset of the rand 0.9 API it actually uses, backed by
+//! a SplitMix64 generator. It is **not** cryptographically secure and is
+//! not stream-compatible with upstream `rand`; it only promises good
+//! statistical behaviour and determinism for a given seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Concrete generators.
+pub mod rngs {
+    /// A deterministic 64-bit generator (SplitMix64).
+    ///
+    /// Named `StdRng` for drop-in compatibility with `rand::rngs::StdRng`
+    /// call sites; the output stream differs from upstream.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+impl StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (public domain, Sebastiano Vigna).
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+}
+
+/// Types that `random_range` can sample uniformly.
+pub trait SampleUniform: Copy {
+    /// Sample uniformly from `[low, high)`; `high > low`.
+    fn sample_half_open(rng: &mut StdRng, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut StdRng, low: Self, high: Self) -> Self {
+                assert!(low < high, "empty range in random_range");
+                let span = (high as i128 - low as i128) as u128;
+                // Widening-multiply rejection-free mapping is overkill
+                // here; modulo bias is negligible for the span sizes the
+                // workloads use (far below 2^32).
+                let r = rng.next_u64() as u128 % span;
+                (low as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+/// The sampling surface (subset of `rand::Rng`).
+pub trait Rng {
+    /// Uniform sample from a half-open range.
+    fn random_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T;
+    /// Bernoulli trial with success probability `p` (clamped to [0, 1]).
+    fn random_bool(&mut self, p: f64) -> bool;
+    /// A uniformly random `u64`.
+    fn random_u64(&mut self) -> u64;
+}
+
+impl Rng for StdRng {
+    fn random_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample_half_open(self, range.start, range.end)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+
+    fn random_u64(&mut self) -> u64 {
+        self.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_u64(), b.random_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.random_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn bool_probabilities_roughly_hold() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.2)).count();
+        assert!((1_500..2_500).contains(&hits), "got {hits}");
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+}
