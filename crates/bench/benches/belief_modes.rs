@@ -2,6 +2,9 @@
 //! scale: sweep relation size, lattice depth, and polyinstantiation rate
 //! for each of the three modes.
 
+// Benchmark harness: panicking on setup failure is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

@@ -3,6 +3,9 @@
 //! downward-inheritance candidates, so its cost scales with the number of
 //! higher facts whose columns are visible below.
 
+// Benchmark harness: panicking on setup failure is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -28,7 +31,7 @@ fn engine(db: &MultiLogDb, filter: bool) -> MultiLogEngine {
         EngineOptions {
             enable_filter: filter,
             enable_filter_null: filter,
-            fact_limit: 0,
+            ..EngineOptions::default()
         },
     )
     .expect("evaluates")

@@ -1,6 +1,9 @@
 //! Ablation: memoised transitive-closure dominance vs lattice size and
 //! shape (chains, fans, and Bell–LaPadula product lattices).
 
+// Benchmark harness: panicking on setup failure is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

@@ -5,6 +5,9 @@
 //! Both pipelines include database evaluation and one query, matching how
 //! the front-end architecture of §6 would serve an ad hoc query.
 
+// Benchmark harness: panicking on setup failure is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

@@ -1,6 +1,9 @@
 //! Cost decomposition of the §6 front-end: τ translation + axiom
 //! generation, Datalog parsing, and fixpoint evaluation.
 
+// Benchmark harness: panicking on setup failure is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

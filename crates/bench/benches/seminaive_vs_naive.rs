@@ -1,6 +1,9 @@
 //! Ablation for the Datalog substrate (the CORAL substitute): semi-naive
 //! vs naive bottom-up evaluation on recursive workloads.
 
+// Benchmark harness: panicking on setup failure is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

@@ -1,6 +1,9 @@
 //! Figures 2–3 at scale: Jajodia–Sandhu view computation (σ +
 //! subsumption elimination) vs relation size and polyinstantiation rate.
 
+// Benchmark harness: panicking on setup failure is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

@@ -6,6 +6,9 @@
 //! cargo run --release -p multilog-bench --example timing
 //! ```
 
+// Benchmark harness: panicking on setup failure is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use std::time::Instant;
 
 fn main() {

@@ -61,11 +61,17 @@ fn tc_grid_src(g: usize) -> String {
 }
 
 /// Run a plain Datalog workload `repeat` times, reporting the best run.
-fn run_datalog(name: &'static str, src: &str, repeat: usize) -> WorkloadResult {
+/// `configure` customizes the engine (used for the guarded variant).
+fn run_datalog(
+    name: &'static str,
+    src: &str,
+    repeat: usize,
+    configure: impl Fn(Engine) -> Engine,
+) -> WorkloadResult {
     let program = parse_program(src).expect("workload parses");
     let mut best: Option<WorkloadResult> = None;
     for _ in 0..repeat {
-        let engine = Engine::new(&program).expect("workload stratifies");
+        let engine = configure(Engine::new(&program).expect("workload stratifies"));
         let start = Instant::now();
         let (db, stats) = engine.run_with_stats().expect("workload evaluates");
         let wall = start.elapsed();
@@ -83,6 +89,70 @@ fn run_datalog(name: &'static str, src: &str, repeat: usize) -> WorkloadResult {
         }
     }
     best.expect("repeat >= 1")
+}
+
+/// Measure tc_chain plain and with every guard armed (deadline, fact
+/// budget, cancellation token), interleaving the two configurations in
+/// one loop after a shared warm-up so allocator/cache state cannot bias
+/// either side.
+/// Returns the plain and guarded results plus the overhead in percent,
+/// computed from *median* wall times (best-of is too sensitive to one
+/// lucky scheduling run to difference two configurations).
+fn run_guard_overhead(src: &str, repeat: usize) -> (WorkloadResult, WorkloadResult, f64) {
+    let program = parse_program(src).expect("workload parses");
+    let _ = Engine::new(&program)
+        .expect("workload stratifies")
+        .run()
+        .expect("warm-up evaluates");
+    let mut best: [Option<WorkloadResult>; 2] = [None, None];
+    let mut walls: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    let names = ["tc_chain", "tc_chain_guarded"];
+    for _ in 0..repeat {
+        for (slot, name) in names.iter().enumerate() {
+            let mut engine = Engine::new(&program).expect("workload stratifies");
+            if slot == 1 {
+                engine = engine
+                    .with_deadline(std::time::Duration::from_secs(3600))
+                    .with_fact_limit(100_000_000)
+                    .with_cancel_token(multilog_datalog::CancelToken::new());
+            }
+            let start = Instant::now();
+            let (db, stats) = engine.run_with_stats().expect("workload evaluates");
+            let wall = start.elapsed();
+            let facts = db.fact_count();
+            let result = WorkloadResult {
+                name,
+                facts,
+                iterations: stats.iterations,
+                wall_ms: wall.as_secs_f64() * 1e3,
+                facts_per_sec: facts as f64 / wall.as_secs_f64(),
+            };
+            walls[slot].push(result.wall_ms);
+            if best[slot]
+                .as_ref()
+                .is_none_or(|b| result.wall_ms < b.wall_ms)
+            {
+                best[slot] = Some(result);
+            }
+        }
+    }
+    // Each iteration ran the two configurations back to back, so the
+    // per-iteration ratio cancels machine drift; the median ratio then
+    // shrugs off scheduling outliers.
+    let [plain_walls, guarded_walls] = walls;
+    let mut ratios: Vec<f64> = plain_walls
+        .iter()
+        .zip(&guarded_walls)
+        .map(|(p, g)| g / p)
+        .collect();
+    ratios.sort_by(f64::total_cmp);
+    let overhead_pct = (ratios[ratios.len() / 2] - 1.0) * 100.0;
+    let [plain, guarded] = best;
+    (
+        plain.expect("repeat >= 1"),
+        guarded.expect("repeat >= 1"),
+        overhead_pct,
+    )
 }
 
 /// Run the Figure-12 reduction workload `repeat` times (best run).
@@ -138,7 +208,7 @@ fn baseline_field(baseline: &str, name: &str, field: &str) -> Option<f64> {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_pr1.json");
+    let mut out_path = String::from("BENCH_pr2.json");
     let mut baseline_path: Option<String> = None;
     let mut repeat = 3usize;
     let mut argv = std::env::args().skip(1);
@@ -164,13 +234,22 @@ fn main() {
         std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("cannot read baseline {p}: {e}"))
     });
 
+    // tc_chain_guarded re-runs tc_chain with every guard armed (deadline,
+    // fact budget, cancellation token) to measure the cost of the checks
+    // that now sit inside the join loop.
+    let (tc_chain, tc_chain_guarded, guard_overhead_pct) =
+        run_guard_overhead(&tc_chain_src(256), repeat.max(9));
     let results = [
-        run_datalog("tc_chain", &tc_chain_src(256), repeat),
-        run_datalog("tc_grid", &tc_grid_src(16), repeat),
+        tc_chain,
+        tc_chain_guarded,
+        run_datalog("tc_grid", &tc_grid_src(16), repeat, |e| e),
         run_reduction(repeat),
     ];
 
-    let mut json = String::from("{\n  \"benchmark\": \"perf_smoke\",\n  \"workloads\": [\n");
+    let mut json = String::from("{\n  \"benchmark\": \"perf_smoke\",\n");
+    json.push_str(&format!(
+        "  \"guard_overhead_pct\": {guard_overhead_pct:.2},\n  \"workloads\": [\n"
+    ));
     for (i, r) in results.iter().enumerate() {
         json.push_str("    {\n");
         json.push_str(&format!("      \"name\": \"{}\",\n", r.name));

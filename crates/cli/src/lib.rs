@@ -36,26 +36,37 @@ pub struct Options {
     pub engine: EngineKind,
     /// Enable the Figure 13 σ filter (operational engine only).
     pub filter: bool,
+    /// Wall-clock deadline for evaluation and each query, in
+    /// milliseconds (`--deadline`).
+    pub deadline_ms: Option<u64>,
+    /// Budget on derived facts (`--max-facts`; engine default when
+    /// absent).
+    pub max_facts: Option<usize>,
+    /// Print per-rule / per-clause evaluation statistics (`--stats`).
+    pub stats: bool,
 }
 
 /// Errors surfaced to the CLI user.
 pub type CliResult = Result<String, String>;
+
+/// Translate CLI options into engine options (shared with the repl).
+pub fn engine_options(opts: &Options) -> EngineOptions {
+    EngineOptions {
+        enable_filter: opts.filter,
+        enable_filter_null: opts.filter,
+        fact_limit: opts.max_facts.unwrap_or(0),
+        deadline: opts.deadline_ms.map(std::time::Duration::from_millis),
+        cancel: None,
+    }
+}
 
 fn load(source: &str) -> Result<MultiLogDb, String> {
     parse_database(source).map_err(|e| format!("cannot parse database: {e}"))
 }
 
 fn operational(db: &MultiLogDb, opts: &Options) -> Result<MultiLogEngine, String> {
-    MultiLogEngine::with_options(
-        db,
-        &opts.user,
-        EngineOptions {
-            enable_filter: opts.filter,
-            enable_filter_null: opts.filter,
-            fact_limit: 0,
-        },
-    )
-    .map_err(|e| format!("evaluation failed: {e}"))
+    MultiLogEngine::with_options(db, &opts.user, engine_options(opts))
+        .map_err(|e| format!("evaluation failed: {e}"))
 }
 
 /// `multilog run <file>`: evaluate the database and answer every query in
@@ -85,14 +96,21 @@ pub fn run(source: &str, opts: &Options) -> CliResult {
                 let _ = writeln!(out, "?- query {}: {}", i + 1, render_goal(q));
                 let _ = write!(out, "{}", render_answers(&answers));
             }
+            if opts.stats {
+                let _ = write!(out, "{}", e.stats().summary());
+            }
         }
         EngineKind::Reduced => {
-            let e = ReducedEngine::new(&db, &opts.user).map_err(|e| e.to_string())?;
+            let e = ReducedEngine::with_options(&db, &opts.user, engine_options(opts))
+                .map_err(|e| e.to_string())?;
             let _ = writeln!(out, "reduced and evaluated at {}", opts.user);
             for (i, q) in queries.iter().enumerate() {
                 let answers = e.solve(q).map_err(|e| e.to_string())?;
                 let _ = writeln!(out, "?- query {}: {}", i + 1, render_goal(q));
                 let _ = write!(out, "{}", render_answers(&answers));
+            }
+            if opts.stats {
+                let _ = write!(out, "{}", e.stats().summary());
             }
         }
     }
@@ -102,16 +120,31 @@ pub fn run(source: &str, opts: &Options) -> CliResult {
 /// `multilog query <file> <goal>`: answer one ad hoc goal.
 pub fn query(source: &str, goal: &str, opts: &Options) -> CliResult {
     let db = load(source)?;
-    let answers = match opts.engine {
-        EngineKind::Operational => operational(&db, opts)?
-            .solve_text(goal)
-            .map_err(|e| format!("query failed: {e}"))?,
-        EngineKind::Reduced => ReducedEngine::new(&db, &opts.user)
-            .map_err(|e| e.to_string())?
-            .solve_text(goal)
-            .map_err(|e| format!("query failed: {e}"))?,
-    };
-    Ok(render_answers(&answers))
+    let mut out = String::new();
+    match opts.engine {
+        EngineKind::Operational => {
+            let e = operational(&db, opts)?;
+            let answers = e
+                .solve_text(goal)
+                .map_err(|e| format!("query failed: {e}"))?;
+            out.push_str(&render_answers(&answers));
+            if opts.stats {
+                out.push_str(&e.stats().summary());
+            }
+        }
+        EngineKind::Reduced => {
+            let e = ReducedEngine::with_options(&db, &opts.user, engine_options(opts))
+                .map_err(|e| e.to_string())?;
+            let answers = e
+                .solve_text(goal)
+                .map_err(|e| format!("query failed: {e}"))?;
+            out.push_str(&render_answers(&answers));
+            if opts.stats {
+                out.push_str(&e.stats().summary());
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// `multilog prove <file> <goal>`: print a Figure 9 proof tree for the
@@ -226,12 +259,18 @@ pub const USAGE: &str = "\
 multilog — belief reasoning in MLS deductive databases (Jamil, SIGMOD 1999)
 
 USAGE:
-  multilog run    <file.mlog> --user <level> [--engine op|red] [--filter]
-  multilog query  <file.mlog> --user <level> '<goal>' [--engine op|red] [--filter]
-  multilog prove  <file.mlog> --user <level> '<goal>' [--filter]
+  multilog run    <file.mlog> --user <level> [--engine op|red] [--filter] [GUARDS]
+  multilog query  <file.mlog> --user <level> '<goal>' [--engine op|red] [--filter] [GUARDS]
+  multilog prove  <file.mlog> --user <level> '<goal>' [--filter] [GUARDS]
   multilog reduce <file.mlog> --user <level>
   multilog check  <file.mlog> --user <level>
-  multilog repl   <file.mlog> --user <level> [--filter]
+  multilog repl   <file.mlog> --user <level> [--filter] [GUARDS]
+
+GUARDS:
+  --deadline <ms>    abort evaluation/queries after a wall-clock deadline
+  --max-facts <n>    abort once more than n facts have been derived
+  --stats            print per-rule (reduced) / per-clause (operational)
+                     evaluation counters after the answers
 
 GOALS:
   m-atom     s[p(k : a -c-> v)]
@@ -261,6 +300,19 @@ pub fn parse_args(args: &[String]) -> Result<(String, String, Option<String>, Op
                 other => return Err(format!("unknown engine {other:?}")),
             },
             "--filter" => opts.filter = true,
+            "--stats" => opts.stats = true,
+            "--deadline" => {
+                let v = it.next().ok_or("--deadline needs milliseconds")?;
+                opts.deadline_ms =
+                    Some(v.parse().map_err(|_| format!("invalid --deadline `{v}`"))?);
+            }
+            "--max-facts" => {
+                let v = it.next().ok_or("--max-facts needs a fact count")?;
+                opts.max_facts = Some(
+                    v.parse()
+                        .map_err(|_| format!("invalid --max-facts `{v}`"))?,
+                );
+            }
             other if file.is_none() => file = Some(other.to_owned()),
             other if goal.is_none() => goal = Some(other.to_owned()),
             other => return Err(format!("unexpected argument `{other}`")),
@@ -379,6 +431,56 @@ mod tests {
         assert!(parse_args(&to(&["run", "f.mlog"])).is_err()); // no user
         assert!(parse_args(&to(&["run", "f.mlog", "--user"])).is_err());
         assert!(parse_args(&to(&["run", "f.mlog", "--user", "s", "--engine", "zzz"])).is_err());
+    }
+
+    #[test]
+    fn parse_args_guard_flags() {
+        let args: Vec<String> = [
+            "run",
+            "db.mlog",
+            "--user",
+            "s",
+            "--deadline",
+            "250",
+            "--max-facts",
+            "9000",
+            "--stats",
+        ]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+        let (_, _, _, o) = parse_args(&args).unwrap();
+        assert_eq!(o.deadline_ms, Some(250));
+        assert_eq!(o.max_facts, Some(9000));
+        assert!(o.stats);
+        let bad: Vec<String> = ["run", "db.mlog", "--user", "s", "--deadline", "soon"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        assert!(parse_args(&bad).is_err());
+    }
+
+    #[test]
+    fn stats_flag_prints_counters() {
+        let mut o = opts("c");
+        o.stats = true;
+        let out = query(DB, "q(X)", &o).unwrap();
+        assert!(out.contains("operational evaluation:"), "{out}");
+        assert!(out.contains("clause:"), "{out}");
+        o.engine = EngineKind::Reduced;
+        let out = query(DB, "q(X)", &o).unwrap();
+        assert!(out.contains("rule (stratum"), "{out}");
+    }
+
+    #[test]
+    fn max_facts_budget_trips_as_error() {
+        let mut o = opts("c");
+        o.max_facts = Some(1);
+        let err = query(DB, "q(X)", &o).unwrap_err();
+        assert!(err.contains("fact budget"), "{err}");
+        o.engine = EngineKind::Reduced;
+        let err = query(DB, "q(X)", &o).unwrap_err();
+        assert!(err.contains("fact budget"), "{err}");
     }
 
     #[test]

@@ -4,7 +4,9 @@
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
-use multilog_cli::{check, parse_args, prove, query, reduce, repl_step, run, Options, USAGE};
+use multilog_cli::{
+    check, engine_options, parse_args, prove, query, reduce, repl_step, run, Options, USAGE,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,16 +49,8 @@ fn dispatch(args: &[String]) -> Result<String, String> {
 
 fn repl(source: &str, opts: &Options) -> Result<String, String> {
     let db = multilog_core::parse_database(source).map_err(|e| e.to_string())?;
-    let engine = multilog_core::MultiLogEngine::with_options(
-        &db,
-        &opts.user,
-        multilog_core::EngineOptions {
-            enable_filter: opts.filter,
-            enable_filter_null: opts.filter,
-            fact_limit: 0,
-        },
-    )
-    .map_err(|e| e.to_string())?;
+    let engine = multilog_core::MultiLogEngine::with_options(&db, &opts.user, engine_options(opts))
+        .map_err(|e| e.to_string())?;
     eprintln!(
         "multilog repl at level {} — {} m-facts, {} p-facts; `:prove <goal>` for trees; ^D to exit",
         opts.user,

@@ -46,12 +46,24 @@ pub enum DatalogError {
         /// Rendering of the right operand.
         right: String,
     },
-    /// Evaluation exceeded the configured fact limit (guard against
-    /// accidental fact explosions in generated programs).
-    FactLimitExceeded {
-        /// The configured limit.
-        limit: usize,
+    /// Evaluation exceeded the configured fact budget (guard against
+    /// accidental fact explosions in generated programs). Checked both
+    /// between iterations and inside the join loop, counting facts
+    /// materialized plus tuples buffered for the current round.
+    BudgetExceeded {
+        /// The configured budget.
+        budget: usize,
+        /// Facts materialized + buffered when the guard tripped.
+        used: usize,
     },
+    /// Evaluation exceeded its wall-clock deadline.
+    DeadlineExceeded {
+        /// The configured deadline, in milliseconds.
+        limit_ms: u64,
+    },
+    /// Evaluation was cancelled through a
+    /// [`CancelToken`](crate::CancelToken).
+    Cancelled,
     /// A query referenced a predicate that neither appears in the program
     /// nor was derived.
     UnknownPredicate(String),
@@ -98,9 +110,16 @@ impl fmt::Display for DatalogError {
                     "cannot order incomparable constants `{left}` and `{right}`"
                 )
             }
-            DatalogError::FactLimitExceeded { limit } => {
-                write!(f, "evaluation exceeded the fact limit of {limit}")
+            DatalogError::BudgetExceeded { budget, used } => {
+                write!(
+                    f,
+                    "evaluation exceeded the fact budget of {budget} ({used} used)"
+                )
             }
+            DatalogError::DeadlineExceeded { limit_ms } => {
+                write!(f, "evaluation exceeded the deadline of {limit_ms} ms")
+            }
+            DatalogError::Cancelled => write!(f, "evaluation was cancelled"),
             DatalogError::UnknownPredicate(p) => write!(f, "unknown predicate `{p}`"),
             DatalogError::ArithmeticFailure { op, lhs, rhs } => {
                 write!(f, "arithmetic failure: {lhs} {op} {rhs}")
@@ -139,7 +158,12 @@ mod tests {
                 left: "3".into(),
                 right: "foo".into(),
             },
-            DatalogError::FactLimitExceeded { limit: 10 },
+            DatalogError::BudgetExceeded {
+                budget: 10,
+                used: 11,
+            },
+            DatalogError::DeadlineExceeded { limit_ms: 250 },
+            DatalogError::Cancelled,
             DatalogError::UnknownPredicate("q".into()),
         ];
         for c in cases {

@@ -26,13 +26,18 @@
 //! iteration (the historical behaviour).
 
 use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::clause::Clause;
 use crate::fx::FxHashMap;
+use crate::guard::{CancelToken, EvalGuard};
 use crate::plan::{delta_positions, RulePlan, Scratch};
 use crate::program::Program;
 use crate::storage::{Database, Fact};
 use crate::term::SymId;
+use crate::trace::{TraceEvent, TraceSink};
 use crate::{DatalogError, Result};
 
 /// Evaluation strategy.
@@ -43,6 +48,44 @@ pub enum Strategy {
     /// Delta-driven evaluation; the default.
     #[default]
     SemiNaive,
+}
+
+/// Per-rule counters, aggregated over every variant and application of
+/// one source rule.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuleStats {
+    /// Rendering of the source rule.
+    pub rule: String,
+    /// Zero-based stratum the rule's head belongs to.
+    pub stratum: usize,
+    /// Rule-variant applications attempted.
+    pub applications: usize,
+    /// Head tuples produced, including duplicates.
+    pub facts_derived: usize,
+    /// Tuples genuinely new to the database.
+    pub facts_added: usize,
+    /// Derived tuples discarded as already present.
+    pub dedup_hits: usize,
+    /// Rows enumerated from scans (index probes and delta sweeps) while
+    /// evaluating this rule.
+    pub join_probes: u64,
+    /// Wall time spent in this rule's applications, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// Per-stratum counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StratumStats {
+    /// Zero-based stratum index.
+    pub stratum: usize,
+    /// Predicates defined in the stratum.
+    pub predicates: Vec<String>,
+    /// Fixpoint iterations the stratum ran.
+    pub iterations: usize,
+    /// Facts the stratum added.
+    pub facts_added: usize,
+    /// Wall time of the stratum, in nanoseconds.
+    pub wall_ns: u64,
 }
 
 /// Counters describing an evaluation run.
@@ -59,6 +102,51 @@ pub struct EvalStats {
     /// The join order chosen for every compiled rule variant, as
     /// `head [(Δ@pos)] :- [textual body indices in execution order]`.
     pub join_orders: Vec<String>,
+    /// Counters per source rule, in program order grouped by stratum.
+    pub per_rule: Vec<RuleStats>,
+    /// Counters per stratum, in evaluation order.
+    pub per_stratum: Vec<StratumStats>,
+}
+
+impl EvalStats {
+    /// Render the per-stratum and per-rule counters as a human-readable
+    /// table (used by the CLI's `--stats` flag).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "evaluation: {} iterations, {} applications, {} derived, {} added",
+            self.iterations, self.rule_applications, self.facts_considered, self.facts_added
+        );
+        for s in &self.per_stratum {
+            let _ = writeln!(
+                out,
+                "stratum {}: iterations={} facts_added={} wall_ms={:.3} [{}]",
+                s.stratum,
+                s.iterations,
+                s.facts_added,
+                s.wall_ns as f64 / 1e6,
+                s.predicates.join(", ")
+            );
+        }
+        for r in &self.per_rule {
+            let _ = writeln!(
+                out,
+                "rule (stratum {}): {}\n  apps={} derived={} added={} dedup_hits={} \
+                 join_probes={} wall_ms={:.3}",
+                r.stratum,
+                r.rule,
+                r.applications,
+                r.facts_derived,
+                r.facts_added,
+                r.dedup_hits,
+                r.join_probes,
+                r.wall_ns as f64 / 1e6,
+            );
+        }
+        out
+    }
 }
 
 /// A bottom-up evaluator for one program.
@@ -66,6 +154,9 @@ pub struct Engine<'p> {
     program: &'p Program,
     strategy: Strategy,
     fact_limit: usize,
+    deadline: Option<Duration>,
+    cancel: Option<CancelToken>,
+    trace: Option<Arc<dyn TraceSink>>,
     threads: usize,
     parallel_threshold: usize,
     strata: Vec<Vec<String>>,
@@ -84,6 +175,9 @@ impl<'p> Engine<'p> {
             program,
             strategy: Strategy::SemiNaive,
             fact_limit: 10_000_000,
+            deadline: None,
+            cancel: None,
+            trace: None,
             threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
             parallel_threshold: 512,
             strata: strat.iter().map(<[String]>::to_vec).collect(),
@@ -96,10 +190,41 @@ impl<'p> Engine<'p> {
         self
     }
 
-    /// Set the guard limit on the number of derived facts.
+    /// Set the guard budget on the number of derived facts. Checked both
+    /// between iterations and — flushed in batches — inside the join
+    /// inner loop, so one cross-product iteration cannot overrun the
+    /// budget unbounded. Trips as [`DatalogError::BudgetExceeded`].
     pub fn with_fact_limit(mut self, limit: usize) -> Self {
         self.fact_limit = limit;
         self
+    }
+
+    /// Set a wall-clock deadline for the whole run, checked every few
+    /// thousand join steps. Trips as [`DatalogError::DeadlineExceeded`].
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach a cooperative cancellation token, shared with every
+    /// parallel worker. Cancelling it makes the run return
+    /// [`DatalogError::Cancelled`] at the next guard check.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attach a trace sink receiving stratum, iteration, rule, and
+    /// guard-trip events.
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    fn emit(&self, event: &TraceEvent<'_>) {
+        if let Some(t) = &self.trace {
+            t.event(event);
+        }
     }
 
     /// Set the number of worker threads (default: the machine's available
@@ -144,6 +269,7 @@ impl<'p> Engine<'p> {
     fn run_inner(&self, restrict: Option<&HashSet<String>>) -> Result<(Database, EvalStats)> {
         let mut db = Database::new();
         let mut stats = EvalStats::default();
+        let guard = EvalGuard::new(self.deadline, self.fact_limit, self.cancel.clone());
 
         // Ensure every predicate has a (possibly empty) relation so that
         // negation over never-derived predicates works uniformly.
@@ -151,7 +277,7 @@ impl<'p> Engine<'p> {
             db.relation_mut(pred);
         }
 
-        for stratum in &self.strata {
+        for (stratum_idx, stratum) in self.strata.iter().enumerate() {
             let in_stratum: HashSet<SymId> = stratum.iter().map(|s| SymId::intern(s)).collect();
             // Rules whose head is in this stratum (and, when restricted,
             // in the query's dependency cone).
@@ -162,14 +288,51 @@ impl<'p> Engine<'p> {
                 .filter(|c| in_stratum.contains(&c.head.predicate))
                 .filter(|c| restrict.is_none_or(|n| n.contains(c.head.predicate.as_str())))
                 .collect();
-            match self.strategy {
+            self.emit(&TraceEvent::StratumStart {
+                stratum: stratum_idx,
+                predicates: stratum,
+            });
+            let started = Instant::now();
+            let iters_before = stats.iterations;
+            let added_before = stats.facts_added;
+            let result = match self.strategy {
                 Strategy::Naive => {
-                    self.run_stratum_naive(&rules, &mut db, &mut stats)?;
+                    self.run_stratum_naive(&rules, stratum_idx, &mut db, &mut stats, &guard)
                 }
-                Strategy::SemiNaive => {
-                    self.run_stratum_seminaive(&rules, &in_stratum, &mut db, &mut stats)?;
+                Strategy::SemiNaive => self.run_stratum_seminaive(
+                    &rules,
+                    &in_stratum,
+                    stratum_idx,
+                    &mut db,
+                    &mut stats,
+                    &guard,
+                ),
+            };
+            let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            stats.per_stratum.push(StratumStats {
+                stratum: stratum_idx,
+                predicates: stratum.clone(),
+                iterations: stats.iterations - iters_before,
+                facts_added: stats.facts_added - added_before,
+                wall_ns,
+            });
+            if let Err(err) = result {
+                if matches!(
+                    err,
+                    DatalogError::BudgetExceeded { .. }
+                        | DatalogError::DeadlineExceeded { .. }
+                        | DatalogError::Cancelled
+                ) {
+                    self.emit(&TraceEvent::GuardTrip { error: &err });
                 }
+                return Err(err);
             }
+            self.emit(&TraceEvent::StratumEnd {
+                stratum: stratum_idx,
+                iterations: stats.iterations - iters_before,
+                facts_added: stats.facts_added - added_before,
+                wall_ns,
+            });
         }
         Ok((db, stats))
     }
@@ -177,8 +340,10 @@ impl<'p> Engine<'p> {
     fn run_stratum_naive(
         &self,
         rules: &[&Clause],
+        stratum_idx: usize,
         db: &mut Database,
         stats: &mut EvalStats,
+        guard: &EvalGuard,
     ) -> Result<()> {
         let plans = rules
             .iter()
@@ -187,63 +352,87 @@ impl<'p> Engine<'p> {
         stats
             .join_orders
             .extend(plans.iter().map(|p| p.order_desc.clone()));
+        let rule_base = stats.per_rule.len();
+        stats.per_rule.extend(rules.iter().map(|r| RuleStats {
+            rule: r.to_string(),
+            stratum: stratum_idx,
+            ..RuleStats::default()
+        }));
         let mut scratches: Vec<Scratch> = plans.iter().map(RulePlan::new_scratch).collect();
         let mut derived: Vec<Fact> = Vec::new();
         loop {
             stats.iterations += 1;
-            let mut new_facts: Vec<(SymId, Fact)> = Vec::new();
-            for (plan, scratch) in plans.iter().zip(&mut scratches) {
+            guard.begin_round(db.fact_count());
+            let mut new_facts: Vec<(usize, SymId, Fact)> = Vec::new();
+            for (i, (plan, scratch)) in plans.iter().zip(&mut scratches).enumerate() {
                 stats.rule_applications += 1;
                 derived.clear();
-                plan.eval(db, None, scratch, &mut derived)?;
+                let started = Instant::now();
+                plan.eval(db, None, scratch, &mut derived, guard)?;
+                let ru = &mut stats.per_rule[rule_base + i];
+                ru.applications += 1;
+                ru.facts_derived += derived.len();
+                ru.join_probes += scratch.take_probes();
+                ru.wall_ns += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 stats.facts_considered += derived.len();
                 for f in derived.drain(..) {
-                    new_facts.push((plan.head_pred, f));
+                    new_facts.push((i, plan.head_pred, f));
                 }
             }
             let mut changed = false;
-            for (pred, fact) in new_facts {
+            for (i, pred, fact) in new_facts {
+                let ru = &mut stats.per_rule[rule_base + i];
                 if db.insert_id(pred, fact) {
                     stats.facts_added += 1;
+                    ru.facts_added += 1;
                     changed = true;
+                } else {
+                    ru.dedup_hits += 1;
                 }
             }
-            if db.fact_count() > self.fact_limit {
-                return Err(DatalogError::FactLimitExceeded {
-                    limit: self.fact_limit,
-                });
-            }
+            guard.check_db(db.fact_count())?;
             if !changed {
                 return Ok(());
             }
         }
     }
 
+    #[allow(clippy::too_many_lines)]
     fn run_stratum_seminaive(
         &self,
         rules: &[&Clause],
         in_stratum: &HashSet<SymId>,
+        stratum_idx: usize,
         db: &mut Database,
         stats: &mut EvalStats,
+        guard: &EvalGuard,
     ) -> Result<()> {
         // Compile the base plans and, for each body occurrence of a
         // same-stratum predicate, a delta variant. Cardinality estimates
-        // come from the database at stratum entry.
+        // come from the database at stratum entry. `*_rule` maps each
+        // plan back to its source rule for per-rule counters.
         let base = rules
             .iter()
             .map(|r| RulePlan::compile(r, None, db))
             .collect::<Result<Vec<_>>>()?;
-        let variants = rules
-            .iter()
-            .flat_map(|r| {
-                delta_positions(r, in_stratum)
-                    .into_iter()
-                    .map(|p| RulePlan::compile(r, Some(p), db))
-            })
-            .collect::<Result<Vec<_>>>()?;
+        let base_rule: Vec<usize> = (0..rules.len()).collect();
+        let mut variants = Vec::new();
+        let mut variant_rule = Vec::new();
+        for (ri, r) in rules.iter().enumerate() {
+            for p in delta_positions(r, in_stratum) {
+                variants.push(RulePlan::compile(r, Some(p), db)?);
+                variant_rule.push(ri);
+            }
+        }
         stats
             .join_orders
             .extend(base.iter().chain(&variants).map(|p| p.order_desc.clone()));
+        let rule_base = stats.per_rule.len();
+        stats.per_rule.extend(rules.iter().map(|r| RuleStats {
+            rule: r.to_string(),
+            stratum: stratum_idx,
+            ..RuleStats::default()
+        }));
         let mut base_scratches: Vec<Scratch> = base.iter().map(RulePlan::new_scratch).collect();
         let mut variant_scratches: Vec<Scratch> =
             variants.iter().map(RulePlan::new_scratch).collect();
@@ -252,6 +441,7 @@ impl<'p> Engine<'p> {
         // (covers facts and rules whose bodies only use lower strata).
         stats.iterations += 1;
         let round: Vec<(usize, Option<SymId>)> = (0..base.len()).map(|i| (i, None)).collect();
+        let mut added_before = stats.facts_added;
         let mut delta = self.apply_round(
             &base,
             &mut base_scratches,
@@ -260,15 +450,19 @@ impl<'p> Engine<'p> {
             db.fact_count(),
             db,
             stats,
+            guard,
+            &base_rule,
+            rule_base,
         )?;
+        self.emit(&TraceEvent::IterationEnd {
+            stratum: stratum_idx,
+            iteration: 1,
+            facts_added: stats.facts_added - added_before,
+        });
 
         while !delta.is_empty() {
             stats.iterations += 1;
-            if db.fact_count() > self.fact_limit {
-                return Err(DatalogError::FactLimitExceeded {
-                    limit: self.fact_limit,
-                });
-            }
+            guard.check_db(db.fact_count())?;
             // Variants whose delta relation is non-empty this iteration.
             let round: Vec<(usize, Option<SymId>)> = variants
                 .iter()
@@ -280,6 +474,7 @@ impl<'p> Engine<'p> {
                 .map(|(i, p)| (i, p.delta_pred))
                 .collect();
             let input: usize = delta.values().map(Vec::len).sum();
+            added_before = stats.facts_added;
             let next = self.apply_round(
                 &variants,
                 &mut variant_scratches,
@@ -288,7 +483,15 @@ impl<'p> Engine<'p> {
                 input,
                 db,
                 stats,
+                guard,
+                &variant_rule,
+                rule_base,
             )?;
+            self.emit(&TraceEvent::IterationEnd {
+                stratum: stratum_idx,
+                iteration: stats.iterations,
+                facts_added: stats.facts_added - added_before,
+            });
             delta = next;
         }
         Ok(())
@@ -310,50 +513,78 @@ impl<'p> Engine<'p> {
         input_facts: usize,
         db: &mut Database,
         stats: &mut EvalStats,
+        guard: &EvalGuard,
+        rule_of: &[usize],
+        rule_base: usize,
     ) -> Result<FxHashMap<SymId, Vec<Fact>>> {
         let mut next_delta: FxHashMap<SymId, Vec<Fact>> = FxHashMap::default();
+        guard.begin_round(db.fact_count());
         let parallel =
             self.threads > 1 && round.len() >= 2 && input_facts >= self.parallel_threshold;
         if parallel {
-            // Workers evaluate against an immutable snapshot; the main
-            // thread merges in variant order.
+            // Workers evaluate against an immutable snapshot, sharing one
+            // guard (deadline, budget counters, cancellation token); the
+            // main thread merges in variant order.
             let snapshot: &Database = db;
             let workers = self.threads.min(round.len());
-            let mut results: Vec<(usize, Result<Vec<Fact>>)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| {
-                        let mine: Vec<(usize, Option<SymId>)> =
-                            round.iter().skip(w).step_by(workers).copied().collect();
-                        scope.spawn(move || {
-                            mine.into_iter()
-                                .map(|(idx, dpred)| {
-                                    let plan = &plans[idx];
-                                    let drel = dpred.map(|d| delta[&d].as_slice());
-                                    let mut scratch = plan.new_scratch();
-                                    let mut out = Vec::new();
-                                    let res = plan
-                                        .eval(snapshot, drel, &mut scratch, &mut out)
-                                        .map(|()| out);
-                                    (idx, res)
-                                })
-                                .collect::<Vec<_>>()
+            let mut results: Vec<(usize, Result<Vec<Fact>>, u64, u64)> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            let mine: Vec<(usize, Option<SymId>)> =
+                                round.iter().skip(w).step_by(workers).copied().collect();
+                            scope.spawn(move || {
+                                mine.into_iter()
+                                    .map(|(idx, dpred)| {
+                                        let plan = &plans[idx];
+                                        let drel = dpred.map(|d| delta[&d].as_slice());
+                                        let mut scratch = plan.new_scratch();
+                                        let mut out = Vec::new();
+                                        let started = Instant::now();
+                                        let res = plan
+                                            .eval(snapshot, drel, &mut scratch, &mut out, guard)
+                                            .map(|()| out);
+                                        let wall_ns = u64::try_from(started.elapsed().as_nanos())
+                                            .unwrap_or(u64::MAX);
+                                        (idx, res, scratch.take_probes(), wall_ns)
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("evaluation worker panicked"))
-                    .collect()
-            });
-            results.sort_by_key(|&(idx, _)| idx);
-            for (idx, res) in results {
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("evaluation worker panicked"))
+                        .collect()
+                });
+            results.sort_by_key(|&(idx, ..)| idx);
+            for (idx, res, probes, wall_ns) in results {
                 stats.rule_applications += 1;
+                {
+                    let ru = &mut stats.per_rule[rule_base + rule_of[idx]];
+                    ru.applications += 1;
+                    ru.join_probes += probes;
+                    ru.wall_ns += wall_ns;
+                }
                 let derived = res?;
                 stats.facts_considered += derived.len();
+                let n_derived = derived.len();
+                let added_before = stats.facts_added;
                 let head = plans[idx].head_pred;
                 for f in derived {
                     self.insert_derived(head, f, db, stats, &mut next_delta);
                 }
+                let added = stats.facts_added - added_before;
+                let ru = &mut stats.per_rule[rule_base + rule_of[idx]];
+                ru.facts_derived += n_derived;
+                ru.facts_added += added;
+                ru.dedup_hits += n_derived - added;
+                self.emit(&TraceEvent::RuleApplied {
+                    rule: &plans[idx].order_desc,
+                    derived: n_derived,
+                    added,
+                    wall_ns,
+                });
             }
         } else {
             let mut derived: Vec<Fact> = Vec::new();
@@ -361,12 +592,30 @@ impl<'p> Engine<'p> {
                 stats.rule_applications += 1;
                 let drel = dpred.map(|d| delta[&d].as_slice());
                 derived.clear();
-                plans[idx].eval(db, drel, &mut scratches[idx], &mut derived)?;
+                let started = Instant::now();
+                plans[idx].eval(db, drel, &mut scratches[idx], &mut derived, guard)?;
+                let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 stats.facts_considered += derived.len();
+                let n_derived = derived.len();
+                let added_before = stats.facts_added;
                 let head = plans[idx].head_pred;
                 for f in derived.drain(..) {
                     self.insert_derived(head, f, db, stats, &mut next_delta);
                 }
+                let added = stats.facts_added - added_before;
+                let ru = &mut stats.per_rule[rule_base + rule_of[idx]];
+                ru.applications += 1;
+                ru.join_probes += scratches[idx].take_probes();
+                ru.wall_ns += wall_ns;
+                ru.facts_derived += n_derived;
+                ru.facts_added += added;
+                ru.dedup_hits += n_derived - added;
+                self.emit(&TraceEvent::RuleApplied {
+                    rule: &plans[idx].order_desc,
+                    derived: n_derived,
+                    added,
+                    wall_ns,
+                });
             }
         }
         Ok(next_delta)
@@ -528,7 +777,194 @@ mod tests {
             .with_fact_limit(100)
             .run()
             .unwrap_err();
-        assert!(matches!(err, DatalogError::FactLimitExceeded { .. }));
+        assert!(matches!(
+            err,
+            DatalogError::BudgetExceeded { budget: 100, .. }
+        ));
+    }
+
+    /// Divergent programs: unbounded successor recursion. Never reaches a
+    /// fixpoint, so only a guard can stop it.
+    fn divergent() -> crate::Program {
+        parse_program("n(0). n(M) :- n(N), M = N + 1.").unwrap()
+    }
+
+    #[test]
+    fn deadline_stops_divergent_program() {
+        let p = divergent();
+        let err = Engine::new(&p)
+            .unwrap()
+            .with_deadline(std::time::Duration::from_millis(50))
+            .run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DatalogError::DeadlineExceeded { limit_ms: 50 }
+        ));
+    }
+
+    #[test]
+    fn budget_stops_divergent_program() {
+        let p = divergent();
+        let err = Engine::new(&p)
+            .unwrap()
+            .with_fact_limit(10_000)
+            .run()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DatalogError::BudgetExceeded { budget: 10_000, .. }
+        ));
+    }
+
+    #[test]
+    fn budget_trips_inside_one_cross_product_iteration() {
+        // A single rule application emits 10^4 tuples; with a budget of
+        // 500 the guard must trip mid-application, well before the
+        // between-iteration check would see the materialized database.
+        let mut src = String::new();
+        for i in 0..10 {
+            src.push_str(&format!("n({i}). "));
+        }
+        src.push_str("p(A, B, C, D) :- n(A), n(B), n(C), n(D).");
+        let p = parse_program(&src).unwrap();
+        let err = Engine::new(&p)
+            .unwrap()
+            .with_fact_limit(500)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, DatalogError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn cancel_token_stops_evaluation() {
+        let p = divergent();
+        let token = crate::CancelToken::new();
+        let canceller = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            canceller.cancel();
+        });
+        let err = Engine::new(&p)
+            .unwrap()
+            .with_cancel_token(token)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, DatalogError::Cancelled));
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree_on_budget_trip() {
+        let p = divergent();
+        for (threads, threshold) in [(1, 512), (4, 0)] {
+            let err = Engine::new(&p)
+                .unwrap()
+                .with_threads(threads)
+                .with_parallel_threshold(threshold)
+                .with_fact_limit(5_000)
+                .run()
+                .unwrap_err();
+            assert!(
+                matches!(err, DatalogError::BudgetExceeded { budget: 5_000, .. }),
+                "threads={threads}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_workers_observe_cancellation() {
+        let p = divergent();
+        let token = crate::CancelToken::new();
+        token.cancel(); // already cancelled: first guard check trips
+        let err = Engine::new(&p)
+            .unwrap()
+            .with_threads(4)
+            .with_parallel_threshold(0)
+            .with_cancel_token(token)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, DatalogError::Cancelled));
+    }
+
+    #[test]
+    fn per_rule_and_per_stratum_stats_populated() {
+        let p = parse_program(
+            "edge(a, b). edge(b, c).\
+             path(X, Y) :- edge(X, Y).\
+             path(X, Y) :- edge(X, Z), path(Z, Y).",
+        )
+        .unwrap();
+        let (_, stats) = Engine::new(&p).unwrap().run_with_stats().unwrap();
+        assert!(!stats.per_stratum.is_empty());
+        assert_eq!(
+            stats
+                .per_stratum
+                .iter()
+                .map(|s| s.iterations)
+                .sum::<usize>(),
+            stats.iterations
+        );
+        assert_eq!(
+            stats
+                .per_stratum
+                .iter()
+                .map(|s| s.facts_added)
+                .sum::<usize>(),
+            stats.facts_added
+        );
+        // Each source rule (incl. facts) has a per-rule entry.
+        assert_eq!(stats.per_rule.len(), p.clauses().len());
+        assert_eq!(
+            stats.per_rule.iter().map(|r| r.facts_added).sum::<usize>(),
+            stats.facts_added
+        );
+        assert_eq!(
+            stats
+                .per_rule
+                .iter()
+                .map(|r| r.facts_derived)
+                .sum::<usize>(),
+            stats.facts_considered
+        );
+        let recursive = stats
+            .per_rule
+            .iter()
+            .find(|r| r.rule.contains("path(X, Z)") || r.rule.contains("path"))
+            .expect("path rule present");
+        assert!(recursive.applications > 0);
+        assert!(!stats.summary().is_empty());
+    }
+
+    #[test]
+    fn recording_trace_sees_stratum_and_rule_events() {
+        let p = parse_program(
+            "edge(a, b). edge(b, c).\
+             path(X, Y) :- edge(X, Y).\
+             path(X, Y) :- edge(X, Z), path(Z, Y).",
+        )
+        .unwrap();
+        let sink = std::sync::Arc::new(crate::RecordingTrace::new());
+        let trace: std::sync::Arc<dyn crate::TraceSink> = sink.clone();
+        Engine::new(&p).unwrap().with_trace(trace).run().unwrap();
+        let events = sink.events();
+        assert!(events.iter().any(|e| e.contains("StratumStart")));
+        assert!(events.iter().any(|e| e.contains("RuleApplied")));
+        assert!(events.iter().any(|e| e.contains("StratumEnd")));
+    }
+
+    #[test]
+    fn guard_trip_emits_trace_event() {
+        let p = divergent();
+        let sink = std::sync::Arc::new(crate::RecordingTrace::new());
+        let trace: std::sync::Arc<dyn crate::TraceSink> = sink.clone();
+        let err = Engine::new(&p)
+            .unwrap()
+            .with_trace(trace)
+            .with_fact_limit(1_000)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, DatalogError::BudgetExceeded { .. }));
+        assert!(sink.events().iter().any(|e| e.contains("GuardTrip")));
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Evaluation guards: wall-clock deadlines, fact budgets, and
+//! cooperative cancellation.
+//!
+//! A single [`EvalGuard`] is created per evaluation run and shared (by
+//! reference) across every rule application, including the scoped worker
+//! threads of the parallel semi-naive path. Workers do not consult the
+//! guard on every row — each holds a [`GuardCursor`] that counts work
+//! locally and performs the (comparatively expensive) deadline / budget /
+//! cancellation check every [`CHECK_INTERVAL`] ticks, so the fast path is
+//! one increment and one predictable branch.
+//!
+//! The fact budget is enforced *inside* the join loop: emitted head
+//! tuples are flushed into a shared counter at every check, so a single
+//! cross-product iteration trips the budget after at most
+//! `CHECK_INTERVAL` tuples per worker beyond the limit — it no longer
+//! needs to survive until the between-iteration check. The budgeted
+//! quantity is `facts materialized + tuples buffered this round`, which
+//! is exactly what occupies memory while a round is in flight.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::{DatalogError, Result};
+
+/// How many cursor ticks elapse between two slow-path guard checks.
+pub(crate) const CHECK_INTERVAL: u32 = 4096;
+
+/// A cloneable cooperative cancellation token.
+///
+/// Cloning shares the underlying flag: cancelling any clone cancels the
+/// evaluation holding any other clone. Evaluation observes the flag at
+/// guard-check granularity and surfaces [`DatalogError::Cancelled`].
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Create a fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Shared guard state for one evaluation run.
+///
+/// Thread-safe: the parallel semi-naive workers share one guard by
+/// reference; the budget counters are atomics.
+#[derive(Debug)]
+pub(crate) struct EvalGuard {
+    deadline: Option<Instant>,
+    /// The configured deadline, kept for error reporting.
+    deadline_limit_ms: u64,
+    /// Maximum facts materialized + buffered; `usize::MAX` = unlimited.
+    budget: usize,
+    cancel: Option<CancelToken>,
+    /// Facts in the database when the current round began.
+    base_facts: AtomicUsize,
+    /// Head tuples emitted (including duplicates) this round, flushed
+    /// from cursors in batches.
+    pending: AtomicUsize,
+}
+
+impl EvalGuard {
+    pub(crate) fn new(
+        deadline: Option<Duration>,
+        budget: usize,
+        cancel: Option<CancelToken>,
+    ) -> Self {
+        EvalGuard {
+            deadline: deadline.map(|d| Instant::now() + d),
+            deadline_limit_ms: deadline.map_or(0, |d| d.as_millis() as u64),
+            budget,
+            cancel,
+            base_facts: AtomicUsize::new(0),
+            pending: AtomicUsize::new(0),
+        }
+    }
+
+    /// A guard that never trips; used by ad hoc query evaluation.
+    pub(crate) fn unlimited() -> Self {
+        EvalGuard::new(None, usize::MAX, None)
+    }
+
+    /// Reset the round-local budget counters. Called once per iteration
+    /// with the current database size.
+    pub(crate) fn begin_round(&self, db_facts: usize) {
+        self.base_facts.store(db_facts, Ordering::Relaxed);
+        self.pending.store(0, Ordering::Relaxed);
+    }
+
+    /// Between-iteration budget check against the materialized database.
+    pub(crate) fn check_db(&self, db_facts: usize) -> Result<()> {
+        if db_facts > self.budget {
+            return Err(DatalogError::BudgetExceeded {
+                budget: self.budget,
+                used: db_facts,
+            });
+        }
+        Ok(())
+    }
+
+    /// Slow-path check: cancellation, deadline, then budget. `emitted`
+    /// is the cursor's locally accumulated tuple count, folded into the
+    /// shared round counter here.
+    fn check(&self, emitted: usize) -> Result<()> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(DatalogError::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() > deadline {
+                return Err(DatalogError::DeadlineExceeded {
+                    limit_ms: self.deadline_limit_ms,
+                });
+            }
+        }
+        if self.budget != usize::MAX {
+            let pending = self.pending.fetch_add(emitted, Ordering::Relaxed) + emitted;
+            let used = self.base_facts.load(Ordering::Relaxed) + pending;
+            if used > self.budget {
+                return Err(DatalogError::BudgetExceeded {
+                    budget: self.budget,
+                    used,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-worker tick counter over an [`EvalGuard`].
+///
+/// Lives inside each evaluation scratch, so the join inner loop pays one
+/// increment per row and one per emitted tuple; the guard itself is
+/// consulted every [`CHECK_INTERVAL`] ticks and once more at the end of
+/// each rule application (`flush`).
+#[derive(Debug, Default)]
+pub(crate) struct GuardCursor {
+    ticks: u32,
+    emitted: usize,
+    /// Join probes (rows enumerated from scans) since the last take.
+    probes: u64,
+}
+
+impl GuardCursor {
+    pub(crate) fn new() -> Self {
+        GuardCursor::default()
+    }
+
+    /// Record one enumerated row of a scan.
+    #[inline]
+    pub(crate) fn probe(&mut self, guard: &EvalGuard) -> Result<()> {
+        self.probes += 1;
+        self.tick(1, guard)
+    }
+
+    /// Record `n` rows enumerated at once (negation probes).
+    #[inline]
+    pub(crate) fn probe_n(&mut self, n: u32, guard: &EvalGuard) -> Result<()> {
+        self.probes += u64::from(n);
+        self.tick(n, guard)
+    }
+
+    /// Record one emitted head tuple.
+    #[inline]
+    pub(crate) fn emit(&mut self, guard: &EvalGuard) -> Result<()> {
+        self.emitted += 1;
+        self.tick(1, guard)
+    }
+
+    #[inline]
+    fn tick(&mut self, n: u32, guard: &EvalGuard) -> Result<()> {
+        self.ticks = self.ticks.saturating_add(n);
+        if self.ticks >= CHECK_INTERVAL {
+            self.flush(guard)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Flush locally counted work into the guard and run the full check.
+    /// Called at the end of every rule application so short evaluations
+    /// still contribute to the round budget.
+    pub(crate) fn flush(&mut self, guard: &EvalGuard) -> Result<()> {
+        self.ticks = 0;
+        let emitted = std::mem::take(&mut self.emitted);
+        guard.check(emitted)
+    }
+
+    /// Take (and reset) the accumulated probe counter.
+    pub(crate) fn take_probes(&mut self) -> u64 {
+        std::mem::take(&mut self.probes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_shares_state_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn unlimited_guard_never_trips() {
+        let g = EvalGuard::unlimited();
+        let mut c = GuardCursor::new();
+        for _ in 0..(CHECK_INTERVAL * 3) {
+            c.emit(&g).unwrap();
+        }
+        c.flush(&g).unwrap();
+    }
+
+    #[test]
+    fn budget_trips_inside_a_single_application() {
+        let g = EvalGuard::new(None, 10, None);
+        g.begin_round(4);
+        let mut c = GuardCursor::new();
+        let mut result = Ok(());
+        for _ in 0..=CHECK_INTERVAL {
+            result = c.emit(&g);
+            if result.is_err() {
+                break;
+            }
+        }
+        assert!(matches!(
+            result,
+            Err(DatalogError::BudgetExceeded { budget: 10, .. })
+        ));
+    }
+
+    #[test]
+    fn cancelled_guard_reports_cancelled() {
+        let token = CancelToken::new();
+        token.cancel();
+        let g = EvalGuard::new(None, usize::MAX, Some(token));
+        let mut c = GuardCursor::new();
+        assert!(matches!(c.flush(&g), Err(DatalogError::Cancelled)));
+    }
+
+    #[test]
+    fn elapsed_deadline_reports_deadline_exceeded() {
+        let g = EvalGuard::new(Some(Duration::from_millis(0)), usize::MAX, None);
+        std::thread::sleep(Duration::from_millis(2));
+        let mut c = GuardCursor::new();
+        assert!(matches!(
+            c.flush(&g),
+            Err(DatalogError::DeadlineExceeded { limit_ms: 0 })
+        ));
+    }
+
+    #[test]
+    fn probes_accumulate_and_reset() {
+        let g = EvalGuard::unlimited();
+        let mut c = GuardCursor::new();
+        c.probe(&g).unwrap();
+        c.probe_n(4, &g).unwrap();
+        assert_eq!(c.take_probes(), 5);
+        assert_eq!(c.take_probes(), 0);
+    }
+}

@@ -19,6 +19,10 @@
 //!   evaluator exists so the semi-naive one can be validated against it
 //!   and ablated in the benchmark suite.
 //! * A recursive-descent parser for a conventional textual syntax.
+//! * Evaluation guards — wall-clock deadlines, fact budgets checked
+//!   inside the join loop, cooperative cancellation — surfacing as typed
+//!   errors, plus per-rule/per-stratum statistics and a [`TraceSink`]
+//!   for structured evaluation events.
 //!
 //! # Example
 //!
@@ -65,22 +69,26 @@ mod clause;
 mod error;
 mod eval;
 mod fx;
+mod guard;
 mod parser;
 mod plan;
 mod program;
 mod query;
 mod storage;
 mod term;
+mod trace;
 
 pub use atom::{ArithOp, Atom, CmpOp, Literal};
 pub use clause::Clause;
 pub use error::DatalogError;
-pub use eval::{Engine, EvalStats, Strategy};
+pub use eval::{Engine, EvalStats, RuleStats, Strategy, StratumStats};
+pub use guard::CancelToken;
 pub use parser::{parse_atom, parse_clause, parse_program, parse_query};
 pub use program::{Program, Stratification};
 pub use query::{run_query, Bindings, QueryAnswer};
 pub use storage::{Database, Relation};
 pub use term::{Const, SymId, Term};
+pub use trace::{NoopTrace, RecordingTrace, TraceEvent, TraceSink};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, DatalogError>;

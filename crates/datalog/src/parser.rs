@@ -208,12 +208,16 @@ fn lex(src: &str) -> Result<Vec<Token>> {
                     chars.next();
                     bump('=', &mut line, &mut col);
                 }
-                let op = match (ch, eq) {
-                    ('<', false) => CmpOp::Lt,
-                    ('<', true) => CmpOp::Le,
-                    ('>', false) => CmpOp::Gt,
-                    ('>', true) => CmpOp::Ge,
-                    _ => unreachable!(),
+                let op = if ch == '<' {
+                    if eq {
+                        CmpOp::Le
+                    } else {
+                        CmpOp::Lt
+                    }
+                } else if eq {
+                    CmpOp::Ge
+                } else {
+                    CmpOp::Gt
                 };
                 tokens.push(Token {
                     kind: TokenKind::Cmp(op),

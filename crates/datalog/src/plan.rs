@@ -25,6 +25,7 @@ use std::mem;
 
 use crate::atom::{ArithOp, CmpOp, Literal};
 use crate::clause::Clause;
+use crate::guard::{EvalGuard, GuardCursor};
 use crate::storage::{Database, Fact, Relation};
 use crate::term::{Const, SymId, Term};
 use crate::{DatalogError, Result};
@@ -108,6 +109,16 @@ pub(crate) struct Scratch {
     bindings: Vec<Const>,
     patterns: Vec<Vec<Option<Const>>>,
     locals: Vec<Vec<Const>>,
+    /// Guard tick state and probe counter for this plan's evaluations.
+    cursor: GuardCursor,
+}
+
+impl Scratch {
+    /// Take (and reset) the join-probe count accumulated since the last
+    /// call, for per-rule statistics.
+    pub(crate) fn take_probes(&mut self) -> u64 {
+        self.cursor.take_probes()
+    }
 }
 
 /// A compiled rule variant: slots, ordered steps, head projection.
@@ -432,6 +443,7 @@ impl RulePlan {
                     _ => Vec::new(),
                 })
                 .collect(),
+            cursor: GuardCursor::new(),
         }
     }
 
@@ -439,16 +451,21 @@ impl RulePlan {
     /// with duplicates) to `out`. `delta` supplies the delta facts when
     /// this is a semi-naive variant; deltas are plain fact lists (no
     /// indexes) because the planner schedules the delta scan first, where
-    /// it is enumerated rather than probed.
+    /// it is enumerated rather than probed. The `guard` is consulted at
+    /// tick granularity inside the join loop and once more on completion,
+    /// so deadline, budget, and cancellation trips surface from within a
+    /// single (possibly enormous) rule application.
     pub fn eval(
         &self,
         db: &Database,
         delta: Option<&[Fact]>,
         scratch: &mut Scratch,
         out: &mut Vec<Fact>,
+        guard: &EvalGuard,
     ) -> Result<()> {
         debug_assert_eq!(scratch.bindings.len(), self.n_slots);
-        self.exec(0, db, delta, scratch, out)
+        self.exec(0, db, delta, scratch, out, guard)?;
+        scratch.cursor.flush(guard)
     }
 
     fn exec(
@@ -458,8 +475,10 @@ impl RulePlan {
         delta: Option<&[Fact]>,
         scratch: &mut Scratch,
         out: &mut Vec<Fact>,
+        guard: &EvalGuard,
     ) -> Result<()> {
         let Some(s) = self.steps.get(step) else {
+            scratch.cursor.emit(guard)?;
             out.push(
                 self.head
                     .iter()
@@ -483,6 +502,10 @@ impl RulePlan {
                     let facts = delta.expect("delta variant evaluated without a delta");
                     let mut result = Ok(());
                     'facts: for fact in facts {
+                        result = scratch.cursor.probe(guard);
+                        if result.is_err() {
+                            break;
+                        }
                         for (i, col) in cols.iter().enumerate() {
                             match col {
                                 ScanCol::Const(c) => {
@@ -498,7 +521,7 @@ impl RulePlan {
                                 ScanCol::Bind(s) => scratch.bindings[*s as usize] = fact[i],
                             }
                         }
-                        result = self.exec(step + 1, db, delta, scratch, out);
+                        result = self.exec(step + 1, db, delta, scratch, out, guard);
                         if result.is_err() {
                             break;
                         }
@@ -520,6 +543,10 @@ impl RulePlan {
                 }
                 let mut result = Ok(());
                 for fact in rel.matching(&pattern) {
+                    result = scratch.cursor.probe(guard);
+                    if result.is_err() {
+                        break;
+                    }
                     let mut ok = true;
                     for (i, col) in cols.iter().enumerate() {
                         match col {
@@ -534,7 +561,7 @@ impl RulePlan {
                         }
                     }
                     if ok {
-                        result = self.exec(step + 1, db, delta, scratch, out);
+                        result = self.exec(step + 1, db, delta, scratch, out, guard);
                         if result.is_err() {
                             break;
                         }
@@ -561,7 +588,9 @@ impl RulePlan {
                     let mut locals = mem::take(&mut scratch.locals[step]);
                     locals.clear();
                     locals.resize(*n_locals, Const::Int(0));
+                    let mut rows: u32 = 0;
                     let exists = rel.matching(&pattern).any(|fact| {
+                        rows = rows.saturating_add(1);
                         for (i, col) in cols.iter().enumerate() {
                             match col {
                                 NegCol::Local(l) => locals[*l as usize] = fact[i],
@@ -577,17 +606,18 @@ impl RulePlan {
                     });
                     scratch.patterns[step] = pattern;
                     scratch.locals[step] = locals;
+                    scratch.cursor.probe_n(rows, guard)?;
                     if exists {
                         return Ok(());
                     }
                 }
-                self.exec(step + 1, db, delta, scratch, out)
+                self.exec(step + 1, db, delta, scratch, out, guard)
             }
             Step::Cmp { op, lhs, rhs } => {
                 let l = self.resolve(*lhs, scratch);
                 let r = self.resolve(*rhs, scratch);
                 if op.eval(&l, &r)? {
-                    self.exec(step + 1, db, delta, scratch, out)
+                    self.exec(step + 1, db, delta, scratch, out, guard)
                 } else {
                     Ok(())
                 }
@@ -623,7 +653,7 @@ impl RulePlan {
                     }
                     ArithTarget::Bind(s) => scratch.bindings[*s as usize] = value,
                 }
-                self.exec(step + 1, db, delta, scratch, out)
+                self.exec(step + 1, db, delta, scratch, out, guard)
             }
         }
     }
@@ -655,7 +685,7 @@ pub(crate) fn eval_rule_once(rule: &Clause, db: &Database) -> Result<Vec<Fact>> 
     let plan = RulePlan::compile(rule, None, db)?;
     let mut scratch = plan.new_scratch();
     let mut out = Vec::new();
-    plan.eval(db, None, &mut scratch, &mut out)?;
+    plan.eval(db, None, &mut scratch, &mut out, &EvalGuard::unlimited())?;
     Ok(out)
 }
 

@@ -1,0 +1,141 @@
+//! Structured evaluation tracing.
+//!
+//! The engine emits coarse-grained [`TraceEvent`]s — stratum boundaries,
+//! iteration summaries, rule applications, guard trips — to a
+//! [`TraceSink`]. The default engine carries no sink and pays nothing;
+//! [`RecordingTrace`] captures rendered events for tests and the CLI's
+//! `--stats` output. Granularity is one event per rule *application*
+//! (not per tuple), so tracing stays cheap enough to leave on in
+//! production runs.
+
+use std::sync::Mutex;
+
+use crate::DatalogError;
+
+/// One evaluation event. Borrowed fields keep emission allocation-free
+/// for sinks that filter or count; recording sinks render to owned
+/// strings.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceEvent<'a> {
+    /// A stratum's fixpoint loop is starting.
+    StratumStart {
+        /// Zero-based stratum index.
+        stratum: usize,
+        /// Predicates defined in this stratum.
+        predicates: &'a [String],
+    },
+    /// One fixpoint iteration finished.
+    IterationEnd {
+        /// Zero-based stratum index.
+        stratum: usize,
+        /// One-based iteration number within the stratum.
+        iteration: usize,
+        /// Facts newly added by this iteration.
+        facts_added: usize,
+    },
+    /// One rule variant was applied.
+    RuleApplied {
+        /// The variant's join-order description.
+        rule: &'a str,
+        /// Head tuples produced, including duplicates.
+        derived: usize,
+        /// Tuples genuinely new to the database.
+        added: usize,
+        /// Wall time of the application, in nanoseconds.
+        wall_ns: u64,
+    },
+    /// A stratum reached its fixpoint.
+    StratumEnd {
+        /// Zero-based stratum index.
+        stratum: usize,
+        /// Iterations the stratum ran.
+        iterations: usize,
+        /// Facts the stratum added in total.
+        facts_added: usize,
+        /// Wall time of the stratum, in nanoseconds.
+        wall_ns: u64,
+    },
+    /// Evaluation stopped on a guard error (deadline, budget, or
+    /// cancellation).
+    GuardTrip {
+        /// The typed error the run will return.
+        error: &'a DatalogError,
+    },
+}
+
+/// A consumer of evaluation events.
+///
+/// Implementations must be `Send + Sync`: the parallel semi-naive path
+/// may emit from the coordinating thread while workers run. The default
+/// method does nothing, so sinks override only what they need.
+pub trait TraceSink: Send + Sync {
+    /// Receive one event.
+    fn event(&self, event: &TraceEvent<'_>);
+}
+
+/// The do-nothing sink.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopTrace;
+
+impl TraceSink for NoopTrace {
+    fn event(&self, _event: &TraceEvent<'_>) {}
+}
+
+/// A sink that records every event as a rendered line, for tests and
+/// post-run inspection.
+#[derive(Debug, Default)]
+pub struct RecordingTrace {
+    events: Mutex<Vec<String>>,
+}
+
+impl RecordingTrace {
+    /// Create an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        RecordingTrace::default()
+    }
+
+    /// A copy of the recorded event lines, in emission order.
+    #[must_use]
+    pub fn events(&self) -> Vec<String> {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+}
+
+impl TraceSink for RecordingTrace {
+    fn event(&self, event: &TraceEvent<'_>) {
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(format!("{event:?}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_trace_captures_events() {
+        let t = RecordingTrace::new();
+        t.event(&TraceEvent::GuardTrip {
+            error: &DatalogError::Cancelled,
+        });
+        let events = t.events();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].contains("GuardTrip"));
+    }
+
+    #[test]
+    fn noop_trace_accepts_events() {
+        NoopTrace.event(&TraceEvent::IterationEnd {
+            stratum: 0,
+            iteration: 1,
+            facts_added: 0,
+        });
+    }
+}

@@ -1,6 +1,9 @@
 //! Tests for the arithmetic built-ins (`T = X op Y`), which CORAL offers
 //! and our substitute therefore provides.
 
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use multilog_datalog::{parse_clause, parse_program, Const, DatalogError, Engine};
 
 fn run(src: &str) -> multilog_datalog::Database {

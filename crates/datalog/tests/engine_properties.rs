@@ -1,6 +1,9 @@
 //! Property tests: the two evaluation strategies must agree on the least
 //! model, and evaluation must be deterministic.
 
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 
 use multilog_datalog::Strategy as EvalStrategy;

@@ -1,6 +1,9 @@
 //! Datalog parser robustness: arbitrary input never panics, and
 //! arithmetic/negation programs survive print-reparse.
 
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 
 use multilog_datalog::{parse_clause, parse_program, parse_query};

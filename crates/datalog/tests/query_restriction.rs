@@ -1,6 +1,9 @@
 //! Query-restricted evaluation: only the dependency cone of the query's
 //! predicates is materialized, with identical answers.
 
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use multilog_datalog::{parse_program, parse_query, run_query, Const, Engine};
 
 const SRC: &str = "

@@ -1,6 +1,9 @@
 //! Property tests for Bell–LaPadula access classes and their enumeration
 //! into explicit lattices.
 
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 
 use multilog_lattice::AccessClass;

@@ -4,6 +4,9 @@
 //! lower layer to a higher one, which guarantees acyclicity), then check
 //! the order axioms and the consistency of the derived query surfaces.
 
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 
 use multilog_lattice::{Label, LatticeBuilder, SecurityLattice};

@@ -3,6 +3,9 @@
 //! the key to be uniformly classified, and belief/view computations group
 //! entities by the composite key.
 
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 
 use multilog_lattice::standard;

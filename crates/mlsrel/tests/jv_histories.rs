@@ -2,6 +2,9 @@
 //! example: each test builds a small update history and checks the
 //! five-way interpretation grid.
 
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 
 use multilog_lattice::standard;

@@ -2,6 +2,9 @@
 //! (no-leak) invariants, β mode relationships, and view laws over
 //! randomly generated multilevel relations.
 
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use std::sync::Arc;
 

@@ -2,6 +2,9 @@
 //! keep the stored relation integrity-clean, and the Bell–LaPadula
 //! invariants hold after every step.
 
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use std::sync::Arc;
 

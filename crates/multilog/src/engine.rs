@@ -19,10 +19,14 @@
 //! violating this are rejected with
 //! [`MultiLogError::NotBeliefStratified`].
 
+use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::fmt::Write as _;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use multilog_datalog::CancelToken;
 use multilog_lattice::{Label, SecurityLattice};
 
 use crate::ast::{Atom, Clause, Goal, Head, MAtom, Term};
@@ -86,17 +90,151 @@ pub struct EngineOptions {
     /// Enable FILTER-NULL: additionally prove `l[p(k : a -c-> null)]`
     /// when the higher fact's column classification is *not* dominated.
     pub enable_filter_null: bool,
-    /// Guard limit on derived facts.
+    /// Guard budget on derived facts (`0` = the 1 M default). Trips as
+    /// [`MultiLogError::BudgetExceeded`], checked both between clause
+    /// applications and inside the backtracking match loop.
     pub fact_limit: usize,
+    /// Wall-clock deadline for evaluation and for each subsequent goal,
+    /// checked at tick granularity during matching. Trips as
+    /// [`MultiLogError::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation token; cancelling it makes the current
+    /// operation return [`MultiLogError::Cancelled`] at the next check.
+    pub cancel: Option<CancelToken>,
 }
 
 impl EngineOptions {
-    fn limit(&self) -> usize {
+    pub(crate) fn limit(&self) -> usize {
         if self.fact_limit == 0 {
             1_000_000
         } else {
             self.fact_limit
         }
+    }
+}
+
+/// How many matching steps elapse between two guard checks.
+const OP_CHECK_INTERVAL: u32 = 4096;
+
+/// Per-operation guard: wall-clock deadline, cooperative cancellation,
+/// and the fact budget, consulted every [`OP_CHECK_INTERVAL`] steps of
+/// the backtracking search so even a single clause application over a
+/// huge cross product trips promptly.
+struct OpGuard {
+    deadline: Option<Instant>,
+    limit_ms: u64,
+    cancel: Option<CancelToken>,
+    budget: usize,
+    /// Facts materialized when the current clause application started.
+    base: Cell<usize>,
+    /// Tuples buffered by the current clause application.
+    emitted: Cell<usize>,
+    ticks: Cell<u32>,
+}
+
+impl OpGuard {
+    fn new(options: &EngineOptions) -> Self {
+        OpGuard {
+            deadline: options.deadline.map(|d| Instant::now() + d),
+            limit_ms: options.deadline.map_or(0, |d| d.as_millis() as u64),
+            cancel: options.cancel.clone(),
+            budget: options.limit(),
+            base: Cell::new(0),
+            emitted: Cell::new(0),
+            ticks: Cell::new(0),
+        }
+    }
+
+    /// Reset the emission counter against the current database size.
+    fn begin_clause(&self, db_facts: usize) {
+        self.base.set(db_facts);
+        self.emitted.set(0);
+    }
+
+    /// Record one buffered derivation (counts toward the budget).
+    fn note_emit(&self) {
+        self.emitted.set(self.emitted.get() + 1);
+    }
+
+    #[inline]
+    fn tick(&self) -> Result<()> {
+        let t = self.ticks.get() + 1;
+        if t >= OP_CHECK_INTERVAL {
+            self.ticks.set(0);
+            self.check()
+        } else {
+            self.ticks.set(t);
+            Ok(())
+        }
+    }
+
+    fn check(&self) -> Result<()> {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(MultiLogError::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() > deadline {
+                return Err(MultiLogError::DeadlineExceeded {
+                    limit_ms: self.limit_ms,
+                });
+            }
+        }
+        let used = self.base.get() + self.emitted.get();
+        if used > self.budget {
+            return Err(MultiLogError::BudgetExceeded {
+                budget: self.budget,
+                used,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Per-clause counters for the operational engine.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClauseStats {
+    /// Rendering of the Σ/Π clause.
+    pub clause: String,
+    /// Applications attempted (fixpoint passes in which the clause ran).
+    pub applications: usize,
+    /// Derivations produced, including duplicates.
+    pub facts_derived: usize,
+    /// Facts genuinely new to the database.
+    pub facts_added: usize,
+    /// Wall time spent applying this clause, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// Counters describing one operational evaluation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OperationalStats {
+    /// Fixpoint passes over the clause set, summed over all stages.
+    pub rounds: usize,
+    /// Counters per Σ/Π clause, in database order.
+    pub per_clause: Vec<ClauseStats>,
+}
+
+impl OperationalStats {
+    /// Render the counters as a human-readable table (used by the CLI's
+    /// `--stats` flag).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "operational evaluation: {} rounds", self.rounds);
+        for c in &self.per_clause {
+            let _ = writeln!(
+                out,
+                "clause: {}\n  apps={} derived={} added={} wall_ms={:.3}",
+                c.clause,
+                c.applications,
+                c.facts_derived,
+                c.facts_added,
+                c.wall_ns as f64 / 1e6,
+            );
+        }
+        out
     }
 }
 
@@ -116,6 +254,7 @@ pub struct MultiLogEngine {
     p_just: Vec<Justification>,
     user_modes: Vec<Arc<str>>,
     options: EngineOptions,
+    stats: OperationalStats,
 }
 
 impl MultiLogEngine {
@@ -160,9 +299,15 @@ impl MultiLogEngine {
             p_just: Vec::new(),
             user_modes,
             options,
+            stats: OperationalStats::default(),
         };
         eng.evaluate(db)?;
         Ok(eng)
+    }
+
+    /// Per-clause counters collected while evaluating the database.
+    pub fn stats(&self) -> &OperationalStats {
+        &self.stats
     }
 
     /// The security lattice.
@@ -204,9 +349,13 @@ impl MultiLogEngine {
     /// Solve a goal (conjunction of atoms) under the user context,
     /// returning the distinct answers sorted for determinism.
     pub fn solve(&self, goal: &Goal) -> Result<Vec<Answer>> {
+        let guard = OpGuard::new(&self.options);
+        guard.begin_clause(self.mfacts.len() + self.pfacts.len());
+        guard.check()?;
         let mut answers = Vec::new();
         let mut env: Env = HashMap::new();
-        self.match_body(goal, 0, &mut env, &mut |env| {
+        self.match_body(goal, 0, &mut env, &guard, &mut |env| {
+            guard.note_emit();
             let mut a = Answer::new();
             for atom in goal {
                 for v in atom.variables() {
@@ -246,6 +395,15 @@ impl MultiLogEngine {
         let staged = uses_cau;
         let sigma: Vec<&Clause> = db.sigma().iter().collect();
         let pi: Vec<&Clause> = db.pi().iter().collect();
+        let guard = OpGuard::new(&self.options);
+        self.stats.per_clause = sigma
+            .iter()
+            .chain(&pi)
+            .map(|c| ClauseStats {
+                clause: c.to_string(),
+                ..ClauseStats::default()
+            })
+            .collect();
 
         // Outer loop: p-clauses may carry information between levels in
         // either direction, so repeat the stage pipeline until globally
@@ -256,7 +414,8 @@ impl MultiLogEngine {
             for stage in &stages {
                 loop {
                     let mut changed = false;
-                    for c in sigma.iter().chain(&pi) {
+                    self.stats.rounds += 1;
+                    for (ci, c) in sigma.iter().chain(&pi).enumerate() {
                         // In staged mode, only m-clauses whose (ground)
                         // head level belongs to the stage fire; p-clauses
                         // always do.
@@ -274,12 +433,22 @@ impl MultiLogEngine {
                                 }
                             }
                         }
-                        changed |= self.apply_clause(c)?;
-                        if self.mfacts.len() + self.pfacts.len() > self.options.limit() {
-                            return Err(MultiLogError::FactLimitExceeded {
-                                limit: self.options.limit(),
-                            });
-                        }
+                        let started = Instant::now();
+                        let (derived, added) = self.apply_clause(c, &guard)?;
+                        let wall_ns =
+                            u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        let cs = &mut self.stats.per_clause[ci];
+                        cs.applications += 1;
+                        cs.facts_derived += derived;
+                        cs.facts_added += added;
+                        cs.wall_ns += wall_ns;
+                        changed |= added > 0;
+                        // Between-clause check: budget against the
+                        // materialized database, plus deadline and
+                        // cancellation even when matching never reached
+                        // a tick boundary.
+                        guard.begin_clause(self.mfacts.len() + self.pfacts.len());
+                        guard.check()?;
                     }
                     any |= changed;
                     if !changed {
@@ -327,23 +496,36 @@ impl MultiLogEngine {
         Ok(())
     }
 
-    fn apply_clause(&mut self, c: &Clause) -> Result<bool> {
+    /// Apply one clause, returning `(derivations buffered, facts added)`.
+    fn apply_clause(&mut self, c: &Clause, guard: &OpGuard) -> Result<(usize, usize)> {
+        guard.begin_clause(self.mfacts.len() + self.pfacts.len());
         let mut derived: Vec<(Head, Env, Vec<JustAtom>)> = Vec::new();
         let mut env: Env = HashMap::new();
         let mut trace: Vec<JustAtom> = Vec::new();
-        self.match_body_traced(&c.body, 0, &mut env, &mut trace, &mut |env, trace| {
-            derived.push((c.head.clone(), env.clone(), trace.clone()));
-        })?;
-        let mut changed = false;
+        self.match_body_traced(
+            &c.body,
+            0,
+            &mut env,
+            &mut trace,
+            guard,
+            &mut |env, trace| {
+                guard.note_emit();
+                derived.push((c.head.clone(), env.clone(), trace.clone()));
+            },
+        )?;
+        let mut added = 0;
+        let n_derived = derived.len();
         let rendered = if derived.is_empty() {
             String::new()
         } else {
             c.to_string()
         };
         for (head, env, trace) in derived {
-            changed |= self.assert_head(&head, &env, trace, &rendered)?;
+            if self.assert_head(&head, &env, trace, &rendered)? {
+                added += 1;
+            }
         }
-        Ok(changed)
+        Ok((n_derived, added))
     }
 
     fn assert_head(
@@ -353,12 +535,22 @@ impl MultiLogEngine {
         body: Vec<JustAtom>,
         clause: &str,
     ) -> Result<bool> {
+        // Range restriction (checked at database construction) should
+        // guarantee every head variable is bound by the body match; a
+        // violation — e.g. a programmatically built clause that bypassed
+        // validation — surfaces as a typed error, never a panic.
+        let resolve = |t: &Term| -> Result<Term> {
+            resolve_term(t, env).ok_or_else(|| MultiLogError::UnsafeVariable {
+                variable: t.to_string(),
+                clause: clause.to_owned(),
+            })
+        };
         match head {
             Head::M(m) => {
-                let level = self.resolve_label(&m.level, env)?;
-                let class = self.resolve_label(&m.class, env)?;
-                let key = resolve_term(&m.key, env);
-                let value = resolve_term(&m.value, env);
+                let level = self.resolve_label(&m.level, env, clause)?;
+                let class = self.resolve_label(&m.class, env, clause)?;
+                let key = resolve(&m.key)?;
+                let value = resolve(&m.value)?;
                 let fact = MFact {
                     pred: m.pred.clone(),
                     key,
@@ -385,7 +577,7 @@ impl MultiLogEngine {
             Head::P(p) => {
                 let fact = PFact {
                     pred: p.pred.clone(),
-                    args: p.args.iter().map(|t| resolve_term(t, env)).collect(),
+                    args: p.args.iter().map(resolve).collect::<Result<Vec<_>>>()?,
                 };
                 if self.p_index.contains_key(&fact) {
                     return Ok(false);
@@ -406,8 +598,11 @@ impl MultiLogEngine {
         }
     }
 
-    fn resolve_label(&self, t: &Term, env: &Env) -> Result<Label> {
-        let resolved = resolve_term(t, env);
+    fn resolve_label(&self, t: &Term, env: &Env, clause: &str) -> Result<Label> {
+        let resolved = resolve_term(t, env).ok_or_else(|| MultiLogError::UnsafeVariable {
+            variable: t.to_string(),
+            clause: clause.to_owned(),
+        })?;
         match &resolved {
             Term::Sym(s) => self
                 .lattice
@@ -453,20 +648,24 @@ impl MultiLogEngine {
         body: &[Atom],
         pos: usize,
         env: &mut Env,
+        guard: &OpGuard,
         emit: &mut dyn FnMut(&Env),
     ) -> Result<()> {
         let mut trace = Vec::new();
-        self.match_body_traced(body, pos, env, &mut trace, &mut |env, _| emit(env))
+        self.match_body_traced(body, pos, env, &mut trace, guard, &mut |env, _| emit(env))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn match_body_traced(
         &self,
         body: &[Atom],
         pos: usize,
         env: &mut Env,
         trace: &mut Vec<JustAtom>,
+        guard: &OpGuard,
         emit: &mut dyn FnMut(&Env, &Vec<JustAtom>),
     ) -> Result<()> {
+        guard.tick()?;
         if pos == body.len() {
             emit(env, trace);
             return Ok(());
@@ -484,17 +683,19 @@ impl MultiLogEngine {
                     if self.lattice.leq(fact.level, self.user)
                         && self.lattice.leq(fact.class, self.user)
                     {
-                        self.try_match_mfact(m, fact, idx, body, pos, env, trace, emit, false)?;
+                        self.try_match_mfact(
+                            m, fact, idx, body, pos, env, trace, guard, emit, false,
+                        )?;
                     }
                     // FILTER (Figure 13): goal level l strictly below the
                     // fact's level, column class c ⪯ l.
                     if self.options.enable_filter {
-                        self.try_filter_match(m, fact, idx, body, pos, env, trace, emit)?;
+                        self.try_filter_match(m, fact, idx, body, pos, env, trace, guard, emit)?;
                     }
                 }
                 Ok(())
             }
-            Atom::B(m, mode) => self.match_batom(m, mode, body, pos, env, trace, emit),
+            Atom::B(m, mode) => self.match_batom(m, mode, body, pos, env, trace, guard, emit),
             Atom::P(p) => {
                 static EMPTY: Vec<usize> = Vec::new();
                 let candidates = self.p_by_pred.get(&p.pred).unwrap_or(&EMPTY);
@@ -511,7 +712,7 @@ impl MultiLogEngine {
                         .all(|(t, v)| unify(t, v, env, &mut bound));
                     if ok {
                         trace.push(JustAtom::P(idx));
-                        self.match_body_traced(body, pos + 1, env, trace, emit)?;
+                        self.match_body_traced(body, pos + 1, env, trace, guard, emit)?;
                         trace.pop();
                     }
                     for v in bound {
@@ -526,7 +727,7 @@ impl MultiLogEngine {
                     let mut bound = Vec::new();
                     if unify(t, &name, env, &mut bound) {
                         trace.push(JustAtom::L(l));
-                        self.match_body_traced(body, pos + 1, env, trace, emit)?;
+                        self.match_body_traced(body, pos + 1, env, trace, guard, emit)?;
                         trace.pop();
                     }
                     for v in bound {
@@ -544,7 +745,7 @@ impl MultiLogEngine {
                     let mut bound = Vec::new();
                     if unify(lo, &an, env, &mut bound) && unify(hi, &bn, env, &mut bound) {
                         trace.push(JustAtom::H(a, b));
-                        self.match_body_traced(body, pos + 1, env, trace, emit)?;
+                        self.match_body_traced(body, pos + 1, env, trace, guard, emit)?;
                         trace.pop();
                     }
                     for v in bound {
@@ -563,7 +764,7 @@ impl MultiLogEngine {
                         let mut bound = Vec::new();
                         if unify(lo, &an, env, &mut bound) && unify(hi, &bn, env, &mut bound) {
                             trace.push(JustAtom::Leq(a, b));
-                            self.match_body_traced(body, pos + 1, env, trace, emit)?;
+                            self.match_body_traced(body, pos + 1, env, trace, guard, emit)?;
                             trace.pop();
                         }
                         for v in bound {
@@ -577,6 +778,7 @@ impl MultiLogEngine {
     }
 
     #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
     fn try_match_mfact(
         &self,
         m: &MAtom,
@@ -586,6 +788,7 @@ impl MultiLogEngine {
         pos: usize,
         env: &mut Env,
         trace: &mut Vec<JustAtom>,
+        guard: &OpGuard,
         emit: &mut dyn FnMut(&Env, &Vec<JustAtom>),
         _via_filter: bool,
     ) -> Result<()> {
@@ -598,7 +801,7 @@ impl MultiLogEngine {
             && unify(&m.value, &fact.value, env, &mut bound);
         if ok {
             trace.push(JustAtom::M(idx));
-            self.match_body_traced(body, pos + 1, env, trace, emit)?;
+            self.match_body_traced(body, pos + 1, env, trace, guard, emit)?;
             trace.pop();
         }
         for v in bound {
@@ -607,6 +810,7 @@ impl MultiLogEngine {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     #[allow(clippy::too_many_arguments)]
     fn try_filter_match(
         &self,
@@ -617,6 +821,7 @@ impl MultiLogEngine {
         pos: usize,
         env: &mut Env,
         trace: &mut Vec<JustAtom>,
+        guard: &OpGuard,
         emit: &mut dyn FnMut(&Env, &Vec<JustAtom>),
     ) -> Result<()> {
         // Candidate goal levels l with l ≺ fact.level and l ⪯ user.
@@ -635,7 +840,7 @@ impl MultiLogEngine {
                     && unify(&m.value, &fact.value, env, &mut bound);
                 if ok {
                     trace.push(JustAtom::M(idx));
-                    self.match_body_traced(body, pos + 1, env, trace, emit)?;
+                    self.match_body_traced(body, pos + 1, env, trace, guard, emit)?;
                     trace.pop();
                 }
                 for v in bound {
@@ -652,7 +857,7 @@ impl MultiLogEngine {
                     && unify(&m.value, &Term::Null, env, &mut bound);
                 if ok {
                     trace.push(JustAtom::M(idx));
-                    self.match_body_traced(body, pos + 1, env, trace, emit)?;
+                    self.match_body_traced(body, pos + 1, env, trace, guard, emit)?;
                     trace.pop();
                 }
                 for v in bound {
@@ -664,6 +869,7 @@ impl MultiLogEngine {
     }
 
     #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
     fn match_batom(
         &self,
         m: &MAtom,
@@ -672,6 +878,7 @@ impl MultiLogEngine {
         pos: usize,
         env: &mut Env,
         trace: &mut Vec<JustAtom>,
+        guard: &OpGuard,
         emit: &mut dyn FnMut(&Env, &Vec<JustAtom>),
     ) -> Result<()> {
         let builtin = Mode::parse(mode);
@@ -716,7 +923,7 @@ impl MultiLogEngine {
                                 at,
                                 mode: mode.clone(),
                             });
-                            self.match_body_traced(body, pos + 1, env, trace, emit)?;
+                            self.match_body_traced(body, pos + 1, env, trace, guard, emit)?;
                             trace.pop();
                         }
                         for v in bound {
@@ -759,7 +966,7 @@ impl MultiLogEngine {
                             && unify(&m.class, &fact.args[4], env, &mut bound);
                         if ok {
                             trace.push(JustAtom::P(idx));
-                            self.match_body_traced(body, pos + 1, env, trace, emit)?;
+                            self.match_body_traced(body, pos + 1, env, trace, guard, emit)?;
                             trace.pop();
                         }
                         for v in bound {
@@ -806,13 +1013,13 @@ fn unify(pattern: &Term, ground: &Term, env: &mut Env, bound: &mut Vec<String>) 
     }
 }
 
-fn resolve_term(t: &Term, env: &Env) -> Term {
+/// Resolve a head term against the match environment; `None` when the
+/// term is a variable the body never bound (callers turn this into
+/// [`MultiLogError::UnsafeVariable`]).
+fn resolve_term(t: &Term, env: &Env) -> Option<Term> {
     match t {
-        Term::Var(v) => env
-            .get(v.as_ref())
-            .cloned()
-            .expect("range restriction guarantees head vars are bound"),
-        other => other.clone(),
+        Term::Var(v) => env.get(v.as_ref()).cloned(),
+        other => Some(other.clone()),
     }
 }
 
@@ -866,7 +1073,11 @@ fn check_belief_stratification(db: &MultiLogDb, lat: &SecurityLattice) -> Result
     }
     for c in db.sigma() {
         let Head::M(hm) = &c.head else {
-            unreachable!("Σ heads are m-atoms")
+            // Σ is partitioned by head shape at construction; a non-m
+            // head here means the database bypassed validation.
+            return Err(MultiLogError::NotAdmissible {
+                detail: format!("Σ clause `{c}` does not have an m-atom head"),
+            });
         };
         let head_level = match &hm.level {
             Term::Sym(s) => lat.label(s),
@@ -1096,7 +1307,7 @@ mod tests {
             EngineOptions {
                 enable_filter: true,
                 enable_filter_null: true,
-                fact_limit: 0,
+                ..EngineOptions::default()
             },
         )
         .unwrap();

@@ -49,11 +49,21 @@ pub enum MultiLogError {
     Lattice(LatticeError),
     /// Error from the Datalog back-end during reduction.
     Datalog(DatalogError),
-    /// Evaluation exceeded the fact limit.
-    FactLimitExceeded {
-        /// The limit.
-        limit: usize,
+    /// Evaluation exceeded the configured fact budget.
+    BudgetExceeded {
+        /// The configured budget.
+        budget: usize,
+        /// Facts materialized (or buffered) when the guard tripped.
+        used: usize,
     },
+    /// Evaluation exceeded its wall-clock deadline.
+    DeadlineExceeded {
+        /// The configured deadline, in milliseconds.
+        limit_ms: u64,
+    },
+    /// Evaluation was cancelled through a
+    /// [`CancelToken`](multilog_datalog::CancelToken).
+    Cancelled,
 }
 
 impl fmt::Display for MultiLogError {
@@ -79,9 +89,16 @@ impl fmt::Display for MultiLogError {
             MultiLogError::UnknownMode(m) => write!(f, "unknown belief mode `{m}`"),
             MultiLogError::Lattice(e) => write!(f, "lattice error: {e}"),
             MultiLogError::Datalog(e) => write!(f, "datalog back-end error: {e}"),
-            MultiLogError::FactLimitExceeded { limit } => {
-                write!(f, "evaluation exceeded the fact limit of {limit}")
+            MultiLogError::BudgetExceeded { budget, used } => {
+                write!(
+                    f,
+                    "evaluation exceeded the fact budget of {budget} ({used} used)"
+                )
             }
+            MultiLogError::DeadlineExceeded { limit_ms } => {
+                write!(f, "evaluation exceeded the deadline of {limit_ms} ms")
+            }
+            MultiLogError::Cancelled => write!(f, "evaluation was cancelled"),
         }
     }
 }
@@ -104,7 +121,19 @@ impl From<LatticeError> for MultiLogError {
 
 impl From<DatalogError> for MultiLogError {
     fn from(e: DatalogError) -> Self {
-        MultiLogError::Datalog(e)
+        // Guard trips keep their typed identity across the reduction
+        // boundary, so callers match one set of variants for both the
+        // operational and the reduced engine.
+        match e {
+            DatalogError::BudgetExceeded { budget, used } => {
+                MultiLogError::BudgetExceeded { budget, used }
+            }
+            DatalogError::DeadlineExceeded { limit_ms } => {
+                MultiLogError::DeadlineExceeded { limit_ms }
+            }
+            DatalogError::Cancelled => MultiLogError::Cancelled,
+            other => MultiLogError::Datalog(other),
+        }
     }
 }
 
@@ -118,7 +147,9 @@ mod tests {
             MultiLogError::NotAdmissible { detail: "x".into() },
             MultiLogError::Inconsistent { detail: "x".into() },
             MultiLogError::UnknownMode("zeal".into()),
-            MultiLogError::FactLimitExceeded { limit: 1 },
+            MultiLogError::BudgetExceeded { budget: 1, used: 2 },
+            MultiLogError::DeadlineExceeded { limit_ms: 5 },
+            MultiLogError::Cancelled,
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());
@@ -131,5 +162,18 @@ mod tests {
         assert!(matches!(e, MultiLogError::Lattice(_)));
         let e: MultiLogError = DatalogError::UnknownPredicate("p".into()).into();
         assert!(matches!(e, MultiLogError::Datalog(_)));
+    }
+
+    #[test]
+    fn guard_errors_lift_through_conversion() {
+        let e: MultiLogError = DatalogError::DeadlineExceeded { limit_ms: 9 }.into();
+        assert!(matches!(e, MultiLogError::DeadlineExceeded { limit_ms: 9 }));
+        let e: MultiLogError = DatalogError::Cancelled.into();
+        assert!(matches!(e, MultiLogError::Cancelled));
+        let e: MultiLogError = DatalogError::BudgetExceeded { budget: 3, used: 4 }.into();
+        assert!(matches!(
+            e,
+            MultiLogError::BudgetExceeded { budget: 3, used: 4 }
+        ));
     }
 }

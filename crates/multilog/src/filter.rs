@@ -28,7 +28,7 @@ pub fn engine_with_filter(db: &MultiLogDb, user: &str) -> Result<MultiLogEngine>
         EngineOptions {
             enable_filter: true,
             enable_filter_null: false,
-            fact_limit: 0,
+            ..EngineOptions::default()
         },
     )
 }
@@ -42,7 +42,7 @@ pub fn engine_with_sigma(db: &MultiLogDb, user: &str) -> Result<MultiLogEngine> 
         EngineOptions {
             enable_filter: true,
             enable_filter_null: true,
-            fact_limit: 0,
+            ..EngineOptions::default()
         },
     )
 }

@@ -72,8 +72,9 @@ pub mod proof;
 pub mod reduce;
 
 pub use db::MultiLogDb;
-pub use engine::{Answer, EngineOptions, MultiLogEngine, PFact};
+pub use engine::{Answer, ClauseStats, EngineOptions, MultiLogEngine, OperationalStats, PFact};
 pub use error::MultiLogError;
+pub use multilog_datalog::CancelToken;
 pub use parser::{parse_clause, parse_database, parse_goal};
 
 /// Crate-wide result alias.

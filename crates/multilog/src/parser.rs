@@ -191,7 +191,9 @@ impl Parser {
             return Ok(vec![match la {
                 Atom::L(t) => Head::L(t),
                 Atom::H(l, h) => Head::H(l, h),
-                _ => unreachable!("try_level_order yields L or H"),
+                other => {
+                    return Err(self.err(format!("expected a level/order head, found `{other}`")))
+                }
             }]);
         }
         self.pos = start;

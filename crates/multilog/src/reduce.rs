@@ -47,7 +47,7 @@ use multilog_lattice::SecurityLattice;
 use crate::ast::{Atom, Clause, Goal, Head, MAtom, Term};
 use crate::belief::Mode;
 use crate::db::MultiLogDb;
-use crate::engine::Answer;
+use crate::engine::{Answer, EngineOptions};
 use crate::{MultiLogError, Result};
 
 /// The verbatim inference engine of Figure 12 (axioms a₁–a₉), as printed
@@ -74,11 +74,30 @@ pub struct ReducedEngine {
     /// Whether `rel` was split per level (cautious bodies present).
     level_split: bool,
     program_text: String,
+    eval_stats: dl::EvalStats,
+}
+
+impl std::fmt::Debug for ReducedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReducedEngine")
+            .field("user", &self.user)
+            .field("level_split", &self.level_split)
+            .field("facts", &self.database.fact_count())
+            .finish_non_exhaustive()
+    }
 }
 
 impl ReducedEngine {
     /// Translate and evaluate `db` at the clearance level named `user`.
     pub fn new(db: &MultiLogDb, user: &str) -> Result<Self> {
+        Self::with_options(db, user, EngineOptions::default())
+    }
+
+    /// Like [`ReducedEngine::new`], but evaluating the reduced program
+    /// under the same guards the operational engine honors: the fact
+    /// budget, wall-clock deadline, and cancellation token of `options`.
+    /// Guard trips lift back as the MultiLog-level typed errors.
+    pub fn with_options(db: &MultiLogDb, user: &str, options: EngineOptions) -> Result<Self> {
         // Match the operational engine's Prop 6.1 fallback.
         let lattice = if db.lambda().is_empty() && db.sigma().is_empty() {
             Arc::new(
@@ -103,17 +122,33 @@ impl ReducedEngine {
             .any(|a| matches!(a, Atom::B(_, m) if m.as_ref() == "cau"));
         let program_text = translate(db, user, &lattice, level_split)?;
         let program = dl::parse_program(&program_text).map_err(MultiLogError::Datalog)?;
-        let database = dl::Engine::new(&program)
+        let mut engine = dl::Engine::new(&program)
             .map_err(MultiLogError::Datalog)?
-            .run()
-            .map_err(MultiLogError::Datalog)?;
+            .with_fact_limit(options.limit());
+        if let Some(deadline) = options.deadline {
+            engine = engine.with_deadline(deadline);
+        }
+        if let Some(cancel) = options.cancel {
+            engine = engine.with_cancel_token(cancel);
+        }
+        // Guard trips convert through `From<DatalogError>` so callers see
+        // the same `BudgetExceeded`/`DeadlineExceeded`/`Cancelled`
+        // variants as the operational engine.
+        let (database, eval_stats) = engine.run_with_stats()?;
         Ok(ReducedEngine {
             lattice,
             user: user.to_owned(),
             database,
             level_split,
             program_text,
+            eval_stats,
         })
+    }
+
+    /// Per-rule / per-stratum statistics from evaluating the reduced
+    /// program to fixpoint.
+    pub fn stats(&self) -> &dl::EvalStats {
+        &self.eval_stats
     }
 
     /// The generated Datalog program (for inspection and the figures
@@ -298,7 +333,14 @@ fn translate_atom(
 ) -> Result<()> {
     let lit = |s: &str| -> Result<dl::Literal> {
         let atoms = dl::parse_query(s).map_err(MultiLogError::Datalog)?;
-        Ok(atoms.into_iter().next().expect("one literal"))
+        atoms
+            .into_iter()
+            .next()
+            .ok_or_else(|| MultiLogError::Parse {
+                line: 1,
+                column: 1,
+                message: format!("translated literal `{s}` parsed to an empty query"),
+            })
     };
     match atom {
         Atom::M(m) => {

@@ -2,6 +2,9 @@
 //! `leq` constraints through the reduction, level variables in heads, and
 //! engine/option edge cases.
 
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use multilog_core::reduce::ReducedEngine;
 use multilog_core::{parse_database, MultiLogEngine, MultiLogError};
 

@@ -1,0 +1,208 @@
+//! Guard behaviour and crash-robustness of the public entry points:
+//!
+//! * malformed or truncated goal/database text never panics
+//!   `solve_text`, `prove_text`, or `parse_database` — every failure is
+//!   a typed [`MultiLogError`];
+//! * each evaluation guard (budget, deadline, cancellation) trips as its
+//!   own error variant on both the operational and the reduced engine,
+//!   with the process alive afterwards.
+
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use multilog_core::proof::prove_text;
+use multilog_core::reduce::ReducedEngine;
+use multilog_core::{parse_database, CancelToken, EngineOptions, MultiLogEngine, MultiLogError};
+
+const DB: &str = r#"
+    level(u). level(c). level(s).
+    order(u, c). order(c, s).
+    u[p(k : a -u-> v)].
+    c[p(k : a -c-> t)] <- q(j).
+    s[p(k : a -u-> v)] <- c[p(k : a -c-> t)] << cau.
+    q(j).
+"#;
+
+fn engine() -> MultiLogEngine {
+    let db = parse_database(DB).unwrap();
+    MultiLogEngine::new(&db, "s").unwrap()
+}
+
+/// A database whose cross-product rule derives ~n³ facts.
+fn explosive_db(n: usize) -> String {
+    let mut src = String::from("level(u).\n");
+    for i in 0..n {
+        src.push_str(&format!("n(x{i}).\n"));
+    }
+    src.push_str("pair(X, Y, Z) <- n(X), n(Y), n(Z).\n");
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Arbitrary goal text: solve and prove must return, never panic.
+    #[test]
+    fn arbitrary_goals_never_panic(goal in "\\PC*") {
+        let e = engine();
+        let _ = e.solve_text(&goal);
+        let _ = prove_text(&e, &goal);
+    }
+
+    /// Goal-shaped token soup reaches deeper grammar paths.
+    #[test]
+    fn goal_token_soup_never_panics(tokens in proptest::collection::vec(
+        prop_oneof![
+            Just("s"), Just("c"), Just("u"), Just("p"), Just("q"),
+            Just("k"), Just("a"), Just("v"), Just("X"), Just("V"),
+            Just("_"), Just("["), Just("]"), Just("("), Just(")"),
+            Just(":"), Just(";"), Just(","), Just("-u->"), Just("<<"),
+            Just("fir"), Just("opt"), Just("cau"), Just("leq"),
+        ],
+        0..24,
+    )) {
+        let goal = tokens.join(" ");
+        let e = engine();
+        let _ = e.solve_text(&goal);
+        let _ = prove_text(&e, &goal);
+    }
+
+    /// Truncating a valid database at an arbitrary byte offset parses or
+    /// errors, never panics — and neither does evaluating the result.
+    #[test]
+    fn truncated_databases_never_panic(cut in 0usize..600) {
+        let cut = cut.min(DB.len());
+        if DB.is_char_boundary(cut) {
+            if let Ok(db) = parse_database(&DB[..cut]) {
+                let _ = MultiLogEngine::new(&db, "s");
+                let _ = ReducedEngine::new(&db, "s");
+            }
+        }
+    }
+}
+
+#[test]
+fn budget_trips_operational_engine() {
+    let db = parse_database(&explosive_db(30)).unwrap();
+    let err = MultiLogEngine::with_options(
+        &db,
+        "u",
+        EngineOptions {
+            fact_limit: 200,
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        MultiLogError::BudgetExceeded { budget: 200, .. }
+    ));
+}
+
+#[test]
+fn budget_trips_reduced_engine() {
+    let db = parse_database(&explosive_db(30)).unwrap();
+    let err = ReducedEngine::with_options(
+        &db,
+        "u",
+        EngineOptions {
+            fact_limit: 200,
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        MultiLogError::BudgetExceeded { budget: 200, .. }
+    ));
+}
+
+#[test]
+fn deadline_trips_operational_engine() {
+    let db = parse_database(DB).unwrap();
+    let err = MultiLogEngine::with_options(
+        &db,
+        "s",
+        EngineOptions {
+            deadline: Some(Duration::ZERO),
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        MultiLogError::DeadlineExceeded { limit_ms: 0 }
+    ));
+}
+
+#[test]
+fn deadline_trips_reduced_engine() {
+    let db = parse_database(DB).unwrap();
+    let err = ReducedEngine::with_options(
+        &db,
+        "s",
+        EngineOptions {
+            deadline: Some(Duration::ZERO),
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        MultiLogError::DeadlineExceeded { limit_ms: 0 }
+    ));
+}
+
+#[test]
+fn cancellation_trips_both_engines() {
+    let token = CancelToken::new();
+    token.cancel();
+    let db = parse_database(DB).unwrap();
+    let opts = EngineOptions {
+        cancel: Some(token),
+        ..EngineOptions::default()
+    };
+    let err = MultiLogEngine::with_options(&db, "s", opts.clone()).unwrap_err();
+    assert!(matches!(err, MultiLogError::Cancelled));
+    let err = ReducedEngine::with_options(&db, "s", opts).unwrap_err();
+    assert!(matches!(err, MultiLogError::Cancelled));
+}
+
+#[test]
+fn deadline_guards_individual_goals() {
+    // A valid engine whose *queries* run under a zero deadline.
+    let db = parse_database(DB).unwrap();
+    let fast = MultiLogEngine::new(&db, "s").unwrap();
+    assert!(!fast.solve_text("q(j)").unwrap().is_empty());
+    let guarded = MultiLogEngine::with_options(
+        &db,
+        "s",
+        EngineOptions {
+            deadline: Some(Duration::from_secs(3600)),
+            ..EngineOptions::default()
+        },
+    )
+    .unwrap();
+    // A generous deadline leaves answers unchanged.
+    assert_eq!(
+        guarded.solve_text("q(j)").unwrap(),
+        fast.solve_text("q(j)").unwrap()
+    );
+}
+
+#[test]
+fn operational_stats_populate_per_clause() {
+    let db = parse_database(DB).unwrap();
+    let e = MultiLogEngine::new(&db, "s").unwrap();
+    let stats = e.stats();
+    assert!(stats.rounds > 0);
+    // One entry per Σ/Π clause, with the deriving clauses credited.
+    assert_eq!(stats.per_clause.len(), db.sigma().len() + db.pi().len());
+    let total_added: usize = stats.per_clause.iter().map(|c| c.facts_added).sum();
+    assert!(total_added > 0, "{}", stats.summary());
+    assert!(stats.summary().contains("clause:"));
+}

@@ -2,6 +2,9 @@
 //! returns a positioned error — and valid programs survive a
 //! print-reparse round trip.
 
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 
 use multilog_core::{parse_clause, parse_database, parse_goal};

@@ -2,6 +2,9 @@
 //! proof-tree soundness, parser round-trips, and mode relationships over
 //! randomly generated databases.
 
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 
 use multilog_core::proof::{prove, RuleName};

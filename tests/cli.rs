@@ -1,6 +1,9 @@
 //! Integration tests for the `multilog` CLI against the shipped example
 //! databases (`examples/data/*.mlog`).
 
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use multilog_cli::{check, prove, query, reduce, run, EngineKind, Options};
 
 fn mission_source() -> String {

@@ -1,6 +1,9 @@
 //! Cross-crate end-to-end tests: synthetic workloads through every layer,
 //! plus failure-injection cases.
 
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use multilog_bench::workload::{
     synthetic_multilog, synthetic_relation, MultiLogSpec, RelationSpec,
 };
@@ -100,7 +103,7 @@ fn fact_limit_guards_runaway_programs() {
             ..Default::default()
         },
     );
-    assert!(matches!(err, Err(MultiLogError::FactLimitExceeded { .. })));
+    assert!(matches!(err, Err(MultiLogError::BudgetExceeded { .. })));
 }
 
 #[test]

@@ -5,6 +5,9 @@
 //! The paper proves this; we test it on the worked examples, on the
 //! Mission encoding, and on randomly generated MultiLog databases.
 
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 
 use multilog_core::examples;

@@ -1,6 +1,9 @@
 //! Row-level verification of every reproduced table and figure against
 //! the paper.
 
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use multilog_bench::figures;
 
 #[test]

@@ -1,6 +1,9 @@
 //! The full Mission scenario across all layers: update history → stored
 //! relation → views → beliefs → MultiLog encoding → queries.
 
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use multilog_core::examples::{encode_relation, mission_db};
 use multilog_core::MultiLogEngine;
 use multilog_mlsrel::belief::{believe, BeliefMode};
