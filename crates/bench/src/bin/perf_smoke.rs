@@ -155,6 +155,23 @@ fn run_guard_overhead(src: &str, repeat: usize) -> (WorkloadResult, WorkloadResu
     )
 }
 
+/// Time the static-analysis pass (the `run`/`query` lint preflight) on
+/// the tc_chain program and report its median wall time in
+/// milliseconds. Compared against the evaluation wall time in `main`:
+/// the preflight must stay well under 1 % of tc_chain.
+fn lint_wall_ms(src: &str, repeat: usize) -> f64 {
+    let program = parse_program(src).expect("workload parses");
+    let mut walls: Vec<f64> = Vec::with_capacity(repeat);
+    for _ in 0..repeat {
+        let start = Instant::now();
+        let lints = multilog_datalog::analyze(&program);
+        walls.push(start.elapsed().as_secs_f64() * 1e3);
+        assert!(lints.is_empty(), "tc_chain must be lint-clean: {lints:?}");
+    }
+    walls.sort_by(f64::total_cmp);
+    walls[walls.len() / 2]
+}
+
 /// Run the Figure-12 reduction workload `repeat` times (best run).
 fn run_reduction(repeat: usize) -> WorkloadResult {
     let spec = MultiLogSpec {
@@ -239,6 +256,10 @@ fn main() {
     // that now sit inside the join loop.
     let (tc_chain, tc_chain_guarded, guard_overhead_pct) =
         run_guard_overhead(&tc_chain_src(256), repeat.max(9));
+    // Lint preflight cost relative to evaluation (best run is the
+    // smallest denominator, so the percentage is an upper bound).
+    let lint_ms = lint_wall_ms(&tc_chain_src(256), repeat.max(9));
+    let lint_overhead_pct = lint_ms / tc_chain.wall_ms * 100.0;
     let results = [
         tc_chain,
         tc_chain_guarded,
@@ -248,7 +269,10 @@ fn main() {
 
     let mut json = String::from("{\n  \"benchmark\": \"perf_smoke\",\n");
     json.push_str(&format!(
-        "  \"guard_overhead_pct\": {guard_overhead_pct:.2},\n  \"workloads\": [\n"
+        "  \"guard_overhead_pct\": {guard_overhead_pct:.2},\n"
+    ));
+    json.push_str(&format!(
+        "  \"lint_preflight_ms\": {lint_ms:.4},\n  \"lint_overhead_pct\": {lint_overhead_pct:.3},\n  \"workloads\": [\n"
     ));
     for (i, r) in results.iter().enumerate() {
         json.push_str("    {\n");

@@ -44,6 +44,13 @@ pub struct Options {
     pub max_facts: Option<usize>,
     /// Print per-rule / per-clause evaluation statistics (`--stats`).
     pub stats: bool,
+    /// Skip the lint preflight in `run`/`query` (`--no-lint`).
+    pub no_lint: bool,
+    /// Downgrade lint errors to warnings: report but keep going
+    /// (`--lint-warn`).
+    pub lint_warn: bool,
+    /// Emit machine-readable JSON from `lint` (`--format json`).
+    pub json: bool,
 }
 
 /// Errors surfaced to the CLI user.
@@ -69,11 +76,57 @@ fn operational(db: &MultiLogDb, opts: &Options) -> Result<MultiLogEngine, String
         .map_err(|e| format!("evaluation failed: {e}"))
 }
 
+/// Lint preflight for `run`/`query`: fail fast on error-severity findings
+/// unless `--no-lint` skips the pass or `--lint-warn` downgrades them.
+/// Returns a note to prepend to the command output (empty when clean).
+fn preflight(source: &str, opts: &Options) -> Result<String, String> {
+    if opts.no_lint {
+        return Ok(String::new());
+    }
+    // Syntax errors are reported by `load` with the same message; let it.
+    let Ok(report) = multilog_core::lint_source_at(source, Some(&opts.user)) else {
+        return Ok(String::new());
+    };
+    if !report.has_errors() {
+        return Ok(String::new());
+    }
+    if opts.lint_warn {
+        return Ok(format!(
+            "lint (downgraded by --lint-warn): {}\n",
+            report.summary()
+        ));
+    }
+    Err(format!(
+        "lint found {}; fix the program, or pass --lint-warn to downgrade \
+         or --no-lint to skip\n\n{}",
+        report.summary(),
+        report.render_human("<db>")
+    ))
+}
+
+/// `multilog lint <file>`: run the static-analysis pass and print the
+/// findings (rustc-style, or JSON with `--format json`). `--user` is
+/// optional; when given, clearance-dependent lints (ML0114) also run.
+pub fn lint(source: &str, source_name: &str, opts: &Options) -> CliResult {
+    let clearance = if opts.user.is_empty() {
+        None
+    } else {
+        Some(opts.user.as_str())
+    };
+    let report = multilog_core::lint_source_at(source, clearance)
+        .map_err(|e| format!("cannot parse database: {e}"))?;
+    if opts.json {
+        Ok(format!("{}\n", report.render_json()))
+    } else {
+        Ok(report.render_human(source_name))
+    }
+}
+
 /// `multilog run <file>`: evaluate the database and answer every query in
 /// its `Q` component.
 pub fn run(source: &str, opts: &Options) -> CliResult {
+    let mut out = preflight(source, opts)?;
     let db = load(source)?;
-    let mut out = String::new();
     let queries = db.queries().to_vec();
     if queries.is_empty() {
         let _ = writeln!(
@@ -119,8 +172,8 @@ pub fn run(source: &str, opts: &Options) -> CliResult {
 
 /// `multilog query <file> <goal>`: answer one ad hoc goal.
 pub fn query(source: &str, goal: &str, opts: &Options) -> CliResult {
+    let mut out = preflight(source, opts)?;
     let db = load(source)?;
-    let mut out = String::new();
     match opts.engine {
         EngineKind::Operational => {
             let e = operational(&db, opts)?;
@@ -184,6 +237,16 @@ pub fn check(source: &str, opts: &Options) -> CliResult {
         db.pi().len(),
         db.queries().len()
     );
+    if let Ok(report) = multilog_core::lint_source_at(source, Some(&opts.user)) {
+        if report.is_clean() {
+            let _ = writeln!(out, "lint: clean");
+        } else {
+            let _ = writeln!(out, "lint: {}", report.summary());
+            for d in &report.diagnostics {
+                let _ = writeln!(out, "  {d}");
+            }
+        }
+    }
     match db.lattice() {
         Ok(lat) => {
             let names: Vec<&str> = lat.names().collect();
@@ -264,6 +327,7 @@ USAGE:
   multilog prove  <file.mlog> --user <level> '<goal>' [--filter] [GUARDS]
   multilog reduce <file.mlog> --user <level>
   multilog check  <file.mlog> --user <level>
+  multilog lint   <file.mlog> [--user <level>] [--format human|json]
   multilog repl   <file.mlog> --user <level> [--filter] [GUARDS]
 
 GUARDS:
@@ -271,6 +335,14 @@ GUARDS:
   --max-facts <n>    abort once more than n facts have been derived
   --stats            print per-rule (reduced) / per-clause (operational)
                      evaluation counters after the answers
+
+LINT:
+  `lint` runs the static-analysis pass (stable ML01xx codes; see
+  docs/LINTS.md) and prints rustc-style spanned diagnostics. With
+  --user, clearance-dependent lints also run. `run` and `query` lint
+  automatically and refuse to evaluate on error-severity findings:
+  --no-lint          skip the preflight entirely
+  --lint-warn        report lint errors but evaluate anyway
 
 GOALS:
   m-atom     s[p(k : a -c-> v)]
@@ -301,6 +373,13 @@ pub fn parse_args(args: &[String]) -> Result<(String, String, Option<String>, Op
             },
             "--filter" => opts.filter = true,
             "--stats" => opts.stats = true,
+            "--no-lint" => opts.no_lint = true,
+            "--lint-warn" => opts.lint_warn = true,
+            "--format" => match it.next().map(String::as_str) {
+                Some("human") => opts.json = false,
+                Some("json") => opts.json = true,
+                other => return Err(format!("unknown format {other:?}")),
+            },
             "--deadline" => {
                 let v = it.next().ok_or("--deadline needs milliseconds")?;
                 opts.deadline_ms =
@@ -319,7 +398,8 @@ pub fn parse_args(args: &[String]) -> Result<(String, String, Option<String>, Op
         }
     }
     let file = file.ok_or("missing database file")?;
-    if opts.user.is_empty() {
+    // `lint` works without a clearance; every other command needs one.
+    if opts.user.is_empty() && cmd != "lint" {
         return Err("missing --user <level>".to_owned());
     }
     Ok((cmd, file, goal, opts))
@@ -481,6 +561,91 @@ mod tests {
         o.engine = EngineKind::Reduced;
         let err = query(DB, "q(X)", &o).unwrap_err();
         assert!(err.contains("fact budget"), "{err}");
+    }
+
+    /// Lint-erroneous (p-predicate arity mismatch) but still evaluable:
+    /// the engine itself would accept this database, so it isolates the
+    /// preflight behaviour.
+    const ARITY_DB: &str = r#"
+        level(u). level(s). order(u, s).
+        q(a). r(X) <- q(X, b).
+        <- q(X).
+    "#;
+
+    #[test]
+    fn run_fails_fast_on_lint_errors() {
+        let err = run(ARITY_DB, &opts("s")).unwrap_err();
+        assert!(err.contains("lint found"), "{err}");
+        assert!(err.contains("ML0113"), "{err}");
+        let err = query(ARITY_DB, "q(X)", &opts("s")).unwrap_err();
+        assert!(err.contains("ML0113"), "{err}");
+    }
+
+    #[test]
+    fn no_lint_skips_preflight() {
+        let mut o = opts("s");
+        o.no_lint = true;
+        let out = run(ARITY_DB, &o).unwrap();
+        assert!(out.contains("query 1"), "{out}");
+        assert!(!out.contains("lint"), "{out}");
+    }
+
+    #[test]
+    fn lint_warn_downgrades_and_evaluates() {
+        let mut o = opts("s");
+        o.lint_warn = true;
+        let out = run(ARITY_DB, &o).unwrap();
+        assert!(out.contains("downgraded"), "{out}");
+        assert!(out.contains("query 1"), "{out}");
+    }
+
+    #[test]
+    fn lint_command_renders_human_and_json() {
+        let out = lint(ARITY_DB, "arity.mlog", &opts("s")).unwrap();
+        assert!(out.contains("error[ML0113]"), "{out}");
+        assert!(out.contains("--> arity.mlog:"), "{out}");
+        let mut o = opts("s");
+        o.json = true;
+        let out = lint(ARITY_DB, "arity.mlog", &o).unwrap();
+        assert!(out.starts_with("{\"diagnostics\":["), "{out}");
+        assert!(out.contains("\"code\":\"ML0113\""), "{out}");
+    }
+
+    #[test]
+    fn lint_command_without_user_skips_clearance_lints() {
+        // Clearance-free lint runs (user optional for `lint`), and the
+        // clean database reports no findings.
+        let src = "level(u). level(s). order(u, s). s[p(k : a -u-> v)].";
+        let out = lint(src, "db.mlog", &Options::default()).unwrap();
+        assert!(out.contains("0 errors, 0 warnings"), "{out}");
+        // With a clearance, ML0114 can fire.
+        let hi = "level(u). level(s). order(u, s).\n\
+                  s[p(k : a -s-> v)]. q(X) <- s[p(k : a -s-> X)].";
+        let out = lint(hi, "db.mlog", &opts("u")).unwrap();
+        assert!(out.contains("ML0114"), "{out}");
+    }
+
+    #[test]
+    fn parse_args_lint_flags() {
+        let to = |v: &[&str]| v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        // lint works without --user…
+        let (cmd, _, _, o) = parse_args(&to(&["lint", "f.mlog", "--format", "json"])).unwrap();
+        assert_eq!(cmd, "lint");
+        assert!(o.json);
+        // …but run still requires it.
+        assert!(parse_args(&to(&["run", "f.mlog"])).is_err());
+        let (_, _, _, o) = parse_args(&to(&[
+            "run",
+            "f.mlog",
+            "--user",
+            "s",
+            "--no-lint",
+            "--lint-warn",
+        ]))
+        .unwrap();
+        assert!(o.no_lint);
+        assert!(o.lint_warn);
+        assert!(parse_args(&to(&["lint", "f.mlog", "--format", "xml"])).is_err());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
 use multilog_cli::{
-    check, engine_options, parse_args, prove, query, reduce, repl_step, run, Options, USAGE,
+    check, engine_options, lint, parse_args, prove, query, reduce, repl_step, run, Options, USAGE,
 };
 
 fn main() -> ExitCode {
@@ -42,6 +42,7 @@ fn dispatch(args: &[String]) -> Result<String, String> {
         }
         "reduce" => reduce(&source, &opts),
         "check" => check(&source, &opts),
+        "lint" => lint(&source, &file, &opts),
         "repl" => repl(&source, &opts),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }

@@ -1,0 +1,354 @@
+//! Static analysis over Datalog programs: a lint pass that finds
+//! authoring mistakes *before* evaluation.
+//!
+//! The MultiLog reduction (§6 of the paper) compiles belief programs into
+//! plain Datalog; mistakes in either layer surface at evaluation time as
+//! guard trips or — worse — silently empty relations. This pass checks a
+//! program statically and reports findings with stable lint codes:
+//!
+//! | code   | name                 | severity | meaning |
+//! |--------|----------------------|----------|---------|
+//! | ML0001 | `unsafe-variable`    | error    | head/comparison variable unbound by a positive body literal |
+//! | ML0002 | `arity-mismatch`     | error    | predicate used with two different arities |
+//! | ML0003 | `non-stratifiable`   | error    | negative dependency cycle (full witness reported) |
+//! | ML0004 | `unused-predicate`   | warning  | predicate outside the dependency cone of the query seeds |
+//! | ML0005 | `unreachable-rule`   | warning  | a body predicate can never hold (no facts or firing rules derive it) |
+//! | ML0006 | `singleton-variable` | warning  | variable occurs exactly once in a clause (likely a typo) |
+//!
+//! ML0001/ML0002 are normally raised eagerly by [`Program::push`]; the
+//! [`check_clauses`] entry point re-checks a raw clause list *collecting*
+//! every finding instead of failing fast, which is what an IDE-style lint
+//! front-end wants. The higher-level `multilog lint` command layers the
+//! MultiLog-specific lints (ML01xx) from `multilog-core` on top of this
+//! pass.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::atom::Literal;
+use crate::clause::{Clause, Span};
+use crate::program::Program;
+use crate::DatalogError;
+
+/// Lint severity: errors would make evaluation fail (or be meaningless);
+/// warnings flag suspicious but evaluable constructs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but evaluable.
+    Warning,
+    /// Evaluation would reject the program or the construct is vacuous.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One finding of the analysis pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lint {
+    /// Stable lint code (`ML0001` …).
+    pub code: &'static str,
+    /// Human-readable lint name (`unsafe-variable` …).
+    pub name: &'static str,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Source span of the offending clause, when known.
+    pub span: Span,
+    /// The finding, rendered for humans.
+    pub message: String,
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if self.span.is_known() {
+            write!(f, " (at {})", self.span)?;
+        }
+        Ok(())
+    }
+}
+
+fn lint(
+    code: &'static str,
+    name: &'static str,
+    severity: Severity,
+    span: Span,
+    message: String,
+) -> Lint {
+    Lint {
+        code,
+        name,
+        severity,
+        span,
+        message,
+    }
+}
+
+/// Re-check a raw clause list for safety (ML0001) and arity consistency
+/// (ML0002), collecting every violation instead of failing on the first —
+/// the lenient twin of [`Program::from_clauses`].
+pub fn check_clauses(clauses: &[Clause]) -> Vec<Lint> {
+    let mut out = Vec::new();
+    let mut arities: HashMap<String, (usize, Span)> = HashMap::new();
+    for c in clauses {
+        if let Err(DatalogError::UnsafeVariable { variable, clause }) = c.check_safety() {
+            out.push(lint(
+                "ML0001",
+                "unsafe-variable",
+                Severity::Error,
+                c.span,
+                format!("unsafe variable `{variable}` in `{clause}`"),
+            ));
+        }
+        let mut uses: Vec<(String, usize)> = vec![(c.head.predicate.to_string(), c.head.arity())];
+        for l in &c.body {
+            if let Some(a) = l.atom() {
+                uses.push((a.predicate.to_string(), a.arity()));
+            }
+        }
+        for (pred, arity) in uses {
+            match arities.get(&pred) {
+                Some(&(a, first)) if a != arity => {
+                    out.push(lint(
+                        "ML0002",
+                        "arity-mismatch",
+                        Severity::Error,
+                        c.span,
+                        format!(
+                            "predicate `{pred}` used with arity {arity}, but arity {a} at {first}"
+                        ),
+                    ));
+                }
+                Some(_) => {}
+                None => {
+                    arities.insert(pred, (arity, c.span));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Analyze a validated program: stratifiability with a full cycle witness
+/// (ML0003), unreachable rules (ML0005), and singleton variables
+/// (ML0006). Use [`analyze_for_query`] to additionally flag predicates
+/// outside a query's dependency cone (ML0004).
+pub fn analyze(program: &Program) -> Vec<Lint> {
+    let mut out = Vec::new();
+
+    // ML0003 — negative dependency cycle, full witness.
+    let graph = program.dependency_graph();
+    if let Some(cycle) = graph.negative_cycle() {
+        let mut loop_text = cycle.join(" -> ");
+        if let Some(first) = cycle.first() {
+            loop_text.push_str(" -> ");
+            loop_text.push_str(first);
+        }
+        out.push(lint(
+            "ML0003",
+            "non-stratifiable",
+            Severity::Error,
+            Span::unknown(),
+            format!("negative dependency cycle {loop_text}"),
+        ));
+    }
+
+    // ML0005 — rules over predicates that can never hold. A predicate is
+    // *possibly nonempty* when it has a fact, or a rule whose positive
+    // body literals are all possibly nonempty (negated literals never
+    // block firing).
+    let mut nonempty: HashSet<&str> = HashSet::new();
+    loop {
+        let mut changed = false;
+        for c in program.clauses() {
+            if nonempty.contains(c.head.predicate.as_ref()) {
+                continue;
+            }
+            let fires = c.body.iter().all(|l| match l {
+                Literal::Pos(a) => nonempty.contains(a.predicate.as_ref()),
+                _ => true,
+            });
+            if fires {
+                nonempty.insert(c.head.predicate.as_ref());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for c in program.clauses() {
+        let empty_dep = c.body.iter().find_map(|l| match l {
+            Literal::Pos(a) if !nonempty.contains(a.predicate.as_ref()) => {
+                Some(a.predicate.to_string())
+            }
+            _ => None,
+        });
+        if let Some(p) = empty_dep {
+            out.push(lint(
+                "ML0005",
+                "unreachable-rule",
+                Severity::Warning,
+                c.span,
+                format!("rule `{c}` can never fire: no fact or reachable rule derives `{p}`"),
+            ));
+        }
+    }
+
+    // ML0006 — singleton variables (`_`-prefixed names opt out).
+    for c in program.clauses() {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for v in c.head.variables() {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        for l in &c.body {
+            for v in l.variables() {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+        }
+        let mut singles: Vec<&str> = counts
+            .iter()
+            .filter(|&(v, &n)| n == 1 && !v.starts_with('_'))
+            .map(|(&v, _)| v)
+            .collect();
+        singles.sort_unstable();
+        for v in singles {
+            out.push(lint(
+                "ML0006",
+                "singleton-variable",
+                Severity::Warning,
+                c.span,
+                format!("variable `{v}` occurs only once in `{c}` — typo or use `_{v}`"),
+            ));
+        }
+    }
+
+    sort_lints(&mut out);
+    out
+}
+
+/// [`analyze()`] plus ML0004: predicates that cannot influence the query
+/// seeds. Anything defined outside `program.dependencies_of(seeds)` is
+/// dead weight for this query.
+pub fn analyze_for_query<'a>(
+    program: &Program,
+    seeds: impl IntoIterator<Item = &'a str>,
+) -> Vec<Lint> {
+    let mut out = analyze(program);
+    let needed = program.dependencies_of(seeds);
+    let mut preds: Vec<&str> = program.predicates();
+    preds.sort_unstable();
+    for p in preds {
+        if !needed.contains(p) {
+            out.push(lint(
+                "ML0004",
+                "unused-predicate",
+                Severity::Warning,
+                Span::unknown(),
+                format!("predicate `{p}` cannot influence the query and is never consulted"),
+            ));
+        }
+    }
+    sort_lints(&mut out);
+    out
+}
+
+/// Deterministic report order: errors first, then by span, then code.
+fn sort_lints(lints: &mut [Lint]) {
+    lints.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then(a.span.line.cmp(&b.span.line))
+            .then(a.span.column.cmp(&b.span.column))
+            .then(a.code.cmp(b.code))
+            .then(a.message.cmp(&b.message))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_clause, parse_program};
+
+    #[test]
+    fn clean_program_is_clean() {
+        let p = parse_program(
+            "edge(a, b). edge(b, c). path(X, Y) :- edge(X, Y). \
+             path(X, Y) :- edge(X, Z), path(Z, Y).",
+        )
+        .unwrap();
+        assert!(analyze(&p).is_empty());
+    }
+
+    #[test]
+    fn negative_cycle_reported_with_witness() {
+        let p = parse_program("p(X) :- base(X), not q(X). q(X) :- base(X), not p(X). base(a).")
+            .unwrap();
+        let lints = analyze(&p);
+        let strat: Vec<&Lint> = lints.iter().filter(|l| l.code == "ML0003").collect();
+        assert_eq!(strat.len(), 1);
+        assert!(
+            strat[0].message.contains("p -> q -> p") || strat[0].message.contains("q -> p -> q"),
+            "full cycle expected: {}",
+            strat[0].message
+        );
+    }
+
+    #[test]
+    fn unreachable_rule_flagged() {
+        let p = parse_program("p(X) :- ghost(X). q(a).").unwrap();
+        let lints = analyze(&p);
+        assert!(lints
+            .iter()
+            .any(|l| l.code == "ML0005" && l.message.contains("ghost")));
+    }
+
+    #[test]
+    fn singleton_variable_flagged_and_underscore_exempt() {
+        let p = parse_program("q(a, b). p(X) :- q(X, Lone).").unwrap();
+        let lints = analyze(&p);
+        assert!(lints
+            .iter()
+            .any(|l| l.code == "ML0006" && l.message.contains("Lone")));
+        let p = parse_program("q(a, b). p(X) :- q(X, _Lone).").unwrap();
+        assert!(analyze(&p).iter().all(|l| l.code != "ML0006"));
+    }
+
+    #[test]
+    fn unused_predicate_only_with_seeds() {
+        let p = parse_program("q(a). r(b). s(X) :- q(X).").unwrap();
+        assert!(analyze(&p).iter().all(|l| l.code != "ML0004"));
+        let lints = analyze_for_query(&p, ["s"]);
+        assert!(lints
+            .iter()
+            .any(|l| l.code == "ML0004" && l.message.contains("`r`")));
+        assert!(lints
+            .iter()
+            .all(|l| !(l.code == "ML0004" && l.message.contains("`q`"))));
+    }
+
+    #[test]
+    fn check_clauses_collects_all_errors() {
+        // Bypass Program validation: parse clauses individually.
+        let c1 = parse_clause("p(X) :- q(Y).").unwrap();
+        let c2 = parse_clause("q(a, b).").unwrap();
+        let c3 = parse_clause("q(c).").unwrap();
+        let lints = check_clauses(&[c1, c2, c3]);
+        assert!(lints.iter().any(|l| l.code == "ML0001"));
+        assert!(lints.iter().any(|l| l.code == "ML0002"));
+    }
+
+    #[test]
+    fn spans_point_at_clauses() {
+        let p = parse_program("q(a, b).\np(X) :- q(X, Lone).").unwrap();
+        let lints = analyze(&p);
+        let single = lints.iter().find(|l| l.code == "ML0006").unwrap();
+        assert_eq!(single.span.line, 2);
+    }
+}

@@ -1,10 +1,65 @@
-//! Clauses (rules and facts) with range-restriction checking.
+//! Clauses (rules and facts) with range-restriction checking, carrying
+//! source spans for diagnostics.
 
 use std::collections::HashSet;
 use std::fmt;
 
 use crate::atom::{Atom, Literal};
 use crate::{DatalogError, Result};
+
+/// A source position (1-based line and column) attached to parsed
+/// clauses so static analysis can point at the offending source text.
+///
+/// A span is *metadata, not identity*: two clauses that differ only in
+/// their spans are considered equal, so `Span` deliberately compares
+/// equal to every other `Span` and hashes to nothing. Programmatically
+/// built clauses use [`Span::unknown`] (line 0).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Span {
+    /// 1-based source line (0 when unknown).
+    pub line: usize,
+    /// 1-based source column (0 when unknown).
+    pub column: usize,
+}
+
+impl Span {
+    /// A span at a known position.
+    pub fn new(line: usize, column: usize) -> Self {
+        Span { line, column }
+    }
+
+    /// The span of a clause not read from source text.
+    pub fn unknown() -> Self {
+        Span::default()
+    }
+
+    /// Whether the span points at real source text.
+    pub fn is_known(&self) -> bool {
+        self.line > 0
+    }
+}
+
+impl PartialEq for Span {
+    fn eq(&self, _: &Span) -> bool {
+        true // spans are diagnostics metadata, never identity
+    }
+}
+
+impl Eq for Span {}
+
+impl std::hash::Hash for Span {
+    fn hash<H: std::hash::Hasher>(&self, _: &mut H) {}
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_known() {
+            write!(f, "{}:{}", self.line, self.column)
+        } else {
+            f.write_str("?:?")
+        }
+    }
+}
 
 /// A definite clause `head :- body` (a fact when the body is empty).
 #[derive(Clone, PartialEq, Eq, Hash)]
@@ -13,12 +68,18 @@ pub struct Clause {
     pub head: Atom,
     /// The body literals, evaluated left to right.
     pub body: Vec<Literal>,
+    /// Where the clause came from (ignored by equality and hashing).
+    pub span: Span,
 }
 
 impl Clause {
     /// Construct a clause.
     pub fn new(head: Atom, body: Vec<Literal>) -> Self {
-        Clause { head, body }
+        Clause {
+            head,
+            body,
+            span: Span::unknown(),
+        }
     }
 
     /// Construct a fact (empty body).
@@ -26,7 +87,14 @@ impl Clause {
         Clause {
             head,
             body: Vec::new(),
+            span: Span::unknown(),
         }
+    }
+
+    /// Attach a source span (builder-style, used by the parser).
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = span;
+        self
     }
 
     /// Whether the clause is a fact.

@@ -33,10 +33,13 @@ pub enum DatalogError {
         found: usize,
     },
     /// The program cannot be stratified: a predicate depends negatively on
-    /// itself through recursion.
+    /// itself through recursion. Carries the full witness cycle so
+    /// diagnostics can show the whole offending loop, not just one name.
     NotStratifiable {
-        /// A predicate inside the offending recursive component.
-        predicate: String,
+        /// The negative dependency cycle, as an ordered predicate list
+        /// `p₀ → p₁ → … → pₙ` (the edge `pₙ → p₀` closes the loop, and at
+        /// least one edge on the loop is negative). Never empty.
+        cycle: Vec<String>,
     },
     /// A comparison built-in was applied to incomparable constants
     /// (e.g. `3 < foo`).
@@ -100,10 +103,17 @@ impl fmt::Display for DatalogError {
                 f,
                 "predicate `{predicate}` used with arity {found}, expected {expected}"
             ),
-            DatalogError::NotStratifiable { predicate } => write!(
-                f,
-                "program is not stratifiable: `{predicate}` depends negatively on itself"
-            ),
+            DatalogError::NotStratifiable { cycle } => {
+                let mut loop_text = cycle.join(" -> ");
+                if let Some(first) = cycle.first() {
+                    loop_text.push_str(" -> ");
+                    loop_text.push_str(first);
+                }
+                write!(
+                    f,
+                    "program is not stratifiable: negative dependency cycle {loop_text}"
+                )
+            }
             DatalogError::IncomparableTerms { left, right } => {
                 write!(
                     f,
@@ -152,7 +162,7 @@ mod tests {
                 found: 3,
             },
             DatalogError::NotStratifiable {
-                predicate: "win".into(),
+                cycle: vec!["win".into(), "lose".into()],
             },
             DatalogError::IncomparableTerms {
                 left: "3".into(),

@@ -23,6 +23,9 @@
 //!   inside the join loop, cooperative cancellation — surfacing as typed
 //!   errors, plus per-rule/per-stratum statistics and a [`TraceSink`]
 //!   for structured evaluation events.
+//! * A static-analysis pass ([`mod@analyze`]) that finds authoring mistakes —
+//!   negative cycles with a full witness, unreachable rules, singleton
+//!   variables — before evaluation, with spanned diagnostics.
 //!
 //! # Example
 //!
@@ -64,6 +67,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 mod atom;
 mod clause;
 mod error;
@@ -78,13 +82,14 @@ mod storage;
 mod term;
 mod trace;
 
+pub use analyze::{analyze, analyze_for_query, check_clauses, Lint, Severity};
 pub use atom::{ArithOp, Atom, CmpOp, Literal};
-pub use clause::Clause;
+pub use clause::{Clause, Span};
 pub use error::DatalogError;
 pub use eval::{Engine, EvalStats, RuleStats, Strategy, StratumStats};
 pub use guard::CancelToken;
 pub use parser::{parse_atom, parse_clause, parse_program, parse_query};
-pub use program::{Program, Stratification};
+pub use program::{DepGraph, Program, Stratification};
 pub use query::{run_query, Bindings, QueryAnswer};
 pub use storage::{Database, Relation};
 pub use term::{Const, SymId, Term};

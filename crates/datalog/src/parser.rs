@@ -420,6 +420,9 @@ impl Parser {
     }
 
     fn clause(&mut self) -> Result<Clause> {
+        let span = self.peek().map_or_else(crate::clause::Span::unknown, |t| {
+            crate::clause::Span::new(t.line, t.column)
+        });
         let head = self.atom()?;
         let body = if self.peek_is(&TokenKind::Rule) {
             self.advance();
@@ -428,7 +431,7 @@ impl Parser {
             Vec::new()
         };
         self.expect(TokenKind::Dot, "`.` at end of clause")?;
-        Ok(Clause::new(head, body))
+        Ok(Clause::new(head, body).with_span(span))
     }
 
     fn body(&mut self) -> Result<Vec<Literal>> {

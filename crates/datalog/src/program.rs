@@ -130,12 +130,47 @@ impl Program {
         }
     }
 
+    /// The predicate dependency graph of the program: one node per
+    /// predicate, one edge from every body predicate to the head
+    /// predicate that depends on it, tagged negative when the body
+    /// literal is negated. Shared by stratification (which needs the
+    /// negative-cycle witness) and the static-analysis pass in
+    /// [`mod@crate::analyze`].
+    pub fn dependency_graph(&self) -> DepGraph {
+        let preds: Vec<String> = self.predicates().iter().map(|&p| p.to_owned()).collect();
+        let index: HashMap<String, usize> = preds
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i))
+            .collect();
+        let mut edges = Vec::new();
+        for c in &self.clauses {
+            let h = index[c.head.predicate.as_ref()];
+            for l in &c.body {
+                let (q, negative) = match l {
+                    Literal::Pos(a) => (index[a.predicate.as_ref()], false),
+                    Literal::Neg(a) => (index[a.predicate.as_ref()], true),
+                    Literal::Cmp { .. } | Literal::Arith { .. } => continue,
+                };
+                edges.push((q, h, negative));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        DepGraph {
+            preds,
+            index,
+            edges,
+        }
+    }
+
     /// Compute a stratification of the program.
     ///
     /// Predicates are assigned to strata such that positive dependencies
     /// stay within or below a stratum and negative dependencies point
     /// strictly below. Errors with [`DatalogError::NotStratifiable`] when a
-    /// predicate depends negatively on itself through recursion.
+    /// predicate depends negatively on itself through recursion; the error
+    /// carries the full witness cycle from [`DepGraph::negative_cycle`].
     pub fn stratify(&self) -> Result<Stratification> {
         // Collect predicate ids.
         let preds: Vec<&str> = self.predicates();
@@ -162,9 +197,11 @@ impl Program {
                     let need = stratum[q] + delta;
                     if stratum[h] < need {
                         if need > n {
-                            return Err(DatalogError::NotStratifiable {
-                                predicate: c.head.predicate.to_string(),
-                            });
+                            let cycle = self
+                                .dependency_graph()
+                                .negative_cycle()
+                                .unwrap_or_else(|| vec![c.head.predicate.to_string()]);
+                            return Err(DatalogError::NotStratifiable { cycle });
                         }
                         stratum[h] = need;
                         changed = true;
@@ -199,6 +236,176 @@ impl fmt::Display for Program {
 impl fmt::Debug for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Program({} clauses)", self.clauses.len())
+    }
+}
+
+/// The predicate dependency graph of a program (see
+/// [`Program::dependency_graph`]). Edges run from a body predicate to the
+/// head predicate of the clause using it; an edge is *negative* when some
+/// clause uses the body predicate under `not`.
+#[derive(Clone, Debug)]
+pub struct DepGraph {
+    preds: Vec<String>,
+    index: HashMap<String, usize>,
+    /// `(from, to, negative)`, sorted and deduplicated.
+    edges: Vec<(usize, usize, bool)>,
+}
+
+impl DepGraph {
+    /// The predicate names, sorted (node order).
+    pub fn predicates(&self) -> &[String] {
+        &self.preds
+    }
+
+    /// The node index of a predicate.
+    pub fn index_of(&self, predicate: &str) -> Option<usize> {
+        self.index.get(predicate).copied()
+    }
+
+    /// Iterate over edges as `(from, to, negative)` predicate names.
+    pub fn edges(&self) -> impl Iterator<Item = (&str, &str, bool)> {
+        self.edges
+            .iter()
+            .map(|&(q, h, neg)| (self.preds[q].as_str(), self.preds[h].as_str(), neg))
+    }
+
+    /// The predicates transitively reachable from `seeds` by following
+    /// edges *forward* (i.e. the predicates that depend on a seed),
+    /// including the seeds themselves.
+    pub fn dependents_of<'a>(&self, seeds: impl IntoIterator<Item = &'a str>) -> Vec<String> {
+        let mut seen = vec![false; self.preds.len()];
+        let mut stack: Vec<usize> = seeds.into_iter().filter_map(|s| self.index_of(s)).collect();
+        for &s in &stack {
+            seen[s] = true;
+        }
+        while let Some(q) = stack.pop() {
+            for &(from, to, _) in &self.edges {
+                if from == q && !seen[to] {
+                    seen[to] = true;
+                    stack.push(to);
+                }
+            }
+        }
+        let mut out: Vec<String> = seen
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s)
+            .map(|(i, _)| self.preds[i].clone())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Strongly connected components, each a sorted list of node indices.
+    /// Iterative Kosaraju — robust against deep recursion on generated
+    /// programs.
+    fn sccs(&self) -> Vec<usize> {
+        let n = self.preds.len();
+        let mut fwd: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(q, h, _) in &self.edges {
+            fwd[q].push(h);
+            rev[h].push(q);
+        }
+        // Pass 1: finish order via iterative DFS over the forward graph.
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 in-stack, 2 done
+        let mut order = Vec::with_capacity(n);
+        for root in 0..n {
+            if state[root] != 0 {
+                continue;
+            }
+            let mut stack = vec![(root, 0usize)];
+            state[root] = 1;
+            while let Some(&mut (v, ref mut next)) = stack.last_mut() {
+                if *next < fwd[v].len() {
+                    let w = fwd[v][*next];
+                    *next += 1;
+                    if state[w] == 0 {
+                        state[w] = 1;
+                        stack.push((w, 0));
+                    }
+                } else {
+                    state[v] = 2;
+                    order.push(v);
+                    stack.pop();
+                }
+            }
+        }
+        // Pass 2: components over the reverse graph in reverse finish order.
+        let mut comp = vec![usize::MAX; n];
+        let mut c = 0;
+        for &root in order.iter().rev() {
+            if comp[root] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![root];
+            comp[root] = c;
+            while let Some(v) = stack.pop() {
+                for &w in &rev[v] {
+                    if comp[w] == usize::MAX {
+                        comp[w] = c;
+                        stack.push(w);
+                    }
+                }
+            }
+            c += 1;
+        }
+        comp
+    }
+
+    /// A witness that the program is not stratifiable: an ordered
+    /// predicate list `p₀ → p₁ → … → pₙ` such that every consecutive edge
+    /// (and the closing edge `pₙ → p₀`) is a dependency edge and at least
+    /// one of them is negative. `None` when every negative edge crosses
+    /// between distinct strongly connected components (the program is
+    /// stratifiable).
+    ///
+    /// Deterministic: the lexicographically first negative in-component
+    /// edge is chosen, and the closing path is a shortest path found by
+    /// BFS over sorted adjacency.
+    pub fn negative_cycle(&self) -> Option<Vec<String>> {
+        let comp = self.sccs();
+        // The negative edge (q -> h) inside one SCC with the smallest
+        // (from-name, to-name); edges are already sorted by index, which
+        // matches name order because `preds` is sorted.
+        let &(q, h, _) = self
+            .edges
+            .iter()
+            .find(|&&(q, h, neg)| neg && comp[q] == comp[h])?;
+        // Shortest path h ~> q staying inside the component.
+        let n = self.preds.len();
+        let mut prev = vec![usize::MAX; n];
+        let mut queue = std::collections::VecDeque::from([h]);
+        let mut seen = vec![false; n];
+        seen[h] = true;
+        while let Some(v) = queue.pop_front() {
+            if v == q {
+                break;
+            }
+            for &(from, to, _) in &self.edges {
+                if from == v && comp[to] == comp[h] && !seen[to] {
+                    seen[to] = true;
+                    prev[to] = v;
+                    queue.push_back(to);
+                }
+            }
+        }
+        // Reconstruct h … q, then rotate so the cycle starts at h (the
+        // head of the negative edge): [h, …, q] with the closing negative
+        // edge q -> h implicit.
+        let mut path = vec![q];
+        let mut cur = q;
+        while cur != h {
+            cur = prev[cur];
+            if cur == usize::MAX {
+                // q unreachable from h inside the SCC — cannot happen for a
+                // genuine SCC, but stay defensive for degenerate graphs.
+                return Some(vec![self.preds[h].clone()]);
+            }
+            path.push(cur);
+        }
+        path.reverse(); // h … q
+        Some(path.into_iter().map(|i| self.preds[i].clone()).collect())
     }
 }
 

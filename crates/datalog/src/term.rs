@@ -29,7 +29,7 @@ fn table() -> &'static RwLock<SymbolTable> {
     })
 }
 
-/// An interned symbol: a `u32` handle into the global [`SymbolTable`].
+/// An interned symbol: a `u32` handle into the global `SymbolTable`.
 ///
 /// Equality and hashing are O(1) on the id (interning guarantees
 /// text-equality iff id-equality); ordering resolves to the symbol text

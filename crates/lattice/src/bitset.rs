@@ -44,6 +44,13 @@ impl BitRow {
         changed
     }
 
+    /// `self &= other` (bits past `other`'s width are cleared).
+    pub(crate) fn intersect_in_place(&mut self, other: &BitRow) {
+        for (i, dst) in self.words.iter_mut().enumerate() {
+            *dst &= other.words.get(i).copied().unwrap_or(0);
+        }
+    }
+
     /// Iterator over the indices of set bits, ascending.
     pub(crate) fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {

@@ -239,6 +239,23 @@ impl SecurityLattice {
             .collect()
     }
 
+    /// All labels dominating *every* label of `labels` (the common upper
+    /// bounds), ascending by index. Returns every label for an empty
+    /// input. Used by the flow lints of `multilog-core::lint`: a rule
+    /// whose ground labels have no common dominator can never fire and be
+    /// observed at any single clearance.
+    pub fn common_dominators(&self, labels: impl IntoIterator<Item = Label>) -> Vec<Label> {
+        let mut it = labels.into_iter();
+        let Some(first) = it.next() else {
+            return self.labels().collect();
+        };
+        let mut row = self.dominators[first.index()].clone();
+        for l in it {
+            row.intersect_in_place(&self.dominators[l.index()]);
+        }
+        row.iter_ones().map(Label::from_index).collect()
+    }
+
     /// Least upper bound, if unique.
     pub fn lub(&self, a: Label, b: Label) -> Option<Label> {
         match self.minimal_upper_bounds(a, b).as_slice() {

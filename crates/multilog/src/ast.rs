@@ -1,8 +1,62 @@
 //! The MultiLog abstract syntax: terms, the five atom kinds, molecules,
-//! clauses, and goals.
+//! clauses, and goals, with source spans for diagnostics.
 
 use std::fmt;
 use std::sync::Arc;
+
+/// A source position (1-based line and column) recorded by the parser on
+/// every clause, so lints and errors can point at the offending source.
+///
+/// A span is *metadata, not identity*: two clauses differing only in
+/// spans are equal, so `Span` compares equal to every other `Span` and
+/// hashes to nothing. All clauses desugared from one molecular source
+/// item share that item's span — analyses use this to group them back.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Span {
+    /// 1-based source line (0 when unknown).
+    pub line: usize,
+    /// 1-based source column (0 when unknown).
+    pub column: usize,
+}
+
+impl Span {
+    /// A span at a known position.
+    pub fn new(line: usize, column: usize) -> Self {
+        Span { line, column }
+    }
+
+    /// The span of a programmatically built clause.
+    pub fn unknown() -> Self {
+        Span::default()
+    }
+
+    /// Whether the span points at real source text.
+    pub fn is_known(&self) -> bool {
+        self.line > 0
+    }
+}
+
+impl PartialEq for Span {
+    fn eq(&self, _: &Span) -> bool {
+        true // spans are diagnostics metadata, never identity
+    }
+}
+
+impl Eq for Span {}
+
+impl std::hash::Hash for Span {
+    fn hash<H: std::hash::Hasher>(&self, _: &mut H) {}
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_known() {
+            write!(f, "{}:{}", self.line, self.column)
+        } else {
+            f.write_str("?:?")
+        }
+    }
+}
 
 /// A term: a variable, a symbolic constant, an integer, `⊥`, or the
 /// don't-care `_` (§7 suggests don't-care variables to hide level
@@ -307,15 +361,30 @@ pub struct Clause {
     pub head: Head,
     /// The body atoms.
     pub body: Vec<Atom>,
+    /// Where the clause came from (ignored by equality and hashing).
+    /// Clauses desugared from one molecular item share one span.
+    pub span: Span,
 }
 
 impl Clause {
-    /// Construct a fact.
-    pub fn fact(head: Head) -> Self {
+    /// Construct a rule.
+    pub fn new(head: Head, body: Vec<Atom>) -> Self {
         Clause {
             head,
-            body: Vec::new(),
+            body,
+            span: Span::unknown(),
         }
+    }
+
+    /// Construct a fact.
+    pub fn fact(head: Head) -> Self {
+        Clause::new(head, Vec::new())
+    }
+
+    /// Attach a source span (builder-style, used by the parser).
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = span;
+        self
     }
 
     /// Whether the clause is a fact.
@@ -415,16 +484,16 @@ mod tests {
 
     #[test]
     fn clause_display() {
-        let c = Clause {
-            head: Head::M(matom()),
-            body: vec![
+        let c = Clause::new(
+            Head::M(matom()),
+            vec![
                 Atom::P(PAtom {
                     pred: Arc::from("q"),
                     args: vec![Term::sym("j")],
                 }),
                 Atom::Leq(Term::sym("u"), Term::var("H")),
             ],
-        };
+        );
         assert_eq!(
             c.to_string(),
             "s[mission(avenger : objective -s-> shipping)] <- q(j), u leq H."

@@ -85,27 +85,7 @@ impl MultiLogDb {
     /// 2. every ground security label used in Σ is asserted by `[[Λ]]`;
     /// 3. `[[Λ]]` induces a partial order (no cycles).
     pub fn lattice(&self) -> Result<Arc<SecurityLattice>> {
-        // [[Λ]]: evaluate the l-/h-clauses to fixpoint. Λ may contain
-        // rules, but only over level/order atoms; a simple naive fixpoint
-        // suffices at lattice scale.
-        let mut levels: HashSet<String> = HashSet::new();
-        let mut orders: HashSet<(String, String)> = HashSet::new();
-        // Seed with facts, then iterate rules.
-        loop {
-            let mut changed = false;
-            for c in &self.lambda {
-                for (lv, od) in derive_lambda(c, &levels, &orders) {
-                    match (lv, od) {
-                        (Some(l), None) => changed |= levels.insert(l),
-                        (None, Some(o)) => changed |= orders.insert(o),
-                        _ => {}
-                    }
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
+        let (levels, orders) = eval_lambda(&self.lambda);
         let mut b = LatticeBuilder::new();
         let mut sorted: Vec<&String> = levels.iter().collect();
         sorted.sort();
@@ -141,6 +121,42 @@ impl MultiLogDb {
         }
         Ok(Arc::new(lattice))
     }
+}
+
+/// Evaluate `[[Λ]]` to fixpoint: the asserted level names and order
+/// edges. Λ may contain rules, but only over level/order atoms; a simple
+/// naive fixpoint suffices at lattice scale. Clauses whose bodies contain
+/// non-lattice atoms are skipped (the lint pass reports them; validated
+/// databases never contain them).
+pub(crate) fn eval_lambda(lambda: &[Clause]) -> (HashSet<String>, HashSet<(String, String)>) {
+    let mut levels: HashSet<String> = HashSet::new();
+    let mut orders: HashSet<(String, String)> = HashSet::new();
+    let pure: Vec<&Clause> = lambda
+        .iter()
+        .filter(|c| {
+            matches!(c.head, Head::L(_) | Head::H(_, _))
+                && c.body
+                    .iter()
+                    .all(|a| matches!(a, Atom::L(_) | Atom::H(_, _) | Atom::Leq(_, _)))
+        })
+        .collect();
+    // Seed with facts, then iterate rules.
+    loop {
+        let mut changed = false;
+        for c in &pure {
+            for (lv, od) in derive_lambda(c, &levels, &orders) {
+                match (lv, od) {
+                    (Some(l), None) => changed |= levels.insert(l),
+                    (None, Some(o)) => changed |= orders.insert(o),
+                    _ => {}
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (levels, orders)
 }
 
 /// A derivable Λ fact: `(Some(level), None)` or `(None, Some(order pair))`.

@@ -29,6 +29,8 @@
 //! * user-defined belief modes via `bel`-defining rules (§7) ([`modes`]);
 //! * the FILTER/FILTER-NULL downward-inheritance extension of Figure 13
 //!   ([`filter`]);
+//! * a **static-analysis pass** emitting spanned diagnostics with stable
+//!   `ML01xx` codes before any evaluation ([`lint`]);
 //! * the worked examples of the paper: database D₁ (Figure 10) and the
 //!   MultiLog encoding of the `Mission` relation (Example 5.1)
 //!   ([`examples`]).
@@ -66,16 +68,19 @@ mod engine;
 mod error;
 pub mod examples;
 pub mod filter;
+pub mod lint;
 pub mod modes;
 pub mod parser;
 pub mod proof;
 pub mod reduce;
 
+pub use ast::Span;
 pub use db::MultiLogDb;
 pub use engine::{Answer, ClauseStats, EngineOptions, MultiLogEngine, OperationalStats, PFact};
 pub use error::MultiLogError;
+pub use lint::{lint_source, lint_source_at, Diagnostic, LintReport, Severity};
 pub use multilog_datalog::CancelToken;
-pub use parser::{parse_clause, parse_database, parse_goal};
+pub use parser::{parse_clause, parse_database, parse_goal, parse_items, ParsedProgram};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, MultiLogError>;

@@ -61,8 +61,8 @@ pub fn paranoid_mode(pred: &str, attr: &str) -> Clause {
         class: Term::var("L"),
         value: Term::var("V"),
     };
-    Clause {
-        head: bel_head(
+    Clause::new(
+        bel_head(
             pred,
             Term::var("K"),
             attr,
@@ -71,8 +71,8 @@ pub fn paranoid_mode(pred: &str, attr: &str) -> Clause {
             Term::var("L"),
             "paranoid",
         ),
-        body: vec![Atom::M(body_atom)],
-    }
+        vec![Atom::M(body_atom)],
+    )
 }
 
 #[cfg(test)]

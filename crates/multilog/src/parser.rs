@@ -23,26 +23,51 @@
 
 use std::sync::Arc;
 
-use crate::ast::{Atom, Clause, Goal, Head, MMolecule, PAtom, Term};
+use crate::ast::{Atom, Clause, Goal, Head, MMolecule, PAtom, Span, Term};
 use crate::db::MultiLogDb;
 use crate::{MultiLogError, Result};
 
-/// Parse a full database (clauses and `<- …` queries).
-pub fn parse_database(src: &str) -> Result<MultiLogDb> {
+/// The raw output of the parser: clauses (spans attached) and queries
+/// with their source spans, *before* any database-level validation.
+///
+/// The lint pass works on this form so it can report range-restriction
+/// and admissibility problems as collected diagnostics instead of the
+/// fail-fast errors [`MultiLogDb::new`] raises.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedProgram {
+    /// The clauses in source order, each carrying its span.
+    pub clauses: Vec<Clause>,
+    /// The queries (`<- …` items) in source order.
+    pub queries: Vec<Goal>,
+    /// The source span of each query, parallel to `queries`.
+    pub query_spans: Vec<Span>,
+}
+
+/// Parse a database into its raw, unvalidated form (see
+/// [`ParsedProgram`]). Only syntax errors are reported here.
+pub fn parse_items(src: &str) -> Result<ParsedProgram> {
     let mut p = Parser::new(src)?;
-    let mut clauses = Vec::new();
-    let mut queries = Vec::new();
+    let mut out = ParsedProgram::default();
     while !p.at_end() {
+        let span = p.span_here();
         if p.peek_is(&Tok::Arrow) {
             p.advance();
             let body = p.body()?;
             p.expect(&Tok::Dot, "`.`")?;
-            queries.push(body);
+            out.queries.push(body);
+            out.query_spans.push(span);
         } else {
-            clauses.extend(p.clause()?);
+            out.clauses.extend(p.clause()?);
         }
     }
-    MultiLogDb::new(clauses, queries)
+    Ok(out)
+}
+
+/// Parse a full database (clauses and `<- …` queries), validating it
+/// (Definition 5.1 partitioning plus the syntactic admissibility checks).
+pub fn parse_database(src: &str) -> Result<MultiLogDb> {
+    let items = parse_items(src)?;
+    MultiLogDb::new(items.clauses, items.queries)
 }
 
 /// Parse one clause (molecular heads may yield several); must consume all
@@ -164,7 +189,16 @@ impl Parser {
         Term::var(format!("_Dc{}", self.fresh))
     }
 
+    /// The span of the next token (or of the last token at end of input).
+    fn span_here(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or_else(Span::unknown, |&(_, l, c)| Span::new(l, c))
+    }
+
     fn clause(&mut self) -> Result<Vec<Clause>> {
+        let span = self.span_here();
         let heads = self.head()?;
         let body = if self.peek_is(&Tok::Arrow) {
             self.advance();
@@ -175,10 +209,7 @@ impl Parser {
         self.expect(&Tok::Dot, "`.` at end of clause")?;
         Ok(heads
             .into_iter()
-            .map(|head| Clause {
-                head,
-                body: body.clone(),
-            })
+            .map(|head| Clause::new(head, body.clone()).with_span(span))
             .collect())
     }
 

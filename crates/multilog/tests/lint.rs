@@ -1,0 +1,378 @@
+//! The lint pass: one firing and one non-firing case per `ML01xx` code,
+//! paper-corpus cleanliness, and robustness (lint never panics on
+//! anything the parser accepts).
+
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+
+use multilog_core::lint::{lint_source, lint_source_at, Severity};
+use multilog_core::parse_items;
+
+/// A small sound lattice prefix shared by most cases.
+const LAT: &str = "level(u). level(s). order(u, s).\n";
+
+fn codes(src: &str) -> Vec<&'static str> {
+    lint_source(src)
+        .expect("lint input parses")
+        .diagnostics
+        .iter()
+        .map(|d| d.code)
+        .collect()
+}
+
+fn codes_at(src: &str, user: &str) -> Vec<&'static str> {
+    lint_source_at(src, Some(user))
+        .expect("lint input parses")
+        .diagnostics
+        .iter()
+        .map(|d| d.code)
+        .collect()
+}
+
+#[track_caller]
+fn fires(src: &str, code: &str) {
+    let found = codes(src);
+    assert!(found.contains(&code), "expected {code}, got {found:?}");
+}
+
+#[track_caller]
+fn clean_of(src: &str, code: &str) {
+    let found = codes(src);
+    assert!(!found.contains(&code), "unexpected {code} in {found:?}");
+}
+
+// ── ML0101 unsafe-variable ──────────────────────────────────────────
+
+#[test]
+fn ml0101_unsafe_variable() {
+    fires("q(X).", "ML0101");
+    fires(&format!("{LAT}s[p(K : a -u-> v)]."), "ML0101");
+    clean_of("q(a). r(X) <- q(X).", "ML0101");
+}
+
+// ── ML0102 lambda-impure ────────────────────────────────────────────
+
+#[test]
+fn ml0102_lambda_impure() {
+    fires("level(u) <- q(a). q(a).", "ML0102");
+    clean_of(
+        &format!("{LAT}order(u, s) <- level(u), level(s)."),
+        "ML0102",
+    );
+}
+
+// ── ML0103 undeclared-label ─────────────────────────────────────────
+
+#[test]
+fn ml0103_undeclared_label() {
+    fires("level(u).\nu[p(k : a -s-> v)].", "ML0103");
+    fires("level(u). order(u, s).", "ML0103");
+    clean_of(&format!("{LAT}s[p(k : a -u-> v)]."), "ML0103");
+    // The clearance itself must be declared…
+    assert!(codes_at(&format!("{LAT}s[p(k : a -u-> v)]."), "zzz").contains(&"ML0103"));
+    // …and pure-Π programs (Prop 6.1 degeneration) skip lattice lints.
+    assert!(codes_at("q(a). <- q(X).", "anything").is_empty());
+}
+
+// ── ML0104 lattice-cycle ────────────────────────────────────────────
+
+#[test]
+fn ml0104_lattice_cycle() {
+    let report = lint_source("level(u). level(s). order(u, s). order(s, u).").unwrap();
+    let d = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == "ML0104")
+        .expect("cycle reported");
+    assert_eq!(d.severity, Severity::Error);
+    assert!(d.message.contains("->"), "witness path in {}", d.message);
+    clean_of(LAT, "ML0104");
+}
+
+// ── ML0105 belief-unstratified ──────────────────────────────────────
+
+#[test]
+fn ml0105_belief_unstratified() {
+    // p-clauses may not consult `<< cau`.
+    fires(
+        &format!("{LAT}s[p(k : a -u-> v)]. q(X) <- s[p(k : a -u-> X)] << cau."),
+        "ML0105",
+    );
+    // The consulted cau level must be strictly below the head level.
+    fires(
+        &format!("{LAT}s[p(k : a -u-> v)]. s[q(k : b -u-> w)] <- s[p(k : a -u-> V)] << cau."),
+        "ML0105",
+    );
+    // Non-ground m-head level while cau is in use.
+    fires(
+        &format!(
+            "{LAT}L[p(k : a -u-> v)] <- level(L).\n\
+             s[q(k : b -u-> w)] <- u[p(k : a -u-> V)] << cau."
+        ),
+        "ML0105",
+    );
+    // Properly stratified: cau one level down.
+    clean_of(
+        &format!("{LAT}u[p(k : a -u-> v)]. s[q(k : b -u-> w)] <- u[p(k : a -u-> V)] << cau."),
+        "ML0105",
+    );
+    // Without cau anywhere, nothing is checked.
+    clean_of(&format!("{LAT}L[p(k : a -u-> v)] <- level(L)."), "ML0105");
+}
+
+// ── ML0106 unknown-mode ─────────────────────────────────────────────
+
+#[test]
+fn ml0106_unknown_mode() {
+    fires(
+        &format!("{LAT}s[p(k : a -u-> v)]. q(X) <- s[p(k : a -u-> X)] << wild."),
+        "ML0106",
+    );
+    // A bel/7 rule defines the mode (§7) — no finding.
+    clean_of(
+        &format!(
+            "{LAT}s[p(k : a -u-> v)].\n\
+             bel(p, K, a, V, C, L, wild) <- L[p(K : a -C-> V)].\n\
+             q(X) <- s[p(k : a -u-> X)] << wild."
+        ),
+        "ML0106",
+    );
+    clean_of(
+        &format!("{LAT}s[p(k : a -u-> v)]. q(X) <- s[p(k : a -u-> X)] << fir."),
+        "ML0106",
+    );
+}
+
+// ── ML0107 statically-empty-rule ────────────────────────────────────
+
+#[test]
+fn ml0107_statically_empty() {
+    // a and b are incomparable: no common dominator sees both labels.
+    let diamondless = "level(u). level(a). level(b). order(u, a). order(u, b).\n";
+    fires(&format!("{diamondless}a[p(k : x -b-> v)]."), "ML0107");
+    fires(
+        &format!("{diamondless}a[p(k : x -a-> v)]. <- a[p(k : x -a-> V)], b[q(k : y -b-> W)]."),
+        "ML0107",
+    );
+    // With a top element the same labels are jointly visible.
+    clean_of(
+        "level(u). level(a). level(b). level(t).\n\
+         order(u, a). order(u, b). order(a, t). order(b, t).\n\
+         a[p(k : x -b-> v)].",
+        "ML0107",
+    );
+}
+
+// ── ML0108 unsatisfiable-dominance ──────────────────────────────────
+
+#[test]
+fn ml0108_unsatisfiable_dominance() {
+    fires(&format!("{LAT}q(X) <- level(X), s leq u."), "ML0108");
+    fires(&format!("{LAT}<- s leq u."), "ML0108");
+    clean_of(&format!("{LAT}q(X) <- level(X), u leq s."), "ML0108");
+    // Variable constraints are runtime joins, not static facts.
+    clean_of(&format!("{LAT}q(X) <- level(X), X leq s."), "ML0108");
+}
+
+// ── ML0109 belief-mode-degenerate ───────────────────────────────────
+
+#[test]
+fn ml0109_degenerate_mode() {
+    // u dominates nothing: `<< opt`/`<< cau` at u degenerate to fir.
+    fires(
+        &format!("{LAT}u[p(k : a -u-> v)]. q(X) <- u[p(k : a -u-> X)] << opt."),
+        "ML0109",
+    );
+    clean_of(
+        &format!("{LAT}u[p(k : a -u-> v)]. q(X) <- s[p(k : a -u-> X)] << opt."),
+        "ML0109",
+    );
+    // fir never quantifies over lower levels — exempt.
+    clean_of(
+        &format!("{LAT}u[p(k : a -u-> v)]. q(X) <- u[p(k : a -u-> X)] << fir."),
+        "ML0109",
+    );
+}
+
+// ── ML0110 conflicting-cover-story ──────────────────────────────────
+
+#[test]
+fn ml0110_cover_story_conflict() {
+    fires(
+        &format!("{LAT}s[p(k : a -u-> v1)]. s[p(k : a -u-> v2)]."),
+        "ML0110",
+    );
+    // Different classes are polyinstantiation, not conflict (Example 5.1).
+    clean_of(
+        &format!("{LAT}s[p(k : a -u-> v1)]. s[p(k : a -s-> v2)]."),
+        "ML0110",
+    );
+    // Polyinstantiated key attribute: grouping is ambiguous; skipped to
+    // mirror the runtime consistency check (mission.mlog relies on this).
+    clean_of(
+        &format!(
+            "{LAT}s[p(k : id -u-> k)]. s[p(k : id -s-> k)].\n\
+             s[p(k : a -u-> v1)]. s[p(k : a -u-> v2)]."
+        ),
+        "ML0110",
+    );
+}
+
+// ── ML0111 unused-predicate ─────────────────────────────────────────
+
+#[test]
+fn ml0111_unused_predicate() {
+    // ghost/1 is unreachable from the query.
+    fires(
+        &format!("{LAT}s[p(k : a -u-> v)]. ghost(a). <- s[p(k : a -u-> V)]."),
+        "ML0111",
+    );
+    // No queries: every predicate is a potential entry point.
+    clean_of(&format!("{LAT}s[p(k : a -u-> v)]. ghost(a)."), "ML0111");
+    // bel/7 is consulted implicitly by user-mode b-atoms — exempt.
+    clean_of(
+        &format!(
+            "{LAT}s[p(k : a -u-> v)].\n\
+             bel(p, K, a, V, C, L, wild) <- L[p(K : a -C-> V)].\n\
+             <- s[p(k : a -u-> V)] << wild."
+        ),
+        "ML0111",
+    );
+}
+
+// ── ML0112 singleton-variable ───────────────────────────────────────
+
+#[test]
+fn ml0112_singleton_variable() {
+    fires(
+        &format!("{LAT}s[p(k : a -u-> v)]. q(X) <- s[p(k : a -u-> X)], level(Lonely)."),
+        "ML0112",
+    );
+    // `_`-prefixed names opt out.
+    clean_of(
+        &format!("{LAT}s[p(k : a -u-> v)]. q(X) <- s[p(k : a -u-> X)], level(_Lonely)."),
+        "ML0112",
+    );
+    // A molecular head shares one span: the key variable occurs once per
+    // desugared clause but more than once in the source item — no lint.
+    clean_of(
+        &format!(
+            "{LAT}s[q(k : a -u-> v; b -u-> w)].\n\
+             s[p(K : a -u-> X; b -u-> X)] <- s[q(K : a -u-> X)]."
+        ),
+        "ML0112",
+    );
+}
+
+// ── ML0113 arity-mismatch ───────────────────────────────────────────
+
+#[test]
+fn ml0113_arity_mismatch() {
+    fires("q(a). r(X) <- q(X, b).", "ML0113");
+    clean_of("q(a). r(X) <- q(X).", "ML0113");
+}
+
+// ── ML0114 invisible-at-clearance ───────────────────────────────────
+
+#[test]
+fn ml0114_invisible_at_clearance() {
+    let src = format!("{LAT}s[p(k : a -s-> v)]. q(X) <- s[p(k : a -s-> X)].");
+    assert!(codes_at(&src, "u").contains(&"ML0114"));
+    assert!(!codes_at(&src, "s").contains(&"ML0114"));
+    // Without a clearance the lint cannot run.
+    clean_of(&src, "ML0114");
+}
+
+// ── Paper corpus stays lint-clean ───────────────────────────────────
+
+#[test]
+fn paper_corpus_is_lint_clean() {
+    for (name, src) in [
+        ("d1.mlog", include_str!("../../../examples/data/d1.mlog")),
+        (
+            "mission.mlog",
+            include_str!("../../../examples/data/mission.mlog"),
+        ),
+        (
+            "corporate.mlog",
+            include_str!("../../../examples/data/corporate.mlog"),
+        ),
+        ("examples::D1_SOURCE", multilog_core::examples::D1_SOURCE),
+    ] {
+        let report = lint_source(src).expect("corpus parses");
+        assert!(
+            report.is_clean(),
+            "{name} not lint-clean:\n{}",
+            report.render_human(name)
+        );
+    }
+}
+
+#[test]
+fn corpus_clean_at_its_own_clearances() {
+    // At top clearance, even the clearance-dependent lints stay quiet.
+    let d1 = include_str!("../../../examples/data/d1.mlog");
+    let report = lint_source_at(d1, Some("s")).unwrap();
+    assert!(report.is_clean(), "{}", report.render_human("d1.mlog"));
+}
+
+// ── Report plumbing ─────────────────────────────────────────────────
+
+#[test]
+fn report_orders_errors_first_and_counts() {
+    let report = lint_source(
+        "level(u).\n\
+         q(X) <- level(X), level(Lonely).\n\
+         u[p(k : a -s-> v)].",
+    )
+    .unwrap();
+    assert!(report.has_errors());
+    assert_eq!(report.errors(), 1);
+    assert_eq!(report.warnings(), 1);
+    assert_eq!(report.diagnostics[0].severity, Severity::Error);
+    let json = report.render_json();
+    assert!(json.contains("\"errors\":1"));
+    assert!(json.contains("\"warnings\":1"));
+}
+
+// ── Robustness: lint never panics on parser-accepted input ──────────
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Token soup: whatever the parser accepts, the lint pass must
+    /// analyse without panicking (and the report must render).
+    #[test]
+    fn lint_never_panics_on_token_soup(tokens in proptest::collection::vec(
+        prop_oneof![
+            Just("level"), Just("order"), Just("leq"), Just("bel"),
+            Just("p"), Just("q"), Just("k"), Just("a"), Just("v"),
+            Just("u"), Just("s"), Just("X"), Just("V"), Just("_"),
+            Just("fir"), Just("opt"), Just("cau"), Just("wild"),
+            Just("("), Just(")"), Just("["), Just("]"), Just(":"),
+            Just(";"), Just(","), Just("."), Just("<-"), Just("<<"),
+            Just("-"), Just("->"), Just("42"),
+        ],
+        0..40,
+    )) {
+        let src = tokens.join(" ");
+        if parse_items(&src).is_ok() {
+            let report = lint_source(&src).expect("parse_items succeeded");
+            let _ = report.render_human("soup.mlog");
+            let _ = report.render_json();
+            let _ = lint_source_at(&src, Some("u"));
+        }
+    }
+
+    /// Arbitrary bytes: lint_source either errors like the parser or
+    /// returns a report — never panics.
+    #[test]
+    fn lint_never_panics_on_arbitrary_input(src in "\\PC*") {
+        if let Ok(report) = lint_source(&src) {
+            let _ = report.render_human("arb.mlog");
+            let _ = report.render_json();
+        }
+    }
+}

@@ -8,3 +8,4 @@
 //! `cargo run --example …` work from a virtual workspace root.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
