@@ -1,6 +1,7 @@
 //! Fixed-workload performance smoke benchmark.
 //!
-//! Runs three deterministic workloads and writes a small JSON report:
+//! Runs a fixed set of deterministic workloads and writes a small JSON
+//! report:
 //!
 //! * `tc_chain` — transitive closure over a 256-edge chain (quadratic
 //!   number of derived paths, deep fixpoint).
@@ -8,6 +9,10 @@
 //! * `reduction` — the Figure-12 reduction of a synthetic MultiLog
 //!   database (depth 4, 1500 m-facts, cautious-belief rules), i.e. the
 //!   end-to-end path through `ReducedEngine::new`.
+//! * `update_churn_{incremental,recompute}` — a 20-commit stream of
+//!   single-edge retract/re-insert deltas over `tc_chain`, maintained
+//!   incrementally (DRed) vs. recomputed from scratch per commit; the
+//!   top-level `update_churn_speedup` field is their wall-time ratio.
 //!
 //! Usage:
 //!
@@ -23,7 +28,7 @@ use std::time::Instant;
 
 use multilog_bench::workload::{synthetic_multilog, MultiLogSpec};
 use multilog_core::{parse_database, reduce::ReducedEngine};
-use multilog_datalog::{parse_program, Engine};
+use multilog_datalog::{parse_program, Const, Engine, IncrementalEngine};
 
 struct WorkloadResult {
     name: &'static str,
@@ -155,6 +160,111 @@ fn run_guard_overhead(src: &str, repeat: usize) -> (WorkloadResult, WorkloadResu
     )
 }
 
+/// Measure a small-delta update stream two ways: incrementally via
+/// [`IncrementalEngine`] commits, and by re-running the full fixpoint
+/// from scratch after every commit. The stream alternately retracts and
+/// re-inserts single chain edges near the tail of `tc_chain` — each
+/// commit changes one EDB fact (~0.4 % of the base relation) and
+/// invalidates a bounded slice of the 33k derived paths, the regime DRed
+/// is built for. Returns the two results plus the recompute/incremental
+/// wall-time ratio (best runs on both sides).
+fn run_update_churn(repeat: usize) -> (WorkloadResult, WorkloadResult, f64) {
+    let n = 512usize;
+    let base_src = tc_chain_src(n);
+    let program = parse_program(&base_src).expect("workload parses");
+    // Ten retract/re-insert pairs alternating between the two ends of
+    // the chain (where retracting edge i invalidates (i+1)·(n−i) paths,
+    // so the ends are the genuinely small deltas): twenty single-fact
+    // commits in total, ending back at the initial EDB.
+    let pairs = 10usize;
+    let targets: Vec<(String, String)> = (0..pairs)
+        .map(|k| {
+            let i = if k % 2 == 0 { k / 2 } else { n - 1 - k / 2 };
+            (format!("n{i}"), format!("n{}", i + 1))
+        })
+        .collect();
+    let commits = 2 * pairs;
+
+    // Pre-parse every post-commit program variant so the recompute side
+    // times exactly what the incremental side times: evaluation, not
+    // parsing. Retracting edge (a, b) leaves the source minus that line;
+    // re-inserting restores the full program.
+    let minus_programs: Vec<_> = targets
+        .iter()
+        .map(|(a, b)| {
+            let line = format!("edge({a}, {b}).\n");
+            let src = base_src.replacen(&line, "", 1);
+            parse_program(&src).expect("delta workload parses")
+        })
+        .collect();
+
+    let mut best_inc: Option<WorkloadResult> = None;
+    let mut best_rec: Option<WorkloadResult> = None;
+    for _ in 0..repeat {
+        // Incremental: one warm engine, twenty delta commits.
+        let mut engine = IncrementalEngine::new(&program).expect("workload materializes");
+        let baseline_facts = engine.database().fact_count();
+        let start = Instant::now();
+        for (a, b) in &targets {
+            for insert in [false, true] {
+                let fact = vec![Const::sym(a), Const::sym(b)];
+                engine.begin().expect("no transaction open");
+                if insert {
+                    engine.insert("edge", fact).expect("stage insert");
+                } else {
+                    engine.retract("edge", fact).expect("stage retract");
+                }
+                engine.commit().expect("delta commit evaluates");
+            }
+        }
+        let wall = start.elapsed();
+        let facts = engine.database().fact_count();
+        assert_eq!(
+            facts, baseline_facts,
+            "retract/re-insert pairs must restore the fixpoint"
+        );
+        let result = WorkloadResult {
+            name: "update_churn_incremental",
+            facts,
+            iterations: commits,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            facts_per_sec: commits as f64 / wall.as_secs_f64(),
+        };
+        if best_inc.as_ref().is_none_or(|b| result.wall_ms < b.wall_ms) {
+            best_inc = Some(result);
+        }
+
+        // Recompute: the same twenty post-commit states, each evaluated
+        // from scratch.
+        let start = Instant::now();
+        let mut facts = 0;
+        for minus in &minus_programs {
+            for variant in [minus, &program] {
+                let db = Engine::new(variant)
+                    .expect("workload stratifies")
+                    .run()
+                    .expect("workload evaluates");
+                facts = db.fact_count();
+            }
+        }
+        let wall = start.elapsed();
+        let result = WorkloadResult {
+            name: "update_churn_recompute",
+            facts,
+            iterations: commits,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            facts_per_sec: commits as f64 / wall.as_secs_f64(),
+        };
+        if best_rec.as_ref().is_none_or(|b| result.wall_ms < b.wall_ms) {
+            best_rec = Some(result);
+        }
+    }
+    let inc = best_inc.expect("repeat >= 1");
+    let rec = best_rec.expect("repeat >= 1");
+    let speedup = rec.wall_ms / inc.wall_ms;
+    (inc, rec, speedup)
+}
+
 /// Time the static-analysis pass (the `run`/`query` lint preflight) on
 /// the tc_chain program and report its median wall time in
 /// milliseconds. Compared against the evaluation wall time in `main`:
@@ -225,7 +335,7 @@ fn baseline_field(baseline: &str, name: &str, field: &str) -> Option<f64> {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_pr2.json");
+    let mut out_path = String::from("BENCH_pr5.json");
     let mut baseline_path: Option<String> = None;
     let mut repeat = 3usize;
     let mut argv = std::env::args().skip(1);
@@ -260,16 +370,24 @@ fn main() {
     // smallest denominator, so the percentage is an upper bound).
     let lint_ms = lint_wall_ms(&tc_chain_src(256), repeat.max(9));
     let lint_overhead_pct = lint_ms / tc_chain.wall_ms * 100.0;
+    // update_churn contrasts incremental DRed commits against full
+    // recomputation on a 20-commit single-fact delta stream.
+    let (churn_inc, churn_rec, churn_speedup) = run_update_churn(repeat);
     let results = [
         tc_chain,
         tc_chain_guarded,
         run_datalog("tc_grid", &tc_grid_src(16), repeat, |e| e),
         run_reduction(repeat),
+        churn_inc,
+        churn_rec,
     ];
 
     let mut json = String::from("{\n  \"benchmark\": \"perf_smoke\",\n");
     json.push_str(&format!(
         "  \"guard_overhead_pct\": {guard_overhead_pct:.2},\n"
+    ));
+    json.push_str(&format!(
+        "  \"update_churn_speedup\": {churn_speedup:.2},\n"
     ));
     json.push_str(&format!(
         "  \"lint_preflight_ms\": {lint_ms:.4},\n  \"lint_overhead_pct\": {lint_overhead_pct:.3},\n  \"workloads\": [\n"

@@ -274,22 +274,172 @@ pub fn check(source: &str, opts: &Options) -> CliResult {
     Ok(out)
 }
 
-/// One REPL step: evaluate a goal line against a prepared engine.
-pub fn repl_step(engine: &MultiLogEngine, line: &str) -> String {
-    let line = line.trim();
-    if line.is_empty() {
-        return String::new();
+/// An interactive session: goals are answered from an incrementally
+/// maintained reduction fixpoint, `+fact.` / `-fact.` lines update it in
+/// place, and `:prove` rebuilds the operational engine on demand for
+/// proof trees.
+pub struct ReplSession {
+    opts: Options,
+    /// The current clause set, tracking `+`/`-` updates so `:prove` (and
+    /// filter-mode goals) can rebuild the operational engine faithfully.
+    clauses: Vec<multilog_core::ast::Clause>,
+    /// The incremental reduction engine: updates are delta-maintained, so
+    /// goal answers stay warm across `+`/`-` lines.
+    reduced: ReducedEngine,
+    /// Lazily (re)built operational engine; `None` after an update.
+    operational: Option<MultiLogEngine>,
+}
+
+impl ReplSession {
+    /// Parse the database and materialize both entry points.
+    ///
+    /// # Errors
+    ///
+    /// Parse, admissibility, or evaluation failures, rendered for the
+    /// CLI user.
+    pub fn new(source: &str, opts: &Options) -> Result<Self, String> {
+        let db = load(source)?;
+        let reduced = ReducedEngine::with_options(&db, &opts.user, engine_options(opts))
+            .map_err(|e| format!("evaluation failed: {e}"))?;
+        let clauses = db.clauses().cloned().collect();
+        Ok(ReplSession {
+            opts: opts.clone(),
+            clauses,
+            reduced,
+            operational: None,
+        })
     }
-    if let Some(goal) = line.strip_prefix(":prove ") {
-        return match prove_text(engine, goal) {
-            Ok(Some(tree)) => tree.render(),
-            Ok(None) => "no proof\n".to_owned(),
+
+    /// A banner line describing the session.
+    pub fn banner(&self) -> String {
+        format!(
+            "multilog repl at level {} — {} facts materialized; `+fact.`/`-fact.` to update, \
+             `:prove <goal>` for trees; ^D to exit",
+            self.opts.user,
+            self.reduced.database().fact_count()
+        )
+    }
+
+    /// Evaluate one REPL line: empty, `:prove <goal>`, `+<m-fact>.`,
+    /// `-<m-fact>.`, or a goal.
+    pub fn step(&mut self, line: &str) -> String {
+        let line = line.trim();
+        if line.is_empty() {
+            return String::new();
+        }
+        if let Some(goal) = line.strip_prefix(":prove ") {
+            return match self.operational() {
+                Ok(engine) => match prove_text(engine, goal) {
+                    Ok(Some(tree)) => tree.render(),
+                    Ok(None) => "no proof\n".to_owned(),
+                    Err(e) => format!("error: {e}\n"),
+                },
+                Err(e) => format!("error: {e}\n"),
+            };
+        }
+        if let Some(rest) = line.strip_prefix('+') {
+            return self.update(rest, true);
+        }
+        if let Some(rest) = line.strip_prefix('-') {
+            return self.update(rest, false);
+        }
+        // Goals run on the incremental reduction, except when the σ
+        // filter is on — the reduction does not implement Figure 13, so
+        // filter sessions answer from the operational engine.
+        if self.opts.filter {
+            return match self.operational() {
+                Ok(engine) => match engine.solve_text(line) {
+                    Ok(answers) => render_answers(&answers),
+                    Err(e) => format!("error: {e}\n"),
+                },
+                Err(e) => format!("error: {e}\n"),
+            };
+        }
+        match self.reduced.solve_text(line) {
+            Ok(answers) => render_answers(&answers),
             Err(e) => format!("error: {e}\n"),
-        };
+        }
     }
-    match engine.solve_text(line) {
-        Ok(answers) => render_answers(&answers),
-        Err(e) => format!("error: {e}\n"),
+
+    /// Apply one `+`/`-` update line: a ground m-atom fact (or a whole
+    /// molecule, desugared to its m-clauses), committed incrementally as
+    /// one transaction, with the clause mirror kept in sync.
+    fn update(&mut self, text: &str, insert: bool) -> String {
+        use multilog_core::ast::Head;
+        use multilog_core::reduce::EdbUpdate;
+        let parsed = match multilog_core::parse_clause(text) {
+            Ok(c) => c,
+            Err(e) => return format!("error: {e}\n"),
+        };
+        let mut batch = Vec::with_capacity(parsed.len());
+        for clause in &parsed {
+            if !clause.body.is_empty() {
+                return "error: updates must be facts, not rules\n".to_owned();
+            }
+            let Head::M(m) = &clause.head else {
+                return "error: updates must be m-atom facts like `+s[p(k : a -s-> v)].`\n"
+                    .to_owned();
+            };
+            batch.push(if insert {
+                EdbUpdate::Assert(m.clone())
+            } else {
+                EdbUpdate::Retract(m.clone())
+            });
+        }
+        match self.reduced.apply_updates(&batch) {
+            Ok(stats) => {
+                for clause in parsed {
+                    if insert {
+                        self.clauses.push(clause);
+                    } else if let Some(pos) = self
+                        .clauses
+                        .iter()
+                        .position(|c| c.body.is_empty() && c.head == clause.head)
+                    {
+                        self.clauses.remove(pos);
+                    }
+                }
+                self.operational = None; // stale; rebuilt on demand
+                format!(
+                    "ok: {}{} base fact, +{}/-{} derived ({:.2} ms)\n",
+                    if insert { "+" } else { "-" },
+                    if insert {
+                        stats.edb_inserted
+                    } else {
+                        stats.edb_retracted
+                    },
+                    stats.derived_added,
+                    stats.derived_removed,
+                    stats.wall_ms
+                )
+            }
+            Err(e) => {
+                if self.reduced.is_poisoned() {
+                    if let Err(re) = self.reduced.rematerialize() {
+                        return format!("error: {e}\nerror: recovery failed: {re}\n");
+                    }
+                    return format!("error: {e} (fixpoint rebuilt; update not applied)\n");
+                }
+                format!("error: {e}\n")
+            }
+        }
+    }
+
+    /// The operational engine over the current clause set, rebuilding it
+    /// if an update made the cached one stale.
+    fn operational(&mut self) -> Result<&MultiLogEngine, String> {
+        if self.operational.is_none() {
+            let db =
+                MultiLogDb::new(self.clauses.clone(), Vec::new()).map_err(|e| format!("{e}"))?;
+            let engine =
+                MultiLogEngine::with_options(&db, &self.opts.user, engine_options(&self.opts))
+                    .map_err(|e| format!("{e}"))?;
+            self.operational = Some(engine);
+        }
+        Ok(self
+            .operational
+            .as_ref()
+            .expect("just built the operational engine"))
     }
 }
 
@@ -351,7 +501,12 @@ GOALS:
   p-atom     q(x, Y)        dominance   u leq s
   (uppercase identifiers are variables; `_` is a don't-care)
 
-In the repl, prefix a goal with `:prove ` to print its proof tree.
+REPL:
+  Goals are answered from an incrementally maintained reduction
+  fixpoint. Prefix a goal with `:prove ` to print its proof tree.
+  Update the database in place with ground m-atom facts:
+  +s[p(k : a -s-> v)].   assert a fact (delta-propagated, no recompute)
+  -s[p(k : a -s-> v)].   retract it (delete-and-rederive)
 ";
 
 /// Parse `argv`-style arguments into `(command, file, goal, Options)`.
@@ -481,13 +636,51 @@ mod tests {
     }
 
     #[test]
-    fn repl_step_solves_and_proves() {
-        let db = parse_database(DB).unwrap();
-        let e = MultiLogEngine::new(&db, "s").unwrap();
-        assert!(repl_step(&e, "q(j)").contains("yes"));
-        assert!(repl_step(&e, ":prove q(j)").contains("DEDUCTION-G"));
-        assert!(repl_step(&e, "nonsense [").contains("error"));
-        assert_eq!(repl_step(&e, "   "), "");
+    fn repl_session_solves_and_proves() {
+        let mut s = ReplSession::new(DB, &opts("s")).unwrap();
+        assert!(s.step("q(j)").contains("yes"));
+        assert!(s.step(":prove q(j)").contains("DEDUCTION-G"));
+        assert!(s.step("nonsense [").contains("error"));
+        assert_eq!(s.step("   "), "");
+        assert!(s.banner().contains("level s"));
+    }
+
+    #[test]
+    fn repl_updates_assert_and_retract_incrementally() {
+        let mut s = ReplSession::new(DB, &opts("s")).unwrap();
+        assert!(s.step("s[p(k2 : a -s-> w)]").contains("no"));
+        let out = s.step("+s[p(k2 : a -s-> w)].");
+        assert!(out.starts_with("ok:"), "{out}");
+        assert!(s.step("s[p(k2 : a -s-> w)]").contains("yes"));
+        // The operational engine rebuilds over the updated clause set, so
+        // proof trees see the new fact too.
+        let tree = s.step(":prove s[p(k2 : a -s-> w)]");
+        assert!(tree.contains("DEDUCTION-G"), "{tree}");
+        let out = s.step("-s[p(k2 : a -s-> w)].");
+        assert!(out.starts_with("ok:"), "{out}");
+        assert!(s.step("s[p(k2 : a -s-> w)]").contains("no"));
+    }
+
+    #[test]
+    fn repl_update_rejects_rules_and_non_matoms() {
+        let mut s = ReplSession::new(DB, &opts("s")).unwrap();
+        assert!(s
+            .step("+s[p(k : a -s-> w)] <- q(j).")
+            .contains("must be facts"));
+        assert!(s.step("+q(zz).").contains("m-atom"));
+        assert!(s.step("+s[p(K : a -s-> w)].").contains("ground"));
+        // The session survives rejected updates.
+        assert!(s.step("q(j)").contains("yes"));
+    }
+
+    #[test]
+    fn repl_retraction_cascades_through_beliefs() {
+        // Retracting the u fact removes the cautious support chain: the
+        // r8-derived s-level fact must disappear with it.
+        let mut s = ReplSession::new(DB, &opts("s")).unwrap();
+        assert!(s.step("s[p(k : a -u-> v)]").contains("yes"));
+        assert!(s.step("-u[p(k : a -u-> v)].").starts_with("ok:"));
+        assert!(s.step("u[p(k : a -u-> v)]").contains("no"));
     }
 
     #[test]

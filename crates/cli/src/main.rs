@@ -5,7 +5,7 @@ use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
 use multilog_cli::{
-    check, engine_options, lint, parse_args, prove, query, reduce, repl_step, run, Options, USAGE,
+    check, lint, parse_args, prove, query, reduce, run, Options, ReplSession, USAGE,
 };
 
 fn main() -> ExitCode {
@@ -49,15 +49,8 @@ fn dispatch(args: &[String]) -> Result<String, String> {
 }
 
 fn repl(source: &str, opts: &Options) -> Result<String, String> {
-    let db = multilog_core::parse_database(source).map_err(|e| e.to_string())?;
-    let engine = multilog_core::MultiLogEngine::with_options(&db, &opts.user, engine_options(opts))
-        .map_err(|e| e.to_string())?;
-    eprintln!(
-        "multilog repl at level {} — {} m-facts, {} p-facts; `:prove <goal>` for trees; ^D to exit",
-        opts.user,
-        engine.mfacts().len(),
-        engine.pfacts().len()
-    );
+    let mut session = ReplSession::new(source, opts)?;
+    eprintln!("{}", session.banner());
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     loop {
@@ -71,7 +64,7 @@ fn repl(source: &str, opts: &Options) -> Result<String, String> {
         {
             break;
         }
-        let out = repl_step(&engine, &line);
+        let out = session.step(&line);
         stdout
             .write_all(out.as_bytes())
             .map_err(|e| e.to_string())?;

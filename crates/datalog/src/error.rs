@@ -80,6 +80,17 @@ pub enum DatalogError {
         /// Right operand.
         rhs: i64,
     },
+    /// `begin` was called on an incremental engine that already has an
+    /// open transaction.
+    TransactionActive,
+    /// An update or `commit`/`rollback` was issued outside a transaction
+    /// (no `begin` in effect).
+    NoActiveTransaction,
+    /// A previous commit aborted mid-propagation (guard trip), leaving
+    /// the materialized database inconsistent. Only
+    /// [`recover`](crate::IncrementalEngine::recover) is accepted until
+    /// the fixpoint has been rebuilt.
+    EnginePoisoned,
 }
 
 impl fmt::Display for DatalogError {
@@ -134,6 +145,21 @@ impl fmt::Display for DatalogError {
             DatalogError::ArithmeticFailure { op, lhs, rhs } => {
                 write!(f, "arithmetic failure: {lhs} {op} {rhs}")
             }
+            DatalogError::TransactionActive => {
+                write!(
+                    f,
+                    "a transaction is already active: commit or roll it back first"
+                )
+            }
+            DatalogError::NoActiveTransaction => {
+                write!(f, "no active transaction: call begin first")
+            }
+            DatalogError::EnginePoisoned => {
+                write!(
+                    f,
+                    "the incremental engine is poisoned by an aborted commit: call recover"
+                )
+            }
         }
     }
 }
@@ -175,6 +201,14 @@ mod tests {
             DatalogError::DeadlineExceeded { limit_ms: 250 },
             DatalogError::Cancelled,
             DatalogError::UnknownPredicate("q".into()),
+            DatalogError::ArithmeticFailure {
+                op: "+",
+                lhs: i64::MAX,
+                rhs: 1,
+            },
+            DatalogError::TransactionActive,
+            DatalogError::NoActiveTransaction,
+            DatalogError::EnginePoisoned,
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());

@@ -14,6 +14,9 @@ use std::hash::{BuildHasherDefault, Hasher};
 /// `HashMap` keyed with [`FxHasher`].
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
 const K: u64 = 0x517c_c1b7_2722_0a95;
 
 /// Multiply-rotate hasher; not DoS-resistant, engine-internal use only.

@@ -1,0 +1,1277 @@
+//! Incremental maintenance: a materialized fixpoint kept alive across
+//! insert/retract transactions.
+//!
+//! The [`IncrementalEngine`] owns a [`Database`] holding the full
+//! stratified fixpoint of its program and applies *deltas* instead of
+//! recomputing from scratch when the extensional database changes. The
+//! algorithm is counting + DRed (delete-and-rederive), stratum by
+//! stratum:
+//!
+//! * **Counted support for asserted facts.** Every explicitly asserted
+//!   fact (program fact clauses and committed inserts) is tracked in a
+//!   `base` multiset-of-one; retracting a fact that was never asserted is
+//!   a no-op, and a fact that is both asserted and derivable survives the
+//!   loss of either support.
+//! * **Deletion overestimate.** For each stratum the engine enumerates
+//!   every fact with at least one derivation through a deleted fact,
+//!   using the semi-naive delta variants of the stratum's compiled
+//!   [`plan`](crate::plan) join plans. Deleted lower-stratum facts are
+//!   temporarily re-inserted while the overestimate runs so the non-delta
+//!   join positions range over (a superset of) the *old* database — the
+//!   classic DRed requirement.
+//! * **Rederive.** Overestimated facts are removed, then re-admitted if
+//!   they are base-asserted or still derivable from the surviving
+//!   database; rederivations propagate semi-naively.
+//! * **Insertion propagation.** New facts propagate with the same delta
+//!   plans; a fact re-derived after being deleted in the same commit nets
+//!   out to no change.
+//! * **Fallback.** When a stratum negates over a changed predicate, or a
+//!   deletion cascade overshoots a heuristic threshold, the stratum is
+//!   recomputed from scratch (its predicates reset to base facts, then a
+//!   sequential semi-naive fixpoint) and the result diffed against the
+//!   old contents to keep downstream deltas exact.
+//!
+//! Every phase threads one [`EvalGuard`] (deadline, fact budget,
+//! cancellation), so a runaway cascade surfaces as the same typed errors
+//! as batch evaluation. A commit that trips a guard leaves the database
+//! mid-propagation: the engine is then *poisoned* and only
+//! [`IncrementalEngine::recover`] (a full rematerialization) is accepted.
+
+use std::time::{Duration, Instant};
+
+use crate::atom::{Atom, Literal};
+use crate::clause::Clause;
+use crate::eval::{Engine, EvalStats};
+use crate::fx::{FxHashMap, FxHashSet};
+use crate::guard::EvalGuard;
+use crate::plan::RulePlan;
+use crate::program::Program;
+use crate::storage::{Database, Fact, Relation};
+use crate::term::{Const, SymId, Term};
+use crate::{CancelToken, DatalogError, Result};
+
+/// One staged update inside an open transaction.
+struct PendingOp {
+    insert: bool,
+    pred: SymId,
+    fact: Fact,
+}
+
+/// Net insert/delete delta of one predicate within a commit.
+#[derive(Default)]
+struct PredDelta {
+    ins: Vec<Fact>,
+    del: Vec<Fact>,
+}
+
+/// What one [`IncrementalEngine::commit`] did, for observability and the
+/// benchmark suite.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CommitStats {
+    /// Base facts added by this commit (net of cancelling ops).
+    pub edb_inserted: usize,
+    /// Base facts removed by this commit (net of cancelling ops).
+    pub edb_retracted: usize,
+    /// Derived facts that became true.
+    pub derived_added: usize,
+    /// Derived facts that became false.
+    pub derived_removed: usize,
+    /// Overestimated deletions re-admitted by the rederivation phase.
+    pub rederived: usize,
+    /// Strata that fell back to a from-scratch recompute.
+    pub strata_recomputed: usize,
+    /// Wall-clock time of the commit, in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// A materialized stratified fixpoint maintained across insert/retract
+/// transactions.
+///
+/// ```
+/// use multilog_datalog::{parse_program, Const, IncrementalEngine};
+///
+/// let program = parse_program(
+///     "edge(a, b). path(X, Y) :- edge(X, Y).
+///      path(X, Z) :- path(X, Y), edge(Y, Z).",
+/// )
+/// .unwrap();
+/// let mut engine = IncrementalEngine::new(&program).unwrap();
+/// engine.begin().unwrap();
+/// engine.insert("edge", vec![Const::sym("b"), Const::sym("c")]).unwrap();
+/// engine.commit().unwrap();
+/// assert!(engine.database().contains("path", &[Const::sym("a"), Const::sym("c")]));
+/// engine.begin().unwrap();
+/// engine.retract("edge", vec![Const::sym("a"), Const::sym("b")]).unwrap();
+/// engine.commit().unwrap();
+/// assert!(!engine.database().contains("path", &[Const::sym("a"), Const::sym("c")]));
+/// ```
+pub struct IncrementalEngine {
+    program: Program,
+    /// Non-fact clauses; fact clauses live in `base` so they are
+    /// retractable like any committed insert.
+    rules: Vec<Clause>,
+    /// Predicates of each stratum (interned), lowest stratum first.
+    stratum_preds: Vec<FxHashSet<SymId>>,
+    stratum_of: FxHashMap<SymId, usize>,
+    /// Indexes into `rules` whose head predicate lives in each stratum.
+    stratum_rules: Vec<Vec<usize>>,
+    /// Predicates defined by at least one rule.
+    idb: FxHashSet<SymId>,
+    db: Database,
+    /// Explicitly asserted facts: the retractable extensional support.
+    base: FxHashMap<SymId, FxHashSet<Fact>>,
+    pending: Vec<PendingOp>,
+    in_txn: bool,
+    poisoned: bool,
+    fact_limit: usize,
+    deadline: Option<Duration>,
+    cancel: Option<CancelToken>,
+    threads: usize,
+    fallback_threshold: Option<usize>,
+    /// Compiled semi-naive variants, keyed by (rule index, delta body
+    /// position); shared across commits.
+    delta_plans: FxHashMap<(usize, usize), RulePlan>,
+    /// Compiled full plans, keyed by rule index (fallback round 1).
+    base_plans: FxHashMap<usize, RulePlan>,
+    /// Per-rule/per-stratum counters from the most recent full
+    /// materialization ([`IncrementalEngine::recover`]).
+    materialize_stats: EvalStats,
+}
+
+impl IncrementalEngine {
+    /// Create an engine and materialize the program's fixpoint.
+    ///
+    /// The program's fact clauses seed the extensional `base` and are
+    /// retractable in later transactions, exactly like committed inserts.
+    ///
+    /// # Errors
+    ///
+    /// [`DatalogError::NotStratifiable`] if negation occurs through
+    /// recursion; any evaluation error from the initial materialization.
+    pub fn new(program: &Program) -> Result<Self> {
+        let mut engine = Self::new_deferred(program)?;
+        engine.recover()?;
+        Ok(engine)
+    }
+
+    /// Create an engine *without* materializing the fixpoint. The engine
+    /// starts poisoned: apply configuration builders (guards, threads),
+    /// then call [`recover`](IncrementalEngine::recover) to run the
+    /// initial materialization under that configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`DatalogError::NotStratifiable`] if negation occurs through
+    /// recursion.
+    pub fn new_deferred(program: &Program) -> Result<Self> {
+        let strat = program.stratify()?;
+        let stratum_preds: Vec<FxHashSet<SymId>> = strat
+            .iter()
+            .map(|preds| preds.iter().map(|p| SymId::intern(p)).collect())
+            .collect();
+        let mut stratum_of = FxHashMap::default();
+        for (s, preds) in stratum_preds.iter().enumerate() {
+            for &p in preds {
+                stratum_of.insert(p, s);
+            }
+        }
+        let mut rules = Vec::new();
+        let mut base: FxHashMap<SymId, FxHashSet<Fact>> = FxHashMap::default();
+        for clause in program.clauses() {
+            if clause.is_fact() {
+                let fact = clause
+                    .head
+                    .as_fact()
+                    .expect("safety guarantees fact clauses are ground");
+                base.entry(clause.head.predicate)
+                    .or_default()
+                    .insert(fact.into());
+            } else {
+                rules.push(clause.clone());
+            }
+        }
+        let idb: FxHashSet<SymId> = rules.iter().map(|r| r.head.predicate).collect();
+        let mut stratum_rules = vec![Vec::new(); stratum_preds.len()];
+        for (i, rule) in rules.iter().enumerate() {
+            let s = stratum_of
+                .get(&rule.head.predicate)
+                .copied()
+                .expect("every head predicate is stratified");
+            stratum_rules[s].push(i);
+        }
+        let engine = IncrementalEngine {
+            program: program.clone(),
+            rules,
+            stratum_preds,
+            stratum_of,
+            stratum_rules,
+            idb,
+            db: Database::new(),
+            base,
+            pending: Vec::new(),
+            in_txn: false,
+            poisoned: true, // until the first materialization lands
+            fact_limit: 10_000_000,
+            deadline: None,
+            cancel: None,
+            threads: 1,
+            fallback_threshold: None,
+            delta_plans: FxHashMap::default(),
+            base_plans: FxHashMap::default(),
+            materialize_stats: EvalStats::default(),
+        };
+        Ok(engine)
+    }
+
+    /// Set the guard budget on materialized facts (default 10 million).
+    #[must_use]
+    pub fn with_fact_limit(mut self, limit: usize) -> Self {
+        self.fact_limit = limit;
+        self
+    }
+
+    /// Set a wall-clock deadline applied to each commit (and to
+    /// [`recover`](IncrementalEngine::recover)).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Install a cooperative cancellation token consulted during commits.
+    #[must_use]
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Worker threads used by full rematerializations
+    /// ([`recover`](IncrementalEngine::recover)); delta application
+    /// itself is sequential.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Override the deletion-cascade size at which a stratum falls back
+    /// to a from-scratch recompute. The default heuristic is
+    /// `max(64, stratum_facts / 4)` per stratum.
+    #[must_use]
+    pub fn with_fallback_threshold(mut self, threshold: usize) -> Self {
+        self.fallback_threshold = Some(threshold);
+        self
+    }
+
+    /// The live materialized database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Whether a transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.in_txn
+    }
+
+    /// Whether an aborted commit left the database inconsistent.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Open a transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`DatalogError::TransactionActive`] if one is already open;
+    /// [`DatalogError::EnginePoisoned`] after an aborted commit.
+    pub fn begin(&mut self) -> Result<()> {
+        if self.poisoned {
+            return Err(DatalogError::EnginePoisoned);
+        }
+        if self.in_txn {
+            return Err(DatalogError::TransactionActive);
+        }
+        self.in_txn = true;
+        Ok(())
+    }
+
+    /// Stage an insertion of a ground fact. Inserting a fact of an IDB
+    /// predicate asserts it extensionally: it stays true even if no rule
+    /// derives it.
+    ///
+    /// # Errors
+    ///
+    /// [`DatalogError::NoActiveTransaction`] outside a transaction;
+    /// [`DatalogError::ArityMismatch`] if the arity contradicts the
+    /// program, the stored relation, or an earlier staged update.
+    pub fn insert(&mut self, predicate: &str, fact: Vec<Const>) -> Result<()> {
+        self.stage(predicate, fact, true)
+    }
+
+    /// Stage a retraction of a ground fact. Retracting a fact that was
+    /// never asserted (including purely derived facts) is a counted
+    /// no-op.
+    ///
+    /// # Errors
+    ///
+    /// As for [`IncrementalEngine::insert`].
+    pub fn retract(&mut self, predicate: &str, fact: Vec<Const>) -> Result<()> {
+        self.stage(predicate, fact, false)
+    }
+
+    fn stage(&mut self, predicate: &str, fact: Vec<Const>, insert: bool) -> Result<()> {
+        if self.poisoned {
+            return Err(DatalogError::EnginePoisoned);
+        }
+        if !self.in_txn {
+            return Err(DatalogError::NoActiveTransaction);
+        }
+        let pred = SymId::intern(predicate);
+        let known = self
+            .program
+            .arity(predicate)
+            .or_else(|| self.db.relation_id(pred).and_then(Relation::arity))
+            .or_else(|| {
+                self.pending
+                    .iter()
+                    .find(|op| op.pred == pred)
+                    .map(|op| op.fact.len())
+            });
+        if let Some(expected) = known {
+            if expected != fact.len() {
+                return Err(DatalogError::ArityMismatch {
+                    predicate: predicate.to_owned(),
+                    expected,
+                    found: fact.len(),
+                });
+            }
+        }
+        self.pending.push(PendingOp {
+            insert,
+            pred,
+            fact: fact.into(),
+        });
+        Ok(())
+    }
+
+    /// Discard the open transaction's staged updates.
+    ///
+    /// # Errors
+    ///
+    /// [`DatalogError::NoActiveTransaction`] outside a transaction;
+    /// [`DatalogError::EnginePoisoned`] after an aborted commit.
+    pub fn rollback(&mut self) -> Result<()> {
+        if self.poisoned {
+            return Err(DatalogError::EnginePoisoned);
+        }
+        if !self.in_txn {
+            return Err(DatalogError::NoActiveTransaction);
+        }
+        self.pending.clear();
+        self.in_txn = false;
+        Ok(())
+    }
+
+    /// Apply the staged updates and incrementally maintain the fixpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`DatalogError::NoActiveTransaction`] outside a transaction; guard
+    /// trips ([`DatalogError::BudgetExceeded`],
+    /// [`DatalogError::DeadlineExceeded`], [`DatalogError::Cancelled`])
+    /// poison the engine — the base is rolled back to its pre-transaction
+    /// state and [`recover`](IncrementalEngine::recover) must run before
+    /// further use.
+    pub fn commit(&mut self) -> Result<CommitStats> {
+        if self.poisoned {
+            return Err(DatalogError::EnginePoisoned);
+        }
+        if !self.in_txn {
+            return Err(DatalogError::NoActiveTransaction);
+        }
+        self.in_txn = false;
+        let ops = std::mem::take(&mut self.pending);
+        let start = Instant::now();
+        let mut stats = CommitStats::default();
+        if ops.is_empty() {
+            return Ok(stats);
+        }
+        // Replay ops onto the base, netting out cancelling pairs. The
+        // snapshot restores the base if the commit aborts mid-flight.
+        let mut snapshot: FxHashMap<SymId, FxHashSet<Fact>> = FxHashMap::default();
+        for op in &ops {
+            snapshot
+                .entry(op.pred)
+                .or_insert_with(|| self.base.get(&op.pred).cloned().unwrap_or_default());
+        }
+        let mut added: FxHashMap<SymId, FxHashSet<Fact>> = FxHashMap::default();
+        let mut removed: FxHashMap<SymId, FxHashSet<Fact>> = FxHashMap::default();
+        for op in ops {
+            let slot = self.base.entry(op.pred).or_default();
+            if op.insert {
+                if slot.insert(op.fact.clone())
+                    && !removed.entry(op.pred).or_default().remove(&op.fact)
+                {
+                    added.entry(op.pred).or_default().insert(op.fact);
+                }
+            } else if slot.remove(&op.fact) && !added.entry(op.pred).or_default().remove(&op.fact) {
+                removed.entry(op.pred).or_default().insert(op.fact);
+            }
+        }
+        stats.edb_inserted = added.values().map(FxHashSet::len).sum();
+        stats.edb_retracted = removed.values().map(FxHashSet::len).sum();
+        let guard = EvalGuard::new(self.deadline, self.fact_limit, self.cancel.clone());
+        match self.apply_deltas(added, removed, &guard, &mut stats) {
+            Ok(()) => {
+                stats.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                Ok(stats)
+            }
+            Err(e) => {
+                self.poisoned = true;
+                for (pred, facts) in snapshot {
+                    if facts.is_empty() {
+                        self.base.remove(&pred);
+                    } else {
+                        self.base.insert(pred, facts);
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Rebuild the fixpoint from scratch (rules + surviving base) and
+    /// clear the poisoned flag. Uses the configured thread count.
+    ///
+    /// # Errors
+    ///
+    /// Any evaluation error from the full materialization; the engine
+    /// stays poisoned on failure.
+    pub fn recover(&mut self) -> Result<()> {
+        self.in_txn = false;
+        self.pending.clear();
+        let program = self.full_program()?;
+        let mut engine = Engine::new(&program)?
+            .with_threads(self.threads)
+            .with_fact_limit(self.fact_limit);
+        if let Some(d) = self.deadline {
+            engine = engine.with_deadline(d);
+        }
+        if let Some(token) = &self.cancel {
+            engine = engine.with_cancel_token(token.clone());
+        }
+        let (db, stats) = engine.run_with_stats()?;
+        self.db = db;
+        self.materialize_stats = stats;
+        self.poisoned = false;
+        Ok(())
+    }
+
+    /// Per-rule/per-stratum statistics from the most recent full
+    /// materialization (the constructor's initial run or the latest
+    /// [`recover`](IncrementalEngine::recover)). Commits do not update
+    /// these — see [`CommitStats`] for per-commit counters.
+    pub fn materialize_stats(&self) -> &EvalStats {
+        &self.materialize_stats
+    }
+
+    /// The rules plus the current base rendered back into a program — the
+    /// from-scratch semantics this engine's database must always match.
+    fn full_program(&self) -> Result<Program> {
+        let mut clauses = Vec::new();
+        let mut preds: Vec<SymId> = self.base.keys().copied().collect();
+        preds.sort_unstable();
+        for pred in preds {
+            let mut facts: Vec<&Fact> = self.base[&pred].iter().collect();
+            facts.sort();
+            for fact in facts {
+                clauses.push(Clause::fact(Atom {
+                    predicate: pred,
+                    terms: fact.iter().map(|c| Term::Const(*c)).collect(),
+                }));
+            }
+        }
+        clauses.extend(self.rules.iter().cloned());
+        Program::from_clauses(clauses)
+    }
+
+    /// The stratum-by-stratum delta application (see module docs).
+    fn apply_deltas(
+        &mut self,
+        added: FxHashMap<SymId, FxHashSet<Fact>>,
+        removed: FxHashMap<SymId, FxHashSet<Fact>>,
+        guard: &EvalGuard,
+        stats: &mut CommitStats,
+    ) -> Result<()> {
+        let Self {
+            rules,
+            stratum_preds,
+            stratum_of,
+            stratum_rules,
+            idb,
+            db,
+            base,
+            fallback_threshold,
+            delta_plans,
+            base_plans,
+            ..
+        } = self;
+        let mut changes: FxHashMap<SymId, PredDelta> = FxHashMap::default();
+        let mut tentative: Vec<Vec<(SymId, Fact)>> = vec![Vec::new(); stratum_preds.len()];
+
+        // Physical EDB application. Pure-EDB deletions are definite; a
+        // deleted base fact of an IDB predicate may still be derivable,
+        // so it only becomes a *tentative* deletion in its own stratum.
+        for (pred, facts) in sorted_deltas(removed) {
+            if idb.contains(&pred) {
+                let s = stratum_of.get(&pred).copied().unwrap_or(0);
+                for fact in facts {
+                    if db.contains_id(pred, &fact) {
+                        tentative[s].push((pred, fact));
+                    }
+                }
+            } else {
+                for fact in facts {
+                    if db.retract_id(pred, &fact) {
+                        changes.entry(pred).or_default().del.push(fact);
+                    }
+                }
+            }
+        }
+        for (pred, facts) in sorted_deltas(added) {
+            for fact in facts {
+                if db.insert_if_new_id(pred, &fact) {
+                    changes.entry(pred).or_default().ins.push(fact);
+                }
+            }
+        }
+
+        for s in 0..stratum_preds.len() {
+            let preds = &stratum_preds[s];
+            let rule_idxs = &stratum_rules[s];
+            let seeds = std::mem::take(&mut tentative[s]);
+            if rule_idxs.is_empty() {
+                // No rules can rederive: tentative deletions are definite.
+                for (pred, fact) in seeds {
+                    if db.retract_id(pred, &fact) {
+                        changes.entry(pred).or_default().del.push(fact);
+                    }
+                }
+                continue;
+            }
+            let touched =
+                |l: &Literal| l.atom().is_some_and(|a| changes.contains_key(&a.predicate));
+            if seeds.is_empty()
+                && !rule_idxs
+                    .iter()
+                    .any(|&ri| rules[ri].body.iter().any(touched))
+            {
+                continue;
+            }
+            // Incremental maintenance through negation would need the
+            // old truth of the negated predicate; recompute instead.
+            let neg_changed = rule_idxs.iter().any(|&ri| {
+                rules[ri]
+                    .body
+                    .iter()
+                    .any(|l| matches!(l, Literal::Neg(a) if changes.contains_key(&a.predicate)))
+            });
+            if neg_changed {
+                recompute_stratum(
+                    rules,
+                    rule_idxs,
+                    preds,
+                    db,
+                    base,
+                    base_plans,
+                    delta_plans,
+                    guard,
+                    &mut changes,
+                )?;
+                stats.strata_recomputed += 1;
+                continue;
+            }
+
+            // Phase A: deletion overestimate. Temporarily restore deleted
+            // lower-stratum facts so the non-delta positions of the delta
+            // joins range over the old database.
+            let mut dset: FxHashSet<(SymId, Fact)> = FxHashSet::default();
+            let mut frontier: FxHashMap<SymId, Vec<Fact>> = FxHashMap::default();
+            for (pred, fact) in &seeds {
+                if dset.insert((*pred, fact.clone())) {
+                    frontier.entry(*pred).or_default().push(fact.clone());
+                }
+            }
+            let body_preds: FxHashSet<SymId> = rule_idxs
+                .iter()
+                .flat_map(|&ri| rules[ri].body.iter())
+                .filter_map(|l| match l {
+                    Literal::Pos(a) => Some(a.predicate),
+                    _ => None,
+                })
+                .collect();
+            let mut temps: Vec<(SymId, Fact)> = Vec::new();
+            for &q in &body_preds {
+                // Own-stratum IDB deletions arrive as tentative seeds, never
+                // as `changes` entries; everything else (lower strata and
+                // same-stratum pure-EDB predicates) seeds the frontier here.
+                if preds.contains(&q) && idb.contains(&q) {
+                    continue;
+                }
+                if let Some(delta) = changes.get(&q) {
+                    for fact in &delta.del {
+                        if db.insert_if_new_id(q, fact) {
+                            temps.push((q, fact.clone()));
+                        }
+                        frontier.entry(q).or_default().push(fact.clone());
+                    }
+                }
+            }
+            let stratum_size: usize = preds
+                .iter()
+                .map(|&p| db.relation_id(p).map_or(0, Relation::len))
+                .sum();
+            let threshold = fallback_threshold.unwrap_or_else(|| 64.max(stratum_size / 4));
+            let mut fell_back = false;
+            while !frontier.is_empty() {
+                guard.begin_round(db.fact_count());
+                let mut next: FxHashMap<SymId, Vec<Fact>> = FxHashMap::default();
+                for &ri in rule_idxs {
+                    for (pos, lit) in rules[ri].body.iter().enumerate() {
+                        let Literal::Pos(atom) = lit else { continue };
+                        let Some(delta) = frontier.get(&atom.predicate) else {
+                            continue;
+                        };
+                        let plan = delta_plan(delta_plans, rules, db, ri, pos)?;
+                        let mut out = Vec::new();
+                        plan.eval(db, Some(delta), &mut plan.new_scratch(), &mut out, guard)?;
+                        for fact in out {
+                            if db.contains_id(plan.head_pred, &fact)
+                                && dset.insert((plan.head_pred, fact.clone()))
+                            {
+                                next.entry(plan.head_pred).or_default().push(fact);
+                            }
+                        }
+                    }
+                }
+                if dset.len() > threshold {
+                    fell_back = true;
+                    break;
+                }
+                frontier = next;
+            }
+            for (q, fact) in temps {
+                db.retract_id(q, &fact);
+            }
+            if fell_back {
+                recompute_stratum(
+                    rules,
+                    rule_idxs,
+                    preds,
+                    db,
+                    base,
+                    base_plans,
+                    delta_plans,
+                    guard,
+                    &mut changes,
+                )?;
+                stats.strata_recomputed += 1;
+                continue;
+            }
+
+            // Phase B: delete the overestimate, then rederive what is
+            // base-asserted or still derivable, propagating semi-naively.
+            let mut deleted = dset;
+            for (pred, fact) in &deleted {
+                db.retract_id(*pred, fact);
+            }
+            let mut order: Vec<(SymId, Fact)> = deleted.iter().cloned().collect();
+            order.sort();
+            let mut frontier: FxHashMap<SymId, Vec<Fact>> = FxHashMap::default();
+            for (pred, fact) in order {
+                let supported = base.get(&pred).is_some_and(|b| b.contains(&fact))
+                    || derivable(rules, db, pred, &fact, guard)?;
+                if supported {
+                    db.insert_if_new_id(pred, &fact);
+                    deleted.remove(&(pred, fact.clone()));
+                    frontier.entry(pred).or_default().push(fact);
+                    stats.rederived += 1;
+                }
+            }
+            while !frontier.is_empty() {
+                guard.begin_round(db.fact_count());
+                let mut next: FxHashMap<SymId, Vec<Fact>> = FxHashMap::default();
+                for &ri in rule_idxs {
+                    for (pos, lit) in rules[ri].body.iter().enumerate() {
+                        let Literal::Pos(atom) = lit else { continue };
+                        let Some(delta) = frontier.get(&atom.predicate) else {
+                            continue;
+                        };
+                        let plan = delta_plan(delta_plans, rules, db, ri, pos)?;
+                        let mut out = Vec::new();
+                        plan.eval(db, Some(delta), &mut plan.new_scratch(), &mut out, guard)?;
+                        for fact in out {
+                            if deleted.remove(&(plan.head_pred, fact.clone())) {
+                                db.insert_if_new_id(plan.head_pred, &fact);
+                                next.entry(plan.head_pred).or_default().push(fact);
+                                stats.rederived += 1;
+                            }
+                        }
+                    }
+                }
+                frontier = next;
+            }
+
+            // Phase C: propagate insertions. A fact that comes back after
+            // being deleted this commit nets out to no change at all.
+            let mut frontier: FxHashMap<SymId, Vec<Fact>> = FxHashMap::default();
+            for &q in &body_preds {
+                if let Some(delta) = changes.get(&q) {
+                    if !delta.ins.is_empty() {
+                        frontier
+                            .entry(q)
+                            .or_default()
+                            .extend(delta.ins.iter().cloned());
+                    }
+                }
+            }
+            let mut stratum_ins: Vec<(SymId, Fact)> = Vec::new();
+            while !frontier.is_empty() {
+                guard.begin_round(db.fact_count());
+                let mut next: FxHashMap<SymId, Vec<Fact>> = FxHashMap::default();
+                for &ri in rule_idxs {
+                    for (pos, lit) in rules[ri].body.iter().enumerate() {
+                        let Literal::Pos(atom) = lit else { continue };
+                        let Some(delta) = frontier.get(&atom.predicate) else {
+                            continue;
+                        };
+                        let plan = delta_plan(delta_plans, rules, db, ri, pos)?;
+                        let mut out = Vec::new();
+                        plan.eval(db, Some(delta), &mut plan.new_scratch(), &mut out, guard)?;
+                        for fact in out {
+                            if db.insert_if_new_id(plan.head_pred, &fact) {
+                                if !deleted.remove(&(plan.head_pred, fact.clone())) {
+                                    stratum_ins.push((plan.head_pred, fact.clone()));
+                                }
+                                next.entry(plan.head_pred).or_default().push(fact);
+                            }
+                        }
+                    }
+                }
+                guard.check_db(db.fact_count())?;
+                frontier = next;
+            }
+            for (pred, fact) in deleted {
+                changes.entry(pred).or_default().del.push(fact);
+            }
+            for (pred, fact) in stratum_ins {
+                changes.entry(pred).or_default().ins.push(fact);
+            }
+        }
+
+        for (pred, delta) in &changes {
+            if idb.contains(pred) {
+                stats.derived_added += delta.ins.len();
+                stats.derived_removed += delta.del.len();
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for IncrementalEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "IncrementalEngine({} rules, {} facts{}{})",
+            self.rules.len(),
+            self.db.fact_count(),
+            if self.in_txn { ", in txn" } else { "" },
+            if self.poisoned { ", poisoned" } else { "" },
+        )
+    }
+}
+
+/// Deterministic iteration over a per-predicate delta map.
+fn sorted_deltas(map: FxHashMap<SymId, FxHashSet<Fact>>) -> Vec<(SymId, Vec<Fact>)> {
+    let mut out: Vec<(SymId, Vec<Fact>)> = map
+        .into_iter()
+        .map(|(pred, facts)| {
+            let mut facts: Vec<Fact> = facts.into_iter().collect();
+            facts.sort();
+            (pred, facts)
+        })
+        .collect();
+    out.sort_by_key(|&(pred, _)| pred);
+    out
+}
+
+/// Fetch (compiling on first use) the semi-naive variant of rule `ri`
+/// with its delta at body position `pos`.
+fn delta_plan<'a>(
+    plans: &'a mut FxHashMap<(usize, usize), RulePlan>,
+    rules: &[Clause],
+    db: &Database,
+    ri: usize,
+    pos: usize,
+) -> Result<&'a RulePlan> {
+    if let std::collections::hash_map::Entry::Vacant(e) = plans.entry((ri, pos)) {
+        e.insert(RulePlan::compile(&rules[ri], Some(pos), db)?);
+    }
+    Ok(&plans[&(ri, pos)])
+}
+
+/// Whether `pred(fact)` has at least one derivation in the current
+/// database: each rule head is unified against the fact, the bindings are
+/// substituted into the body, and the resulting ground-head rule is
+/// evaluated.
+fn derivable(
+    rules: &[Clause],
+    db: &Database,
+    pred: SymId,
+    fact: &[Const],
+    guard: &EvalGuard,
+) -> Result<bool> {
+    for rule in rules.iter().filter(|r| r.head.predicate == pred) {
+        let Some(bindings) = bind_head(rule, fact) else {
+            continue;
+        };
+        let ground = substitute(rule, &bindings);
+        let plan = RulePlan::compile(&ground, None, db)?;
+        let mut out = Vec::new();
+        plan.eval(db, None, &mut plan.new_scratch(), &mut out, guard)?;
+        if !out.is_empty() {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Unify a rule head against a ground fact: constants must match and
+/// repeated variables must bind consistently.
+fn bind_head<'r>(rule: &'r Clause, fact: &[Const]) -> Option<FxHashMap<&'r str, Const>> {
+    let mut bindings: FxHashMap<&str, Const> = FxHashMap::default();
+    for (term, value) in rule.head.terms.iter().zip(fact) {
+        match term {
+            Term::Const(c) => {
+                if c != value {
+                    return None;
+                }
+            }
+            Term::Var(v) => match bindings.get(v.as_ref()) {
+                Some(bound) if bound != value => return None,
+                Some(_) => {}
+                None => {
+                    bindings.insert(v.as_ref(), *value);
+                }
+            },
+        }
+    }
+    Some(bindings)
+}
+
+/// Substitute head bindings into a rule, grounding the head.
+fn substitute(rule: &Clause, bindings: &FxHashMap<&str, Const>) -> Clause {
+    let term = |t: &Term| match t {
+        Term::Var(v) => bindings
+            .get(v.as_ref())
+            .map_or_else(|| t.clone(), |c| Term::Const(*c)),
+        Term::Const(_) => t.clone(),
+    };
+    let atom = |a: &Atom| Atom {
+        predicate: a.predicate,
+        terms: a.terms.iter().map(term).collect(),
+    };
+    Clause::new(
+        atom(&rule.head),
+        rule.body
+            .iter()
+            .map(|lit| match lit {
+                Literal::Pos(a) => Literal::Pos(atom(a)),
+                Literal::Neg(a) => Literal::Neg(atom(a)),
+                Literal::Cmp { op, lhs, rhs } => Literal::Cmp {
+                    op: *op,
+                    lhs: term(lhs),
+                    rhs: term(rhs),
+                },
+                Literal::Arith {
+                    target,
+                    lhs,
+                    op,
+                    rhs,
+                } => Literal::Arith {
+                    target: term(target),
+                    lhs: term(lhs),
+                    op: *op,
+                    rhs: term(rhs),
+                },
+            })
+            .collect(),
+    )
+}
+
+/// Recompute one stratum from scratch: reset its predicates to base
+/// facts, run a sequential semi-naive fixpoint of its rules, and diff
+/// against the old contents so downstream strata see exact deltas.
+#[allow(clippy::too_many_arguments)]
+fn recompute_stratum(
+    rules: &[Clause],
+    rule_idxs: &[usize],
+    preds: &FxHashSet<SymId>,
+    db: &mut Database,
+    base: &FxHashMap<SymId, FxHashSet<Fact>>,
+    base_plans: &mut FxHashMap<usize, RulePlan>,
+    delta_plans: &mut FxHashMap<(usize, usize), RulePlan>,
+    guard: &EvalGuard,
+    changes: &mut FxHashMap<SymId, PredDelta>,
+) -> Result<()> {
+    let mut sorted_preds: Vec<SymId> = preds.iter().copied().collect();
+    sorted_preds.sort_unstable();
+    let mut old: FxHashMap<SymId, FxHashSet<Fact>> = FxHashMap::default();
+    for &pred in &sorted_preds {
+        let facts: FxHashSet<Fact> = db
+            .relation_id(pred)
+            .map(|r| r.iter().cloned().collect())
+            .unwrap_or_default();
+        old.insert(pred, facts);
+        db.clear_relation_id(pred);
+        if let Some(asserted) = base.get(&pred) {
+            let mut facts: Vec<&Fact> = asserted.iter().collect();
+            facts.sort();
+            for fact in facts {
+                db.insert_if_new_id(pred, fact);
+            }
+        }
+    }
+    // Round 1: full rules; later rounds: semi-naive over the stratum's
+    // own new facts.
+    guard.begin_round(db.fact_count());
+    let mut frontier: FxHashMap<SymId, Vec<Fact>> = FxHashMap::default();
+    for &ri in rule_idxs {
+        if let std::collections::hash_map::Entry::Vacant(e) = base_plans.entry(ri) {
+            e.insert(RulePlan::compile(&rules[ri], None, db)?);
+        }
+        let plan = &base_plans[&ri];
+        let mut out = Vec::new();
+        plan.eval(db, None, &mut plan.new_scratch(), &mut out, guard)?;
+        for fact in out {
+            if db.insert_if_new_id(plan.head_pred, &fact) {
+                frontier.entry(plan.head_pred).or_default().push(fact);
+            }
+        }
+    }
+    guard.check_db(db.fact_count())?;
+    while !frontier.is_empty() {
+        guard.begin_round(db.fact_count());
+        let mut next: FxHashMap<SymId, Vec<Fact>> = FxHashMap::default();
+        for &ri in rule_idxs {
+            for (pos, lit) in rules[ri].body.iter().enumerate() {
+                let Literal::Pos(atom) = lit else { continue };
+                let Some(delta) = frontier.get(&atom.predicate) else {
+                    continue;
+                };
+                let plan = delta_plan(delta_plans, rules, db, ri, pos)?;
+                let mut out = Vec::new();
+                plan.eval(db, Some(delta), &mut plan.new_scratch(), &mut out, guard)?;
+                for fact in out {
+                    if db.insert_if_new_id(plan.head_pred, &fact) {
+                        next.entry(plan.head_pred).or_default().push(fact);
+                    }
+                }
+            }
+        }
+        guard.check_db(db.fact_count())?;
+        frontier = next;
+    }
+    for &pred in &sorted_preds {
+        let old_facts = old.remove(&pred).expect("snapshotted above");
+        let mut ins: Vec<Fact> = Vec::new();
+        if let Some(rel) = db.relation_id(pred) {
+            for fact in rel.iter() {
+                if !old_facts.contains(fact) {
+                    ins.push(fact.clone());
+                }
+            }
+        }
+        let mut del: Vec<Fact> = Vec::new();
+        for fact in old_facts {
+            if !db.contains_id(pred, &fact) {
+                del.push(fact);
+            }
+        }
+        if !ins.is_empty() || !del.is_empty() {
+            ins.sort();
+            del.sort();
+            let entry = changes.entry(pred).or_default();
+            entry.ins.extend(ins);
+            entry.del.extend(del);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn s(name: &str) -> Const {
+        Const::sym(name)
+    }
+
+    fn tc_program() -> Program {
+        parse_program(
+            "edge(a, b). edge(b, c).
+             path(X, Y) :- edge(X, Y).
+             path(X, Z) :- path(X, Y), edge(Y, Z).",
+        )
+        .expect("program parses")
+    }
+
+    /// The incremental database must equal the from-scratch fixpoint of
+    /// the surviving base — compare every relation as a sorted fact list.
+    fn assert_matches_scratch(engine: &IncrementalEngine) {
+        let program = engine.full_program().expect("base renders back");
+        let scratch = Engine::new(&program)
+            .expect("stratifies")
+            .run()
+            .expect("evaluates");
+        for (pred, rel) in engine.database().relations() {
+            let want = scratch
+                .relation(pred)
+                .map(|r| r.sorted())
+                .unwrap_or_default();
+            assert_eq!(rel.sorted(), want, "relation {pred} diverged");
+        }
+        for (pred, rel) in scratch.relations() {
+            if engine.database().relation(pred).is_none() {
+                assert!(rel.is_empty(), "relation {pred} missing incrementally");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_extends_fixpoint() {
+        let program = tc_program();
+        let mut engine = IncrementalEngine::new(&program).unwrap();
+        engine.begin().unwrap();
+        engine.insert("edge", vec![s("c"), s("d")]).unwrap();
+        let stats = engine.commit().unwrap();
+        assert_eq!(stats.edb_inserted, 1);
+        assert_eq!(stats.derived_added, 3); // (c,d) (b,d) (a,d)
+        assert!(engine.database().contains("path", &[s("a"), s("d")]));
+        assert_matches_scratch(&engine);
+    }
+
+    #[test]
+    fn retract_cascades_deletions() {
+        let program = tc_program();
+        let mut engine = IncrementalEngine::new(&program).unwrap();
+        engine.begin().unwrap();
+        engine.retract("edge", vec![s("b"), s("c")]).unwrap();
+        let stats = engine.commit().unwrap();
+        assert_eq!(stats.edb_retracted, 1);
+        assert_eq!(stats.derived_removed, 2); // path(b,c), path(a,c)
+        assert!(engine.database().contains("path", &[s("a"), s("b")]));
+        assert!(!engine.database().contains("path", &[s("a"), s("c")]));
+        assert_matches_scratch(&engine);
+    }
+
+    #[test]
+    fn alternative_support_is_rederived() {
+        let program = parse_program(
+            "edge(a, b). edge(b, d). edge(a, c). edge(c, d).
+             path(X, Y) :- edge(X, Y).
+             path(X, Z) :- path(X, Y), edge(Y, Z).",
+        )
+        .unwrap();
+        let mut engine = IncrementalEngine::new(&program).unwrap();
+        engine.begin().unwrap();
+        engine.retract("edge", vec![s("b"), s("d")]).unwrap();
+        let stats = engine.commit().unwrap();
+        // path(a, d) is overestimated as deleted but survives via c.
+        assert!(stats.rederived >= 1, "stats: {stats:?}");
+        assert!(engine.database().contains("path", &[s("a"), s("d")]));
+        assert!(!engine.database().contains("path", &[s("b"), s("d")]));
+        assert_matches_scratch(&engine);
+    }
+
+    #[test]
+    fn retracting_a_derived_only_fact_is_a_no_op() {
+        let program = tc_program();
+        let mut engine = IncrementalEngine::new(&program).unwrap();
+        engine.begin().unwrap();
+        // path(a, c) is derived, never asserted: nothing to retract.
+        engine.retract("path", vec![s("a"), s("c")]).unwrap();
+        let stats = engine.commit().unwrap();
+        assert_eq!(stats.edb_retracted, 0);
+        assert!(engine.database().contains("path", &[s("a"), s("c")]));
+        assert_matches_scratch(&engine);
+    }
+
+    #[test]
+    fn asserted_idb_fact_survives_rule_support_loss() {
+        let program = tc_program();
+        let mut engine = IncrementalEngine::new(&program).unwrap();
+        engine.begin().unwrap();
+        engine.insert("path", vec![s("a"), s("c")]).unwrap();
+        engine.commit().unwrap();
+        engine.begin().unwrap();
+        engine.retract("edge", vec![s("b"), s("c")]).unwrap();
+        engine.commit().unwrap();
+        // Rule support is gone, but the explicit assertion remains.
+        assert!(engine.database().contains("path", &[s("a"), s("c")]));
+        assert_matches_scratch(&engine);
+    }
+
+    #[test]
+    fn negation_stratum_falls_back_to_recompute() {
+        let program = parse_program(
+            "node(a). node(b). edge(a, b).
+             reached(X) :- edge(a, X).
+             unreachable(X) :- node(X), not reached(X).",
+        )
+        .unwrap();
+        let mut engine = IncrementalEngine::new(&program).unwrap();
+        assert!(engine.database().contains("unreachable", &[s("a")]));
+        assert!(!engine.database().contains("unreachable", &[s("b")]));
+        engine.begin().unwrap();
+        engine.retract("edge", vec![s("a"), s("b")]).unwrap();
+        let stats = engine.commit().unwrap();
+        assert!(stats.strata_recomputed >= 1, "stats: {stats:?}");
+        assert!(engine.database().contains("unreachable", &[s("b")]));
+        assert_matches_scratch(&engine);
+    }
+
+    #[test]
+    fn threshold_fallback_matches_scratch() {
+        let program = tc_program();
+        let mut engine = IncrementalEngine::new(&program)
+            .unwrap()
+            .with_fallback_threshold(0); // every deletion cascades past it
+        engine.begin().unwrap();
+        engine.retract("edge", vec![s("a"), s("b")]).unwrap();
+        let stats = engine.commit().unwrap();
+        assert!(stats.strata_recomputed >= 1);
+        assert!(!engine.database().contains("path", &[s("a"), s("c")]));
+        assert_matches_scratch(&engine);
+    }
+
+    #[test]
+    fn transaction_protocol_is_enforced() {
+        let program = tc_program();
+        let mut engine = IncrementalEngine::new(&program).unwrap();
+        assert!(matches!(
+            engine.commit(),
+            Err(DatalogError::NoActiveTransaction)
+        ));
+        assert!(matches!(
+            engine.insert("edge", vec![s("x"), s("y")]),
+            Err(DatalogError::NoActiveTransaction)
+        ));
+        engine.begin().unwrap();
+        assert!(matches!(
+            engine.begin(),
+            Err(DatalogError::TransactionActive)
+        ));
+        engine.rollback().unwrap();
+        assert!(matches!(
+            engine.rollback(),
+            Err(DatalogError::NoActiveTransaction)
+        ));
+    }
+
+    #[test]
+    fn rollback_discards_staged_updates() {
+        let program = tc_program();
+        let mut engine = IncrementalEngine::new(&program).unwrap();
+        engine.begin().unwrap();
+        engine.insert("edge", vec![s("c"), s("d")]).unwrap();
+        engine.rollback().unwrap();
+        engine.begin().unwrap();
+        let stats = engine.commit().unwrap();
+        assert_eq!(stats, CommitStats::default());
+        assert!(!engine.database().contains("edge", &[s("c"), s("d")]));
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected_at_stage_time() {
+        let program = tc_program();
+        let mut engine = IncrementalEngine::new(&program).unwrap();
+        engine.begin().unwrap();
+        let err = engine.insert("edge", vec![s("a")]).unwrap_err();
+        assert!(matches!(
+            err,
+            DatalogError::ArityMismatch {
+                expected: 2,
+                found: 1,
+                ..
+            }
+        ));
+        // Novel predicates fix their arity at the first staged op.
+        engine.insert("tag", vec![s("a")]).unwrap();
+        let err = engine.insert("tag", vec![s("a"), s("b")]).unwrap_err();
+        assert!(matches!(
+            err,
+            DatalogError::ArityMismatch {
+                expected: 1,
+                found: 2,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn budget_trip_poisons_until_recover() {
+        let mut src = String::new();
+        for i in 0..40 {
+            src.push_str(&format!("edge(n{i}, n{}).\n", i + 1));
+        }
+        src.push_str("path(X, Y) :- edge(X, Y).\npath(X, Z) :- path(X, Y), edge(Y, Z).\n");
+        let program = parse_program(&src).unwrap();
+        let engine = IncrementalEngine::new(&program).unwrap();
+        let before = engine.database().fact_count();
+        let mut engine = engine.with_fact_limit(before); // any growth trips
+        engine.begin().unwrap();
+        engine.insert("edge", vec![s("n41"), s("n42")]).unwrap();
+        let err = engine.commit().unwrap_err();
+        assert!(matches!(err, DatalogError::BudgetExceeded { .. }), "{err}");
+        assert!(engine.is_poisoned());
+        assert!(matches!(engine.begin(), Err(DatalogError::EnginePoisoned)));
+        // The failed transaction's base changes were rolled back.
+        let mut engine = engine.with_fact_limit(10_000_000);
+        engine.recover().unwrap();
+        assert!(!engine.is_poisoned());
+        assert_eq!(engine.database().fact_count(), before);
+        assert_matches_scratch(&engine);
+    }
+
+    #[test]
+    fn novel_predicates_round_trip() {
+        let program = tc_program();
+        let mut engine = IncrementalEngine::new(&program).unwrap();
+        engine.begin().unwrap();
+        engine.insert("tag", vec![s("a")]).unwrap();
+        engine.commit().unwrap();
+        assert!(engine.database().contains("tag", &[s("a")]));
+        engine.begin().unwrap();
+        engine.retract("tag", vec![s("a")]).unwrap();
+        engine.commit().unwrap();
+        assert!(!engine.database().contains("tag", &[s("a")]));
+    }
+
+    #[test]
+    fn mixed_commit_nets_out() {
+        let program = tc_program();
+        let mut engine = IncrementalEngine::new(&program).unwrap();
+        engine.begin().unwrap();
+        engine.retract("edge", vec![s("a"), s("b")]).unwrap();
+        engine.insert("edge", vec![s("a"), s("b")]).unwrap(); // cancels
+        engine.insert("edge", vec![s("c"), s("d")]).unwrap();
+        let stats = engine.commit().unwrap();
+        assert_eq!(stats.edb_retracted, 0);
+        assert_eq!(stats.edb_inserted, 1);
+        assert!(engine.database().contains("path", &[s("a"), s("d")]));
+        assert_matches_scratch(&engine);
+    }
+}

@@ -74,6 +74,7 @@ mod error;
 mod eval;
 mod fx;
 mod guard;
+mod incremental;
 mod parser;
 mod plan;
 mod program;
@@ -88,6 +89,7 @@ pub use clause::{Clause, Span};
 pub use error::DatalogError;
 pub use eval::{Engine, EvalStats, RuleStats, Strategy, StratumStats};
 pub use guard::CancelToken;
+pub use incremental::{CommitStats, IncrementalEngine};
 pub use parser::{parse_atom, parse_clause, parse_program, parse_query};
 pub use program::{DepGraph, Program, Stratification};
 pub use query::{run_query, Bindings, QueryAnswer};

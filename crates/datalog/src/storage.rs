@@ -133,6 +133,78 @@ impl Relation {
         facts.push(fact);
     }
 
+    /// Retract a fact; returns `true` if it was present.
+    ///
+    /// Storage stays compact: the last row is swapped into the vacated
+    /// slot and every structure that names rows by id — the dedup bucket
+    /// of the moved tuple and its per-column index entries — is patched
+    /// to the new id. When the last fact is retracted the relation
+    /// returns to its pristine state (arity forgotten, indexes dropped),
+    /// so a later insert may legally use a different arity.
+    pub fn retract(&mut self, fact: &[Const]) -> bool {
+        if self.arity != Some(fact.len()) {
+            return false;
+        }
+        let hash = fact_hash(fact);
+        let Some(bucket) = self.dedup.get_mut(&hash) else {
+            return false;
+        };
+        let Some(pos) = bucket
+            .iter()
+            .position(|&r| *self.facts[r as usize] == *fact)
+        else {
+            return false;
+        };
+        let row = bucket.swap_remove(pos);
+        if bucket.is_empty() {
+            self.dedup.remove(&hash);
+        }
+        for (col, c) in fact.iter().enumerate() {
+            let entry = self
+                .indexes
+                .get_mut(col)
+                .and_then(|idx| idx.get_mut(c))
+                .expect("stored fact is indexed");
+            let at = entry
+                .iter()
+                .position(|&r| r == row)
+                .expect("stored fact is indexed");
+            entry.swap_remove(at);
+            if entry.is_empty() {
+                self.indexes[col].remove(c);
+            }
+        }
+        let last = u32::try_from(self.facts.len() - 1).expect("relation row overflow");
+        self.facts.swap_remove(row as usize);
+        if row != last {
+            // The old last row now lives at `row`: rewrite its id.
+            let moved = self.facts[row as usize].clone();
+            let bucket = self
+                .dedup
+                .get_mut(&fact_hash(&moved))
+                .expect("moved fact is deduped");
+            let at = bucket
+                .iter()
+                .position(|&r| r == last)
+                .expect("moved fact is deduped");
+            bucket[at] = row;
+            for (col, c) in moved.iter().enumerate() {
+                let entry = self.indexes[col].get_mut(c).expect("moved fact is indexed");
+                let at = entry
+                    .iter()
+                    .position(|&r| r == last)
+                    .expect("moved fact is indexed");
+                entry[at] = row;
+            }
+        }
+        if self.facts.is_empty() {
+            self.arity = None;
+            self.indexes.clear();
+            self.dedup.clear();
+        }
+        true
+    }
+
     /// Whether the relation contains exactly this fact.
     pub fn contains(&self, fact: &[Const]) -> bool {
         self.dedup
@@ -146,7 +218,9 @@ impl Relation {
     }
 
     /// Facts matching a binding pattern: `pattern[i] = Some(c)` requires
-    /// column `i` to equal `c`. Rows are yielded in insertion order.
+    /// column `i` to equal `c`. Rows are yielded in storage order, which
+    /// is insertion order until the first retraction perturbs it; every
+    /// externally visible ordering goes through [`Relation::sorted`].
     pub fn matching<'a>(
         &'a self,
         pattern: &'a [Option<Const>],
@@ -251,6 +325,36 @@ impl Database {
             self.fact_count += 1;
         }
         new
+    }
+
+    /// Retract a fact; returns `true` if it was present.
+    pub fn retract(&mut self, predicate: &str, fact: &[Const]) -> bool {
+        self.retract_id(SymId::intern(predicate), fact)
+    }
+
+    /// Retract a fact under an interned predicate id; returns `true` if it
+    /// was present. The relation entry itself stays registered (empty), so
+    /// plans that resolved the predicate keep working.
+    pub fn retract_id(&mut self, predicate: SymId, fact: &[Const]) -> bool {
+        let gone = self
+            .relations
+            .get_mut(&predicate)
+            .is_some_and(|r| r.retract(fact));
+        if gone {
+            self.fact_count -= 1;
+        }
+        gone
+    }
+
+    /// Reset the relation for a predicate id to empty — it stays
+    /// registered, so compiled plans keep resolving it — and subtract its
+    /// facts from the database total. Used by the incremental engine's
+    /// per-stratum recompute fallback.
+    pub fn clear_relation_id(&mut self, predicate: SymId) {
+        if let Some(rel) = self.relations.get_mut(&predicate) {
+            self.fact_count -= rel.len();
+            *rel = Relation::new();
+        }
     }
 
     /// Whether the database contains this ground fact.
@@ -370,6 +474,95 @@ mod tests {
         assert!(db.contains("p", &[c("a")]));
         assert!(!db.contains("r", &[c("a")]));
         assert_eq!(db.predicates().collect::<Vec<_>>(), vec!["p", "q"]);
+    }
+
+    #[test]
+    fn retract_removes_and_reports() {
+        let mut r = Relation::new();
+        r.insert(vec![c("a"), c("b")]);
+        r.insert(vec![c("b"), c("c")]);
+        assert!(r.retract(&[c("a"), c("b")]));
+        assert!(!r.retract(&[c("a"), c("b")]), "second retract is a no-op");
+        assert!(!r.retract(&[c("z"), c("z")]), "absent fact");
+        assert!(!r.retract(&[c("b")]), "wrong arity is not a panic");
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&[c("b"), c("c")]));
+        assert!(!r.contains(&[c("a"), c("b")]));
+    }
+
+    #[test]
+    fn retract_patches_moved_row_ids() {
+        // Retract the first row so the last row is swapped into slot 0;
+        // index probes and dedup must still find it under its new id.
+        let mut r = Relation::new();
+        for (x, y) in [("a", "b"), ("c", "d"), ("e", "f")] {
+            r.insert(vec![c(x), c(y)]);
+        }
+        assert!(r.retract(&[c("a"), c("b")]));
+        let pat = vec![Some(c("e")), None];
+        let hits: Vec<_> = r.matching(&pat).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(**hits[0], [c("e"), c("f")]);
+        assert!(r.contains(&[c("e"), c("f")]));
+        assert!(!r.insert(vec![c("e"), c("f")]), "dedup still sees it");
+        assert!(!r.insert(vec![c("c"), c("d")]));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn retract_to_empty_resets_arity() {
+        let mut r = Relation::new();
+        r.insert(vec![c("a"), c("b")]);
+        assert!(r.retract(&[c("a"), c("b")]));
+        assert!(r.is_empty());
+        assert_eq!(r.arity(), None);
+        // A fresh arity is legal again, exactly as on a new relation.
+        assert!(r.insert(vec![c("x")]));
+        assert_eq!(r.arity(), Some(1));
+        assert!(r.contains(&[c("x")]));
+    }
+
+    #[test]
+    fn retract_interleaved_with_insert_stays_consistent() {
+        let mut r = Relation::new();
+        for i in 0..20 {
+            r.insert(vec![Const::int(i), Const::int(i + 1)]);
+        }
+        for i in (0..20).step_by(2) {
+            assert!(r.retract(&[Const::int(i), Const::int(i + 1)]));
+        }
+        for i in 0..20 {
+            let present = i % 2 == 1;
+            assert_eq!(r.contains(&[Const::int(i), Const::int(i + 1)]), present);
+            let pat = vec![Some(Const::int(i)), None];
+            assert_eq!(r.matching(&pat).count(), usize::from(present));
+        }
+        // Reinsert everything; dedup must admit the retracted half only.
+        let mut added = 0;
+        for i in 0..20 {
+            if r.insert(vec![Const::int(i), Const::int(i + 1)]) {
+                added += 1;
+            }
+        }
+        assert_eq!(added, 10);
+        assert_eq!(r.len(), 20);
+    }
+
+    #[test]
+    fn database_retract_tracks_fact_count() {
+        let mut db = Database::new();
+        db.insert("p", vec![c("a")]);
+        db.insert("p", vec![c("b")]);
+        db.insert("q", vec![c("a")]);
+        assert!(db.retract("p", &[c("a")]));
+        assert!(!db.retract("p", &[c("a")]));
+        assert!(!db.retract("r", &[c("a")]), "unknown predicate");
+        assert_eq!(db.fact_count(), 2);
+        assert!(db.retract("q", &[c("a")]));
+        assert_eq!(db.fact_count(), 1);
+        // The emptied relation stays registered.
+        assert!(db.relation("q").is_some());
+        assert!(db.relation("q").unwrap().is_empty());
     }
 
     #[test]

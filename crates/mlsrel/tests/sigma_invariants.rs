@@ -1,0 +1,234 @@
+//! σ filter invariants across the update semantics: the Mission history
+//! of §3 is replayed operation by operation, and after *every* op the
+//! Jajodia–Sandhu views (Figures 2–3) and the belief views of
+//! Figures 6–8 are checked against an independent re-implementation of
+//! the σ projection rule — key visibility gates the tuple, invisible
+//! attributes are nulled at the key class, and the displayed `TC` clips
+//! to the viewing level.
+
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::BTreeSet;
+
+use multilog_lattice::{Label, SecurityLattice};
+use multilog_mlsrel::belief::{believe, BeliefMode};
+use multilog_mlsrel::mission;
+use multilog_mlsrel::ops::{apply, Op};
+use multilog_mlsrel::view::{view_at, view_at_with, ViewOptions};
+use multilog_mlsrel::{MlsRelation, MlsTuple, Value};
+
+/// Independent oracle for the σ projection of one stored tuple at view
+/// class `c` (`None` when the key itself is invisible).
+fn sigma_project(lat: &SecurityLattice, t: &MlsTuple, c: Label) -> Option<MlsTuple> {
+    if !lat.leq(t.key_class(), c) {
+        return None;
+    }
+    let mut values = Vec::with_capacity(t.arity());
+    let mut classes = Vec::with_capacity(t.arity());
+    for (v, &cl) in t.values.iter().zip(&t.classes) {
+        if lat.leq(cl, c) {
+            values.push(v.clone());
+            classes.push(cl);
+        } else {
+            values.push(Value::Null);
+            classes.push(t.key_class());
+        }
+    }
+    let tc = if lat.leq(t.tc, c) { t.tc } else { c };
+    Some(MlsTuple::new(values, classes, tc))
+}
+
+/// Canonical rendering of a relation's tuple set for set comparison.
+fn tuple_set(lat: &SecurityLattice, rel: &MlsRelation) -> BTreeSet<String> {
+    rel.tuples().iter().map(|t| t.render(lat)).collect()
+}
+
+/// Assert every σ/view/belief invariant of the current stored state, at
+/// every level of the lattice.
+fn assert_sigma_invariants(lat: &SecurityLattice, rel: &MlsRelation) {
+    rel.check_integrity()
+        .expect("stored state passes Definition 5.4 integrity");
+    for level in ["U", "C", "S"] {
+        let c = lat.label(level).unwrap();
+
+        // The raw σ view (no subsumption) must equal the oracle exactly.
+        let raw = view_at_with(
+            rel,
+            c,
+            ViewOptions {
+                filter_sigma: true,
+                eliminate_subsumed: false,
+            },
+        );
+        let expected: BTreeSet<String> = rel
+            .tuples()
+            .iter()
+            .filter_map(|t| sigma_project(lat, t, c))
+            .map(|t| t.render(lat))
+            .collect();
+        assert_eq!(
+            tuple_set(lat, &raw),
+            expected,
+            "σ view at {level} diverged from the projection oracle"
+        );
+
+        // No read-up: everything displayed at c is classified ⪯ c.
+        for t in raw.tuples() {
+            assert!(lat.leq(t.tc, c), "view TC leaks above {level}");
+            assert!(lat.leq(t.key_class(), c), "key class leaks above {level}");
+            assert!(
+                t.classes.iter().all(|&cl| lat.leq(cl, c)),
+                "attribute class leaks above {level}"
+            );
+        }
+
+        // Subsumption elimination only ever drops candidates.
+        let cooked = view_at(rel, c);
+        assert!(
+            tuple_set(lat, &cooked).is_subset(&tuple_set(lat, &raw)),
+            "subsumption at {level} invented a tuple"
+        );
+
+        // The belief views of Figures 6–8 never leak σ-invisible data:
+        // every believed non-null attribute value is visible somewhere in
+        // the stored relation at a class ⪯ c.
+        for mode in BeliefMode::all() {
+            let believed = believe(rel, c, mode).expect("belief view computes");
+            for bt in believed.tuples() {
+                for (i, v) in bt.values.iter().enumerate() {
+                    if *v == Value::Null {
+                        continue;
+                    }
+                    let witnessed = rel.tuples().iter().any(|st| {
+                        st.values[i] == *v
+                            && lat.leq(st.classes[i], c)
+                            && lat.leq(st.key_class(), c)
+                    });
+                    assert!(
+                        witnessed,
+                        "{mode:?} belief at {level} leaked `{v:?}` for attribute {i}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mission_history_preserves_sigma_invariants_after_every_op() {
+    let (lat, scheme) = mission::mission_scheme();
+    let mut rel = MlsRelation::new(scheme);
+    assert_sigma_invariants(&lat, &rel);
+    for op in mission::mission_history() {
+        apply(&mut rel, &op).expect("mission history replays");
+        assert_sigma_invariants(&lat, &rel);
+    }
+    // The replay ends at Figure 1, whose C-level belief views are
+    // Figures 6–8 (modulo the σ-generated t4/t5, which β omits).
+    let (_, fig1) = mission::mission_relation();
+    assert!(rel.same_tuples(&fig1));
+    let c = lat.label("C").unwrap();
+    let firm = believe(&rel, c, BeliefMode::Firm).unwrap();
+    assert_eq!(firm.len(), 1, "Figure 6: only the re-asserted Atlantis");
+    assert_eq!(firm.tuples()[0].key(), &Value::str("Atlantis"));
+}
+
+#[test]
+fn polyinstantiating_update_keeps_cover_story_under_sigma() {
+    let (lat, scheme) = mission::mission_scheme();
+    let mut rel = MlsRelation::new(scheme);
+    apply(
+        &mut rel,
+        &Op::Insert {
+            level: "U".into(),
+            values: vec![
+                Value::str("Voyager"),
+                Value::str("Training"),
+                Value::str("Mars"),
+            ],
+        },
+    )
+    .unwrap();
+    assert_sigma_invariants(&lat, &rel);
+
+    // The S-subject update polyinstantiates: the U cover story survives
+    // next to the new S-classified objective.
+    apply(
+        &mut rel,
+        &Op::Update {
+            level: "S".into(),
+            key: Value::str("Voyager"),
+            key_class: "U".into(),
+            assignments: vec![("Objective".into(), Some(Value::str("Spying")), "S".into())],
+        },
+    )
+    .unwrap();
+    assert_eq!(rel.len(), 2);
+    assert_sigma_invariants(&lat, &rel);
+
+    // At U, σ shows only the cover story — never a null for the hidden
+    // S objective, because the U tuple is untouched.
+    let u = lat.label("U").unwrap();
+    let at_u = view_at(&rel, u);
+    assert_eq!(at_u.len(), 1);
+    assert_eq!(at_u.tuples()[0].values[1], Value::str("Training"));
+
+    // At S, the cautious believer takes the S objective over the beaten
+    // cover story (Figure 8's overriding rule).
+    let s = lat.label("S").unwrap();
+    let cau = believe(&rel, s, BeliefMode::Cautious).unwrap();
+    assert_eq!(cau.len(), 1);
+    assert_eq!(cau.tuples()[0].values[1], Value::str("Spying"));
+}
+
+#[test]
+fn delete_below_leaves_surprise_story_sigma_clean() {
+    let (lat, scheme) = mission::mission_scheme();
+    let mut rel = MlsRelation::new(scheme);
+    apply(
+        &mut rel,
+        &Op::Insert {
+            level: "U".into(),
+            values: vec![
+                Value::str("Phantom"),
+                Value::str("Spying"),
+                Value::str("Omega"),
+            ],
+        },
+    )
+    .unwrap();
+    apply(
+        &mut rel,
+        &Op::Update {
+            level: "S".into(),
+            key: Value::str("Phantom"),
+            key_class: "U".into(),
+            assignments: vec![(
+                "Objective".into(),
+                Some(Value::str("Smuggling")),
+                "S".into(),
+            )],
+        },
+    )
+    .unwrap();
+    assert_sigma_invariants(&lat, &rel);
+
+    // U deletes its row; the S polyinstantiated row outlives it — the
+    // surprise story of §3 — and σ must now null its objective for U.
+    apply(
+        &mut rel,
+        &Op::Delete {
+            level: "U".into(),
+            key: Value::str("Phantom"),
+            key_class: "U".into(),
+        },
+    )
+    .unwrap();
+    assert_sigma_invariants(&lat, &rel);
+    assert_eq!(rel.len(), 1);
+    let u = lat.label("U").unwrap();
+    let at_u = view_at(&rel, u);
+    assert_eq!(at_u.len(), 1, "the dangling U key is still visible at U");
+    assert_eq!(at_u.tuples()[0].values[1], Value::Null);
+}

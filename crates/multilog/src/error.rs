@@ -4,6 +4,7 @@ use std::fmt;
 
 use multilog_datalog::DatalogError;
 use multilog_lattice::LatticeError;
+use multilog_mlsrel::MlsError;
 
 /// Errors raised while parsing, validating, or evaluating MultiLog
 /// databases.
@@ -45,10 +46,19 @@ pub enum MultiLogError {
     },
     /// A referenced belief mode is neither built-in nor user-defined.
     UnknownMode(String),
+    /// An extensional update (assert or retract) used a non-ground
+    /// m-atom; updates must name one concrete cell.
+    NonGroundUpdate {
+        /// The offending atom, rendered.
+        atom: String,
+    },
     /// Underlying lattice error.
     Lattice(LatticeError),
     /// Error from the Datalog back-end during reduction.
     Datalog(DatalogError),
+    /// Error from the MLS relational layer while applying an update
+    /// operation through a live database.
+    Relational(MlsError),
     /// Evaluation exceeded the configured fact budget.
     BudgetExceeded {
         /// The configured budget.
@@ -87,8 +97,12 @@ impl fmt::Display for MultiLogError {
                 write!(f, "cautious belief is not level-stratified: {detail}")
             }
             MultiLogError::UnknownMode(m) => write!(f, "unknown belief mode `{m}`"),
+            MultiLogError::NonGroundUpdate { atom } => {
+                write!(f, "extensional updates must be ground: `{atom}`")
+            }
             MultiLogError::Lattice(e) => write!(f, "lattice error: {e}"),
             MultiLogError::Datalog(e) => write!(f, "datalog back-end error: {e}"),
+            MultiLogError::Relational(e) => write!(f, "relational update error: {e}"),
             MultiLogError::BudgetExceeded { budget, used } => {
                 write!(
                     f,
@@ -108,6 +122,7 @@ impl std::error::Error for MultiLogError {
         match self {
             MultiLogError::Lattice(e) => Some(e),
             MultiLogError::Datalog(e) => Some(e),
+            MultiLogError::Relational(e) => Some(e),
             _ => None,
         }
     }
@@ -116,6 +131,12 @@ impl std::error::Error for MultiLogError {
 impl From<LatticeError> for MultiLogError {
     fn from(e: LatticeError) -> Self {
         MultiLogError::Lattice(e)
+    }
+}
+
+impl From<MlsError> for MultiLogError {
+    fn from(e: MlsError) -> Self {
+        MultiLogError::Relational(e)
     }
 }
 
@@ -147,6 +168,7 @@ mod tests {
             MultiLogError::NotAdmissible { detail: "x".into() },
             MultiLogError::Inconsistent { detail: "x".into() },
             MultiLogError::UnknownMode("zeal".into()),
+            MultiLogError::NonGroundUpdate { atom: "x".into() },
             MultiLogError::BudgetExceeded { budget: 1, used: 2 },
             MultiLogError::DeadlineExceeded { limit_ms: 5 },
             MultiLogError::Cancelled,

@@ -72,7 +72,10 @@ pub fn mission_db() -> Result<MultiLogDb> {
     parse_database(&encode_relation(&rel))
 }
 
-fn sym(s: &str) -> String {
+/// Lower and sanitize a name so it lexes as a bare MultiLog identifier;
+/// shared with the live-update bridge so incremental updates and the
+/// textual encoding agree on every symbol.
+pub(crate) fn sym(s: &str) -> String {
     let lowered: String = s.to_lowercase();
     // Ensure the result lexes as a bare identifier.
     if lowered

@@ -69,6 +69,7 @@ mod error;
 pub mod examples;
 pub mod filter;
 pub mod lint;
+pub mod live;
 pub mod modes;
 pub mod parser;
 pub mod proof;

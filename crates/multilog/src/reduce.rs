@@ -66,15 +66,35 @@ a8: bel(P, K, A, V, C, H, cau) <- rel(P, K, A, V', C', H), rel(P, K, A, V, C, L)
 a9: bel(P, K, A, V, C, H, cau) <- rel(P, K, A, V, C, H), ~rel(P, K, A, V', C', L), dominate(L, H), dominate(C, C')."
 }
 
+/// One extensional update to a reduced database: assert or retract a
+/// ground m-atom (one classified cell).
+///
+/// Applied in batches by [`ReducedEngine::apply_updates`], which drives
+/// the Datalog back-end's incremental maintenance instead of
+/// re-translating and re-evaluating the whole database.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EdbUpdate {
+    /// Assert the m-atom as a new extensional fact.
+    Assert(MAtom),
+    /// Retract a previously asserted m-atom. Retracting a cell that was
+    /// only ever *derived* (by a Σ rule body) is a no-op: derived beliefs
+    /// cannot be deleted out from under their justification.
+    Retract(MAtom),
+}
+
 /// A MultiLog database reduced to Datalog and evaluated to fixpoint.
+///
+/// The fixpoint is held by an incremental Datalog engine, so extensional
+/// updates ([`ReducedEngine::apply_updates`]) maintain the materialized
+/// belief relations by delta propagation rather than recomputation —
+/// belief queries stay warm across updates.
 pub struct ReducedEngine {
     lattice: Arc<SecurityLattice>,
     user: String,
-    database: dl::Database,
+    incremental: dl::IncrementalEngine,
     /// Whether `rel` was split per level (cautious bodies present).
     level_split: bool,
     program_text: String,
-    eval_stats: dl::EvalStats,
 }
 
 impl std::fmt::Debug for ReducedEngine {
@@ -82,7 +102,7 @@ impl std::fmt::Debug for ReducedEngine {
         f.debug_struct("ReducedEngine")
             .field("user", &self.user)
             .field("level_split", &self.level_split)
-            .field("facts", &self.database.fact_count())
+            .field("facts", &self.incremental.database().fact_count())
             .finish_non_exhaustive()
     }
 }
@@ -122,33 +142,34 @@ impl ReducedEngine {
             .any(|a| matches!(a, Atom::B(_, m) if m.as_ref() == "cau"));
         let program_text = translate(db, user, &lattice, level_split)?;
         let program = dl::parse_program(&program_text).map_err(MultiLogError::Datalog)?;
-        let mut engine = dl::Engine::new(&program)
+        let mut incremental = dl::IncrementalEngine::new_deferred(&program)
             .map_err(MultiLogError::Datalog)?
             .with_fact_limit(options.limit());
         if let Some(deadline) = options.deadline {
-            engine = engine.with_deadline(deadline);
+            incremental = incremental.with_deadline(deadline);
         }
         if let Some(cancel) = options.cancel {
-            engine = engine.with_cancel_token(cancel);
+            incremental = incremental.with_cancel_token(cancel);
         }
-        // Guard trips convert through `From<DatalogError>` so callers see
-        // the same `BudgetExceeded`/`DeadlineExceeded`/`Cancelled`
-        // variants as the operational engine.
-        let (database, eval_stats) = engine.run_with_stats()?;
+        // The initial materialization runs under the configured guards;
+        // trips convert through `From<DatalogError>` so callers see the
+        // same `BudgetExceeded`/`DeadlineExceeded`/`Cancelled` variants
+        // as the operational engine.
+        incremental.recover()?;
         Ok(ReducedEngine {
             lattice,
             user: user.to_owned(),
-            database,
+            incremental,
             level_split,
             program_text,
-            eval_stats,
         })
     }
 
     /// Per-rule / per-stratum statistics from evaluating the reduced
-    /// program to fixpoint.
+    /// program to fixpoint (the most recent full materialization;
+    /// incremental commits report through [`dl::CommitStats`] instead).
     pub fn stats(&self) -> &dl::EvalStats {
-        &self.eval_stats
+        self.incremental.materialize_stats()
     }
 
     /// The generated Datalog program (for inspection and the figures
@@ -159,7 +180,103 @@ impl ReducedEngine {
 
     /// The evaluated Datalog database.
     pub fn database(&self) -> &dl::Database {
-        &self.database
+        self.incremental.database()
+    }
+
+    /// Apply a batch of extensional updates as one transaction against
+    /// the materialized fixpoint. All updates land atomically: either the
+    /// whole batch commits and the belief relations are delta-maintained,
+    /// or nothing changes.
+    ///
+    /// Each atom must be ground and its level and classification must be
+    /// declared levels of the lattice. Retracting an atom that was never
+    /// asserted (or was derived by a rule) is a counted no-op, mirroring
+    /// the back-end's semantics.
+    ///
+    /// # Errors
+    ///
+    /// [`MultiLogError::NonGroundUpdate`] for an atom with variables;
+    /// [`MultiLogError::NotAdmissible`] for an undeclared level or
+    /// classification; guard trips poison the back-end, in which case
+    /// [`ReducedEngine::rematerialize`] must run before further use.
+    pub fn apply_updates(&mut self, updates: &[EdbUpdate]) -> Result<dl::CommitStats> {
+        // Validate every atom before touching the transaction, so a bad
+        // batch is rejected without opening one.
+        let mut encoded: Vec<(bool, String, Vec<dl::Const>)> = Vec::with_capacity(updates.len());
+        for update in updates {
+            let (m, insert) = match update {
+                EdbUpdate::Assert(m) => (m, true),
+                EdbUpdate::Retract(m) => (m, false),
+            };
+            let (pred, fact) = self.encode_update(m)?;
+            encoded.push((insert, pred, fact));
+        }
+        self.incremental.begin()?;
+        for (insert, pred, fact) in encoded {
+            let staged = if insert {
+                self.incremental.insert(&pred, fact)
+            } else {
+                self.incremental.retract(&pred, fact)
+            };
+            if let Err(e) = staged {
+                // Arity clash against the translated program: discard the
+                // partial batch so the engine stays usable.
+                let _ = self.incremental.rollback();
+                return Err(e.into());
+            }
+        }
+        Ok(self.incremental.commit()?)
+    }
+
+    /// Whether an aborted update (guard trip mid-commit) left the
+    /// materialized database inconsistent.
+    pub fn is_poisoned(&self) -> bool {
+        self.incremental.is_poisoned()
+    }
+
+    /// Rebuild the fixpoint from scratch after a poisoning abort; also
+    /// usable to force a full recomputation.
+    ///
+    /// # Errors
+    ///
+    /// Any evaluation error from the full materialization.
+    pub fn rematerialize(&mut self) -> Result<()> {
+        Ok(self.incremental.recover()?)
+    }
+
+    /// Encode a ground m-atom into its τ image: the target relation name
+    /// and the constant tuple, honoring the level split.
+    fn encode_update(&self, m: &MAtom) -> Result<(String, Vec<dl::Const>)> {
+        if !m.is_ground() {
+            return Err(MultiLogError::NonGroundUpdate {
+                atom: m.to_string(),
+            });
+        }
+        for (role, t) in [("level", &m.level), ("classification", &m.class)] {
+            let Term::Sym(name) = t else {
+                return Err(MultiLogError::NotAdmissible {
+                    detail: format!("update {role} `{t}` is not a symbolic level"),
+                });
+            };
+            if self.lattice.label(name).is_none() {
+                return Err(MultiLogError::NotAdmissible {
+                    detail: format!("update {role} `{name}` is not a declared level"),
+                });
+            }
+        }
+        let mut fact = vec![
+            dl::Const::sym(&m.pred),
+            term_const(&m.key),
+            dl::Const::sym(&m.attr),
+            term_const(&m.value),
+            term_const(&m.class),
+        ];
+        if self.level_split {
+            Ok((format!("rel_{}", m.level), fact))
+        } else {
+            fact.push(term_const(&m.level));
+            Ok(("rel".to_owned(), fact))
+        }
     }
 
     /// Solve a MultiLog goal against the reduced database; answers are in
@@ -170,7 +287,8 @@ impl ReducedEngine {
         for atom in goal {
             translate_atom(atom, &self.user, self.level_split, true, &mut body)?;
         }
-        let answers = dl::run_query(&self.database, &body).map_err(MultiLogError::Datalog)?;
+        let answers =
+            dl::run_query(self.incremental.database(), &body).map_err(MultiLogError::Datalog)?;
         let mut out: Vec<Answer> = Vec::new();
         // Project onto the goal's own variables (the translation may add
         // guard-only variables).
@@ -458,6 +576,17 @@ fn term_text(t: &Term) -> String {
     }
 }
 
+/// A ground MultiLog term as a Datalog constant, matching the textual
+/// translation ([`term_text`]): `⊥` becomes the symbol `null`.
+fn term_const(t: &Term) -> dl::Const {
+    match t {
+        Term::Sym(s) => dl::Const::sym(s.as_ref()),
+        Term::Int(i) => dl::Const::int(*i),
+        Term::Null => dl::Const::sym("null"),
+        Term::Var(v) => unreachable!("update atoms are ground (variable `{v}`)"),
+    }
+}
+
 fn const_to_term(c: &dl::Const) -> Term {
     match c {
         dl::Const::Sym(s) if s.as_ref() == "null" => Term::Null,
@@ -577,6 +706,100 @@ mod tests {
     fn unknown_user_level_rejected() {
         let db = parse_database("level(u). u[p(k : a -u-> v)].").unwrap();
         assert!(ReducedEngine::new(&db, "zz").is_err());
+    }
+
+    fn goal_matom(text: &str) -> MAtom {
+        match crate::parser::parse_goal(text).unwrap().remove(0) {
+            Atom::M(m) => m,
+            other => panic!("not an m-atom: {other}"),
+        }
+    }
+
+    #[test]
+    fn updates_maintain_belief_relations_incrementally() {
+        let db = parse_database(D1).unwrap();
+        let mut red = ReducedEngine::new(&db, "s").unwrap();
+        let stats = red
+            .apply_updates(&[EdbUpdate::Assert(goal_matom("u[p(k2 : a -u-> w)]"))])
+            .unwrap();
+        assert_eq!(stats.edb_inserted, 1);
+        assert!(stats.derived_added > 0, "belief relations were maintained");
+        assert_eq!(
+            red.solve_text("s[p(k2 : a -u-> w)] << opt").unwrap().len(),
+            1
+        );
+        red.apply_updates(&[EdbUpdate::Retract(goal_matom("u[p(k2 : a -u-> w)]"))])
+            .unwrap();
+        assert!(red
+            .solve_text("s[p(k2 : a -u-> w)] << opt")
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn updates_agree_with_full_rebuild() {
+        let db = parse_database(D1).unwrap();
+        let mut red = ReducedEngine::new(&db, "s").unwrap();
+        red.apply_updates(&[
+            EdbUpdate::Assert(goal_matom("u[p(k2 : a -u-> w)]")),
+            EdbUpdate::Retract(goal_matom("u[p(k : a -u-> v)]")),
+        ])
+        .unwrap();
+        let src = D1.replace("u[p(k : a -u-> v)].", "u[p(k2 : a -u-> w)].");
+        let fresh = ReducedEngine::new(&parse_database(&src).unwrap(), "s").unwrap();
+        for goal in [
+            "L[p(K : a -C-> V)]",
+            "L[p(K : a -C-> V)] << fir",
+            "L[p(K : a -C-> V)] << opt",
+            "L[p(K : a -C-> V)] << cau",
+        ] {
+            assert_eq!(
+                red.solve_text(goal).unwrap(),
+                fresh.solve_text(goal).unwrap(),
+                "goal `{goal}`"
+            );
+        }
+    }
+
+    #[test]
+    fn retracting_a_derived_cell_is_a_no_op() {
+        let db = parse_database(D1).unwrap();
+        let mut red = ReducedEngine::new(&db, "c").unwrap();
+        // The c-level cell is derived by r7's body, not asserted: it
+        // cannot be deleted out from under its justification.
+        let stats = red
+            .apply_updates(&[EdbUpdate::Retract(goal_matom("c[p(k : a -c-> t)]"))])
+            .unwrap();
+        assert_eq!(stats.edb_retracted, 0);
+        assert_eq!(red.solve_text("c[p(k : a -c-> t)]").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn bad_updates_are_rejected_without_poisoning() {
+        let db = parse_database(D1).unwrap();
+        let mut red = ReducedEngine::new(&db, "s").unwrap();
+        let e = red.apply_updates(&[EdbUpdate::Assert(goal_matom("u[p(K : a -u-> w)]"))]);
+        assert!(matches!(e, Err(MultiLogError::NonGroundUpdate { .. })));
+        let e = red.apply_updates(&[EdbUpdate::Assert(goal_matom("zz[p(k : a -u-> w)]"))]);
+        assert!(matches!(e, Err(MultiLogError::NotAdmissible { .. })));
+        assert!(!red.is_poisoned());
+        assert_eq!(red.solve_text("u[p(k : a -u-> v)]").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn updates_work_without_level_split() {
+        let src = r#"
+            level(u). level(s). order(u, s).
+            u[p(k : a -u-> v)].
+        "#;
+        let db = parse_database(src).unwrap();
+        let mut red = ReducedEngine::new(&db, "s").unwrap();
+        red.apply_updates(&[EdbUpdate::Assert(goal_matom("s[p(k : a -s-> w)]"))])
+            .unwrap();
+        assert_eq!(red.solve_text("L[p(k : a -C-> V)]").unwrap().len(), 2);
+        red.apply_updates(&[EdbUpdate::Retract(goal_matom("u[p(k : a -u-> v)]"))])
+            .unwrap();
+        assert_eq!(red.solve_text("L[p(k : a -C-> V)]").unwrap().len(), 1);
     }
 
     #[test]
