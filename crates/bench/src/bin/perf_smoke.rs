@@ -265,6 +265,71 @@ fn run_update_churn(repeat: usize) -> (WorkloadResult, WorkloadResult, f64) {
     (inc, rec, speedup)
 }
 
+/// Measure a point query (`path(n0, X)` over the 512-node tc_chain) two
+/// ways: against the full materialized fixpoint, and demand-driven via
+/// the magic-sets rewrite (`run_for_goal`), which only computes the
+/// paths reachable from the bound source. Returns the two results plus
+/// the full/magic wall-time ratio (best runs on both sides); the magic
+/// side reports `facts` as the facts its rewritten program materialized.
+fn run_point_query(repeat: usize) -> (WorkloadResult, WorkloadResult, f64) {
+    let n = 512usize;
+    let program = parse_program(&tc_chain_src(n)).expect("workload parses");
+    let goal = multilog_datalog::parse_query("path(n0, X)").expect("goal parses");
+    let mut best_full: Option<WorkloadResult> = None;
+    let mut best_magic: Option<WorkloadResult> = None;
+    for _ in 0..repeat {
+        // Full: materialize everything, then answer from the database.
+        let engine = Engine::new(&program).expect("workload stratifies");
+        let start = Instant::now();
+        let (db, _) = engine.run_with_stats().expect("workload evaluates");
+        let answers = multilog_datalog::run_query(&db, &goal).expect("goal evaluates");
+        let wall = start.elapsed();
+        assert_eq!(answers.len(), n, "n0 reaches every later node");
+        let facts = db.fact_count();
+        let result = WorkloadResult {
+            name: "point_query_full",
+            facts,
+            iterations: 1,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            facts_per_sec: facts as f64 / wall.as_secs_f64(),
+        };
+        if best_full
+            .as_ref()
+            .is_none_or(|b| result.wall_ms < b.wall_ms)
+        {
+            best_full = Some(result);
+        }
+
+        // Magic: rewrite around the goal's bindings, evaluate only the
+        // demanded sub-fixpoint.
+        let engine = Engine::new(&program).expect("workload stratifies");
+        let start = Instant::now();
+        let (answers, stats) = engine.run_for_goal(&goal).expect("goal evaluates");
+        let wall = start.elapsed();
+        assert_eq!(answers.len(), n, "demand answers match full");
+        let demand = stats.demand.expect("goal runs record demand stats");
+        assert_eq!(demand.strategy, "magic", "bound goal engages the rewrite");
+        let facts = demand.facts_materialized;
+        let result = WorkloadResult {
+            name: "point_query_magic",
+            facts,
+            iterations: 1,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            facts_per_sec: facts as f64 / wall.as_secs_f64(),
+        };
+        if best_magic
+            .as_ref()
+            .is_none_or(|b| result.wall_ms < b.wall_ms)
+        {
+            best_magic = Some(result);
+        }
+    }
+    let full = best_full.expect("repeat >= 1");
+    let magic = best_magic.expect("repeat >= 1");
+    let speedup = full.wall_ms / magic.wall_ms;
+    (full, magic, speedup)
+}
+
 /// Time the static-analysis pass (the `run`/`query` lint preflight) on
 /// the tc_chain program and report its median wall time in
 /// milliseconds. Compared against the evaluation wall time in `main`:
@@ -335,7 +400,7 @@ fn baseline_field(baseline: &str, name: &str, field: &str) -> Option<f64> {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_pr5.json");
+    let mut out_path = String::from("BENCH_pr6.json");
     let mut baseline_path: Option<String> = None;
     let mut repeat = 3usize;
     let mut argv = std::env::args().skip(1);
@@ -373,6 +438,11 @@ fn main() {
     // update_churn contrasts incremental DRed commits against full
     // recomputation on a 20-commit single-fact delta stream.
     let (churn_inc, churn_rec, churn_speedup) = run_update_churn(repeat);
+    // point_query contrasts demand-driven (magic-sets) evaluation of a
+    // bound goal against answering it from the full fixpoint.
+    let (point_full, point_magic, point_speedup) = run_point_query(repeat);
+    let point_full_facts = point_full.facts;
+    let point_magic_facts = point_magic.facts;
     let results = [
         tc_chain,
         tc_chain_guarded,
@@ -380,6 +450,8 @@ fn main() {
         run_reduction(repeat),
         churn_inc,
         churn_rec,
+        point_full,
+        point_magic,
     ];
 
     let mut json = String::from("{\n  \"benchmark\": \"perf_smoke\",\n");
@@ -388,6 +460,9 @@ fn main() {
     ));
     json.push_str(&format!(
         "  \"update_churn_speedup\": {churn_speedup:.2},\n"
+    ));
+    json.push_str(&format!(
+        "  \"point_query_speedup\": {point_speedup:.2},\n  \"point_query_full_facts\": {point_full_facts},\n  \"point_query_magic_facts\": {point_magic_facts},\n"
     ));
     json.push_str(&format!(
         "  \"lint_preflight_ms\": {lint_ms:.4},\n  \"lint_overhead_pct\": {lint_overhead_pct:.3},\n  \"workloads\": [\n"

@@ -51,6 +51,9 @@ pub struct Options {
     pub lint_warn: bool,
     /// Emit machine-readable JSON from `lint` (`--format json`).
     pub json: bool,
+    /// Disable the magic-sets demand rewrite for reduced-engine goals:
+    /// materialize the full fixpoint and answer from it (`--no-magic`).
+    pub no_magic: bool,
 }
 
 /// Errors surfaced to the CLI user.
@@ -185,7 +188,7 @@ pub fn query(source: &str, goal: &str, opts: &Options) -> CliResult {
                 out.push_str(&e.stats().summary());
             }
         }
-        EngineKind::Reduced => {
+        EngineKind::Reduced if opts.no_magic => {
             let e = ReducedEngine::with_options(&db, &opts.user, engine_options(opts))
                 .map_err(|e| e.to_string())?;
             let answers = e
@@ -194,6 +197,22 @@ pub fn query(source: &str, goal: &str, opts: &Options) -> CliResult {
             out.push_str(&render_answers(&answers));
             if opts.stats {
                 out.push_str(&e.stats().summary());
+            }
+        }
+        EngineKind::Reduced => {
+            // Demand-driven: never materialize the full fixpoint — rewrite
+            // the reduction around the goal's bindings and evaluate only
+            // the demanded sub-fixpoint.
+            let e = ReducedEngine::with_options_deferred(&db, &opts.user, engine_options(opts))
+                .map_err(|e| e.to_string())?;
+            let parsed =
+                multilog_core::parse_goal(goal).map_err(|e| format!("query failed: {e}"))?;
+            let (answers, stats) = e
+                .solve_demand_with_stats(&parsed)
+                .map_err(|e| format!("query failed: {e}"))?;
+            out.push_str(&render_answers(&answers));
+            if opts.stats {
+                out.push_str(&stats.summary());
             }
         }
     }
@@ -355,7 +374,15 @@ impl ReplSession {
                 Err(e) => format!("error: {e}\n"),
             };
         }
-        match self.reduced.solve_text(line) {
+        // Point goals go through the magic-sets demand rewrite over the
+        // current transactional base (so `+`/`-` updates are visible);
+        // `--no-magic` answers from the materialized fixpoint instead.
+        let result = if self.opts.no_magic {
+            self.reduced.solve_text(line)
+        } else {
+            self.reduced.solve_text_demand(line)
+        };
+        match result {
             Ok(answers) => render_answers(&answers),
             Err(e) => format!("error: {e}\n"),
         }
@@ -484,7 +511,11 @@ GUARDS:
   --deadline <ms>    abort evaluation/queries after a wall-clock deadline
   --max-facts <n>    abort once more than n facts have been derived
   --stats            print per-rule (reduced) / per-clause (operational)
-                     evaluation counters after the answers
+                     evaluation counters after the answers; demand-driven
+                     runs also report cone/adorned/magic fact counts
+  --no-magic         disable the magic-sets demand rewrite: reduced
+                     `query` goals and repl goals materialize the full
+                     fixpoint instead of the demanded sub-fixpoint
 
 LINT:
   `lint` runs the static-analysis pass (stable ML01xx codes; see
@@ -528,6 +559,7 @@ pub fn parse_args(args: &[String]) -> Result<(String, String, Option<String>, Op
             },
             "--filter" => opts.filter = true,
             "--stats" => opts.stats = true,
+            "--no-magic" => opts.no_magic = true,
             "--no-lint" => opts.no_lint = true,
             "--lint-warn" => opts.lint_warn = true,
             "--format" => match it.next().map(String::as_str) {
@@ -746,13 +778,65 @@ mod tests {
     }
 
     #[test]
+    fn stats_reports_demand_counters_for_reduced_queries() {
+        let mut o = opts("s");
+        o.stats = true;
+        o.engine = EngineKind::Reduced;
+        let out = query(DB, "s[p(k : a -u-> v)]", &o).unwrap();
+        assert!(out.contains("yes"), "{out}");
+        assert!(out.contains("demand(magic):"), "{out}");
+        assert!(out.contains("adorned="), "{out}");
+    }
+
+    #[test]
+    fn no_magic_matches_demand_answers() {
+        for goal in ["q(X)", "s[p(k : a -u-> v)]", "L[p(k : a -C-> V)] << opt"] {
+            let mut o = opts("s");
+            o.engine = EngineKind::Reduced;
+            let demand = query(DB, goal, &o).unwrap();
+            o.no_magic = true;
+            let full = query(DB, goal, &o).unwrap();
+            assert_eq!(demand, full, "goal {goal}");
+        }
+    }
+
+    #[test]
+    fn repl_no_magic_matches_demand_answers() {
+        let mut o = opts("s");
+        o.no_magic = true;
+        let mut full = ReplSession::new(DB, &o).unwrap();
+        let mut demand = ReplSession::new(DB, &opts("s")).unwrap();
+        for goal in ["q(X)", "s[p(k : a -u-> v)]", "c[p(k : a -C-> V)] << cau"] {
+            assert_eq!(full.step(goal), demand.step(goal), "goal {goal}");
+        }
+    }
+
+    #[test]
+    fn parse_args_no_magic_flag() {
+        let args: Vec<String> = ["query", "db.mlog", "--user", "s", "g", "--no-magic"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let (_, _, _, o) = parse_args(&args).unwrap();
+        assert!(o.no_magic);
+    }
+
+    #[test]
     fn max_facts_budget_trips_as_error() {
         let mut o = opts("c");
         o.max_facts = Some(1);
         let err = query(DB, "q(X)", &o).unwrap_err();
         assert!(err.contains("fact budget"), "{err}");
         o.engine = EngineKind::Reduced;
+        o.no_magic = true;
         let err = query(DB, "q(X)", &o).unwrap_err();
+        assert!(err.contains("fact budget"), "{err}");
+        // The demand path carries the budget too: a belief goal whose
+        // demanded sub-fixpoint exceeds one fact trips identically. (The
+        // tiny `q(X)` demand cone legitimately fits the budget now.)
+        o.no_magic = false;
+        o.user = "s".to_owned();
+        let err = query(DB, "s[p(k : a -u-> v)]", &o).unwrap_err();
         assert!(err.contains("fact budget"), "{err}");
     }
 

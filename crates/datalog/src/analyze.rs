@@ -14,6 +14,7 @@
 //! | ML0004 | `unused-predicate`   | warning  | predicate outside the dependency cone of the query seeds |
 //! | ML0005 | `unreachable-rule`   | warning  | a body predicate can never hold (no facts or firing rules derive it) |
 //! | ML0006 | `singleton-variable` | warning  | variable occurs exactly once in a clause (likely a typo) |
+//! | ML0007 | `unbound-demand`     | warning  | query goal binds no arguments, so demand-driven (magic-sets) evaluation degenerates to full cone evaluation |
 //!
 //! ML0001/ML0002 are normally raised eagerly by [`Program::push`]; the
 //! [`check_clauses`] entry point re-checks a raw clause list *collecting*
@@ -259,6 +260,33 @@ pub fn analyze_for_query<'a>(
     out
 }
 
+/// [`analyze_for_query`] over a goal's predicates, plus ML0007: warn when
+/// the goal binds no argument of any positive literal, because then the
+/// magic-sets rewrite has no constants to seed demand from and
+/// [`crate::Engine::run_for_goal`] degenerates to evaluating the goal's
+/// entire dependency cone.
+pub fn analyze_for_goal(program: &Program, goal: &[Literal]) -> Vec<Lint> {
+    let seeds: Vec<&str> = goal
+        .iter()
+        .filter_map(Literal::atom)
+        .map(|a| a.predicate.as_ref())
+        .collect();
+    let mut out = analyze_for_query(program, seeds);
+    if !crate::magic::goal_binds_arguments(goal) {
+        out.push(lint(
+            "ML0007",
+            "unbound-demand",
+            Severity::Warning,
+            Span::unknown(),
+            "query goal binds no arguments; demand-driven evaluation degenerates to \
+             full cone evaluation"
+                .to_owned(),
+        ));
+    }
+    sort_lints(&mut out);
+    out
+}
+
 /// Deterministic report order: errors first, then by span, then code.
 fn sort_lints(lints: &mut [Lint]) {
     lints.sort_by(|a, b| {
@@ -331,6 +359,20 @@ mod tests {
         assert!(lints
             .iter()
             .all(|l| !(l.code == "ML0004" && l.message.contains("`q`"))));
+    }
+
+    #[test]
+    fn unbound_goal_flagged_as_unbound_demand() {
+        let p = parse_program("edge(a, b). path(X, Y) :- edge(X, Y).").unwrap();
+        let free = crate::parser::parse_query("path(X, Y)").unwrap();
+        let lints = analyze_for_goal(&p, &free);
+        assert!(lints
+            .iter()
+            .any(|l| l.code == "ML0007" && l.name == "unbound-demand"));
+        let bound = crate::parser::parse_query("path(a, Y)").unwrap();
+        assert!(analyze_for_goal(&p, &bound)
+            .iter()
+            .all(|l| l.code != "ML0007"));
     }
 
     #[test]

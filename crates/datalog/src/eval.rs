@@ -30,11 +30,14 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::atom::Literal;
 use crate::clause::Clause;
 use crate::fx::FxHashMap;
 use crate::guard::{CancelToken, EvalGuard};
+use crate::magic;
 use crate::plan::{delta_positions, RulePlan, Scratch};
 use crate::program::Program;
+use crate::query::{run_query, QueryAnswer};
 use crate::storage::{Database, Fact};
 use crate::term::SymId;
 use crate::trace::{TraceEvent, TraceSink};
@@ -88,6 +91,28 @@ pub struct StratumStats {
     pub wall_ns: u64,
 }
 
+/// How a goal-directed run ([`Engine::run_for_goal`]) pruned the
+/// fixpoint, for observing demand effectiveness in `--stats` output and
+/// benchmarks.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DemandStats {
+    /// `"magic"` when the magic-sets rewrite was applied, `"cone"` when
+    /// the goal bound no arguments (or no sound rewrite existed) and
+    /// evaluation fell back to dependency-cone restriction.
+    pub strategy: &'static str,
+    /// Size of the goal's plain dependency cone (the predicates a
+    /// cone-restricted run would materialize in full).
+    pub cone_predicates: usize,
+    /// Number of adorned predicate variants in the rewritten program —
+    /// the *adorned* cone size (0 under the cone fallback).
+    pub adorned_predicates: usize,
+    /// Tuples held by the generated magic (demand) predicates.
+    pub magic_facts: usize,
+    /// Total facts the goal-directed run materialized; compare against
+    /// the full fixpoint's fact count to see the demand win.
+    pub facts_materialized: usize,
+}
+
 /// Counters describing an evaluation run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EvalStats {
@@ -106,6 +131,8 @@ pub struct EvalStats {
     pub per_rule: Vec<RuleStats>,
     /// Counters per stratum, in evaluation order.
     pub per_stratum: Vec<StratumStats>,
+    /// Demand-pruning counters, present only for goal-directed runs.
+    pub demand: Option<DemandStats>,
 }
 
 impl EvalStats {
@@ -119,6 +146,17 @@ impl EvalStats {
             "evaluation: {} iterations, {} applications, {} derived, {} added",
             self.iterations, self.rule_applications, self.facts_considered, self.facts_added
         );
+        if let Some(d) = &self.demand {
+            let _ = writeln!(
+                out,
+                "demand({}): cone={} adorned={} magic_facts={} materialized={}",
+                d.strategy,
+                d.cone_predicates,
+                d.adorned_predicates,
+                d.magic_facts,
+                d.facts_materialized
+            );
+        }
         for s in &self.per_stratum {
             let _ = writeln!(
                 out,
@@ -266,15 +304,94 @@ impl<'p> Engine<'p> {
         self.run_inner(None)
     }
 
+    /// Answer a partially-bound goal by evaluating only the sub-fixpoint
+    /// it demands.
+    ///
+    /// When some argument of a positive goal literal is bound, the
+    /// program is rewritten with the magic-sets transformation
+    /// ([`crate::magic`]), restratified, and evaluated with this engine's
+    /// configuration (strategy, guards, threads); only tuples reachable
+    /// from the goal's constants are materialized. When no argument is
+    /// bound — or no sound rewrite exists — evaluation falls back to
+    /// dependency-cone restriction (as [`Engine::run_for_query`]) and the
+    /// goal is answered post hoc with [`run_query`].
+    ///
+    /// Either way the answers equal `run_query` over the full fixpoint,
+    /// and [`EvalStats::demand`] records which strategy ran and how much
+    /// it materialized.
+    ///
+    /// # Errors
+    ///
+    /// Guard trips ([`DatalogError::BudgetExceeded`],
+    /// [`DatalogError::DeadlineExceeded`], [`DatalogError::Cancelled`])
+    /// propagate exactly as they would from a full run; an unsafe goal
+    /// fails as in [`run_query`].
+    pub fn run_for_goal(&self, goal: &[Literal]) -> Result<(QueryAnswer, EvalStats)> {
+        let seeds: Vec<&str> = goal
+            .iter()
+            .filter_map(Literal::atom)
+            .map(|a| a.predicate.as_str())
+            .collect();
+        let needed = self.program.dependencies_of(seeds);
+        if let Some(m) = magic::rewrite(self.program, goal) {
+            if let Ok(engine) = Engine::new(&m.program) {
+                let mut engine = engine
+                    .with_strategy(self.strategy)
+                    .with_fact_limit(self.fact_limit)
+                    .with_threads(self.threads)
+                    .with_parallel_threshold(self.parallel_threshold);
+                if let Some(d) = self.deadline {
+                    engine = engine.with_deadline(d);
+                }
+                if let Some(c) = self.cancel.clone() {
+                    engine = engine.with_cancel_token(c);
+                }
+                if let Some(t) = self.trace.clone() {
+                    engine = engine.with_trace(t);
+                }
+                let (db, mut stats) = engine.run_inner(None)?;
+                stats.demand = Some(DemandStats {
+                    strategy: "magic",
+                    cone_predicates: needed.len(),
+                    adorned_predicates: m.adorned_predicates,
+                    magic_facts: m
+                        .magic_predicates
+                        .iter()
+                        .filter_map(|p| db.relation(p))
+                        .map(crate::storage::Relation::len)
+                        .sum(),
+                    facts_materialized: db.fact_count(),
+                });
+                return Ok((m.answers(&db), stats));
+            }
+        }
+        let (db, mut stats) = self.run_inner(Some(&needed))?;
+        let answer = run_query(&db, goal)?;
+        stats.demand = Some(DemandStats {
+            strategy: "cone",
+            cone_predicates: needed.len(),
+            adorned_predicates: 0,
+            magic_facts: 0,
+            facts_materialized: db.fact_count(),
+        });
+        Ok((answer, stats))
+    }
+
     fn run_inner(&self, restrict: Option<&HashSet<String>>) -> Result<(Database, EvalStats)> {
         let mut db = Database::new();
         let mut stats = EvalStats::default();
         let guard = EvalGuard::new(self.deadline, self.fact_limit, self.cancel.clone());
 
-        // Ensure every predicate has a (possibly empty) relation so that
-        // negation over never-derived predicates works uniformly.
+        // Ensure every evaluated predicate has a (possibly empty)
+        // relation so that negation over never-derived predicates works
+        // uniformly. Under restriction only the cone's relations are
+        // created — out-of-cone predicates must not leak empty relations
+        // into the returned database; join plans treat a missing relation
+        // as empty, so negation over one still behaves correctly.
         for pred in self.program.predicates() {
-            db.relation_mut(pred);
+            if restrict.is_none_or(|n| n.contains(pred)) {
+                db.relation_mut(pred);
+            }
         }
 
         for (stratum_idx, stratum) in self.strata.iter().enumerate() {

@@ -477,6 +477,21 @@ impl IncrementalEngine {
 
     /// The rules plus the current base rendered back into a program — the
     /// from-scratch semantics this engine's database must always match.
+    ///
+    /// This is what demand-driven (magic-sets) point queries evaluate
+    /// against: a goal-directed run over this program answers exactly as
+    /// a query over the materialized database, without requiring the
+    /// materialization to exist (the engine may still be deferred or
+    /// poisoned).
+    ///
+    /// # Errors
+    ///
+    /// Validation errors re-rendering the clauses (cannot happen for a
+    /// program this engine accepted, kept for safety).
+    pub fn current_program(&self) -> Result<Program> {
+        self.full_program()
+    }
+
     fn full_program(&self) -> Result<Program> {
         let mut clauses = Vec::new();
         let mut preds: Vec<SymId> = self.base.keys().copied().collect();

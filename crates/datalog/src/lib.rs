@@ -58,10 +58,32 @@
 //!     "#,
 //! )
 //! .unwrap();
-//! // Only `fib`'s dependency cone is materialized.
+//! // Only `fib`'s dependency cone is materialized; out-of-cone
+//! // predicates do not even get an (empty) relation.
 //! let db = Engine::new(&program).unwrap().run_for_query(["fib"]).unwrap();
 //! assert!(db.contains("fib", &[Const::int(12), Const::int(144)]));
-//! assert_eq!(db.relation("unrelated").unwrap().len(), 0);
+//! assert!(db.relation("unrelated").is_none());
+//! ```
+//!
+//! Point queries with a bound argument go further: the magic-sets
+//! rewrite ([`mod@magic`], via [`Engine::run_for_goal`]) evaluates only
+//! the sub-fixpoint the goal's constants demand:
+//!
+//! ```
+//! use multilog_datalog::{parse_program, parse_query, Engine};
+//!
+//! let program = parse_program(
+//!     r#"
+//!     edge(a, b). edge(b, c). edge(x, y).
+//!     path(X, Y) :- edge(X, Y).
+//!     path(X, Z) :- path(X, Y), edge(Y, Z).
+//!     "#,
+//! )
+//! .unwrap();
+//! let goal = parse_query("path(a, X)").unwrap();
+//! let (answers, stats) = Engine::new(&program).unwrap().run_for_goal(&goal).unwrap();
+//! assert_eq!(answers.len(), 2); // a→b, a→c; the x→y component is never demanded
+//! assert_eq!(stats.demand.unwrap().strategy, "magic");
 //! ```
 
 #![forbid(unsafe_code)]
@@ -75,6 +97,7 @@ mod eval;
 mod fx;
 mod guard;
 mod incremental;
+pub mod magic;
 mod parser;
 mod plan;
 mod program;
@@ -83,13 +106,14 @@ mod storage;
 mod term;
 mod trace;
 
-pub use analyze::{analyze, analyze_for_query, check_clauses, Lint, Severity};
+pub use analyze::{analyze, analyze_for_goal, analyze_for_query, check_clauses, Lint, Severity};
 pub use atom::{ArithOp, Atom, CmpOp, Literal};
 pub use clause::{Clause, Span};
 pub use error::DatalogError;
-pub use eval::{Engine, EvalStats, RuleStats, Strategy, StratumStats};
+pub use eval::{DemandStats, Engine, EvalStats, RuleStats, Strategy, StratumStats};
 pub use guard::CancelToken;
 pub use incremental::{CommitStats, IncrementalEngine};
+pub use magic::MagicProgram;
 pub use parser::{parse_atom, parse_clause, parse_program, parse_query};
 pub use program::{DepGraph, Program, Stratification};
 pub use query::{run_query, Bindings, QueryAnswer};

@@ -1,0 +1,558 @@
+//! Magic-sets (demand transformation) rewriting: evaluate only the
+//! sub-fixpoint a partially-bound goal actually demands.
+//!
+//! [`crate::Engine::run_for_query`] trims evaluation to the goal's
+//! dependency *cone*, but still materializes every tuple of every
+//! predicate inside the cone. For a point query like `path(a, X)` that is
+//! quadratically too much work: only the paths starting at `a` matter.
+//! The classic fix is the magic-sets rewrite — specialize the program to
+//! the query's bound/free argument pattern so bottom-up evaluation
+//! simulates top-down goal-directed search:
+//!
+//! 1. **Adorn** each derived predicate reached from the goal with a
+//!    binding pattern (`b`ound/`f`ree per argument), propagated sideways
+//!    through rule bodies in textual order: an argument is bound when it
+//!    is a constant or a variable bound by the rule's demanded head
+//!    positions or an earlier body literal.
+//! 2. For every adorned predicate `p^α`, introduce a **magic predicate**
+//!    `__mg_α__p` holding the demanded bound-argument tuples, seeded from
+//!    the goal's constants and propagated by **demand rules** built from
+//!    rule-body prefixes.
+//! 3. Replace each rule for `p` by a **guarded variant** whose body is
+//!    prefixed with the magic literal, so the rule only fires for
+//!    demanded bindings.
+//! 4. Collect the goal's answers with a dedicated `__goal__` rule, and
+//!    restratify the rewritten program (the existing Kosaraju-based
+//!    [`crate::Program::stratify`] pass) before handing it to the
+//!    semi-naive engine.
+//!
+//! **Negation.** Predicates consulted under negation (transitively) are
+//! never adorned: the stratified `¬∃` semantics needs the negated
+//! relation complete, so their entire dependency cone is included
+//! verbatim ("plain"). Plain predicates only depend on plain predicates,
+//! and negative edges only point *into* the plain layer — hence the
+//! rewritten program is stratifiable whenever the original is.
+//!
+//! **Extensional predicates.** Facts-only predicates are included
+//! verbatim (index probes already make their selection cheap). A
+//! predicate with both facts and rules routes its facts through a single
+//! `__edb__p` copy plus one guarded bridge rule per adornment, so the
+//! fact set is filtered by demand without compiling one plan per fact.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::atom::{Atom, Literal};
+use crate::clause::Clause;
+use crate::program::Program;
+use crate::query::{Bindings, QueryAnswer};
+use crate::storage::Database;
+use crate::term::{SymId, Term};
+
+/// The reserved predicate collecting the goal's answers in a rewritten
+/// program: `__goal__(projected vars) :- <rewritten goal body>`.
+pub const GOAL_PREDICATE: &str = "__goal__";
+
+/// A magic-sets rewrite of one program for one goal.
+#[derive(Debug)]
+pub struct MagicProgram {
+    /// The rewritten program: magic seeds, demand rules, guarded rule
+    /// variants, plain (negation-reached and facts-only) cones, and the
+    /// [`GOAL_PREDICATE`] collection rule.
+    pub program: Program,
+    /// The goal's projected variables — positively bound, in first
+    /// occurrence order, exactly the projection [`crate::run_query`]
+    /// uses.
+    pub answer_variables: Vec<String>,
+    /// Names of the generated magic (demand) predicates.
+    pub magic_predicates: Vec<String>,
+    /// Number of adorned predicate variants the rewrite generated — the
+    /// *adorned cone size*, reported next to the plain cone size in
+    /// evaluation statistics.
+    pub adorned_predicates: usize,
+    /// Predicates included verbatim (facts-only predicates plus the full
+    /// cones of negated predicates).
+    pub plain_predicates: usize,
+}
+
+impl MagicProgram {
+    /// Read the goal's answers out of an evaluated rewritten database,
+    /// shaped identically to [`crate::run_query`] over a full fixpoint.
+    pub fn answers(&self, db: &Database) -> QueryAnswer {
+        let mut answers: Vec<Bindings> = db
+            .relation(GOAL_PREDICATE)
+            .map(|rel| {
+                rel.iter()
+                    .map(|f| {
+                        self.answer_variables
+                            .iter()
+                            .cloned()
+                            .zip(f.iter().copied())
+                            .collect()
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        answers.sort();
+        answers.dedup();
+        QueryAnswer {
+            variables: self.answer_variables.clone(),
+            answers,
+        }
+    }
+}
+
+/// Whether a goal binds any argument of a positive literal — the
+/// precondition for the magic rewrite to prune anything. Goals failing
+/// this check degenerate to full cone evaluation (lint ML0007).
+pub fn goal_binds_arguments(goal: &[Literal]) -> bool {
+    goal.iter()
+        .any(|l| matches!(l, Literal::Pos(a) if a.terms.iter().any(|t| !t.is_var())))
+}
+
+/// Rewrite `program` for `goal`. Returns `None` when the rewrite cannot
+/// help or cannot be built soundly — no positive goal argument is bound,
+/// or the rewritten clause set fails validation — in which case the
+/// caller falls back to dependency-cone restriction.
+pub fn rewrite(program: &Program, goal: &[Literal]) -> Option<MagicProgram> {
+    if !goal_binds_arguments(goal) {
+        return None;
+    }
+
+    // The goal's dependency cone, and the sub-cones reached through
+    // negation anywhere inside it. The latter are evaluated in full
+    // ("plain") so the stratified ¬∃ reading stays correct.
+    let seeds: Vec<&str> = goal
+        .iter()
+        .filter_map(Literal::atom)
+        .map(|a| a.predicate.as_str())
+        .collect();
+    let cone = program.dependencies_of(seeds);
+    let mut neg_seeds: HashSet<&str> = goal
+        .iter()
+        .filter_map(|l| match l {
+            Literal::Neg(a) => Some(a.predicate.as_str()),
+            _ => None,
+        })
+        .collect();
+    for c in program.clauses() {
+        if !cone.contains(c.head.predicate.as_str()) {
+            continue;
+        }
+        for l in &c.body {
+            if let Literal::Neg(a) = l {
+                neg_seeds.insert(a.predicate.as_str());
+            }
+        }
+    }
+    let full = program.dependencies_of(neg_seeds);
+
+    let mut clauses_by_pred: HashMap<SymId, Vec<&Clause>> = HashMap::new();
+    for c in program.clauses() {
+        clauses_by_pred.entry(c.head.predicate).or_default().push(c);
+    }
+    // Adornable: derived by at least one rule and not needed in full.
+    let adornable: HashSet<SymId> = clauses_by_pred
+        .iter()
+        .filter(|(p, cs)| !full.contains(p.as_str()) && cs.iter().any(|c| !c.is_fact()))
+        .map(|(&p, _)| p)
+        .collect();
+
+    let mut rw = Rewriter {
+        program,
+        clauses_by_pred,
+        adornable,
+        out: Vec::new(),
+        seen: HashSet::new(),
+        queue: VecDeque::new(),
+        done: HashSet::new(),
+        plain: HashSet::new(),
+        edb_done: HashSet::new(),
+        magic_preds: Vec::new(),
+    };
+
+    // The goal rule, projecting the positively bound variables in first
+    // occurrence order (run_query's projection).
+    let mut positive: Vec<String> = Vec::new();
+    for l in goal {
+        if let Literal::Pos(a) = l {
+            for v in a.variables() {
+                if !positive.iter().any(|x| x == v) {
+                    positive.push(v.to_owned());
+                }
+            }
+        }
+    }
+    let body = rw.process_body(goal, HashSet::new(), Vec::new());
+    let head = Atom::new(
+        GOAL_PREDICATE,
+        positive.iter().map(|v| Term::var(v.clone())).collect(),
+    );
+    rw.push(Clause::new(head, body));
+
+    // Drain the demand worklist, specializing every demanded adornment.
+    while let Some((pred, adornment)) = rw.queue.pop_front() {
+        rw.emit_adorned(pred, &adornment);
+    }
+
+    let adorned_predicates = rw.done.len();
+    let plain_predicates = rw.plain.len();
+    let magic_predicates = rw.magic_preds;
+    // A rewritten clause failing validation (e.g. a goal whose arity
+    // disagrees with the program) means no sound rewrite exists here;
+    // fall back to cone evaluation, which reproduces run_query behaviour.
+    let program = Program::from_clauses(rw.out).ok()?;
+    Some(MagicProgram {
+        program,
+        answer_variables: positive,
+        magic_predicates,
+        adorned_predicates,
+        plain_predicates,
+    })
+}
+
+fn adorned_name(pred: &str, adornment: &str) -> String {
+    format!("__ad_{adornment}__{pred}")
+}
+
+fn magic_name(pred: &str, adornment: &str) -> String {
+    format!("__mg_{adornment}__{pred}")
+}
+
+fn edb_name(pred: &str) -> String {
+    format!("__edb__{pred}")
+}
+
+/// The binding pattern of an atom under a set of bound variables: `b`
+/// for constants and bound variables, `f` otherwise.
+fn adornment_of(atom: &Atom, bound: &HashSet<String>) -> String {
+    atom.terms
+        .iter()
+        .map(|t| match t.as_var() {
+            Some(v) if !bound.contains(v) => 'f',
+            _ => 'b',
+        })
+        .collect()
+}
+
+/// The terms at the bound positions of `adornment`.
+fn bound_terms(terms: &[Term], adornment: &str) -> Vec<Term> {
+    terms
+        .iter()
+        .zip(adornment.bytes())
+        .filter(|&(_, b)| b == b'b')
+        .map(|(t, _)| t.clone())
+        .collect()
+}
+
+struct Rewriter<'p> {
+    program: &'p Program,
+    clauses_by_pred: HashMap<SymId, Vec<&'p Clause>>,
+    adornable: HashSet<SymId>,
+    out: Vec<Clause>,
+    /// Rendered-clause dedup (identical demand rules arise repeatedly).
+    seen: HashSet<String>,
+    queue: VecDeque<(SymId, String)>,
+    done: HashSet<(SymId, String)>,
+    /// Predicates whose original cones are included verbatim.
+    plain: HashSet<SymId>,
+    edb_done: HashSet<SymId>,
+    magic_preds: Vec<String>,
+}
+
+impl Rewriter<'_> {
+    fn push(&mut self, clause: Clause) {
+        if self.seen.insert(clause.to_string()) {
+            self.out.push(clause);
+        }
+    }
+
+    /// Record demand for `(pred, adornment)`, scheduling its rules.
+    fn demand(&mut self, pred: SymId, adornment: String) {
+        if self.done.insert((pred, adornment.clone())) {
+            self.magic_preds.push(magic_name(pred.as_str(), &adornment));
+            self.queue.push_back((pred, adornment));
+        }
+    }
+
+    /// Include `pred`'s entire original dependency cone verbatim.
+    fn include_plain(&mut self, pred: SymId) {
+        if self.plain.contains(&pred) {
+            return;
+        }
+        let mut cone: Vec<String> = self
+            .program
+            .dependencies_of([pred.as_str()])
+            .into_iter()
+            .collect();
+        cone.sort_unstable();
+        for name in &cone {
+            let sym = SymId::intern(name);
+            if !self.plain.insert(sym) {
+                continue;
+            }
+            if let Some(clauses) = self.clauses_by_pred.get(&sym) {
+                for c in clauses.clone() {
+                    self.push(c.clone());
+                }
+            }
+        }
+    }
+
+    /// Rewrite one rule body left-to-right: adorn positive derived
+    /// literals, emit their demand rules from the prefix accumulated so
+    /// far, and return the rewritten body for the guarded rule.
+    ///
+    /// `prefix` holds the literals every demand rule may assume — the
+    /// guarding magic literal plus the prefix literals that are safe on
+    /// their own (comparisons and arithmetic whose operands a demand rule
+    /// cannot yet bind are *dropped* from prefixes, which only widens the
+    /// demand and stays sound).
+    fn process_body(
+        &mut self,
+        body: &[Literal],
+        mut bound: HashSet<String>,
+        mut prefix: Vec<Literal>,
+    ) -> Vec<Literal> {
+        let mut out = Vec::with_capacity(body.len());
+        for lit in body {
+            match lit {
+                Literal::Pos(a) => {
+                    if self.adornable.contains(&a.predicate) {
+                        let adornment = adornment_of(a, &bound);
+                        let magic_head = Atom::new(
+                            magic_name(a.predicate.as_str(), &adornment),
+                            bound_terms(&a.terms, &adornment),
+                        );
+                        self.push_demand(magic_head, &prefix);
+                        self.demand(a.predicate, adornment.clone());
+                        let renamed = Atom::new(
+                            adorned_name(a.predicate.as_str(), &adornment),
+                            a.terms.clone(),
+                        );
+                        prefix.push(Literal::Pos(renamed.clone()));
+                        out.push(Literal::Pos(renamed));
+                    } else {
+                        self.include_plain(a.predicate);
+                        prefix.push(lit.clone());
+                        out.push(lit.clone());
+                    }
+                    for v in a.variables() {
+                        bound.insert(v.to_owned());
+                    }
+                }
+                Literal::Neg(a) => {
+                    self.include_plain(a.predicate);
+                    prefix.push(lit.clone());
+                    out.push(lit.clone());
+                }
+                Literal::Cmp { .. } => {
+                    if lit.variables().iter().all(|v| bound.contains(*v)) {
+                        prefix.push(lit.clone());
+                    }
+                    out.push(lit.clone());
+                }
+                Literal::Arith {
+                    target, lhs, rhs, ..
+                } => {
+                    let operands_bound = lhs
+                        .as_var()
+                        .into_iter()
+                        .chain(rhs.as_var())
+                        .all(|v| bound.contains(v));
+                    if operands_bound {
+                        prefix.push(lit.clone());
+                        if let Some(v) = target.as_var() {
+                            bound.insert(v.to_owned());
+                        }
+                    }
+                    out.push(lit.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Emit the demand rule `magic_head :- prefix`, eliding the trivial
+    /// self-propagation `m(X̄) :- m(X̄)`.
+    fn push_demand(&mut self, magic_head: Atom, prefix: &[Literal]) {
+        if let [Literal::Pos(only)] = prefix {
+            if *only == magic_head {
+                return;
+            }
+        }
+        let clause = if prefix.is_empty() {
+            // With an empty prefix every bound argument is a constant
+            // (nothing could have bound a variable yet): a seed fact.
+            Clause::fact(magic_head)
+        } else {
+            Clause::new(magic_head, prefix.to_vec())
+        };
+        self.push(clause);
+    }
+
+    /// Specialize every clause of `pred` for one demanded adornment.
+    fn emit_adorned(&mut self, pred: SymId, adornment: &str) {
+        let Some(clauses) = self.clauses_by_pred.get(&pred).cloned() else {
+            return;
+        };
+        let arity = clauses[0].head.arity();
+        let magic = magic_name(pred.as_str(), adornment);
+        let adorned = adorned_name(pred.as_str(), adornment);
+        if clauses.iter().any(|c| c.is_fact()) {
+            self.emit_edb(pred, &clauses);
+            // Bridge the shared fact copy into this adornment, filtered
+            // by demand.
+            let vars: Vec<Term> = (0..arity).map(|i| Term::var(format!("X{i}"))).collect();
+            let magic_lit = Literal::Pos(Atom::new(&magic, bound_terms(&vars, adornment)));
+            let body = vec![
+                magic_lit,
+                Literal::Pos(Atom::new(edb_name(pred.as_str()), vars.clone())),
+            ];
+            self.push(Clause::new(Atom::new(&adorned, vars), body));
+        }
+        for c in clauses {
+            if c.is_fact() {
+                continue;
+            }
+            let magic_lit = Literal::Pos(Atom::new(&magic, bound_terms(&c.head.terms, adornment)));
+            let init_bound: HashSet<String> = bound_terms(&c.head.terms, adornment)
+                .iter()
+                .filter_map(|t| t.as_var().map(str::to_owned))
+                .collect();
+            let rewritten = self.process_body(&c.body, init_bound, vec![magic_lit.clone()]);
+            let mut body = Vec::with_capacity(rewritten.len() + 1);
+            body.push(magic_lit);
+            body.extend(rewritten);
+            self.push(
+                Clause::new(Atom::new(&adorned, c.head.terms.clone()), body).with_span(c.span),
+            );
+        }
+    }
+
+    /// Emit `__edb__pred` copies of `pred`'s fact clauses, once.
+    fn emit_edb(&mut self, pred: SymId, clauses: &[&Clause]) {
+        if !self.edb_done.insert(pred) {
+            return;
+        }
+        for c in clauses {
+            if c.is_fact() {
+                self.push(Clause::fact(Atom::new(
+                    edb_name(pred.as_str()),
+                    c.head.terms.clone(),
+                )));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_program, parse_query};
+    use crate::{run_query, Engine};
+
+    const CHAIN: &str = "
+        edge(a, b). edge(b, c). edge(c, d). edge(x, y).
+        path(X, Y) :- edge(X, Y).
+        path(X, Z) :- path(X, Y), edge(Y, Z).
+    ";
+
+    #[test]
+    fn bound_goal_rewrites() {
+        let p = parse_program(CHAIN).unwrap();
+        let goal = parse_query("path(a, X)").unwrap();
+        let m = rewrite(&p, &goal).expect("bound goal must rewrite");
+        assert!(m.adorned_predicates >= 1);
+        assert!(m.magic_predicates.iter().any(|name| name.contains("path")));
+        let db = Engine::new(&m.program).unwrap().run().unwrap();
+        let answers = m.answers(&db);
+        // Only paths from `a`; the x→y component is never demanded.
+        assert_eq!(answers.len(), 3);
+        assert!(db.relation("path").is_none(), "original name not used");
+    }
+
+    #[test]
+    fn unbound_goal_degenerates() {
+        let p = parse_program(CHAIN).unwrap();
+        let goal = parse_query("path(X, Y)").unwrap();
+        assert!(!goal_binds_arguments(&goal));
+        assert!(rewrite(&p, &goal).is_none());
+    }
+
+    #[test]
+    fn magic_matches_full_fixpoint_with_negation() {
+        let src = "
+            edge(a, b). edge(b, c).
+            node(a). node(b). node(c).
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- path(X, Y), edge(Y, Z).
+            unreach(X, Y) :- node(X), node(Y), not path(X, Y).
+        ";
+        let p = parse_program(src).unwrap();
+        let full = Engine::new(&p).unwrap().run().unwrap();
+        for goal_src in [
+            "unreach(a, Y)",
+            "unreach(X, a)",
+            "path(a, X), not edge(a, X)",
+        ] {
+            let goal = parse_query(goal_src).unwrap();
+            let expect = run_query(&full, &goal).unwrap();
+            let (got, _) = Engine::new(&p).unwrap().run_for_goal(&goal).unwrap();
+            assert_eq!(got, expect, "goal `{goal_src}`");
+        }
+    }
+
+    #[test]
+    fn demanded_facts_stay_small() {
+        // A 64-node chain: the full fixpoint holds O(n²) path tuples, a
+        // single-source goal demands O(n).
+        let mut src = String::new();
+        for i in 0..64 {
+            src.push_str(&format!("edge(n{i}, n{}).\n", i + 1));
+        }
+        src.push_str("path(X, Y) :- edge(X, Y).\n");
+        src.push_str("path(X, Z) :- path(X, Y), edge(Y, Z).\n");
+        let p = parse_program(&src).unwrap();
+        let full = Engine::new(&p).unwrap().run().unwrap();
+        let goal = parse_query("path(n0, X)").unwrap();
+        let (answers, stats) = Engine::new(&p).unwrap().run_for_goal(&goal).unwrap();
+        assert_eq!(answers.len(), 64);
+        let demand = stats.demand.expect("demand stats recorded");
+        assert_eq!(demand.strategy, "magic");
+        assert!(
+            demand.facts_materialized < full.fact_count() / 2,
+            "{} demanded vs {} full",
+            demand.facts_materialized,
+            full.fact_count()
+        );
+    }
+
+    #[test]
+    fn facts_plus_rules_route_through_edb_bridge() {
+        let src = "
+            n(0).
+            n(M) :- n(N), N < 5, M = N + 1.
+        ";
+        let p = parse_program(src).unwrap();
+        let goal = parse_query("n(3)").unwrap();
+        let m = rewrite(&p, &goal).expect("ground goal rewrites");
+        assert!(m
+            .program
+            .predicates()
+            .iter()
+            .any(|p| p.starts_with("__edb__")));
+        let db = Engine::new(&m.program).unwrap().run().unwrap();
+        assert!(m.answers(&db).is_success());
+    }
+
+    #[test]
+    fn ground_goal_yes_no() {
+        let p = parse_program(CHAIN).unwrap();
+        for (goal_src, expect) in [("path(a, d)", true), ("path(a, x)", false)] {
+            let goal = parse_query(goal_src).unwrap();
+            let (ans, _) = Engine::new(&p).unwrap().run_for_goal(&goal).unwrap();
+            assert_eq!(ans.is_success(), expect, "goal `{goal_src}`");
+            assert!(ans.variables.is_empty());
+        }
+    }
+}

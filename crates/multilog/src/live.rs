@@ -200,6 +200,20 @@ impl LiveDatabase {
         self.engine.solve_text(goal)
     }
 
+    /// Parse and solve a textual MultiLog goal demand-driven: the
+    /// magic-sets rewrite evaluates only the sub-fixpoint the goal's
+    /// constants demand, instead of reading the maintained
+    /// materialization. Answers equal [`LiveDatabase::solve_text`]; the
+    /// current transactional base is what the rewrite runs against, so
+    /// applied updates are visible here too.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors; any query evaluation error.
+    pub fn solve_text_demand(&self, goal: &str) -> Result<Vec<Answer>> {
+        self.engine.solve_text_demand(goal)
+    }
+
     /// Rebuild the belief fixpoint from scratch after a poisoning abort.
     ///
     /// # Errors

@@ -95,6 +95,10 @@ pub struct ReducedEngine {
     /// Whether `rel` was split per level (cautious bodies present).
     level_split: bool,
     program_text: String,
+    /// Guard configuration, replayed onto demand-driven goal runs.
+    fact_limit: usize,
+    deadline: Option<std::time::Duration>,
+    cancel: Option<dl::CancelToken>,
 }
 
 impl std::fmt::Debug for ReducedEngine {
@@ -118,6 +122,30 @@ impl ReducedEngine {
     /// budget, wall-clock deadline, and cancellation token of `options`.
     /// Guard trips lift back as the MultiLog-level typed errors.
     pub fn with_options(db: &MultiLogDb, user: &str, options: EngineOptions) -> Result<Self> {
+        let mut engine = Self::with_options_deferred(db, user, options)?;
+        // The initial materialization runs under the configured guards;
+        // trips convert through `From<DatalogError>` so callers see the
+        // same `BudgetExceeded`/`DeadlineExceeded`/`Cancelled` variants
+        // as the operational engine.
+        engine.incremental.recover()?;
+        Ok(engine)
+    }
+
+    /// Like [`ReducedEngine::with_options`], but *without* materializing
+    /// the reduced fixpoint. The back-end starts poisoned and the
+    /// database empty, so [`ReducedEngine::solve`]/
+    /// [`ReducedEngine::solve_text`] (which read the materialization)
+    /// return no answers and [`ReducedEngine::apply_updates`] is
+    /// unusable until [`ReducedEngine::rematerialize`] runs. Demand-driven
+    /// point queries ([`ReducedEngine::solve_demand`]) work immediately:
+    /// they evaluate goal-directed against the translated program and
+    /// never need the full fixpoint — the cheap entry point for serving a
+    /// few point queries without paying for a materialization.
+    pub fn with_options_deferred(
+        db: &MultiLogDb,
+        user: &str,
+        options: EngineOptions,
+    ) -> Result<Self> {
         // Match the operational engine's Prop 6.1 fallback.
         let lattice = if db.lambda().is_empty() && db.sigma().is_empty() {
             Arc::new(
@@ -142,26 +170,25 @@ impl ReducedEngine {
             .any(|a| matches!(a, Atom::B(_, m) if m.as_ref() == "cau"));
         let program_text = translate(db, user, &lattice, level_split)?;
         let program = dl::parse_program(&program_text).map_err(MultiLogError::Datalog)?;
+        let fact_limit = options.limit();
         let mut incremental = dl::IncrementalEngine::new_deferred(&program)
             .map_err(MultiLogError::Datalog)?
-            .with_fact_limit(options.limit());
+            .with_fact_limit(fact_limit);
         if let Some(deadline) = options.deadline {
             incremental = incremental.with_deadline(deadline);
         }
-        if let Some(cancel) = options.cancel {
-            incremental = incremental.with_cancel_token(cancel);
+        if let Some(cancel) = &options.cancel {
+            incremental = incremental.with_cancel_token(cancel.clone());
         }
-        // The initial materialization runs under the configured guards;
-        // trips convert through `From<DatalogError>` so callers see the
-        // same `BudgetExceeded`/`DeadlineExceeded`/`Cancelled` variants
-        // as the operational engine.
-        incremental.recover()?;
         Ok(ReducedEngine {
             lattice,
             user: user.to_owned(),
             incremental,
             level_split,
             program_text,
+            fact_limit,
+            deadline: options.deadline,
+            cancel: options.cancel,
         })
     }
 
@@ -289,32 +316,7 @@ impl ReducedEngine {
         }
         let answers =
             dl::run_query(self.incremental.database(), &body).map_err(MultiLogError::Datalog)?;
-        let mut out: Vec<Answer> = Vec::new();
-        // Project onto the goal's own variables (the translation may add
-        // guard-only variables).
-        let goal_vars: Vec<&str> = {
-            let mut vs = Vec::new();
-            for a in goal {
-                for v in a.variables() {
-                    if !vs.contains(&v) {
-                        vs.push(v);
-                    }
-                }
-            }
-            vs
-        };
-        for b in &answers.answers {
-            let mut a: Answer = BTreeMap::new();
-            for v in &goal_vars {
-                if let Some(c) = b.get(*v) {
-                    a.insert((*v).to_owned(), const_to_term(c));
-                }
-            }
-            out.push(a);
-        }
-        out.sort();
-        out.dedup();
-        Ok(out)
+        Ok(project_answers(goal, &answers))
     }
 
     /// Parse and solve a textual MultiLog goal.
@@ -322,10 +324,85 @@ impl ReducedEngine {
         self.solve(&crate::parser::parse_goal(goal)?)
     }
 
+    /// Solve a MultiLog goal demand-driven: instead of reading the
+    /// materialized fixpoint, rewrite the translated program with the
+    /// magic-sets transformation seeded from the goal's constants (the
+    /// predicate name, key, and the user's clearance level in the
+    /// appended `dominate` guards all bind arguments after the τ
+    /// encoding) and evaluate only the demanded sub-fixpoint. Answers
+    /// equal [`ReducedEngine::solve`]; the win is that for point queries
+    /// only a fraction of the belief relations is computed — and no
+    /// materialization is required at all (see
+    /// [`ReducedEngine::with_options_deferred`]).
+    pub fn solve_demand(&self, goal: &Goal) -> Result<Vec<Answer>> {
+        Ok(self.solve_demand_with_stats(goal)?.0)
+    }
+
+    /// [`ReducedEngine::solve_demand`], also returning the evaluation
+    /// counters of the goal-directed run — [`dl::EvalStats::demand`]
+    /// records whether the magic rewrite applied and how much it
+    /// materialized.
+    pub fn solve_demand_with_stats(&self, goal: &Goal) -> Result<(Vec<Answer>, dl::EvalStats)> {
+        let mut body: Vec<dl::Literal> = Vec::new();
+        for atom in goal {
+            translate_atom(atom, &self.user, self.level_split, true, &mut body)?;
+        }
+        let program = self
+            .incremental
+            .current_program()
+            .map_err(MultiLogError::Datalog)?;
+        let mut engine = dl::Engine::new(&program)?.with_fact_limit(self.fact_limit);
+        if let Some(d) = self.deadline {
+            engine = engine.with_deadline(d);
+        }
+        if let Some(c) = &self.cancel {
+            engine = engine.with_cancel_token(c.clone());
+        }
+        // Guard trips convert through `From<DatalogError>`, surfacing the
+        // same typed errors as a full materialization would.
+        let (answers, stats) = engine.run_for_goal(&body)?;
+        Ok((project_answers(goal, &answers), stats))
+    }
+
+    /// Parse and solve a textual MultiLog goal demand-driven.
+    pub fn solve_text_demand(&self, goal: &str) -> Result<Vec<Answer>> {
+        self.solve_demand(&crate::parser::parse_goal(goal)?)
+    }
+
     /// The lattice used by the reduction.
     pub fn lattice(&self) -> &Arc<SecurityLattice> {
         &self.lattice
     }
+}
+
+/// Project Datalog answers back onto the goal's own variables, in
+/// MultiLog terms, sorted and deduplicated — the translation may add
+/// guard-only variables that must not leak into the answers.
+fn project_answers(goal: &Goal, answers: &dl::QueryAnswer) -> Vec<Answer> {
+    let goal_vars: Vec<&str> = {
+        let mut vs = Vec::new();
+        for a in goal {
+            for v in a.variables() {
+                if !vs.contains(&v) {
+                    vs.push(v);
+                }
+            }
+        }
+        vs
+    };
+    let mut out: Vec<Answer> = Vec::new();
+    for b in &answers.answers {
+        let mut a: Answer = BTreeMap::new();
+        for v in &goal_vars {
+            if let Some(c) = b.get(*v) {
+                a.insert((*v).to_owned(), const_to_term(c));
+            }
+        }
+        out.push(a);
+    }
+    out.sort();
+    out.dedup();
+    out
 }
 
 /// Translate the full database to a Datalog program text: `τ(Δ) ∪ A`.
@@ -647,6 +724,55 @@ mod tests {
                 assert_eq!(a, b, "goal `{goal}` at user {user}");
             }
         }
+    }
+
+    #[test]
+    fn demand_answers_match_materialized_on_d1() {
+        let db = parse_database(D1).unwrap();
+        for user in ["u", "c", "s"] {
+            let red = ReducedEngine::new(&db, user).unwrap();
+            for goal in [
+                "L[p(k : a -C-> V)]",
+                "s[p(k : a -C-> V)] << fir",
+                "s[p(k : a -C-> V)] << opt",
+                "c[p(k : a -C-> V)] << cau",
+                "q(X)",
+                "u leq L",
+            ] {
+                assert_eq!(
+                    red.solve_text(goal).unwrap(),
+                    red.solve_text_demand(goal).unwrap(),
+                    "goal `{goal}` at user {user}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn demand_stats_report_magic_for_point_queries() {
+        let db = parse_database(D1).unwrap();
+        let red = ReducedEngine::new(&db, "s").unwrap();
+        let goal = crate::parser::parse_goal("s[p(k : a -C-> V)] << opt").unwrap();
+        let (answers, stats) = red.solve_demand_with_stats(&goal).unwrap();
+        assert!(!answers.is_empty());
+        let demand = stats.demand.expect("demand stats recorded");
+        // τ appends `dominate(level, user)` guards, so every reduced goal
+        // has bound arguments and the magic rewrite engages.
+        assert_eq!(demand.strategy, "magic");
+        assert!(demand.adorned_predicates >= 1);
+    }
+
+    #[test]
+    fn deferred_engine_answers_point_queries_without_materializing() {
+        let db = parse_database(D1).unwrap();
+        let red = ReducedEngine::with_options_deferred(&db, "s", EngineOptions::default()).unwrap();
+        assert!(red.is_poisoned(), "deferred engines start unmaterialized");
+        assert_eq!(red.database().fact_count(), 0);
+        let ans = red.solve_text_demand("s[p(k : a -C-> V)] << opt").unwrap();
+        let full = ReducedEngine::new(&db, "s").unwrap();
+        assert_eq!(ans, full.solve_text("s[p(k : a -C-> V)] << opt").unwrap());
+        // The deferred engine still never materialized anything.
+        assert_eq!(red.database().fact_count(), 0);
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! Property tests for demand-driven belief queries through the τ
+//! reduction: over randomly generated MultiLog databases (chain
+//! lattices, classified facts, optimistic and cautious rules) and random
+//! partially-bound goals, [`ReducedEngine::solve_demand`] must return
+//! exactly the answers of the materialized [`ReducedEngine::solve`]
+//! path — the magic-sets rewrite composes with the τ encoding, the
+//! no-read-up guards, and the stratified cautious negation machinery.
+
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use proptest::prelude::*;
+
+use multilog_core::reduce::ReducedEngine;
+use multilog_core::{parse_database, EngineOptions, MultiLogDb};
+
+/// A random admissible MultiLog database over a chain lattice `l0 ⪯ l1
+/// ⪯ …`, mirroring the generator of `properties.rs`: classified `data`
+/// facts plus `derived` rules consuming them optimistically or
+/// cautiously.
+fn arb_db() -> impl Strategy<Value = (String, usize)> {
+    let fact = (0usize..3, 0usize..5, 0usize..3, 0usize..5);
+    let rule = (0usize..5, any::<bool>());
+    (
+        2usize..4,
+        proptest::collection::vec(fact, 1..16),
+        proptest::collection::vec(rule, 0..4),
+    )
+        .prop_map(|(depth, facts, rules)| {
+            let mut src = String::new();
+            for i in 0..depth {
+                src.push_str(&format!("level(l{i}).\n"));
+            }
+            for i in 1..depth {
+                src.push_str(&format!("order(l{}, l{i}).\n", i - 1));
+            }
+            for (lvl, key, cls, val) in facts {
+                let lvl = lvl.min(depth - 1);
+                let cls = cls.min(lvl);
+                src.push_str(&format!("l{lvl}[data(k{key} : a -l{cls}-> v{val})].\n"));
+            }
+            let top = depth - 1;
+            for (key, cau) in rules {
+                let mode = if cau { "cau" } else { "opt" };
+                src.push_str(&format!(
+                    "l{top}[derived(k{key} : b -l{top}-> out{key})] <- \
+                     l{}[data(k{key} : a -C-> V)] << {mode}.\n",
+                    top - 1
+                ));
+            }
+            (src, depth)
+        })
+}
+
+/// Goal templates: point lookups (bound keys), per-mode belief queries,
+/// and one fully-free goal exercising the cone fallback.
+fn goal_source(kind: usize, key: usize, lvl: usize) -> String {
+    match kind {
+        0 => format!("l{lvl}[data(k{key} : a -C-> V)]"),
+        1 => format!("l{lvl}[data(k{key} : a -C-> V)] << fir"),
+        2 => format!("l{lvl}[data(k{key} : a -C-> V)] << opt"),
+        3 => format!("l{lvl}[data(k{key} : a -C-> V)] << cau"),
+        4 => format!("l{lvl}[derived(k{key} : b -C-> V)]"),
+        5 => format!("L[data(k{key} : a -C-> V)] << opt"),
+        _ => "L[data(K : a -C-> V)]".to_owned(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `magic_equals_full` through the reduced (τ-encoded) engine.
+    #[test]
+    fn demand_equals_materialized(
+        (src, depth) in arb_db(),
+        kind in 0usize..7,
+        key in 0usize..5,
+        lvl in 0usize..4,
+    ) {
+        let db: MultiLogDb = parse_database(&src).expect("generated db parses");
+        let lvl = lvl.min(depth - 1);
+        let goal = goal_source(kind, key, lvl);
+        for user_lvl in [0, depth - 1] {
+            let user = format!("l{user_lvl}");
+            let red = ReducedEngine::new(&db, &user).expect("generated db reduces");
+            prop_assert_eq!(
+                red.solve_text(&goal).unwrap(),
+                red.solve_text_demand(&goal).unwrap(),
+                "goal `{}` at user {} over:\n{}",
+                goal, user, src
+            );
+        }
+    }
+
+    /// Deferred engines (no materialization ever) answer demand queries
+    /// identically to fully materialized ones.
+    #[test]
+    fn deferred_demand_equals_materialized(
+        (src, depth) in arb_db(),
+        kind in 0usize..7,
+        key in 0usize..5,
+    ) {
+        let db: MultiLogDb = parse_database(&src).expect("generated db parses");
+        let user = format!("l{}", depth - 1);
+        let goal = goal_source(kind, key, depth - 1);
+        let deferred =
+            ReducedEngine::with_options_deferred(&db, &user, EngineOptions::default())
+                .expect("generated db reduces");
+        let materialized = ReducedEngine::new(&db, &user).expect("generated db reduces");
+        prop_assert_eq!(
+            deferred.solve_text_demand(&goal).unwrap(),
+            materialized.solve_text(&goal).unwrap(),
+            "goal `{}` at user {} over:\n{}",
+            goal, user, src
+        );
+        prop_assert_eq!(deferred.database().fact_count(), 0);
+    }
+}
