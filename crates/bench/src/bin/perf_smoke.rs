@@ -13,6 +13,13 @@
 //!   single-edge retract/re-insert deltas over `tc_chain`, maintained
 //!   incrementally (DRed) vs. recomputed from scratch per commit; the
 //!   top-level `update_churn_speedup` field is their wall-time ratio.
+//! * `concurrent_churn` — a [`BeliefServer`] under writer churn: reader
+//!   threads at distinct clearance levels loop refresh + goal against
+//!   their pinned snapshots while the writer commits retract/re-insert
+//!   deltas. Reported as a top-level object with reader p50/p99 query
+//!   latency (µs) and writer commit throughput — the snapshot-isolation
+//!   claim is that reader latency stays flat because readers never block
+//!   on commits.
 //!
 //! Usage:
 //!
@@ -24,10 +31,16 @@
 //! `speedup` fields are merged in from a previous report, so one binary
 //! produces a self-contained before/after comparison.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use multilog_bench::workload::{synthetic_multilog, MultiLogSpec};
-use multilog_core::{parse_database, reduce::ReducedEngine};
+use multilog_core::ast::Head;
+use multilog_core::reduce::EdbUpdate;
+use multilog_core::{
+    parse_clause, parse_database, reduce::ReducedEngine, BeliefServer, EngineOptions,
+};
 use multilog_datalog::{parse_program, Const, Engine, IncrementalEngine};
 
 struct WorkloadResult {
@@ -330,6 +343,123 @@ fn run_point_query(repeat: usize) -> (WorkloadResult, WorkloadResult, f64) {
     (full, magic, speedup)
 }
 
+/// What the multi-session server did under churn: reader-side query
+/// latency percentiles and writer-side commit throughput.
+struct ConcurrentChurnResult {
+    readers: usize,
+    commits: usize,
+    queries: usize,
+    reader_p50_us: f64,
+    reader_p99_us: f64,
+    reader_max_us: f64,
+    commits_per_sec: f64,
+    writer_wall_ms: f64,
+    final_epoch: u64,
+}
+
+/// Run `readers` reader threads against a [`BeliefServer`] while the
+/// writer commits `commits` single-fact batches (alternating assert and
+/// retract of a fresh `data` fact feeding the top-level rules, so every
+/// commit re-propagates through each level's incremental engine).
+///
+/// Each reader is pinned at one of the declared clearance levels and
+/// loops `refresh()` + one goal against its pinned snapshot, recording
+/// the wall time of each iteration. Readers answer from copy-on-write
+/// generation handles and never take the server mutex, so their latency
+/// should be independent of the writer's commit work — `reader_p99_us`
+/// is the number the snapshot-isolation claim rides on.
+fn run_concurrent_churn(readers: usize, commits: usize) -> ConcurrentChurnResult {
+    let spec = MultiLogSpec {
+        depth: 3,
+        facts: 600,
+        rules: 8,
+        use_cau: true,
+        seed: 11,
+    };
+    let db = parse_database(&synthetic_multilog(&spec)).expect("synthetic multilog parses");
+    let levels: Vec<String> = (0..spec.depth).map(|i| format!("l{i}")).collect();
+    let top = levels.last().expect("depth >= 1").clone();
+    let server = Arc::new(BeliefServer::new(db, EngineOptions::default()));
+
+    // Pay every level's first materialization up front so the timed
+    // region measures steady-state serving, not engine construction.
+    for level in &levels {
+        server.open_reader(level).expect("warm-up reader opens");
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut latencies: Vec<Vec<f64>> = Vec::new();
+    let mut writer_wall_ms = 0.0;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for r in 0..readers {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            // Distinct clearance levels: reader r pins level r mod depth.
+            let level = levels[r % levels.len()].clone();
+            let goal = if level == top {
+                // The top level sees the rule heads.
+                "l2[derived(k0 : b -C-> V)] << cau".to_owned()
+            } else {
+                format!("{level}[data(k0 : a -C-> V)] << opt")
+            };
+            handles.push(scope.spawn(move || {
+                let mut session = server.open_reader(&level).expect("reader opens");
+                let mut walls: Vec<f64> = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let start = Instant::now();
+                    session.refresh();
+                    session.query_text(&goal).expect("reader goal evaluates");
+                    walls.push(start.elapsed().as_secs_f64() * 1e6);
+                }
+                walls
+            }));
+        }
+
+        // Writer churn on the main thread: each commit asserts or
+        // retracts one l1 `data` fact, which the top level's cautious
+        // rules consult — so every commit does real re-derivation work
+        // in all three engines before publishing.
+        let writer = server.open_writer().expect("single writer opens");
+        let start = Instant::now();
+        let mut writer = writer;
+        for c in 0..commits {
+            let fact = format!("l1[data(k0 : a -l1-> churn{}) ].", c / 2);
+            let clause = parse_clause(&fact).expect("churn fact parses").remove(0);
+            let Head::M(m) = clause.head else {
+                unreachable!("churn fact is an m-fact");
+            };
+            let update = if c % 2 == 0 {
+                EdbUpdate::Assert(m)
+            } else {
+                EdbUpdate::Retract(m)
+            };
+            writer.commit(&[update]).expect("churn commit applies");
+        }
+        writer_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        stop.store(true, Ordering::Relaxed);
+        for handle in handles {
+            latencies.push(handle.join().expect("reader thread joins"));
+        }
+    });
+
+    let mut all: Vec<f64> = latencies.into_iter().flatten().collect();
+    all.sort_by(f64::total_cmp);
+    assert!(!all.is_empty(), "readers completed at least one query");
+    let pct = |p: f64| all[((all.len() - 1) as f64 * p) as usize];
+    ConcurrentChurnResult {
+        readers,
+        commits,
+        queries: all.len(),
+        reader_p50_us: pct(0.50),
+        reader_p99_us: pct(0.99),
+        reader_max_us: all[all.len() - 1],
+        commits_per_sec: commits as f64 / (writer_wall_ms / 1e3),
+        writer_wall_ms,
+        final_epoch: server.epoch(),
+    }
+}
+
 /// Time the static-analysis pass (the `run`/`query` lint preflight) on
 /// the tc_chain program and report its median wall time in
 /// milliseconds. Compared against the evaluation wall time in `main`:
@@ -400,7 +530,7 @@ fn baseline_field(baseline: &str, name: &str, field: &str) -> Option<f64> {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_pr6.json");
+    let mut out_path = String::from("BENCH_pr7.json");
     let mut baseline_path: Option<String> = None;
     let mut repeat = 3usize;
     let mut argv = std::env::args().skip(1);
@@ -441,6 +571,9 @@ fn main() {
     // point_query contrasts demand-driven (magic-sets) evaluation of a
     // bound goal against answering it from the full fixpoint.
     let (point_full, point_magic, point_speedup) = run_point_query(repeat);
+    // concurrent_churn drives the multi-session belief server: reader
+    // threads refresh + query pinned snapshots while the writer commits.
+    let churn = run_concurrent_churn(4, 60);
     let point_full_facts = point_full.facts;
     let point_magic_facts = point_magic.facts;
     let results = [
@@ -465,8 +598,34 @@ fn main() {
         "  \"point_query_speedup\": {point_speedup:.2},\n  \"point_query_full_facts\": {point_full_facts},\n  \"point_query_magic_facts\": {point_magic_facts},\n"
     ));
     json.push_str(&format!(
-        "  \"lint_preflight_ms\": {lint_ms:.4},\n  \"lint_overhead_pct\": {lint_overhead_pct:.3},\n  \"workloads\": [\n"
+        "  \"lint_preflight_ms\": {lint_ms:.4},\n  \"lint_overhead_pct\": {lint_overhead_pct:.3},\n"
     ));
+    json.push_str("  \"concurrent_churn\": {\n");
+    json.push_str(&format!("    \"readers\": {},\n", churn.readers));
+    json.push_str(&format!("    \"commits\": {},\n", churn.commits));
+    json.push_str(&format!("    \"final_epoch\": {},\n", churn.final_epoch));
+    json.push_str(&format!("    \"queries\": {},\n", churn.queries));
+    json.push_str(&format!(
+        "    \"reader_p50_us\": {:.1},\n",
+        churn.reader_p50_us
+    ));
+    json.push_str(&format!(
+        "    \"reader_p99_us\": {:.1},\n",
+        churn.reader_p99_us
+    ));
+    json.push_str(&format!(
+        "    \"reader_max_us\": {:.1},\n",
+        churn.reader_max_us
+    ));
+    json.push_str(&format!(
+        "    \"commits_per_sec\": {:.1},\n",
+        churn.commits_per_sec
+    ));
+    json.push_str(&format!(
+        "    \"writer_wall_ms\": {:.3}\n",
+        churn.writer_wall_ms
+    ));
+    json.push_str("  },\n  \"workloads\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str("    {\n");
         json.push_str(&format!("      \"name\": \"{}\",\n", r.name));

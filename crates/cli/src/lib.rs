@@ -11,11 +11,14 @@
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use multilog_core::consistency::check_consistency;
 use multilog_core::proof::prove_text;
-use multilog_core::reduce::ReducedEngine;
-use multilog_core::{parse_database, EngineOptions, MultiLogDb, MultiLogEngine};
+use multilog_core::reduce::{EdbUpdate, ReducedEngine};
+use multilog_core::{
+    parse_database, BeliefServer, EngineOptions, MultiLogDb, MultiLogEngine, ReaderSession,
+};
 
 /// Which evaluation pipeline to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -54,6 +57,9 @@ pub struct Options {
     /// Disable the magic-sets demand rewrite for reduced-engine goals:
     /// materialize the full fixpoint and answer from it (`--no-magic`).
     pub no_magic: bool,
+    /// `serve` only: accept line-protocol connections on this TCP
+    /// address instead of stdin (`--listen`).
+    pub listen: Option<String>,
 }
 
 /// Errors surfaced to the CLI user.
@@ -470,6 +476,281 @@ impl ReplSession {
     }
 }
 
+/// One line-protocol connection to a [`BeliefServer`] (the `serve`
+/// command): reader sessions pinned to generations, a staged update
+/// transaction, and goal answering — all as a pure `line in → text out`
+/// step function, so the protocol is unit-testable without sockets.
+///
+/// Protocol:
+///
+/// ```text
+/// open <user>     open a reader session at a clearance, pin the newest generation
+/// use <n>         make session n current
+/// close <n>       close session n
+/// refresh         re-pin the current session to the newest generation
+/// epoch           print the current session's pinned and latest epochs
+/// +<m-fact>.      stage an assert in the pending transaction
+/// -<m-fact>.      stage a retract
+/// commit          commit the staged transaction (all-or-nothing, all levels)
+/// abort           discard the staged transaction
+/// <goal>          answer a goal from the current session's pinned snapshot
+/// quit            end the connection
+/// ```
+pub struct ServeSession {
+    server: Arc<BeliefServer>,
+    /// Reader sessions by id (1-based; `None` = closed).
+    sessions: Vec<Option<ReaderSession>>,
+    current: Option<usize>,
+    pending: Vec<EdbUpdate>,
+}
+
+impl ServeSession {
+    /// Parse the database and start a fresh server for this connection.
+    ///
+    /// # Errors
+    ///
+    /// Parse failures, rendered for the CLI user.
+    pub fn new(source: &str, opts: &Options) -> Result<Self, String> {
+        let db = load(source)?;
+        let server = Arc::new(BeliefServer::new(db, engine_options(opts)));
+        Ok(Self::with_server(server))
+    }
+
+    /// Attach a connection to an existing (possibly shared) server —
+    /// the TCP path hands every connection the same server, so sessions
+    /// on different connections see each other's commits on refresh.
+    pub fn with_server(server: Arc<BeliefServer>) -> Self {
+        ServeSession {
+            server,
+            sessions: Vec::new(),
+            current: None,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The shared server (for spawning sibling connections).
+    pub fn server(&self) -> &Arc<BeliefServer> {
+        &self.server
+    }
+
+    /// A banner line describing the service.
+    pub fn banner(&self) -> String {
+        format!(
+            "multilog serve — epoch {}; `open <user>` to begin, `quit` to end",
+            self.server.epoch()
+        )
+    }
+
+    /// Process one protocol line; returns the response text and whether
+    /// the connection should close.
+    pub fn step(&mut self, line: &str) -> (String, bool) {
+        let line = line.trim();
+        if line.is_empty() {
+            return (String::new(), false);
+        }
+        if line == "quit" || line == "exit" {
+            return ("bye\n".to_owned(), true);
+        }
+        (self.command(line), false)
+    }
+
+    fn command(&mut self, line: &str) -> String {
+        if let Some(user) = line.strip_prefix("open ") {
+            return match self.server.open_reader(user.trim()) {
+                Ok(session) => {
+                    let epoch = session.epoch();
+                    self.sessions.push(Some(session));
+                    let id = self.sessions.len();
+                    self.current = Some(id - 1);
+                    format!("session {id} open at {} (epoch {epoch})\n", user.trim())
+                }
+                Err(e) => format!("error: {e}\n"),
+            };
+        }
+        if let Some(n) = line.strip_prefix("use ") {
+            return match self.session_index(n) {
+                Ok(i) => {
+                    self.current = Some(i);
+                    format!("session {} current\n", i + 1)
+                }
+                Err(e) => e,
+            };
+        }
+        if let Some(n) = line.strip_prefix("close ") {
+            return match self.session_index(n) {
+                Ok(i) => {
+                    self.sessions[i] = None;
+                    if self.current == Some(i) {
+                        self.current = None;
+                    }
+                    format!("session {} closed\n", i + 1)
+                }
+                Err(e) => e,
+            };
+        }
+        match line {
+            "refresh" => match self.current_session_mut() {
+                Ok(session) => format!("epoch {}\n", session.refresh()),
+                Err(e) => e,
+            },
+            "epoch" => match self.current_session_mut() {
+                Ok(session) => format!(
+                    "pinned {} latest {}\n",
+                    session.epoch(),
+                    session.latest_epoch()
+                ),
+                Err(e) => e,
+            },
+            "commit" => self.commit(),
+            "abort" => {
+                let n = self.pending.len();
+                self.pending.clear();
+                format!("aborted {n} staged updates\n")
+            }
+            _ => {
+                if let Some(rest) = line.strip_prefix('+') {
+                    return self.stage(rest, true);
+                }
+                if let Some(rest) = line.strip_prefix('-') {
+                    return self.stage(rest, false);
+                }
+                self.query(line)
+            }
+        }
+    }
+
+    /// Stage one `+`/`-` line into the pending transaction.
+    fn stage(&mut self, text: &str, insert: bool) -> String {
+        use multilog_core::ast::Head;
+        let parsed = match multilog_core::parse_clause(text) {
+            Ok(c) => c,
+            Err(e) => return format!("error: {e}\n"),
+        };
+        let mut staged = Vec::with_capacity(parsed.len());
+        for clause in parsed {
+            if !clause.body.is_empty() {
+                return "error: updates must be facts, not rules\n".to_owned();
+            }
+            let Head::M(m) = clause.head else {
+                return "error: updates must be m-atom facts like `+s[p(k : a -s-> v)].`\n"
+                    .to_owned();
+            };
+            staged.push(if insert {
+                EdbUpdate::Assert(m)
+            } else {
+                EdbUpdate::Retract(m)
+            });
+        }
+        let n = staged.len();
+        self.pending.extend(staged);
+        format!(
+            "staged {n} update{} ({} pending)\n",
+            if n == 1 { "" } else { "s" },
+            self.pending.len()
+        )
+    }
+
+    /// Commit the staged transaction through the single-writer slot.
+    fn commit(&mut self) -> String {
+        if self.pending.is_empty() {
+            return "nothing staged\n".to_owned();
+        }
+        let mut writer = match self.server.open_writer() {
+            Ok(w) => w,
+            Err(e) => return format!("error: {e}\n"),
+        };
+        match writer.commit(&self.pending) {
+            Ok(summary) => {
+                self.pending.clear();
+                let mut out = format!("committed at epoch {}\n", summary.epoch);
+                for (level, stats) in &summary.levels {
+                    let _ = writeln!(
+                        out,
+                        "  {level}: +{}/-{} base, +{}/-{} derived",
+                        stats.edb_inserted,
+                        stats.edb_retracted,
+                        stats.derived_added,
+                        stats.derived_removed
+                    );
+                }
+                out
+            }
+            // The staged batch is kept: the client may retry (e.g. after
+            // a deadline trip) or `abort` explicitly.
+            Err(e) => format!("error: {e} (transaction kept; `abort` to discard)\n"),
+        }
+    }
+
+    fn query(&mut self, goal: &str) -> String {
+        match self.current_session_mut() {
+            Ok(session) => match session.query_text(goal) {
+                Ok(answers) => render_answers(&answers),
+                Err(e) => format!("error: {e}\n"),
+            },
+            Err(e) => e,
+        }
+    }
+
+    fn session_index(&self, text: &str) -> Result<usize, String> {
+        let id: usize = text
+            .trim()
+            .parse()
+            .map_err(|_| format!("error: invalid session id `{}`\n", text.trim()))?;
+        match self.sessions.get(id.wrapping_sub(1)) {
+            Some(Some(_)) => Ok(id - 1),
+            _ => Err(format!("error: no open session {id}\n")),
+        }
+    }
+
+    fn current_session_mut(&mut self) -> Result<&mut ReaderSession, String> {
+        let i = self
+            .current
+            .ok_or_else(|| "error: no current session; `open <user>` first\n".to_owned())?;
+        self.sessions
+            .get_mut(i)
+            .and_then(Option::as_mut)
+            .ok_or_else(|| format!("error: no open session {}\n", i + 1))
+    }
+}
+
+/// Drive a [`ServeSession`] over arbitrary line I/O (stdin or one TCP
+/// connection). When `opts.user` is set, a session at that clearance is
+/// opened before the first line.
+///
+/// # Errors
+///
+/// I/O failures on `input`/`output`, rendered for the CLI user.
+pub fn serve_io(
+    mut session: ServeSession,
+    opts: &Options,
+    input: &mut dyn std::io::BufRead,
+    output: &mut dyn std::io::Write,
+) -> Result<(), String> {
+    let emit = |text: &str, output: &mut dyn std::io::Write| {
+        output
+            .write_all(text.as_bytes())
+            .and_then(|()| output.flush())
+            .map_err(|e| e.to_string())
+    };
+    emit(&format!("{}\n", session.banner()), output)?;
+    if !opts.user.is_empty() {
+        let (out, _) = session.step(&format!("open {}", opts.user));
+        emit(&out, output)?;
+    }
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if input.read_line(&mut line).map_err(|e| e.to_string())? == 0 {
+            return Ok(());
+        }
+        let (out, quit) = session.step(&line);
+        emit(&out, output)?;
+        if quit {
+            return Ok(());
+        }
+    }
+}
+
 /// Render answers as a table (or `yes`/`no` for ground goals).
 pub fn render_answers(answers: &[multilog_core::Answer]) -> String {
     if answers.is_empty() {
@@ -506,6 +787,7 @@ USAGE:
   multilog check  <file.mlog> --user <level>
   multilog lint   <file.mlog> [--user <level>] [--format human|json]
   multilog repl   <file.mlog> --user <level> [--filter] [GUARDS]
+  multilog serve  <file.mlog> [--user <level>] [--listen <addr>] [GUARDS]
 
 GUARDS:
   --deadline <ms>    abort evaluation/queries after a wall-clock deadline
@@ -538,6 +820,16 @@ REPL:
   Update the database in place with ground m-atom facts:
   +s[p(k : a -s-> v)].   assert a fact (delta-propagated, no recompute)
   -s[p(k : a -s-> v)].   retract it (delete-and-rederive)
+
+SERVE:
+  A multi-session belief server with snapshot isolation: `open <user>`
+  pins a reader to the current generation (repeat for more sessions,
+  `use <n>` to switch); goals answer from the pinned snapshot until
+  `refresh`. `+fact.`/`-fact.` stage a transaction; `commit` applies it
+  atomically across every open clearance level and publishes the next
+  generation. With --listen <addr>, serves the same protocol to TCP
+  clients (all connections share one server); otherwise reads stdin.
+  With --user, a first session is opened automatically.
 ";
 
 /// Parse `argv`-style arguments into `(command, file, goal, Options)`.
@@ -579,14 +871,18 @@ pub fn parse_args(args: &[String]) -> Result<(String, String, Option<String>, Op
                         .map_err(|_| format!("invalid --max-facts `{v}`"))?,
                 );
             }
+            "--listen" => {
+                opts.listen = Some(it.next().ok_or("--listen needs an address")?.clone());
+            }
             other if file.is_none() => file = Some(other.to_owned()),
             other if goal.is_none() => goal = Some(other.to_owned()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
     let file = file.ok_or("missing database file")?;
-    // `lint` works without a clearance; every other command needs one.
-    if opts.user.is_empty() && cmd != "lint" {
+    // `lint` and `serve` work without a clearance (serve sessions pick
+    // theirs at `open`); every other command needs one.
+    if opts.user.is_empty() && cmd != "lint" && cmd != "serve" {
         return Err("missing --user <level>".to_owned());
     }
     Ok((cmd, file, goal, opts))
@@ -923,6 +1219,116 @@ mod tests {
         assert!(o.no_lint);
         assert!(o.lint_warn);
         assert!(parse_args(&to(&["lint", "f.mlog", "--format", "xml"])).is_err());
+    }
+
+    #[test]
+    fn serve_opens_sessions_and_commits_transactions() {
+        let mut s = ServeSession::new(DB, &opts("")).unwrap();
+        let (out, _) = s.step("open s");
+        assert!(out.contains("session 1 open at s (epoch 0)"), "{out}");
+        let (out, _) = s.step("s[p(k2 : a -u-> w)] << opt");
+        assert!(out.contains("no"), "{out}");
+        let (out, _) = s.step("+u[p(k2 : a -u-> w)].");
+        assert!(out.contains("staged 1 update (1 pending)"), "{out}");
+        // Not committed yet: invisible.
+        assert!(s.step("s[p(k2 : a -u-> w)] << opt").0.contains("no"));
+        let (out, _) = s.step("commit");
+        assert!(out.contains("committed at epoch 1"), "{out}");
+        assert!(out.contains("s: +1/-"), "{out}");
+        // Committed but the session is pinned at epoch 0 until refresh.
+        assert!(s.step("s[p(k2 : a -u-> w)] << opt").0.contains("no"));
+        let (out, _) = s.step("epoch");
+        assert_eq!(out, "pinned 0 latest 1\n");
+        assert_eq!(s.step("refresh").0, "epoch 1\n");
+        assert!(s.step("s[p(k2 : a -u-> w)] << opt").0.contains("yes"));
+    }
+
+    #[test]
+    fn serve_sessions_isolate_per_clearance() {
+        let mut s = ServeSession::new(DB, &opts("")).unwrap();
+        s.step("open u");
+        s.step("open s");
+        // Session 2 (s) is current: the c-level cell is visible.
+        assert!(s.step("c[p(k : a -c-> t)]").0.contains("yes"));
+        let (out, _) = s.step("use 1");
+        assert!(out.contains("session 1 current"), "{out}");
+        // At u it is not (no read up).
+        assert!(s.step("c[p(k : a -c-> t)]").0.contains("no"));
+        let (out, _) = s.step("close 1");
+        assert!(out.contains("session 1 closed"), "{out}");
+        assert!(s.step("q(j)").0.contains("no current session"));
+        s.step("use 2");
+        assert!(s.step("q(j)").0.contains("yes"));
+    }
+
+    #[test]
+    fn serve_rejects_bad_input_without_dying() {
+        let mut s = ServeSession::new(DB, &opts("")).unwrap();
+        assert!(s.step("open zz").0.contains("error"), "unknown level");
+        assert!(s.step("use 7").0.contains("no open session 7"));
+        assert!(s.step("q(j)").0.contains("no current session"));
+        assert!(s.step("commit").0.contains("nothing staged"));
+        s.step("open s");
+        assert!(s.step("+q(zz).").0.contains("m-atom"));
+        assert!(s.step("+s[p(k : a -s-> v)] <- q(j).").0.contains("facts"));
+        s.step("+u[p(k9 : a -u-> w)].");
+        let (out, _) = s.step("abort");
+        assert!(out.contains("aborted 1"), "{out}");
+        assert!(s.step("commit").0.contains("nothing staged"));
+        let (out, quit) = s.step("quit");
+        assert!(quit);
+        assert!(out.contains("bye"));
+    }
+
+    #[test]
+    fn serve_io_drives_the_line_protocol() {
+        let session = ServeSession::new(DB, &opts("")).unwrap();
+        let input = b"open s\nq(j)\nquit\n".to_vec();
+        let mut output = Vec::new();
+        serve_io(
+            session,
+            &opts("c"),
+            &mut std::io::Cursor::new(input),
+            &mut output,
+        )
+        .unwrap();
+        let text = String::from_utf8(output).unwrap();
+        assert!(text.contains("multilog serve"), "{text}");
+        // --user c auto-opened session 1; `open s` became session 2.
+        assert!(text.contains("session 1 open at c"), "{text}");
+        assert!(text.contains("session 2 open at s"), "{text}");
+        assert!(text.contains("yes"), "{text}");
+        assert!(text.trim_end().ends_with("bye"), "{text}");
+    }
+
+    #[test]
+    fn serve_connections_share_one_server() {
+        let first = ServeSession::new(DB, &opts("")).unwrap();
+        let server = Arc::clone(first.server());
+        let mut first = first;
+        let mut second = ServeSession::with_server(server);
+        first.step("open s");
+        second.step("open s");
+        first.step("+u[p(k2 : a -u-> w)].");
+        assert!(first.step("commit").0.contains("epoch 1"));
+        // The second connection sees the commit after refresh.
+        assert!(second.step("s[p(k2 : a -u-> w)] << opt").0.contains("no"));
+        assert_eq!(second.step("refresh").0, "epoch 1\n");
+        assert!(second.step("s[p(k2 : a -u-> w)] << opt").0.contains("yes"));
+    }
+
+    #[test]
+    fn parse_args_serve_flags() {
+        let to = |v: &[&str]| v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        // serve works without --user…
+        let (cmd, _, _, o) =
+            parse_args(&to(&["serve", "f.mlog", "--listen", "127.0.0.1:7171"])).unwrap();
+        assert_eq!(cmd, "serve");
+        assert_eq!(o.listen.as_deref(), Some("127.0.0.1:7171"));
+        // …and with one.
+        let (_, _, _, o) = parse_args(&to(&["serve", "f.mlog", "--user", "s"])).unwrap();
+        assert_eq!(o.user, "s");
+        assert!(parse_args(&to(&["serve", "f.mlog", "--listen"])).is_err());
     }
 
     #[test]

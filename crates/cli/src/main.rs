@@ -5,7 +5,8 @@ use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
 use multilog_cli::{
-    check, lint, parse_args, prove, query, reduce, run, Options, ReplSession, USAGE,
+    check, lint, parse_args, prove, query, reduce, run, serve_io, Options, ReplSession,
+    ServeSession, USAGE,
 };
 
 fn main() -> ExitCode {
@@ -44,8 +45,56 @@ fn dispatch(args: &[String]) -> Result<String, String> {
         "check" => check(&source, &opts),
         "lint" => lint(&source, &file, &opts),
         "repl" => repl(&source, &opts),
+        "serve" => serve(&source, &opts),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
+}
+
+/// `multilog serve`: the multi-session belief server. Default transport
+/// is stdin/stdout; with `--listen <addr>` every TCP connection gets its
+/// own protocol session over one shared server (one thread each).
+fn serve(source: &str, opts: &Options) -> Result<String, String> {
+    let session = ServeSession::new(source, opts)?;
+    let Some(addr) = opts.listen.as_deref() else {
+        let stdin = std::io::stdin();
+        let mut input = stdin.lock();
+        let mut output = std::io::stdout();
+        serve_io(session, opts, &mut input, &mut output)?;
+        return Ok(String::new());
+    };
+    let server = std::sync::Arc::clone(session.server());
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| format!("cannot listen on `{addr}`: {e}"))?;
+    eprintln!("multilog serve listening on {addr}");
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("accept failed: {e}");
+                continue;
+            }
+        };
+        let server = std::sync::Arc::clone(&server);
+        let opts = opts.clone();
+        std::thread::spawn(move || {
+            let peer = stream
+                .peer_addr()
+                .map_or_else(|_| "<unknown>".to_owned(), |a| a.to_string());
+            let mut output = match stream.try_clone() {
+                Ok(w) => w,
+                Err(e) => {
+                    eprintln!("connection {peer}: {e}");
+                    return;
+                }
+            };
+            let mut input = std::io::BufReader::new(stream);
+            let session = ServeSession::with_server(server);
+            if let Err(e) = serve_io(session, &opts, &mut input, &mut output) {
+                eprintln!("connection {peer}: {e}");
+            }
+        });
+    }
+    Ok(String::new())
 }
 
 fn repl(source: &str, opts: &Options) -> Result<String, String> {

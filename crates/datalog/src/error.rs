@@ -91,6 +91,15 @@ pub enum DatalogError {
     /// [`recover`](crate::IncrementalEngine::recover) is accepted until
     /// the fixpoint has been rebuilt.
     EnginePoisoned,
+    /// An internal engine invariant did not hold — e.g. a clause that
+    /// bypassed validation, or stratification metadata out of sync with
+    /// the rule set. Per the no-panic policy these surface as typed
+    /// errors instead of `expect()` aborts, so a server embedding the
+    /// engine degrades to a failed request rather than a crash.
+    Internal {
+        /// Which invariant was violated.
+        detail: String,
+    },
 }
 
 impl fmt::Display for DatalogError {
@@ -160,6 +169,9 @@ impl fmt::Display for DatalogError {
                     "the incremental engine is poisoned by an aborted commit: call recover"
                 )
             }
+            DatalogError::Internal { detail } => {
+                write!(f, "internal engine invariant violated: {detail}")
+            }
         }
     }
 }
@@ -209,6 +221,7 @@ mod tests {
             DatalogError::TransactionActive,
             DatalogError::NoActiveTransaction,
             DatalogError::EnginePoisoned,
+            DatalogError::Internal { detail: "x".into() },
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());

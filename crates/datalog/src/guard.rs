@@ -53,6 +53,14 @@ impl CancelToken {
     pub fn is_cancelled(&self) -> bool {
         self.flag.load(Ordering::Acquire)
     }
+
+    /// Clear a previous cancellation so the token can arm another
+    /// request. Long-lived sessions share one token across many
+    /// operations; after cancelling one, `reset` re-opens the session
+    /// without re-plumbing a fresh token through the engine.
+    pub fn reset(&self) {
+        self.flag.store(false, Ordering::Release);
+    }
 }
 
 /// Shared guard state for one evaluation run.

@@ -37,6 +37,12 @@
 //! mid-propagation: the engine is then *poisoned* and only
 //! [`IncrementalEngine::recover`] (a full rematerialization) is accepted.
 
+// The transactional update path must never panic: a long-lived belief
+// server funnels every commit through this module, and an `expect()`
+// here would take down every session. Internal invariants surface as
+// `DatalogError::Internal` instead (tests are exempt via clippy.toml).
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::{Duration, Instant};
 
 use crate::atom::{Atom, Literal};
@@ -179,10 +185,15 @@ impl IncrementalEngine {
         let mut base: FxHashMap<SymId, FxHashSet<Fact>> = FxHashMap::default();
         for clause in program.clauses() {
             if clause.is_fact() {
+                // Safety validation guarantees fact clauses are ground;
+                // a program that bypassed it surfaces here as a typed
+                // error, not a panic (no-panic policy).
                 let fact = clause
                     .head
                     .as_fact()
-                    .expect("safety guarantees fact clauses are ground");
+                    .ok_or_else(|| DatalogError::Internal {
+                        detail: format!("fact clause `{clause}` has a non-ground head"),
+                    })?;
                 base.entry(clause.head.predicate)
                     .or_default()
                     .insert(fact.into());
@@ -196,7 +207,12 @@ impl IncrementalEngine {
             let s = stratum_of
                 .get(&rule.head.predicate)
                 .copied()
-                .expect("every head predicate is stratified");
+                .ok_or_else(|| DatalogError::Internal {
+                    detail: format!(
+                        "head predicate `{}` is missing from the stratification",
+                        rule.head.predicate
+                    ),
+                })?;
             stratum_rules[s].push(i);
         }
         let engine = IncrementalEngine {
@@ -942,13 +958,15 @@ fn recompute_stratum(
 ) -> Result<()> {
     let mut sorted_preds: Vec<SymId> = preds.iter().copied().collect();
     sorted_preds.sort_unstable();
-    let mut old: FxHashMap<SymId, FxHashSet<Fact>> = FxHashMap::default();
+    // Snapshots paired positionally with `sorted_preds`, so the diff
+    // loop below needs no fallible map lookup.
+    let mut old: Vec<FxHashSet<Fact>> = Vec::with_capacity(sorted_preds.len());
     for &pred in &sorted_preds {
         let facts: FxHashSet<Fact> = db
             .relation_id(pred)
             .map(|r| r.iter().cloned().collect())
             .unwrap_or_default();
-        old.insert(pred, facts);
+        old.push(facts);
         db.clear_relation_id(pred);
         if let Some(asserted) = base.get(&pred) {
             let mut facts: Vec<&Fact> = asserted.iter().collect();
@@ -998,8 +1016,7 @@ fn recompute_stratum(
         guard.check_db(db.fact_count())?;
         frontier = next;
     }
-    for &pred in &sorted_preds {
-        let old_facts = old.remove(&pred).expect("snapshotted above");
+    for (&pred, old_facts) in sorted_preds.iter().zip(old) {
         let mut ins: Vec<Fact> = Vec::new();
         if let Some(rel) = db.relation_id(pred) {
             for fact in rel.iter() {
@@ -1287,6 +1304,68 @@ mod tests {
         assert_eq!(stats.edb_retracted, 0);
         assert_eq!(stats.edb_inserted, 1);
         assert!(engine.database().contains("path", &[s("a"), s("d")]));
+        assert_matches_scratch(&engine);
+    }
+
+    // ---- no-panic regressions: programs that bypassed validation hit
+    // the engine's internal invariants as typed errors, never aborts.
+
+    #[test]
+    fn non_ground_fact_clause_is_a_typed_error() {
+        // `p(X).` is rejected by `check_safety`, so it can only reach
+        // the engine through the unchecked test constructor — exactly
+        // the adversarial shape the old `expect()` panicked on.
+        let clause = Clause::fact(Atom::new("p", vec![Term::var("X")]));
+        let program = Program::from_clauses_unchecked(vec![clause], &[]);
+        let err = IncrementalEngine::new(&program).unwrap_err();
+        match err {
+            DatalogError::Internal { detail } => {
+                assert!(detail.contains("non-ground head"), "{detail}");
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unstratified_head_predicate_is_a_typed_error() {
+        // A rule whose head predicate is hidden from the arity table is
+        // invisible to `stratify()`; its stratum lookup must fail as a
+        // typed error rather than the old `expect()` panic.
+        let rule = Clause::new(
+            Atom::new("ghost", vec![Term::var("X")]),
+            vec![Literal::Pos(Atom::new("p", vec![Term::var("X")]))],
+        );
+        let base = Clause::fact(Atom::new("p", vec![Term::sym("a")]));
+        let program = Program::from_clauses_unchecked(vec![base, rule], &["ghost"]);
+        let err = IncrementalEngine::new(&program).unwrap_err();
+        match err {
+            DatalogError::Internal { detail } => {
+                assert!(detail.contains("ghost"), "{detail}");
+                assert!(detail.contains("stratification"), "{detail}");
+            }
+            other => panic!("expected Internal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recompute_fallback_diffs_without_snapshot_lookup() {
+        // The recompute fallback's old-snapshot diff no longer has a
+        // fallible map lookup; pin the fallback path (negation forces
+        // it) producing exact deltas over a retract.
+        let program = parse_program(
+            "edge(a, b). edge(b, c). node(a). node(b). node(c).
+             path(X, Y) :- edge(X, Y).
+             path(X, Z) :- path(X, Y), edge(Y, Z).
+             isolated(X) :- node(X), not path(a, X).",
+        )
+        .expect("program parses");
+        let mut engine = IncrementalEngine::new(&program).unwrap();
+        assert!(engine.database().contains("isolated", &[s("a")]));
+        assert!(!engine.database().contains("isolated", &[s("c")]));
+        engine.begin().unwrap();
+        engine.retract("edge", vec![s("b"), s("c")]).unwrap();
+        engine.commit().unwrap();
+        assert!(engine.database().contains("isolated", &[s("c")]));
         assert_matches_scratch(&engine);
     }
 }

@@ -102,6 +102,7 @@ mod parser;
 mod plan;
 mod program;
 mod query;
+mod snapshot;
 mod storage;
 mod term;
 mod trace;
@@ -116,7 +117,8 @@ pub use incremental::{CommitStats, IncrementalEngine};
 pub use magic::MagicProgram;
 pub use parser::{parse_atom, parse_clause, parse_program, parse_query};
 pub use program::{DepGraph, Program, Stratification};
-pub use query::{run_query, Bindings, QueryAnswer};
+pub use query::{run_query, run_query_guarded, Bindings, QueryAnswer, QueryGuards};
+pub use snapshot::{GenerationStore, Snapshot};
 pub use storage::{Database, Relation};
 pub use term::{Const, SymId, Term};
 pub use trace::{NoopTrace, RecordingTrace, TraceEvent, TraceSink};

@@ -681,11 +681,19 @@ pub(crate) fn delta_positions(rule: &Clause, stratum_preds: &HashSet<SymId>) -> 
 
 /// Compile-and-run convenience used by ad hoc queries: evaluates `rule`
 /// against `db` with a freshly compiled plan.
-pub(crate) fn eval_rule_once(rule: &Clause, db: &Database) -> Result<Vec<Fact>> {
+/// Evaluate one rule against a fixpointed database, consulting `guard`
+/// during the join: ad hoc queries issued by long-lived sessions run
+/// under the session's deadline / budget / cancellation (pass
+/// [`EvalGuard::unlimited`] for unguarded evaluation).
+pub(crate) fn eval_rule_once_guarded(
+    rule: &Clause,
+    db: &Database,
+    guard: &EvalGuard,
+) -> Result<Vec<Fact>> {
     let plan = RulePlan::compile(rule, None, db)?;
     let mut scratch = plan.new_scratch();
     let mut out = Vec::new();
-    plan.eval(db, None, &mut scratch, &mut out, &EvalGuard::unlimited())?;
+    plan.eval(db, None, &mut scratch, &mut out, guard)?;
     Ok(out)
 }
 
@@ -746,7 +754,7 @@ mod tests {
         db.insert("s", vec![Const::sym("a")]);
         db.insert("p", vec![Const::sym("a"), Const::sym("b")]);
         db.insert("r", vec![Const::sym("a"), Const::sym("c")]);
-        let derived = eval_rule_once(rule, &db).unwrap();
+        let derived = eval_rule_once_guarded(rule, &db, &EvalGuard::unlimited()).unwrap();
         // ∃Y r(a, Y) holds, so the negation fails and nothing is derived —
         // even though the (a, b) binding from p would not match r.
         assert!(derived.is_empty(), "derived: {derived:?}");

@@ -32,6 +32,27 @@ impl Program {
         Ok(p)
     }
 
+    /// Build a program from clauses **without** any validation — no
+    /// safety checking, no arity recording for `skip_arity` predicates.
+    /// Test-only: lets regression tests reach the engine's internal
+    /// invariant errors, which validated construction makes unreachable.
+    #[cfg(test)]
+    pub(crate) fn from_clauses_unchecked(clauses: Vec<Clause>, skip_arity: &[&str]) -> Self {
+        let mut arities = HashMap::new();
+        for c in &clauses {
+            for (pred, arity) in std::iter::once((c.head.predicate, c.head.arity())).chain(
+                c.body
+                    .iter()
+                    .filter_map(|l| l.atom().map(|a| (a.predicate, a.arity()))),
+            ) {
+                if !skip_arity.contains(&pred.as_str()) {
+                    arities.entry(pred).or_insert(arity);
+                }
+            }
+        }
+        Program { clauses, arities }
+    }
+
     /// Add one clause, validating it.
     pub fn push(&mut self, clause: Clause) -> Result<()> {
         clause.check_safety()?;
@@ -145,13 +166,19 @@ impl Program {
             .collect();
         let mut edges = Vec::new();
         for c in &self.clauses {
-            let h = index[c.head.predicate.as_ref()];
+            // Clauses naming a predicate outside the arity table cannot
+            // exist in a validated program; total lookup (skip) instead
+            // of indexing keeps the analysis panic-free regardless.
+            let Some(&h) = index.get(c.head.predicate.as_ref()) else {
+                continue;
+            };
             for l in &c.body {
                 let (q, negative) = match l {
-                    Literal::Pos(a) => (index[a.predicate.as_ref()], false),
-                    Literal::Neg(a) => (index[a.predicate.as_ref()], true),
+                    Literal::Pos(a) => (index.get(a.predicate.as_ref()), false),
+                    Literal::Neg(a) => (index.get(a.predicate.as_ref()), true),
                     Literal::Cmp { .. } | Literal::Arith { .. } => continue,
                 };
+                let Some(&q) = q else { continue };
                 edges.push((q, h, negative));
             }
         }
@@ -187,13 +214,19 @@ impl Program {
         while changed {
             changed = false;
             for c in &self.clauses {
-                let h = id[c.head.predicate.as_ref()];
+                // Total lookups, as in `dependency_graph`: a predicate
+                // missing from the arity table contributes no
+                // constraints rather than a panic.
+                let Some(&h) = id.get(c.head.predicate.as_ref()) else {
+                    continue;
+                };
                 for l in &c.body {
                     let (q, delta) = match l {
-                        Literal::Pos(a) => (id[a.predicate.as_ref()], 0),
-                        Literal::Neg(a) => (id[a.predicate.as_ref()], 1),
+                        Literal::Pos(a) => (id.get(a.predicate.as_ref()), 0),
+                        Literal::Neg(a) => (id.get(a.predicate.as_ref()), 1),
                         Literal::Cmp { .. } | Literal::Arith { .. } => continue,
                     };
+                    let Some(&q) = q else { continue };
                     let need = stratum[q] + delta;
                     if stratum[h] < need {
                         if need > n {

@@ -5,10 +5,24 @@ use std::fmt;
 
 use crate::atom::Literal;
 use crate::clause::Clause;
-use crate::plan::eval_rule_once;
+use crate::guard::{CancelToken, EvalGuard};
+use crate::plan::eval_rule_once_guarded;
 use crate::storage::Database;
 use crate::term::{Const, Term};
 use crate::{Atom, Result};
+
+/// Guard configuration for ad hoc query evaluation over an
+/// already-materialized database ([`run_query_guarded`]). The default is
+/// fully unguarded, matching [`run_query`].
+#[derive(Clone, Debug, Default)]
+pub struct QueryGuards {
+    /// Wall-clock deadline for the join.
+    pub deadline: Option<std::time::Duration>,
+    /// Budget on emitted answer tuples (`0` = unlimited).
+    pub fact_limit: usize,
+    /// Cooperative cancellation, checked at guard-check granularity.
+    pub cancel: Option<CancelToken>,
+}
 
 /// One answer to a query: variable name → constant, sorted by name.
 pub type Bindings = BTreeMap<String, Const>;
@@ -76,6 +90,19 @@ impl fmt::Display for QueryAnswer {
 /// collects every variable occurring in a positive literal; answers are
 /// the distinct head instantiations restricted to the query's variables.
 pub fn run_query(db: &Database, body: &[Literal]) -> Result<QueryAnswer> {
+    run_query_guarded(db, body, &QueryGuards::default())
+}
+
+/// [`run_query`] under a session's guards: the conjunctive join consults
+/// the deadline, answer budget, and cancellation token of `guards`, so a
+/// runaway cross-product query trips instead of monopolizing a reader
+/// session. Guard trips surface as the usual typed errors
+/// ([`crate::DatalogError::DeadlineExceeded`] etc.).
+pub fn run_query_guarded(
+    db: &Database,
+    body: &[Literal],
+    guards: &QueryGuards,
+) -> Result<QueryAnswer> {
     // Query variables: first-occurrence order across all literals.
     let mut variables: Vec<String> = Vec::new();
     for l in body {
@@ -106,7 +133,17 @@ pub fn run_query(db: &Database, body: &[Literal]) -> Result<QueryAnswer> {
     );
     let rule = Clause::new(head, body.to_vec());
     rule.check_safety()?;
-    let facts = eval_rule_once(&rule, db)?;
+    let guard = if guards.deadline.is_none() && guards.fact_limit == 0 && guards.cancel.is_none() {
+        EvalGuard::unlimited()
+    } else {
+        let budget = if guards.fact_limit == 0 {
+            usize::MAX
+        } else {
+            guards.fact_limit
+        };
+        EvalGuard::new(guards.deadline, budget, guards.cancel.clone())
+    };
+    let facts = eval_rule_once_guarded(&rule, db, &guard)?;
     let mut answers: Vec<Bindings> = facts
         .into_iter()
         .map(|f| positive.iter().cloned().zip(f).collect::<Bindings>())
@@ -181,6 +218,36 @@ mod tests {
         let shown = ans.to_string();
         assert!(shown.contains("X\tN"));
         assert!(shown.contains("a\t1"));
+    }
+
+    #[test]
+    fn guarded_query_trips_cancellation_and_budget() {
+        let d = db("p(a). p(b). p(c). q(a). q(b). q(c).");
+        let body = parse_query("p(X), q(Y)").unwrap();
+        // Pre-cancelled token: the join aborts with Cancelled.
+        let token = CancelToken::new();
+        token.cancel();
+        let guards = QueryGuards {
+            cancel: Some(token),
+            ..QueryGuards::default()
+        };
+        assert!(matches!(
+            run_query_guarded(&d, &body, &guards),
+            Err(crate::DatalogError::Cancelled)
+        ));
+        // A one-tuple budget trips on the 9-answer cross product.
+        let guards = QueryGuards {
+            fact_limit: 1,
+            ..QueryGuards::default()
+        };
+        assert!(matches!(
+            run_query_guarded(&d, &body, &guards),
+            Err(crate::DatalogError::BudgetExceeded { .. })
+        ));
+        // Default guards answer exactly like the unguarded entry point.
+        let unguarded = run_query(&d, &body).unwrap();
+        let guarded = run_query_guarded(&d, &body, &QueryGuards::default()).unwrap();
+        assert_eq!(unguarded, guarded);
     }
 
     #[test]

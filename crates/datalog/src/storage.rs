@@ -3,6 +3,7 @@
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use crate::fx::{FxHashMap, FxHasher};
 use crate::term::{Const, SymId};
@@ -271,9 +272,17 @@ impl fmt::Debug for Relation {
 /// Iteration (`relations`, `predicates`) stays in name order so printed
 /// output is deterministic and identical to the previous
 /// `BTreeMap<Arc<str>, _>` representation.
+///
+/// Relation segments are [`Arc`]-shared: `Database::clone` is O(number
+/// of relations) and shares every fact, index, and dedup table with the
+/// original. Mutation goes through [`Arc::make_mut`], copying only the
+/// relations a writer actually touches (copy-on-write). This is what
+/// makes MVCC generations cheap — a committed generation can stay
+/// pinned by reader [`Snapshot`](crate::Snapshot)s while the next one
+/// is built from a clone.
 #[derive(Clone, Default)]
 pub struct Database {
-    relations: FxHashMap<SymId, Relation>,
+    relations: FxHashMap<SymId, Arc<Relation>>,
     fact_count: usize,
 }
 
@@ -285,12 +294,12 @@ impl Database {
 
     /// The relation for `predicate`, if any fact or declaration exists.
     pub fn relation(&self, predicate: &str) -> Option<&Relation> {
-        self.relations.get(&SymId::intern(predicate))
+        self.relations.get(&SymId::intern(predicate)).map(|r| &**r)
     }
 
     /// The relation for an interned predicate id, if present.
     pub fn relation_id(&self, predicate: SymId) -> Option<&Relation> {
-        self.relations.get(&predicate)
+        self.relations.get(&predicate).map(|r| &**r)
     }
 
     /// The relation for `predicate`, creating it if missing.
@@ -299,8 +308,12 @@ impl Database {
     }
 
     /// The relation for an interned predicate id, creating it if missing.
+    ///
+    /// If the relation segment is shared with another generation (the
+    /// database was cloned), it is detached (deep-copied) here, so the
+    /// pinned generation never observes the mutation.
     pub fn relation_mut_id(&mut self, predicate: SymId) -> &mut Relation {
-        self.relations.entry(predicate).or_default()
+        Arc::make_mut(self.relations.entry(predicate).or_default())
     }
 
     /// Insert a fact; returns `true` if new.
@@ -336,10 +349,12 @@ impl Database {
     /// was present. The relation entry itself stays registered (empty), so
     /// plans that resolved the predicate keep working.
     pub fn retract_id(&mut self, predicate: SymId, fact: &[Const]) -> bool {
-        let gone = self
-            .relations
-            .get_mut(&predicate)
-            .is_some_and(|r| r.retract(fact));
+        // Only detach the shared segment if the fact is actually present;
+        // a no-op retract must not deep-copy the relation.
+        let gone = match self.relations.get_mut(&predicate) {
+            Some(rel) if rel.contains(fact) => Arc::make_mut(rel).retract(fact),
+            _ => false,
+        };
         if gone {
             self.fact_count -= 1;
         }
@@ -353,7 +368,9 @@ impl Database {
     pub fn clear_relation_id(&mut self, predicate: SymId) {
         if let Some(rel) = self.relations.get_mut(&predicate) {
             self.fact_count -= rel.len();
-            *rel = Relation::new();
+            // Fresh Arc rather than make_mut: the old segment may stay
+            // pinned by a snapshot, and a reset needs no copy anyway.
+            *rel = Arc::new(Relation::new());
         }
     }
 
@@ -377,7 +394,7 @@ impl Database {
     /// Iterate over `(predicate, relation)` pairs in name order.
     pub fn relations(&self) -> impl Iterator<Item = (&str, &Relation)> {
         let mut entries: Vec<(SymId, &Relation)> =
-            self.relations.iter().map(|(&k, v)| (k, v)).collect();
+            self.relations.iter().map(|(&k, v)| (k, &**v)).collect();
         entries.sort_by_key(|&(k, _)| k);
         entries.into_iter().map(|(k, v)| (k.as_str(), v))
     }

@@ -1,0 +1,175 @@
+//! Model-based property tests for fact storage: after any interleaving
+//! of inserts and retracts — including retracting a relation down to
+//! empty (which forgets its arity) and re-inserting at a different
+//! arity — the relation must agree with a plain set model on
+//! membership, length, pattern probes, and re-insert dedup, and the
+//! database's fact counter must track exactly. Snapshot (COW) clones
+//! taken mid-history must never observe later mutations.
+
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use multilog_datalog::{Const, Database, Relation};
+
+/// One storage op: `(insert, switch_weight, x, y)`. Facts are binary
+/// `(n_x, n_y)` normally; when the weight selects an arity switch the
+/// op targets the unary fact `(n_x)` instead — legal only while the
+/// relation is empty, which is exactly the reset edge case under test.
+type StorageOp = (bool, u8, usize, usize);
+
+fn arb_ops() -> impl Strategy<Value = Vec<StorageOp>> {
+    let op = (any::<bool>(), 0u8..100, 0usize..4, 0usize..4);
+    proptest::collection::vec(op, 1..60)
+}
+
+/// ~15 % of ops try the unary-arity variant.
+fn is_switch(weight: u8) -> bool {
+    weight < 15
+}
+
+fn fact(arity_switch: bool, x: usize, y: usize) -> Vec<Const> {
+    let mut f = vec![Const::sym(format!("n{x}"))];
+    if !arity_switch {
+        f.push(Const::sym(format!("n{y}")));
+    }
+    f
+}
+
+/// The reference model: facts as a plain ordered set.
+#[derive(Default)]
+struct Model {
+    facts: BTreeSet<Vec<Const>>,
+    arity: Option<usize>,
+}
+
+impl Model {
+    /// Mirror one op; returns whether the storage op should be applied
+    /// (arity-mismatched inserts would panic by contract, so the driver
+    /// skips them — retracts of mismatched arity are defined no-ops).
+    fn step(&mut self, insert: bool, f: &[Const]) -> bool {
+        if insert {
+            if self.arity.is_some_and(|a| a != f.len()) {
+                return false;
+            }
+            self.arity = Some(f.len());
+            self.facts.insert(f.to_vec());
+        } else {
+            self.facts.remove(f);
+            if self.facts.is_empty() {
+                self.arity = None;
+            }
+        }
+        true
+    }
+}
+
+fn assert_relation_matches(rel: &Relation, model: &Model) {
+    assert_eq!(rel.len(), model.facts.len());
+    assert_eq!(rel.is_empty(), model.facts.is_empty());
+    assert_eq!(rel.arity(), model.arity);
+    // Membership and dedup agree fact by fact over the probed universe.
+    for switch in [false, true] {
+        for x in 0..4 {
+            for y in 0..4 {
+                let f = fact(switch, x, y);
+                assert_eq!(rel.contains(&f), model.facts.contains(&f), "fact {f:?}");
+            }
+        }
+    }
+    // Sorted enumeration is exactly the model set.
+    let got: Vec<Vec<Const>> = rel.sorted().iter().map(|f| f.to_vec()).collect();
+    let want: Vec<Vec<Const>> = model.facts.iter().cloned().collect();
+    assert_eq!(got, want);
+    // Index probes: every bound-column pattern returns the model filter.
+    if let Some(arity) = model.arity {
+        for col in 0..arity {
+            for x in 0..4 {
+                let mut pat: Vec<Option<Const>> = vec![None; arity];
+                pat[col] = Some(Const::sym(format!("n{x}")));
+                let got = rel.matching(&pat).count();
+                let want = model
+                    .facts
+                    .iter()
+                    .filter(|f| f.len() == arity && f[col] == Const::sym(format!("n{x}")))
+                    .count();
+                assert_eq!(got, want, "pattern col {col} = n{x}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Relation` under arbitrary insert/retract interleavings —
+    /// including empty-reset arity switches — agrees with the model.
+    #[test]
+    fn relation_agrees_with_set_model(ops in arb_ops()) {
+        let mut rel = Relation::new();
+        let mut model = Model::default();
+        for (insert, weight, x, y) in ops {
+            let f = fact(is_switch(weight), x, y);
+            // Mirror first: the model decides if an insert is legal at
+            // the current arity (mismatches panic by contract).
+            let mut probe = Model { facts: model.facts.clone(), arity: model.arity };
+            if !probe.step(insert, &f) {
+                continue;
+            }
+            if insert {
+                let added = rel.insert(f.clone());
+                assert_eq!(added, !model.facts.contains(&f), "insert {f:?}");
+            } else {
+                let removed = rel.retract(&f);
+                assert_eq!(removed, model.facts.contains(&f), "retract {f:?}");
+            }
+            model = probe;
+            assert_relation_matches(&rel, &model);
+        }
+        // Re-inserting everything present must dedup to all-false; the
+        // stale-index regression this pins showed up exactly here, after
+        // retract-to-empty/re-insert cycles.
+        let current: Vec<Vec<Const>> = model.facts.iter().cloned().collect();
+        for f in current {
+            assert!(!rel.insert(f.clone()), "dedup lost {f:?}");
+        }
+        assert_eq!(rel.len(), model.facts.len());
+    }
+
+    /// `Database` tracks its global fact counter through the same
+    /// interleavings, and COW clones pin their state: a snapshot taken
+    /// before each op never changes when the original mutates.
+    #[test]
+    fn database_count_and_snapshots_survive_interleaving(ops in arb_ops()) {
+        let mut db = Database::new();
+        let mut model = Model::default();
+        for (insert, weight, x, y) in ops {
+            let f = fact(is_switch(weight), x, y);
+            let mut probe = Model { facts: model.facts.clone(), arity: model.arity };
+            if !probe.step(insert, &f) {
+                continue;
+            }
+            let snapshot = db.clone();
+            let before: Vec<_> = snapshot
+                .relation("p")
+                .map(|r| r.sorted())
+                .unwrap_or_default();
+            if insert {
+                db.insert("p", f.clone());
+            } else {
+                db.retract("p", &f);
+            }
+            model = probe;
+            assert_eq!(db.fact_count(), model.facts.len(), "fact_count after {f:?}");
+            // The pre-op snapshot is bitwise stable under the mutation.
+            let after: Vec<_> = snapshot
+                .relation("p")
+                .map(|r| r.sorted())
+                .unwrap_or_default();
+            assert_eq!(before, after, "snapshot mutated by op on {f:?}");
+        }
+    }
+}

@@ -74,6 +74,18 @@ pub enum MultiLogError {
     /// Evaluation was cancelled through a
     /// [`CancelToken`](multilog_datalog::CancelToken).
     Cancelled,
+    /// A belief server already has an open writer session; MVCC here is
+    /// single-writer / multi-reader, so the second writer must wait for
+    /// the first to drop.
+    WriterBusy,
+    /// An internal invariant of the live-update bridge did not hold
+    /// (e.g. a tuple's m-atom missing from the refcount table). Typed
+    /// rather than a panic, per the no-panic policy, so long-lived
+    /// sessions degrade to a failed request instead of crashing.
+    Internal {
+        /// Which invariant was violated.
+        detail: String,
+    },
 }
 
 impl fmt::Display for MultiLogError {
@@ -113,6 +125,12 @@ impl fmt::Display for MultiLogError {
                 write!(f, "evaluation exceeded the deadline of {limit_ms} ms")
             }
             MultiLogError::Cancelled => write!(f, "evaluation was cancelled"),
+            MultiLogError::WriterBusy => {
+                write!(f, "a writer session is already open on this belief server")
+            }
+            MultiLogError::Internal { detail } => {
+                write!(f, "internal invariant violated: {detail}")
+            }
         }
     }
 }
@@ -172,6 +190,8 @@ mod tests {
             MultiLogError::BudgetExceeded { budget: 1, used: 2 },
             MultiLogError::DeadlineExceeded { limit_ms: 5 },
             MultiLogError::Cancelled,
+            MultiLogError::WriterBusy,
+            MultiLogError::Internal { detail: "x".into() },
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());

@@ -74,6 +74,7 @@ pub mod modes;
 pub mod parser;
 pub mod proof;
 pub mod reduce;
+pub mod server;
 
 pub use ast::Span;
 pub use db::MultiLogDb;
@@ -82,6 +83,7 @@ pub use error::MultiLogError;
 pub use lint::{lint_source, lint_source_at, Diagnostic, LintReport, Severity};
 pub use multilog_datalog::CancelToken;
 pub use parser::{parse_clause, parse_database, parse_goal, parse_items, ParsedProgram};
+pub use server::{BeliefServer, CommitSummary, ReaderSession, WriterSession};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, MultiLogError>;

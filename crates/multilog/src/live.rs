@@ -15,6 +15,10 @@
 //! each contributed fact and only asserts on the 0→1 transition and
 //! retracts on the 1→0 transition.
 
+// Update-path no-panic policy, as in `multilog_datalog::incremental`:
+// invariant breaks surface as `MultiLogError::Internal`, never aborts.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::collections::BTreeMap;
 
 use multilog_datalog as dl;
@@ -130,10 +134,22 @@ impl LiveDatabase {
     /// # Errors
     ///
     /// [`crate::MultiLogError::Relational`] if the operation is invalid
-    /// (not visible, duplicate key, bad level); guard trips poison the
-    /// engine, leaving the relation at its pre-operation state —
-    /// [`LiveDatabase::rematerialize`] rebuilds the fixpoint from it.
+    /// (not visible, duplicate key, bad level). A guard trip mid-commit
+    /// poisons the incremental engine; `apply` then rebuilds the
+    /// fixpoint from the (unchanged) pre-operation state before
+    /// returning the trip error, so the session stays usable — the
+    /// relation, refcounts, and belief fixpoint all reflect the state
+    /// before the failed operation. Only if that recovery itself fails
+    /// does the database stay poisoned (check
+    /// [`engine().is_poisoned()`](ReducedEngine::is_poisoned);
+    /// [`LiveDatabase::rematerialize`] retries the rebuild).
     pub fn apply(&mut self, op: &Op) -> Result<dl::CommitStats> {
+        // Lazy recovery: if an earlier failure left the engine poisoned
+        // (e.g. its recovery was itself cancelled), rebuild before
+        // attempting this operation rather than rejecting it outright.
+        if self.engine.is_poisoned() {
+            self.engine.rematerialize()?;
+        }
         // Apply to a scratch copy: `ops::apply` can leave a relation
         // partially mutated when it errors mid-way.
         let mut next = self.relation.clone();
@@ -154,7 +170,9 @@ impl LiveDatabase {
                 let key = m.to_string();
                 let slot = counts
                     .get_mut(&key)
-                    .expect("every live tuple's atoms are refcounted");
+                    .ok_or_else(|| crate::MultiLogError::Internal {
+                        detail: format!("live tuple's m-atom `{m}` is not refcounted"),
+                    })?;
                 *slot -= 1;
                 if *slot == 0 {
                     counts.remove(&key);
@@ -171,10 +189,26 @@ impl LiveDatabase {
                 }
             }
         }
-        let stats = self.engine.apply_updates(&batch)?;
-        self.relation = next;
-        self.refcounts = counts;
-        Ok(stats)
+        match self.engine.apply_updates(&batch) {
+            Ok(stats) => {
+                // All-or-nothing: only a successful commit publishes the
+                // new relation and refcounts, so failures leak neither.
+                self.relation = next;
+                self.refcounts = counts;
+                Ok(stats)
+            }
+            Err(err) => {
+                // A commit abort poisons the engine with its base
+                // restored to the pre-commit state; rebuilding here
+                // hands the caller a live session again. A failed
+                // rebuild keeps the poison, and the original error
+                // still describes what went wrong first.
+                if self.engine.is_poisoned() {
+                    let _ = self.engine.rematerialize();
+                }
+                Err(err)
+            }
+        }
     }
 
     /// Apply a whole history of operations in order.
@@ -351,5 +385,80 @@ mod tests {
         let mut live = LiveDatabase::new(MlsRelation::new(scheme), "c").unwrap();
         live.replay(&mission::mission_history()).unwrap();
         assert_agrees(&live, "c");
+    }
+
+    fn mission_insert(ship: &str, dest: &str) -> Op {
+        Op::Insert {
+            level: "S".into(),
+            values: vec![Value::str(ship), Value::str("Spying"), Value::str(dest)],
+        }
+    }
+
+    #[test]
+    fn session_recovers_after_budget_tripped_commit() {
+        // Probe run: measure the fixpoint size after each op, so the
+        // real run can set a budget that admits op 1 (and recovery of
+        // its state) but trips mid-commit of op 2.
+        let (_, scheme) = mission::mission_scheme();
+        let mut probe = LiveDatabase::new(MlsRelation::new(scheme.clone()), "s").unwrap();
+        probe.apply(&mission_insert("Voyager", "Mars")).unwrap();
+        let after_first = probe.engine().database().fact_count();
+        probe.apply(&mission_insert("Falcon", "Venus")).unwrap();
+        let after_second = probe.engine().database().fact_count();
+        assert!(after_second > after_first + 1, "need budget headroom");
+
+        let options = EngineOptions {
+            fact_limit: after_second - 1,
+            ..EngineOptions::default()
+        };
+        let mut live = LiveDatabase::with_options(MlsRelation::new(scheme), "s", options).unwrap();
+        live.apply(&mission_insert("Voyager", "Mars")).unwrap();
+
+        // The second insert blows the budget mid-commit; `apply` must
+        // rebuild the pre-op fixpoint (which fits the budget) before
+        // returning, leaving the session immediately usable.
+        let err = live.apply(&mission_insert("Falcon", "Venus")).unwrap_err();
+        assert!(matches!(err, crate::MultiLogError::BudgetExceeded { .. }));
+        assert!(!live.engine().is_poisoned(), "apply must auto-recover");
+        assert_eq!(live.relation().len(), 1, "failed op must not apply");
+        assert_agrees(&live, "s");
+
+        // The refcount bridge was not corrupted by the failed attempt:
+        // a small in-budget op still nets out exactly.
+        live.apply(&Op::Delete {
+            level: "S".into(),
+            key: Value::str("Voyager"),
+            key_class: "S".into(),
+        })
+        .unwrap();
+        assert_eq!(live.relation().len(), 0);
+        assert_agrees(&live, "s");
+    }
+
+    #[test]
+    fn session_recovers_lazily_after_cancelled_recovery() {
+        // A cancelled commit leaves the engine poisoned AND defeats the
+        // in-`apply` rebuild (the sticky token cancels that too). Once
+        // the token resets, the next `apply` recovers at entry and the
+        // session heals without manual `rematerialize` calls.
+        let (_, scheme) = mission::mission_scheme();
+        let cancel = multilog_datalog::CancelToken::new();
+        let options = EngineOptions {
+            cancel: Some(cancel.clone()),
+            ..EngineOptions::default()
+        };
+        let mut live = LiveDatabase::with_options(MlsRelation::new(scheme), "s", options).unwrap();
+        live.apply(&mission_insert("Voyager", "Mars")).unwrap();
+
+        cancel.cancel();
+        let err = live.apply(&mission_insert("Falcon", "Venus")).unwrap_err();
+        assert!(matches!(err, crate::MultiLogError::Cancelled));
+        assert_eq!(live.relation().len(), 1, "failed op must not apply");
+
+        cancel.reset();
+        live.apply(&mission_insert("Falcon", "Venus")).unwrap();
+        assert!(!live.engine().is_poisoned());
+        assert_eq!(live.relation().len(), 2);
+        assert_agrees(&live, "s");
     }
 }

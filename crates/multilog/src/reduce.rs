@@ -373,6 +373,73 @@ impl ReducedEngine {
     pub fn lattice(&self) -> &Arc<SecurityLattice> {
         &self.lattice
     }
+
+    /// A detached goal translator for this engine's clearance and
+    /// encoding, carrying the engine's guard configuration. Reader
+    /// sessions pair it with a pinned [`dl::Snapshot`] to answer goals
+    /// without touching (or blocking on) the engine itself.
+    pub fn goal_translator(&self) -> GoalTranslator {
+        GoalTranslator {
+            user: self.user.clone(),
+            level_split: self.level_split,
+            guards: dl::QueryGuards {
+                deadline: self.deadline,
+                fact_limit: if self.fact_limit == usize::MAX {
+                    0
+                } else {
+                    self.fact_limit
+                },
+                cancel: self.cancel.clone(),
+            },
+        }
+    }
+
+    /// A copy-on-write clone of the current materialized database — an
+    /// O(#relations) handle sharing all fact segments, suitable for
+    /// publishing as a [`dl::GenerationStore`] generation.
+    pub fn database_snapshot(&self) -> dl::Database {
+        self.incremental.database().clone()
+    }
+}
+
+/// The query-side half of the τ translation, detached from the engine.
+///
+/// A translator knows the clearance level it serves, whether the
+/// reduction split `rel` per level, and the session's query guards — the
+/// three inputs needed to turn a MultiLog goal into a reduced Datalog
+/// body and answer it against *any* database produced by the matching
+/// [`ReducedEngine`] (typically a pinned snapshot). It holds no database
+/// itself, so readers using one never contend with writers.
+#[derive(Clone, Debug)]
+pub struct GoalTranslator {
+    user: String,
+    level_split: bool,
+    guards: dl::QueryGuards,
+}
+
+impl GoalTranslator {
+    /// The clearance level this translator serves.
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// Solve a MultiLog goal against `db` (a materialized reduction at
+    /// this translator's clearance), under the session guards. Answers
+    /// match [`ReducedEngine::solve`] on the same database.
+    pub fn solve_on(&self, db: &dl::Database, goal: &Goal) -> Result<Vec<Answer>> {
+        let mut body: Vec<dl::Literal> = Vec::new();
+        for atom in goal {
+            translate_atom(atom, &self.user, self.level_split, true, &mut body)?;
+        }
+        let answers =
+            dl::run_query_guarded(db, &body, &self.guards).map_err(MultiLogError::Datalog)?;
+        Ok(project_answers(goal, &answers))
+    }
+
+    /// Parse and solve a textual MultiLog goal against `db`.
+    pub fn solve_text_on(&self, db: &dl::Database, goal: &str) -> Result<Vec<Answer>> {
+        self.solve_on(db, &crate::parser::parse_goal(goal)?)
+    }
 }
 
 /// Project Datalog answers back onto the goal's own variables, in
@@ -926,6 +993,32 @@ mod tests {
         red.apply_updates(&[EdbUpdate::Retract(goal_matom("u[p(k : a -u-> v)]"))])
             .unwrap();
         assert_eq!(red.solve_text("L[p(k : a -C-> V)]").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn goal_translator_answers_from_pinned_snapshots() {
+        let db = parse_database(D1).unwrap();
+        let mut red = ReducedEngine::new(&db, "s").unwrap();
+        let translator = red.goal_translator();
+        let pinned = red.database_snapshot();
+        let goal = "L[p(K : a -C-> V)] << opt";
+        // On the live database the translator agrees with solve().
+        assert_eq!(
+            translator.solve_text_on(red.database(), goal).unwrap(),
+            red.solve_text(goal).unwrap()
+        );
+        let before = translator.solve_text_on(&pinned, goal).unwrap();
+        // Mutate the engine; the pinned clone still answers the old state.
+        red.apply_updates(&[EdbUpdate::Assert(goal_matom("u[p(k2 : a -u-> w)]"))])
+            .unwrap();
+        assert_eq!(translator.solve_text_on(&pinned, goal).unwrap(), before);
+        assert!(
+            translator
+                .solve_text_on(red.database(), goal)
+                .unwrap()
+                .len()
+                > before.len()
+        );
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Threaded stress test for the multi-session belief server: reader
+//! threads at distinct clearance levels query concurrently with a
+//! writer committing a deterministic update stream, and every recorded
+//! `(epoch, answers)` observation is checked against a **snapshot
+//! oracle** — a from-scratch (non-incremental) reduction of the base
+//! database plus exactly the first `epoch` committed batches.
+//!
+//! The oracle is the snapshot-isolation contract: a reader never sees a
+//! torn state, only some *published generation*, and "epoch e" names the
+//! same committed prefix at every level.
+
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use multilog_core::ast::Head;
+use multilog_core::reduce::{EdbUpdate, ReducedEngine};
+use multilog_core::{parse_clause, parse_database, Answer, BeliefServer, EngineOptions};
+
+const BASE: &str = r#"
+    level(u). level(c). level(s).
+    order(u, c). order(c, s).
+    u[p(k0 : a -u-> v0)].
+    c[p(kc : a -c-> t)] <- q(j).
+    q(j).
+"#;
+
+/// The deterministic commit schedule: commit `i` either asserts a
+/// persistent fact, asserts a transient fact, or retracts the transient
+/// fact of the previous commit — so consecutive epochs always differ and
+/// the visible state both grows and shrinks over the run.
+fn schedule(commits: usize) -> Vec<(String, bool)> {
+    let mut out = Vec::new();
+    for i in 0..commits {
+        match i % 3 {
+            0 => out.push((format!("u[p(k{i} : a -u-> v{i})]."), true)),
+            1 => out.push((format!("u[p(tmp : a -u-> w{i})]."), true)),
+            _ => out.push((format!("u[p(tmp : a -u-> w{})].", i - 1), false)),
+        }
+    }
+    out
+}
+
+fn update(text: &str, assert: bool) -> EdbUpdate {
+    let clause = parse_clause(text).unwrap().remove(0);
+    let Head::M(m) = clause.head else {
+        panic!("schedule entries are m-facts: {text}");
+    };
+    if assert {
+        EdbUpdate::Assert(m)
+    } else {
+        EdbUpdate::Retract(m)
+    }
+}
+
+/// The database source after the first `epoch` commits: base text plus
+/// the surviving asserted fact lines (a retract removes one occurrence).
+fn source_at(epoch: usize, schedule: &[(String, bool)]) -> String {
+    let mut facts: Vec<&str> = Vec::new();
+    for (text, assert) in &schedule[..epoch] {
+        if *assert {
+            facts.push(text);
+        } else if let Some(pos) = facts.iter().position(|f| *f == text) {
+            facts.remove(pos);
+        } else {
+            panic!("schedule retracts a fact it never asserted: {text}");
+        }
+    }
+    let mut src = String::from(BASE);
+    for f in facts {
+        src.push_str(f);
+        src.push('\n');
+    }
+    src
+}
+
+/// The broad per-level goal readers issue: everything visible about `p`.
+fn goal_for(level: &str) -> String {
+    format!("{level}[p(K : a -C-> V)] << opt")
+}
+
+/// Normalize an answer set for comparison across evaluation paths.
+fn norm(answers: &[Answer]) -> Vec<String> {
+    let mut out: Vec<String> = answers.iter().map(|a| format!("{a:?}")).collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[test]
+fn concurrent_readers_always_see_some_published_generation() {
+    let commits = 24usize;
+    let plan = schedule(commits);
+    let server = Arc::new(BeliefServer::new(
+        parse_database(BASE).unwrap(),
+        EngineOptions::default(),
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // (level, epoch, normalized answers) triples observed by readers.
+    type Observation = (String, u64, Vec<String>);
+    let mut threads = Vec::new();
+    for level in ["u", "c", "s"] {
+        let server = Arc::clone(&server);
+        let stop = Arc::clone(&stop);
+        threads.push(thread::spawn(move || -> Vec<Observation> {
+            let mut session = server.open_reader(level).unwrap();
+            let goal = goal_for(level);
+            let mut seen = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                session.refresh();
+                // The pinned snapshot fixes (epoch, answers) as a unit:
+                // commits between these two calls must not tear it.
+                let epoch = session.epoch();
+                let answers = session.query_text(&goal).unwrap();
+                seen.push((level.to_owned(), epoch, norm(&answers)));
+            }
+            seen
+        }));
+    }
+
+    // Writer on the main thread, pacing commits so readers interleave
+    // across many distinct epochs.
+    let mut writer = server.open_writer().unwrap();
+    let mut late: Option<thread::JoinHandle<Vec<Observation>>> = None;
+    for (i, (text, assert)) in plan.iter().enumerate() {
+        let summary = writer.commit(&[update(text, *assert)]).unwrap();
+        assert_eq!(summary.epoch, (i + 1) as u64, "epochs count commits");
+        if i == commits / 2 {
+            // A reader opened mid-stream pins the generation current
+            // now; its observations face the same oracle.
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            late = Some(thread::spawn(move || -> Vec<Observation> {
+                let mut session = server.open_reader("s").unwrap();
+                let mut seen = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    session.refresh();
+                    let epoch = session.epoch();
+                    let answers = session.query_text(&goal_for("s")).unwrap();
+                    seen.push(("s".to_owned(), epoch, norm(&answers)));
+                }
+                seen
+            }));
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+    stop.store(true, Ordering::Relaxed);
+
+    let mut observations: Vec<Observation> = Vec::new();
+    for t in threads {
+        observations.extend(t.join().unwrap());
+    }
+    if let Some(t) = late {
+        observations.extend(t.join().unwrap());
+    }
+    assert_eq!(server.epoch(), commits as u64);
+
+    // Readers must actually have raced the writer across generations.
+    let distinct_epochs: std::collections::BTreeSet<u64> =
+        observations.iter().map(|(_, e, _)| *e).collect();
+    assert!(
+        distinct_epochs.len() >= 4,
+        "expected interleaving across generations, saw epochs {distinct_epochs:?}"
+    );
+
+    // Collapse observations: every reader that saw (level, epoch) must
+    // have seen the *same* answers (no torn reads), so each key maps to
+    // exactly one answer set...
+    let mut by_generation: std::collections::BTreeMap<(String, u64), Vec<String>> =
+        std::collections::BTreeMap::new();
+    for (level, epoch, answers) in observations {
+        match by_generation.entry((level.clone(), epoch)) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(answers);
+            }
+            std::collections::btree_map::Entry::Occupied(o) => assert_eq!(
+                o.get(),
+                &answers,
+                "level {level} at epoch {epoch}: two readers disagree about \
+                 the same published generation"
+            ),
+        }
+    }
+
+    // ...and the oracle: that answer set equals a from-scratch
+    // (non-incremental) reduction of base + the first `epoch` batches.
+    for ((level, epoch), answers) in &by_generation {
+        let db = parse_database(&source_at(*epoch as usize, &plan)).unwrap();
+        let scratch = ReducedEngine::new(&db, level).unwrap();
+        let oracle = norm(&scratch.solve_text(&goal_for(level)).unwrap());
+        assert_eq!(
+            answers, &oracle,
+            "level {level} at epoch {epoch}: reader answers diverge from \
+             the scratch evaluation of that published generation"
+        );
+    }
+}
