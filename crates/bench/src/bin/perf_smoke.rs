@@ -16,10 +16,15 @@
 //! * `concurrent_churn` — a [`BeliefServer`] under writer churn: reader
 //!   threads at distinct clearance levels loop refresh + goal against
 //!   their pinned snapshots while the writer commits retract/re-insert
-//!   deltas. Reported as a top-level object with reader p50/p99 query
-//!   latency (µs) and writer commit throughput — the snapshot-isolation
-//!   claim is that reader latency stays flat because readers never block
-//!   on commits.
+//!   deltas. Reported as a top-level object with reader p50/p90/p99/p99.9
+//!   query latency (µs), writer commit throughput, and tail attribution:
+//!   `max_spans_publish` / `tail_publish_overlap_pct` say whether the
+//!   worst-case and top-1% reader latencies coincide with a writer
+//!   commit publish — the snapshot-isolation claim is that reader
+//!   latency stays flat because readers never block on commits.
+//! * `tc_chain_xl` — transitive closure over a 3150-edge chain (~5M
+//!   derived paths); runs once, last, so the process peak RSS reported
+//!   as `tc_chain_xl_peak_rss_mb` (VmHWM) is attributable to it.
 //!
 //! Usage:
 //!
@@ -111,23 +116,67 @@ fn run_datalog(
 
 /// Measure tc_chain plain and with every guard armed (deadline, fact
 /// budget, cancellation token), interleaving the two configurations in
-/// one loop after a shared warm-up so allocator/cache state cannot bias
-/// either side.
+/// one loop after both-configuration warm-ups so allocator/cache state
+/// cannot bias either side.
 /// Returns the plain and guarded results plus the overhead in percent,
-/// computed from *median* wall times (best-of is too sensitive to one
-/// lucky scheduling run to difference two configurations).
+/// computed as the median of per-pair wall ratios with the run order
+/// *alternating within each pair*. Adjacent runs share whatever
+/// frequency/steal state the machine is in, so the pair ratio cancels
+/// drift; alternating which configuration goes first cancels the
+/// position bias (second-run cache warmth) that otherwise puts a
+/// systematic offset on every ratio; the median then shrugs off
+/// preemption outliers. The whole measurement runs as three such
+/// trials and reports the median of the three trial medians: one trial's
+/// estimate still wanders ±2.5 points on a busy single-core box, but
+/// trial errors are close to independent, so the median of three cubes
+/// the tail probability — which is what the CI gate's 3 % ceiling is
+/// sized against.
 fn run_guard_overhead(src: &str, repeat: usize) -> (WorkloadResult, WorkloadResult, f64) {
     let program = parse_program(src).expect("workload parses");
-    let _ = Engine::new(&program)
-        .expect("workload stratifies")
-        .run()
-        .expect("warm-up evaluates");
     let mut best: [Option<WorkloadResult>; 2] = [None, None];
+    let mut trial_estimates = Vec::new();
+    for _ in 0..3 {
+        let pct = guard_overhead_trial(&program, repeat, &mut best);
+        trial_estimates.push(pct);
+    }
+    trial_estimates.sort_by(f64::total_cmp);
+    let overhead_pct = trial_estimates[1];
+    let [plain, guarded] = best;
+    (
+        plain.expect("repeat >= 1"),
+        guarded.expect("repeat >= 1"),
+        overhead_pct,
+    )
+}
+
+/// One guard-overhead trial: both-configuration warm-ups, then `repeat`
+/// order-alternating pairs; returns the median per-pair ratio as a
+/// percentage and folds each run into the per-configuration bests.
+fn guard_overhead_trial(
+    program: &multilog_datalog::Program,
+    repeat: usize,
+    best: &mut [Option<WorkloadResult>; 2],
+) -> f64 {
+    // Warm up both configurations (not just the plain one): the first
+    // guarded run pays one-time costs (token allocation, deadline
+    // syscalls) that would otherwise land in the first measured ratio.
+    for guarded in [false, true] {
+        let mut engine = Engine::new(program).expect("workload stratifies");
+        if guarded {
+            engine = engine
+                .with_deadline(std::time::Duration::from_secs(3600))
+                .with_fact_limit(100_000_000)
+                .with_cancel_token(multilog_datalog::CancelToken::new());
+        }
+        let _ = engine.run().expect("warm-up evaluates");
+    }
     let mut walls: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
     let names = ["tc_chain", "tc_chain_guarded"];
-    for _ in 0..repeat {
-        for (slot, name) in names.iter().enumerate() {
-            let mut engine = Engine::new(&program).expect("workload stratifies");
+    for pair in 0..repeat {
+        let order = if pair % 2 == 0 { [0, 1] } else { [1, 0] };
+        for slot in order {
+            let name = names[slot];
+            let mut engine = Engine::new(program).expect("workload stratifies");
             if slot == 1 {
                 engine = engine
                     .with_deadline(std::time::Duration::from_secs(3600))
@@ -154,9 +203,6 @@ fn run_guard_overhead(src: &str, repeat: usize) -> (WorkloadResult, WorkloadResu
             }
         }
     }
-    // Each iteration ran the two configurations back to back, so the
-    // per-iteration ratio cancels machine drift; the median ratio then
-    // shrugs off scheduling outliers.
     let [plain_walls, guarded_walls] = walls;
     let mut ratios: Vec<f64> = plain_walls
         .iter()
@@ -164,13 +210,7 @@ fn run_guard_overhead(src: &str, repeat: usize) -> (WorkloadResult, WorkloadResu
         .map(|(p, g)| g / p)
         .collect();
     ratios.sort_by(f64::total_cmp);
-    let overhead_pct = (ratios[ratios.len() / 2] - 1.0) * 100.0;
-    let [plain, guarded] = best;
-    (
-        plain.expect("repeat >= 1"),
-        guarded.expect("repeat >= 1"),
-        overhead_pct,
-    )
+    (ratios[ratios.len() / 2] - 1.0) * 100.0
 }
 
 /// Measure a small-delta update stream two ways: incrementally via
@@ -350,8 +390,17 @@ struct ConcurrentChurnResult {
     commits: usize,
     queries: usize,
     reader_p50_us: f64,
+    reader_p90_us: f64,
     reader_p99_us: f64,
+    reader_p999_us: f64,
     reader_max_us: f64,
+    /// Whether a commit publish fell inside the max-latency query's
+    /// window — the attribution for the worst outlier (scheduling
+    /// against the writer vs. something intrinsic to the reader path).
+    max_spans_publish: bool,
+    /// Fraction of the queries above p99 whose window contained at
+    /// least one commit publish.
+    tail_publish_overlap_pct: f64,
     commits_per_sec: f64,
     writer_wall_ms: f64,
     final_epoch: u64,
@@ -388,8 +437,12 @@ fn run_concurrent_churn(readers: usize, commits: usize) -> ConcurrentChurnResult
     }
 
     let stop = Arc::new(AtomicBool::new(false));
-    let mut latencies: Vec<Vec<f64>> = Vec::new();
+    // Query windows as (start_us, end_us) offsets from a shared clock, so
+    // tail latencies can be attributed against commit-publish instants.
+    let mut windows: Vec<Vec<(f64, f64)>> = Vec::new();
+    let mut publishes: Vec<f64> = Vec::with_capacity(commits);
     let mut writer_wall_ms = 0.0;
+    let clock = Instant::now();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for r in 0..readers {
@@ -405,12 +458,12 @@ fn run_concurrent_churn(readers: usize, commits: usize) -> ConcurrentChurnResult
             };
             handles.push(scope.spawn(move || {
                 let mut session = server.open_reader(&level).expect("reader opens");
-                let mut walls: Vec<f64> = Vec::new();
+                let mut walls: Vec<(f64, f64)> = Vec::new();
                 while !stop.load(Ordering::Relaxed) {
-                    let start = Instant::now();
+                    let start = clock.elapsed().as_secs_f64() * 1e6;
                     session.refresh();
                     session.query_text(&goal).expect("reader goal evaluates");
-                    walls.push(start.elapsed().as_secs_f64() * 1e6);
+                    walls.push((start, clock.elapsed().as_secs_f64() * 1e6));
                 }
                 walls
             }));
@@ -435,25 +488,38 @@ fn run_concurrent_churn(readers: usize, commits: usize) -> ConcurrentChurnResult
                 EdbUpdate::Retract(m)
             };
             writer.commit(&[update]).expect("churn commit applies");
+            publishes.push(clock.elapsed().as_secs_f64() * 1e6);
         }
         writer_wall_ms = start.elapsed().as_secs_f64() * 1e3;
         stop.store(true, Ordering::Relaxed);
         for handle in handles {
-            latencies.push(handle.join().expect("reader thread joins"));
+            windows.push(handle.join().expect("reader thread joins"));
         }
     });
 
-    let mut all: Vec<f64> = latencies.into_iter().flatten().collect();
-    all.sort_by(f64::total_cmp);
+    let mut all: Vec<(f64, f64, f64)> = windows
+        .into_iter()
+        .flatten()
+        .map(|(s, e)| (e - s, s, e))
+        .collect();
+    all.sort_by(|a, b| f64::total_cmp(&a.0, &b.0));
     assert!(!all.is_empty(), "readers completed at least one query");
-    let pct = |p: f64| all[((all.len() - 1) as f64 * p) as usize];
+    let pct = |p: f64| all[((all.len() - 1) as f64 * p) as usize].0;
+    let spans_publish = |&(_, s, e): &(f64, f64, f64)| publishes.iter().any(|&p| s <= p && p <= e);
+    let max = all[all.len() - 1];
+    let tail = &all[((all.len() - 1) as f64 * 0.99) as usize..];
+    let tail_hits = tail.iter().filter(|w| spans_publish(w)).count();
     ConcurrentChurnResult {
         readers,
         commits,
         queries: all.len(),
         reader_p50_us: pct(0.50),
+        reader_p90_us: pct(0.90),
         reader_p99_us: pct(0.99),
-        reader_max_us: all[all.len() - 1],
+        reader_p999_us: pct(0.999),
+        reader_max_us: max.0,
+        max_spans_publish: spans_publish(&max),
+        tail_publish_overlap_pct: tail_hits as f64 / tail.len() as f64 * 100.0,
         commits_per_sec: commits as f64 / (writer_wall_ms / 1e3),
         writer_wall_ms,
         final_epoch: server.epoch(),
@@ -529,8 +595,17 @@ fn baseline_field(baseline: &str, name: &str, field: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Peak resident set size of this process in megabytes, read from
+/// `/proc/self/status` (`VmHWM`). `None` on non-Linux hosts.
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
 fn main() {
-    let mut out_path = String::from("BENCH_pr7.json");
+    let mut out_path = String::from("BENCH_pr8.json");
     let mut baseline_path: Option<String> = None;
     let mut repeat = 3usize;
     let mut argv = std::env::args().skip(1);
@@ -560,7 +635,7 @@ fn main() {
     // fact budget, cancellation token) to measure the cost of the checks
     // that now sit inside the join loop.
     let (tc_chain, tc_chain_guarded, guard_overhead_pct) =
-        run_guard_overhead(&tc_chain_src(256), repeat.max(9));
+        run_guard_overhead(&tc_chain_src(256), repeat.max(40));
     // Lint preflight cost relative to evaluation (best run is the
     // smallest denominator, so the percentage is an upper bound).
     let lint_ms = lint_wall_ms(&tc_chain_src(256), repeat.max(9));
@@ -576,6 +651,11 @@ fn main() {
     let churn = run_concurrent_churn(4, 60);
     let point_full_facts = point_full.facts;
     let point_magic_facts = point_magic.facts;
+    // tc_chain_xl (~5M derived paths) runs last and only once: the
+    // VmHWM read right after it is then this workload's peak, since
+    // everything before it stays well under 200 MB resident.
+    let tc_chain_xl = run_datalog("tc_chain_xl", &tc_chain_src(3150), 1, |e| e);
+    let xl_peak_rss_mb = peak_rss_mb();
     let results = [
         tc_chain,
         tc_chain_guarded,
@@ -585,6 +665,7 @@ fn main() {
         churn_rec,
         point_full,
         point_magic,
+        tc_chain_xl,
     ];
 
     let mut json = String::from("{\n  \"benchmark\": \"perf_smoke\",\n");
@@ -610,12 +691,28 @@ fn main() {
         churn.reader_p50_us
     ));
     json.push_str(&format!(
+        "    \"reader_p90_us\": {:.1},\n",
+        churn.reader_p90_us
+    ));
+    json.push_str(&format!(
         "    \"reader_p99_us\": {:.1},\n",
         churn.reader_p99_us
     ));
     json.push_str(&format!(
+        "    \"reader_p999_us\": {:.1},\n",
+        churn.reader_p999_us
+    ));
+    json.push_str(&format!(
         "    \"reader_max_us\": {:.1},\n",
         churn.reader_max_us
+    ));
+    json.push_str(&format!(
+        "    \"max_spans_publish\": {},\n",
+        churn.max_spans_publish
+    ));
+    json.push_str(&format!(
+        "    \"tail_publish_overlap_pct\": {:.1},\n",
+        churn.tail_publish_overlap_pct
     ));
     json.push_str(&format!(
         "    \"commits_per_sec\": {:.1},\n",
@@ -625,7 +722,11 @@ fn main() {
         "    \"writer_wall_ms\": {:.3}\n",
         churn.writer_wall_ms
     ));
-    json.push_str("  },\n  \"workloads\": [\n");
+    json.push_str("  },\n");
+    if let Some(mb) = xl_peak_rss_mb {
+        json.push_str(&format!("  \"tc_chain_xl_peak_rss_mb\": {mb:.1},\n"));
+    }
+    json.push_str("  \"workloads\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str("    {\n");
         json.push_str(&format!("      \"name\": \"{}\",\n", r.name));

@@ -1,0 +1,51 @@
+//! Dev harness: per-commit timing attribution for the update-churn
+//! workload (retract vs re-insert commits).
+#![allow(clippy::unwrap_used)]
+
+use std::time::Instant;
+
+use multilog_datalog::{parse_program, Const, IncrementalEngine};
+
+fn main() {
+    let n = 512usize;
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!("edge(n{i}, n{}).\n", i + 1));
+    }
+    src.push_str("path(X, Y) :- edge(X, Y).\npath(X, Z) :- edge(X, Y), path(Y, Z).\n");
+    let program = parse_program(&src).unwrap();
+
+    let t0 = Instant::now();
+    let mut engine = IncrementalEngine::new(&program).unwrap();
+    println!("materialize: {:.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+
+    let pairs = 10usize;
+    let targets: Vec<(String, String)> = (0..pairs)
+        .map(|k| {
+            let i = if k % 2 == 0 { k / 2 } else { n - 1 - k / 2 };
+            (format!("n{i}"), format!("n{}", i + 1))
+        })
+        .collect();
+
+    let (mut t_retract, mut t_insert) = (0.0f64, 0.0f64);
+    for (a, b) in &targets {
+        for insert in [false, true] {
+            let fact = vec![Const::sym(a), Const::sym(b)];
+            engine.begin().unwrap();
+            if insert {
+                engine.insert("edge", fact).unwrap();
+            } else {
+                engine.retract("edge", fact).unwrap();
+            }
+            let t = Instant::now();
+            engine.commit().unwrap();
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            if insert {
+                t_insert += ms;
+            } else {
+                t_retract += ms;
+            }
+        }
+    }
+    println!("retract commits: {t_retract:.1} ms   insert commits: {t_insert:.1} ms");
+}

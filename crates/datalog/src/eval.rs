@@ -38,8 +38,8 @@ use crate::magic;
 use crate::plan::{delta_positions, RulePlan, Scratch};
 use crate::program::Program;
 use crate::query::{run_query, QueryAnswer};
-use crate::storage::{Database, Fact};
-use crate::term::SymId;
+use crate::storage::{Database, Fact, FactBuf};
+use crate::term::{Const, SymId};
 use crate::trace::{TraceEvent, TraceSink};
 use crate::{DatalogError, Result};
 
@@ -51,6 +51,37 @@ pub enum Strategy {
     /// Delta-driven evaluation; the default.
     #[default]
     SemiNaive,
+}
+
+/// Which compiled-plan executor runs rule bodies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Executor {
+    /// Columnar row-id batch execution — merge joins over the per-column
+    /// sorted indexes with a batched hash-join fallback; the default.
+    #[default]
+    Batched,
+    /// The retained tuple-at-a-time reference executor: the semantics
+    /// oracle the batched path is differentially tested against, and an
+    /// escape hatch for debugging.
+    Tuple,
+}
+
+/// Run `plan` with the selected executor. Both executors derive the same
+/// set of head tuples; only the order of `out` differs.
+#[inline]
+fn eval_plan(
+    executor: Executor,
+    plan: &RulePlan,
+    db: &Database,
+    delta: Option<&FactBuf>,
+    scratch: &mut Scratch,
+    out: &mut FactBuf,
+    guard: &EvalGuard,
+) -> Result<()> {
+    match executor {
+        Executor::Batched => plan.eval(db, delta, scratch, out, guard),
+        Executor::Tuple => plan.eval_reference(db, delta, scratch, out, guard),
+    }
 }
 
 /// Per-rule counters, aggregated over every variant and application of
@@ -197,6 +228,7 @@ pub struct Engine<'p> {
     trace: Option<Arc<dyn TraceSink>>,
     threads: usize,
     parallel_threshold: usize,
+    executor: Executor,
     strata: Vec<Vec<String>>,
 }
 
@@ -218,6 +250,7 @@ impl<'p> Engine<'p> {
             trace: None,
             threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
             parallel_threshold: 512,
+            executor: Executor::default(),
             strata: strat.iter().map(<[String]>::to_vec).collect(),
         })
     }
@@ -282,6 +315,14 @@ impl<'p> Engine<'p> {
         self
     }
 
+    /// Select the plan executor (default: [`Executor::Batched`]). The
+    /// tuple executor exists for differential testing and debugging;
+    /// both produce identical databases.
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+
     /// Evaluate to fixpoint and return the full database.
     pub fn run(&self) -> Result<Database> {
         Ok(self.run_with_stats()?.0)
@@ -339,7 +380,8 @@ impl<'p> Engine<'p> {
                     .with_strategy(self.strategy)
                     .with_fact_limit(self.fact_limit)
                     .with_threads(self.threads)
-                    .with_parallel_threshold(self.parallel_threshold);
+                    .with_parallel_threshold(self.parallel_threshold)
+                    .with_executor(self.executor);
                 if let Some(d) = self.deadline {
                     engine = engine.with_deadline(d);
                 }
@@ -476,24 +518,29 @@ impl<'p> Engine<'p> {
             ..RuleStats::default()
         }));
         let mut scratches: Vec<Scratch> = plans.iter().map(RulePlan::new_scratch).collect();
-        let mut derived: Vec<Fact> = Vec::new();
+        let mut derived = FactBuf::default();
         loop {
             stats.iterations += 1;
+            for plan in &plans {
+                for &(p, c) in &plan.index_needs {
+                    db.ensure_index_id(p, c);
+                }
+            }
             guard.begin_round(db.fact_count());
             let mut new_facts: Vec<(usize, SymId, Fact)> = Vec::new();
             for (i, (plan, scratch)) in plans.iter().zip(&mut scratches).enumerate() {
                 stats.rule_applications += 1;
                 derived.clear();
                 let started = Instant::now();
-                plan.eval(db, None, scratch, &mut derived, guard)?;
+                eval_plan(self.executor, plan, db, None, scratch, &mut derived, guard)?;
                 let ru = &mut stats.per_rule[rule_base + i];
                 ru.applications += 1;
                 ru.facts_derived += derived.len();
                 ru.join_probes += scratch.take_probes();
                 ru.wall_ns += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 stats.facts_considered += derived.len();
-                for f in derived.drain(..) {
-                    new_facts.push((i, plan.head_pred, f));
+                for f in derived.rows() {
+                    new_facts.push((i, plan.head_pred, Fact::from(f)));
                 }
             }
             let mut changed = false;
@@ -590,7 +637,7 @@ impl<'p> Engine<'p> {
                 })
                 .map(|(i, p)| (i, p.delta_pred))
                 .collect();
-            let input: usize = delta.values().map(Vec::len).sum();
+            let input: usize = delta.values().map(FactBuf::len).sum();
             added_before = stats.facts_added;
             let next = self.apply_round(
                 &variants,
@@ -626,15 +673,22 @@ impl<'p> Engine<'p> {
         plans: &[RulePlan],
         scratches: &mut [Scratch],
         round: &[(usize, Option<SymId>)],
-        delta: &FxHashMap<SymId, Vec<Fact>>,
+        delta: &FxHashMap<SymId, FactBuf>,
         input_facts: usize,
         db: &mut Database,
         stats: &mut EvalStats,
         guard: &EvalGuard,
         rule_of: &[usize],
         rule_base: usize,
-    ) -> Result<FxHashMap<SymId, Vec<Fact>>> {
-        let mut next_delta: FxHashMap<SymId, Vec<Fact>> = FxHashMap::default();
+    ) -> Result<FxHashMap<SymId, FactBuf>> {
+        let mut next_delta: FxHashMap<SymId, FactBuf> = FxHashMap::default();
+        // Seal the sorted indexes this round's plans probe (lazy index
+        // maintenance: inserts never sort; round boundaries do).
+        for &(idx, _) in round {
+            for &(p, c) in &plans[idx].index_needs {
+                db.ensure_index_id(p, c);
+            }
+        }
         guard.begin_round(db.fact_count());
         let parallel =
             self.threads > 1 && round.len() >= 2 && input_facts >= self.parallel_threshold;
@@ -643,8 +697,9 @@ impl<'p> Engine<'p> {
             // guard (deadline, budget counters, cancellation token); the
             // main thread merges in variant order.
             let snapshot: &Database = db;
+            let executor = self.executor;
             let workers = self.threads.min(round.len());
-            let mut results: Vec<(usize, Result<Vec<Fact>>, u64, u64)> =
+            let mut results: Vec<(usize, Result<FactBuf>, u64, u64)> =
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = (0..workers)
                         .map(|w| {
@@ -654,13 +709,20 @@ impl<'p> Engine<'p> {
                                 mine.into_iter()
                                     .map(|(idx, dpred)| {
                                         let plan = &plans[idx];
-                                        let drel = dpred.map(|d| delta[&d].as_slice());
+                                        let drel = dpred.map(|d| &delta[&d]);
                                         let mut scratch = plan.new_scratch();
-                                        let mut out = Vec::new();
+                                        let mut out = FactBuf::default();
                                         let started = Instant::now();
-                                        let res = plan
-                                            .eval(snapshot, drel, &mut scratch, &mut out, guard)
-                                            .map(|()| out);
+                                        let res = eval_plan(
+                                            executor,
+                                            plan,
+                                            snapshot,
+                                            drel,
+                                            &mut scratch,
+                                            &mut out,
+                                            guard,
+                                        )
+                                        .map(|()| out);
                                         let wall_ns = u64::try_from(started.elapsed().as_nanos())
                                             .unwrap_or(u64::MAX);
                                         (idx, res, scratch.take_probes(), wall_ns)
@@ -688,7 +750,7 @@ impl<'p> Engine<'p> {
                 let n_derived = derived.len();
                 let added_before = stats.facts_added;
                 let head = plans[idx].head_pred;
-                for f in derived {
+                for f in derived.rows() {
                     self.insert_derived(head, f, db, stats, &mut next_delta);
                 }
                 let added = stats.facts_added - added_before;
@@ -704,19 +766,27 @@ impl<'p> Engine<'p> {
                 });
             }
         } else {
-            let mut derived: Vec<Fact> = Vec::new();
+            let mut derived = FactBuf::default();
             for &(idx, dpred) in round {
                 stats.rule_applications += 1;
-                let drel = dpred.map(|d| delta[&d].as_slice());
+                let drel = dpred.map(|d| &delta[&d]);
                 derived.clear();
                 let started = Instant::now();
-                plans[idx].eval(db, drel, &mut scratches[idx], &mut derived, guard)?;
+                eval_plan(
+                    self.executor,
+                    &plans[idx],
+                    db,
+                    drel,
+                    &mut scratches[idx],
+                    &mut derived,
+                    guard,
+                )?;
                 let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 stats.facts_considered += derived.len();
                 let n_derived = derived.len();
                 let added_before = stats.facts_added;
                 let head = plans[idx].head_pred;
-                for f in derived.drain(..) {
+                for f in derived.rows() {
                     self.insert_derived(head, f, db, stats, &mut next_delta);
                 }
                 let added = stats.facts_added - added_before;
@@ -741,19 +811,22 @@ impl<'p> Engine<'p> {
     fn insert_derived(
         &self,
         head: SymId,
-        fact: Fact,
+        fact: &[Const],
         db: &mut Database,
         stats: &mut EvalStats,
-        next_delta: &mut FxHashMap<SymId, Vec<Fact>>,
+        next_delta: &mut FxHashMap<SymId, FactBuf>,
     ) {
         // `insert_if_new_id` copies the fact only when it is genuinely
         // new; duplicates (the common case near fixpoint) allocate
-        // nothing, and the owned fact moves into the delta for free.
-        // A fact can be new at most once per iteration, so the delta
-        // list needs no dedup of its own.
-        if db.insert_if_new_id(head, &fact) {
+        // nothing. New facts are appended to the flat per-predicate
+        // delta buffer — a fact can be new at most once per iteration,
+        // so the delta needs no dedup of its own.
+        if db.insert_if_new_id(head, fact) {
             stats.facts_added += 1;
-            next_delta.entry(head).or_default().push(fact);
+            next_delta
+                .entry(head)
+                .or_default()
+                .push_row(fact.iter().copied());
         }
     }
 }

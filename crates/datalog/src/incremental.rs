@@ -50,9 +50,9 @@ use crate::clause::Clause;
 use crate::eval::{Engine, EvalStats};
 use crate::fx::{FxHashMap, FxHashSet};
 use crate::guard::EvalGuard;
-use crate::plan::RulePlan;
+use crate::plan::{RulePlan, Scratch};
 use crate::program::Program;
-use crate::storage::{Database, Fact, Relation};
+use crate::storage::{Database, Fact, FactBuf, Relation};
 use crate::term::{Const, SymId, Term};
 use crate::{CancelToken, DatalogError, Result};
 
@@ -134,11 +134,12 @@ pub struct IncrementalEngine {
     cancel: Option<CancelToken>,
     threads: usize,
     fallback_threshold: Option<usize>,
-    /// Compiled semi-naive variants, keyed by (rule index, delta body
-    /// position); shared across commits.
-    delta_plans: FxHashMap<(usize, usize), RulePlan>,
+    /// Compiled semi-naive variants (with their reusable executor
+    /// scratch), keyed by (rule index, delta body position); shared
+    /// across commits so batch buffers and join-table caches stay warm.
+    delta_plans: FxHashMap<(usize, usize), (RulePlan, Scratch)>,
     /// Compiled full plans, keyed by rule index (fallback round 1).
-    base_plans: FxHashMap<usize, RulePlan>,
+    base_plans: FxHashMap<usize, (RulePlan, Scratch)>,
     /// Per-rule/per-stratum counters from the most recent full
     /// materialization ([`IncrementalEngine::recover`]).
     materialize_stats: EvalStats,
@@ -439,6 +440,10 @@ impl IncrementalEngine {
         let guard = EvalGuard::new(self.deadline, self.fact_limit, self.cancel.clone());
         match self.apply_deltas(added, removed, &guard, &mut stats) {
             Ok(()) => {
+                // Seal materialized index tails so copy-on-write clones
+                // of this database (published snapshots) carry fully
+                // sorted indexes — immutable readers cannot seal lazily.
+                self.db.seal_indexes();
                 stats.wall_ms = start.elapsed().as_secs_f64() * 1e3;
                 Ok(stats)
             }
@@ -478,6 +483,7 @@ impl IncrementalEngine {
         }
         let (db, stats) = engine.run_with_stats()?;
         self.db = db;
+        self.db.seal_indexes();
         self.materialize_stats = stats;
         self.poisoned = false;
         Ok(())
@@ -627,10 +633,13 @@ impl IncrementalEngine {
             // lower-stratum facts so the non-delta positions of the delta
             // joins range over the old database.
             let mut dset: FxHashSet<(SymId, Fact)> = FxHashSet::default();
-            let mut frontier: FxHashMap<SymId, Vec<Fact>> = FxHashMap::default();
+            let mut frontier: FxHashMap<SymId, FactBuf> = FxHashMap::default();
             for (pred, fact) in &seeds {
                 if dset.insert((*pred, fact.clone())) {
-                    frontier.entry(*pred).or_default().push(fact.clone());
+                    frontier
+                        .entry(*pred)
+                        .or_default()
+                        .push_row(fact.iter().copied());
                 }
             }
             let body_preds: FxHashSet<SymId> = rule_idxs
@@ -654,7 +663,10 @@ impl IncrementalEngine {
                         if db.insert_if_new_id(q, fact) {
                             temps.push((q, fact.clone()));
                         }
-                        frontier.entry(q).or_default().push(fact.clone());
+                        frontier
+                            .entry(q)
+                            .or_default()
+                            .push_row(fact.iter().copied());
                     }
                 }
             }
@@ -666,21 +678,24 @@ impl IncrementalEngine {
             let mut fell_back = false;
             while !frontier.is_empty() {
                 guard.begin_round(db.fact_count());
-                let mut next: FxHashMap<SymId, Vec<Fact>> = FxHashMap::default();
+                let mut next: FxHashMap<SymId, FactBuf> = FxHashMap::default();
                 for &ri in rule_idxs {
                     for (pos, lit) in rules[ri].body.iter().enumerate() {
                         let Literal::Pos(atom) = lit else { continue };
                         let Some(delta) = frontier.get(&atom.predicate) else {
                             continue;
                         };
-                        let plan = delta_plan(delta_plans, rules, db, ri, pos)?;
-                        let mut out = Vec::new();
-                        plan.eval(db, Some(delta), &mut plan.new_scratch(), &mut out, guard)?;
-                        for fact in out {
-                            if db.contains_id(plan.head_pred, &fact)
-                                && dset.insert((plan.head_pred, fact.clone()))
+                        let (plan, scratch) = delta_plan(delta_plans, rules, db, ri, pos)?;
+                        ensure_plan_indexes(db, plan);
+                        let mut out = FactBuf::default();
+                        plan.eval(db, Some(delta), scratch, &mut out, guard)?;
+                        for fact in out.rows() {
+                            if db.contains_id(plan.head_pred, fact)
+                                && dset.insert((plan.head_pred, Fact::from(fact)))
                             {
-                                next.entry(plan.head_pred).or_default().push(fact);
+                                next.entry(plan.head_pred)
+                                    .or_default()
+                                    .push_row(fact.iter().copied());
                             }
                         }
                     }
@@ -718,33 +733,67 @@ impl IncrementalEngine {
             }
             let mut order: Vec<(SymId, Fact)> = deleted.iter().cloned().collect();
             order.sort();
-            let mut frontier: FxHashMap<SymId, Vec<Fact>> = FxHashMap::default();
+            let mut frontier: FxHashMap<SymId, FactBuf> = FxHashMap::default();
+            // Base-asserted facts survive outright; the rest are checked
+            // for surviving derivations in one batched evaluation per
+            // rule (see [`rederive_plan`]). Cascaded rederivations — a
+            // candidate supported only through another rederived fact —
+            // are picked up by the semi-naive propagation loop below.
+            let mut candidates: FxHashMap<SymId, FactBuf> = FxHashMap::default();
             for (pred, fact) in order {
-                let supported = base.get(&pred).is_some_and(|b| b.contains(&fact))
-                    || derivable(rules, db, pred, &fact, guard)?;
-                if supported {
+                if base.get(&pred).is_some_and(|b| b.contains(&fact)) {
                     db.insert_if_new_id(pred, &fact);
-                    deleted.remove(&(pred, fact.clone()));
-                    frontier.entry(pred).or_default().push(fact);
+                    frontier
+                        .entry(pred)
+                        .or_default()
+                        .push_row(fact.iter().copied());
+                    deleted.remove(&(pred, fact));
                     stats.rederived += 1;
+                } else {
+                    candidates
+                        .entry(pred)
+                        .or_default()
+                        .push_row(fact.iter().copied());
+                }
+            }
+            for &ri in rule_idxs {
+                let Some(cands) = candidates.get(&rules[ri].head.predicate) else {
+                    continue;
+                };
+                let (plan, scratch) = rederive_plan(delta_plans, rules, db, ri)?;
+                ensure_plan_indexes(db, plan);
+                let mut out = FactBuf::default();
+                plan.eval(db, Some(cands), scratch, &mut out, guard)?;
+                for fact in out.rows() {
+                    if deleted.remove(&(plan.head_pred, Fact::from(fact))) {
+                        db.insert_if_new_id(plan.head_pred, fact);
+                        frontier
+                            .entry(plan.head_pred)
+                            .or_default()
+                            .push_row(fact.iter().copied());
+                        stats.rederived += 1;
+                    }
                 }
             }
             while !frontier.is_empty() {
                 guard.begin_round(db.fact_count());
-                let mut next: FxHashMap<SymId, Vec<Fact>> = FxHashMap::default();
+                let mut next: FxHashMap<SymId, FactBuf> = FxHashMap::default();
                 for &ri in rule_idxs {
                     for (pos, lit) in rules[ri].body.iter().enumerate() {
                         let Literal::Pos(atom) = lit else { continue };
                         let Some(delta) = frontier.get(&atom.predicate) else {
                             continue;
                         };
-                        let plan = delta_plan(delta_plans, rules, db, ri, pos)?;
-                        let mut out = Vec::new();
-                        plan.eval(db, Some(delta), &mut plan.new_scratch(), &mut out, guard)?;
-                        for fact in out {
-                            if deleted.remove(&(plan.head_pred, fact.clone())) {
-                                db.insert_if_new_id(plan.head_pred, &fact);
-                                next.entry(plan.head_pred).or_default().push(fact);
+                        let (plan, scratch) = delta_plan(delta_plans, rules, db, ri, pos)?;
+                        ensure_plan_indexes(db, plan);
+                        let mut out = FactBuf::default();
+                        plan.eval(db, Some(delta), scratch, &mut out, guard)?;
+                        for fact in out.rows() {
+                            if deleted.remove(&(plan.head_pred, Fact::from(fact))) {
+                                db.insert_if_new_id(plan.head_pred, fact);
+                                next.entry(plan.head_pred)
+                                    .or_default()
+                                    .push_row(fact.iter().copied());
                                 stats.rederived += 1;
                             }
                         }
@@ -755,36 +804,39 @@ impl IncrementalEngine {
 
             // Phase C: propagate insertions. A fact that comes back after
             // being deleted this commit nets out to no change at all.
-            let mut frontier: FxHashMap<SymId, Vec<Fact>> = FxHashMap::default();
+            let mut frontier: FxHashMap<SymId, FactBuf> = FxHashMap::default();
             for &q in &body_preds {
                 if let Some(delta) = changes.get(&q) {
-                    if !delta.ins.is_empty() {
+                    for fact in &delta.ins {
                         frontier
                             .entry(q)
                             .or_default()
-                            .extend(delta.ins.iter().cloned());
+                            .push_row(fact.iter().copied());
                     }
                 }
             }
             let mut stratum_ins: Vec<(SymId, Fact)> = Vec::new();
             while !frontier.is_empty() {
                 guard.begin_round(db.fact_count());
-                let mut next: FxHashMap<SymId, Vec<Fact>> = FxHashMap::default();
+                let mut next: FxHashMap<SymId, FactBuf> = FxHashMap::default();
                 for &ri in rule_idxs {
                     for (pos, lit) in rules[ri].body.iter().enumerate() {
                         let Literal::Pos(atom) = lit else { continue };
                         let Some(delta) = frontier.get(&atom.predicate) else {
                             continue;
                         };
-                        let plan = delta_plan(delta_plans, rules, db, ri, pos)?;
-                        let mut out = Vec::new();
-                        plan.eval(db, Some(delta), &mut plan.new_scratch(), &mut out, guard)?;
-                        for fact in out {
-                            if db.insert_if_new_id(plan.head_pred, &fact) {
-                                if !deleted.remove(&(plan.head_pred, fact.clone())) {
-                                    stratum_ins.push((plan.head_pred, fact.clone()));
+                        let (plan, scratch) = delta_plan(delta_plans, rules, db, ri, pos)?;
+                        ensure_plan_indexes(db, plan);
+                        let mut out = FactBuf::default();
+                        plan.eval(db, Some(delta), scratch, &mut out, guard)?;
+                        for fact in out.rows() {
+                            if db.insert_if_new_id(plan.head_pred, fact) {
+                                if !deleted.remove(&(plan.head_pred, Fact::from(fact))) {
+                                    stratum_ins.push((plan.head_pred, Fact::from(fact)));
                                 }
-                                next.entry(plan.head_pred).or_default().push(fact);
+                                next.entry(plan.head_pred)
+                                    .or_default()
+                                    .push_row(fact.iter().copied());
                             }
                         }
                     }
@@ -837,108 +889,67 @@ fn sorted_deltas(map: FxHashMap<SymId, FxHashSet<Fact>>) -> Vec<(SymId, Vec<Fact
     out
 }
 
+/// Seal the sorted indexes `plan` probes (lazy index maintenance: the
+/// same round-boundary hook the main evaluator uses).
+fn ensure_plan_indexes(db: &mut Database, plan: &RulePlan) {
+    for &(p, c) in &plan.index_needs {
+        db.ensure_index_id(p, c);
+    }
+}
+
 /// Fetch (compiling on first use) the semi-naive variant of rule `ri`
-/// with its delta at body position `pos`.
+/// with its delta at body position `pos`, paired with its long-lived
+/// executor scratch.
 fn delta_plan<'a>(
-    plans: &'a mut FxHashMap<(usize, usize), RulePlan>,
+    plans: &'a mut FxHashMap<(usize, usize), (RulePlan, Scratch)>,
     rules: &[Clause],
     db: &Database,
     ri: usize,
     pos: usize,
-) -> Result<&'a RulePlan> {
-    if let std::collections::hash_map::Entry::Vacant(e) = plans.entry((ri, pos)) {
-        e.insert(RulePlan::compile(&rules[ri], Some(pos), db)?);
-    }
-    Ok(&plans[&(ri, pos)])
+) -> Result<(&'a RulePlan, &'a mut Scratch)> {
+    use std::collections::hash_map::Entry;
+    let (plan, scratch) = match plans.entry((ri, pos)) {
+        Entry::Occupied(e) => e.into_mut(),
+        Entry::Vacant(e) => {
+            let plan = RulePlan::compile(&rules[ri], Some(pos), db)?;
+            let scratch = plan.new_scratch();
+            e.insert((plan, scratch))
+        }
+    };
+    Ok((&*plan, scratch))
 }
 
-/// Whether `pred(fact)` has at least one derivation in the current
-/// database: each rule head is unified against the fact, the bindings are
-/// substituted into the body, and the resulting ground-head rule is
-/// evaluated.
-fn derivable(
+/// Compiled batched rederivation check for one rule, cached under the
+/// sentinel position `usize::MAX` (real delta positions index into the
+/// body, so they never collide).
+///
+/// The rule's own head atom is prepended to the body as the delta
+/// literal: evaluating `h :- h*, body...` with the deletion candidates
+/// as the delta batch returns exactly the candidates with at least one
+/// derivation in the current database, in one join pass. This replaces
+/// a per-candidate ground compile + eval, which dominated retraction
+/// commits once candidate sets reached a few hundred facts.
+fn rederive_plan<'a>(
+    plans: &'a mut FxHashMap<(usize, usize), (RulePlan, Scratch)>,
     rules: &[Clause],
     db: &Database,
-    pred: SymId,
-    fact: &[Const],
-    guard: &EvalGuard,
-) -> Result<bool> {
-    for rule in rules.iter().filter(|r| r.head.predicate == pred) {
-        let Some(bindings) = bind_head(rule, fact) else {
-            continue;
-        };
-        let ground = substitute(rule, &bindings);
-        let plan = RulePlan::compile(&ground, None, db)?;
-        let mut out = Vec::new();
-        plan.eval(db, None, &mut plan.new_scratch(), &mut out, guard)?;
-        if !out.is_empty() {
-            return Ok(true);
+    ri: usize,
+) -> Result<(&'a RulePlan, &'a mut Scratch)> {
+    use std::collections::hash_map::Entry;
+    let (plan, scratch) = match plans.entry((ri, usize::MAX)) {
+        Entry::Occupied(e) => e.into_mut(),
+        Entry::Vacant(e) => {
+            let rule = &rules[ri];
+            let mut body = Vec::with_capacity(rule.body.len() + 1);
+            body.push(Literal::Pos(rule.head.clone()));
+            body.extend(rule.body.iter().cloned());
+            let check = Clause::new(rule.head.clone(), body);
+            let plan = RulePlan::compile(&check, Some(0), db)?;
+            let scratch = plan.new_scratch();
+            e.insert((plan, scratch))
         }
-    }
-    Ok(false)
-}
-
-/// Unify a rule head against a ground fact: constants must match and
-/// repeated variables must bind consistently.
-fn bind_head<'r>(rule: &'r Clause, fact: &[Const]) -> Option<FxHashMap<&'r str, Const>> {
-    let mut bindings: FxHashMap<&str, Const> = FxHashMap::default();
-    for (term, value) in rule.head.terms.iter().zip(fact) {
-        match term {
-            Term::Const(c) => {
-                if c != value {
-                    return None;
-                }
-            }
-            Term::Var(v) => match bindings.get(v.as_ref()) {
-                Some(bound) if bound != value => return None,
-                Some(_) => {}
-                None => {
-                    bindings.insert(v.as_ref(), *value);
-                }
-            },
-        }
-    }
-    Some(bindings)
-}
-
-/// Substitute head bindings into a rule, grounding the head.
-fn substitute(rule: &Clause, bindings: &FxHashMap<&str, Const>) -> Clause {
-    let term = |t: &Term| match t {
-        Term::Var(v) => bindings
-            .get(v.as_ref())
-            .map_or_else(|| t.clone(), |c| Term::Const(*c)),
-        Term::Const(_) => t.clone(),
     };
-    let atom = |a: &Atom| Atom {
-        predicate: a.predicate,
-        terms: a.terms.iter().map(term).collect(),
-    };
-    Clause::new(
-        atom(&rule.head),
-        rule.body
-            .iter()
-            .map(|lit| match lit {
-                Literal::Pos(a) => Literal::Pos(atom(a)),
-                Literal::Neg(a) => Literal::Neg(atom(a)),
-                Literal::Cmp { op, lhs, rhs } => Literal::Cmp {
-                    op: *op,
-                    lhs: term(lhs),
-                    rhs: term(rhs),
-                },
-                Literal::Arith {
-                    target,
-                    lhs,
-                    op,
-                    rhs,
-                } => Literal::Arith {
-                    target: term(target),
-                    lhs: term(lhs),
-                    op: *op,
-                    rhs: term(rhs),
-                },
-            })
-            .collect(),
-    )
+    Ok((&*plan, scratch))
 }
 
 /// Recompute one stratum from scratch: reset its predicates to base
@@ -951,8 +962,8 @@ fn recompute_stratum(
     preds: &FxHashSet<SymId>,
     db: &mut Database,
     base: &FxHashMap<SymId, FxHashSet<Fact>>,
-    base_plans: &mut FxHashMap<usize, RulePlan>,
-    delta_plans: &mut FxHashMap<(usize, usize), RulePlan>,
+    base_plans: &mut FxHashMap<usize, (RulePlan, Scratch)>,
+    delta_plans: &mut FxHashMap<(usize, usize), (RulePlan, Scratch)>,
     guard: &EvalGuard,
     changes: &mut FxHashMap<SymId, PredDelta>,
 ) -> Result<()> {
@@ -964,7 +975,7 @@ fn recompute_stratum(
     for &pred in &sorted_preds {
         let facts: FxHashSet<Fact> = db
             .relation_id(pred)
-            .map(|r| r.iter().cloned().collect())
+            .map(|r| r.iter().collect())
             .unwrap_or_default();
         old.push(facts);
         db.clear_relation_id(pred);
@@ -979,36 +990,48 @@ fn recompute_stratum(
     // Round 1: full rules; later rounds: semi-naive over the stratum's
     // own new facts.
     guard.begin_round(db.fact_count());
-    let mut frontier: FxHashMap<SymId, Vec<Fact>> = FxHashMap::default();
+    let mut frontier: FxHashMap<SymId, FactBuf> = FxHashMap::default();
     for &ri in rule_idxs {
         if let std::collections::hash_map::Entry::Vacant(e) = base_plans.entry(ri) {
-            e.insert(RulePlan::compile(&rules[ri], None, db)?);
+            let plan = RulePlan::compile(&rules[ri], None, db)?;
+            let scratch = plan.new_scratch();
+            e.insert((plan, scratch));
         }
-        let plan = &base_plans[&ri];
-        let mut out = Vec::new();
-        plan.eval(db, None, &mut plan.new_scratch(), &mut out, guard)?;
-        for fact in out {
-            if db.insert_if_new_id(plan.head_pred, &fact) {
-                frontier.entry(plan.head_pred).or_default().push(fact);
+        ensure_plan_indexes(db, &base_plans[&ri].0);
+        let Some((plan, scratch)) = base_plans.get_mut(&ri) else {
+            unreachable!("plan compiled above");
+        };
+        let plan = &*plan;
+        let mut out = FactBuf::default();
+        plan.eval(db, None, scratch, &mut out, guard)?;
+        for fact in out.rows() {
+            if db.insert_if_new_id(plan.head_pred, fact) {
+                frontier
+                    .entry(plan.head_pred)
+                    .or_default()
+                    .push_row(fact.iter().copied());
             }
         }
     }
     guard.check_db(db.fact_count())?;
     while !frontier.is_empty() {
         guard.begin_round(db.fact_count());
-        let mut next: FxHashMap<SymId, Vec<Fact>> = FxHashMap::default();
+        let mut next: FxHashMap<SymId, FactBuf> = FxHashMap::default();
         for &ri in rule_idxs {
             for (pos, lit) in rules[ri].body.iter().enumerate() {
                 let Literal::Pos(atom) = lit else { continue };
                 let Some(delta) = frontier.get(&atom.predicate) else {
                     continue;
                 };
-                let plan = delta_plan(delta_plans, rules, db, ri, pos)?;
-                let mut out = Vec::new();
-                plan.eval(db, Some(delta), &mut plan.new_scratch(), &mut out, guard)?;
-                for fact in out {
-                    if db.insert_if_new_id(plan.head_pred, &fact) {
-                        next.entry(plan.head_pred).or_default().push(fact);
+                let (plan, scratch) = delta_plan(delta_plans, rules, db, ri, pos)?;
+                ensure_plan_indexes(db, plan);
+                let mut out = FactBuf::default();
+                plan.eval(db, Some(delta), scratch, &mut out, guard)?;
+                for fact in out.rows() {
+                    if db.insert_if_new_id(plan.head_pred, fact) {
+                        next.entry(plan.head_pred)
+                            .or_default()
+                            .push_row(fact.iter().copied());
                     }
                 }
             }
@@ -1020,8 +1043,8 @@ fn recompute_stratum(
         let mut ins: Vec<Fact> = Vec::new();
         if let Some(rel) = db.relation_id(pred) {
             for fact in rel.iter() {
-                if !old_facts.contains(fact) {
-                    ins.push(fact.clone());
+                if !old_facts.contains(&fact) {
+                    ins.push(fact);
                 }
             }
         }

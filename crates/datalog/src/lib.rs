@@ -111,7 +111,7 @@ pub use analyze::{analyze, analyze_for_goal, analyze_for_query, check_clauses, L
 pub use atom::{ArithOp, Atom, CmpOp, Literal};
 pub use clause::{Clause, Span};
 pub use error::DatalogError;
-pub use eval::{DemandStats, Engine, EvalStats, RuleStats, Strategy, StratumStats};
+pub use eval::{DemandStats, Engine, EvalStats, Executor, RuleStats, Strategy, StratumStats};
 pub use guard::CancelToken;
 pub use incremental::{CommitStats, IncrementalEngine};
 pub use magic::MagicProgram;

@@ -1,5 +1,5 @@
 //! Rule compilation: slot-allocated join plans with greedy literal
-//! ordering.
+//! ordering, executed over row-id batches.
 //!
 //! Each rule (and each semi-naive delta variant of it) is compiled once
 //! per stratum into a [`RulePlan`]: variables become dense *slots* into a
@@ -7,8 +7,45 @@
 //! [`Step`]s in an execution order chosen greedily — positive literals
 //! ranked by bound-argument count then estimated relation cardinality,
 //! negated and built-in literals scheduled as soon as their variables are
-//! bound. This replaces the previous fixed left-to-right interpretation
-//! of the body.
+//! bound.
+//!
+//! # Batched execution
+//!
+//! The default executor ([`RulePlan::eval`]) runs each step over a
+//! *batch* of up to [`CHUNK`] candidate bindings at once, represented
+//! column-major (one `Vec<Const>` per live slot). A positive scan joins
+//! the whole batch against the relation in one of three ways:
+//!
+//! * **no bound columns** — the matching rows are computed once (a
+//!   constant-column index probe, or a full scan) and cross-producted
+//!   with the batch;
+//! * **bound columns, small relation** (≤ [`CHUNK`] rows) — the whole
+//!   relation side is hashed on its bound-column cells into a per-step
+//!   table cached by relation version, so EDB relations are hashed once
+//!   per evaluation and probed by every chunk of every round;
+//! * **bound columns, large relation, selective constant** — when a
+//!   constant column selects fewer candidate rows than the batch has
+//!   bindings, the candidates are hashed per chunk and the batch probes
+//!   that table (batched hash join on the small side);
+//! * **bound columns, no better option** — the batch is sorted on its
+//!   first bound slot and merge-joined against the column's sorted
+//!   permutation index via a galloping cursor
+//!   ([`crate::storage::Relation::col_cursor`]).
+//!
+//! Sorted permutation indexes are built lazily: each plan records the
+//! `(predicate, column)` pairs it probes (`index_needs`) and the
+//! evaluator seals exactly those columns at round boundaries.
+//!
+//! Join results are flushed to the next step in [`CHUNK`]-row batches,
+//! so memory stays bounded and the evaluation guard keeps tripping
+//! inside a single (possibly enormous) rule application. Negation is
+//! memoized per distinct bound-cell tuple within a batch; comparisons
+//! and arithmetic filter the batch columnwise.
+//!
+//! The previous tuple-at-a-time executor is retained verbatim as
+//! [`RulePlan::eval_reference`] — it is the differential-testing oracle
+//! for the batched path (see `Executor::Tuple` in [`crate::eval`]) and
+//! the specification of the rule semantics.
 //!
 //! # Negation under reordering
 //!
@@ -21,14 +58,33 @@
 //! derives.
 
 use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::mem;
 
 use crate::atom::{ArithOp, CmpOp, Literal};
 use crate::clause::Clause;
+use crate::fx::{FxHashMap, FxHasher};
 use crate::guard::{EvalGuard, GuardCursor};
-use crate::storage::{Database, Fact, Relation};
+use crate::storage::{key_of, Database, Fact, FactBuf, Relation};
 use crate::term::{Const, SymId, Term};
 use crate::{DatalogError, Result};
+
+/// Rows per flushed batch: join pairs are forwarded to the next step in
+/// groups of this size, bounding intermediate memory and keeping guard
+/// checks frequent.
+const CHUNK: usize = 4096;
+
+/// A stale small-relation join table is rebuilt only when
+/// `batch.n * TABLE_BUILD_RATIO >= rel.len()`: hashing a relation row
+/// costs a few times more than probing, so smaller batches use the
+/// sorted indexes instead.
+const TABLE_BUILD_RATIO: usize = 8;
+
+/// Minimum batch size for a merge-join column cursor. Constructing a
+/// cursor sorts the index's uncovered tail (up to `INDEX_TAIL_MAX`
+/// rows), which only pays off across many seeks; smaller batches probe
+/// each key group through the index directly.
+const CURSOR_BATCH_MIN: usize = 64;
 
 /// One column of a positive scan.
 #[derive(Clone, Copy, Debug)]
@@ -75,6 +131,26 @@ enum ArithTarget {
     CheckConst(Const),
 }
 
+/// Precomputed column roles of a positive scan, consumed by the batched
+/// executor (`cols` remains the source of truth for the reference
+/// executor).
+#[derive(Clone, Debug, Default)]
+struct ScanSpec {
+    /// Columns that must equal a constant.
+    consts: Vec<(usize, Const)>,
+    /// Columns that must equal an already-bound slot.
+    bounds: Vec<(usize, u32)>,
+    /// Columns whose cell binds a slot first occurring here.
+    binds: Vec<(usize, u32)>,
+    /// Repeated-variable columns: cell must equal the earlier column
+    /// (within the same atom) that binds the shared slot.
+    checks: Vec<(usize, usize)>,
+    /// How to assemble an output row for the *live* slots after this
+    /// step: copy from the matched fact's column (`Some(col)`) or carry
+    /// from the input batch (`None`).
+    gather: Vec<(u32, Option<usize>)>,
+}
+
 /// One scheduled operation of a compiled rule body.
 #[derive(Clone, Debug)]
 enum Step {
@@ -84,12 +160,15 @@ enum Step {
         pred: SymId,
         from_delta: bool,
         cols: Vec<ScanCol>,
+        spec: ScanSpec,
     },
     /// Prune unless `¬∃(locals) pred(cols)` holds.
     Neg {
         pred: SymId,
         cols: Vec<NegCol>,
         n_locals: usize,
+        consts: Vec<(usize, Const)>,
+        bounds: Vec<(usize, u32)>,
     },
     /// Prune unless the comparison holds.
     Cmp { op: CmpOp, lhs: ValSrc, rhs: ValSrc },
@@ -102,13 +181,56 @@ enum Step {
     },
 }
 
+/// A column-major batch of candidate bindings: `cols` is indexed by slot
+/// id, and only the slots live at the current step (the plan's `carry`
+/// set) hold `n` values.
+#[derive(Debug, Default)]
+struct Batch {
+    n: usize,
+    cols: Vec<Vec<Const>>,
+}
+
+impl Batch {
+    fn reset(&mut self, n_slots: usize) {
+        self.n = 0;
+        if self.cols.len() < n_slots {
+            self.cols.resize_with(n_slots, Vec::new);
+        }
+        for c in &mut self.cols {
+            c.clear();
+        }
+    }
+
+    #[inline]
+    fn get(&self, slot: u32, row: usize) -> Const {
+        self.cols[slot as usize][row]
+    }
+}
+
+/// A cached hash-join table for one small-relation scan step: live rows
+/// satisfying the scan's constant/check columns, keyed by the hash of
+/// their bound-column cells. Valid for exactly one relation version
+/// ([`Relation::version`]), so it is built once per version and reused
+/// across chunks and evaluation rounds — for EDB relations, exactly
+/// once.
+struct JoinTable {
+    version: u128,
+    map: FxHashMap<u64, Vec<u32>>,
+}
+
 /// Reusable per-plan evaluation buffers: the slot bindings plus one
-/// pattern/local buffer per step, taken out and restored around the
-/// recursive join so no per-row allocation happens.
+/// pattern/local/batch/row buffer per step, taken out and restored
+/// around the recursive join so no per-row allocation happens.
 pub(crate) struct Scratch {
     bindings: Vec<Const>,
     patterns: Vec<Vec<Option<Const>>>,
     locals: Vec<Vec<Const>>,
+    /// Per-step output batches of the batched executor.
+    batches: Vec<Batch>,
+    /// Per-step row-id buffers of the batched executor.
+    rowbufs: Vec<Vec<u32>>,
+    /// Per-step cached small-relation join tables.
+    tables: Vec<Option<JoinTable>>,
     /// Guard tick state and probe counter for this plan's evaluations.
     cursor: GuardCursor,
 }
@@ -129,17 +251,35 @@ pub(crate) struct RulePlan {
     head: Vec<ValSrc>,
     steps: Vec<Step>,
     n_slots: usize,
+    /// `carry[i]`: the slots (sorted) whose values batches entering step
+    /// `i` carry — bound before step `i` *and* still read by step `i` or
+    /// later (or the head). `carry[steps.len()]` feeds the projection.
+    carry: Vec<Vec<u32>>,
     /// The textual body position reading from the delta relation, if this
     /// is a semi-naive variant.
     pub delta_pred: Option<SymId>,
+    /// `(predicate, column)` pairs this plan probes by value — constant
+    /// and bound columns of its stored-relation scans and negations. The
+    /// evaluator seals exactly these sorted indexes at round boundaries
+    /// (`Database::ensure_index_id`); unlisted columns are never indexed.
+    pub(crate) index_needs: Vec<(SymId, usize)>,
     /// Human-readable description of the chosen join order.
     pub order_desc: String,
+}
+
+fn hash_cells(cells: impl Iterator<Item = Const>) -> u64 {
+    let mut h = FxHasher::default();
+    for c in cells {
+        c.hash(&mut h);
+    }
+    h.finish()
 }
 
 impl RulePlan {
     /// Compile `rule` into a plan. `delta_pos` selects the body position
     /// that reads from a delta relation (semi-naive variant); `db`
     /// supplies relation cardinality estimates for the greedy ordering.
+    #[allow(clippy::too_many_lines)]
     pub fn compile(rule: &Clause, delta_pos: Option<usize>, db: &Database) -> Result<Self> {
         let unsafe_var = |v: &str| DatalogError::UnsafeVariable {
             variable: v.to_owned(),
@@ -199,7 +339,14 @@ impl RulePlan {
         let mut bound: HashSet<u32> = HashSet::new();
         let mut scheduled = vec![false; rule.body.len()];
         let mut steps: Vec<Step> = Vec::with_capacity(rule.body.len());
+        let mut carry: Vec<Vec<u32>> = Vec::with_capacity(rule.body.len() + 1);
         let mut order: Vec<usize> = Vec::with_capacity(rule.body.len());
+
+        let snap = |bound: &HashSet<u32>| -> Vec<u32> {
+            let mut v: Vec<u32> = bound.iter().copied().collect();
+            v.sort_unstable();
+            v
+        };
 
         let val_src = |t: &Term, slots: &HashMap<&str, u32>| -> Result<ValSrc> {
             match t {
@@ -250,10 +397,29 @@ impl RulePlan {
                                     Term::Var(v) => NegCol::Bound(slots[v.as_ref()]),
                                 });
                             }
+                            let consts = cols
+                                .iter()
+                                .enumerate()
+                                .filter_map(|(c, col)| match col {
+                                    NegCol::Const(v) => Some((c, *v)),
+                                    _ => None,
+                                })
+                                .collect();
+                            let neg_bounds = cols
+                                .iter()
+                                .enumerate()
+                                .filter_map(|(c, col)| match col {
+                                    NegCol::Bound(s) => Some((c, *s)),
+                                    _ => None,
+                                })
+                                .collect();
+                            carry.push(snap(&bound));
                             steps.push(Step::Neg {
                                 pred: a.predicate,
                                 cols,
                                 n_locals: local_of.len(),
+                                consts,
+                                bounds: neg_bounds,
                             });
                             scheduled[i] = true;
                             order.push(i);
@@ -267,6 +433,7 @@ impl RulePlan {
                             if !ready {
                                 continue;
                             }
+                            carry.push(snap(&bound));
                             steps.push(Step::Cmp {
                                 op: *op,
                                 lhs: val_src(lhs, &slots)?,
@@ -289,6 +456,7 @@ impl RulePlan {
                             if !ready {
                                 continue;
                             }
+                            carry.push(snap(&bound));
                             let tgt = match target {
                                 Term::Const(c) => ArithTarget::CheckConst(*c),
                                 Term::Var(v) => {
@@ -364,11 +532,26 @@ impl RulePlan {
                     }
                 });
             }
+            let mut spec = ScanSpec::default();
+            let mut first_col_of_slot: HashMap<u32, usize> = HashMap::new();
+            for (c, col) in cols.iter().enumerate() {
+                match col {
+                    ScanCol::Const(v) => spec.consts.push((c, *v)),
+                    ScanCol::Bound(s) => spec.bounds.push((c, *s)),
+                    ScanCol::Bind(s) => {
+                        first_col_of_slot.insert(*s, c);
+                        spec.binds.push((c, *s));
+                    }
+                    ScanCol::Check(s) => spec.checks.push((c, first_col_of_slot[s])),
+                }
+            }
+            carry.push(snap(&bound));
             bound.extend(bound_here);
             steps.push(Step::Scan {
                 pred: a.predicate,
                 from_delta: delta_pos == Some(i),
                 cols,
+                spec,
             });
             scheduled[i] = true;
             order.push(i);
@@ -384,6 +567,7 @@ impl RulePlan {
                 .unwrap_or("_");
             return Err(unsafe_var(v));
         }
+        carry.push(snap(&bound));
 
         // Head projection (safety guarantees every head var is bound).
         let head = rule
@@ -392,6 +576,97 @@ impl RulePlan {
             .iter()
             .map(|t| val_src(t, &slots))
             .collect::<Result<Vec<_>>>()?;
+
+        // Liveness trim: a batch entering step i only needs the slots
+        // some step >= i (or the head) still reads. Then fix each scan's
+        // gather list: its output rows are exactly carry[i + 1].
+        let mut live: HashSet<u32> = head
+            .iter()
+            .filter_map(|h| match h {
+                ValSrc::Slot(s) => Some(*s),
+                ValSrc::Const(_) => None,
+            })
+            .collect();
+        carry[steps.len()].retain(|s| live.contains(s));
+        for i in (0..steps.len()).rev() {
+            let slot_reads = |v: &ValSrc, live: &mut HashSet<u32>| {
+                if let ValSrc::Slot(s) = v {
+                    live.insert(*s);
+                }
+            };
+            match &steps[i] {
+                Step::Scan { spec, .. } => {
+                    for &(_, s) in &spec.bounds {
+                        live.insert(s);
+                    }
+                }
+                Step::Neg { bounds, .. } => {
+                    for &(_, s) in bounds {
+                        live.insert(s);
+                    }
+                }
+                Step::Cmp { lhs, rhs, .. } => {
+                    slot_reads(lhs, &mut live);
+                    slot_reads(rhs, &mut live);
+                }
+                Step::Arith {
+                    lhs, rhs, target, ..
+                } => {
+                    slot_reads(lhs, &mut live);
+                    slot_reads(rhs, &mut live);
+                    if let ArithTarget::CheckSlot(s) = target {
+                        live.insert(*s);
+                    }
+                }
+            }
+            carry[i].retain(|s| live.contains(s));
+        }
+        for i in 0..steps.len() {
+            let out_slots = carry[i + 1].clone();
+            if let Step::Scan { spec, .. } = &mut steps[i] {
+                spec.gather = out_slots
+                    .iter()
+                    .map(|&slot| {
+                        let from = spec
+                            .binds
+                            .iter()
+                            .find(|&&(_, s)| s == slot)
+                            .map(|&(c, _)| c);
+                        (slot, from)
+                    })
+                    .collect();
+            }
+        }
+
+        // Index demand: every column a stored-relation scan or negation
+        // probes by value. Delta scans enumerate the delta fact list and
+        // probe nothing.
+        let mut index_needs: Vec<(SymId, usize)> = Vec::new();
+        for s in &steps {
+            match s {
+                Step::Scan {
+                    pred,
+                    from_delta: false,
+                    spec,
+                    ..
+                } => {
+                    index_needs.extend(spec.consts.iter().map(|&(c, _)| (*pred, c)));
+                    index_needs.extend(spec.bounds.iter().map(|&(c, _)| (*pred, c)));
+                }
+                Step::Neg {
+                    pred,
+                    consts,
+                    bounds,
+                    ..
+                } => {
+                    index_needs.extend(consts.iter().map(|&(c, _)| (*pred, c)));
+                    index_needs.extend(bounds.iter().map(|&(c, _)| (*pred, c)));
+                }
+                Step::Scan { .. } | Step::Cmp { .. } | Step::Arith { .. } => {}
+            }
+        }
+        index_needs.sort_unstable();
+        index_needs.dedup();
 
         let order_desc = format!(
             "{}{} :- [{}]",
@@ -412,12 +687,14 @@ impl RulePlan {
             head,
             steps,
             n_slots: slots.len(),
+            carry,
             delta_pred: delta_pos.map(|p| {
                 rule.body[p]
                     .atom()
                     .expect("delta position is a positive literal")
                     .predicate
             }),
+            index_needs,
             order_desc,
         })
     }
@@ -443,51 +720,77 @@ impl RulePlan {
                     _ => Vec::new(),
                 })
                 .collect(),
+            batches: self.steps.iter().map(|_| Batch::default()).collect(),
+            rowbufs: self.steps.iter().map(|_| Vec::new()).collect(),
+            tables: self.steps.iter().map(|_| None).collect(),
             cursor: GuardCursor::new(),
         }
     }
 
-    /// Evaluate the plan, appending every head instantiation (possibly
-    /// with duplicates) to `out`. `delta` supplies the delta facts when
-    /// this is a semi-naive variant; deltas are plain fact lists (no
-    /// indexes) because the planner schedules the delta scan first, where
-    /// it is enumerated rather than probed. The `guard` is consulted at
-    /// tick granularity inside the join loop and once more on completion,
-    /// so deadline, budget, and cancellation trips surface from within a
-    /// single (possibly enormous) rule application.
+    /// Evaluate the plan with the batched executor, appending every head
+    /// instantiation (possibly with duplicates) to `out`. `delta`
+    /// supplies the delta facts when this is a semi-naive variant; deltas
+    /// are plain fact lists (no indexes) because the planner schedules
+    /// the delta scan early, where it is enumerated rather than probed.
+    /// The `guard` is consulted at tick granularity inside the join loop
+    /// and once more on completion, so deadline, budget, and cancellation
+    /// trips surface from within a single (possibly enormous) rule
+    /// application.
+    ///
+    /// The emitted *set* of head tuples is identical to
+    /// [`RulePlan::eval_reference`]; the order of `out` may differ.
     pub fn eval(
         &self,
         db: &Database,
-        delta: Option<&[Fact]>,
+        delta: Option<&FactBuf>,
         scratch: &mut Scratch,
-        out: &mut Vec<Fact>,
+        out: &mut FactBuf,
         guard: &EvalGuard,
     ) -> Result<()> {
         debug_assert_eq!(scratch.bindings.len(), self.n_slots);
-        self.exec(0, db, delta, scratch, out, guard)?;
+        let mut root = Batch::default();
+        root.reset(self.n_slots);
+        root.n = 1; // the single empty binding
+        self.exec_batch(0, db, delta, &root, scratch, out, guard)?;
         scratch.cursor.flush(guard)
     }
 
-    fn exec(
+    #[inline]
+    fn resolve_batch(&self, v: ValSrc, batch: &Batch, row: usize) -> Const {
+        match v {
+            ValSrc::Const(c) => c,
+            ValSrc::Slot(s) => batch.get(s, row),
+        }
+    }
+
+    /// Copy the carried slots of `row` from `batch` into `child`.
+    #[inline]
+    fn carry_row(&self, step: usize, batch: &Batch, row: usize, child: &mut Batch) {
+        for &slot in &self.carry[step + 1] {
+            child.cols[slot as usize].push(batch.get(slot, row));
+        }
+        child.n += 1;
+    }
+
+    #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+    fn exec_batch(
         &self,
         step: usize,
         db: &Database,
-        delta: Option<&[Fact]>,
+        delta: Option<&FactBuf>,
+        batch: &Batch,
         scratch: &mut Scratch,
-        out: &mut Vec<Fact>,
+        out: &mut FactBuf,
         guard: &EvalGuard,
     ) -> Result<()> {
+        if batch.n == 0 {
+            return Ok(());
+        }
         let Some(s) = self.steps.get(step) else {
-            scratch.cursor.emit(guard)?;
-            out.push(
-                self.head
-                    .iter()
-                    .map(|h| match h {
-                        ValSrc::Const(c) => *c,
-                        ValSrc::Slot(s) => scratch.bindings[*s as usize],
-                    })
-                    .collect(),
-            );
+            for row in 0..batch.n {
+                scratch.cursor.emit(guard)?;
+                out.push_row(self.head.iter().map(|h| self.resolve_batch(*h, batch, row)));
+            }
             return Ok(());
         };
         match s {
@@ -495,13 +798,616 @@ impl RulePlan {
                 pred,
                 from_delta,
                 cols,
+                spec,
+            } => {
+                let mut child = mem::take(&mut scratch.batches[step]);
+                child.reset(self.n_slots);
+                let mut result = if *from_delta {
+                    self.scan_delta(
+                        step, spec, db, delta, batch, &mut child, scratch, out, guard,
+                    )
+                } else {
+                    self.scan_rel(
+                        step,
+                        *pred,
+                        spec,
+                        cols.len(),
+                        db,
+                        delta,
+                        batch,
+                        &mut child,
+                        scratch,
+                        out,
+                        guard,
+                    )
+                };
+                if result.is_ok() && child.n > 0 {
+                    result = self.exec_batch(step + 1, db, delta, &child, scratch, out, guard);
+                }
+                scratch.batches[step] = child;
+                result
+            }
+            Step::Neg {
+                pred,
+                cols,
+                n_locals,
+                consts,
+                bounds,
+            } => {
+                let mut child = mem::take(&mut scratch.batches[step]);
+                child.reset(self.n_slots);
+                let mut result = Ok(());
+                if let Some(rel) = db.relation_id(*pred) {
+                    let mut pattern = mem::take(&mut scratch.patterns[step]);
+                    pattern.clear();
+                    pattern.resize(cols.len(), None);
+                    for &(c, v) in consts {
+                        pattern[c] = Some(v);
+                    }
+                    let mut locals = mem::take(&mut scratch.locals[step]);
+                    locals.clear();
+                    locals.resize(*n_locals, Const::Int(0));
+                    // Memoize existence per distinct bound-cell tuple:
+                    // batches routinely repeat the same join key.
+                    let mut memo: FxHashMap<Box<[Const]>, bool> = FxHashMap::default();
+                    let mut key: Vec<Const> = Vec::with_capacity(bounds.len());
+                    for row in 0..batch.n {
+                        key.clear();
+                        key.extend(bounds.iter().map(|&(_, s)| batch.get(s, row)));
+                        let exists = match memo.get(key.as_slice()) {
+                            Some(&e) => e,
+                            None => {
+                                for &(c, s) in bounds {
+                                    pattern[c] = Some(batch.get(s, row));
+                                }
+                                let mut rows: u32 = 0;
+                                let e = rel.matching(&pattern).any(|fact| {
+                                    rows = rows.saturating_add(1);
+                                    for (i, col) in cols.iter().enumerate() {
+                                        match col {
+                                            NegCol::Local(l) => locals[*l as usize] = fact[i],
+                                            NegCol::LocalCheck(l) => {
+                                                if locals[*l as usize] != fact[i] {
+                                                    return false;
+                                                }
+                                            }
+                                            NegCol::Const(_) | NegCol::Bound(_) => {}
+                                        }
+                                    }
+                                    true
+                                });
+                                result = scratch.cursor.probe_n(rows, guard);
+                                memo.insert(key.clone().into_boxed_slice(), e);
+                                e
+                            }
+                        };
+                        if result.is_err() {
+                            break;
+                        }
+                        if !exists {
+                            self.carry_row(step, batch, row, &mut child);
+                        }
+                    }
+                    scratch.patterns[step] = pattern;
+                    scratch.locals[step] = locals;
+                } else {
+                    // Missing relation: the negation holds for every row.
+                    for row in 0..batch.n {
+                        self.carry_row(step, batch, row, &mut child);
+                    }
+                }
+                if result.is_ok() {
+                    result = self.exec_batch(step + 1, db, delta, &child, scratch, out, guard);
+                }
+                scratch.batches[step] = child;
+                result
+            }
+            Step::Cmp { op, lhs, rhs } => {
+                let mut child = mem::take(&mut scratch.batches[step]);
+                child.reset(self.n_slots);
+                let mut result = Ok(());
+                for row in 0..batch.n {
+                    let l = self.resolve_batch(*lhs, batch, row);
+                    let r = self.resolve_batch(*rhs, batch, row);
+                    match op.eval(&l, &r) {
+                        Ok(true) => self.carry_row(step, batch, row, &mut child),
+                        Ok(false) => {}
+                        Err(e) => {
+                            result = Err(e);
+                            break;
+                        }
+                    }
+                }
+                if result.is_ok() {
+                    result = self.exec_batch(step + 1, db, delta, &child, scratch, out, guard);
+                }
+                scratch.batches[step] = child;
+                result
+            }
+            Step::Arith {
+                op,
+                lhs,
+                rhs,
+                target,
+            } => {
+                let as_int = |v: Const| -> Result<i64> {
+                    match v {
+                        Const::Int(i) => Ok(i),
+                        other => Err(DatalogError::IncomparableTerms {
+                            left: other.to_string(),
+                            right: "integer".to_owned(),
+                        }),
+                    }
+                };
+                let mut child = mem::take(&mut scratch.batches[step]);
+                child.reset(self.n_slots);
+                let mut result = Ok(());
+                for row in 0..batch.n {
+                    let value = as_int(self.resolve_batch(*lhs, batch, row))
+                        .and_then(|l| as_int(self.resolve_batch(*rhs, batch, row)).map(|r| (l, r)))
+                        .and_then(|(l, r)| op.eval(l, r));
+                    let value = match value {
+                        Ok(v) => Const::Int(v),
+                        Err(e) => {
+                            result = Err(e);
+                            break;
+                        }
+                    };
+                    let keep = match target {
+                        ArithTarget::CheckConst(c) => *c == value,
+                        ArithTarget::CheckSlot(s) => batch.get(*s, row) == value,
+                        ArithTarget::Bind(_) => true,
+                    };
+                    if keep {
+                        for &slot in &self.carry[step + 1] {
+                            let v = match target {
+                                // The bound slot is new: the parent batch
+                                // has no column for it.
+                                ArithTarget::Bind(b) if *b == slot => value,
+                                _ => batch.get(slot, row),
+                            };
+                            child.cols[slot as usize].push(v);
+                        }
+                        child.n += 1;
+                    }
+                }
+                if result.is_ok() {
+                    result = self.exec_batch(step + 1, db, delta, &child, scratch, out, guard);
+                }
+                scratch.batches[step] = child;
+                result
+            }
+        }
+    }
+
+    /// Append one join pair — input-batch row × relation row — to the
+    /// child batch, flushing a full child downstream.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn push_rel_pair(
+        &self,
+        step: usize,
+        spec: &ScanSpec,
+        batch: &Batch,
+        row: usize,
+        rel: &Relation,
+        rel_row: u32,
+        child: &mut Batch,
+        db: &Database,
+        delta: Option<&FactBuf>,
+        scratch: &mut Scratch,
+        out: &mut FactBuf,
+        guard: &EvalGuard,
+    ) -> Result<()> {
+        for &(slot, from) in &spec.gather {
+            let v = match from {
+                Some(c) => rel.cell(rel_row, c),
+                None => batch.get(slot, row),
+            };
+            child.cols[slot as usize].push(v);
+        }
+        child.n += 1;
+        if child.n >= CHUNK {
+            self.exec_batch(step + 1, db, delta, child, scratch, out, guard)?;
+            child.reset(self.n_slots);
+        }
+        Ok(())
+    }
+
+    /// Drop candidate rows violating this scan's constant columns or
+    /// intra-atom repeated variables. The merge path seeks on a *bound*
+    /// column, so even a single const column must still be checked here.
+    fn retain_scan_rows(spec: &ScanSpec, rel: &Relation, rows: &mut Vec<u32>) {
+        if !spec.consts.is_empty() || !spec.checks.is_empty() {
+            rows.retain(|&r| {
+                spec.consts.iter().all(|&(c, v)| rel.cell(r, c) == v)
+                    && spec
+                        .checks
+                        .iter()
+                        .all(|&(c, b)| rel.cell(r, c) == rel.cell(r, b))
+            });
+        }
+    }
+
+    /// Batched scan of a stored relation. Fills `child` with join pairs
+    /// (flushing at [`CHUNK`]); the caller flushes the remainder.
+    #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+    fn scan_rel(
+        &self,
+        step: usize,
+        pred: SymId,
+        spec: &ScanSpec,
+        arity: usize,
+        db: &Database,
+        delta: Option<&FactBuf>,
+        batch: &Batch,
+        child: &mut Batch,
+        scratch: &mut Scratch,
+        out: &mut FactBuf,
+        guard: &EvalGuard,
+    ) -> Result<()> {
+        let Some(rel) = db.relation_id(pred) else {
+            return Ok(());
+        };
+        if rel.arity() != Some(arity) {
+            return Ok(()); // empty (or never-populated) relation
+        }
+        let clamp = |n: usize| u32::try_from(n).unwrap_or(u32::MAX);
+
+        if spec.bounds.is_empty() {
+            // No join columns: the matching rows are the same for every
+            // batch row. Compute them once, then cross-product.
+            let mut rows = mem::take(&mut scratch.rowbufs[step]);
+            rows.clear();
+            match spec
+                .consts
+                .iter()
+                .copied()
+                .min_by_key(|&(c, v)| rel.count_eq(c, v))
+            {
+                Some((c, v)) => rel.probe_rows(c, v, &mut rows),
+                None => rel.live_rows(&mut rows),
+            }
+            Self::retain_scan_rows(spec, rel, &mut rows);
+            let mut result = Ok(());
+            'batch: for row in 0..batch.n {
+                result = scratch.cursor.probe_n(clamp(rows.len()), guard);
+                if result.is_err() {
+                    break;
+                }
+                for &r in &rows {
+                    result = self.push_rel_pair(
+                        step, spec, batch, row, rel, r, child, db, delta, scratch, out, guard,
+                    );
+                    if result.is_err() {
+                        break 'batch;
+                    }
+                }
+            }
+            scratch.rowbufs[step] = rows;
+            return result;
+        }
+
+        // Bound columns, small relation: hash join against a cached
+        // per-step table of the whole relation side, built once per
+        // relation version and reused across chunks and rounds. EDB
+        // relations never change mid-evaluation, so they are hashed
+        // exactly once per run. Building costs O(relation), so a stale
+        // cache is only rebuilt when the batch is large enough to
+        // amortize it — one-off small evaluations (incremental delta
+        // propagation, point queries) fall through to the index paths.
+        let table_valid = scratch.tables[step]
+            .as_ref()
+            .is_some_and(|t| t.version == rel.version());
+        if rel.len() <= CHUNK && (table_valid || batch.n * TABLE_BUILD_RATIO >= rel.len()) {
+            if !table_valid {
+                let mut rows = mem::take(&mut scratch.rowbufs[step]);
+                rows.clear();
+                rel.live_rows(&mut rows);
+                Self::retain_scan_rows(spec, rel, &mut rows);
+                let mut map: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+                for &r in &rows {
+                    let h = hash_cells(spec.bounds.iter().map(|&(c, _)| rel.cell(r, c)));
+                    map.entry(h).or_default().push(r);
+                }
+                scratch.rowbufs[step] = rows;
+                scratch.tables[step] = Some(JoinTable {
+                    version: rel.version(),
+                    map,
+                });
+            }
+            let table = scratch.tables[step].take().expect("table built above");
+            let mut result = Ok(());
+            'small: for row in 0..batch.n {
+                let h = hash_cells(spec.bounds.iter().map(|&(_, s)| batch.get(s, row)));
+                let Some(cands) = table.map.get(&h) else {
+                    continue;
+                };
+                result = scratch.cursor.probe_n(clamp(cands.len()), guard);
+                if result.is_err() {
+                    break;
+                }
+                for &r in cands {
+                    if spec
+                        .bounds
+                        .iter()
+                        .all(|&(c, s)| rel.cell(r, c) == batch.get(s, row))
+                    {
+                        result = self.push_rel_pair(
+                            step, spec, batch, row, rel, r, child, db, delta, scratch, out, guard,
+                        );
+                        if result.is_err() {
+                            break 'small;
+                        }
+                    }
+                }
+            }
+            scratch.tables[step] = Some(table);
+            return result;
+        }
+
+        // Large relation, selective constant: probe the constant column,
+        // hash the (now small) candidate set per chunk.
+        let const_driver = spec
+            .consts
+            .iter()
+            .copied()
+            .map(|(c, v)| (rel.count_eq(c, v), c, v))
+            .min();
+        if let Some((est, dc, dv)) = const_driver.filter(|&(est, ..)| est <= batch.n) {
+            let _ = est;
+            let mut rows = mem::take(&mut scratch.rowbufs[step]);
+            rows.clear();
+            rel.probe_rows(dc, dv, &mut rows);
+            Self::retain_scan_rows(spec, rel, &mut rows);
+            // Build the hash table on the (small) relation side, keyed by
+            // the bound-column cells; the batch probes it.
+            let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+            for &r in &rows {
+                let h = hash_cells(spec.bounds.iter().map(|&(c, _)| rel.cell(r, c)));
+                table.entry(h).or_default().push(r);
+            }
+            let mut result = Ok(());
+            'hash: for row in 0..batch.n {
+                let h = hash_cells(spec.bounds.iter().map(|&(_, s)| batch.get(s, row)));
+                let Some(cands) = table.get(&h) else {
+                    continue;
+                };
+                result = scratch.cursor.probe_n(clamp(cands.len()), guard);
+                if result.is_err() {
+                    break;
+                }
+                for &r in cands {
+                    if spec
+                        .bounds
+                        .iter()
+                        .all(|&(c, s)| rel.cell(r, c) == batch.get(s, row))
+                    {
+                        result = self.push_rel_pair(
+                            step, spec, batch, row, rel, r, child, db, delta, scratch, out, guard,
+                        );
+                        if result.is_err() {
+                            break 'hash;
+                        }
+                    }
+                }
+            }
+            scratch.rowbufs[step] = rows;
+            return result;
+        }
+
+        // Merge join: sort the batch on its first bound slot (keys
+        // computed once, not per comparison) and walk the relation
+        // column's sorted permutation index with a galloping cursor — one
+        // forward merge instead of a hash probe per row. Cursor
+        // construction sorts the index's uncovered tail, so batches too
+        // small to amortize that probe each key group directly instead
+        // (binary search per run plus an unsorted-tail scan).
+        let (jcol, jslot) = spec.bounds[0];
+        let mut order: Vec<(u128, u32)> = (0..batch.n)
+            .map(|r| (key_of(batch.get(jslot, r)), clamp(r)))
+            .collect();
+        order.sort_unstable();
+        let mut cur = (batch.n >= CURSOR_BATCH_MIN).then(|| rel.col_cursor(jcol));
+        let mut rows = mem::take(&mut scratch.rowbufs[step]);
+        let mut result = Ok(());
+        let mut i = 0;
+        // Adaptive defection: with two or more bound columns the merge
+        // join seeks on the first and filters the rest per row, so a
+        // low-selectivity first column can seek far more rows than the
+        // relation holds. Once the seeked row count exceeds one full
+        // scan, the remaining key groups defect to a hash join — hash
+        // them on all bound columns and stream the relation through the
+        // table once. Total work is bounded at roughly twice the better
+        // strategy without relying on cardinality estimates.
+        let bail = rel.len().saturating_add(CHUNK);
+        let mut seeked = 0usize;
+        'merge: while i < order.len() {
+            if spec.bounds.len() >= 2 && seeked > bail {
+                let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+                for &(_, br) in &order[i..] {
+                    let row = br as usize;
+                    let h = hash_cells(spec.bounds.iter().map(|&(_, s)| batch.get(s, row)));
+                    table.entry(h).or_default().push(br);
+                }
+                rows.clear();
+                rel.live_rows(&mut rows);
+                Self::retain_scan_rows(spec, rel, &mut rows);
+                'scan: for &r in &rows {
+                    let h = hash_cells(spec.bounds.iter().map(|&(c, _)| rel.cell(r, c)));
+                    let Some(cands) = table.get(&h) else { continue };
+                    result = scratch.cursor.probe_n(clamp(cands.len()), guard);
+                    if result.is_err() {
+                        break;
+                    }
+                    for &br in cands {
+                        let row = br as usize;
+                        if spec
+                            .bounds
+                            .iter()
+                            .all(|&(c, s)| rel.cell(r, c) == batch.get(s, row))
+                        {
+                            result = self.push_rel_pair(
+                                step, spec, batch, row, rel, r, child, db, delta, scratch, out,
+                                guard,
+                            );
+                            if result.is_err() {
+                                break 'scan;
+                            }
+                        }
+                    }
+                }
+                break 'merge;
+            }
+            let k = order[i].0;
+            let v = batch.get(jslot, order[i].1 as usize);
+            let mut j = i + 1;
+            while j < order.len() && order[j].0 == k {
+                j += 1;
+            }
+            rows.clear();
+            match &mut cur {
+                Some(cur) => cur.seek(v, &mut rows),
+                None => rel.probe_rows(jcol, v, &mut rows),
+            }
+            Self::retain_scan_rows(spec, rel, &mut rows);
+            seeked += rows.len();
+            result = scratch
+                .cursor
+                .probe_n(clamp(rows.len().saturating_mul(j - i)), guard);
+            if result.is_err() {
+                break;
+            }
+            for &(_, br) in &order[i..j] {
+                let row = br as usize;
+                for &r in &rows {
+                    if spec.bounds[1..]
+                        .iter()
+                        .all(|&(c, s)| rel.cell(r, c) == batch.get(s, row))
+                    {
+                        result = self.push_rel_pair(
+                            step, spec, batch, row, rel, r, child, db, delta, scratch, out, guard,
+                        );
+                        if result.is_err() {
+                            break 'merge;
+                        }
+                    }
+                }
+            }
+            i = j;
+        }
+        scratch.rowbufs[step] = rows;
+        result
+    }
+
+    /// Batched scan of the semi-naive delta (a plain fact list): nested
+    /// loop, outer over delta facts, inner over batch rows. The planner
+    /// schedules delta scans early, so the batch side is small here.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_delta(
+        &self,
+        step: usize,
+        spec: &ScanSpec,
+        db: &Database,
+        delta: Option<&FactBuf>,
+        batch: &Batch,
+        child: &mut Batch,
+        scratch: &mut Scratch,
+        out: &mut FactBuf,
+        guard: &EvalGuard,
+    ) -> Result<()> {
+        let facts = delta.expect("delta variant evaluated without a delta");
+        let clamp = |n: usize| u32::try_from(n).unwrap_or(u32::MAX);
+        let mut result = Ok(());
+        'facts: for fi in 0..facts.len() {
+            let fact = facts.row(fi);
+            result = scratch.cursor.probe_n(clamp(batch.n), guard);
+            if result.is_err() {
+                break;
+            }
+            if !spec.consts.iter().all(|&(c, v)| fact[c] == v)
+                || !spec.checks.iter().all(|&(c, b)| fact[c] == fact[b])
+            {
+                continue;
+            }
+            for row in 0..batch.n {
+                if !spec
+                    .bounds
+                    .iter()
+                    .all(|&(c, s)| batch.get(s, row) == fact[c])
+                {
+                    continue;
+                }
+                for &(slot, from) in &spec.gather {
+                    let v = match from {
+                        Some(c) => fact[c],
+                        None => batch.get(slot, row),
+                    };
+                    child.cols[slot as usize].push(v);
+                }
+                child.n += 1;
+                if child.n >= CHUNK {
+                    result = self.exec_batch(step + 1, db, delta, child, scratch, out, guard);
+                    child.reset(self.n_slots);
+                    if result.is_err() {
+                        break 'facts;
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Evaluate the plan with the retained tuple-at-a-time executor: the
+    /// reference semantics the batched path is differentially tested
+    /// against (and an escape hatch, via `Executor::Tuple`). Same
+    /// contract as [`RulePlan::eval`]; the emitted multiset of head
+    /// tuples is identical, only the order of `out` may differ.
+    pub fn eval_reference(
+        &self,
+        db: &Database,
+        delta: Option<&FactBuf>,
+        scratch: &mut Scratch,
+        out: &mut FactBuf,
+        guard: &EvalGuard,
+    ) -> Result<()> {
+        debug_assert_eq!(scratch.bindings.len(), self.n_slots);
+        self.exec_tuple(0, db, delta, scratch, out, guard)?;
+        scratch.cursor.flush(guard)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_tuple(
+        &self,
+        step: usize,
+        db: &Database,
+        delta: Option<&FactBuf>,
+        scratch: &mut Scratch,
+        out: &mut FactBuf,
+        guard: &EvalGuard,
+    ) -> Result<()> {
+        let Some(s) = self.steps.get(step) else {
+            scratch.cursor.emit(guard)?;
+            out.push_row(self.head.iter().map(|h| match h {
+                ValSrc::Const(c) => *c,
+                ValSrc::Slot(s) => scratch.bindings[*s as usize],
+            }));
+            return Ok(());
+        };
+        match s {
+            Step::Scan {
+                pred,
+                from_delta,
+                cols,
+                spec: _,
             } => {
                 if *from_delta {
                     // Delta facts are filtered inline — no pattern probe,
                     // no index: the whole delta is consumed anyway.
                     let facts = delta.expect("delta variant evaluated without a delta");
                     let mut result = Ok(());
-                    'facts: for fact in facts {
+                    'facts: for fi in 0..facts.len() {
+                        let fact = facts.row(fi);
                         result = scratch.cursor.probe(guard);
                         if result.is_err() {
                             break;
@@ -521,7 +1427,7 @@ impl RulePlan {
                                 ScanCol::Bind(s) => scratch.bindings[*s as usize] = fact[i],
                             }
                         }
-                        result = self.exec(step + 1, db, delta, scratch, out, guard);
+                        result = self.exec_tuple(step + 1, db, delta, scratch, out, guard);
                         if result.is_err() {
                             break;
                         }
@@ -561,7 +1467,7 @@ impl RulePlan {
                         }
                     }
                     if ok {
-                        result = self.exec(step + 1, db, delta, scratch, out, guard);
+                        result = self.exec_tuple(step + 1, db, delta, scratch, out, guard);
                         if result.is_err() {
                             break;
                         }
@@ -574,6 +1480,7 @@ impl RulePlan {
                 pred,
                 cols,
                 n_locals,
+                ..
             } => {
                 if let Some(rel) = db.relation_id(*pred) {
                     let mut pattern = mem::take(&mut scratch.patterns[step]);
@@ -611,13 +1518,13 @@ impl RulePlan {
                         return Ok(());
                     }
                 }
-                self.exec(step + 1, db, delta, scratch, out, guard)
+                self.exec_tuple(step + 1, db, delta, scratch, out, guard)
             }
             Step::Cmp { op, lhs, rhs } => {
                 let l = self.resolve(*lhs, scratch);
                 let r = self.resolve(*rhs, scratch);
                 if op.eval(&l, &r)? {
-                    self.exec(step + 1, db, delta, scratch, out, guard)
+                    self.exec_tuple(step + 1, db, delta, scratch, out, guard)
                 } else {
                     Ok(())
                 }
@@ -653,7 +1560,7 @@ impl RulePlan {
                     }
                     ArithTarget::Bind(s) => scratch.bindings[*s as usize] = value,
                 }
-                self.exec(step + 1, db, delta, scratch, out, guard)
+                self.exec_tuple(step + 1, db, delta, scratch, out, guard)
             }
         }
     }
@@ -692,9 +1599,9 @@ pub(crate) fn eval_rule_once_guarded(
 ) -> Result<Vec<Fact>> {
     let plan = RulePlan::compile(rule, None, db)?;
     let mut scratch = plan.new_scratch();
-    let mut out = Vec::new();
+    let mut out = FactBuf::default();
     plan.eval(db, None, &mut scratch, &mut out, guard)?;
-    Ok(out)
+    Ok(out.rows().map(Fact::from).collect())
 }
 
 #[cfg(test)]
@@ -780,5 +1687,41 @@ mod tests {
         let db = Database::new();
         let err = RulePlan::compile(&rule, None, &db).unwrap_err();
         assert!(matches!(err, DatalogError::UnsafeVariable { variable, .. } if variable == "Z"));
+    }
+
+    /// Both executors over a mixed rule set (joins, negation, arithmetic,
+    /// comparisons, repeated variables) must derive identical sets.
+    #[test]
+    fn batched_matches_reference_executor() {
+        let src = "e(a, b). e(b, c). e(c, a). e(a, a).\
+                   n(1). n(2). n(3).\
+                   loop(X) :- e(X, X).\
+                   pair(X, Y) :- e(X, Y), not loop(X).\
+                   sum(X, S) :- n(X), S = X + 10, X < 3.";
+        let p = parse_program(src).unwrap();
+        let mut db = Database::new();
+        for c in p.clauses().iter().filter(|c| c.is_fact()) {
+            let fact: Fact = c
+                .head
+                .terms
+                .iter()
+                .map(|t| *t.as_const().unwrap())
+                .collect();
+            db.insert(c.head.predicate.as_str(), fact);
+        }
+        let guard = EvalGuard::unlimited();
+        for rule in p.clauses().iter().filter(|c| !c.is_fact()) {
+            let plan = RulePlan::compile(rule, None, &db).unwrap();
+            let (mut batched, mut tuple) = (FactBuf::default(), FactBuf::default());
+            plan.eval(&db, None, &mut plan.new_scratch(), &mut batched, &guard)
+                .unwrap();
+            plan.eval_reference(&db, None, &mut plan.new_scratch(), &mut tuple, &guard)
+                .unwrap();
+            let mut batched: Vec<Fact> = batched.rows().map(Fact::from).collect();
+            let mut tuple: Vec<Fact> = tuple.rows().map(Fact::from).collect();
+            batched.sort();
+            tuple.sort();
+            assert_eq!(batched, tuple, "rule {rule}");
+        }
     }
 }

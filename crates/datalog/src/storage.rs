@@ -1,18 +1,129 @@
-//! Fact storage: relations with hash indexes, and the database of all
-//! relations.
+//! Columnar fact storage: relations as column-major segments with
+//! sorted-run permutation indexes, and the database of all relations.
+//!
+//! # Layout
+//!
+//! A [`Relation`] stores its tuples column-major: every column is a
+//! sequence of [`Const`] cells addressed by a dense `u32` row id. Rows
+//! are grouped into fixed-size *segments* — once a segment fills it is
+//! sealed behind an `Arc` and never mutated again, so cloning a relation
+//! (the copy-on-write path behind MVCC generations) shares every sealed
+//! segment and deep-copies only the short mutable tail.
+//!
+//! # Indexes
+//!
+//! Each column carries a *sorted permutation index*: row ids ordered by
+//! cell value, maintained as a small set of sorted runs merged with a
+//! doubling (binary-counter) discipline, plus an unsorted tail of the
+//! most recent rows that probes scan linearly. Indexes are built
+//! **lazily**: inserts never sort anything; the evaluator declares which
+//! columns its compiled plans will probe and seals them up to date at
+//! round boundaries ([`Relation::ensure_index`], driven by
+//! `Database::ensure_index_id`). Relations that are only ever written —
+//! the common case for derived predicates — never pay for an index at
+//! all, while probed columns amortize to O(log n) sealing work per
+//! insert. A point probe is one binary search per run plus a bounded
+//! linear scan of the unsealed tail. Runs are `Arc`-shared across clones
+//! like segments are. The runs order by [`key_of`] — a cheap integral
+//! total order on `Const` — not by the user-visible text order; only
+//! [`Relation::sorted`] pays for text comparison.
+//!
+//! # Deduplication and retraction
+//!
+//! Duplicate detection stores row ids keyed by tuple hash, split into a
+//! frozen `Arc`-shared map and a per-clone overlay of recent inserts
+//! that is folded into the frozen map amortized. Retraction tombstones
+//! the row (probes filter the `dead` set) and compacts the relation once
+//! tombstones reach half the stored rows, so storage stays within a
+//! constant factor of the live set without per-retract index surgery.
 
+use std::collections::hash_map::Entry;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::mem;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::fx::{FxHashMap, FxHasher};
+use crate::fx::{FxHashMap, FxHashSet, FxHasher};
 use crate::term::{Const, SymId};
 
 /// A stored fact: one tuple of constants.
 ///
 /// Facts are boxed slices of `Copy` constants: a single allocation per
-/// fact, no capacity slack, and equality/hash by value.
+/// fact, no capacity slack, and equality/hash by value. Inside a
+/// [`Relation`] the cells live column-major; `Fact` is the interchange
+/// format at the API boundary (inserts, deltas, query answers).
 pub type Fact = Box<[Const]>;
+
+/// A dense list of same-arity facts stored back-to-back in one flat
+/// buffer — the interchange format between the executors and the
+/// evaluation loops (derived tuples out, semi-naive deltas back in).
+/// One bulk allocation amortized over thousands of facts, where a
+/// `Vec<Fact>` pays a boxed-slice allocation per fact.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct FactBuf {
+    arity: usize,
+    rows: usize,
+    cells: Vec<Const>,
+}
+
+impl FactBuf {
+    pub(crate) fn len(&self) -> usize {
+        self.rows
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.rows = 0;
+        self.cells.clear();
+    }
+
+    /// Row `i` as a cell slice.
+    #[inline]
+    pub(crate) fn row(&self, i: usize) -> &[Const] {
+        &self.cells[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Append one fact. The first row after construction (or
+    /// [`FactBuf::clear`]) fixes the buffer's arity.
+    #[inline]
+    pub(crate) fn push_row(&mut self, cells: impl IntoIterator<Item = Const>) {
+        let before = self.cells.len();
+        self.cells.extend(cells);
+        if self.rows == 0 {
+            self.arity = self.cells.len();
+        } else {
+            debug_assert_eq!(self.cells.len() - before, self.arity, "arity mismatch");
+        }
+        self.rows += 1;
+    }
+
+    pub(crate) fn rows(&self) -> impl Iterator<Item = &[Const]> {
+        (0..self.rows).map(move |i| self.row(i))
+    }
+}
+
+/// Rows per sealed segment; a power of two so row → segment is a shift.
+const SEG_SHIFT: u32 = 12;
+const SEG_ROWS: u32 = 1 << SEG_SHIFT;
+/// Most recent rows a column index may leave unsorted before
+/// [`Database::ensure_index_id`] reseals the column. Probes scan this
+/// tail linearly, so it bounds the per-probe linear work between seals.
+const INDEX_TAIL_MAX: u32 = 128;
+
+/// Source of unique relation identities (see [`Relation::version`]).
+static NEXT_RELATION_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_relation_id() -> u64 {
+    NEXT_RELATION_ID.fetch_add(1, Ordering::Relaxed)
+}
+/// Minimum overlay size before it is folded into the frozen dedup map.
+const FOLD_MIN: usize = 4096;
+/// Minimum tombstones before compaction is considered.
+const COMPACT_MIN: usize = 1024;
 
 fn fact_hash(fact: &[Const]) -> u64 {
     let mut h = FxHasher::default();
@@ -20,36 +131,143 @@ fn fact_hash(fact: &[Const]) -> u64 {
     h.finish()
 }
 
-/// Whether `fact` satisfies a binding pattern (`Some(c)` = column must
-/// equal `c`).
-pub(crate) fn fact_matches(fact: &[Const], pattern: &[Option<Const>]) -> bool {
-    fact.len() == pattern.len()
-        && fact
-            .iter()
-            .zip(pattern)
-            .all(|(c, p)| p.as_ref().is_none_or(|pc| pc == c))
+/// Row ids sharing one tuple hash. Collisions are rare, so almost every
+/// entry is a single row — the inline variant avoids a heap allocation
+/// per stored fact.
+#[derive(Clone)]
+enum Rows {
+    One(u32),
+    Many(Vec<u32>),
 }
 
-/// A set of facts of a single predicate, with lazily built per-column
-/// hash indexes to accelerate joins.
-///
-/// Bottom-up rule evaluation probes relations with a *binding pattern*
-/// (some columns bound to constants). [`Relation::matching`] serves such
-/// probes from the index of the first bound column and post-filters the
-/// rest, which makes the common join shapes (key-bound probes produced by
-/// the MultiLog reduction axioms) sub-linear.
-///
-/// Duplicate detection stores row ids keyed by tuple hash rather than a
-/// second copy of every tuple, so each fact is stored exactly once.
+impl Rows {
+    fn push(&mut self, row: u32) {
+        match self {
+            Rows::One(r) => *self = Rows::Many(vec![*r, row]),
+            Rows::Many(v) => v.push(row),
+        }
+    }
+
+    fn as_slice(&self) -> &[u32] {
+        match self {
+            Rows::One(r) => std::slice::from_ref(r),
+            Rows::Many(v) => v,
+        }
+    }
+}
+
+/// A cheap integral total order on `Const` for the sorted runs:
+/// discriminant, then the raw interned id (symbols) or the sign-flipped
+/// two's complement (integers). Equality coincides with `Const`
+/// equality, but the order differs from the user-visible `Ord` (which
+/// compares symbol *text*) — the runs only need a fixed total order, and
+/// comparing two `u128`s is far cheaper than two string compares.
+#[inline]
+pub(crate) fn key_of(c: Const) -> u128 {
+    match c {
+        Const::Sym(s) => s.index() as u128,
+        #[allow(clippy::cast_sign_loss)]
+        Const::Int(i) => (1u128 << 64) | u128::from((i as u64) ^ (1u64 << 63)),
+    }
+}
+
+/// First index in `xs[from..]` where `pred` stops holding, found by
+/// exponential (galloping) search: O(log distance) rather than
+/// O(log len), which is what makes repeated forward seeks over one run
+/// sum to a linear merge.
+fn gallop<T>(xs: &[T], from: usize, mut pred: impl FnMut(&T) -> bool) -> usize {
+    if from >= xs.len() || !pred(&xs[from]) {
+        return from;
+    }
+    let mut lo = from; // pred holds at lo
+    let mut step = 1usize;
+    let mut hi = lo + 1;
+    while hi < xs.len() && pred(&xs[hi]) {
+        lo = hi;
+        step *= 2;
+        hi = lo.saturating_add(step);
+    }
+    let hi = hi.min(xs.len());
+    lo + 1 + xs[lo + 1..hi].partition_point(|x| pred(x))
+}
+
+/// One sealed, immutable row group: `SEG_ROWS` rows of every column,
+/// column-major, shared by `Arc` across copy-on-write clones.
+struct Segment {
+    cols: Box<[Box<[Const]>]>,
+}
+
+/// Per-column permutation index: disjoint sorted runs covering rows
+/// `0..covered`, each ordered by `(key_of(cell), row)`, newest last.
 #[derive(Clone, Default)]
+struct ColIndex {
+    runs: Vec<Arc<[u32]>>,
+    covered: u32,
+}
+
+/// A set of facts of a single predicate in columnar storage.
+///
+/// Bottom-up rule evaluation probes relations either with a binding
+/// pattern ([`Relation::matching`]) or — on the batched join path — with
+/// row-id probes against the per-column sorted indexes
+/// (`probe_rows`, `col_cursor`; crate-private).
 pub struct Relation {
     arity: Option<usize>,
-    facts: Vec<Fact>,
-    /// `dedup[hash]` = ids of rows whose tuple hashes to `hash`; membership
-    /// is confirmed against `facts`, so tuples are not stored twice.
-    dedup: FxHashMap<u64, Vec<u32>>,
-    /// `indexes[col][constant]` = row ids having `constant` at `col`.
-    indexes: Vec<FxHashMap<Const, Vec<u32>>>,
+    /// Sealed immutable segments; shared (not copied) by `clone`.
+    sealed: Vec<Arc<Segment>>,
+    /// The mutable tail segment: one short column `Vec` per column.
+    tail: Vec<Vec<Const>>,
+    /// Total stored rows, live and tombstoned.
+    total: u32,
+    /// Tombstoned row ids (retracted but not yet compacted away).
+    dead: FxHashSet<u32>,
+    /// Frozen dedup map (`tuple hash → row ids`), shared by `clone`;
+    /// rows listed here may be tombstoned — lookups filter `dead`.
+    frozen: Arc<FxHashMap<u64, Rows>>,
+    /// Recent insertions not yet folded into `frozen`; per-clone.
+    overlay: FxHashMap<u64, Rows>,
+    /// One sorted permutation index per column.
+    indexes: Vec<ColIndex>,
+    /// Identity for [`Relation::version`]; every clone gets a fresh one,
+    /// so cached derivations keyed by version can never confuse two
+    /// lineages that happen to share a mutation count.
+    id: u64,
+    /// Successful inserts + retracts on this lineage (monotone).
+    mutations: u64,
+}
+
+impl Default for Relation {
+    fn default() -> Self {
+        Relation {
+            arity: None,
+            sealed: Vec::new(),
+            tail: Vec::new(),
+            total: 0,
+            dead: FxHashSet::default(),
+            frozen: Arc::default(),
+            overlay: FxHashMap::default(),
+            indexes: Vec::new(),
+            id: fresh_relation_id(),
+            mutations: 0,
+        }
+    }
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        Relation {
+            arity: self.arity,
+            sealed: self.sealed.clone(),
+            tail: self.tail.clone(),
+            total: self.total,
+            dead: self.dead.clone(),
+            frozen: Arc::clone(&self.frozen),
+            overlay: self.overlay.clone(),
+            indexes: self.indexes.clone(),
+            id: fresh_relation_id(),
+            mutations: self.mutations,
+        }
+    }
 }
 
 impl Relation {
@@ -63,14 +281,14 @@ impl Relation {
         self.arity
     }
 
-    /// Number of facts.
+    /// Number of live facts.
     pub fn len(&self) -> usize {
-        self.facts.len()
+        self.total as usize - self.dead.len()
     }
 
     /// Whether the relation holds no facts.
     pub fn is_empty(&self) -> bool {
-        self.facts.is_empty()
+        self.len() == 0
     }
 
     /// Insert a fact; returns `true` if it was new.
@@ -80,21 +298,13 @@ impl Relation {
     /// Panics if the fact's arity differs from previously inserted facts —
     /// arity consistency is validated upstream by [`crate::Program`].
     pub fn insert(&mut self, fact: impl Into<Fact>) -> bool {
-        let fact = fact.into();
-        self.prepare(fact.len());
-        let hash = fact_hash(&fact);
-        let bucket = self.dedup.entry(hash).or_default();
-        if bucket.iter().any(|&r| *self.facts[r as usize] == *fact) {
-            return false;
-        }
-        Self::store(&mut self.facts, &mut self.indexes, bucket, fact);
-        true
+        self.insert_if_new(&fact.into())
     }
 
-    /// Insert a fact given by reference, copying it only when it is new;
-    /// returns `true` if it was new. On the derivation merge path
-    /// duplicates are the common case near the fixpoint, and they cost no
-    /// allocation here.
+    /// Insert a fact given by reference; returns `true` if it was new.
+    /// Cells are copied into the column tails only when the fact is
+    /// genuinely new; duplicates (the common case near the fixpoint)
+    /// cost one hash lookup.
     ///
     /// # Panics
     ///
@@ -102,158 +312,365 @@ impl Relation {
     pub fn insert_if_new(&mut self, fact: &[Const]) -> bool {
         self.prepare(fact.len());
         let hash = fact_hash(fact);
-        let bucket = self.dedup.entry(hash).or_default();
-        if bucket.iter().any(|&r| *self.facts[r as usize] == *fact) {
+        if self.find_live(hash, fact).is_some() {
             return false;
         }
-        Self::store(&mut self.facts, &mut self.indexes, bucket, Fact::from(fact));
+        let row = self.total;
+        assert!(row < u32::MAX, "relation row overflow");
+        for (col, c) in fact.iter().enumerate() {
+            self.tail[col].push(*c);
+        }
+        self.total += 1;
+        self.mutations += 1;
+        match self.overlay.entry(hash) {
+            Entry::Vacant(e) => {
+                e.insert(Rows::One(row));
+            }
+            Entry::Occupied(mut e) => e.get_mut().push(row),
+        }
+        if self.total & (SEG_ROWS - 1) == 0 {
+            self.seal_segment();
+        }
+        self.fold_overlay();
         true
+    }
+
+    /// A value that changes whenever this relation's contents may have
+    /// changed: the lineage id (fresh per clone) plus the mutation count.
+    /// Used to validate cached per-plan join tables across evaluation
+    /// rounds.
+    #[inline]
+    pub(crate) fn version(&self) -> u128 {
+        (u128::from(self.id) << 64) | u128::from(self.mutations)
+    }
+
+    /// Rows not yet covered by `col`'s sorted runs.
+    pub(crate) fn index_lag(&self, col: usize) -> u32 {
+        self.indexes.get(col).map_or(0, |i| self.total - i.covered)
+    }
+
+    /// Whether any column index has been materialized (probed at least
+    /// once) but has uncovered rows in its unsorted tail.
+    pub(crate) fn has_unsealed_index(&self) -> bool {
+        self.indexes
+            .iter()
+            .any(|i| !i.runs.is_empty() && i.covered < self.total)
+    }
+
+    /// Seal every materialized column index. Columns never probed by any
+    /// plan stay unindexed and keep costing nothing.
+    pub(crate) fn seal_materialized_indexes(&mut self) {
+        for col in 0..self.indexes.len() {
+            if !self.indexes[col].runs.is_empty() && self.indexes[col].covered < self.total {
+                self.seal_runs_col(col);
+            }
+        }
+    }
+
+    /// Seal `col`'s uncovered rows into its sorted-run index. Called by
+    /// the evaluator for the columns its plans actually probe; columns
+    /// that are never probed never pay for sorting.
+    pub(crate) fn ensure_index(&mut self, col: usize) {
+        if self
+            .indexes
+            .get(col)
+            .is_some_and(|i| i.covered < self.total)
+        {
+            self.seal_runs_col(col);
+        }
     }
 
     fn prepare(&mut self, arity: usize) {
         match self.arity {
             None => {
                 self.arity = Some(arity);
-                self.indexes = (0..arity).map(|_| FxHashMap::default()).collect();
+                self.tail = vec![Vec::new(); arity];
+                self.indexes = vec![ColIndex::default(); arity];
             }
             Some(a) => assert_eq!(a, arity, "arity mismatch on insert"),
         }
     }
 
-    fn store(
-        facts: &mut Vec<Fact>,
-        indexes: &mut [FxHashMap<Const, Vec<u32>>],
-        bucket: &mut Vec<u32>,
-        fact: Fact,
-    ) {
-        let row = u32::try_from(facts.len()).expect("relation row overflow");
-        bucket.push(row);
-        for (col, c) in fact.iter().enumerate() {
-            indexes[col].entry(*c).or_default().push(row);
+    /// Move the full tail segment behind an `Arc`; later clones share it.
+    fn seal_segment(&mut self) {
+        let cols: Box<[Box<[Const]>]> = self
+            .tail
+            .iter_mut()
+            .map(|c| {
+                debug_assert_eq!(c.len(), SEG_ROWS as usize);
+                mem::replace(c, Vec::with_capacity(SEG_ROWS as usize)).into_boxed_slice()
+            })
+            .collect();
+        self.sealed.push(Arc::new(Segment { cols }));
+    }
+
+    /// Sort `col`'s uncovered index tail into a fresh run, then merge
+    /// trailing runs while the newest is at least as long as its
+    /// predecessor — the binary-counter discipline that keeps the run
+    /// count logarithmic and the total merge work O(n log n).
+    fn seal_runs_col(&mut self, col: usize) {
+        let mut idx = mem::take(&mut self.indexes[col]);
+        let mut run: Vec<u32> = (idx.covered..self.total).collect();
+        run.sort_unstable_by_key(|&r| (key_of(self.cell(r, col)), r));
+        idx.covered = self.total;
+        idx.runs.push(run.into());
+        while idx.runs.len() >= 2
+            && idx.runs[idx.runs.len() - 1].len() >= idx.runs[idx.runs.len() - 2].len()
+        {
+            let b = idx.runs.pop().expect("run present");
+            let a = idx.runs.pop().expect("run present");
+            idx.runs.push(self.merge_runs(&a, &b, col));
         }
-        facts.push(fact);
+        self.indexes[col] = idx;
+    }
+
+    fn merge_runs(&self, a: &[u32], b: &[u32], col: usize) -> Arc<[u32]> {
+        let key = |r: u32| (key_of(self.cell(r, col)), r);
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            if key(a[i]) <= key(b[j]) {
+                out.push(a[i]);
+                i += 1;
+            } else {
+                out.push(b[j]);
+                j += 1;
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        out.into()
+    }
+
+    /// Fold the overlay into the frozen dedup map once it is both large
+    /// and a noticeable fraction of the frozen map. `Arc::make_mut`
+    /// copies the frozen map only when a clone still shares it; folds
+    /// are rare enough (every quarter-growth at most) to amortize that.
+    fn fold_overlay(&mut self) {
+        if self.overlay.len() >= FOLD_MIN && self.overlay.len() * 4 >= self.frozen.len() {
+            let frozen = Arc::make_mut(&mut self.frozen);
+            for (h, rows) in self.overlay.drain() {
+                match frozen.entry(h) {
+                    Entry::Vacant(e) => {
+                        e.insert(rows);
+                    }
+                    Entry::Occupied(mut e) => {
+                        for &r in rows.as_slice() {
+                            e.get_mut().push(r);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The live row storing exactly `fact`, if any.
+    fn find_live(&self, hash: u64, fact: &[Const]) -> Option<u32> {
+        let scan = |rows: &[u32]| {
+            rows.iter()
+                .copied()
+                .find(|&r| !self.is_dead(r) && self.row_eq(r, fact))
+        };
+        if let Some(rows) = self.frozen.get(&hash) {
+            if let Some(r) = scan(rows.as_slice()) {
+                return Some(r);
+            }
+        }
+        self.overlay
+            .get(&hash)
+            .and_then(|rows| scan(rows.as_slice()))
+    }
+
+    #[inline]
+    fn row_eq(&self, row: u32, fact: &[Const]) -> bool {
+        (0..fact.len()).all(|c| self.cell(row, c) == fact[c])
+    }
+
+    #[inline]
+    fn is_dead(&self, row: u32) -> bool {
+        !self.dead.is_empty() && self.dead.contains(&row)
+    }
+
+    /// The cell at (`row`, `col`).
+    #[inline]
+    pub(crate) fn cell(&self, row: u32, col: usize) -> Const {
+        let seg = (row >> SEG_SHIFT) as usize;
+        if let Some(s) = self.sealed.get(seg) {
+            s.cols[col][(row & (SEG_ROWS - 1)) as usize]
+        } else {
+            self.tail[col][row as usize - (self.sealed.len() << SEG_SHIFT)]
+        }
+    }
+
+    /// Materialize one stored row as a [`Fact`].
+    pub(crate) fn row_fact(&self, row: u32) -> Fact {
+        (0..self.arity.unwrap_or(0))
+            .map(|c| self.cell(row, c))
+            .collect()
+    }
+
+    /// Append the live rows whose `col` cell equals `value`, via the
+    /// column's sorted runs plus a linear scan of the index tail.
+    pub(crate) fn probe_rows(&self, col: usize, value: Const, out: &mut Vec<u32>) {
+        let k = key_of(value);
+        let idx = &self.indexes[col];
+        for run in &idx.runs {
+            let lo = run.partition_point(|&r| key_of(self.cell(r, col)) < k);
+            for &r in &run[lo..] {
+                if self.cell(r, col) != value {
+                    break;
+                }
+                if !self.is_dead(r) {
+                    out.push(r);
+                }
+            }
+        }
+        for r in idx.covered..self.total {
+            if self.cell(r, col) == value && !self.is_dead(r) {
+                out.push(r);
+            }
+        }
+    }
+
+    /// Estimated number of rows (tombstones included) whose `col` cell
+    /// equals `value` — the selectivity estimate driving probe-column
+    /// choice.
+    pub(crate) fn count_eq(&self, col: usize, value: Const) -> usize {
+        let k = key_of(value);
+        let idx = &self.indexes[col];
+        let mut n = 0;
+        for run in &idx.runs {
+            let lo = run.partition_point(|&r| key_of(self.cell(r, col)) < k);
+            n += run[lo..].partition_point(|&r| key_of(self.cell(r, col)) == k);
+        }
+        n + (idx.covered..self.total)
+            .filter(|&r| self.cell(r, col) == value)
+            .count()
+    }
+
+    /// Append every live row id.
+    pub(crate) fn live_rows(&self, out: &mut Vec<u32>) {
+        out.extend((0..self.total).filter(|&r| !self.is_dead(r)));
+    }
+
+    /// A merge-join cursor over one column's sorted index: successive
+    /// [`ColCursor::seek`] calls with non-decreasing keys advance each
+    /// run's position monotonically (galloping), so probing a sorted
+    /// batch of keys costs one linear merge rather than a binary search
+    /// per key.
+    pub(crate) fn col_cursor(&self, col: usize) -> ColCursor<'_> {
+        let idx = &self.indexes[col];
+        let mut tail: Vec<(u128, u32)> = (idx.covered..self.total)
+            .map(|r| (key_of(self.cell(r, col)), r))
+            .collect();
+        tail.sort_unstable();
+        ColCursor {
+            rel: self,
+            col,
+            pos: vec![0; idx.runs.len()],
+            tail,
+            tail_pos: 0,
+        }
     }
 
     /// Retract a fact; returns `true` if it was present.
     ///
-    /// Storage stays compact: the last row is swapped into the vacated
-    /// slot and every structure that names rows by id — the dedup bucket
-    /// of the moved tuple and its per-column index entries — is patched
-    /// to the new id. When the last fact is retracted the relation
-    /// returns to its pristine state (arity forgotten, indexes dropped),
-    /// so a later insert may legally use a different arity.
+    /// The row is tombstoned rather than moved — sorted runs make
+    /// id-patching (the old swap-remove scheme) too expensive — and the
+    /// relation compacts once tombstones reach half the stored rows.
+    /// When the last fact is retracted the relation returns to its
+    /// pristine state (arity forgotten), so a later insert may legally
+    /// use a different arity.
     pub fn retract(&mut self, fact: &[Const]) -> bool {
         if self.arity != Some(fact.len()) {
             return false;
         }
         let hash = fact_hash(fact);
-        let Some(bucket) = self.dedup.get_mut(&hash) else {
+        let Some(row) = self.find_live(hash, fact) else {
             return false;
         };
-        let Some(pos) = bucket
-            .iter()
-            .position(|&r| *self.facts[r as usize] == *fact)
-        else {
-            return false;
-        };
-        let row = bucket.swap_remove(pos);
-        if bucket.is_empty() {
-            self.dedup.remove(&hash);
+        self.dead.insert(row);
+        self.mutations += 1;
+        if self.is_empty() {
+            *self = Relation::default();
+            return true;
         }
-        for (col, c) in fact.iter().enumerate() {
-            let entry = self
-                .indexes
-                .get_mut(col)
-                .and_then(|idx| idx.get_mut(c))
-                .expect("stored fact is indexed");
-            let at = entry
-                .iter()
-                .position(|&r| r == row)
-                .expect("stored fact is indexed");
-            entry.swap_remove(at);
-            if entry.is_empty() {
-                self.indexes[col].remove(c);
-            }
-        }
-        let last = u32::try_from(self.facts.len() - 1).expect("relation row overflow");
-        self.facts.swap_remove(row as usize);
-        if row != last {
-            // The old last row now lives at `row`: rewrite its id.
-            let moved = self.facts[row as usize].clone();
-            let bucket = self
-                .dedup
-                .get_mut(&fact_hash(&moved))
-                .expect("moved fact is deduped");
-            let at = bucket
-                .iter()
-                .position(|&r| r == last)
-                .expect("moved fact is deduped");
-            bucket[at] = row;
-            for (col, c) in moved.iter().enumerate() {
-                let entry = self.indexes[col].get_mut(c).expect("moved fact is indexed");
-                let at = entry
-                    .iter()
-                    .position(|&r| r == last)
-                    .expect("moved fact is indexed");
-                entry[at] = row;
-            }
-        }
-        if self.facts.is_empty() {
-            self.arity = None;
-            self.indexes.clear();
-            self.dedup.clear();
+        if self.dead.len() >= COMPACT_MIN && self.dead.len() * 2 >= self.total as usize {
+            self.compact();
         }
         true
     }
 
-    /// Whether the relation contains exactly this fact.
-    pub fn contains(&self, fact: &[Const]) -> bool {
-        self.dedup
-            .get(&fact_hash(fact))
-            .is_some_and(|rows| rows.iter().any(|&r| *self.facts[r as usize] == *fact))
+    /// Rebuild storage with tombstoned rows dropped, in storage order.
+    /// Segments, indexes, and the dedup map are rebuilt from scratch;
+    /// the cost is amortized against the retractions that created the
+    /// tombstones.
+    fn compact(&mut self) {
+        let Some(arity) = self.arity else { return };
+        let mut fresh = Relation::default();
+        let mut buf: Vec<Const> = Vec::with_capacity(arity);
+        for row in 0..self.total {
+            if self.is_dead(row) {
+                continue;
+            }
+            buf.clear();
+            for c in 0..arity {
+                buf.push(self.cell(row, c));
+            }
+            fresh.insert_if_new(&buf);
+        }
+        fresh.arity = Some(arity);
+        if fresh.tail.is_empty() {
+            fresh.tail = vec![Vec::new(); arity];
+            fresh.indexes = vec![ColIndex::default(); arity];
+        }
+        *self = fresh;
     }
 
-    /// Iterate over all facts.
-    pub fn iter(&self) -> impl Iterator<Item = &Fact> {
-        self.facts.iter()
+    /// Whether the relation contains exactly this fact.
+    pub fn contains(&self, fact: &[Const]) -> bool {
+        self.arity == Some(fact.len()) && self.find_live(fact_hash(fact), fact).is_some()
+    }
+
+    /// Iterate over all live facts, materialized row by row in storage
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = Fact> + '_ {
+        (0..self.total)
+            .filter(|&r| !self.is_dead(r))
+            .map(|r| self.row_fact(r))
     }
 
     /// Facts matching a binding pattern: `pattern[i] = Some(c)` requires
-    /// column `i` to equal `c`. Rows are yielded in storage order, which
-    /// is insertion order until the first retraction perturbs it; every
-    /// externally visible ordering goes through [`Relation::sorted`].
-    pub fn matching<'a>(
-        &'a self,
-        pattern: &'a [Option<Const>],
-    ) -> Box<dyn Iterator<Item = &'a Fact> + 'a> {
-        // Pick the most selective bound column to drive the scan.
-        let best = pattern
-            .iter()
-            .enumerate()
-            .filter_map(|(i, p)| p.as_ref().map(|c| (i, c)))
-            .filter_map(|(i, c)| {
-                self.indexes
-                    .get(i)
-                    .map(|idx| (i, c, idx.get(c).map_or(0, Vec::len)))
-            })
-            .min_by_key(|&(_, _, n)| n);
-        match best {
-            Some((col, c, _)) => {
-                let rows = self.indexes[col].get(c).map(Vec::as_slice).unwrap_or(&[]);
-                Box::new(
-                    rows.iter()
-                        .map(move |&r| &self.facts[r as usize])
-                        .filter(move |f| fact_matches(f, pattern)),
-                )
+    /// column `i` to equal `c`. The most selective bound column (by
+    /// index estimate) drives the probe; the rest post-filter. Rows are
+    /// yielded in no particular order; every externally visible ordering
+    /// goes through [`Relation::sorted`].
+    pub fn matching(&self, pattern: &[Option<Const>]) -> impl Iterator<Item = Fact> + '_ {
+        let mut rows: Vec<u32> = Vec::new();
+        if self.arity == Some(pattern.len()) {
+            let driver = pattern
+                .iter()
+                .enumerate()
+                .filter_map(|(i, p)| p.map(|c| (i, c)))
+                .min_by_key(|&(i, c)| self.count_eq(i, c));
+            match driver {
+                Some((col, c)) => self.probe_rows(col, c, &mut rows),
+                None => self.live_rows(&mut rows),
             }
-            None => Box::new(self.facts.iter().filter(move |f| fact_matches(f, pattern))),
+            rows.retain(|&r| {
+                pattern
+                    .iter()
+                    .enumerate()
+                    .all(|(i, p)| p.is_none_or(|c| self.cell(r, i) == c))
+            });
         }
+        rows.into_iter().map(|r| self.row_fact(r))
     }
 
     /// Facts sorted lexicographically — deterministic output order for
     /// printing and testing.
     pub fn sorted(&self) -> Vec<Fact> {
-        let mut out = self.facts.clone();
+        let mut out: Vec<Fact> = self.iter().collect();
         out.sort();
         out
     }
@@ -261,7 +678,50 @@ impl Relation {
 
 impl fmt::Debug for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Relation({} facts)", self.facts.len())
+        write!(f, "Relation({} facts)", self.len())
+    }
+}
+
+/// See [`Relation::col_cursor`].
+pub(crate) struct ColCursor<'a> {
+    rel: &'a Relation,
+    col: usize,
+    /// Per-run forward position (monotone under sorted seeks).
+    pos: Vec<usize>,
+    /// `(key, row)` for rows not yet covered by a run, sorted.
+    tail: Vec<(u128, u32)>,
+    tail_pos: usize,
+}
+
+impl ColCursor<'_> {
+    /// Append the live rows whose cell equals `value`. Successive calls
+    /// must present non-decreasing `key_of(value)`.
+    pub(crate) fn seek(&mut self, value: Const, out: &mut Vec<u32>) {
+        let k = key_of(value);
+        let idx = &self.rel.indexes[self.col];
+        for (run, p) in idx.runs.iter().zip(&mut self.pos) {
+            *p = gallop(run, *p, |&r| key_of(self.rel.cell(r, self.col)) < k);
+            while let Some(&r) = run.get(*p) {
+                if self.rel.cell(r, self.col) != value {
+                    break;
+                }
+                *p += 1;
+                if !self.rel.is_dead(r) {
+                    out.push(r);
+                }
+            }
+        }
+        let t = &mut self.tail_pos;
+        *t = gallop(&self.tail, *t, |&(tk, _)| tk < k);
+        while let Some(&(tk, r)) = self.tail.get(*t) {
+            if tk != k {
+                break;
+            }
+            *t += 1;
+            if !self.rel.is_dead(r) {
+                out.push(r);
+            }
+        }
     }
 }
 
@@ -273,13 +733,16 @@ impl fmt::Debug for Relation {
 /// output is deterministic and identical to the previous
 /// `BTreeMap<Arc<str>, _>` representation.
 ///
-/// Relation segments are [`Arc`]-shared: `Database::clone` is O(number
-/// of relations) and shares every fact, index, and dedup table with the
-/// original. Mutation goes through [`Arc::make_mut`], copying only the
-/// relations a writer actually touches (copy-on-write). This is what
-/// makes MVCC generations cheap — a committed generation can stay
-/// pinned by reader [`Snapshot`](crate::Snapshot)s while the next one
-/// is built from a clone.
+/// Relations are [`Arc`]-shared: `Database::clone` is O(number of
+/// relations) and shares every segment, index run, and dedup table with
+/// the original. Mutation goes through [`Arc::make_mut`], which detaches
+/// only the relations a writer actually touches — and a detach itself is
+/// cheap, copying the short mutable tail, the overlay, and the run/
+/// segment pointer lists while continuing to share the sealed column
+/// segments and the frozen dedup map. This is what makes MVCC
+/// generations cheap — a committed generation can stay pinned by reader
+/// [`Snapshot`](crate::Snapshot)s while the next one is built from a
+/// clone.
 #[derive(Clone, Default)]
 pub struct Database {
     relations: FxHashMap<SymId, Arc<Relation>>,
@@ -309,11 +772,39 @@ impl Database {
 
     /// The relation for an interned predicate id, creating it if missing.
     ///
-    /// If the relation segment is shared with another generation (the
-    /// database was cloned), it is detached (deep-copied) here, so the
-    /// pinned generation never observes the mutation.
+    /// If the relation is shared with another generation (the database
+    /// was cloned), it is detached here; sealed segments and the frozen
+    /// dedup map stay shared, so the detach is O(tail), not O(relation).
     pub fn relation_mut_id(&mut self, predicate: SymId) -> &mut Relation {
         Arc::make_mut(self.relations.entry(predicate).or_default())
+    }
+
+    /// Bring `predicate`'s sorted index on `col` up to date, if the
+    /// column has fallen more than [`INDEX_TAIL_MAX`] rows behind.
+    /// Compiled plans declare the columns they probe and the evaluator
+    /// calls this at round boundaries — the trigger that makes index
+    /// maintenance demand-driven. Detaches the relation (copy-on-write)
+    /// only when there is sealing work to do.
+    pub(crate) fn ensure_index_id(&mut self, predicate: SymId, col: usize) {
+        let Some(rel) = self.relations.get_mut(&predicate) else {
+            return;
+        };
+        if rel.index_lag(col) >= INDEX_TAIL_MAX {
+            Arc::make_mut(rel).ensure_index(col);
+        }
+    }
+
+    /// Seal every materialized index tail across all relations. Called
+    /// before publishing this database as an immutable snapshot: readers
+    /// cannot seal lazily, so shipping fully covered indexes keeps their
+    /// probes on the sorted-run fast path. Detaches (copy-on-write) only
+    /// relations with sealing work outstanding.
+    pub fn seal_indexes(&mut self) {
+        for rel in self.relations.values_mut() {
+            if rel.has_unsealed_index() {
+                Arc::make_mut(rel).seal_materialized_indexes();
+            }
+        }
     }
 
     /// Insert a fact; returns `true` if new.
@@ -349,8 +840,8 @@ impl Database {
     /// was present. The relation entry itself stays registered (empty), so
     /// plans that resolved the predicate keep working.
     pub fn retract_id(&mut self, predicate: SymId, fact: &[Const]) -> bool {
-        // Only detach the shared segment if the fact is actually present;
-        // a no-op retract must not deep-copy the relation.
+        // Only detach the shared relation if the fact is actually present;
+        // a no-op retract must not copy anything.
         let gone = match self.relations.get_mut(&predicate) {
             Some(rel) if rel.contains(fact) => Arc::make_mut(rel).retract(fact),
             _ => false,
@@ -368,7 +859,7 @@ impl Database {
     pub fn clear_relation_id(&mut self, predicate: SymId) {
         if let Some(rel) = self.relations.get_mut(&predicate) {
             self.fact_count -= rel.len();
-            // Fresh Arc rather than make_mut: the old segment may stay
+            // Fresh Arc rather than make_mut: the old relation may stay
             // pinned by a snapshot, and a reset needs no copy anyway.
             *rel = Arc::new(Relation::new());
         }
@@ -508,9 +999,8 @@ mod tests {
     }
 
     #[test]
-    fn retract_patches_moved_row_ids() {
-        // Retract the first row so the last row is swapped into slot 0;
-        // index probes and dedup must still find it under its new id.
+    fn retract_keeps_probes_consistent() {
+        // Tombstoned rows must be invisible to index probes and dedup.
         let mut r = Relation::new();
         for (x, y) in [("a", "b"), ("c", "d"), ("e", "f")] {
             r.insert(vec![c(x), c(y)]);
@@ -519,10 +1009,12 @@ mod tests {
         let pat = vec![Some(c("e")), None];
         let hits: Vec<_> = r.matching(&pat).collect();
         assert_eq!(hits.len(), 1);
-        assert_eq!(**hits[0], [c("e"), c("f")]);
+        assert_eq!(*hits[0], [c("e"), c("f")]);
         assert!(r.contains(&[c("e"), c("f")]));
         assert!(!r.insert(vec![c("e"), c("f")]), "dedup still sees it");
         assert!(!r.insert(vec![c("c"), c("d")]));
+        let pat = vec![Some(c("a")), None];
+        assert_eq!(r.matching(&pat).count(), 0, "tombstone is invisible");
         assert_eq!(r.len(), 2);
     }
 
@@ -566,6 +1058,103 @@ mod tests {
     }
 
     #[test]
+    fn probes_work_across_sealed_runs_and_segments() {
+        // Cross both the INDEX_TAIL_MAX run-seal and the SEG_ROWS
+        // segment-seal thresholds, then verify point probes everywhere.
+        let n = i64::from(SEG_ROWS) + 700;
+        let mut r = Relation::new();
+        for i in 0..n {
+            r.insert(vec![Const::int(i), Const::int(i % 7)]);
+            // Staggered seals build a genuine run cascade on column 0
+            // while column 1 keeps a partial index plus unsorted tail.
+            if i == 100 || i == 1000 || i == 4200 {
+                r.ensure_index(0);
+            }
+            if i == 2000 {
+                r.ensure_index(1);
+            }
+        }
+        r.ensure_index(0);
+        assert_eq!(r.index_lag(0), 0);
+        assert!(r.index_lag(1) > 0, "column 1 keeps an unsealed tail");
+        assert_eq!(r.len(), usize::try_from(n).expect("fits"));
+        for i in [0, 1, 4095, 4096, 4097, n - 1] {
+            let pat = vec![Some(Const::int(i)), None];
+            assert_eq!(r.matching(&pat).count(), 1, "row {i}");
+            assert!(r.contains(&[Const::int(i), Const::int(i % 7)]));
+        }
+        // Low-selectivity column: every residue class is fully found.
+        let pat = vec![None, Some(Const::int(3))];
+        let expect = (0..n).filter(|i| i % 7 == 3).count();
+        assert_eq!(r.matching(&pat).count(), expect);
+    }
+
+    #[test]
+    fn cursor_merges_sorted_probes() {
+        let mut r = Relation::new();
+        for i in 0..1000 {
+            r.insert(vec![Const::int(i % 50), Const::int(i)]);
+            if i == 300 || i == 600 {
+                r.ensure_index(0);
+            }
+        }
+        // Two sealed runs plus a 399-row unsorted tail: the cursor must
+        // merge all three sources.
+        let mut cur = r.col_cursor(0);
+        let mut total = 0;
+        for v in 0..50 {
+            let mut rows = Vec::new();
+            cur.seek(Const::int(v), &mut rows);
+            assert_eq!(rows.len(), 20, "value {v}");
+            assert!(rows.iter().all(|&row| r.cell(row, 0) == Const::int(v)));
+            total += rows.len();
+        }
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn compaction_preserves_contents() {
+        let mut r = Relation::new();
+        let n = 4 * i64::try_from(COMPACT_MIN).expect("fits");
+        for i in 0..n {
+            r.insert(vec![Const::int(i)]);
+        }
+        for i in 0..n {
+            if i % 2 == 0 {
+                assert!(r.retract(&[Const::int(i)]));
+            }
+        }
+        // Compaction has certainly triggered: half the rows died.
+        assert_eq!(r.len(), usize::try_from(n / 2).expect("fits"));
+        for i in 0..n {
+            assert_eq!(r.contains(&[Const::int(i)]), i % 2 == 1);
+        }
+        let pat = vec![Some(Const::int(1))];
+        assert_eq!(r.matching(&pat).count(), 1);
+    }
+
+    #[test]
+    fn clone_shares_segments_and_stays_isolated() {
+        let mut r = Relation::new();
+        let n = i64::from(SEG_ROWS) + 10;
+        for i in 0..n {
+            r.insert(vec![Const::int(i)]);
+        }
+        let snap = r.clone();
+        // The sealed segment is shared, not copied.
+        assert!(Arc::ptr_eq(&r.sealed[0], &snap.sealed[0]));
+        // Mutating the original must not leak into the clone.
+        r.insert(vec![Const::int(n)]);
+        assert!(r.retract(&[Const::int(0)]));
+        assert_eq!(snap.len(), usize::try_from(n).expect("fits"));
+        assert!(snap.contains(&[Const::int(0)]));
+        assert!(!snap.contains(&[Const::int(n)]));
+        let pat = vec![Some(Const::int(0))];
+        assert_eq!(snap.matching(&pat).count(), 1);
+        assert_eq!(r.matching(&pat).count(), 0);
+    }
+
+    #[test]
     fn database_retract_tracks_fact_count() {
         let mut db = Database::new();
         db.insert("p", vec![c("a")]);
@@ -594,5 +1183,136 @@ mod tests {
             db.relation("p").unwrap(),
             db.relation_id(p).unwrap()
         ));
+    }
+}
+
+/// Model-based property tests for the per-column sorted permutation
+/// indexes: after any interleaving of inserts, retracts, partial index
+/// seals, and COW clones — sized to cross the segment-seal
+/// ([`SEG_ROWS`]), overlay-fold ([`FOLD_MIN`]), and tombstone-compaction
+/// ([`COMPACT_MIN`]) thresholds — every index run must stay sorted and
+/// jointly partition `0..covered`, and both probe paths
+/// ([`Relation::probe_rows`], [`ColCursor::seek`]) must agree with a
+/// naive scan of the column segments.
+#[cfg(test)]
+mod index_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn nv(i: usize) -> Const {
+        Const::sym(format!("v{i}"))
+    }
+
+    /// Check every sorted-run invariant plus probe/cursor agreement with
+    /// a naive segment scan, for every column, at whatever index
+    /// coverage the relation currently has (tail paths included).
+    fn assert_indexes_agree(rel: &Relation) {
+        let Some(arity) = rel.arity() else { return };
+        let mut live = Vec::new();
+        rel.live_rows(&mut live);
+        for col in 0..arity {
+            let idx = &rel.indexes[col];
+            // Each run is strictly sorted by (key, row); together the
+            // runs are a permutation of the covered prefix.
+            let mut union: Vec<u32> = Vec::new();
+            for run in &idx.runs {
+                for w in run.windows(2) {
+                    let a = (key_of(rel.cell(w[0], col)), w[0]);
+                    let b = (key_of(rel.cell(w[1], col)), w[1]);
+                    assert!(a < b, "run out of order on col {col}: {a:?} !< {b:?}");
+                }
+                union.extend_from_slice(run);
+            }
+            union.sort_unstable();
+            assert_eq!(
+                union,
+                (0..idx.covered).collect::<Vec<u32>>(),
+                "runs must partition 0..covered on col {col}"
+            );
+            // Ground truth per value, straight from the segment cells.
+            let mut truth: FxHashMap<Const, Vec<u32>> = FxHashMap::default();
+            for &r in &live {
+                truth.entry(rel.cell(r, col)).or_default().push(r);
+            }
+            // The cursor contract requires non-decreasing keys.
+            let mut values: Vec<Const> = truth.keys().copied().collect();
+            values.sort_unstable_by_key(|&v| key_of(v));
+            let mut cur = rel.col_cursor(col);
+            for &v in &values {
+                let mut probed = Vec::new();
+                rel.probe_rows(col, v, &mut probed);
+                probed.sort_unstable();
+                assert_eq!(probed, truth[&v], "probe_rows col {col} value {v:?}");
+                // count_eq counts tombstones too: an upper bound.
+                assert!(rel.count_eq(col, v) >= probed.len());
+                let mut sought = Vec::new();
+                cur.seek(v, &mut sought);
+                sought.sort_unstable();
+                assert_eq!(sought, truth[&v], "cursor seek col {col} value {v:?}");
+            }
+            let mut probed = Vec::new();
+            rel.probe_rows(col, Const::sym("absent-key"), &mut probed);
+            assert!(
+                probed.is_empty(),
+                "absent value must probe empty on col {col}"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn sorted_indexes_agree_with_segments(
+            preload in (SEG_ROWS as usize + 40)..(SEG_ROWS as usize + 260),
+            ops in proptest::collection::vec((0u8..100, 0usize..12, 0usize..64), 1..48),
+        ) {
+            // Preload distinct facts past the SEG_ROWS segment seal and
+            // the FOLD_MIN overlay fold; col 0 is 12-valued (fat key
+            // groups), col 1 is unique per row.
+            let mut rel = Relation::new();
+            for i in 0..preload {
+                rel.insert_if_new(&[nv(i % 12), Const::int(i as i64)]);
+            }
+            rel.ensure_index(0);
+            assert_indexes_agree(&rel); // col 1 unsealed: pure tail path
+
+            // COW generation pinned mid-history.
+            let snapshot = rel.clone();
+            let snap_facts = snapshot.sorted();
+
+            for &(w, x, y) in &ops {
+                let f = [nv(x), Const::int(y as i64)];
+                match w {
+                    0..=44 => {
+                        rel.insert_if_new(&f);
+                    }
+                    45..=84 => {
+                        rel.retract(&f);
+                    }
+                    _ => rel.ensure_index(usize::from(w) % 2),
+                }
+            }
+            rel.ensure_index(0);
+            rel.ensure_index(1);
+            assert_indexes_agree(&rel);
+
+            // Mass-retract half the preload: crosses COMPACT_MIN, so the
+            // relation rebuilds and the indexes restart from scratch.
+            for i in 0..preload / 2 {
+                rel.retract(&[nv(i % 12), Const::int(i as i64)]);
+            }
+            rel.ensure_index(0);
+            assert_indexes_agree(&rel);
+
+            // The pinned generation never saw any of it, and sealing its
+            // own indexes is still consistent and content-preserving.
+            let mut snap = snapshot;
+            prop_assert_eq!(&snap.sorted(), &snap_facts);
+            snap.ensure_index(0);
+            snap.ensure_index(1);
+            assert_indexes_agree(&snap);
+            prop_assert_eq!(&snap.sorted(), &snap_facts);
+        }
     }
 }

@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 
 use multilog_datalog::Strategy as EvalStrategy;
-use multilog_datalog::{parse_program, Const, Database, Engine, Program};
+use multilog_datalog::{parse_program, Const, Database, Engine, Executor, Program};
 
 /// Random edge relations over a small constant universe plus the standard
 /// recursive closure rules — a family of programs with genuine recursion.
@@ -133,6 +133,39 @@ proptest! {
     }
 
     #[test]
+    fn batched_equals_tuple_executor_on_closure(p in arb_closure_program()) {
+        // The columnar batch executor and the tuple-at-a-time reference
+        // executor run the same compiled plans; they must produce the
+        // same least model on recursive programs with negation.
+        let batched = Engine::new(&p)
+            .unwrap()
+            .with_executor(Executor::Batched)
+            .run()
+            .unwrap();
+        let tuple = Engine::new(&p)
+            .unwrap()
+            .with_executor(Executor::Tuple)
+            .run()
+            .unwrap();
+        prop_assert_eq!(all_facts(&batched), all_facts(&tuple));
+    }
+
+    #[test]
+    fn batched_equals_tuple_executor_on_stratified(p in arb_stratified_program()) {
+        let batched = Engine::new(&p)
+            .unwrap()
+            .with_executor(Executor::Batched)
+            .run()
+            .unwrap();
+        let tuple = Engine::new(&p)
+            .unwrap()
+            .with_executor(Executor::Tuple)
+            .run()
+            .unwrap();
+        prop_assert_eq!(all_facts(&batched), all_facts(&tuple));
+    }
+
+    #[test]
     fn strategies_agree_on_stratified(p in arb_stratified_program()) {
         let semi = Engine::new(&p).unwrap().run().unwrap();
         let naive = Engine::new(&p)
@@ -154,7 +187,7 @@ proptest! {
         let edges = db.relation("edge").unwrap_or(&empty);
         let paths = db.relation("path").unwrap_or(&empty);
         for e in edges.iter() {
-            prop_assert!(paths.contains(e), "edge {:?} not in path", e);
+            prop_assert!(paths.contains(&e), "edge {:?} not in path", e);
         }
         for e in edges.iter() {
             for q in paths.iter() {
