@@ -60,6 +60,15 @@ pub struct Options {
     /// `serve` only: accept line-protocol connections on this TCP
     /// address instead of stdin (`--listen`).
     pub listen: Option<String>,
+    /// Refuse to evaluate when the lattice-flow analysis reports any
+    /// ML02xx finding (`--deny flow`; `run`/`query`/`serve`).
+    pub deny_flow: bool,
+    /// Prune statically-invisible rules from demand-driven goal
+    /// evaluation using the lattice-flow bounds (`--flow-prune`).
+    pub flow_prune: bool,
+    /// `analyze` only: explain one predicate's inferred bounds instead
+    /// of printing the whole report (`--explain <pred>`).
+    pub explain: Option<String>,
 }
 
 /// Errors surfaced to the CLI user.
@@ -73,6 +82,7 @@ pub fn engine_options(opts: &Options) -> EngineOptions {
         fact_limit: opts.max_facts.unwrap_or(0),
         deadline: opts.deadline_ms.map(std::time::Duration::from_millis),
         cancel: None,
+        flow_prune: opts.flow_prune,
     }
 }
 
@@ -113,6 +123,53 @@ fn preflight(source: &str, opts: &Options) -> Result<String, String> {
     ))
 }
 
+/// Flow preflight for `run`/`query`/`serve` under `--deny flow`: refuse
+/// to evaluate when the lattice-flow analysis reports any ML02xx
+/// finding (inference channels are warnings, but `--deny flow` treats
+/// the program as untrusted until they are resolved).
+fn flow_preflight(source: &str, opts: &Options) -> Result<(), String> {
+    if !opts.deny_flow {
+        return Ok(());
+    }
+    // Syntax errors are reported by `load` with the same message; let it.
+    let Ok(report) = multilog_core::analyze_source(source) else {
+        return Ok(());
+    };
+    let findings = report.errors() + report.warnings();
+    if findings == 0 {
+        return Ok(());
+    }
+    Err(format!(
+        "--deny flow: the lattice-flow analysis found {findings} channel \
+         finding{}; run `multilog analyze` for details\n\n{}",
+        if findings == 1 { "" } else { "s" },
+        report.lint_report().render_human("<db>")
+    ))
+}
+
+/// `multilog analyze <file>`: run the lattice-flow abstract
+/// interpretation and print per-predicate level/class bounds plus the
+/// ML02xx channel findings (rustc-style, or JSON with `--format json`).
+/// `--explain <pred>` narrows the output to one predicate's bound
+/// derivation.
+pub fn analyze(source: &str, source_name: &str, opts: &Options) -> CliResult {
+    let report =
+        multilog_core::analyze_source(source).map_err(|e| format!("cannot parse database: {e}"))?;
+    if let Some(pred) = opts.explain.as_deref() {
+        let rendered = if opts.json {
+            report.explain_json(pred)
+        } else {
+            report.explain(pred)
+        };
+        return rendered.ok_or_else(|| format!("no predicate named `{pred}` in the program"));
+    }
+    if opts.json {
+        Ok(format!("{}\n", report.render_json()))
+    } else {
+        Ok(report.render_human(source_name))
+    }
+}
+
 /// `multilog lint <file>`: run the static-analysis pass and print the
 /// findings (rustc-style, or JSON with `--format json`). `--user` is
 /// optional; when given, clearance-dependent lints (ML0114) also run.
@@ -134,6 +191,7 @@ pub fn lint(source: &str, source_name: &str, opts: &Options) -> CliResult {
 /// `multilog run <file>`: evaluate the database and answer every query in
 /// its `Q` component.
 pub fn run(source: &str, opts: &Options) -> CliResult {
+    flow_preflight(source, opts)?;
     let mut out = preflight(source, opts)?;
     let db = load(source)?;
     let queries = db.queries().to_vec();
@@ -181,6 +239,7 @@ pub fn run(source: &str, opts: &Options) -> CliResult {
 
 /// `multilog query <file> <goal>`: answer one ad hoc goal.
 pub fn query(source: &str, goal: &str, opts: &Options) -> CliResult {
+    flow_preflight(source, opts)?;
     let mut out = preflight(source, opts)?;
     let db = load(source)?;
     match opts.engine {
@@ -511,6 +570,7 @@ impl ServeSession {
     ///
     /// Parse failures, rendered for the CLI user.
     pub fn new(source: &str, opts: &Options) -> Result<Self, String> {
+        flow_preflight(source, opts)?;
         let db = load(source)?;
         let server = Arc::new(BeliefServer::new(db, engine_options(opts)));
         Ok(Self::with_server(server))
@@ -786,6 +846,7 @@ USAGE:
   multilog reduce <file.mlog> --user <level>
   multilog check  <file.mlog> --user <level>
   multilog lint   <file.mlog> [--user <level>] [--format human|json]
+  multilog analyze <file.mlog> [--format human|json] [--explain <pred>]
   multilog repl   <file.mlog> --user <level> [--filter] [GUARDS]
   multilog serve  <file.mlog> [--user <level>] [--listen <addr>] [GUARDS]
 
@@ -806,6 +867,20 @@ LINT:
   automatically and refuse to evaluate on error-severity findings:
   --no-lint          skip the preflight entirely
   --lint-warn        report lint errors but evaluate anyway
+
+ANALYZE:
+  `analyze` runs the lattice-flow abstract interpretation: sound
+  per-predicate bounds on the security levels and classifications a
+  predicate can achieve, plus interprocedural channel findings
+  (ML02xx codes; see docs/LINTS.md). --explain <pred> prints one
+  predicate's bound derivation (which facts and rules contribute).
+  Flow results also feed evaluation:
+  --deny flow        run/query/serve refuse to start when the flow
+                     analysis reports any ML02xx finding
+  --flow-prune       drop rules the analysis proves invisible at the
+                     session clearance from demand-driven goal
+                     evaluation (answers are unchanged; with --stats,
+                     demand runs report the pruned rule count)
 
 GOALS:
   m-atom     s[p(k : a -c-> v)]
@@ -874,15 +949,24 @@ pub fn parse_args(args: &[String]) -> Result<(String, String, Option<String>, Op
             "--listen" => {
                 opts.listen = Some(it.next().ok_or("--listen needs an address")?.clone());
             }
+            "--deny" => match it.next().map(String::as_str) {
+                Some("flow") => opts.deny_flow = true,
+                other => return Err(format!("unknown --deny class {other:?} (try `flow`)")),
+            },
+            "--flow-prune" => opts.flow_prune = true,
+            "--explain" => {
+                opts.explain = Some(it.next().ok_or("--explain needs a predicate name")?.clone());
+            }
             other if file.is_none() => file = Some(other.to_owned()),
             other if goal.is_none() => goal = Some(other.to_owned()),
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
     let file = file.ok_or("missing database file")?;
-    // `lint` and `serve` work without a clearance (serve sessions pick
+    // `lint`, `analyze`, and `serve` work without a clearance (the flow
+    // analysis bounds every clearance at once; serve sessions pick
     // theirs at `open`); every other command needs one.
-    if opts.user.is_empty() && cmd != "lint" && cmd != "serve" {
+    if opts.user.is_empty() && cmd != "lint" && cmd != "serve" && cmd != "analyze" {
         return Err("missing --user <level>".to_owned());
     }
     Ok((cmd, file, goal, opts))
@@ -1329,6 +1413,112 @@ mod tests {
         let (_, _, _, o) = parse_args(&to(&["serve", "f.mlog", "--user", "s"])).unwrap();
         assert_eq!(o.user, "s");
         assert!(parse_args(&to(&["serve", "f.mlog", "--listen"])).is_err());
+    }
+
+    #[test]
+    fn analyze_command_renders_bounds_and_findings() {
+        let out = analyze(DB, "db.mlog", &opts("")).unwrap();
+        assert!(out.contains("m p: level ∈ [{u}, {s}]"), "{out}");
+        // DB's cau rule escalates `p` back up the lattice: ML0203 fires.
+        assert!(out.contains("ML0203"), "{out}");
+        let mut o = opts("");
+        o.json = true;
+        let out = analyze(DB, "db.mlog", &o).unwrap();
+        assert!(out.starts_with("{\"predicates\":["), "{out}");
+        assert!(out.contains("\"code\":\"ML0203\""), "{out}");
+    }
+
+    #[test]
+    fn analyze_explain_narrows_to_one_predicate() {
+        let mut o = opts("");
+        o.explain = Some("p".to_owned());
+        let out = analyze(DB, "db.mlog", &o).unwrap();
+        assert!(out.contains("level ∈ u, class ∈ u"), "{out}");
+        assert!(out.contains("rule `c[p(k : a -c-> t)] <- q(j).`"), "{out}");
+        o.explain = Some("zz".to_owned());
+        assert!(analyze(DB, "db.mlog", &o).is_err());
+    }
+
+    #[test]
+    fn deny_flow_refuses_channelful_programs_only() {
+        let mut o = opts("s");
+        o.deny_flow = true;
+        // DB has ML0202/ML0203/ML0204 findings: refused.
+        let err = run(DB, &o).unwrap_err();
+        assert!(err.contains("--deny flow"), "{err}");
+        assert!(query(DB, "q(X)", &o).unwrap_err().contains("--deny flow"));
+        assert!(ServeSession::new(DB, &o).is_err());
+        // A channel-free program still evaluates.
+        let clean = "level(u). level(s). order(u, s).\n\
+                     u[r(k : a -u-> v)]. <- u[r(k : a -u-> v)].";
+        let out = run(clean, &o).unwrap();
+        assert!(out.contains("yes"), "{out}");
+        // Without the flag DB evaluates as before.
+        assert!(run(DB, &opts("s")).is_ok());
+    }
+
+    #[test]
+    fn flow_prune_flag_keeps_answers_identical() {
+        for goal in ["q(X)", "s[p(k : a -u-> v)]", "L[p(k : a -C-> V)] << opt"] {
+            for user in ["u", "c", "s"] {
+                let mut o = opts(user);
+                o.engine = EngineKind::Reduced;
+                let plain = query(DB, goal, &o).unwrap();
+                o.flow_prune = true;
+                assert_eq!(query(DB, goal, &o).unwrap(), plain, "goal {goal} at {user}");
+            }
+        }
+    }
+
+    #[test]
+    fn flow_prune_stats_report_pruned_rules() {
+        let mut o = opts("u");
+        o.engine = EngineKind::Reduced;
+        o.flow_prune = true;
+        o.stats = true;
+        let out = query(DB, "u[p(k : a -u-> v)]", &o).unwrap();
+        assert!(out.contains("yes"), "{out}");
+        // At clearance u, DB's c- and s-headed rules (and the cau
+        // machinery for c and s) are statically invisible.
+        let pruned = out
+            .lines()
+            .find_map(|l| l.split("pruned=").nth(1))
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or_else(|| panic!("no pruned= counter in: {out}"));
+        assert!(pruned > 0, "{out}");
+    }
+
+    #[test]
+    fn parse_args_flow_flags() {
+        let to = |v: &[&str]| v.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        // analyze works without --user.
+        let (cmd, _, _, o) = parse_args(&to(&[
+            "analyze",
+            "f.mlog",
+            "--explain",
+            "p",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert_eq!(cmd, "analyze");
+        assert_eq!(o.explain.as_deref(), Some("p"));
+        assert!(o.json);
+        let (_, _, _, o) = parse_args(&to(&[
+            "query",
+            "f.mlog",
+            "--user",
+            "s",
+            "g",
+            "--deny",
+            "flow",
+            "--flow-prune",
+        ]))
+        .unwrap();
+        assert!(o.deny_flow);
+        assert!(o.flow_prune);
+        assert!(parse_args(&to(&["run", "f.mlog", "--user", "s", "--deny", "zz"])).is_err());
+        assert!(parse_args(&to(&["analyze", "f.mlog", "--explain"])).is_err());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
 use multilog_cli::{
-    check, lint, parse_args, prove, query, reduce, run, serve_io, Options, ReplSession,
+    analyze, check, lint, parse_args, prove, query, reduce, run, serve_io, Options, ReplSession,
     ServeSession, USAGE,
 };
 
@@ -44,6 +44,7 @@ fn dispatch(args: &[String]) -> Result<String, String> {
         "reduce" => reduce(&source, &opts),
         "check" => check(&source, &opts),
         "lint" => lint(&source, &file, &opts),
+        "analyze" => analyze(&source, &file, &opts),
         "repl" => repl(&source, &opts),
         "serve" => serve(&source, &opts),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),

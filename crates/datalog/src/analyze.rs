@@ -23,7 +23,7 @@
 //! MultiLog-specific lints (ML01xx) from `multilog-core` on top of this
 //! pass.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::fmt;
 
 use crate::atom::Literal;
@@ -88,6 +88,110 @@ fn lint(
         severity,
         span,
         message,
+    }
+}
+
+/// Layer-independent lint kernels, shared between this Datalog pass
+/// (ML0005 unreachable-rule, ML0006 singleton-variable) and the MultiLog
+/// pass in `multilog-core` (ML0111 unused-predicate, ML0112
+/// singleton-variable), so the two layers cannot drift: both reduce
+/// their clause structure to predicate indices / variable occurrence
+/// lists and call the same fixpoints.
+pub mod shared {
+    /// One clause abstracted to what the possibly-nonempty fixpoint
+    /// needs: the head predicate index and the positive body predicate
+    /// indices that must all be (possibly) nonempty for the clause to
+    /// fire. Negated literals and built-ins never block firing and are
+    /// simply omitted.
+    #[derive(Clone, Debug)]
+    pub struct AbstractClause {
+        /// The head predicate's index.
+        pub head: usize,
+        /// Indices of the positive body predicates.
+        pub positive_body: Vec<usize>,
+    }
+
+    /// The possibly-nonempty fixpoint over `predicates` many predicates:
+    /// a predicate is possibly nonempty when some clause for it has an
+    /// all-possibly-nonempty positive body (facts fire vacuously). A
+    /// sound over-approximation of "has at least one derivable tuple".
+    #[must_use]
+    pub fn possibly_nonempty(predicates: usize, clauses: &[AbstractClause]) -> Vec<bool> {
+        possibly_nonempty_from(vec![false; predicates], clauses)
+    }
+
+    /// [`possibly_nonempty`], but starting from predicates already known
+    /// nonempty — callers with bulk fact data seed those heads directly
+    /// and pass only genuine rules, keeping the fixpoint proportional to
+    /// the rule count rather than the data volume.
+    #[must_use]
+    pub fn possibly_nonempty_from(
+        mut nonempty: Vec<bool>,
+        clauses: &[AbstractClause],
+    ) -> Vec<bool> {
+        let predicates = nonempty.len();
+        loop {
+            let mut changed = false;
+            for c in clauses {
+                if c.head < predicates
+                    && !nonempty[c.head]
+                    && c.positive_body
+                        .iter()
+                        .all(|&p| p < predicates && nonempty[p])
+                {
+                    nonempty[c.head] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return nonempty;
+            }
+        }
+    }
+
+    /// Transitive reachability over `nodes` many nodes from `seeds`
+    /// along `edges` (directed `from → to` index pairs) — the kernel of
+    /// the unused-predicate lints, which walk the dependency graph
+    /// *backwards* from the query seeds by passing reversed edges.
+    #[must_use]
+    pub fn reachable(
+        nodes: usize,
+        edges: &[(usize, usize)],
+        seeds: impl IntoIterator<Item = usize>,
+    ) -> Vec<bool> {
+        let mut seen = vec![false; nodes];
+        let mut stack: Vec<usize> = seeds.into_iter().filter(|&s| s < nodes).collect();
+        for &s in &stack {
+            seen[s] = true;
+        }
+        while let Some(v) = stack.pop() {
+            for &(from, to) in edges {
+                if from == v && to < nodes && !seen[to] {
+                    seen[to] = true;
+                    stack.push(to);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The variables occurring exactly once in `occurrences` (one entry
+    /// per textual occurrence), excluding `_`-prefixed opt-outs, sorted.
+    /// Callers decide what one "source item" is — a Datalog clause, or a
+    /// whole MultiLog molecule spanning several desugared clauses.
+    #[must_use]
+    pub fn singleton_variables<'a>(occurrences: impl IntoIterator<Item = &'a str>) -> Vec<&'a str> {
+        let mut counts: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+        for v in occurrences {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        let mut singles: Vec<&str> = counts
+            .into_iter()
+            .filter(|&(v, n)| n == 1 && !v.starts_with('_'))
+            .map(|(v, _)| v)
+            .collect();
+        singles.sort_unstable();
+        singles
     }
 }
 
@@ -160,35 +264,38 @@ pub fn analyze(program: &Program) -> Vec<Lint> {
         ));
     }
 
-    // ML0005 — rules over predicates that can never hold. A predicate is
-    // *possibly nonempty* when it has a fact, or a rule whose positive
-    // body literals are all possibly nonempty (negated literals never
-    // block firing).
-    let mut nonempty: HashSet<&str> = HashSet::new();
-    loop {
-        let mut changed = false;
-        for c in program.clauses() {
-            if nonempty.contains(c.head.predicate.as_ref()) {
-                continue;
-            }
-            let fires = c.body.iter().all(|l| match l {
-                Literal::Pos(a) => nonempty.contains(a.predicate.as_ref()),
-                _ => true,
-            });
-            if fires {
-                nonempty.insert(c.head.predicate.as_ref());
-                changed = true;
-            }
-        }
-        if !changed {
-            break;
-        }
-    }
+    // ML0005 — rules over predicates that can never hold, via the shared
+    // possibly-nonempty kernel: a predicate is *possibly nonempty* when
+    // it has a fact, or a rule whose positive body literals are all
+    // possibly nonempty (negated literals never block firing).
+    let index: HashMap<&str, usize> = graph
+        .predicates()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.as_str(), i))
+        .collect();
+    let abstracted: Vec<shared::AbstractClause> = program
+        .clauses()
+        .iter()
+        .filter_map(|c| {
+            Some(shared::AbstractClause {
+                head: *index.get(c.head.predicate.as_str())?,
+                positive_body: c
+                    .body
+                    .iter()
+                    .filter_map(|l| match l {
+                        Literal::Pos(a) => index.get(a.predicate.as_str()).copied(),
+                        _ => None,
+                    })
+                    .collect(),
+            })
+        })
+        .collect();
+    let nonempty = shared::possibly_nonempty(index.len(), &abstracted);
+    let is_nonempty = |pred: &str| -> bool { index.get(pred).is_some_and(|&i| nonempty[i]) };
     for c in program.clauses() {
         let empty_dep = c.body.iter().find_map(|l| match l {
-            Literal::Pos(a) if !nonempty.contains(a.predicate.as_ref()) => {
-                Some(a.predicate.to_string())
-            }
+            Literal::Pos(a) if !is_nonempty(a.predicate.as_ref()) => Some(a.predicate.to_string()),
             _ => None,
         });
         if let Some(p) = empty_dep {
@@ -202,24 +309,15 @@ pub fn analyze(program: &Program) -> Vec<Lint> {
         }
     }
 
-    // ML0006 — singleton variables (`_`-prefixed names opt out).
+    // ML0006 — singleton variables (`_`-prefixed names opt out), via the
+    // shared occurrence-counting kernel.
     for c in program.clauses() {
-        let mut counts: HashMap<&str, usize> = HashMap::new();
-        for v in c.head.variables() {
-            *counts.entry(v).or_insert(0) += 1;
-        }
-        for l in &c.body {
-            for v in l.variables() {
-                *counts.entry(v).or_insert(0) += 1;
-            }
-        }
-        let mut singles: Vec<&str> = counts
-            .iter()
-            .filter(|&(v, &n)| n == 1 && !v.starts_with('_'))
-            .map(|(&v, _)| v)
+        let occurrences: Vec<&str> = c
+            .head
+            .variables()
+            .chain(c.body.iter().flat_map(Literal::variables))
             .collect();
-        singles.sort_unstable();
-        for v in singles {
+        for v in shared::singleton_variables(occurrences) {
             out.push(lint(
                 "ML0006",
                 "singleton-variable",

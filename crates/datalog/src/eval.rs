@@ -142,6 +142,10 @@ pub struct DemandStats {
     /// Total facts the goal-directed run materialized; compare against
     /// the full fixpoint's fact count to see the demand win.
     pub facts_materialized: usize,
+    /// Rules (and machinery clauses) the caller removed from the
+    /// program before this run, e.g. by lattice-flow demand pruning.
+    /// Always 0 for runs over an unpruned program.
+    pub pruned_rules: usize,
 }
 
 /// Counters describing an evaluation run.
@@ -180,12 +184,13 @@ impl EvalStats {
         if let Some(d) = &self.demand {
             let _ = writeln!(
                 out,
-                "demand({}): cone={} adorned={} magic_facts={} materialized={}",
+                "demand({}): cone={} adorned={} magic_facts={} materialized={} pruned={}",
                 d.strategy,
                 d.cone_predicates,
                 d.adorned_predicates,
                 d.magic_facts,
-                d.facts_materialized
+                d.facts_materialized,
+                d.pruned_rules
             );
         }
         for s in &self.per_stratum {
@@ -403,6 +408,7 @@ impl<'p> Engine<'p> {
                         .map(crate::storage::Relation::len)
                         .sum(),
                     facts_materialized: db.fact_count(),
+                    pruned_rules: 0,
                 });
                 return Ok((m.answers(&db), stats));
             }
@@ -415,6 +421,7 @@ impl<'p> Engine<'p> {
             adorned_predicates: 0,
             magic_facts: 0,
             facts_materialized: db.fact_count(),
+            pruned_rules: 0,
         });
         Ok((answer, stats))
     }

@@ -151,6 +151,48 @@ impl Program {
         }
     }
 
+    /// A copy of the program with every clause whose head is in
+    /// `excluded` dropped. The arity table is kept whole, so the copy
+    /// still validates literals over excluded predicates (they behave as
+    /// empty EDB relations).
+    ///
+    /// This is the demand-cone hook for callers that *know* a predicate
+    /// cannot contribute to any visible answer — e.g. the τ reduction's
+    /// per-level belief machinery for levels outside the session
+    /// clearance, whose every use site is conjoined with a statically
+    /// false `dominate` guard. Excluding such predicates keeps the
+    /// magic-sets rewrite from demanding (and materializing) their
+    /// sub-fixpoints.
+    pub fn without_predicates(&self, excluded: &std::collections::HashSet<String>) -> Program {
+        Program {
+            clauses: self
+                .clauses
+                .iter()
+                .filter(|c| !excluded.contains(c.head.predicate.as_str()))
+                .cloned()
+                .collect(),
+            arities: self.arities.clone(),
+        }
+    }
+
+    /// A copy of the program with every clause structurally equal to one
+    /// in `excluded` dropped (the arity table is kept whole). The
+    /// clause-granular companion of [`Program::without_predicates`]: the
+    /// flow-pruned demand path drops individual rules that a static
+    /// analysis proved can never fire, while other clauses with the same
+    /// head predicate (in particular its EDB facts) stay live.
+    pub fn without_clauses(&self, excluded: &std::collections::HashSet<Clause>) -> Program {
+        Program {
+            clauses: self
+                .clauses
+                .iter()
+                .filter(|c| !excluded.contains(c))
+                .cloned()
+                .collect(),
+            arities: self.arities.clone(),
+        }
+    }
+
     /// The predicate dependency graph of the program: one node per
     /// predicate, one edge from every body predicate to the head
     /// predicate that depends on it, tagged negative when the body
@@ -285,6 +327,28 @@ pub struct DepGraph {
 }
 
 impl DepGraph {
+    /// Build a dependency graph directly from nodes and edges, for
+    /// analyses over non-Datalog rule systems (the MultiLog lattice-flow
+    /// pass builds its Σ/Π predicate graph this way and reuses the SCC
+    /// machinery). Edges are `(from, to, negative)` node indices;
+    /// out-of-range edges are dropped.
+    pub fn from_edges(nodes: Vec<String>, mut edges: Vec<(usize, usize, bool)>) -> DepGraph {
+        let n = nodes.len();
+        edges.retain(|&(q, h, _)| q < n && h < n);
+        edges.sort_unstable();
+        edges.dedup();
+        let index = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i))
+            .collect();
+        DepGraph {
+            preds: nodes,
+            index,
+            edges,
+        }
+    }
+
     /// The predicate names, sorted (node order).
     pub fn predicates(&self) -> &[String] {
         &self.preds
@@ -384,6 +448,41 @@ impl DepGraph {
             c += 1;
         }
         comp
+    }
+
+    /// The strongly connected components in **dependency order**: every
+    /// edge either stays inside one component or runs from an earlier
+    /// component to a later one, so a fixpoint that processes components
+    /// in the returned order (iterating only within each component)
+    /// visits every predicate's dependencies before the predicate
+    /// itself. Each component is a sorted list of node indices.
+    pub fn condensation(&self) -> Vec<Vec<usize>> {
+        let comp = self.sccs();
+        let count = comp.iter().copied().max().map_or(0, |c| c + 1);
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); count];
+        for (node, &c) in comp.iter().enumerate() {
+            out[c].push(node);
+        }
+        out
+    }
+
+    /// Whether `a` and `b` are in the same strongly connected component
+    /// (i.e. mutually recursive). A predicate is *not* considered
+    /// recursive with itself unless it actually sits on a cycle.
+    pub fn same_scc(&self, a: &str, b: &str) -> bool {
+        let comp = self.sccs();
+        match (self.index_of(a), self.index_of(b)) {
+            (Some(i), Some(j)) => {
+                comp[i] == comp[j]
+                    && (i != j
+                        || self
+                            .edges
+                            .iter()
+                            .any(|&(q, h, _)| comp[q] == comp[i] && comp[h] == comp[i] && q == h)
+                        || self.condensation()[comp[i]].len() > 1)
+            }
+            _ => false,
+        }
     }
 
     /// A witness that the program is not stratifiable: an ordered

@@ -1,0 +1,308 @@
+//! Intervals over a security poset, the abstract domain of the
+//! lattice-flow analysis (`multilog_core::flow`).
+//!
+//! An interval `[glb, lub]` on a *lattice* is a pair of labels; on the
+//! arbitrary finite posets this crate admits there is no unique
+//! `lub`/`glb`, so a [`LabelInterval`] keeps two **antichain frontiers**
+//! instead: `lo`, the minimal labels that have actually flowed in, and
+//! `hi`, the maximal ones. On a true lattice this degenerates to the
+//! classic two-point interval; on a poset it stays exact without
+//! inventing bounds that no derivation achieves.
+//!
+//! The frontier members are always labels that were actually joined into
+//! the interval (joins only ever keep members of the operand frontiers),
+//! which the demand-pruning soundness argument relies on: if
+//! [`LabelInterval::may_flow_below`] reports `false` for a clearance
+//! `u`, then *no* label ever joined into the interval is dominated by
+//! `u` — not merely no frontier label.
+
+use crate::label::Label;
+use crate::lattice::SecurityLattice;
+
+/// A sound bound on the set of security labels a value may take,
+/// represented by its minimal (`lo`) and maximal (`hi`) achieved labels.
+///
+/// The empty interval (`⊥`, no labels at all) is the bottom of the
+/// abstract domain; [`LabelInterval::join`] is its least upper bound.
+/// The domain is finite (antichains over a finite poset), so any
+/// monotone fixpoint over it terminates without widening.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LabelInterval {
+    /// Minimal achieved labels (an antichain, sorted by label index).
+    lo: Vec<Label>,
+    /// Maximal achieved labels (an antichain, sorted by label index).
+    hi: Vec<Label>,
+}
+
+/// Keep only the elements of `labels` that are minimal (`minimal =
+/// true`) or maximal (`minimal = false`) under `lat`'s order, deduped
+/// and sorted by label index.
+fn frontier(lat: &SecurityLattice, mut labels: Vec<Label>, minimal: bool) -> Vec<Label> {
+    labels.sort_unstable();
+    labels.dedup();
+    let keep: Vec<Label> = labels
+        .iter()
+        .copied()
+        .filter(|&a| {
+            !labels.iter().any(|&b| {
+                a != b
+                    && if minimal {
+                        lat.leq(b, a)
+                    } else {
+                        lat.leq(a, b)
+                    }
+            })
+        })
+        .collect();
+    keep
+}
+
+impl LabelInterval {
+    /// The empty interval: no label has flowed in yet.
+    #[must_use]
+    pub fn empty() -> Self {
+        LabelInterval::default()
+    }
+
+    /// The interval containing exactly one label.
+    #[must_use]
+    pub fn point(label: Label) -> Self {
+        LabelInterval {
+            lo: vec![label],
+            hi: vec![label],
+        }
+    }
+
+    /// The interval covering every label of the lattice (the top of the
+    /// abstract domain — used for label positions fed from unconstrained
+    /// data).
+    #[must_use]
+    pub fn full(lat: &SecurityLattice) -> Self {
+        LabelInterval {
+            lo: lat.minimal(),
+            hi: lat.maximal(),
+        }
+    }
+
+    /// Whether no label has flowed in.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lo.is_empty()
+    }
+
+    /// Whether the interval is a single point (exactly one achievable
+    /// label).
+    #[must_use]
+    pub fn is_point(&self) -> bool {
+        self.lo.len() == 1 && self.lo == self.hi
+    }
+
+    /// The minimal achieved labels (an antichain).
+    #[must_use]
+    pub fn lo(&self) -> &[Label] {
+        &self.lo
+    }
+
+    /// The maximal achieved labels (an antichain).
+    #[must_use]
+    pub fn hi(&self) -> &[Label] {
+        &self.hi
+    }
+
+    /// Whether `x` lies inside the interval: some `lo` member is `⪯ x`
+    /// and some `hi` member is `⪰ x`. Over-approximates the achieved
+    /// set, as an abstract domain must.
+    #[must_use]
+    pub fn contains(&self, lat: &SecurityLattice, x: Label) -> bool {
+        self.lo.iter().any(|&l| lat.leq(l, x)) && self.hi.iter().any(|&h| lat.leq(x, h))
+    }
+
+    /// Whether any achieved label is dominated by `clearance` — the
+    /// visibility test demand pruning asks. Exact (not merely sound):
+    /// every achieved label `x ⪯ clearance` dominates some `lo` frontier
+    /// member, which is then itself `⪯ clearance`, and every frontier
+    /// member is achieved.
+    #[must_use]
+    pub fn may_flow_below(&self, lat: &SecurityLattice, clearance: Label) -> bool {
+        self.lo.iter().any(|&l| lat.leq(l, clearance))
+    }
+
+    /// Join one label into the interval. Returns `true` if the interval
+    /// grew.
+    pub fn join_label(&mut self, lat: &SecurityLattice, label: Label) -> bool {
+        if self.spans(lat, &[label], &[label]) {
+            return false;
+        }
+        self.join(
+            lat,
+            &LabelInterval {
+                lo: vec![label],
+                hi: vec![label],
+            },
+        )
+    }
+
+    /// Whether the frontiers already span the given `lo`/`hi` sets:
+    /// every `lo` member sits above one of ours and every `hi` member
+    /// below one of ours. Joining such an interval cannot move either
+    /// frontier (a member above an existing minimal element is not
+    /// minimal in the union, and `x ⪰ s, x ≺ s'` would order the
+    /// antichain members `s ≺ s'`), so [`Self::join`] uses this as its
+    /// allocation-free steady-state fast path.
+    fn spans(&self, lat: &SecurityLattice, lo: &[Label], hi: &[Label]) -> bool {
+        !self.is_empty()
+            && lo.iter().all(|&o| self.lo.iter().any(|&s| lat.leq(s, o)))
+            && hi.iter().all(|&o| self.hi.iter().any(|&s| lat.leq(o, s)))
+    }
+
+    /// Least upper bound in the abstract domain: the frontiers of the
+    /// union of the two achieved sets. Returns `true` if `self` changed.
+    pub fn join(&mut self, lat: &SecurityLattice, other: &LabelInterval) -> bool {
+        if other.is_empty() {
+            return false;
+        }
+        if self.spans(lat, &other.lo, &other.hi) {
+            return false;
+        }
+        let mut lo = self.lo.clone();
+        lo.extend_from_slice(&other.lo);
+        let mut hi = self.hi.clone();
+        hi.extend_from_slice(&other.hi);
+        let next = LabelInterval {
+            lo: frontier(lat, lo, true),
+            hi: frontier(lat, hi, false),
+        };
+        if next == *self {
+            false
+        } else {
+            *self = next;
+            true
+        }
+    }
+
+    /// The frontier label names, `lo` then `hi`, for rendering.
+    #[must_use]
+    pub fn names<'a>(&self, lat: &'a SecurityLattice) -> (Vec<&'a str>, Vec<&'a str>) {
+        (
+            self.lo.iter().map(|&l| lat.name(l)).collect(),
+            self.hi.iter().map(|&l| lat.name(l)).collect(),
+        )
+    }
+}
+
+impl std::fmt::Display for LabelInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return f.write_str("⊥");
+        }
+        let row = |f: &mut std::fmt::Formatter<'_>, v: &[Label]| -> std::fmt::Result {
+            if v.len() == 1 {
+                write!(f, "#{}", v[0].index())
+            } else {
+                write!(f, "{{")?;
+                for (i, l) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "#{}", l.index())?;
+                }
+                write!(f, "}}")
+            }
+        };
+        write!(f, "[")?;
+        row(f, &self.lo)?;
+        write!(f, ", ")?;
+        row(f, &self.hi)?;
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LatticeBuilder;
+
+    /// A diamond: `bot ⪯ {a, b} ⪯ top` with `a`, `b` incomparable.
+    fn diamond() -> SecurityLattice {
+        let mut b = LatticeBuilder::new();
+        for l in ["bot", "a", "b", "top"] {
+            b.add_level(l);
+        }
+        b.add_order("bot", "a");
+        b.add_order("bot", "b");
+        b.add_order("a", "top");
+        b.add_order("b", "top");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn empty_interval_contains_nothing() {
+        let lat = diamond();
+        let iv = LabelInterval::empty();
+        assert!(iv.is_empty());
+        for l in lat.labels() {
+            assert!(!iv.contains(&lat, l));
+            assert!(!iv.may_flow_below(&lat, l));
+        }
+    }
+
+    #[test]
+    fn point_and_join_grow_monotonically() {
+        let lat = diamond();
+        let a = lat.label("a").unwrap();
+        let b = lat.label("b").unwrap();
+        let bot = lat.label("bot").unwrap();
+        let top = lat.label("top").unwrap();
+        let mut iv = LabelInterval::point(a);
+        assert!(iv.is_point());
+        assert!(iv.contains(&lat, a));
+        assert!(!iv.contains(&lat, b));
+        assert!(iv.join_label(&lat, b));
+        assert!(!iv.join_label(&lat, b), "join is idempotent");
+        // `a` and `b` are incomparable: both survive on both frontiers.
+        assert_eq!(iv.lo().len(), 2);
+        assert_eq!(iv.hi().len(), 2);
+        // The interval closure contains neither bot nor top.
+        assert!(!iv.contains(&lat, bot));
+        assert!(!iv.contains(&lat, top));
+        assert!(iv.join_label(&lat, top));
+        assert_eq!(iv.hi(), &[top]);
+        assert!(iv.contains(&lat, top));
+        // top entered hi, but bot is still outside.
+        assert!(!iv.contains(&lat, bot));
+    }
+
+    #[test]
+    fn full_covers_everything() {
+        let lat = diamond();
+        let iv = LabelInterval::full(&lat);
+        for l in lat.labels() {
+            assert!(iv.contains(&lat, l));
+            assert!(iv.may_flow_below(&lat, l) || !lat.leq(lat.minimal()[0], l));
+        }
+    }
+
+    #[test]
+    fn may_flow_below_matches_achieved_labels() {
+        let lat = diamond();
+        let a = lat.label("a").unwrap();
+        let b = lat.label("b").unwrap();
+        let bot = lat.label("bot").unwrap();
+        let top = lat.label("top").unwrap();
+        let mut iv = LabelInterval::point(a);
+        iv.join_label(&lat, top);
+        // Achieved = {a, top}: visible at a and top, not at b or bot.
+        assert!(iv.may_flow_below(&lat, a));
+        assert!(iv.may_flow_below(&lat, top));
+        assert!(!iv.may_flow_below(&lat, b));
+        assert!(!iv.may_flow_below(&lat, bot));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let lat = diamond();
+        assert_eq!(LabelInterval::empty().to_string(), "⊥");
+        let p = LabelInterval::point(lat.label("a").unwrap());
+        assert!(p.to_string().starts_with('['));
+    }
+}

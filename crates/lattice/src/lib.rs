@@ -40,6 +40,7 @@ mod access_class;
 mod bitset;
 mod builder;
 mod error;
+mod interval;
 mod label;
 mod lattice;
 pub mod standard;
@@ -47,6 +48,7 @@ pub mod standard;
 pub use access_class::{AccessClass, CategorySet};
 pub use builder::LatticeBuilder;
 pub use error::LatticeError;
+pub use interval::LabelInterval;
 pub use label::Label;
 pub use lattice::SecurityLattice;
 

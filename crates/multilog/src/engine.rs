@@ -101,6 +101,14 @@ pub struct EngineOptions {
     /// Cooperative cancellation token; cancelling it makes the current
     /// operation return [`MultiLogError::Cancelled`] at the next check.
     pub cancel: Option<CancelToken>,
+    /// Enable lattice-flow demand pruning ([`crate::flow`]): the reduced
+    /// engine drops rules (and per-level machinery) a static analysis
+    /// proves invisible at the session's clearance before running a
+    /// demand query. Answers are unchanged; only the evaluated rule set
+    /// shrinks. Off by default. The incremental (materialized) path is
+    /// never pruned, and bounds-based criteria are disabled after the
+    /// first update (see [`crate::FlowReport::rule_prunable`]).
+    pub flow_prune: bool,
 }
 
 impl EngineOptions {

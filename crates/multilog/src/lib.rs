@@ -68,6 +68,7 @@ mod engine;
 mod error;
 pub mod examples;
 pub mod filter;
+pub mod flow;
 pub mod lint;
 pub mod live;
 pub mod modes;
@@ -80,6 +81,7 @@ pub use ast::Span;
 pub use db::MultiLogDb;
 pub use engine::{Answer, ClauseStats, EngineOptions, MultiLogEngine, OperationalStats, PFact};
 pub use error::MultiLogError;
+pub use flow::{analyze_db, analyze_source, FlowReport, PredKind, PredicateFlow};
 pub use lint::{lint_source, lint_source_at, Diagnostic, LintReport, Severity};
 pub use multilog_datalog::CancelToken;
 pub use parser::{parse_clause, parse_database, parse_goal, parse_items, ParsedProgram};

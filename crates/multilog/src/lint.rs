@@ -64,6 +64,17 @@ pub struct LintReport {
 }
 
 impl LintReport {
+    /// Assemble a report from pre-sorted diagnostics and the source text
+    /// they refer to — used by the flow pass ([`crate::flow`]), which
+    /// renders its ML02xx findings through the same machinery.
+    pub(crate) fn from_parts(mut diagnostics: Vec<Diagnostic>, source: String) -> LintReport {
+        sort_diagnostics(&mut diagnostics);
+        LintReport {
+            diagnostics,
+            source,
+        }
+    }
+
     /// Number of error-severity findings.
     pub fn errors(&self) -> usize {
         self.diagnostics
@@ -135,31 +146,38 @@ impl LintReport {
     /// no serde):
     /// `{"diagnostics":[{"code":…,"name":…,"severity":…,"line":…,"column":…,"message":…}],"errors":N,"warnings":N}`.
     pub fn render_json(&self) -> String {
-        let mut out = String::from("{\"diagnostics\":[");
-        for (i, d) in self.diagnostics.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"code\":\"{}\",\"name\":\"{}\",\"severity\":\"{}\",\"line\":{},\"column\":{},\"message\":\"{}\"}}",
-                d.code,
-                d.name,
-                d.severity,
-                d.span.line,
-                d.span.column,
-                json_escape(&d.message)
-            ));
-        }
-        out.push_str(&format!(
-            "],\"errors\":{},\"warnings\":{}}}",
+        format!(
+            "{{\"diagnostics\":{},\"errors\":{},\"warnings\":{}}}",
+            diagnostics_json(&self.diagnostics),
             self.errors(),
             self.warnings()
-        ));
-        out
+        )
     }
 }
 
-fn json_escape(s: &str) -> String {
+/// Render diagnostics as a JSON array — shared between the lint report
+/// and the flow report ([`crate::flow`]), so both emit the same shape.
+pub(crate) fn diagnostics_json(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"code\":\"{}\",\"name\":\"{}\",\"severity\":\"{}\",\"line\":{},\"column\":{},\"message\":\"{}\"}}",
+            d.code,
+            d.name,
+            d.severity,
+            d.span.line,
+            d.span.column,
+            json_escape(&d.message)
+        ));
+    }
+    out.push(']');
+    out
+}
+
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
         match ch {
@@ -815,27 +833,40 @@ impl<'p> Ctx<'p> {
     // ML0111 — with queries present, a defined predicate from which no
     // query is reachable is dead weight. `bel/7` is exempt (consulted
     // implicitly by user-mode b-atoms), as are l-/h-heads (the lattice is
-    // always live).
+    // always live). Reachability itself is the shared kernel
+    // `multilog_datalog::analyze::shared::reachable`, so this check and
+    // the Datalog-level ML0005 cannot drift.
     fn check_unused_predicates(&mut self) {
         if self.prog.queries.is_empty() {
             return;
         }
         type Node = (&'static str, Arc<str>);
-        fn atom_nodes(a: &Atom) -> Option<Node> {
+        fn atom_node(a: &Atom) -> Option<Node> {
             match a {
                 Atom::M(m) | Atom::B(m, _) => Some(("m", m.pred.clone())),
                 Atom::P(p) => Some(("p", p.pred.clone())),
                 _ => None,
             }
         }
-        let mut needed: HashSet<Node> = HashSet::new();
-        let mut frontier: Vec<Node> = Vec::new();
+        fn head_node(h: &Head) -> Option<Node> {
+            match h {
+                Head::M(m) => Some(("m", m.pred.clone())),
+                Head::P(p) => Some(("p", p.pred.clone())),
+                Head::L(_) | Head::H(_, _) => None,
+            }
+        }
+        fn intern(index: &mut HashMap<Node, usize>, n: Node) -> usize {
+            let next = index.len();
+            *index.entry(n).or_insert(next)
+        }
+        // Intern every (kind, pred) node, collect head→body edges and the
+        // query seeds, then ask the shared kernel what is live.
+        let mut index: HashMap<Node, usize> = HashMap::new();
+        let mut seeds: Vec<usize> = Vec::new();
         for q in &self.prog.queries {
             for a in q {
-                if let Some(n) = atom_nodes(a) {
-                    if needed.insert(n.clone()) {
-                        frontier.push(n);
-                    }
+                if let Some(n) = atom_node(a) {
+                    seeds.push(intern(&mut index, n));
                 }
             }
         }
@@ -849,32 +880,22 @@ impl<'p> Ctx<'p> {
             .chain(self.prog.queries.iter().flatten())
             .any(|a| matches!(a, Atom::B(_, _)));
         if any_b {
-            let bel: Node = ("p", Arc::from(crate::modes::BEL));
-            if needed.insert(bel.clone()) {
-                frontier.push(bel);
-            }
+            seeds.push(intern(&mut index, ("p", Arc::from(crate::modes::BEL))));
         }
-        let head_node = |h: &Head| -> Option<Node> {
-            match h {
-                Head::M(m) => Some(("m", m.pred.clone())),
-                Head::P(p) => Some(("p", p.pred.clone())),
-                Head::L(_) | Head::H(_, _) => None,
-            }
-        };
-        while let Some(n) = frontier.pop() {
-            for c in &self.prog.clauses {
-                if head_node(&c.head).as_ref() != Some(&n) {
-                    continue;
-                }
-                for a in &c.body {
-                    if let Some(dep) = atom_nodes(a) {
-                        if needed.insert(dep.clone()) {
-                            frontier.push(dep);
-                        }
-                    }
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for c in &self.prog.clauses {
+            let Some(h) = head_node(&c.head) else {
+                continue;
+            };
+            let hi = intern(&mut index, h);
+            for a in &c.body {
+                if let Some(dep) = atom_node(a) {
+                    let di = intern(&mut index, dep);
+                    edges.push((hi, di));
                 }
             }
         }
+        let live = multilog_datalog::analyze::shared::reachable(index.len(), &edges, seeds);
         let mut found: Vec<(Span, String)> = Vec::new();
         let mut reported: HashSet<Node> = HashSet::new();
         for c in &self.prog.clauses {
@@ -884,7 +905,8 @@ impl<'p> Ctx<'p> {
             if n.1.as_ref() == crate::modes::BEL {
                 continue;
             }
-            if !needed.contains(&n) && reported.insert(n.clone()) {
+            let dead = index.get(&n).is_none_or(|&i| !live[i]);
+            if dead && reported.insert(n.clone()) {
                 let kind = if n.0 == "m" {
                     "m-predicate"
                 } else {
@@ -920,27 +942,19 @@ impl<'p> Ctx<'p> {
                 j += 1;
             }
             let group = &clauses[i..j];
-            let mut counts: HashMap<&str, usize> = HashMap::new();
+            let mut occurrences: Vec<&str> = Vec::new();
             for c in group {
-                for v in c.head.variables() {
-                    *counts.entry(v).or_insert(0) += 1;
-                }
+                occurrences.extend(c.head.variables());
             }
             // All clauses in a span group clone the same source body.
             if let Some(first) = group.first() {
                 for a in &first.body {
-                    for v in a.variables() {
-                        *counts.entry(v).or_insert(0) += 1;
-                    }
+                    occurrences.extend(a.variables());
                 }
             }
-            let mut singles: Vec<&str> = counts
-                .iter()
-                .filter(|(v, n)| **n == 1 && !v.starts_with('_'))
-                .map(|(v, _)| *v)
-                .collect();
-            singles.sort_unstable();
-            for v in singles {
+            // Counting and the `_`-prefix exemption live in the shared
+            // kernel, keeping this in lockstep with Datalog's ML0006.
+            for v in multilog_datalog::analyze::shared::singleton_variables(occurrences) {
                 found.push((
                     span,
                     format!(
@@ -1059,7 +1073,7 @@ impl<'p> Ctx<'p> {
 /// Build the security lattice from `[[Λ]]`, ignoring order edges over
 /// undeclared levels (those are ML0103 findings). Returns `None` when the
 /// level set is empty or the order is cyclic (ML0104 reports the cycle).
-fn build_lattice(
+pub(crate) fn build_lattice(
     levels: &HashSet<String>,
     orders: &HashSet<(String, String)>,
 ) -> Option<SecurityLattice> {

@@ -38,7 +38,7 @@
 //! Theorem 6.1 (equivalence with the operational semantics) is exercised
 //! by `tests/equivalence.rs` at the workspace root.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
 use multilog_datalog as dl;
@@ -99,6 +99,32 @@ pub struct ReducedEngine {
     fact_limit: usize,
     deadline: Option<std::time::Duration>,
     cancel: Option<dl::CancelToken>,
+    /// Lattice-flow demand pruning ([`EngineOptions::flow_prune`]).
+    prune: Option<FlowPrune>,
+}
+
+/// Demand-pruning state: the static flow analysis of the source
+/// database plus each Σ/Π clause paired with its τ image, so prunable
+/// rules can be dropped from the demand program by structural equality
+/// (spans are not identity, see [`crate::ast::Span`]).
+///
+/// Only the *demand* path prunes; the incremental materialized fixpoint
+/// always evaluates the full program, so `solve`/`apply_updates` are
+/// untouched and pruning can never change a committed answer.
+struct FlowPrune {
+    report: crate::flow::FlowReport,
+    /// `(source clause, translated clause)` for every Σ/Π rule.
+    rules: Vec<(Clause, dl::Clause)>,
+    /// Per-level cautious machinery (`visible_h`, `beaten_h`,
+    /// `bel_cau_h`) for levels `h` not dominated by the clearance —
+    /// nothing at or below the clearance ever reads them, and they are
+    /// never update targets (updates land in `rel_*`), so dropping them
+    /// is sound independent of updates.
+    machinery: HashSet<String>,
+    /// Set once any update transaction has been opened: achieved label
+    /// sets may have widened beyond the static bounds, so only the
+    /// ground-label (update-independent) criteria remain usable.
+    tainted: bool,
 }
 
 impl std::fmt::Debug for ReducedEngine {
@@ -170,6 +196,40 @@ impl ReducedEngine {
             .any(|a| matches!(a, Atom::B(_, m) if m.as_ref() == "cau"));
         let program_text = translate(db, user, &lattice, level_split)?;
         let program = dl::parse_program(&program_text).map_err(MultiLogError::Datalog)?;
+        // Flow pruning needs a real lattice; the Prop 6.1 fallback has
+        // no Σ rules to prune anyway.
+        let prune = if options.flow_prune && !(db.lambda().is_empty() && db.sigma().is_empty()) {
+            let report = crate::flow::analyze_db(db);
+            let mut rules = Vec::new();
+            for c in db.sigma().iter().chain(db.pi()) {
+                let text = translate_clause(c, user, level_split)?;
+                let image = dl::parse_program(&text).map_err(MultiLogError::Datalog)?;
+                for t in image.clauses() {
+                    rules.push((c.clone(), t.clone()));
+                }
+            }
+            let mut machinery = HashSet::new();
+            if level_split {
+                if let Some(u) = lattice.label(user) {
+                    for h in lattice.labels() {
+                        if !lattice.leq(h, u) {
+                            let hn = lattice.name(h);
+                            machinery.insert(format!("visible_{hn}"));
+                            machinery.insert(format!("beaten_{hn}"));
+                            machinery.insert(format!("bel_cau_{hn}"));
+                        }
+                    }
+                }
+            }
+            Some(FlowPrune {
+                report,
+                rules,
+                machinery,
+                tainted: false,
+            })
+        } else {
+            None
+        };
         let fact_limit = options.limit();
         let mut incremental = dl::IncrementalEngine::new_deferred(&program)
             .map_err(MultiLogError::Datalog)?
@@ -189,6 +249,7 @@ impl ReducedEngine {
             fact_limit,
             deadline: options.deadline,
             cancel: options.cancel,
+            prune,
         })
     }
 
@@ -237,6 +298,11 @@ impl ReducedEngine {
             };
             let (pred, fact) = self.encode_update(m)?;
             encoded.push((insert, pred, fact));
+        }
+        // Any update may widen the achieved label sets beyond the static
+        // flow bounds; from here on only ground-label pruning is sound.
+        if let Some(p) = self.prune.as_mut() {
+            p.tainted = true;
         }
         self.incremental.begin()?;
         for (insert, pred, fact) in encoded {
@@ -351,6 +417,7 @@ impl ReducedEngine {
             .incremental
             .current_program()
             .map_err(MultiLogError::Datalog)?;
+        let (program, pruned_rules) = self.pruned_program(program);
         let mut engine = dl::Engine::new(&program)?.with_fact_limit(self.fact_limit);
         if let Some(d) = self.deadline {
             engine = engine.with_deadline(d);
@@ -360,13 +427,50 @@ impl ReducedEngine {
         }
         // Guard trips convert through `From<DatalogError>`, surfacing the
         // same typed errors as a full materialization would.
-        let (answers, stats) = engine.run_for_goal(&body)?;
+        let (answers, mut stats) = engine.run_for_goal(&body)?;
+        if let Some(d) = stats.demand.as_mut() {
+            d.pruned_rules = pruned_rules;
+        }
         Ok((project_answers(goal, &answers), stats))
     }
 
     /// Parse and solve a textual MultiLog goal demand-driven.
     pub fn solve_text_demand(&self, goal: &str) -> Result<Vec<Answer>> {
         self.solve_demand(&crate::parser::parse_goal(goal)?)
+    }
+
+    /// Drop everything the flow analysis proves invisible at this
+    /// engine's clearance from `program`: the per-level cautious
+    /// machinery above the clearance, then every Σ/Π rule whose τ image
+    /// matches a prunable source clause. Returns the (possibly) smaller
+    /// program and how many clauses were dropped. A no-op (0 dropped)
+    /// unless [`EngineOptions::flow_prune`] was set.
+    fn pruned_program(&self, program: dl::Program) -> (dl::Program, usize) {
+        let Some(p) = self.prune.as_ref() else {
+            return (program, 0);
+        };
+        let before = program.clauses().len();
+        let mut out = program;
+        if !p.machinery.is_empty() {
+            out = out.without_predicates(&p.machinery);
+        }
+        let excluded: HashSet<dl::Clause> = p
+            .rules
+            .iter()
+            .filter(|(mc, _)| p.report.rule_prunable(mc, &self.user, !p.tainted))
+            .map(|(_, t)| t.clone())
+            .collect();
+        if !excluded.is_empty() {
+            out = out.without_clauses(&excluded);
+        }
+        let dropped = before - out.clauses().len();
+        (out, dropped)
+    }
+
+    /// The flow analysis backing demand pruning, when
+    /// [`EngineOptions::flow_prune`] was set.
+    pub fn flow_report(&self) -> Option<&crate::flow::FlowReport> {
+        self.prune.as_ref().map(|p| &p.report)
     }
 
     /// The lattice used by the reduction.
@@ -840,6 +944,125 @@ mod tests {
         assert_eq!(ans, full.solve_text("s[p(k : a -C-> V)] << opt").unwrap());
         // The deferred engine still never materialized anything.
         assert_eq!(red.database().fact_count(), 0);
+    }
+
+    /// A level-skewed database: everything interesting lives at `s`,
+    /// so a `u`-cleared demand run should be able to drop most rules.
+    const SKEWED: &str = r#"
+        level(u). level(c). level(s).
+        order(u, c). order(c, s).
+        u[low(k : a -u-> v1)].
+        s[hi(k : a -s-> w1)].
+        s[hi2(k : a -s-> V)] <- s[hi(k : a -s-> V)].
+        L[mix(K : b -C-> V)] <- L[hi(K : a -C-> V)].
+        u[low2(K : a -C-> V)] <- u[low(K : a -C-> V)].
+    "#;
+
+    fn prune_options() -> EngineOptions {
+        EngineOptions {
+            flow_prune: true,
+            ..EngineOptions::default()
+        }
+    }
+
+    #[test]
+    fn flow_pruned_demand_answers_match_unpruned() {
+        for src in [D1, SKEWED] {
+            let db = parse_database(src).unwrap();
+            for user in ["u", "c", "s"] {
+                let plain = ReducedEngine::new(&db, user).unwrap();
+                let pruned = ReducedEngine::with_options(&db, user, prune_options()).unwrap();
+                for goal in [
+                    "L[p(k : a -C-> V)]",
+                    "L[p(k : a -C-> V)] << cau",
+                    "L[hi2(k : a -C-> V)]",
+                    "L[mix(k : b -C-> V)]",
+                    "L[low2(k : a -C-> V)] << opt",
+                    "q(X)",
+                ] {
+                    assert_eq!(
+                        plain.solve_text_demand(goal).unwrap(),
+                        pruned.solve_text_demand(goal).unwrap(),
+                        "goal `{goal}` at user {user}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flow_pruning_shrinks_the_demand_program_at_low_clearance() {
+        let db = parse_database(SKEWED).unwrap();
+        let pruned = ReducedEngine::with_options(&db, "u", prune_options()).unwrap();
+        let goal = crate::parser::parse_goal("u[low2(k : a -C-> V)]").unwrap();
+        let (answers, stats) = pruned.solve_demand_with_stats(&goal).unwrap();
+        assert_eq!(answers.len(), 1);
+        let demand = stats.demand.expect("demand stats recorded");
+        // The `s`-headed rule and the hi-consuming generic rule are
+        // both statically invisible at `u`.
+        assert!(demand.pruned_rules >= 2, "pruned {}", demand.pruned_rules);
+        // At the top clearance nothing is prunable in SKEWED.
+        let top = ReducedEngine::with_options(&db, "s", prune_options()).unwrap();
+        let (_, stats) = top.solve_demand_with_stats(&goal).unwrap();
+        assert_eq!(stats.demand.unwrap().pruned_rules, 0);
+        // Without the option the count stays 0 even at `u`.
+        let plain = ReducedEngine::new(&db, "u").unwrap();
+        let (_, stats) = plain.solve_demand_with_stats(&goal).unwrap();
+        assert_eq!(stats.demand.unwrap().pruned_rules, 0);
+    }
+
+    #[test]
+    fn flow_pruning_drops_cau_machinery_above_clearance() {
+        // D1 consults `<< cau`, so the reduction splits per level and
+        // emits visible_/beaten_/bel_cau_ for every level; at `u` the
+        // `c` and `s` machinery is statically unreadable.
+        let db = parse_database(D1).unwrap();
+        let pruned = ReducedEngine::with_options(&db, "u", prune_options()).unwrap();
+        let goal = crate::parser::parse_goal("L[p(k : a -C-> V)] << cau").unwrap();
+        let (answers, stats) = pruned.solve_demand_with_stats(&goal).unwrap();
+        assert!(stats.demand.unwrap().pruned_rules > 0);
+        let plain = ReducedEngine::new(&db, "u").unwrap();
+        assert_eq!(answers, plain.solve_demand(&goal).unwrap());
+    }
+
+    #[test]
+    fn updates_disable_bounds_pruning_but_keep_answers_sound() {
+        let src = r#"
+            level(u). level(s). order(u, s).
+            s[hi(k : a -s-> w)].
+            L[q(K : b -C-> V)] <- L[hi(K : a -C-> V)].
+        "#;
+        let db = parse_database(src).unwrap();
+        let mut pruned = ReducedEngine::with_options(&db, "u", prune_options()).unwrap();
+        let goal = crate::parser::parse_goal("u[q(k : b -C-> V)]").unwrap();
+        // Statically, `hi` only achieves level s: the rule is pruned at
+        // clearance u and the (correct) answer is empty.
+        let (answers, stats) = pruned.solve_demand_with_stats(&goal).unwrap();
+        assert!(answers.is_empty());
+        assert!(stats.demand.unwrap().pruned_rules > 0);
+        // An update widens `hi` down to u — the static bound no longer
+        // covers the data, so bounds-based pruning must switch off and
+        // the new derivation must appear.
+        let atom = match crate::parser::parse_goal("u[hi(k : a -u-> fresh)]")
+            .unwrap()
+            .remove(0)
+        {
+            Atom::M(m) => m,
+            other => panic!("unexpected {other:?}"),
+        };
+        pruned
+            .apply_updates(&[EdbUpdate::Assert(atom.clone())])
+            .unwrap();
+        let (answers, stats) = pruned.solve_demand_with_stats(&goal).unwrap();
+        assert_eq!(answers.len(), 1, "update-derived answer must survive");
+        assert_eq!(stats.demand.unwrap().pruned_rules, 0);
+        // Cross-check against an unpruned engine fed the same update.
+        let mut plain = ReducedEngine::new(&db, "u").unwrap();
+        plain.apply_updates(&[EdbUpdate::Assert(atom)]).unwrap();
+        assert_eq!(
+            pruned.solve_demand(&goal).unwrap(),
+            plain.solve_demand(&goal).unwrap()
+        );
     }
 
     #[test]

@@ -158,6 +158,32 @@ impl BeliefServer {
     pub fn open_levels(&self) -> Vec<String> {
         lock(&self.inner).levels.keys().cloned().collect()
     }
+
+    /// Answer a point goal at clearance `user` by demand-driven
+    /// (magic-sets) evaluation over the level engine's current committed
+    /// state — unlike reader sessions, which scan a pinned materialized
+    /// snapshot. When the server was built with
+    /// [`EngineOptions::flow_prune`], session setup hands each level
+    /// engine the lattice-flow bounds, so the demand cone here first
+    /// drops rules the analysis proves statically invisible at `user`;
+    /// answers are identical either way.
+    ///
+    /// # Errors
+    ///
+    /// [`MultiLogError::NotAdmissible`] for an undeclared level, parse
+    /// errors for a malformed goal, or any evaluation error.
+    pub fn point_query(&self, user: &str, goal: &str) -> Result<Vec<Answer>> {
+        let mut inner = lock(&self.inner);
+        inner.level_handles(user)?;
+        let engine = inner
+            .levels
+            .get(user)
+            .and_then(|slot| slot.engine.as_ref())
+            .ok_or_else(|| MultiLogError::Internal {
+                detail: format!("level `{user}` has no engine after setup"),
+            })?;
+        engine.solve_text_demand(goal)
+    }
 }
 
 impl std::fmt::Debug for BeliefServer {
@@ -500,6 +526,44 @@ mod tests {
             .query_text("c[p(k3 : a -u-> x)] << opt")
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn point_query_matches_readers_with_and_without_flow_pruning() {
+        let db = parse_database(SRC).unwrap();
+        let plain = BeliefServer::new(db.clone(), EngineOptions::default());
+        let pruned = BeliefServer::new(
+            db,
+            EngineOptions {
+                flow_prune: true,
+                ..EngineOptions::default()
+            },
+        );
+        for user in ["u", "c", "s"] {
+            for goal in ["u[p(k : a -u-> V)]", "q(X)", "c[p(k : a -c-> V)] << opt"] {
+                let want = plain.open_reader(user).unwrap().query_text(goal).unwrap();
+                assert_eq!(plain.point_query(user, goal).unwrap(), want);
+                assert_eq!(
+                    pruned.point_query(user, goal).unwrap(),
+                    want,
+                    "goal `{goal}` at {user}"
+                );
+            }
+        }
+        // Pruned point queries stay correct across commits (the flow
+        // bounds are disabled once history diverges from the base db).
+        let mut writer = pruned.open_writer().unwrap();
+        writer
+            .commit(&[assert_fact("u[p(k9 : a -u-> v9)].")])
+            .unwrap();
+        let goal = "u[p(k9 : a -u-> V)]";
+        assert_eq!(pruned.point_query("u", goal).unwrap().len(), 1);
+        let mut reader = pruned.open_reader("u").unwrap();
+        reader.refresh();
+        assert_eq!(
+            pruned.point_query("u", goal).unwrap(),
+            reader.query_text(goal).unwrap()
+        );
     }
 
     #[test]

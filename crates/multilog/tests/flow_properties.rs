@@ -1,0 +1,171 @@
+//! Soundness oracle for the lattice-flow abstract interpretation
+//! (`multilog_core::flow`): over randomly generated MultiLog databases,
+//! every labelled fact actually *observed* through a reduced fixpoint at
+//! any clearance must lie within the static per-predicate bounds — the
+//! abstract domain over-approximates, never under-approximates, the
+//! concrete semantics. The check runs sequentially and from concurrent
+//! reader threads sharing one flow report, and the flow-pruned demand
+//! path must answer every goal exactly like the unpruned one.
+
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use multilog_core::ast::Term;
+use multilog_core::reduce::ReducedEngine;
+use multilog_core::{analyze_db, parse_database, EngineOptions, MultiLogDb, PredKind};
+
+/// A random admissible MultiLog database mirroring the
+/// `demand_properties.rs` generator: a chain lattice `l0 ⪯ l1 ⪯ …`,
+/// classified `data` facts, and `derived` rules consuming them
+/// optimistically or cautiously.
+fn arb_db() -> impl Strategy<Value = (String, usize)> {
+    let fact = (0usize..3, 0usize..5, 0usize..3, 0usize..5);
+    let rule = (0usize..5, any::<bool>());
+    (
+        2usize..4,
+        proptest::collection::vec(fact, 1..16),
+        proptest::collection::vec(rule, 0..4),
+    )
+        .prop_map(|(depth, facts, rules)| {
+            let mut src = String::new();
+            for i in 0..depth {
+                src.push_str(&format!("level(l{i}).\n"));
+            }
+            for i in 1..depth {
+                src.push_str(&format!("order(l{}, l{i}).\n", i - 1));
+            }
+            for (lvl, key, cls, val) in facts {
+                let lvl = lvl.min(depth - 1);
+                let cls = cls.min(lvl);
+                src.push_str(&format!("l{lvl}[data(k{key} : a -l{cls}-> v{val})].\n"));
+            }
+            let top = depth - 1;
+            for (key, cau) in rules {
+                let mode = if cau { "cau" } else { "opt" };
+                src.push_str(&format!(
+                    "l{top}[derived(k{key} : b -l{top}-> out{key})] <- \
+                     l{}[data(k{key} : a -C-> V)] << {mode}.\n",
+                    top - 1
+                ));
+            }
+            (src, depth)
+        })
+}
+
+/// Every `pred` fact reachable through `engine` (its level and class
+/// exposed as goal variables) lies within the static flow bounds.
+fn assert_observed_within_bounds(
+    report: &multilog_core::FlowReport,
+    engine: &ReducedEngine,
+    pred: &str,
+    user: &str,
+    src: &str,
+) {
+    let lat = report.lattice().expect("generated db has a lattice");
+    let goal = format!("L[{pred}(K : a -C-> V)]");
+    let answers = engine.solve_text(&goal).unwrap();
+    if answers.is_empty() {
+        return;
+    }
+    let bounds = report
+        .predicate(PredKind::M, pred)
+        .unwrap_or_else(|| panic!("observed `{pred}` facts but no flow entry over:\n{src}"));
+    assert!(
+        bounds.nonempty,
+        "observed `{pred}` facts but flow says empty over:\n{src}"
+    );
+    for answer in &answers {
+        for (var, bound) in [("L", &bounds.level), ("C", &bounds.class)] {
+            let Some(Term::Sym(name)) = answer.get(var) else {
+                panic!("goal `{goal}` answered without a ground `{var}`");
+            };
+            let label = lat.label(name).expect("answer label is declared");
+            assert!(
+                bound.contains(lat, label),
+                "`{pred}` observed {var}={name} at clearance {user}, outside the \
+                 static bound, over:\n{src}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sequential oracle: at every clearance, every observed labelled
+    /// fact is inside the static bounds computed once for the database.
+    #[test]
+    fn observed_facts_lie_within_static_bounds((src, depth) in arb_db()) {
+        let db: MultiLogDb = parse_database(&src).expect("generated db parses");
+        let report = analyze_db(&db);
+        for user_lvl in 0..depth {
+            let user = format!("l{user_lvl}");
+            let engine = ReducedEngine::new(&db, &user).expect("generated db reduces");
+            for pred in ["data", "derived"] {
+                assert_observed_within_bounds(&report, &engine, pred, &user, &src);
+            }
+        }
+    }
+
+    /// Threaded oracle: concurrent readers at different clearances share
+    /// one flow report; the bounds hold from every thread.
+    #[test]
+    fn observed_facts_lie_within_static_bounds_threaded((src, depth) in arb_db()) {
+        let db: MultiLogDb = parse_database(&src).expect("generated db parses");
+        let report = Arc::new(analyze_db(&db));
+        let src = Arc::new(src);
+        let mut handles = Vec::new();
+        for user_lvl in 0..depth {
+            let report = Arc::clone(&report);
+            let src = Arc::clone(&src);
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                let user = format!("l{user_lvl}");
+                let engine = ReducedEngine::new(&db, &user).expect("generated db reduces");
+                for pred in ["data", "derived"] {
+                    assert_observed_within_bounds(&report, &engine, pred, &user, &src);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("reader thread");
+        }
+    }
+
+    /// Pruning never changes answers: the flow-pruned demand path agrees
+    /// with the unpruned demand path on every goal at every clearance.
+    #[test]
+    fn pruned_demand_equals_unpruned(
+        (src, depth) in arb_db(),
+        key in 0usize..5,
+        lvl in 0usize..4,
+    ) {
+        let db: MultiLogDb = parse_database(&src).expect("generated db parses");
+        let lvl = lvl.min(depth - 1);
+        let goals = [
+            format!("l{lvl}[data(k{key} : a -C-> V)]"),
+            format!("l{lvl}[data(k{key} : a -C-> V)] << cau"),
+            format!("l{lvl}[derived(k{key} : b -C-> V)] << opt"),
+            "L[data(K : a -C-> V)]".to_owned(),
+        ];
+        let pruned_opts = EngineOptions { flow_prune: true, ..EngineOptions::default() };
+        for user_lvl in [0, depth - 1] {
+            let user = format!("l{user_lvl}");
+            let plain = ReducedEngine::new(&db, &user).expect("generated db reduces");
+            let pruned = ReducedEngine::with_options(&db, &user, pruned_opts.clone())
+                .expect("generated db reduces");
+            for goal in &goals {
+                prop_assert_eq!(
+                    plain.solve_text_demand(goal).unwrap(),
+                    pruned.solve_text_demand(goal).unwrap(),
+                    "goal `{}` at user {} over:\n{}",
+                    goal, user, src
+                );
+            }
+        }
+    }
+}
