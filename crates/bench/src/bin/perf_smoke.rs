@@ -22,6 +22,13 @@
 //!   worst-case and top-1% reader latencies coincide with a writer
 //!   commit publish — the snapshot-isolation claim is that reader
 //!   latency stays flat because readers never block on commits.
+//! * `social_reach_{operator,rules}` — full reachability over a
+//!   power-law social graph, computed by the native `@bfs` operator vs.
+//!   the equivalent rule-at-a-time transitive closure (identical `reach`
+//!   relations, asserted); `social_reach_speedup` is their wall ratio.
+//! * `level_dashboard` — per-clearance `count` aggregates over a
+//!   polyinstantiated `emp` database, reduced and answered end-to-end
+//!   (`total(H, N)`, one row per level, demand path asserted to agree).
 //! * `tc_chain_xl` — transitive closure over a 3150-edge chain (~5M
 //!   derived paths); runs once, last, so the process peak RSS reported
 //!   as `tc_chain_xl_peak_rss_mb` (VmHWM) is attributable to it.
@@ -383,6 +390,147 @@ fn run_point_query(repeat: usize) -> (WorkloadResult, WorkloadResult, f64) {
     (full, magic, speedup)
 }
 
+/// Measure full reachability over a power-law social graph two ways:
+/// with the native `@bfs` operator (`reach(X, Y) :- @bfs(edge, X, Y).`)
+/// and with the equivalent rule-at-a-time transitive-closure pair. Both
+/// sides compute the identical `reach` relation (asserted, count inside
+/// the loop and full rows once outside it); the operator's win is pure
+/// evaluation strategy — per-source traversal over the columnar indexes
+/// instead of semi-naive join rounds. Returns both results plus the
+/// rule/operator wall-time ratio (best runs on both sides).
+fn run_social_reach(repeat: usize) -> (WorkloadResult, WorkloadResult, f64) {
+    let spec = multilog_bench::workload::GraphSpec::default();
+    let edges = multilog_bench::workload::power_law_edges(&spec);
+    let mut base = String::new();
+    for (a, b) in &edges {
+        base.push_str(&format!("edge(n{a}, n{b}).\n"));
+    }
+    let op_src = format!("{base}reach(X, Y) :- @bfs(edge, X, Y).\n");
+    let rule_src =
+        format!("{base}reach(X, Y) :- edge(X, Y).\nreach(X, Z) :- reach(X, Y), edge(Y, Z).\n");
+    let op_program = parse_program(&op_src).expect("operator workload parses");
+    let rule_program = parse_program(&rule_src).expect("rule workload parses");
+    let mut best_op: Option<WorkloadResult> = None;
+    let mut best_rule: Option<WorkloadResult> = None;
+    let mut reach = (0usize, 0usize);
+    for _ in 0..repeat {
+        for slot in [0usize, 1] {
+            let program = if slot == 0 {
+                &op_program
+            } else {
+                &rule_program
+            };
+            let engine = Engine::new(program).expect("workload stratifies");
+            let start = Instant::now();
+            let (db, stats) = engine.run_with_stats().expect("workload evaluates");
+            let wall = start.elapsed();
+            let facts = db.fact_count();
+            let derived = db
+                .relation("reach")
+                .map_or(0, multilog_datalog::Relation::len);
+            if slot == 0 {
+                reach.0 = derived;
+            } else {
+                reach.1 = derived;
+            }
+            let result = WorkloadResult {
+                name: if slot == 0 {
+                    "social_reach_operator"
+                } else {
+                    "social_reach_rules"
+                },
+                facts,
+                iterations: stats.iterations,
+                wall_ms: wall.as_secs_f64() * 1e3,
+                facts_per_sec: facts as f64 / wall.as_secs_f64(),
+            };
+            let best = if slot == 0 {
+                &mut best_op
+            } else {
+                &mut best_rule
+            };
+            if best.as_ref().is_none_or(|b| result.wall_ms < b.wall_ms) {
+                *best = Some(result);
+            }
+        }
+        assert_eq!(
+            reach.0, reach.1,
+            "operator and rule closures must have the same size"
+        );
+    }
+    // Row-level equivalence, checked once outside the timers (the
+    // property suite pins this on random graphs; the bench re-asserts it
+    // on the measured one).
+    let op_db = Engine::new(&op_program)
+        .expect("workload stratifies")
+        .run()
+        .expect("workload evaluates");
+    let rule_db = Engine::new(&rule_program)
+        .expect("workload stratifies")
+        .run()
+        .expect("workload evaluates");
+    let sorted = |db: &multilog_datalog::Database| {
+        db.relation("reach")
+            .map(multilog_datalog::Relation::sorted)
+            .unwrap_or_default()
+    };
+    assert_eq!(
+        sorted(&op_db),
+        sorted(&rule_db),
+        "@bfs must equal rule-at-a-time closure"
+    );
+    let op = best_op.expect("repeat >= 1");
+    let rule = best_rule.expect("repeat >= 1");
+    let speedup = rule.wall_ms / op.wall_ms;
+    (op, rule, speedup)
+}
+
+/// Run the per-clearance aggregate dashboard end-to-end: reduce a
+/// 3000-cell polyinstantiated `emp` database at top clearance and answer
+/// the `total(H, N)` dashboard goal (one `count` row per level) through
+/// the materialized fixpoint. Returns the best run plus the row count;
+/// the demand path is asserted to agree once outside the timers.
+fn run_level_dashboard(repeat: usize) -> (WorkloadResult, usize) {
+    let spec = multilog_bench::workload::DashboardSpec::default();
+    let db = parse_database(&multilog_bench::workload::synthetic_dashboard(&spec))
+        .expect("synthetic dashboard parses");
+    let top = format!("l{}", spec.depth - 1);
+    let mut best: Option<WorkloadResult> = None;
+    let mut rows = 0usize;
+    for _ in 0..repeat {
+        let start = Instant::now();
+        let red = ReducedEngine::new(&db, &top).expect("dashboard reduces");
+        let answers = red
+            .solve_text("total(H, N)")
+            .expect("dashboard goal evaluates");
+        let wall = start.elapsed();
+        assert_eq!(answers.len(), spec.depth, "one dashboard row per level");
+        rows = answers.len();
+        let facts = red.database().fact_count();
+        let result = WorkloadResult {
+            name: "level_dashboard",
+            facts,
+            iterations: rows,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            facts_per_sec: facts as f64 / wall.as_secs_f64(),
+        };
+        if best.as_ref().is_none_or(|b| result.wall_ms < b.wall_ms) {
+            best = Some(result);
+        }
+    }
+    // The demand path (what the CLI `query` command runs) must agree
+    // with the materialized answers, bound or unbound.
+    let red = ReducedEngine::new(&db, &top).expect("dashboard reduces");
+    for goal in ["total(H, N)", &format!("total({top}, N)")] {
+        assert_eq!(
+            red.solve_text_demand(goal).expect("demand goal evaluates"),
+            red.solve_text(goal).expect("goal evaluates"),
+            "demand dashboard answers must match materialized"
+        );
+    }
+    (best.expect("repeat >= 1"), rows)
+}
+
 /// What the multi-session server did under churn: reader-side query
 /// latency percentiles and writer-side commit throughput.
 struct ConcurrentChurnResult {
@@ -710,7 +858,7 @@ fn peak_rss_mb() -> Option<f64> {
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_pr8.json");
+    let mut out_path = String::from("BENCH_pr10.json");
     let mut baseline_path: Option<String> = None;
     let mut repeat = 3usize;
     let mut argv = std::env::args().skip(1);
@@ -765,6 +913,12 @@ fn main() {
     let analyze_overhead_pct = analyze_ms / tc_chain.wall_ms * 100.0;
     let (demand_plain, demand_pruned, demand_pruned_speedup, demand_pruned_rules) =
         run_demand_pruned(repeat);
+    // social_reach contrasts the native @bfs operator against
+    // rule-at-a-time transitive closure on a power-law social graph.
+    let (social_op, social_rules, social_speedup) = run_social_reach(repeat);
+    // level_dashboard answers per-clearance count aggregates end-to-end
+    // through the reduction.
+    let (level_dashboard, dashboard_rows) = run_level_dashboard(repeat);
     // concurrent_churn drives the multi-session belief server: reader
     // threads refresh + query pinned snapshots while the writer commits.
     let churn = run_concurrent_churn(4, 60);
@@ -786,6 +940,9 @@ fn main() {
         point_magic,
         demand_plain,
         demand_pruned,
+        social_op,
+        social_rules,
+        level_dashboard,
         tc_chain_xl,
     ];
 
@@ -807,6 +964,9 @@ fn main() {
     ));
     json.push_str(&format!(
         "  \"demand_pruned_speedup\": {demand_pruned_speedup:.2},\n  \"demand_pruned_rules\": {demand_pruned_rules},\n"
+    ));
+    json.push_str(&format!(
+        "  \"social_reach_speedup\": {social_speedup:.2},\n  \"level_dashboard_rows\": {dashboard_rows},\n"
     ));
     json.push_str("  \"concurrent_churn\": {\n");
     json.push_str(&format!("    \"readers\": {},\n", churn.readers));

@@ -141,6 +141,107 @@ pub fn synthetic_multilog(spec: &MultiLogSpec) -> String {
     out
 }
 
+/// Parameters for a synthetic power-law graph.
+#[derive(Clone, Debug)]
+pub struct GraphSpec {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of edges drawn (duplicates are removed, so the final
+    /// count is slightly lower).
+    pub edges: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GraphSpec {
+    fn default() -> Self {
+        GraphSpec {
+            nodes: 800,
+            edges: 6400,
+            seed: 17,
+        }
+    }
+}
+
+/// Generate a power-law edge list by preferential attachment: each new
+/// edge's target copies an endpoint of a random earlier edge with
+/// probability 3/4, so a few hubs accumulate most of the degree — the
+/// social-graph shape the `@bfs` reachability workload is about.
+pub fn power_law_edges(spec: &GraphSpec) -> Vec<(usize, usize)> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(spec.edges);
+    for _ in 0..spec.edges {
+        let src = rng.random_range(0..spec.nodes);
+        let dst = if edges.is_empty() || rng.random_bool(0.25) {
+            rng.random_range(0..spec.nodes)
+        } else {
+            let (a, b) = edges[rng.random_range(0..edges.len())];
+            if rng.random_bool(0.5) {
+                a
+            } else {
+                b
+            }
+        };
+        edges.push((src, dst));
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+/// Parameters for a synthetic per-clearance dashboard database.
+#[derive(Clone, Debug)]
+pub struct DashboardSpec {
+    /// Lattice depth (total order).
+    pub depth: usize,
+    /// Number of distinct apparent keys.
+    pub keys: usize,
+    /// Number of m-fact cells drawn over the keys and levels.
+    pub cells: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DashboardSpec {
+    fn default() -> Self {
+        DashboardSpec {
+            depth: 4,
+            keys: 300,
+            cells: 3000,
+            seed: 23,
+        }
+    }
+}
+
+/// Generate a MultiLog database whose answer is an aggregate dashboard:
+/// random `emp` salary cells spread over the levels (polyinstantiation
+/// is common by construction — one key can carry differently classified
+/// values at several levels), plus one aggregate rule per dashboard
+/// column counting each clearance level's distinct salary beliefs.
+pub fn synthetic_dashboard(spec: &DashboardSpec) -> String {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut out = String::new();
+    for i in 0..spec.depth {
+        out.push_str(&format!("level(l{i}).\n"));
+    }
+    for i in 1..spec.depth {
+        out.push_str(&format!("order(l{}, l{i}).\n", i - 1));
+    }
+    // One seed cell per level so every dashboard row exists, then the
+    // random bulk.
+    for lvl in 0..spec.depth {
+        out.push_str(&format!("l{lvl}[emp(k0 : sal -l{lvl}-> v{lvl})].\n"));
+    }
+    for c in 0..spec.cells {
+        let lvl = rng.random_range(0..spec.depth);
+        let cls = rng.random_range(0..lvl + 1);
+        let key = rng.random_range(0..spec.keys.max(1));
+        out.push_str(&format!("l{lvl}[emp(k{key} : sal -l{cls}-> v{c})].\n"));
+    }
+    out.push_str("total(H, count(K)) <- H[emp(K : sal -C-> V)] << opt, level(H).\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,5 +310,35 @@ mod tests {
         // And it reduces.
         let red = multilog_core::reduce::ReducedEngine::new(&db, "l2").unwrap();
         assert!(red.database().relation("rel").is_some());
+    }
+
+    #[test]
+    fn power_law_edges_deterministic_and_skewed() {
+        let spec = GraphSpec::default();
+        let a = power_law_edges(&spec);
+        assert_eq!(a, power_law_edges(&spec));
+        assert!(a.len() > spec.edges / 2, "dedup keeps most edges");
+        // Power-law shape: the busiest node carries far more than the
+        // mean degree.
+        let mut indeg = vec![0usize; spec.nodes];
+        for &(_, d) in &a {
+            indeg[d] += 1;
+        }
+        let max = indeg.iter().max().unwrap();
+        assert!(*max * spec.nodes > 4 * a.len(), "hubs dominate: {max}");
+    }
+
+    #[test]
+    fn synthetic_dashboard_reduces_to_one_row_per_level() {
+        let spec = DashboardSpec {
+            depth: 3,
+            keys: 20,
+            cells: 100,
+            seed: 5,
+        };
+        let db = parse_database(&synthetic_dashboard(&spec)).unwrap();
+        let red = multilog_core::reduce::ReducedEngine::new(&db, "l2").unwrap();
+        let rows = red.solve_text("total(H, N)").unwrap();
+        assert_eq!(rows.len(), spec.depth, "one dashboard row per level");
     }
 }

@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use multilog_core::consistency::check_consistency;
 use multilog_core::proof::prove_text;
-use multilog_core::reduce::{EdbUpdate, ReducedEngine};
+use multilog_core::reduce::{DemandCache, EdbUpdate, ReducedEngine};
 use multilog_core::{
     parse_database, BeliefServer, EngineOptions, MultiLogDb, MultiLogEngine, ReaderSession,
 };
@@ -93,6 +93,66 @@ fn load(source: &str) -> Result<MultiLogDb, String> {
 fn operational(db: &MultiLogDb, opts: &Options) -> Result<MultiLogEngine, String> {
     MultiLogEngine::with_options(db, &opts.user, engine_options(opts))
         .map_err(|e| format!("evaluation failed: {e}"))
+}
+
+/// The engine `run`/`query` actually got: the operational engine they
+/// asked for, or the reduction it fell back to (see
+/// [`operational_or_reduced`]).
+enum EitherEngine {
+    Op(Box<MultiLogEngine>),
+    Red(Box<ReducedEngine>),
+}
+
+impl EitherEngine {
+    fn solve(&self, q: &multilog_core::ast::Goal) -> Result<Vec<multilog_core::Answer>, String> {
+        match self {
+            EitherEngine::Op(e) => e.solve(q).map_err(|e| e.to_string()),
+            EitherEngine::Red(e) => e.solve(q).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn solve_text(&self, goal: &str) -> Result<Vec<multilog_core::Answer>, String> {
+        match self {
+            EitherEngine::Op(e) => e.solve_text(goal).map_err(|e| e.to_string()),
+            EitherEngine::Red(e) => e.solve_text(goal).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn stats_summary(&self) -> String {
+        match self {
+            EitherEngine::Op(e) => e.stats().summary(),
+            EitherEngine::Red(e) => e.stats().summary(),
+        }
+    }
+}
+
+/// Construct the operational engine, falling back to the reduction when
+/// the database uses constructs only the reduction evaluates (aggregate
+/// heads, `@algo` operators). `run`/`query` default to the operational
+/// engine, so without the fallback every aggregate database would need
+/// an explicit `--engine red`; the typed [`ReductionOnly`] refusal names
+/// the engine that can answer, and the CLI acts on it. The returned
+/// string is the note to print when the fallback engaged (empty
+/// otherwise).
+///
+/// [`ReductionOnly`]: multilog_core::MultiLogError::ReductionOnly
+fn operational_or_reduced(
+    db: &MultiLogDb,
+    opts: &Options,
+) -> Result<(EitherEngine, String), String> {
+    match MultiLogEngine::with_options(db, &opts.user, engine_options(opts)) {
+        Ok(e) => Ok((EitherEngine::Op(Box::new(e)), String::new())),
+        Err(multilog_core::MultiLogError::ReductionOnly { .. }) => {
+            let e = ReducedEngine::with_options(db, &opts.user, engine_options(opts))
+                .map_err(|e| e.to_string())?;
+            Ok((
+                EitherEngine::Red(Box::new(e)),
+                "(aggregates/algorithm operators present: answering via the reduction)\n"
+                    .to_owned(),
+            ))
+        }
+        Err(e) => Err(format!("evaluation failed: {e}")),
+    }
 }
 
 /// Lint preflight for `run`/`query`: fail fast on error-severity findings
@@ -203,21 +263,29 @@ pub fn run(source: &str, opts: &Options) -> CliResult {
     }
     match opts.engine {
         EngineKind::Operational => {
-            let e = operational(&db, opts)?;
-            let _ = writeln!(
-                out,
-                "evaluated at {}: {} m-facts, {} p-facts",
-                opts.user,
-                e.mfacts().len(),
-                e.pfacts().len()
-            );
+            let (e, note) = operational_or_reduced(&db, opts)?;
+            out.push_str(&note);
+            match &e {
+                EitherEngine::Op(op) => {
+                    let _ = writeln!(
+                        out,
+                        "evaluated at {}: {} m-facts, {} p-facts",
+                        opts.user,
+                        op.mfacts().len(),
+                        op.pfacts().len()
+                    );
+                }
+                EitherEngine::Red(_) => {
+                    let _ = writeln!(out, "reduced and evaluated at {}", opts.user);
+                }
+            }
             for (i, q) in queries.iter().enumerate() {
-                let answers = e.solve(q).map_err(|e| e.to_string())?;
+                let answers = e.solve(q)?;
                 let _ = writeln!(out, "?- query {}: {}", i + 1, render_goal(q));
                 let _ = write!(out, "{}", render_answers(&answers));
             }
             if opts.stats {
-                let _ = write!(out, "{}", e.stats().summary());
+                let _ = write!(out, "{}", e.stats_summary());
             }
         }
         EngineKind::Reduced => {
@@ -244,13 +312,14 @@ pub fn query(source: &str, goal: &str, opts: &Options) -> CliResult {
     let db = load(source)?;
     match opts.engine {
         EngineKind::Operational => {
-            let e = operational(&db, opts)?;
+            let (e, note) = operational_or_reduced(&db, opts)?;
+            out.push_str(&note);
             let answers = e
                 .solve_text(goal)
                 .map_err(|e| format!("query failed: {e}"))?;
             out.push_str(&render_answers(&answers));
             if opts.stats {
-                out.push_str(&e.stats().summary());
+                out.push_str(&e.stats_summary());
             }
         }
         EngineKind::Reduced if opts.no_magic => {
@@ -372,6 +441,10 @@ pub struct ReplSession {
     reduced: ReducedEngine,
     /// Lazily (re)built operational engine; `None` after an update.
     operational: Option<MultiLogEngine>,
+    /// Prepared magic-sets rewrites memoized per goal binding pattern
+    /// (`(predicate, adornment)`), so re-asked point goals skip the
+    /// rewrite; cleared whenever a `+`/`-` update commits.
+    demand: DemandCache,
 }
 
 impl ReplSession {
@@ -391,6 +464,7 @@ impl ReplSession {
             clauses,
             reduced,
             operational: None,
+            demand: DemandCache::new(),
         })
     }
 
@@ -440,12 +514,14 @@ impl ReplSession {
             };
         }
         // Point goals go through the magic-sets demand rewrite over the
-        // current transactional base (so `+`/`-` updates are visible);
+        // current transactional base (so `+`/`-` updates are visible),
+        // memoized per binding pattern in the session's demand cache;
         // `--no-magic` answers from the materialized fixpoint instead.
         let result = if self.opts.no_magic {
             self.reduced.solve_text(line)
         } else {
-            self.reduced.solve_text_demand(line)
+            multilog_core::parse_goal(line)
+                .and_then(|goal| self.reduced.solve_demand_cached(&goal, &mut self.demand))
         };
         match result {
             Ok(answers) => render_answers(&answers),
@@ -492,6 +568,7 @@ impl ReplSession {
                     }
                 }
                 self.operational = None; // stale; rebuilt on demand
+                self.demand.clear(); // prepared rewrites embed the old EDB
                 format!(
                     "ok: {}{} base fact, +{}/-{} derived ({:.2} ms)\n",
                     if insert { "+" } else { "-" },
@@ -507,6 +584,7 @@ impl ReplSession {
             }
             Err(e) => {
                 if self.reduced.is_poisoned() {
+                    self.demand.clear();
                     if let Err(re) = self.reduced.rematerialize() {
                         return format!("error: {e}\nerror: recovery failed: {re}\n");
                     }
@@ -515,6 +593,13 @@ impl ReplSession {
                 format!("error: {e}\n")
             }
         }
+    }
+
+    /// `(entries, hits)` of the session's demand cache — how many goal
+    /// binding patterns have a memoized magic rewrite, and how many
+    /// goals were answered from one (diagnostics and tests).
+    pub fn demand_cache_stats(&self) -> (usize, u64) {
+        (self.demand.entries(), self.demand.hits())
     }
 
     /// The operational engine over the current clause set, rebuilding it
@@ -1086,6 +1171,25 @@ mod tests {
     }
 
     #[test]
+    fn repl_demand_cache_hits_and_invalidates_on_update() {
+        let mut s = ReplSession::new(DB, &opts("s")).unwrap();
+        assert!(s.step("s[p(k : a -u-> v)]").contains("yes"));
+        assert!(s.step("s[p(k : a -u-> v)]").contains("yes"));
+        let (entries, hits) = s.demand_cache_stats();
+        assert_eq!(entries, 1, "one binding pattern prepared");
+        assert_eq!(hits, 1, "the repeat reuses it");
+        // A different constant under the same pattern shares the entry.
+        assert!(s.step("s[p(k9 : a -u-> v)]").contains("no"));
+        assert_eq!(s.demand_cache_stats(), (1, 2));
+        // Updates invalidate: the prepared programs embed the EDB.
+        assert!(s.step("+s[p(k9 : a -u-> v)].").starts_with("ok:"));
+        assert_eq!(s.demand_cache_stats().0, 0, "cache cleared on commit");
+        assert!(s.step("s[p(k9 : a -u-> v)]").contains("yes"));
+        assert!(s.step("-s[p(k9 : a -u-> v)].").starts_with("ok:"));
+        assert!(s.step("s[p(k9 : a -u-> v)]").contains("no"));
+    }
+
+    #[test]
     fn repl_retraction_cascades_through_beliefs() {
         // Retracting the u fact removes the cautious support chain: the
         // r8-derived s-level fact must disappear with it.
@@ -1166,6 +1270,45 @@ mod tests {
         assert!(out.contains("yes"), "{out}");
         assert!(out.contains("demand(magic):"), "{out}");
         assert!(out.contains("adorned="), "{out}");
+    }
+
+    #[test]
+    fn query_falls_back_to_reduction_for_aggregates() {
+        let src = "level(u). level(s). order(u, s).\n\
+                   u[emp(a : sal -u-> v1)].\n\
+                   s[emp(a : sal -s-> v2)].\n\
+                   s[emp(b : sal -s-> v3)].\n\
+                   total(H, count(K)) <- H[emp(K : sal -_C-> _V)] << opt, level(H).";
+        // The default (operational) engine cannot evaluate aggregate
+        // heads; `query` must answer via the reduction and say so.
+        let o = opts("s");
+        let out = query(src, "total(H, N)", &o).unwrap();
+        assert!(out.contains("answering via the reduction"), "{out}");
+        assert!(out.contains("H = u, N = 1"), "{out}");
+        assert!(out.contains("H = s, N = 3"), "{out}");
+        // `run` takes the same fallback for the stored queries.
+        let stored = format!("{src}\n<- total(H, N).");
+        let out = run(&stored, &o).unwrap();
+        assert!(out.contains("answering via the reduction"), "{out}");
+        assert!(out.contains("H = s, N = 3"), "{out}");
+        // An explicit `--engine red` never needs (or prints) the note.
+        let mut red = opts("s");
+        red.engine = EngineKind::Reduced;
+        let out = query(src, "total(H, N)", &red).unwrap();
+        assert!(!out.contains("answering via the reduction"), "{out}");
+        assert!(out.contains("H = s, N = 3"), "{out}");
+    }
+
+    #[test]
+    fn algo_goal_answered_through_cli_query() {
+        let src = "boss(a, b). boss(b, c).\n\
+                   chain(X, Y) <- @bfs(boss, X, Y).\n\
+                   level(u).";
+        let o = opts("u");
+        let out = query(src, "chain(a, Y)", &o).unwrap();
+        assert!(out.contains("Y = b"), "{out}");
+        assert!(out.contains("Y = c"), "{out}");
+        assert!(out.contains("(2 answers)"), "{out}");
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | ML0005 | `unreachable-rule`   | warning  | a body predicate can never hold (no facts or firing rules derive it) |
 //! | ML0006 | `singleton-variable` | warning  | variable occurs exactly once in a clause (likely a typo) |
 //! | ML0007 | `unbound-demand`     | warning  | query goal binds no arguments, so demand-driven (magic-sets) evaluation degenerates to full cone evaluation |
+//! | ML0008 | `unknown-algo` / `algo-call-arity` / `aggregation-through-recursion` | error | `@algo(...)` call over an unregistered operator or with the wrong arity; aggregate clause recursing through its own head |
 //!
 //! ML0001/ML0002 are normally raised eagerly by [`Program::push`]; the
 //! [`check_clauses`] entry point re-checks a raw clause list *collecting*
@@ -241,9 +242,10 @@ pub fn check_clauses(clauses: &[Clause]) -> Vec<Lint> {
 }
 
 /// Analyze a validated program: stratifiability with a full cycle witness
-/// (ML0003), unreachable rules (ML0005), and singleton variables
-/// (ML0006). Use [`analyze_for_query`] to additionally flag predicates
-/// outside a query's dependency cone (ML0004).
+/// (ML0003), unreachable rules (ML0005), singleton variables (ML0006),
+/// and algorithm-operator / aggregation misuse (ML0008). Use
+/// [`analyze_for_query`] to additionally flag predicates outside a
+/// query's dependency cone (ML0004).
 pub fn analyze(program: &Program) -> Vec<Lint> {
     let mut out = Vec::new();
 
@@ -325,6 +327,69 @@ pub fn analyze(program: &Program) -> Vec<Lint> {
                 c.span,
                 format!("variable `{v}` occurs only once in `{c}` — typo or use `_{v}`"),
             ));
+        }
+    }
+
+    // ML0008 — algorithm-operator and aggregation misuse. An unknown or
+    // mis-called `@algo(...)` operator fails at materialization time; an
+    // aggregate clause reading a predicate mutually recursive with its
+    // own head has no stratified semantics (the fold needs its input
+    // complete before it runs, but the input needs the fold's output).
+    let registry = crate::algo::registry();
+    for c in program.clauses() {
+        for l in &c.body {
+            let Some(a) = l.atom() else { continue };
+            let Some((name, input)) = crate::algo::parse_call(a.predicate.as_str()) else {
+                continue;
+            };
+            match registry.get(name) {
+                None => out.push(lint(
+                    "ML0008",
+                    "unknown-algo",
+                    Severity::Error,
+                    c.span,
+                    format!(
+                        "unknown algorithm operator `@{name}` (known: {})",
+                        registry.names().join(", ")
+                    ),
+                )),
+                Some(op) if op.arity() != a.arity() => out.push(lint(
+                    "ML0008",
+                    "algo-call-arity",
+                    Severity::Error,
+                    c.span,
+                    format!(
+                        "`@{name}({input}, ...)` called with {} argument terms, \
+                         but the operator takes {}",
+                        a.arity(),
+                        op.arity()
+                    ),
+                )),
+                Some(_) => {}
+            }
+        }
+        if c.agg.is_some() {
+            let recursive_dep = c.body.iter().find_map(|l| match l {
+                Literal::Pos(a)
+                    if graph.same_scc(a.predicate.as_str(), c.head.predicate.as_str()) =>
+                {
+                    Some(a.predicate.to_string())
+                }
+                _ => None,
+            });
+            if let Some(p) = recursive_dep {
+                out.push(lint(
+                    "ML0008",
+                    "aggregation-through-recursion",
+                    Severity::Error,
+                    c.span,
+                    format!(
+                        "aggregate clause `{c}` reads `{p}`, which is mutually recursive \
+                         with its head `{}` — aggregation through recursion is not stratifiable",
+                        c.head.predicate
+                    ),
+                ));
+            }
         }
     }
 
@@ -471,6 +536,64 @@ mod tests {
         assert!(analyze_for_goal(&p, &bound)
             .iter()
             .all(|l| l.code != "ML0007"));
+    }
+
+    #[test]
+    fn unknown_algo_operator_flagged() {
+        let p = parse_program("edge(a, b). r(X, Y) :- @frobnicate(edge, X, Y).").unwrap();
+        let lints = analyze(&p);
+        let hit = lints
+            .iter()
+            .find(|l| l.code == "ML0008" && l.name == "unknown-algo")
+            .unwrap();
+        assert_eq!(hit.severity, Severity::Error);
+        assert!(hit.message.contains("@frobnicate"), "{}", hit.message);
+        assert!(hit.message.contains("bfs"), "{}", hit.message);
+    }
+
+    #[test]
+    fn algo_call_arity_mismatch_flagged() {
+        let p = parse_program("edge(a, b). r(X) :- @bfs(edge, X).").unwrap();
+        let lints = analyze(&p);
+        assert!(lints
+            .iter()
+            .any(|l| l.code == "ML0008" && l.name == "algo-call-arity"));
+        let clean = parse_program("edge(a, b). r(X, Y) :- @bfs(edge, X, Y).").unwrap();
+        assert!(analyze(&clean).iter().all(|l| l.code != "ML0008"));
+    }
+
+    #[test]
+    fn aggregation_through_recursion_flagged() {
+        let p =
+            parse_program("part(a, b). part(b, c). total(P, count(S)) :- total(P, S), part(P, S).")
+                .unwrap();
+        let lints = analyze(&p);
+        let hit = lints
+            .iter()
+            .find(|l| l.code == "ML0008" && l.name == "aggregation-through-recursion")
+            .unwrap();
+        assert_eq!(hit.severity, Severity::Error);
+        assert!(hit.message.contains("`total`"), "{}", hit.message);
+        // Aggregation over a lower stratum is fine.
+        let clean =
+            parse_program("part(a, b). part(b, c). total(P, count(S)) :- part(P, S).").unwrap();
+        assert!(analyze(&clean).iter().all(|l| l.code != "ML0008"));
+    }
+
+    #[test]
+    fn algo_input_and_aggregate_body_are_not_unused() {
+        // `edge` is consulted only through the `@bfs(edge, ...)` call;
+        // `visit` only inside an aggregate body. Neither is ML0004 dead.
+        let p = parse_program(
+            "edge(a, b). edge(b, c). reach(X, Y) :- @bfs(edge, X, Y). \
+             visit(a, u1). visit(a, u2). hits(P, count(U)) :- visit(P, U).",
+        )
+        .unwrap();
+        let lints = analyze_for_query(&p, ["reach", "hits"]);
+        assert!(
+            lints.iter().all(|l| l.code != "ML0004"),
+            "unexpected ML0004: {lints:?}"
+        );
     }
 
     #[test]

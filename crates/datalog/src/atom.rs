@@ -50,6 +50,19 @@ impl Atom {
 
 impl fmt::Display for Atom {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Algorithm-call atoms carry the call syntax in their predicate
+        // name (`@bfs(edge)`); splice the argument terms back inside the
+        // parentheses so the rendered form re-parses.
+        let name = self.predicate.as_str();
+        if name.starts_with('@') {
+            if let Some(open) = name.strip_suffix(')') {
+                write!(f, "{open}")?;
+                for t in &self.terms {
+                    write!(f, ", {t}")?;
+                }
+                return write!(f, ")");
+            }
+        }
         write!(f, "{}", self.predicate)?;
         if !self.terms.is_empty() {
             write!(f, "(")?;

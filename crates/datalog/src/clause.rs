@@ -61,6 +61,63 @@ impl fmt::Display for Span {
     }
 }
 
+/// The aggregate functions usable in a rule head.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Number of distinct witness bindings per group.
+    Count,
+    /// Integer sum of the aggregated variable over the witnesses.
+    Sum,
+    /// Minimum of the aggregated variable (any comparable constant kind).
+    Min,
+    /// Maximum of the aggregated variable.
+    Max,
+}
+
+impl AggFunc {
+    /// The surface spelling (`count`, `sum`, `min`, `max`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+
+    /// Parse a surface spelling.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An aggregation spec attached to a clause head: one head position holds
+/// `func(V)` instead of a plain term. The remaining head positions are
+/// the group-by key; the clause's value for a group is `func` folded over
+/// the *distinct witness bindings* of the body (bag semantics in the
+/// Bertossi–Gottlob style: every distinct binding of the body's bound
+/// variables counts once, so two polyinstantiated tuples differing only
+/// in a non-grouped column still contribute separately).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Aggregate {
+    /// The fold applied per group.
+    pub func: AggFunc,
+    /// Index into `head.terms` of the aggregated variable.
+    pub position: usize,
+}
+
 /// A definite clause `head :- body` (a fact when the body is empty).
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Clause {
@@ -68,6 +125,11 @@ pub struct Clause {
     pub head: Atom,
     /// The body literals, evaluated left to right.
     pub body: Vec<Literal>,
+    /// Aggregation spec, when the head carries `count(V)`/`sum(V)`/… at
+    /// one position. Aggregate clauses are stratified below their head
+    /// (like negation) and evaluated once per stratum, outside the
+    /// fixpoint.
+    pub agg: Option<Aggregate>,
     /// Where the clause came from (ignored by equality and hashing).
     pub span: Span,
 }
@@ -78,6 +140,7 @@ impl Clause {
         Clause {
             head,
             body,
+            agg: None,
             span: Span::unknown(),
         }
     }
@@ -87,6 +150,7 @@ impl Clause {
         Clause {
             head,
             body: Vec::new(),
+            agg: None,
             span: Span::unknown(),
         }
     }
@@ -94,6 +158,13 @@ impl Clause {
     /// Attach a source span (builder-style, used by the parser).
     pub fn with_span(mut self, span: Span) -> Self {
         self.span = span;
+        self
+    }
+
+    /// Attach an aggregation spec (builder-style, used by the parser).
+    pub fn with_aggregate(mut self, agg: Aggregate) -> Self {
+        debug_assert!(agg.position < self.head.terms.len());
+        self.agg = Some(agg);
         self
     }
 
@@ -198,7 +269,23 @@ impl Clause {
 
 impl fmt::Display for Clause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.head)?;
+        match self.agg {
+            Some(agg) => {
+                write!(f, "{}(", self.head.predicate)?;
+                for (i, t) in self.head.terms.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    if i == agg.position {
+                        write!(f, "{}({t})", agg.func)?;
+                    } else {
+                        write!(f, "{t}")?;
+                    }
+                }
+                write!(f, ")")?;
+            }
+            None => write!(f, "{}", self.head)?,
+        }
         if !self.body.is_empty() {
             write!(f, " :- ")?;
             for (i, l) in self.body.iter().enumerate() {

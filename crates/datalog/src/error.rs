@@ -100,6 +100,29 @@ pub enum DatalogError {
         /// Which invariant was violated.
         detail: String,
     },
+    /// An `@name(...)` call names an algorithm operator not present in
+    /// the [`crate::algo::AlgoRegistry`].
+    UnknownAlgo {
+        /// The unrecognized operator name (without the `@`).
+        name: String,
+    },
+    /// An algorithm operator rejected its call: wrong call or input
+    /// arity, invalid options (e.g. a free `@topk` limit), or bad input
+    /// data (e.g. negative `@spath` weights).
+    AlgoFailure {
+        /// The operator name.
+        algo: String,
+        /// What was wrong.
+        message: String,
+    },
+    /// An aggregate could not be folded: `sum` over non-integers, or
+    /// `min`/`max` over constants of different kinds within one group.
+    AggregateFailure {
+        /// Rendering of the aggregate clause.
+        clause: String,
+        /// What was wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for DatalogError {
@@ -172,6 +195,15 @@ impl fmt::Display for DatalogError {
             DatalogError::Internal { detail } => {
                 write!(f, "internal engine invariant violated: {detail}")
             }
+            DatalogError::UnknownAlgo { name } => {
+                write!(f, "unknown algorithm operator `@{name}`")
+            }
+            DatalogError::AlgoFailure { algo, message } => {
+                write!(f, "algorithm operator `@{algo}`: {message}")
+            }
+            DatalogError::AggregateFailure { clause, message } => {
+                write!(f, "aggregate in `{clause}`: {message}")
+            }
         }
     }
 }
@@ -222,6 +254,17 @@ mod tests {
             DatalogError::NoActiveTransaction,
             DatalogError::EnginePoisoned,
             DatalogError::Internal { detail: "x".into() },
+            DatalogError::UnknownAlgo {
+                name: "pagerank".into(),
+            },
+            DatalogError::AlgoFailure {
+                algo: "topk".into(),
+                message: "free limit".into(),
+            },
+            DatalogError::AggregateFailure {
+                clause: "t(sum(X)) :- p(X).".into(),
+                message: "non-integer".into(),
+            },
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());

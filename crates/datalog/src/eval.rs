@@ -25,21 +25,24 @@
 //! an iteration are already visible to later variants of the same
 //! iteration (the historical behaviour).
 
+use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
 use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::atom::Literal;
-use crate::clause::Clause;
+use crate::algo;
+use crate::atom::{Atom, Literal};
+use crate::clause::{AggFunc, Clause};
 use crate::fx::FxHashMap;
 use crate::guard::{CancelToken, EvalGuard};
 use crate::magic;
 use crate::plan::{delta_positions, RulePlan, Scratch};
 use crate::program::Program;
 use crate::query::{run_query, QueryAnswer};
-use crate::storage::{Database, Fact, FactBuf};
-use crate::term::{Const, SymId};
+use crate::storage::{key_of, Database, Fact, FactBuf, Relation};
+use crate::term::{Const, SymId, Term};
 use crate::trace::{TraceEvent, TraceSink};
 use crate::{DatalogError, Result};
 
@@ -342,12 +345,12 @@ impl<'p> Engine<'p> {
         query_preds: impl IntoIterator<Item = &'a str>,
     ) -> Result<Database> {
         let needed = self.program.dependencies_of(query_preds);
-        Ok(self.run_inner(Some(&needed))?.0)
+        Ok(self.run_inner(Some(&needed), &[])?.0)
     }
 
     /// Evaluate to fixpoint, also returning counters.
     pub fn run_with_stats(&self) -> Result<(Database, EvalStats)> {
-        self.run_inner(None)
+        self.run_inner(None, &[])
     }
 
     /// Answer a partially-bound goal by evaluating only the sub-fixpoint
@@ -396,7 +399,7 @@ impl<'p> Engine<'p> {
                 if let Some(t) = self.trace.clone() {
                     engine = engine.with_trace(t);
                 }
-                let (db, mut stats) = engine.run_inner(None)?;
+                let (db, mut stats) = engine.run_inner(None, &[])?;
                 stats.demand = Some(DemandStats {
                     strategy: "magic",
                     cone_predicates: needed.len(),
@@ -413,7 +416,28 @@ impl<'p> Engine<'p> {
                 return Ok((m.answers(&db), stats));
             }
         }
-        let (db, mut stats) = self.run_inner(Some(&needed))?;
+        let (mut db, mut stats) = self.run_inner(Some(&needed), goal)?;
+        // Algo calls appearing only in the goal have no stratum in the
+        // program; materialize them now, over the finished cone fixpoint
+        // (their input is complete by construction).
+        let guard = EvalGuard::new(self.deadline, self.fact_limit, self.cancel.clone());
+        for l in goal {
+            let Some(a) = l.atom() else { continue };
+            let pred = a.predicate.as_str();
+            let Some((name, input)) = algo::parse_call(pred) else {
+                continue;
+            };
+            if db.relation(pred).is_some() {
+                continue; // already materialized in its program stratum
+            }
+            let patterns = algo::call_patterns(self.program, goal, a.predicate);
+            let out = algo::materialize(name, db.relation(input), a.arity(), &patterns, &guard)?;
+            guard.begin_round(db.fact_count());
+            for fact in out.iter() {
+                db.insert_id(a.predicate, fact);
+            }
+            guard.check_db(db.fact_count())?;
+        }
         let answer = run_query(&db, goal)?;
         stats.demand = Some(DemandStats {
             strategy: "cone",
@@ -426,7 +450,11 @@ impl<'p> Engine<'p> {
         Ok((answer, stats))
     }
 
-    fn run_inner(&self, restrict: Option<&HashSet<String>>) -> Result<(Database, EvalStats)> {
+    fn run_inner(
+        &self,
+        restrict: Option<&HashSet<String>>,
+        extra: &[Literal],
+    ) -> Result<(Database, EvalStats)> {
         let mut db = Database::new();
         let mut stats = EvalStats::default();
         let guard = EvalGuard::new(self.deadline, self.fact_limit, self.cancel.clone());
@@ -446,14 +474,17 @@ impl<'p> Engine<'p> {
         for (stratum_idx, stratum) in self.strata.iter().enumerate() {
             let in_stratum: HashSet<SymId> = stratum.iter().map(|s| SymId::intern(s)).collect();
             // Rules whose head is in this stratum (and, when restricted,
-            // in the query's dependency cone).
-            let rules: Vec<&Clause> = self
+            // in the query's dependency cone). Aggregate clauses are
+            // split off: their bodies live strictly below this stratum,
+            // so they are folded once, before the fixpoint, and their
+            // results behave like EDB facts for the stratum's rules.
+            let (agg_rules, rules): (Vec<&Clause>, Vec<&Clause>) = self
                 .program
                 .clauses()
                 .iter()
                 .filter(|c| in_stratum.contains(&c.head.predicate))
                 .filter(|c| restrict.is_none_or(|n| n.contains(c.head.predicate.as_str())))
-                .collect();
+                .partition(|c| c.agg.is_some());
             self.emit(&TraceEvent::StratumStart {
                 stratum: stratum_idx,
                 predicates: stratum,
@@ -461,19 +492,30 @@ impl<'p> Engine<'p> {
             let started = Instant::now();
             let iters_before = stats.iterations;
             let added_before = stats.facts_added;
-            let result = match self.strategy {
-                Strategy::Naive => {
-                    self.run_stratum_naive(&rules, stratum_idx, &mut db, &mut stats, &guard)
-                }
-                Strategy::SemiNaive => self.run_stratum_seminaive(
-                    &rules,
-                    &in_stratum,
-                    stratum_idx,
-                    &mut db,
-                    &mut stats,
-                    &guard,
-                ),
-            };
+            // Native algorithm operators first (their inputs are in lower
+            // strata), then aggregate folds (ditto), then the fixpoint —
+            // which sees both as already-materialized relations.
+            let mut result =
+                self.materialize_algos(stratum, restrict, extra, &mut db, &mut stats, &guard);
+            if result.is_ok() {
+                result =
+                    self.apply_aggregates(&agg_rules, stratum_idx, &mut db, &mut stats, &guard);
+            }
+            if result.is_ok() {
+                result = match self.strategy {
+                    Strategy::Naive => {
+                        self.run_stratum_naive(&rules, stratum_idx, &mut db, &mut stats, &guard)
+                    }
+                    Strategy::SemiNaive => self.run_stratum_seminaive(
+                        &rules,
+                        &in_stratum,
+                        stratum_idx,
+                        &mut db,
+                        &mut stats,
+                        &guard,
+                    ),
+                };
+            }
             let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
             stats.per_stratum.push(StratumStats {
                 stratum: stratum_idx,
@@ -501,6 +543,245 @@ impl<'p> Engine<'p> {
             });
         }
         Ok((db, stats))
+    }
+
+    /// Materialize every `@algo(input)` call predicate assigned to this
+    /// stratum by running its registered operator over the (complete)
+    /// input relation. The output behaves like EDB facts for the
+    /// stratum's rules: the semi-naive base iteration sees it in full.
+    fn materialize_algos(
+        &self,
+        stratum: &[String],
+        restrict: Option<&HashSet<String>>,
+        extra: &[Literal],
+        db: &mut Database,
+        stats: &mut EvalStats,
+        guard: &EvalGuard,
+    ) -> Result<()> {
+        for pred in stratum {
+            let Some((name, input)) = algo::parse_call(pred) else {
+                continue;
+            };
+            if restrict.is_some_and(|n| !n.contains(pred)) {
+                continue;
+            }
+            let pred_sym = SymId::intern(pred);
+            let patterns = algo::call_patterns(self.program, extra, pred_sym);
+            let Some(call_arity) = patterns.first().map(Vec::len) else {
+                continue; // no call site demands this predicate
+            };
+            let out = algo::materialize(name, db.relation(input), call_arity, &patterns, guard)?;
+            guard.begin_round(db.fact_count());
+            stats
+                .join_orders
+                .push(format!("{pred} :- [native @{name} over {input}]"));
+            stats.facts_considered += out.len();
+            for fact in out.iter() {
+                if db.insert_id(pred_sym, fact) {
+                    stats.facts_added += 1;
+                }
+            }
+            guard.check_db(db.fact_count())?;
+        }
+        Ok(())
+    }
+
+    /// Evaluate the stratum's aggregate clauses: for each, enumerate the
+    /// body's *distinct witness bindings* (its bound variables — positive
+    /// occurrences and arithmetic targets; negation-only variables are
+    /// existential), group them by the non-aggregated head positions, and
+    /// fold the aggregate function over each group. Distinct-witness bag
+    /// semantics mean two tuples differing only in a non-grouped column
+    /// still count separately — which is what makes polyinstantiated
+    /// m-atoms aggregate correctly after the MultiLog reduction.
+    fn apply_aggregates(
+        &self,
+        aggs: &[&Clause],
+        stratum_idx: usize,
+        db: &mut Database,
+        stats: &mut EvalStats,
+        guard: &EvalGuard,
+    ) -> Result<()> {
+        enum Acc {
+            Int(i64),
+            Best(Const),
+        }
+        for c in aggs {
+            let Some(agg) = c.agg else {
+                return Err(DatalogError::Internal {
+                    detail: "non-aggregate clause reached the aggregate pass".into(),
+                });
+            };
+            let agg_err = |message: String| DatalogError::AggregateFailure {
+                clause: c.to_string(),
+                message,
+            };
+            // Bound body variables in first-occurrence order: the
+            // projection whose distinct rows are the witnesses.
+            let mut seen: HashSet<&str> = HashSet::new();
+            let mut wvars: Vec<&str> = Vec::new();
+            for l in &c.body {
+                match l {
+                    Literal::Pos(a) => {
+                        for v in a.variables() {
+                            if seen.insert(v) {
+                                wvars.push(v);
+                            }
+                        }
+                    }
+                    Literal::Arith { target, .. } => {
+                        if let Some(v) = target.as_var() {
+                            if seen.insert(v) {
+                                wvars.push(v);
+                            }
+                        }
+                    }
+                    Literal::Neg(_) | Literal::Cmp { .. } => {}
+                }
+            }
+            let witness = Clause::new(
+                Atom::new("__agg_witness", wvars.iter().map(Term::var).collect()),
+                c.body.clone(),
+            );
+            let plan = RulePlan::compile(&witness, None, db)?;
+            for &(p, col) in &plan.index_needs {
+                db.ensure_index_id(p, col);
+            }
+            guard.begin_round(db.fact_count());
+            stats.rule_applications += 1;
+            let started = Instant::now();
+            let mut scratch = plan.new_scratch();
+            let mut out = FactBuf::default();
+            eval_plan(
+                self.executor,
+                &plan,
+                db,
+                None,
+                &mut scratch,
+                &mut out,
+                guard,
+            )?;
+            let var_ix: FxHashMap<&str, usize> =
+                wvars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+            let value_at = |row: &[Const], t: &Term| -> Result<Const> {
+                if let Some(v) = t.as_var() {
+                    var_ix
+                        .get(v)
+                        .map(|&i| row[i])
+                        .ok_or_else(|| DatalogError::Internal {
+                            detail: format!("aggregate head variable `{v}` not bound by the body"),
+                        })
+                } else {
+                    t.as_const().copied().ok_or_else(|| DatalogError::Internal {
+                        detail: "aggregate head term neither variable nor constant".into(),
+                    })
+                }
+            };
+            let mut distinct = Relation::new();
+            let mut groups: FxHashMap<Vec<Const>, Acc> = FxHashMap::default();
+            for row in out.rows() {
+                if !distinct.insert(Fact::from(row)) {
+                    continue;
+                }
+                let value = value_at(row, &c.head.terms[agg.position])?;
+                let mut key: Vec<Const> = Vec::with_capacity(c.head.terms.len().saturating_sub(1));
+                for (i, t) in c.head.terms.iter().enumerate() {
+                    if i != agg.position {
+                        key.push(value_at(row, t)?);
+                    }
+                }
+                match groups.entry(key) {
+                    Entry::Vacant(e) => {
+                        e.insert(match agg.func {
+                            AggFunc::Count => Acc::Int(1),
+                            AggFunc::Sum => Acc::Int(value.as_int().ok_or_else(|| {
+                                agg_err(format!("sum over non-integer `{value}`"))
+                            })?),
+                            AggFunc::Min | AggFunc::Max => Acc::Best(value),
+                        });
+                    }
+                    Entry::Occupied(mut e) => match (e.get_mut(), agg.func) {
+                        (Acc::Int(n), AggFunc::Count) => {
+                            *n = n
+                                .checked_add(1)
+                                .ok_or_else(|| agg_err("count overflowed i64".into()))?;
+                        }
+                        (Acc::Int(n), AggFunc::Sum) => {
+                            let v = value.as_int().ok_or_else(|| {
+                                agg_err(format!("sum over non-integer `{value}`"))
+                            })?;
+                            *n = n
+                                .checked_add(v)
+                                .ok_or_else(|| agg_err("sum overflowed i64".into()))?;
+                        }
+                        (Acc::Best(b), AggFunc::Min | AggFunc::Max) => {
+                            let ord = value.try_cmp(b).ok_or_else(|| {
+                                agg_err(format!("cannot order `{value}` against `{b}`"))
+                            })?;
+                            let better = match agg.func {
+                                AggFunc::Min => ord == Ordering::Less,
+                                _ => ord == Ordering::Greater,
+                            };
+                            if better {
+                                *b = value;
+                            }
+                        }
+                        _ => {
+                            return Err(DatalogError::Internal {
+                                detail: "aggregate accumulator kind mismatch".into(),
+                            });
+                        }
+                    },
+                }
+            }
+            // Deterministic emission: groups sorted by the storage key
+            // order, independent of executor and thread count.
+            let mut keyed: Vec<(Vec<Const>, Const)> = groups
+                .into_iter()
+                .map(|(k, acc)| {
+                    let v = match acc {
+                        Acc::Int(n) => Const::int(n),
+                        Acc::Best(b) => b,
+                    };
+                    (k, v)
+                })
+                .collect();
+            keyed.sort_by_key(|(k, _)| k.iter().map(|&c| key_of(c)).collect::<Vec<u128>>());
+            let derived = keyed.len();
+            let mut added = 0usize;
+            let mut fact: Vec<Const> = Vec::with_capacity(c.head.terms.len());
+            for (key, v) in keyed {
+                fact.clear();
+                let mut ki = key.into_iter();
+                for i in 0..c.head.terms.len() {
+                    if i == agg.position {
+                        fact.push(v);
+                    } else {
+                        fact.push(ki.next().ok_or_else(|| DatalogError::Internal {
+                            detail: "aggregate group key shorter than head".into(),
+                        })?);
+                    }
+                }
+                if db.insert_if_new_id(c.head.predicate, &fact) {
+                    added += 1;
+                }
+            }
+            guard.check_db(db.fact_count())?;
+            stats.facts_considered += derived;
+            stats.facts_added += added;
+            stats.join_orders.push(plan.order_desc.clone());
+            stats.per_rule.push(RuleStats {
+                rule: c.to_string(),
+                stratum: stratum_idx,
+                applications: 1,
+                facts_derived: derived,
+                facts_added: added,
+                dedup_hits: derived - added,
+                join_probes: scratch.take_probes(),
+                wall_ns: u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            });
+        }
+        Ok(())
     }
 
     fn run_stratum_naive(
@@ -1241,6 +1522,176 @@ mod tests {
             "orders: {:?}",
             stats.join_orders
         );
+    }
+
+    #[test]
+    fn bfs_algo_matches_rule_at_a_time_closure() {
+        let src = "edge(a, b). edge(b, c). edge(c, d). edge(d, b).\
+             reach(X, Y) :- @bfs(edge, X, Y).\
+             path(X, Y) :- edge(X, Y).\
+             path(X, Y) :- edge(X, Z), path(Z, Y).";
+        let db = run(src);
+        assert_eq!(
+            db.relation("reach").unwrap().sorted(),
+            db.relation("path").unwrap().sorted()
+        );
+    }
+
+    #[test]
+    fn algo_output_joins_with_other_literals() {
+        let db = run("edge(a, b). edge(b, c). target(c).\
+             hits(X) :- @bfs(edge, X, Y), target(Y).");
+        let h = db.relation("hits").unwrap();
+        assert_eq!(h.len(), 2);
+        assert!(h.contains(&[Const::sym("a")]));
+        assert!(h.contains(&[Const::sym("b")]));
+    }
+
+    #[test]
+    fn algo_feeds_recursion_in_higher_stratum() {
+        // cc representatives become edges of a second graph.
+        let db = run("e(a, b). e(c, d).\
+             rep_edge(R1, R2) :- @cc(e, a, R1), @cc(e, c, R2).\
+             linked(X, Y) :- rep_edge(X, Y).");
+        assert!(!db.relation("linked").unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_algo_errors_at_materialization() {
+        let p = parse_program("e(a, b). r(X, Y) :- @pagerank(e, X, Y).").unwrap();
+        let err = Engine::new(&p).unwrap().run().unwrap_err();
+        assert!(matches!(err, DatalogError::UnknownAlgo { name } if name == "pagerank"));
+    }
+
+    #[test]
+    fn algo_goal_answered_without_program_rule() {
+        // The algo call appears only in the goal: materialized post hoc
+        // over the finished cone.
+        let p = parse_program("edge(a, b). edge(b, c).").unwrap();
+        let goal = crate::parser::parse_query("@bfs(edge, a, Y)").unwrap();
+        let (answers, stats) = Engine::new(&p).unwrap().run_for_goal(&goal).unwrap();
+        assert_eq!(answers.len(), 2); // b, c
+        assert_eq!(stats.demand.unwrap().strategy, "cone");
+    }
+
+    #[test]
+    fn goal_on_algo_cone_falls_back_to_cone_strategy() {
+        let p = parse_program(
+            "edge(a, b). edge(b, c).\
+             reach(X, Y) :- @bfs(edge, X, Y).",
+        )
+        .unwrap();
+        let goal = crate::parser::parse_query("reach(a, Y)").unwrap();
+        let (answers, stats) = Engine::new(&p).unwrap().run_for_goal(&goal).unwrap();
+        assert_eq!(answers.len(), 2);
+        assert_eq!(stats.demand.unwrap().strategy, "cone");
+    }
+
+    #[test]
+    fn count_groups_by_remaining_head_positions() {
+        let db = run("edge(a, b). edge(a, c). edge(b, c).\
+             out(X, count(Y)) :- edge(X, Y).");
+        let o = db.relation("out").unwrap();
+        assert_eq!(o.len(), 2);
+        assert!(o.contains(&[Const::sym("a"), Const::int(2)]));
+        assert!(o.contains(&[Const::sym("b"), Const::int(1)]));
+    }
+
+    #[test]
+    fn sum_min_max_fold_per_group() {
+        let src = "score(alice, 3). score(alice, 5). score(bob, 7).\
+             total(P, sum(S)) :- score(P, S).\
+             lo(P, min(S)) :- score(P, S).\
+             hi(P, max(S)) :- score(P, S).";
+        let db = run(src);
+        assert!(db.contains("total", &[Const::sym("alice"), Const::int(8)]));
+        assert!(db.contains("total", &[Const::sym("bob"), Const::int(7)]));
+        assert!(db.contains("lo", &[Const::sym("alice"), Const::int(3)]));
+        assert!(db.contains("hi", &[Const::sym("alice"), Const::int(5)]));
+    }
+
+    #[test]
+    fn aggregate_counts_distinct_witnesses_not_projections() {
+        // Two witnesses (b,1) and (b,2) project to the same group count
+        // contribution — bag semantics over distinct witness bindings:
+        // count(Y) for X=a must be 1 (only Y=b), but the two source
+        // tuples differing in Z both count for sum-like folds through
+        // a polyinstantiation-style extra column.
+        let db = run("m(a, b, 1). m(a, b, 2).\
+             n(X, count(Y)) :- m(X, Y, Z).");
+        // Witnesses for X=a: (b,1), (b,2) — distinct, so the fold sees
+        // two rows, both with Y=b. count is over witnesses: 2.
+        assert!(db.contains("n", &[Const::sym("a"), Const::int(2)]));
+    }
+
+    #[test]
+    fn aggregate_over_empty_body_emits_no_groups() {
+        let db = run("p(a). q(X, count(Y)) :- p(X), r(X, Y).");
+        assert_eq!(db.relation("q").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn aggregate_feeds_downstream_rules() {
+        let db = run("edge(a, b). edge(a, c). edge(b, c).\
+             deg(X, count(Y)) :- edge(X, Y).\
+             busy(X) :- deg(X, N), N >= 2.");
+        let b = db.relation("busy").unwrap();
+        assert_eq!(b.len(), 1);
+        assert!(b.contains(&[Const::sym("a")]));
+    }
+
+    #[test]
+    fn sum_over_symbol_errors() {
+        let p = parse_program("p(a, x). t(X, sum(S)) :- p(X, S).").unwrap();
+        let err = Engine::new(&p).unwrap().run().unwrap_err();
+        assert!(matches!(err, DatalogError::AggregateFailure { .. }));
+    }
+
+    #[test]
+    fn aggregate_goal_falls_back_to_cone() {
+        let p = parse_program(
+            "score(alice, 3). score(alice, 5).\
+             total(P, sum(S)) :- score(P, S).",
+        )
+        .unwrap();
+        let goal = crate::parser::parse_query("total(alice, T)").unwrap();
+        let (answers, stats) = Engine::new(&p).unwrap().run_for_goal(&goal).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(
+            answers.answers[0].get("T"),
+            Some(&Const::int(8)),
+            "answers: {answers:?}"
+        );
+        assert_eq!(stats.demand.unwrap().strategy, "cone");
+    }
+
+    #[test]
+    fn aggregates_identical_across_threads_and_executors() {
+        let mut src = String::new();
+        for i in 0..20 {
+            src.push_str(&format!("s(g{}, {}). ", i % 3, i));
+        }
+        src.push_str("t(G, sum(V)) :- s(G, V). c(G, count(V)) :- s(G, V).");
+        let p = parse_program(&src).unwrap();
+        let baseline = Engine::new(&p).unwrap().with_threads(1).run().unwrap();
+        for threads in [1, 4] {
+            for executor in [Executor::Batched, Executor::Tuple] {
+                let db = Engine::new(&p)
+                    .unwrap()
+                    .with_threads(threads)
+                    .with_parallel_threshold(0)
+                    .with_executor(executor)
+                    .run()
+                    .unwrap();
+                for (pred, rel) in baseline.relations() {
+                    assert_eq!(
+                        rel.sorted(),
+                        db.relation(pred).unwrap().sorted(),
+                        "{pred} differs (threads={threads}, executor={executor:?})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

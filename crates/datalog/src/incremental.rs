@@ -124,6 +124,12 @@ pub struct IncrementalEngine {
     /// Predicates defined by at least one rule.
     idb: FxHashSet<SymId>,
     db: Database,
+    /// Whether the program uses native algorithm operators or aggregate
+    /// clauses. Both consume *complete* relations, so their outputs have
+    /// no sound per-fact delta rules; commits recompute the fixpoint
+    /// from scratch (and diff it for exact [`CommitStats`]) instead of
+    /// running DRed.
+    full_recompute: bool,
     /// Explicitly asserted facts: the retractable extensional support.
     base: FxHashMap<SymId, FxHashSet<Fact>>,
     pending: Vec<PendingOp>,
@@ -216,8 +222,14 @@ impl IncrementalEngine {
                 })?;
             stratum_rules[s].push(i);
         }
+        let full_recompute = program
+            .predicates()
+            .iter()
+            .any(|p| crate::algo::parse_call(p).is_some())
+            || program.clauses().iter().any(|c| c.agg.is_some());
         let engine = IncrementalEngine {
             program: program.clone(),
+            full_recompute,
             rules,
             stratum_preds,
             stratum_of,
@@ -437,8 +449,13 @@ impl IncrementalEngine {
         }
         stats.edb_inserted = added.values().map(FxHashSet::len).sum();
         stats.edb_retracted = removed.values().map(FxHashSet::len).sum();
-        let guard = EvalGuard::new(self.deadline, self.fact_limit, self.cancel.clone());
-        match self.apply_deltas(added, removed, &guard, &mut stats) {
+        let result = if self.full_recompute {
+            self.recompute_all(&mut stats)
+        } else {
+            let guard = EvalGuard::new(self.deadline, self.fact_limit, self.cancel.clone());
+            self.apply_deltas(added, removed, &guard, &mut stats)
+        };
+        match result {
             Ok(()) => {
                 // Seal materialized index tails so copy-on-write clones
                 // of this database (published snapshots) carry fully
@@ -530,6 +547,48 @@ impl IncrementalEngine {
         }
         clauses.extend(self.rules.iter().cloned());
         Program::from_clauses(clauses)
+    }
+
+    /// The full-recompute commit mode for programs with algorithm
+    /// operators or aggregate clauses: re-run the batch engine over the
+    /// updated base, diff the result against the old materialization for
+    /// exact [`CommitStats`], and swap it in. Guards apply through the
+    /// batch engine's own configuration.
+    fn recompute_all(&mut self, stats: &mut CommitStats) -> Result<()> {
+        let program = self.full_program()?;
+        let mut engine = Engine::new(&program)?
+            .with_threads(self.threads)
+            .with_fact_limit(self.fact_limit);
+        if let Some(d) = self.deadline {
+            engine = engine.with_deadline(d);
+        }
+        if let Some(token) = &self.cancel {
+            engine = engine.with_cancel_token(token.clone());
+        }
+        let new_db = engine.run()?;
+        let mut added_total = 0usize;
+        let mut removed_total = 0usize;
+        for (pred, rel) in new_db.relations() {
+            let old = self.db.relation(pred);
+            for fact in rel.iter() {
+                if old.is_none_or(|r| !r.contains(&fact)) {
+                    added_total += 1;
+                }
+            }
+        }
+        for (pred, rel) in self.db.relations() {
+            let new = new_db.relation(pred);
+            for fact in rel.iter() {
+                if new.is_none_or(|r| !r.contains(&fact)) {
+                    removed_total += 1;
+                }
+            }
+        }
+        stats.derived_added = added_total.saturating_sub(stats.edb_inserted);
+        stats.derived_removed = removed_total.saturating_sub(stats.edb_retracted);
+        stats.strata_recomputed = self.stratum_preds.len();
+        self.db = new_db;
+        Ok(())
     }
 
     /// The stratum-by-stratum delta application (see module docs).
@@ -1368,6 +1427,59 @@ mod tests {
             }
             other => panic!("expected Internal, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn aggregate_program_commits_recompute_and_match_scratch() {
+        let program = parse_program(
+            "score(alice, 3). score(alice, 5). score(bob, 7).
+             total(P, sum(S)) :- score(P, S).",
+        )
+        .unwrap();
+        let mut engine = IncrementalEngine::new(&program).unwrap();
+        assert!(engine
+            .database()
+            .contains("total", &[s("alice"), Const::int(8)]));
+        engine.begin().unwrap();
+        engine
+            .insert("score", vec![s("alice"), Const::int(10)])
+            .unwrap();
+        let stats = engine.commit().unwrap();
+        assert!(stats.strata_recomputed >= 1, "stats: {stats:?}");
+        assert!(engine
+            .database()
+            .contains("total", &[s("alice"), Const::int(18)]));
+        assert!(!engine
+            .database()
+            .contains("total", &[s("alice"), Const::int(8)]));
+        engine.begin().unwrap();
+        engine
+            .retract("score", vec![s("bob"), Const::int(7)])
+            .unwrap();
+        engine.commit().unwrap();
+        assert!(engine.database().relation("total").unwrap().len() == 1);
+        assert_matches_scratch(&engine);
+    }
+
+    #[test]
+    fn algo_program_commits_recompute_and_match_scratch() {
+        let program = parse_program(
+            "edge(a, b). edge(b, c).
+             reach(X, Y) :- @bfs(edge, X, Y).",
+        )
+        .unwrap();
+        let mut engine = IncrementalEngine::new(&program).unwrap();
+        assert!(engine.database().contains("reach", &[s("a"), s("c")]));
+        engine.begin().unwrap();
+        engine.insert("edge", vec![s("c"), s("d")]).unwrap();
+        let stats = engine.commit().unwrap();
+        assert!(stats.derived_added >= 3, "stats: {stats:?}"); // a→d, b→d, c→d (+ @bfs copies)
+        assert!(engine.database().contains("reach", &[s("a"), s("d")]));
+        engine.begin().unwrap();
+        engine.retract("edge", vec![s("a"), s("b")]).unwrap();
+        engine.commit().unwrap();
+        assert!(!engine.database().contains("reach", &[s("a"), s("c")]));
+        assert_matches_scratch(&engine);
     }
 
     #[test]

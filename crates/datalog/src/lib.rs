@@ -89,6 +89,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod algo;
 pub mod analyze;
 mod atom;
 mod clause;
@@ -107,9 +108,10 @@ mod storage;
 mod term;
 mod trace;
 
+pub use algo::{AlgoContext, AlgoImpl, AlgoRegistry};
 pub use analyze::{analyze, analyze_for_goal, analyze_for_query, check_clauses, Lint, Severity};
 pub use atom::{ArithOp, Atom, CmpOp, Literal};
-pub use clause::{Clause, Span};
+pub use clause::{AggFunc, Aggregate, Clause, Span};
 pub use error::DatalogError;
 pub use eval::{DemandStats, Engine, EvalStats, Executor, RuleStats, Strategy, StratumStats};
 pub use guard::CancelToken;

@@ -117,7 +117,10 @@ pub fn rewrite(program: &Program, goal: &[Literal]) -> Option<MagicProgram> {
     if !goal_binds_arguments(goal) {
         return None;
     }
+    rewrite_unchecked(program, goal)
+}
 
+fn rewrite_unchecked(program: &Program, goal: &[Literal]) -> Option<MagicProgram> {
     // The goal's dependency cone, and the sub-cones reached through
     // negation anywhere inside it. The latter are evaluated in full
     // ("plain") so the stratified ¬∃ reading stays correct.
@@ -127,6 +130,21 @@ pub fn rewrite(program: &Program, goal: &[Literal]) -> Option<MagicProgram> {
         .map(|a| a.predicate.as_str())
         .collect();
     let cone = program.dependencies_of(seeds);
+    // Native algorithm operators and aggregate folds consume *complete*
+    // relations; filtering their inputs by demand would change their
+    // output (a component representative, a count, …). When the goal's
+    // cone contains either construct, bail out so the caller's
+    // cone-restricted fallback — which materializes whole relations —
+    // answers the goal instead. Goals outside such cones keep the
+    // rewrite.
+    if cone.iter().any(|p| crate::algo::parse_call(p).is_some())
+        || program
+            .clauses()
+            .iter()
+            .any(|c| c.agg.is_some() && cone.contains(c.head.predicate.as_str()))
+    {
+        return None;
+    }
     let mut neg_seeds: HashSet<&str> = goal
         .iter()
         .filter_map(|l| match l {
@@ -207,6 +225,146 @@ pub fn rewrite(program: &Program, goal: &[Literal]) -> Option<MagicProgram> {
         magic_predicates,
         adorned_predicates,
         plain_predicates,
+    })
+}
+
+/// The reserved seed predicate of a [`PreparedMagic`] rewrite: one fact
+/// holding the goal's constants, swapped per instantiation.
+pub const PARAM_PREDICATE: &str = "__param__";
+
+/// A magic rewrite with the goal's constants factored out into a single
+/// [`PARAM_PREDICATE`] seed fact, so the structural transformation —
+/// adornment propagation, demand rules, guarded variants — is computed
+/// once per binding *pattern* and replayed for any constants (a prepared
+/// statement for point queries; the REPL caches these per
+/// `(predicate, adornment)` key from [`prepared_key`]).
+#[derive(Debug)]
+pub struct PreparedMagic {
+    clauses: Vec<Clause>,
+    /// Index of the `__param__` seed fact inside `clauses`.
+    seed: usize,
+    params: usize,
+    answer_variables: Vec<String>,
+    magic_predicates: Vec<String>,
+    adorned_predicates: usize,
+    plain_predicates: usize,
+}
+
+impl PreparedMagic {
+    /// How many constants an instantiation must supply.
+    pub fn params(&self) -> usize {
+        self.params
+    }
+
+    /// Replay the prepared rewrite for one concrete constant vector (in
+    /// [`prepared_key`] extraction order). `None` when the arity
+    /// disagrees or the swapped clause set fails validation.
+    pub fn instantiate(&self, consts: &[Term]) -> Option<MagicProgram> {
+        if consts.len() != self.params || consts.iter().any(Term::is_var) {
+            return None;
+        }
+        let mut clauses = self.clauses.clone();
+        clauses[self.seed] = Clause::fact(Atom::new(PARAM_PREDICATE, consts.to_vec()));
+        let program = Program::from_clauses(clauses).ok()?;
+        Some(MagicProgram {
+            program,
+            answer_variables: self.answer_variables.clone(),
+            magic_predicates: self.magic_predicates.clone(),
+            adorned_predicates: self.adorned_predicates,
+            plain_predicates: self.plain_predicates,
+        })
+    }
+}
+
+/// Replace every constant inside the goal's atoms with a positional
+/// `__pN` placeholder variable, returning the generalized goal and the
+/// constants in placeholder order. Comparison and arithmetic literals
+/// keep their constants inline (they never seed demand).
+fn generalize(goal: &[Literal]) -> (Vec<Literal>, Vec<Term>) {
+    let mut consts = Vec::new();
+    let mut swap = |a: &Atom| {
+        let terms = a
+            .terms
+            .iter()
+            .map(|t| {
+                if t.is_var() {
+                    t.clone()
+                } else {
+                    consts.push(t.clone());
+                    Term::var(format!("__p{}", consts.len() - 1))
+                }
+            })
+            .collect();
+        Atom::new(a.predicate.as_str(), terms)
+    };
+    let general = goal
+        .iter()
+        .map(|l| match l {
+            Literal::Pos(a) => Literal::Pos(swap(a)),
+            Literal::Neg(a) => Literal::Neg(swap(a)),
+            other => other.clone(),
+        })
+        .collect();
+    (general, consts)
+}
+
+/// The structural cache key of a goal — the goal with constants replaced
+/// by positional placeholders — plus the constants themselves. Two goals
+/// share a key exactly when they demand the same predicates under the
+/// same adornment with the same variable naming, i.e. when one
+/// [`PreparedMagic`] answers both.
+pub fn prepared_key(goal: &[Literal]) -> (String, Vec<Term>) {
+    let (general, consts) = generalize(goal);
+    let key = general
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    (key, consts)
+}
+
+/// Build a [`PreparedMagic`] rewrite of `program` for `goal`'s binding
+/// pattern. Returns `None` under the same conditions as [`rewrite`] —
+/// plus when the goal has no atom constants to factor out (nothing to
+/// parameterize).
+pub fn prepare(program: &Program, goal: &[Literal]) -> Option<PreparedMagic> {
+    if !goal_binds_arguments(goal) {
+        return None;
+    }
+    let (general, consts) = generalize(goal);
+    if consts.is_empty() {
+        return None;
+    }
+    // Augment the program with the seed fact so validation and the
+    // plain-cone walk see `__param__` as an ordinary facts-only
+    // predicate; the rewrite then copies it into its output verbatim.
+    let mut aug: Vec<Clause> = program.clauses().to_vec();
+    aug.push(Clause::fact(Atom::new(PARAM_PREDICATE, consts.clone())));
+    let aug = Program::from_clauses(aug).ok()?;
+    // Lead the goal with the seed literal: its placeholders count as
+    // bound from the first literal on, so every atom gets the same
+    // adornment the inline constants would have produced.
+    let mut goal2 = Vec::with_capacity(general.len() + 1);
+    goal2.push(Literal::Pos(Atom::new(
+        PARAM_PREDICATE,
+        (0..consts.len())
+            .map(|i| Term::var(format!("__p{i}")))
+            .collect(),
+    )));
+    goal2.extend(general);
+    let m = rewrite_unchecked(&aug, &goal2)?;
+    let clauses: Vec<Clause> = m.program.clauses().to_vec();
+    let seed = clauses
+        .iter()
+        .position(|c| c.is_fact() && c.head.predicate.as_str() == PARAM_PREDICATE)?;
+    Some(PreparedMagic {
+        seed,
+        params: consts.len(),
+        answer_variables: m.answer_variables,
+        magic_predicates: m.magic_predicates,
+        adorned_predicates: m.adorned_predicates,
+        plain_predicates: m.plain_predicates,
+        clauses,
     })
 }
 
@@ -554,5 +712,48 @@ mod tests {
             assert_eq!(ans.is_success(), expect, "goal `{goal_src}`");
             assert!(ans.variables.is_empty());
         }
+    }
+
+    #[test]
+    fn prepared_rewrite_replays_across_constants() {
+        let p = parse_program(CHAIN).unwrap();
+        let full = Engine::new(&p).unwrap().run().unwrap();
+        // Same binding pattern, different constants: one prepared rewrite
+        // answers all of them.
+        let first = parse_query("path(a, X)").unwrap();
+        let prep = prepare(&p, &first).expect("bound goal prepares");
+        assert_eq!(prep.params(), 1);
+        for start in ["a", "b", "x"] {
+            let goal = parse_query(&format!("path({start}, X)")).unwrap();
+            let (key, consts) = prepared_key(&goal);
+            assert_eq!(key, prepared_key(&first).0, "same pattern, same key");
+            let m = prep.instantiate(&consts).expect("instantiate");
+            let db = Engine::new(&m.program).unwrap().run().unwrap();
+            let got: Vec<_> = m
+                .answers(&db)
+                .answers
+                .iter()
+                .map(|b| b.get("X").copied().unwrap())
+                .collect();
+            let expect: Vec<_> = run_query(&full, &goal)
+                .unwrap()
+                .answers
+                .iter()
+                .map(|b| b.get("X").copied().unwrap())
+                .collect();
+            assert_eq!(got, expect, "start {start}");
+        }
+        // A different pattern (or variable naming) keys differently.
+        let other = parse_query("path(X, a)").unwrap();
+        assert_ne!(prepared_key(&other).0, prepared_key(&first).0);
+        // Arity mismatch at instantiation is refused.
+        assert!(prep.instantiate(&[]).is_none());
+    }
+
+    #[test]
+    fn prepare_refuses_unbound_goals() {
+        let p = parse_program(CHAIN).unwrap();
+        let goal = parse_query("path(X, Y)").unwrap();
+        assert!(prepare(&p, &goal).is_none());
     }
 }

@@ -4,11 +4,14 @@
 //!
 //! ```text
 //! program  := clause*
-//! clause   := atom ( ":-" body )? "."
+//! clause   := head ( ":-" body )? "."
 //! query    := "?-" body "."
+//! head     := IDENT ( "(" headterm ("," headterm)* ")" )?
+//! headterm := term | ("count"|"sum"|"min"|"max") "(" VARIABLE ")"
 //! body     := literal ("," literal)*
-//! literal  := "not" atom | atom | term cmp term
+//! literal  := "not" atom | atom | algocall | term cmp term
 //!           | term "=" term ("+" | "-" | "*" | "/" | "%") term
+//! algocall := "@" IDENT "(" IDENT ("," term)* ")"
 //! atom     := IDENT ( "(" term ("," term)* ")" )?
 //! term     := VARIABLE | IDENT | INTEGER | STRING
 //! cmp      := "=" | "!=" | "<" | "<=" | ">" | ">="
@@ -17,10 +20,16 @@
 //! Identifiers starting with a lowercase letter are symbols; identifiers
 //! starting with an uppercase letter or `_` are variables; `%` starts a
 //! line comment. Quoted strings are symbols that need not lex as bare
-//! identifiers.
+//! identifiers. An `@name(input, …)` body literal calls a native
+//! algorithm operator ([`crate::algo`]) over the `input` relation; it
+//! parses to a positive literal whose predicate is the synthetic call
+//! name `@name(input)`. A head term `count(V)`/`sum(V)`/`min(V)`/`max(V)`
+//! makes the clause an aggregate rule over the group-by key formed by
+//! the remaining head terms.
 
+use crate::algo;
 use crate::atom::{ArithOp, Atom, CmpOp, Literal};
-use crate::clause::Clause;
+use crate::clause::{AggFunc, Aggregate, Clause};
 use crate::program::Program;
 use crate::term::Term;
 use crate::{DatalogError, Result};
@@ -84,6 +93,7 @@ enum TokenKind {
     Cmp(CmpOp),
     Arith(ArithOp),
     Not,
+    AlgoName(String), // @bfs, @cc, …
 }
 
 #[derive(Debug, Clone)]
@@ -324,6 +334,32 @@ fn lex(src: &str) -> Result<Vec<Token>> {
                     column: tc,
                 });
             }
+            '@' => {
+                chars.next();
+                bump('@', &mut line, &mut col);
+                let mut text = String::new();
+                while let Some(&(_, d)) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        text.push(d);
+                        chars.next();
+                        bump(d, &mut line, &mut col);
+                    } else {
+                        break;
+                    }
+                }
+                if text.is_empty() || !text.starts_with(|c: char| c.is_lowercase()) {
+                    return Err(err(
+                        tl,
+                        tc,
+                        "expected a lowercase algorithm operator name after `@`".into(),
+                    ));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::AlgoName(text),
+                    line: tl,
+                    column: tc,
+                });
+            }
             c if c.is_alphabetic() || c == '_' => {
                 let mut text = String::new();
                 while let Some(&(_, d)) = chars.peek() {
@@ -423,7 +459,7 @@ impl Parser {
         let span = self.peek().map_or_else(crate::clause::Span::unknown, |t| {
             crate::clause::Span::new(t.line, t.column)
         });
-        let head = self.atom()?;
+        let (head, agg) = self.head_atom()?;
         let body = if self.peek_is(&TokenKind::Rule) {
             self.advance();
             self.body()?
@@ -431,7 +467,77 @@ impl Parser {
             Vec::new()
         };
         self.expect(TokenKind::Dot, "`.` at end of clause")?;
-        Ok(Clause::new(head, body).with_span(span))
+        let mut clause = Clause::new(head, body).with_span(span);
+        if let Some(agg) = agg {
+            clause = clause.with_aggregate(agg);
+        }
+        Ok(clause)
+    }
+
+    /// A clause head: like [`Parser::atom`], but one argument position
+    /// may be an aggregate term `count(V)`/`sum(V)`/`min(V)`/`max(V)`.
+    fn head_atom(&mut self) -> Result<(Atom, Option<Aggregate>)> {
+        let name = match self.advance() {
+            Some(Token {
+                kind: TokenKind::Ident(name),
+                ..
+            }) => name.clone(),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.error_here("expected predicate name"));
+            }
+        };
+        let mut terms = Vec::new();
+        let mut agg: Option<Aggregate> = None;
+        if self.peek_is(&TokenKind::LParen) {
+            self.advance();
+            loop {
+                // `func(` with a known aggregate name is an aggregate
+                // term; anything else (including `func` as a plain
+                // symbol) parses as an ordinary term.
+                let func = match self.peek() {
+                    Some(Token {
+                        kind: TokenKind::Ident(f),
+                        ..
+                    }) => AggFunc::from_name(f),
+                    _ => None,
+                };
+                match func {
+                    Some(func)
+                        if self
+                            .tokens
+                            .get(self.pos + 1)
+                            .is_some_and(|t| t.kind == TokenKind::LParen) =>
+                    {
+                        if agg.is_some() {
+                            return Err(self.error_here("at most one aggregate per head"));
+                        }
+                        self.advance(); // the function name
+                        self.advance(); // `(`
+                        let arg = self.term()?;
+                        if arg.as_var().is_none() {
+                            return Err(self.error_here(format!(
+                                "`{func}(...)` takes a variable to aggregate"
+                            )));
+                        }
+                        self.expect(TokenKind::RParen, "`)` after aggregate variable")?;
+                        agg = Some(Aggregate {
+                            func,
+                            position: terms.len(),
+                        });
+                        terms.push(arg);
+                    }
+                    _ => terms.push(self.term()?),
+                }
+                if self.peek_is(&TokenKind::Comma) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen, "`)`")?;
+        }
+        Ok((Atom::new(name, terms), agg))
     }
 
     fn body(&mut self) -> Result<Vec<Literal>> {
@@ -447,6 +553,15 @@ impl Parser {
         if self.peek_is(&TokenKind::Not) {
             self.advance();
             return Ok(Literal::Neg(self.atom()?));
+        }
+        if let Some(Token {
+            kind: TokenKind::AlgoName(name),
+            ..
+        }) = self.peek()
+        {
+            let name = name.clone();
+            self.advance();
+            return self.algo_call(&name);
         }
         // Could be an atom or a comparison; a comparison starts with a term
         // followed by an operator. An atom starts with an identifier; if the
@@ -484,6 +599,33 @@ impl Parser {
         }
         self.pos = start;
         Ok(Literal::Pos(self.atom()?))
+    }
+
+    /// `@name(input, t1, …, tn)` — an algorithm operator call, parsed
+    /// into a positive literal over the synthetic predicate
+    /// `@name(input)` with `t1..tn` as its argument terms.
+    fn algo_call(&mut self, name: &str) -> Result<Literal> {
+        self.expect(TokenKind::LParen, "`(` after algorithm operator")?;
+        let input = match self.advance() {
+            Some(Token {
+                kind: TokenKind::Ident(input),
+                ..
+            }) => input.clone(),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.error_here("expected input predicate name in algorithm call"));
+            }
+        };
+        let mut terms = Vec::new();
+        while self.peek_is(&TokenKind::Comma) {
+            self.advance();
+            terms.push(self.term()?);
+        }
+        self.expect(TokenKind::RParen, "`)` at end of algorithm call")?;
+        Ok(Literal::Pos(Atom::new(
+            algo::call_predicate(name, &input),
+            terms,
+        )))
     }
 
     fn atom(&mut self) -> Result<Atom> {
@@ -659,5 +801,70 @@ mod tests {
     fn comparison_between_constants() {
         let c = parse_clause("p(X) :- q(X), 1 < 2.").unwrap();
         assert!(matches!(c.body[1], Literal::Cmp { op: CmpOp::Lt, .. }));
+    }
+
+    #[test]
+    fn parses_algo_call() {
+        let c = parse_clause("reach(X, Y) :- @bfs(edge, X, Y).").unwrap();
+        let a = c.body[0].atom().unwrap();
+        assert_eq!(a.predicate.as_str(), "@bfs(edge)");
+        assert_eq!(a.arity(), 2);
+        assert_eq!(c.to_string(), "reach(X, Y) :- @bfs(edge, X, Y).");
+    }
+
+    #[test]
+    fn parses_algo_call_with_constants() {
+        let c = parse_clause("best(X, S) :- @topk(score, 3, X, S).").unwrap();
+        let a = c.body[0].atom().unwrap();
+        assert_eq!(a.predicate.as_str(), "@topk(score)");
+        assert_eq!(a.terms[0], Term::int(3));
+        assert_eq!(c.to_string(), "best(X, S) :- @topk(score, 3, X, S).");
+    }
+
+    #[test]
+    fn rejects_malformed_algo_calls() {
+        assert!(parse_clause("p(X) :- @bfs.").is_err());
+        assert!(parse_clause("p(X) :- @bfs(X, Y).").is_err()); // input must be an identifier
+        assert!(parse_clause("p(X) :- @Bfs(edge, X, X).").is_err());
+        assert!(parse_clause("p(X) :- not @bfs(edge, X, X).").is_err());
+    }
+
+    #[test]
+    fn parses_aggregate_head() {
+        let c = parse_clause("dash(H, count(K)) :- vis(H, K).").unwrap();
+        let agg = c.agg.unwrap();
+        assert_eq!(agg.func, crate::clause::AggFunc::Count);
+        assert_eq!(agg.position, 1);
+        assert_eq!(c.head.terms[1], Term::var("K"));
+        assert_eq!(c.to_string(), "dash(H, count(K)) :- vis(H, K).");
+    }
+
+    #[test]
+    fn aggregate_display_reparses() {
+        for src in [
+            "t(sum(V)) :- p(V).",
+            "m(G, min(V)) :- p(G, V).",
+            "m(max(V), G) :- p(G, V).",
+        ] {
+            let c = parse_clause(src).unwrap();
+            assert_eq!(parse_clause(&c.to_string()).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn aggregate_names_stay_plain_symbols_elsewhere() {
+        // `count` with no parens is an ordinary symbol or predicate.
+        let c = parse_clause("p(count) :- q(count).").unwrap();
+        assert!(c.agg.is_none());
+        let c = parse_clause("count(X) :- q(X).").unwrap();
+        assert!(c.agg.is_none());
+        assert_eq!(c.head.predicate.as_str(), "count");
+    }
+
+    #[test]
+    fn rejects_malformed_aggregates() {
+        assert!(parse_clause("t(count(K), sum(V)) :- p(K, V).").is_err());
+        assert!(parse_clause("t(count(3)) :- p(X).").is_err());
+        assert!(parse_clause("p(X) :- q(count(X)).").is_err());
     }
 }

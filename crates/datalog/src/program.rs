@@ -124,7 +124,8 @@ impl Program {
     /// (transitively, through positive and negative body literals),
     /// including the seeds themselves. Used for query-restricted
     /// evaluation: predicates outside this set cannot influence the
-    /// query's answers.
+    /// query's answers. An `@algo(input)` call predicate depends on its
+    /// input relation, so demanding the call pulls the input in too.
     pub fn dependencies_of<'a>(
         &self,
         seeds: impl IntoIterator<Item = &'a str>,
@@ -133,6 +134,18 @@ impl Program {
             seeds.into_iter().map(str::to_owned).collect();
         loop {
             let mut changed = false;
+            // Algo call predicates have no defining clauses; their input
+            // dependency lives in the predicate name itself.
+            let inputs: Vec<String> = needed
+                .iter()
+                .filter_map(|p| crate::algo::parse_call(p))
+                .map(|(_, input)| input.to_owned())
+                .collect();
+            for input in inputs {
+                if needed.insert(input) {
+                    changed = true;
+                }
+            }
             for c in &self.clauses {
                 if !needed.contains(c.head.predicate.as_ref()) {
                     continue;
@@ -214,14 +227,29 @@ impl Program {
             let Some(&h) = index.get(c.head.predicate.as_ref()) else {
                 continue;
             };
+            // Aggregate clauses read their body like negation reads its
+            // atom: the body must be complete before the fold runs, so
+            // every body edge is negative (stratum-separating).
+            let agg = c.agg.is_some();
             for l in &c.body {
                 let (q, negative) = match l {
-                    Literal::Pos(a) => (index.get(a.predicate.as_ref()), false),
+                    Literal::Pos(a) => (index.get(a.predicate.as_ref()), agg),
                     Literal::Neg(a) => (index.get(a.predicate.as_ref()), true),
                     Literal::Cmp { .. } | Literal::Arith { .. } => continue,
                 };
                 let Some(&q) = q else { continue };
                 edges.push((q, h, negative));
+            }
+        }
+        // `@algo(input)` call predicates depend negatively on their
+        // input relation: the operator consumes the *complete* input, so
+        // the call sits strictly above it — a dependency edge like
+        // negation.
+        for (p, &pi) in &index {
+            if let Some((_, input)) = crate::algo::parse_call(p) {
+                if let Some(&qi) = index.get(input) {
+                    edges.push((qi, pi, true));
+                }
             }
         }
         edges.sort_unstable();
@@ -252,6 +280,16 @@ impl Program {
         // Iterate to fixpoint; if any stratum exceeds n, there is a negative
         // cycle.
         let mut stratum = vec![0usize; n];
+        // An `@algo(input)` call predicate sits strictly above its input
+        // relation, exactly like a negated dependency: the operator only
+        // runs once the input is complete.
+        let algo_edges: Vec<(usize, usize)> = preds
+            .iter()
+            .filter_map(|&p| {
+                let (_, input) = crate::algo::parse_call(p)?;
+                Some((*id.get(input)?, *id.get(p)?))
+            })
+            .collect();
         let mut changed = true;
         while changed {
             changed = false;
@@ -262,9 +300,12 @@ impl Program {
                 let Some(&h) = id.get(c.head.predicate.as_ref()) else {
                     continue;
                 };
+                // Aggregate bodies must be complete before the fold,
+                // like negation: every body edge separates strata.
+                let agg_delta = usize::from(c.agg.is_some());
                 for l in &c.body {
                     let (q, delta) = match l {
-                        Literal::Pos(a) => (id.get(a.predicate.as_ref()), 0),
+                        Literal::Pos(a) => (id.get(a.predicate.as_ref()), agg_delta),
                         Literal::Neg(a) => (id.get(a.predicate.as_ref()), 1),
                         Literal::Cmp { .. } | Literal::Arith { .. } => continue,
                     };
@@ -281,6 +322,20 @@ impl Program {
                         stratum[h] = need;
                         changed = true;
                     }
+                }
+            }
+            for &(q, h) in &algo_edges {
+                let need = stratum[q] + 1;
+                if stratum[h] < need {
+                    if need > n {
+                        let cycle = self
+                            .dependency_graph()
+                            .negative_cycle()
+                            .unwrap_or_else(|| vec![preds[h].to_owned()]);
+                        return Err(DatalogError::NotStratifiable { cycle });
+                    }
+                    stratum[h] = need;
+                    changed = true;
                 }
             }
         }
@@ -649,6 +704,51 @@ mod tests {
         assert_eq!(p.predicates(), vec!["a", "b", "c"]);
         assert_eq!(p.arity("a"), Some(1));
         assert_eq!(p.arity("zz"), None);
+    }
+
+    #[test]
+    fn algo_call_sits_above_its_input() {
+        let p = parse_program("edge(a, b). reach(X, Y) :- @bfs(edge, X, Y).").unwrap();
+        let s = p.stratify().unwrap();
+        assert!(s.stratum_of("@bfs(edge)").unwrap() > s.stratum_of("edge").unwrap());
+        assert!(s.stratum_of("reach").unwrap() >= s.stratum_of("@bfs(edge)").unwrap());
+        let deps = p.dependencies_of(["reach"]);
+        assert!(deps.contains("edge"), "algo input is a dependency");
+        let graph = p.dependency_graph();
+        assert!(graph
+            .edges()
+            .any(|(q, h, neg)| q == "edge" && h == "@bfs(edge)" && neg));
+    }
+
+    #[test]
+    fn algo_input_cycle_rejected() {
+        let p = parse_program(
+            "edge(a, b). edge(X, Y) :- reach(X, Y). reach(X, Y) :- @bfs(edge, X, Y).",
+        )
+        .unwrap();
+        assert!(matches!(
+            p.stratify().unwrap_err(),
+            DatalogError::NotStratifiable { .. }
+        ));
+    }
+
+    #[test]
+    fn aggregate_clause_sits_above_its_body() {
+        let p =
+            parse_program("p(a, 1). t(G, count(V)) :- p(G, V). q(X) :- t(X, N), N > 0.").unwrap();
+        let s = p.stratify().unwrap();
+        assert!(s.stratum_of("t").unwrap() > s.stratum_of("p").unwrap());
+        let graph = p.dependency_graph();
+        assert!(graph.edges().any(|(q, h, neg)| q == "p" && h == "t" && neg));
+    }
+
+    #[test]
+    fn aggregation_through_recursion_rejected() {
+        let p = parse_program("p(a, 1). t(G, count(V)) :- p(G, V), t(G, V).").unwrap();
+        assert!(matches!(
+            p.stratify().unwrap_err(),
+            DatalogError::NotStratifiable { .. }
+        ));
     }
 
     #[test]

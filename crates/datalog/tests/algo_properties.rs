@@ -1,0 +1,145 @@
+//! Property tests for the native algorithm operators and stratified
+//! aggregation: on random graphs, `@bfs`/`@cc` must compute exactly what
+//! the equivalent rule-at-a-time Datalog computes (sequentially and
+//! threaded), and aggregate heads must match a naive fold over distinct
+//! witness bindings.
+
+// Test code: unwraps are the assertion.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use proptest::prelude::*;
+
+use multilog_datalog::{parse_program, Const, Database, Engine, Relation};
+
+fn edges_src(edges: &[(usize, usize)]) -> String {
+    let mut src = String::new();
+    for (a, b) in edges {
+        src.push_str(&format!("edge(n{a}, n{b}).\n"));
+    }
+    src
+}
+
+fn arb_edges() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0usize..8, 0usize..8), 0..24)
+}
+
+fn rows(db: &Database, pred: &str) -> Vec<Box<[Const]>> {
+    db.relation(pred).map(Relation::sorted).unwrap_or_default()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bfs_equals_rule_at_a_time_closure(edges in arb_edges()) {
+        let mut src = edges_src(&edges);
+        src.push_str(
+            "reach(X, Y) :- @bfs(edge, X, Y).\n\
+             path(X, Y) :- edge(X, Y).\n\
+             path(X, Z) :- path(X, Y), edge(Y, Z).\n",
+        );
+        let p = parse_program(&src).unwrap();
+        let db = Engine::new(&p).unwrap().run().unwrap();
+        prop_assert_eq!(rows(&db, "reach"), rows(&db, "path"));
+        // The threaded engine runs the same operator post-pass.
+        let par = Engine::new(&p)
+            .unwrap()
+            .with_threads(4)
+            .with_parallel_threshold(0)
+            .run()
+            .unwrap();
+        prop_assert_eq!(rows(&par, "reach"), rows(&db, "path"));
+    }
+
+    #[test]
+    fn cc_partitions_like_undirected_closure(edges in arb_edges()) {
+        let mut src = edges_src(&edges);
+        src.push_str(
+            "cc(X, R) :- @cc(edge, X, R).\n\
+             ud(X, Y) :- edge(X, Y).\n\
+             ud(X, Y) :- edge(Y, X).\n\
+             conn(X, Y) :- ud(X, Y).\n\
+             conn(X, Z) :- ud(X, Y), conn(Y, Z).\n\
+             node(X) :- ud(X, Y).\n",
+        );
+        let p = parse_program(&src).unwrap();
+        for threads in [1usize, 4] {
+            let db = Engine::new(&p)
+                .unwrap()
+                .with_threads(threads)
+                .with_parallel_threshold(0)
+                .run()
+                .unwrap();
+            // Exactly one representative per node of the relation.
+            let rep: BTreeMap<Const, Const> = rows(&db, "cc")
+                .into_iter()
+                .map(|r| (r[0], r[1]))
+                .collect();
+            let nodes: BTreeSet<Const> =
+                rows(&db, "node").into_iter().map(|r| r[0]).collect();
+            prop_assert_eq!(
+                rep.keys().copied().collect::<BTreeSet<_>>(),
+                nodes.clone()
+            );
+            // Same representative exactly when the undirected closure
+            // connects the pair (representative choice is the operator's;
+            // the partition is what the rules pin down).
+            let conn: BTreeSet<(Const, Const)> = rows(&db, "conn")
+                .into_iter()
+                .map(|r| (r[0], r[1]))
+                .collect();
+            for x in &nodes {
+                for y in &nodes {
+                    prop_assert_eq!(
+                        rep[x] == rep[y],
+                        x == y || conn.contains(&(*x, *y)),
+                        "nodes {:?} {:?}", x, y
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aggregates_match_naive_oracle(
+        cells in proptest::collection::vec((0usize..4, 0i64..7), 0..30)
+    ) {
+        // Duplicate (group, value) pairs are common in the generator:
+        // the fold must count/sum each *distinct* witness binding once
+        // (bag-of-distinct-bindings semantics), which the BTreeSet
+        // oracle reproduces by construction.
+        let mut src = String::new();
+        for (g, w) in &cells {
+            src.push_str(&format!("v(g{g}, {w}).\n"));
+        }
+        src.push_str(
+            "cnt(G, count(W)) :- v(G, W).\n\
+             tot(G, sum(W)) :- v(G, W).\n\
+             lo(G, min(W)) :- v(G, W).\n\
+             hi(G, max(W)) :- v(G, W).\n",
+        );
+        let p = parse_program(&src).unwrap();
+        let db = Engine::new(&p).unwrap().run().unwrap();
+        let distinct: BTreeSet<(usize, i64)> = cells.iter().copied().collect();
+        let mut by_group: BTreeMap<usize, Vec<i64>> = BTreeMap::new();
+        for (g, w) in &distinct {
+            by_group.entry(*g).or_default().push(*w);
+        }
+        let expect = |f: &dyn Fn(&[i64]) -> i64| -> Vec<Box<[Const]>> {
+            let mut out: Vec<Box<[Const]>> = by_group
+                .iter()
+                .map(|(g, ws)| {
+                    vec![Const::sym(format!("g{g}")), Const::int(f(ws))].into_boxed_slice()
+                })
+                .collect();
+            out.sort();
+            out
+        };
+        prop_assert_eq!(rows(&db, "cnt"), expect(&|ws| ws.len() as i64));
+        prop_assert_eq!(rows(&db, "tot"), expect(&|ws| ws.iter().sum()));
+        prop_assert_eq!(rows(&db, "lo"), expect(&|ws| *ws.iter().min().unwrap()));
+        prop_assert_eq!(rows(&db, "hi"), expect(&|ws| *ws.iter().max().unwrap()));
+    }
+}

@@ -354,6 +354,56 @@ impl fmt::Display for Head {
     }
 }
 
+/// An aggregate function usable in a p-atom head argument.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MAggFunc {
+    /// `count(V)` — distinct witness bindings per group.
+    Count,
+    /// `sum(V)` — integer sum over distinct witnesses.
+    Sum,
+    /// `min(V)` — minimum over distinct witnesses.
+    Min,
+    /// `max(V)` — maximum over distinct witnesses.
+    Max,
+}
+
+impl MAggFunc {
+    /// The surface keyword (`count`, `sum`, `min`, `max`).
+    pub fn keyword(self) -> &'static str {
+        match self {
+            MAggFunc::Count => "count",
+            MAggFunc::Sum => "sum",
+            MAggFunc::Min => "min",
+            MAggFunc::Max => "max",
+        }
+    }
+
+    /// Parse a surface keyword.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "count" => Some(MAggFunc::Count),
+            "sum" => Some(MAggFunc::Sum),
+            "min" => Some(MAggFunc::Min),
+            "max" => Some(MAggFunc::Max),
+            _ => None,
+        }
+    }
+}
+
+/// An aggregated head argument: the clause's head p-atom carries the
+/// aggregated variable as a plain term at `position`; the remaining head
+/// arguments form the group-by key. Semantics follow the Datalog layer:
+/// the fold runs over *distinct witness bindings* of the clause body
+/// (bag semantics over the deduplicated witness set), so polyinstantiated
+/// m-atoms at different levels count separately.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MAggregate {
+    /// The aggregate function.
+    pub func: MAggFunc,
+    /// The head argument position being aggregated.
+    pub position: usize,
+}
+
 /// A MultiLog clause `Head <- B1, …, Bm.`
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Clause {
@@ -361,6 +411,9 @@ pub struct Clause {
     pub head: Head,
     /// The body atoms.
     pub body: Vec<Atom>,
+    /// Aggregate annotation for p-atom heads like
+    /// `total(H, count(K)) <- …` (None for ordinary clauses).
+    pub agg: Option<MAggregate>,
     /// Where the clause came from (ignored by equality and hashing).
     /// Clauses desugared from one molecular item share one span.
     pub span: Span,
@@ -372,6 +425,7 @@ impl Clause {
         Clause {
             head,
             body,
+            agg: None,
             span: Span::unknown(),
         }
     }
@@ -387,15 +441,45 @@ impl Clause {
         self
     }
 
+    /// Mark the clause as an aggregate rule (builder-style).
+    pub fn with_agg(mut self, agg: MAggregate) -> Self {
+        self.agg = Some(agg);
+        self
+    }
+
     /// Whether the clause is a fact.
     pub fn is_fact(&self) -> bool {
         self.body.is_empty()
+    }
+
+    /// Whether the clause body calls a native algorithm operator
+    /// (`@name(...)` p-atom).
+    pub fn uses_algo(&self) -> bool {
+        self.body
+            .iter()
+            .any(|a| matches!(a, Atom::P(p) if p.pred.starts_with('@')))
     }
 }
 
 impl fmt::Display for Clause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.head)?;
+        match (&self.head, self.agg) {
+            (Head::P(p), Some(agg)) => {
+                write!(f, "{}(", p.pred)?;
+                for (i, a) in p.args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    if i == agg.position {
+                        write!(f, "{}({a})", agg.func.keyword())?;
+                    } else {
+                        write!(f, "{a}")?;
+                    }
+                }
+                write!(f, ")")?;
+            }
+            _ => write!(f, "{}", self.head)?,
+        }
         if !self.body.is_empty() {
             write!(f, " <- ")?;
             for (i, a) in self.body.iter().enumerate() {

@@ -293,6 +293,7 @@ impl MultiLogEngine {
         let user_modes = collect_user_modes(db);
         check_modes_known(db, &user_modes)?;
         check_belief_stratification(db, &lattice)?;
+        check_reduction_only(db)?;
 
         let mut eng = MultiLogEngine {
             lattice,
@@ -1131,6 +1132,27 @@ fn check_belief_stratification(db: &MultiLogDb, lat: &SecurityLattice) -> Result
     Ok(())
 }
 
+/// Aggregate heads and `@algo(...)` operator calls are executed by the
+/// Datalog back-end via the reduction; the operational engine's
+/// backtracking fixpoint has no fold or operator machinery, so it
+/// rejects such databases with a typed error instead of silently
+/// deriving nothing.
+fn check_reduction_only(db: &MultiLogDb) -> Result<()> {
+    for c in db.clauses() {
+        if c.agg.is_some() {
+            return Err(MultiLogError::ReductionOnly {
+                detail: format!("aggregate clause `{c}`"),
+            });
+        }
+        if c.uses_algo() {
+            return Err(MultiLogError::ReductionOnly {
+                detail: format!("algorithm operator call in `{c}`"),
+            });
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1149,6 +1171,23 @@ mod tests {
         s[p(k : a -u-> v)] <- c[p(k : a -c-> t)] << cau.
         q(j).
     "#;
+
+    #[test]
+    fn reduction_only_constructs_rejected() {
+        // The operational engine has no fold or operator machinery; a
+        // silent empty derivation would be wrong, so construction fails
+        // with a typed error pointing at `ReducedEngine`.
+        let agg = parse_database("part(a, b). total(P, count(S)) <- part(P, S).").unwrap();
+        assert!(matches!(
+            MultiLogEngine::new(&agg, "s"),
+            Err(crate::MultiLogError::ReductionOnly { .. })
+        ));
+        let algo = parse_database("edge(a, b). r(X, Y) <- @bfs(edge, X, Y).").unwrap();
+        assert!(matches!(
+            MultiLogEngine::new(&algo, "s"),
+            Err(crate::MultiLogError::ReductionOnly { .. })
+        ));
+    }
 
     #[test]
     fn d1_derives_all_facts() {

@@ -46,6 +46,14 @@ pub enum MultiLogError {
     },
     /// A referenced belief mode is neither built-in nor user-defined.
     UnknownMode(String),
+    /// The database uses a construct only the reduction semantics
+    /// executes (aggregate heads, `@algo(...)` operator calls); the
+    /// operational engine rejects it instead of silently deriving
+    /// nothing.
+    ReductionOnly {
+        /// The offending clause, rendered.
+        detail: String,
+    },
     /// An extensional update (assert or retract) used a non-ground
     /// m-atom; updates must name one concrete cell.
     NonGroundUpdate {
@@ -109,6 +117,12 @@ impl fmt::Display for MultiLogError {
                 write!(f, "cautious belief is not level-stratified: {detail}")
             }
             MultiLogError::UnknownMode(m) => write!(f, "unknown belief mode `{m}`"),
+            MultiLogError::ReductionOnly { detail } => {
+                write!(
+                    f,
+                    "construct requires the reduction engine (`ReducedEngine`): {detail}"
+                )
+            }
             MultiLogError::NonGroundUpdate { atom } => {
                 write!(f, "extensional updates must be ground: `{atom}`")
             }
@@ -186,6 +200,7 @@ mod tests {
             MultiLogError::NotAdmissible { detail: "x".into() },
             MultiLogError::Inconsistent { detail: "x".into() },
             MultiLogError::UnknownMode("zeal".into()),
+            MultiLogError::ReductionOnly { detail: "x".into() },
             MultiLogError::NonGroundUpdate { atom: "x".into() },
             MultiLogError::BudgetExceeded { budget: 1, used: 2 },
             MultiLogError::DeadlineExceeded { limit_ms: 5 },

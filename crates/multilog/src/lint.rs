@@ -13,7 +13,8 @@
 //! catalogues each with a minimal trigger and the paper section it
 //! enforces. Datalog-side lints (`ML00xx`) live in
 //! `multilog_datalog::analyze`; this module owns the MultiLog-level
-//! codes `ML0101`–`ML0114`.
+//! codes `ML0101`–`ML0114` and additionally surfaces the shared ML0008
+//! (algorithm-operator / aggregation misuse) at the MultiLog syntax.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -230,6 +231,7 @@ pub fn lint_program(prog: &ParsedProgram, clearance: Option<&str>) -> Vec<Diagno
     ctx.check_singleton_variables(); //       ML0112
     ctx.check_arity_mismatches(); //          ML0113
     ctx.check_invisible_at_clearance(); //    ML0114
+    ctx.check_algo_and_aggregates(); //       ML0008 (shared with Datalog)
     ctx.out
 }
 
@@ -893,6 +895,17 @@ impl<'p> Ctx<'p> {
                     let di = intern(&mut index, dep);
                     edges.push((hi, di));
                 }
+                // `@algo(input, …)` consults its input relation by name:
+                // the input predicate is live whenever the calling rule
+                // is (mirrors the Datalog layer's ML0004 behavior).
+                if let Atom::P(p) = a {
+                    if p.pred.starts_with('@') {
+                        if let Some(Term::Sym(input)) = p.args.first() {
+                            let di = intern(&mut index, ("p", input.clone()));
+                            edges.push((hi, di));
+                        }
+                    }
+                }
             }
         }
         let live = multilog_datalog::analyze::shared::reachable(index.len(), &edges, seeds);
@@ -1066,6 +1079,68 @@ impl<'p> Ctx<'p> {
                 span,
                 msg,
             );
+        }
+    }
+
+    // ML0008 — algorithm-operator and aggregation misuse, surfacing the
+    // Datalog layer's lint of the same code at the MultiLog surface:
+    // unknown `@algo(...)` operators, wrong call arity, and an aggregate
+    // clause reading its own head predicate (the fold needs its input
+    // complete before it runs — no stratification exists).
+    fn check_algo_and_aggregates(&mut self) {
+        let registry = multilog_datalog::algo::registry();
+        let mut found: Vec<(&'static str, Span, String)> = Vec::new();
+        for c in &self.prog.clauses {
+            for a in &c.body {
+                let Atom::P(p) = a else { continue };
+                let Some(name) = p.pred.strip_prefix('@') else {
+                    continue;
+                };
+                match registry.get(name) {
+                    None => found.push((
+                        "unknown-algo",
+                        c.span,
+                        format!(
+                            "unknown algorithm operator `@{name}` (known: {})",
+                            registry.names().join(", ")
+                        ),
+                    )),
+                    // args = the input relation plus the output terms.
+                    Some(op) if p.args.len() != op.arity() + 1 => found.push((
+                        "algo-call-arity",
+                        c.span,
+                        format!(
+                            "`@{name}(...)` called with {} argument terms, but the \
+                             operator takes {}",
+                            p.args.len().saturating_sub(1),
+                            op.arity()
+                        ),
+                    )),
+                    Some(_) => {}
+                }
+            }
+            if c.agg.is_some() {
+                if let Head::P(hp) = &c.head {
+                    let recursive = c
+                        .body
+                        .iter()
+                        .any(|a| matches!(a, Atom::P(p) if p.pred == hp.pred));
+                    if recursive {
+                        found.push((
+                            "aggregation-through-recursion",
+                            c.span,
+                            format!(
+                                "aggregate clause `{c}` reads its own head predicate \
+                                 `{}` — aggregation through recursion is not stratifiable",
+                                hp.pred
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        for (name, span, msg) in found {
+            self.push("ML0008", name, Severity::Error, span, msg);
         }
     }
 }
@@ -1276,5 +1351,60 @@ mod tests {
              q(X) <- s[p(k : a -u-> X)], level(Lonely).",
         );
         assert!(firing.contains(&"ML0112"));
+    }
+
+    fn names(src: &str) -> Vec<&'static str> {
+        let report = lint_source(src).expect("parse");
+        report.diagnostics.iter().map(|d| d.name).collect()
+    }
+
+    #[test]
+    fn ml0008_unknown_algo_and_call_arity() {
+        let unknown = names("edge(a, b). r(X, Y) <- @nope(edge, X, Y). <- r(X, Y).");
+        assert!(unknown.contains(&"unknown-algo"), "{unknown:?}");
+
+        let arity = names("edge(a, b). r(X) <- @bfs(edge, X). <- r(X).");
+        assert!(arity.contains(&"algo-call-arity"), "{arity:?}");
+
+        let clean = names("edge(a, b). r(X, Y) <- @bfs(edge, X, Y). <- r(X, Y).");
+        assert!(!clean.contains(&"unknown-algo"), "{clean:?}");
+        assert!(!clean.contains(&"algo-call-arity"), "{clean:?}");
+    }
+
+    #[test]
+    fn ml0008_aggregation_through_recursion() {
+        let firing = names(
+            "part(a, b).\n\
+             total(P, count(S)) <- total(P, S), part(P, S).\n\
+             <- total(P, S).",
+        );
+        assert!(
+            firing.contains(&"aggregation-through-recursion"),
+            "{firing:?}"
+        );
+
+        let clean = names(
+            "part(a, b).\n\
+             total(P, count(S)) <- part(P, S).\n\
+             <- total(P, S).",
+        );
+        assert!(
+            !clean.contains(&"aggregation-through-recursion"),
+            "{clean:?}"
+        );
+    }
+
+    #[test]
+    fn algo_input_predicate_is_not_unused() {
+        // `edge` is referenced only as the input relation of `@bfs`; the
+        // liveness pass must treat the call as a read so ML0111 stays
+        // quiet (mirrors the Datalog layer's ML0004 behaviour).
+        let report = lint_source("edge(a, b). r(X, Y) <- @bfs(edge, X, Y). <- r(a, Y).").unwrap();
+        let unused: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "ML0111")
+            .collect();
+        assert!(unused.is_empty(), "{unused:?}");
     }
 }

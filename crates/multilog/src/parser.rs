@@ -23,7 +23,7 @@
 
 use std::sync::Arc;
 
-use crate::ast::{Atom, Clause, Goal, Head, MMolecule, PAtom, Span, Term};
+use crate::ast::{Atom, Clause, Goal, Head, MAggFunc, MAggregate, MMolecule, PAtom, Span, Term};
 use crate::db::MultiLogDb;
 use crate::{MultiLogError, Result};
 
@@ -96,6 +96,7 @@ pub fn parse_goal(src: &str) -> Result<Goal> {
 #[derive(Debug, Clone, PartialEq)]
 enum Tok {
     Ident(String),
+    AlgoName(String), // `@bfs`, `@cc`, … (without the `@`)
     Var(String),
     Int(i64),
     Null,
@@ -199,7 +200,7 @@ impl Parser {
 
     fn clause(&mut self) -> Result<Vec<Clause>> {
         let span = self.span_here();
-        let heads = self.head()?;
+        let (heads, agg) = self.head()?;
         let body = if self.peek_is(&Tok::Arrow) {
             self.advance();
             self.body()?
@@ -209,31 +210,112 @@ impl Parser {
         self.expect(&Tok::Dot, "`.` at end of clause")?;
         Ok(heads
             .into_iter()
-            .map(|head| Clause::new(head, body.clone()).with_span(span))
+            .map(|head| {
+                let mut c = Clause::new(head, body.clone()).with_span(span);
+                if let Some(agg) = agg {
+                    c = c.with_agg(agg);
+                }
+                c
+            })
             .collect())
     }
 
-    /// A head: returns several heads when molecular.
-    fn head(&mut self) -> Result<Vec<Head>> {
+    /// A head: returns several heads when molecular, plus the aggregate
+    /// annotation when the head is an aggregate p-atom.
+    fn head(&mut self) -> Result<(Vec<Head>, Option<MAggregate>)> {
         // level(…)/order(…) with the distinguished arities; otherwise fall
         // back to a p-atom of the same name.
         let start = self.pos;
         if let Some(la) = self.try_level_order()? {
-            return Ok(vec![match la {
-                Atom::L(t) => Head::L(t),
-                Atom::H(l, h) => Head::H(l, h),
-                other => {
-                    return Err(self.err(format!("expected a level/order head, found `{other}`")))
-                }
-            }]);
+            return Ok((
+                vec![match la {
+                    Atom::L(t) => Head::L(t),
+                    Atom::H(l, h) => Head::H(l, h),
+                    other => {
+                        return Err(
+                            self.err(format!("expected a level/order head, found `{other}`"))
+                        )
+                    }
+                }],
+                None,
+            ));
         }
         self.pos = start;
         // m-molecule (term "[" …) or p-atom.
         if let Ok(mol) = self.molecule() {
-            return Ok(mol.atoms().into_iter().map(Head::M).collect());
+            return Ok((mol.atoms().into_iter().map(Head::M).collect(), None));
         }
         self.pos = start;
-        Ok(vec![Head::P(self.patom()?)])
+        let (p, agg) = self.head_patom()?;
+        Ok((vec![Head::P(p)], agg))
+    }
+
+    /// A p-atom head, where one argument may be an aggregate term
+    /// `count(V)` / `sum(V)` / `min(V)` / `max(V)` — the aggregated
+    /// variable is stored as a plain term and the function recorded in
+    /// the returned [`MAggregate`].
+    fn head_patom(&mut self) -> Result<(PAtom, Option<MAggregate>)> {
+        let pred = match self.advance() {
+            Some(Tok::Ident(p)) => p,
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.err("expected predicate name"));
+            }
+        };
+        let mut args = Vec::new();
+        let mut agg: Option<MAggregate> = None;
+        if self.peek_is(&Tok::LParen) {
+            self.advance();
+            loop {
+                let is_agg = matches!(
+                    self.peek(),
+                    Some(Tok::Ident(n)) if MAggFunc::parse(n).is_some()
+                ) && self.peek2_is(&Tok::LParen);
+                if is_agg {
+                    let func = match self.advance() {
+                        Some(Tok::Ident(n)) => match MAggFunc::parse(&n) {
+                            Some(func) => func,
+                            None => return Err(self.err("expected aggregate function")),
+                        },
+                        _ => return Err(self.err("expected aggregate function")),
+                    };
+                    self.advance(); // `(`
+                    if agg.is_some() {
+                        return Err(self.err("at most one aggregate per head"));
+                    }
+                    let var = match self.advance() {
+                        Some(Tok::Var(v)) => Term::var(v),
+                        _ => {
+                            return Err(self.err(format!(
+                                "`{}(...)` takes a variable to aggregate",
+                                func.keyword()
+                            )))
+                        }
+                    };
+                    self.expect(&Tok::RParen, "`)` after aggregate variable")?;
+                    agg = Some(MAggregate {
+                        func,
+                        position: args.len(),
+                    });
+                    args.push(var);
+                } else {
+                    args.push(self.term()?);
+                }
+                if self.peek_is(&Tok::Comma) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+            self.expect(&Tok::RParen, "`)`")?;
+        }
+        Ok((
+            PAtom {
+                pred: Arc::from(pred.as_str()),
+                args,
+            },
+            agg,
+        ))
     }
 
     /// Attempt to parse `level(t)` or `order(l, h)`; `Ok(None)` when the
@@ -288,6 +370,28 @@ impl Parser {
     }
 
     fn body_atom(&mut self, out: &mut Vec<Atom>) -> Result<()> {
+        // `@name(input, t1, …, tn)` — a native algorithm operator call,
+        // carried as a p-atom whose predicate keeps the `@` prefix; the
+        // reduction passes it through verbatim to the Datalog layer.
+        if let Some(Tok::AlgoName(name)) = self.peek().cloned() {
+            self.advance();
+            self.expect(&Tok::LParen, "`(` after algorithm operator")?;
+            let input = match self.advance() {
+                Some(Tok::Ident(p)) => Term::sym(p),
+                _ => return Err(self.err("expected an input predicate name (identifier)")),
+            };
+            let mut args = vec![input];
+            while self.peek_is(&Tok::Comma) {
+                self.advance();
+                args.push(self.term()?);
+            }
+            self.expect(&Tok::RParen, "`)`")?;
+            out.push(Atom::P(PAtom {
+                pred: Arc::from(format!("@{name}").as_str()),
+                args,
+            }));
+            return Ok(());
+        }
         // level(…) / order(…)?
         let start = self.pos;
         if let Some(la) = self.try_level_order()? {
@@ -456,6 +560,28 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize, usize)>> {
                         break;
                     }
                 }
+            }
+            '@' => {
+                it.next();
+                bump!('@');
+                let mut text = String::new();
+                while let Some(&d) = it.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        text.push(d);
+                        it.next();
+                        bump!(d);
+                    } else {
+                        break;
+                    }
+                }
+                if text.is_empty() || !text.starts_with(|c: char| c.is_lowercase()) {
+                    return Err(perr(
+                        tl,
+                        tc,
+                        "expected a lowercase algorithm operator name after `@`".into(),
+                    ));
+                }
+                out.push((Tok::AlgoName(text), tl, tc));
             }
             '[' | ']' | '(' | ')' | ';' | ',' | '.' => {
                 it.next();
@@ -681,6 +807,56 @@ mod tests {
         assert!(parse_database("u[p(k : a -u-> v)]").is_err()); // missing dot
         assert!(parse_database("& nope.").is_err());
         assert!(parse_database("u[p(k : a -u-> v)] << .").is_err());
+    }
+
+    #[test]
+    fn parses_algo_call_in_body() {
+        let cs = parse_clause("reach(X, Y) <- @bfs(edge, X, Y).").unwrap();
+        match &cs[0].body[0] {
+            Atom::P(p) => {
+                assert_eq!(p.pred.as_ref(), "@bfs");
+                assert_eq!(p.args[0], Term::sym("edge"));
+                assert_eq!(p.args.len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(cs[0].uses_algo());
+        assert_eq!(cs[0].to_string(), "reach(X, Y) <- @bfs(edge, X, Y).");
+        assert_eq!(parse_clause(&cs[0].to_string()).unwrap(), cs);
+    }
+
+    #[test]
+    fn parses_aggregate_head() {
+        use crate::ast::MAggFunc;
+        let cs = parse_clause("total(H, count(K)) <- vis(H, K).").unwrap();
+        let agg = cs[0].agg.unwrap();
+        assert_eq!(agg.func, MAggFunc::Count);
+        assert_eq!(agg.position, 1);
+        assert_eq!(cs[0].to_string(), "total(H, count(K)) <- vis(H, K).");
+        assert_eq!(parse_clause(&cs[0].to_string()).unwrap(), cs);
+        for func in ["sum", "min", "max"] {
+            let cs = parse_clause(&format!("t({func}(V)) <- p(V).")).unwrap();
+            assert!(cs[0].agg.is_some(), "{func}");
+        }
+    }
+
+    #[test]
+    fn aggregate_names_stay_plain_symbols_elsewhere() {
+        // `count` with no parens is an ordinary symbol or predicate.
+        let cs = parse_clause("p(count) <- q(count).").unwrap();
+        assert!(cs[0].agg.is_none());
+        let cs = parse_clause("count(X) <- q(X).").unwrap();
+        assert!(cs[0].agg.is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_algo_and_aggregates() {
+        assert!(parse_clause("p(X) <- @bfs.").is_err());
+        assert!(parse_clause("p(X) <- @bfs(X, Y).").is_err()); // input must be an identifier
+        assert!(parse_database("p(X) <- @Bfs(edge, X, X).").is_err());
+        assert!(parse_clause("t(count(K), sum(V)) <- p(K, V).").is_err());
+        assert!(parse_clause("t(count(3)) <- p(X).").is_err());
+        assert!(parse_clause("@bfs(edge, X, Y) <- p(X, Y).").is_err()); // no algo heads
     }
 
     #[test]

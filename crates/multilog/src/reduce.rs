@@ -439,6 +439,54 @@ impl ReducedEngine {
         self.solve_demand(&crate::parser::parse_goal(goal)?)
     }
 
+    /// [`ReducedEngine::solve_demand`] through a [`DemandCache`]: the
+    /// magic-sets rewrite is memoized per binding pattern (the
+    /// `(predicate, adornment)` key of [`dl::magic::prepared_key`]), so
+    /// repeated point goals that differ only in their constants — the
+    /// REPL's common shape — skip the per-goal program clone and rewrite
+    /// and only replay the prepared sub-fixpoint with a fresh seed.
+    /// Answers equal [`ReducedEngine::solve_demand`]; the caller must
+    /// [`DemandCache::clear`] the cache after any extensional update
+    /// (the prepared programs embed the EDB).
+    pub fn solve_demand_cached(&self, goal: &Goal, cache: &mut DemandCache) -> Result<Vec<Answer>> {
+        let mut body: Vec<dl::Literal> = Vec::new();
+        for atom in goal {
+            translate_atom(atom, &self.user, self.level_split, true, &mut body)?;
+        }
+        let (key, consts) = dl::magic::prepared_key(&body);
+        let prepared = match cache.map.get(&key) {
+            Some(entry) => {
+                cache.hits += 1;
+                entry
+            }
+            None => {
+                let program = self
+                    .incremental
+                    .current_program()
+                    .map_err(MultiLogError::Datalog)?;
+                let (program, _) = self.pruned_program(program);
+                cache
+                    .map
+                    .entry(key)
+                    .or_insert_with(|| dl::magic::prepare(&program, &body))
+            }
+        };
+        if let Some(m) = prepared.as_ref().and_then(|p| p.instantiate(&consts)) {
+            let mut engine = dl::Engine::new(&m.program)?.with_fact_limit(self.fact_limit);
+            if let Some(d) = self.deadline {
+                engine = engine.with_deadline(d);
+            }
+            if let Some(c) = &self.cancel {
+                engine = engine.with_cancel_token(c.clone());
+            }
+            let db = engine.run()?;
+            return Ok(project_answers(goal, &m.answers(&db)));
+        }
+        // Nothing to parameterize (or no sound rewrite): the plain
+        // demand path handles it, including its cone fallback.
+        self.solve_demand(goal)
+    }
+
     /// Drop everything the flow analysis proves invisible at this
     /// engine's clearance from `program`: the per-level cautious
     /// machinery above the clearance, then every Σ/Π rule whose τ image
@@ -549,6 +597,43 @@ impl GoalTranslator {
 /// Project Datalog answers back onto the goal's own variables, in
 /// MultiLog terms, sorted and deduplicated — the translation may add
 /// guard-only variables that must not leak into the answers.
+/// A memo of prepared magic-sets rewrites keyed by goal binding pattern,
+/// owned by interactive callers (the REPL) and passed to
+/// [`ReducedEngine::solve_demand_cached`]. Entries embed the extensional
+/// database of the moment they were prepared: invalidate with
+/// [`DemandCache::clear`] after every committed `+`/`-` update.
+#[derive(Debug, Default)]
+pub struct DemandCache {
+    map: std::collections::HashMap<String, Option<dl::magic::PreparedMagic>>,
+    hits: u64,
+}
+
+impl DemandCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop every prepared rewrite (after an extensional update).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Number of distinct binding patterns prepared (including patterns
+    /// recorded as not-rewritable).
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.map.len()
+    }
+
+    /// How many goals were answered from an already-prepared rewrite.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
 fn project_answers(goal: &Goal, answers: &dl::QueryAnswer) -> Vec<Answer> {
     let goal_vars: Vec<&str> = {
         let mut vs = Vec::new();
@@ -672,7 +757,29 @@ fn translate_clause(c: &Clause, user: &str, level_split: bool) -> Result<String>
                 matom_text(m)
             }
         }
-        Head::P(p) => patom_text(p),
+        Head::P(p) => match c.agg {
+            // Aggregate heads render in the Datalog layer's surface
+            // syntax (`total(H, count(K))`); the back-end evaluates the
+            // fold per stratum over distinct witness bindings, so
+            // polyinstantiated m-atoms at different levels count
+            // separately (bag semantics per Bertossi–Gottlob).
+            Some(agg) => {
+                let args: Vec<String> = p
+                    .args
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        if i == agg.position {
+                            format!("{}({})", agg.func.keyword(), term_text(t))
+                        } else {
+                            term_text(t)
+                        }
+                    })
+                    .collect();
+                format!("{}({})", p.pred, args.join(", "))
+            }
+            None => patom_text(p),
+        },
         Head::L(t) => format!("level({})", term_text(t)),
         Head::H(l, h) => format!("order({}, {})", term_text(l), term_text(h)),
     };
@@ -920,6 +1027,57 @@ mod tests {
     }
 
     #[test]
+    fn cached_demand_matches_uncached_and_counts_hits() {
+        let db = parse_database(D1).unwrap();
+        let mut cache = DemandCache::new();
+        for user in ["u", "c", "s"] {
+            let red = ReducedEngine::new(&db, user).unwrap();
+            cache.clear();
+            for goal in [
+                "L[p(k : a -C-> V)]",
+                "s[p(k : a -C-> V)] << fir",
+                "s[p(k : a -C-> V)] << opt",
+                "c[p(k : a -C-> V)] << cau",
+                "q(X)",
+                "u leq L",
+            ] {
+                let parsed = crate::parser::parse_goal(goal).unwrap();
+                let expect = red.solve_text_demand(goal).unwrap();
+                // Twice: miss then hit, identical answers both times.
+                for _ in 0..2 {
+                    assert_eq!(
+                        red.solve_demand_cached(&parsed, &mut cache).unwrap(),
+                        expect,
+                        "goal `{goal}` at user {user}"
+                    );
+                }
+            }
+        }
+        assert!(cache.entries() >= 1);
+        assert!(cache.hits() >= 6, "repeats must hit: {}", cache.hits());
+    }
+
+    #[test]
+    fn cached_demand_shares_one_rewrite_across_constants() {
+        // Goals differing only in the key constant share a prepared
+        // rewrite: one entry, and from the second goal on, hits.
+        let db = parse_database(D1).unwrap();
+        let red = ReducedEngine::new(&db, "s").unwrap();
+        let mut cache = DemandCache::new();
+        for key in ["k", "k2", "k3"] {
+            let goal = format!("s[p({key} : a -C-> V)] << opt");
+            let parsed = crate::parser::parse_goal(&goal).unwrap();
+            assert_eq!(
+                red.solve_demand_cached(&parsed, &mut cache).unwrap(),
+                red.solve_text_demand(&goal).unwrap(),
+                "goal `{goal}`"
+            );
+        }
+        assert_eq!(cache.entries(), 1, "one binding pattern");
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
     fn demand_stats_report_magic_for_point_queries() {
         let db = parse_database(D1).unwrap();
         let red = ReducedEngine::new(&db, "s").unwrap();
@@ -1063,6 +1221,79 @@ mod tests {
             pruned.solve_demand(&goal).unwrap(),
             plain.solve_demand(&goal).unwrap()
         );
+    }
+
+    #[test]
+    fn algo_call_answers_through_reduction() {
+        // Pure-Π database (Prop 6.1 degeneration) calling the native
+        // reachability operator.
+        let db =
+            parse_database("edge(a, b). edge(b, c). edge(c, d). reach(X, Y) <- @bfs(edge, X, Y).")
+                .unwrap();
+        let red = ReducedEngine::new(&db, "system").unwrap();
+        assert_eq!(red.solve_text("reach(a, Y)").unwrap().len(), 3);
+        assert_eq!(red.solve_text("reach(X, Y)").unwrap().len(), 6);
+        assert_eq!(
+            red.solve_text_demand("reach(a, Y)").unwrap(),
+            red.solve_text("reach(a, Y)").unwrap()
+        );
+    }
+
+    /// The `level_dashboard` shape in miniature: per-clearance counts of
+    /// optimistically believed cells, aggregated directly over the
+    /// b-atom so polyinstantiated cells count once per classification.
+    const DASHBOARD: &str = r#"
+        level(u). level(c). level(s).
+        order(u, c). order(c, s).
+        u[emp(e1 : sal -u-> v1)].
+        c[emp(e1 : sal -c-> v2)].
+        s[emp(e2 : sal -s-> v3)].
+        total(H, count(K)) <- H[emp(K : sal -C-> V)] << opt, level(H).
+    "#;
+
+    #[test]
+    fn aggregate_dashboard_counts_polyinstantiated_witnesses_per_level() {
+        let db = parse_database(DASHBOARD).unwrap();
+        let red = ReducedEngine::new(&db, "s").unwrap();
+        let ans = red.solve_text("total(H, N)").unwrap();
+        let by_level: BTreeMap<String, Term> = ans
+            .iter()
+            .map(|a| (a["H"].to_string(), a["N"].clone()))
+            .collect();
+        // u sees e1's u-cell; c additionally the polyinstantiated c-cell
+        // (distinct witness, same key); s also e2's cell.
+        assert_eq!(by_level["u"], Term::Int(1));
+        assert_eq!(by_level["c"], Term::Int(2));
+        assert_eq!(by_level["s"], Term::Int(3));
+    }
+
+    #[test]
+    fn aggregate_goals_answered_demand_driven_and_after_updates() {
+        let db = parse_database(DASHBOARD).unwrap();
+        let mut red = ReducedEngine::new(&db, "s").unwrap();
+        assert_eq!(
+            red.solve_text_demand("total(s, N)").unwrap(),
+            red.solve_text("total(s, N)").unwrap()
+        );
+        // An update re-derives the aggregate (whole-commit recompute in
+        // the back-end, since no per-fact delta exists for folds).
+        red.apply_updates(&[EdbUpdate::Assert(goal_matom("u[emp(e3 : sal -u-> v4)]"))])
+            .unwrap();
+        let ans = red.solve_text("total(u, N)").unwrap();
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans[0]["N"], Term::Int(2));
+    }
+
+    #[test]
+    fn aggregate_clearance_guards_limit_the_dashboard() {
+        // At clearance u the c- and s-level cells are never visible, so
+        // only the u row survives the no-read-up guards.
+        let db = parse_database(DASHBOARD).unwrap();
+        let red = ReducedEngine::new(&db, "u").unwrap();
+        let ans = red.solve_text("total(H, N)").unwrap();
+        assert_eq!(ans.len(), 1);
+        assert_eq!(ans[0]["H"], Term::sym("u"));
+        assert_eq!(ans[0]["N"], Term::Int(1));
     }
 
     #[test]
